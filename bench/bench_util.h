@@ -1,0 +1,68 @@
+#ifndef TAURUS_BENCH_BENCH_UTIL_H_
+#define TAURUS_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace taurus_bench {
+
+/// One query's measurement across the two optimizer paths.
+struct QueryTiming {
+  int query_number = 0;
+  bool mysql_ok = false;
+  bool orca_ok = false;
+  double mysql_ms = 0.0;       ///< execution time, MySQL plan
+  double orca_ms = 0.0;        ///< execution time, Orca plan
+  double mysql_opt_ms = 0.0;   ///< compile time, MySQL optimizer
+  double orca_opt_ms = 0.0;    ///< compile time incl. the Orca detour
+  bool detoured = false;       ///< the "Orca" run actually took the detour
+  size_t rows = 0;
+};
+
+/// Runs `sql` with the MySQL optimizer forced, then with the integration's
+/// automatic routing (threshold + fallback) — matching the paper's setup,
+/// where sub-threshold queries execute with MySQL plans in both runs.
+inline QueryTiming TimeBothPaths(taurus::Database* db, int number,
+                                 const std::string& sql) {
+  QueryTiming t;
+  t.query_number = number;
+  auto mysql = db->Query(sql, taurus::OptimizerPath::kMySql);
+  if (mysql.ok()) {
+    t.mysql_ok = true;
+    t.mysql_ms = mysql->execute_ms;
+    t.mysql_opt_ms = mysql->optimize_ms;
+    t.rows = mysql->rows.size();
+  }
+  auto orca = db->Query(sql, taurus::OptimizerPath::kAuto);
+  if (orca.ok()) {
+    t.orca_ok = true;
+    t.orca_ms = orca->execute_ms;
+    t.orca_opt_ms = orca->optimize_ms;
+    t.detoured = orca->used_orca;
+  }
+  return t;
+}
+
+/// argv helper: --sf=<double> with a default.
+inline double ArgScale(int argc, char** argv, double def) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--sf=", 0) == 0) return std::atof(a.c_str() + 5);
+  }
+  return def;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("============================================================\n");
+}
+
+}  // namespace taurus_bench
+
+#endif  // TAURUS_BENCH_BENCH_UTIL_H_

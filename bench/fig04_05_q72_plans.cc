@@ -1,0 +1,69 @@
+// Reproduces the paper's Section 3.1 example (Fig. 4 / Fig. 5): TPC-DS
+// Q72, the 11-table snowflake. Prints both optimizers' plans and the
+// execution times. In the paper the MySQL plan chains nested-loop joins
+// from the fact table with a single non-cost-based hash join (288 s),
+// while Orca picks a plan where most joins are hash joins, for an 8.5X
+// improvement (34 s). The *shape* to check here: the Orca plan uses
+// several hash joins and runs substantially faster.
+//
+// Usage: fig04_05_q72_plans [--sf=0.001]
+
+#include "bench_util.h"
+#include "workloads/tpcds.h"
+
+using namespace taurus_bench;  // NOLINT
+
+namespace {
+
+int CountOccurrences(const std::string& text, const std::string& needle) {
+  int n = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + 1)) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = ArgScale(argc, argv, 0.001);
+  taurus::Database db;
+  if (!taurus::SetupTpcds(&db, sf).ok()) return 1;
+  db.router_config().complex_query_threshold = 2;
+
+  const std::string& q72 = taurus::TpcdsQueries()[71];
+
+  PrintHeader("Fig. 4 — TPC-DS Q72 plan, MySQL optimizer");
+  auto mysql_explain = db.Explain(q72, taurus::OptimizerPath::kMySql);
+  if (mysql_explain.ok()) std::printf("%s", mysql_explain->c_str());
+
+  PrintHeader("Fig. 5 — TPC-DS Q72 plan, Orca");
+  auto orca_explain = db.Explain(q72, taurus::OptimizerPath::kOrca);
+  if (orca_explain.ok()) std::printf("%s", orca_explain->c_str());
+
+  if (mysql_explain.ok() && orca_explain.ok()) {
+    std::printf("\njoin-method mix:\n");
+    std::printf("  MySQL plan: %d hash joins, %d nested-loop joins "
+                "(paper: 1 hash, 10 NLJ)\n",
+                CountOccurrences(*mysql_explain, "hash join") +
+                    CountOccurrences(*mysql_explain, "Hash semijoin") +
+                    CountOccurrences(*mysql_explain, "Hash antijoin"),
+                CountOccurrences(*mysql_explain, "Nested loop"));
+    std::printf("  Orca plan:  %d hash joins, %d nested-loop joins "
+                "(paper: 6 hash, 4 NLJ; bushy)\n",
+                CountOccurrences(*orca_explain, "hash join") +
+                    CountOccurrences(*orca_explain, "Hash semijoin") +
+                    CountOccurrences(*orca_explain, "Hash antijoin"),
+                CountOccurrences(*orca_explain, "Nested loop"));
+  }
+
+  QueryTiming t = TimeBothPaths(&db, 72, q72);
+  if (t.mysql_ok && t.orca_ok) {
+    std::printf("\nexecution: mysql %.2f ms, orca %.2f ms -> %.2fx "
+                "(paper: 288 s vs 34 s = 8.5X)\n",
+                t.mysql_ms, t.orca_ms,
+                t.orca_ms > 0 ? t.mysql_ms / t.orca_ms : 0.0);
+  }
+  return 0;
+}

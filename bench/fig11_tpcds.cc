@@ -1,0 +1,82 @@
+// Reproduces Fig. 11: execution time for the 99 TPC-DS queries with MySQL
+// plans vs Orca plans, plus the Section 6.2 summary statistics — the
+// fraction of queries where Orca wins, the total run-time reduction
+// (paper: 62%), and the >=10X set (paper: {1, 6, 17, 24, 31, 32, 41, 58,
+// 81, 92}, with {1, 6, 41} >= 100X).
+//
+// Setup per the paper: complex-query threshold 2, EXHAUSTIVE2.
+//
+// Usage: fig11_tpcds [--sf=0.001]
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "workloads/tpcds.h"
+
+using namespace taurus_bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  double sf = ArgScale(argc, argv, 0.001);
+  taurus::Database db;
+  auto st = taurus::SetupTpcds(&db, sf);
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  db.router_config().complex_query_threshold = 2;  // paper, Section 6.2
+  db.orca_config().strategy = taurus::JoinSearchStrategy::kExhaustive2;
+
+  PrintHeader("Fig. 11 — TPC-DS execution time, MySQL plans vs Orca plans");
+  std::printf("scale %g, threshold 2, EXHAUSTIVE2 "
+              "(paper: SF 100 on a Taurus cluster)\n\n", sf);
+  std::printf("%-6s %12s %12s %9s\n", "query", "mysql_ms", "orca_ms",
+              "speedup");
+
+  const auto& queries = taurus::TpcdsQueries();
+  double total_mysql = 0;
+  double total_orca = 0;
+  int orca_wins = 0;
+  int measured = 0;
+  std::vector<QueryTiming> timings;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryTiming t = TimeBothPaths(&db, static_cast<int>(i) + 1, queries[i]);
+    timings.push_back(t);
+    if (!t.mysql_ok || !t.orca_ok) {
+      std::printf("Q%-5d FAILED\n", t.query_number);
+      continue;
+    }
+    ++measured;
+    total_mysql += t.mysql_ms;
+    total_orca += t.orca_ms;
+    if (t.orca_ms < t.mysql_ms) ++orca_wins;
+    std::printf("Q%-5d %12.2f %12.2f %8.2fx\n", t.query_number, t.mysql_ms,
+                t.orca_ms, t.orca_ms > 0 ? t.mysql_ms / t.orca_ms : 0.0);
+  }
+
+  std::printf("\n%-6s %12.2f %12.2f\n", "total", total_mysql, total_orca);
+  if (total_mysql > 0) {
+    std::printf("total reduction: %.1f%%   (paper: 62%%)\n",
+                100.0 * (1.0 - total_orca / total_mysql));
+  }
+  std::printf("Orca wins on %d of %d queries (paper: two-thirds of 99)\n",
+              orca_wins, measured);
+
+  std::printf("\nqueries with >=10X Orca speedup (paper: "
+              "{1, 6, 17, 24, 31, 32, 41, 58, 81, 92}):\n  ");
+  for (const QueryTiming& t : timings) {
+    if (t.mysql_ok && t.orca_ok && t.orca_ms > 0 &&
+        t.mysql_ms / t.orca_ms >= 10.0) {
+      std::printf("Q%d(%.0fx) ", t.query_number, t.mysql_ms / t.orca_ms);
+    }
+  }
+  std::printf("\nqueries with >=100X (paper: {1: 198X, 6: 123X, 41: "
+              "222X}):\n  ");
+  for (const QueryTiming& t : timings) {
+    if (t.mysql_ok && t.orca_ok && t.orca_ms > 0 &&
+        t.mysql_ms / t.orca_ms >= 100.0) {
+      std::printf("Q%d(%.0fx) ", t.query_number, t.mysql_ms / t.orca_ms);
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Micro-benchmarks for the runtime pieces the cost model abstracts:
+// sequential scan rate, index lookup rate, hash join build/probe rates,
+// expression evaluation, the LIKE matcher, histogram selectivity probes,
+// and the order-preserving string-prefix encoding. Useful when re-tuning
+// CostParams (the paper's Section 9 calls out Orca cost-model tuning for
+// InnoDB as future work; these are the measurements that tuning needs).
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/histogram.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "engine/database.h"
+
+namespace taurus {
+namespace {
+
+Database* Db() {
+  static Database* db = [] {
+    auto* d = new Database();
+    if (!d->ExecuteSql("CREATE TABLE f (id INT NOT NULL PRIMARY KEY, "
+                       "k INT NOT NULL, v DOUBLE NOT NULL, "
+                       "s VARCHAR(20) NOT NULL)")
+             .ok()) {
+      std::abort();
+    }
+    if (!d->ExecuteSql("CREATE INDEX f_k ON f (k)").ok()) std::abort();
+    if (!d->ExecuteSql("CREATE TABLE d (id INT NOT NULL PRIMARY KEY, "
+                       "name VARCHAR(20) NOT NULL)")
+             .ok()) {
+      std::abort();
+    }
+    Rng rng(11);
+    std::vector<Row> rows;
+    for (int i = 0; i < 50000; ++i) {
+      rows.push_back({Value::Int(i), Value::Int(i % 500),
+                      Value::Double(rng.NextDouble() * 1000),
+                      Value::Str(rng.NextString(5, 15))});
+    }
+    if (!d->BulkLoad("f", std::move(rows)).ok()) std::abort();
+    std::vector<Row> dims;
+    for (int i = 0; i < 500; ++i) {
+      dims.push_back({Value::Int(i), Value::Str("d" + std::to_string(i))});
+    }
+    if (!d->BulkLoad("d", std::move(dims)).ok()) std::abort();
+    if (!d->AnalyzeAll().ok()) std::abort();
+    return d;
+  }();
+  return db;
+}
+
+void BM_SequentialScan(benchmark::State& state) {
+  Database* db = Db();
+  for (auto _ : state) {
+    auto r = db->Query("SELECT COUNT(*) FROM f WHERE v > 500",
+                       OptimizerPath::kMySql);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_SequentialScan);
+
+void BM_IndexLookupJoin(benchmark::State& state) {
+  Database* db = Db();
+  for (auto _ : state) {
+    auto r = db->Query(
+        "SELECT COUNT(*) FROM d, f WHERE d.id = f.k AND d.id < 50",
+        OptimizerPath::kMySql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_IndexLookupJoin);
+
+void BM_HashJoin(benchmark::State& state) {
+  Database* db = Db();
+  for (auto _ : state) {
+    // v has no index: the equality forces a hash join.
+    auto r = db->Query(
+        "SELECT COUNT(*) FROM f f1, f f2 WHERE f1.id = f2.k",
+        OptimizerPath::kOrca);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_HashJoin);
+
+void BM_HashAggregation(benchmark::State& state) {
+  Database* db = Db();
+  for (auto _ : state) {
+    auto r = db->Query("SELECT k, COUNT(*), SUM(v) FROM f GROUP BY k",
+                       OptimizerPath::kMySql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_HashAggregation);
+
+void BM_SortLimit(benchmark::State& state) {
+  Database* db = Db();
+  for (auto _ : state) {
+    auto r = db->Query("SELECT id FROM f ORDER BY v DESC LIMIT 10",
+                       OptimizerPath::kMySql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SortLimit);
+
+void BM_LikeMatcher(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::string> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.NextString(10, 40));
+  for (auto _ : state) {
+    int hits = 0;
+    for (const std::string& v : values) {
+      hits += SqlLikeMatch(v, "%ab%cd%");
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LikeMatcher);
+
+void BM_HistogramProbe(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<Value> values;
+  for (int i = 0; i < 100000; ++i) {
+    values.push_back(Value::Int(rng.Uniform(0, 1000000)));
+  }
+  Histogram h = Histogram::Build(std::move(values), 64);
+  for (auto _ : state) {
+    double s = 0;
+    for (int i = 0; i < 100; ++i) {
+      s += h.SelectivityLess(Value::Int(i * 10000), false);
+    }
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_HistogramProbe);
+
+void BM_StringPrefixEncoding(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<std::string> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.NextString(0, 24));
+  for (auto _ : state) {
+    int64_t acc = 0;
+    for (const std::string& v : values) acc ^= EncodeStringPrefix(v);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_StringPrefixEncoding);
+
+}  // namespace
+}  // namespace taurus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Plan explorer: an interactive mini-CLI over the TPC-H database. Type a
+// SELECT statement to see both optimizers' EXPLAIN trees and execution
+// timings; or `qN` (e.g. q17) for a stock TPC-H query.
+//
+// Usage: plan_explorer [scale_factor]      (default 0.002)
+// Commands:  qN | threshold N | strategy greedy|exhaustive|exhaustive2 |
+//            <any SELECT ...> | quit
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "workloads/tpch.h"
+
+using namespace taurus;  // NOLINT: example brevity
+
+namespace {
+
+void RunBoth(Database* db, const std::string& sql) {
+  for (OptimizerPath path : {OptimizerPath::kMySql, OptimizerPath::kOrca}) {
+    const char* label =
+        path == OptimizerPath::kOrca ? "Orca detour" : "MySQL optimizer";
+    auto explain = db->Explain(sql, path);
+    if (!explain.ok()) {
+      std::printf("[%s] %s\n", label, explain.status().ToString().c_str());
+      continue;
+    }
+    std::printf("----- %s -----\n%s", label, explain->c_str());
+    auto result = db->Query(sql, path);
+    if (result.ok()) {
+      std::printf("(%zu rows, optimize %.2f ms, execute %.2f ms)\n\n",
+                  result->rows.size(), result->optimize_ms,
+                  result->execute_ms);
+    } else {
+      std::printf("(execution failed: %s)\n\n",
+                  result.status().ToString().c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 0.002;
+  Database db;
+  auto st = SetupTpch(&db, sf);
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("TPC-H at scale %g loaded. Enter SQL, qN, threshold N, "
+              "strategy <s>, or quit.\n",
+              sf);
+  std::string line;
+  while (std::printf("> "), std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+    if (line.empty()) continue;
+    if (line[0] == 'q' && line.size() <= 3 &&
+        isdigit(static_cast<unsigned char>(line[1]))) {
+      int n = std::atoi(line.c_str() + 1);
+      if (n >= 1 && n <= 22) {
+        RunBoth(&db, TpchQueries()[static_cast<size_t>(n - 1)]);
+      } else {
+        std::printf("q1..q22\n");
+      }
+      continue;
+    }
+    if (line.rfind("threshold ", 0) == 0) {
+      db.router_config().complex_query_threshold = std::atoi(line.c_str() + 10);
+      std::printf("complex query threshold = %d\n",
+                  db.router_config().complex_query_threshold);
+      continue;
+    }
+    if (line.rfind("strategy ", 0) == 0) {
+      std::string s = line.substr(9);
+      if (s == "greedy") {
+        db.orca_config().strategy = JoinSearchStrategy::kGreedy;
+      } else if (s == "exhaustive") {
+        db.orca_config().strategy = JoinSearchStrategy::kExhaustive;
+      } else {
+        db.orca_config().strategy = JoinSearchStrategy::kExhaustive2;
+      }
+      std::printf("orca strategy = %s\n",
+                  JoinSearchStrategyName(db.orca_config().strategy));
+      continue;
+    }
+    RunBoth(&db, line);
+  }
+  return 0;
+}

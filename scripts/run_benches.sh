@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary in sequence, capturing the combined output.
+# Usage: scripts/run_benches.sh [output_file]
+set -u
+out="${1:-bench_output.txt}"
+: > "$out"
+for b in build/bench/*; do
+  { [ -f "$b" ] && [ -x "$b" ]; } || continue
+  echo "########## $(basename "$b") ##########" | tee -a "$out"
+  "$b" 2>&1 | tee -a "$out"
+  echo | tee -a "$out"
+done
+echo "captured to $out"

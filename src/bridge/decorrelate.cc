@@ -1,0 +1,314 @@
+#include "bridge/decorrelate.h"
+
+#include <utility>
+#include <vector>
+
+#include "frontend/prepare.h"
+#include "parser/ast_util.h"
+
+namespace taurus {
+
+namespace {
+
+/// Collects the ref_ids of a block's own FROM leaves (top level only).
+void OwnLeafSet(const QueryBlock& block, std::vector<int>* out) {
+  for (const TableRef* leaf : block.Leaves()) out->push_back(leaf->ref_id);
+}
+
+bool InSet(const std::vector<int>& set, int v) {
+  for (int x : set) {
+    if (x == v) return true;
+  }
+  return false;
+}
+
+/// True when `e` references none of the given leaves (and may reference
+/// anything else).
+bool AvoidsLeaves(const Expr& e, const std::vector<int>& leaves,
+                  int num_refs) {
+  std::vector<bool> refs(static_cast<size_t>(num_refs), false);
+  CollectReferencedRefs(e, &refs);
+  for (int leaf : leaves) {
+    if (leaf >= 0 && refs[static_cast<size_t>(leaf)]) return false;
+  }
+  return true;
+}
+
+/// True when `e` references only the given leaves.
+bool ConfinedToLeaves(const Expr& e, const std::vector<int>& leaves,
+                      int num_refs) {
+  std::vector<bool> refs(static_cast<size_t>(num_refs), false);
+  CollectReferencedRefs(e, &refs);
+  for (int r = 0; r < num_refs; ++r) {
+    if (refs[static_cast<size_t>(r)] && !InSet(leaves, r)) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<Expr> AndAll(std::vector<std::unique_ptr<Expr>> conjs) {
+  std::unique_ptr<Expr> acc;
+  for (auto& c : conjs) {
+    if (!c) continue;
+    if (!acc) {
+      acc = std::move(c);
+    } else {
+      acc = MakeBinary(BinaryOp::kAnd, std::move(acc), std::move(c));
+      acc->result_type = TypeId::kTiny;
+    }
+  }
+  return acc;
+}
+
+/// Builds a bound column reference into the derived leaf.
+std::unique_ptr<Expr> DerivedColRef(const TableRef& leaf, int column_idx,
+                                    const std::string& name, TypeId type) {
+  auto e = MakeColumnRef(leaf.alias, name);
+  e->ref_id = leaf.ref_id;
+  e->column_idx = column_idx;
+  e->result_type = type;
+  return e;
+}
+
+class Decorrelator {
+ public:
+  explicit Decorrelator(BoundStatement* stmt) : stmt_(stmt) {}
+
+  Result<int> Run() {
+    int converted = 0;
+    std::vector<QueryBlock*> blocks{stmt_->block.get()};
+    while (!blocks.empty()) {
+      QueryBlock* b = blocks.back();
+      blocks.pop_back();
+      TAURUS_ASSIGN_OR_RETURN(int n, RewriteBlock(b));
+      converted += n;
+      for (TableRef* leaf : b->Leaves()) {
+        if (leaf->kind == TableRef::Kind::kDerived) {
+          blocks.push_back(leaf->derived.get());
+        }
+      }
+      if (b->union_next) blocks.push_back(b->union_next.get());
+    }
+    if (mutated_) RecollectLeaves(stmt_);
+    return converted;
+  }
+
+ private:
+  /// Checks the conjunct pattern and, on success, performs the rewrite.
+  /// `conjunct` is an owned conjunct detached from the WHERE tree.
+  bool TryConvert(QueryBlock* block, std::unique_ptr<Expr>* conjunct,
+                  std::vector<std::unique_ptr<Expr>>* new_conjuncts);
+
+  Result<int> RewriteBlock(QueryBlock* block);
+
+  BoundStatement* stmt_;
+  int next_derived_id_ = 1;
+  bool mutated_ = false;
+};
+
+bool Decorrelator::TryConvert(
+    QueryBlock* block, std::unique_ptr<Expr>* conjunct,
+    std::vector<std::unique_ptr<Expr>>* new_conjuncts) {
+  Expr* c = conjunct->get();
+  if (c->kind != Expr::Kind::kBinary || !IsComparisonOp(c->bop)) return false;
+
+  // Locate the scalar-subquery side.
+  int sub_side = -1;
+  for (int side = 0; side < 2; ++side) {
+    if (c->children[static_cast<size_t>(side)]->kind ==
+        Expr::Kind::kScalarSubquery) {
+      sub_side = side;
+    }
+  }
+  if (sub_side < 0) return false;
+  Expr* sub_expr = c->children[static_cast<size_t>(sub_side)].get();
+  Expr* probe = c->children[static_cast<size_t>(1 - sub_side)].get();
+  if (ContainsSubquery(*probe) || ContainsAggregate(*probe)) return false;
+
+  QueryBlock* sub = sub_expr->subquery.get();
+  if (sub->from.empty() || !sub->group_by.empty() || sub->having != nullptr ||
+      sub->limit >= 0 || sub->offset > 0 || sub->union_next != nullptr ||
+      !sub->ctes.empty() || sub->distinct || !sub->order_by.empty() ||
+      sub->select_items.size() != 1) {
+    return false;
+  }
+  // Nested derived tables / subqueries inside keep the correlated form.
+  for (const TableRef* leaf : sub->Leaves()) {
+    if (leaf->kind != TableRef::Kind::kBase) return false;
+  }
+  if (sub->where != nullptr && ContainsSubquery(*sub->where)) return false;
+
+  // The select item must be AGG(expr) or a scalar function of exactly one
+  // aggregate (e.g. 0.2 * AVG(x)) whose empty-group value is NULL.
+  Expr* item = sub->select_items[0].expr.get();
+  std::vector<const Expr*> aggs;
+  {
+    std::vector<const Expr*> stack{item};
+    while (!stack.empty()) {
+      const Expr* e = stack.back();
+      stack.pop_back();
+      if (e->kind == Expr::Kind::kAgg) {
+        aggs.push_back(e);
+        continue;
+      }
+      for (const auto& ch : e->children) stack.push_back(ch.get());
+    }
+  }
+  if (aggs.size() != 1) return false;
+  switch (aggs[0]->agg_func) {
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+    case AggFunc::kStddev:
+      break;
+    default:
+      return false;  // COUNT forms hit the count bug
+  }
+
+  // Split the subquery's WHERE into exactly one correlation equality plus
+  // purely-local conjuncts.
+  std::vector<int> sub_leaves;
+  OwnLeafSet(*sub, &sub_leaves);
+  std::vector<Expr*> sub_conjuncts;
+  if (sub->where != nullptr) {
+    SplitConjunctsMutable(sub->where.get(), &sub_conjuncts);
+  }
+  Expr* correlation = nullptr;
+  Expr* inner_col = nullptr;
+  Expr* outer_expr = nullptr;
+  for (Expr* sc : sub_conjuncts) {
+    if (ConfinedToLeaves(*sc, sub_leaves, stmt_->num_refs)) continue;
+    if (correlation != nullptr) return false;  // one correlation only
+    if (sc->kind != Expr::Kind::kBinary || sc->bop != BinaryOp::kEq) {
+      return false;
+    }
+    for (int side = 0; side < 2; ++side) {
+      Expr* a = sc->children[static_cast<size_t>(side)].get();
+      Expr* b = sc->children[static_cast<size_t>(1 - side)].get();
+      if (a->kind == Expr::Kind::kColumnRef && InSet(sub_leaves, a->ref_id) &&
+          AvoidsLeaves(*b, sub_leaves, stmt_->num_refs)) {
+        correlation = sc;
+        inner_col = a;
+        outer_expr = b;
+        break;
+      }
+    }
+    if (correlation == nullptr) return false;  // unusable correlation shape
+  }
+  if (correlation == nullptr) return false;  // not correlated: leave cached
+
+  // ---- Pattern matched: build the derived table. ----
+  auto derived_block = std::make_unique<QueryBlock>();
+  derived_block->block_id = stmt_->num_blocks++;
+  derived_block->from = std::move(sub->from);
+
+  // Local WHERE (correlation removed). Ownership: clone local conjuncts —
+  // the original tree dies with the subquery expression.
+  {
+    std::vector<std::unique_ptr<Expr>> local;
+    for (Expr* sc : sub_conjuncts) {
+      if (sc == correlation) continue;
+      local.push_back(sc->Clone());
+    }
+    derived_block->where = AndAll(std::move(local));
+  }
+  TypeId key_type = inner_col->result_type;
+  derived_block->group_by.push_back(inner_col->Clone());
+  derived_block->select_items.push_back(
+      SelectItem{inner_col->Clone(), "dkey"});
+  TypeId agg_type = item->result_type;
+  derived_block->select_items.push_back(
+      SelectItem{sub->select_items[0].expr->Clone(), "dagg"});
+
+  // New derived leaf appended to the block's FROM (comma join).
+  auto leaf = std::make_unique<TableRef>();
+  leaf->kind = TableRef::Kind::kDerived;
+  leaf->alias = "derived_" + std::to_string(block->block_id) + "_" +
+                std::to_string(next_derived_id_++);
+  leaf->derived = std::move(derived_block);
+  leaf->ref_id = stmt_->num_refs++;
+  leaf->owner = block;
+  // Re-own the moved FROM leaves to the derived block.
+  for (TableRef* moved : leaf->derived->Leaves()) {
+    moved->owner = leaf->derived.get();
+  }
+  TableRef* leaf_ptr = leaf.get();
+  block->from.push_back(std::move(leaf));
+
+  // Replacement conjuncts: probe CMP dagg; dkey = outer_expr.
+  BinaryOp cmp = c->bop;
+  if (sub_side == 0) cmp = CommuteComparison(cmp);  // subquery was on left
+  auto cmp_expr = MakeBinary(cmp, probe->Clone(),
+                             DerivedColRef(*leaf_ptr, 1, "dagg", agg_type));
+  cmp_expr->result_type = TypeId::kTiny;
+  auto key_expr =
+      MakeBinary(BinaryOp::kEq, DerivedColRef(*leaf_ptr, 0, "dkey", key_type),
+                 outer_expr->Clone());
+  key_expr->result_type = TypeId::kTiny;
+  new_conjuncts->push_back(std::move(cmp_expr));
+  new_conjuncts->push_back(std::move(key_expr));
+  conjunct->reset();
+  return true;
+}
+
+Result<int> Decorrelator::RewriteBlock(QueryBlock* block) {
+  if (block->where == nullptr) return 0;
+  // Cheap pre-check: any top-level comparison against a scalar subquery?
+  // The conjunct surgery below re-clones the WHERE tree (invalidating
+  // stmt->leaves until they are re-collected), so only blocks with actual
+  // candidates may be touched.
+  {
+    std::vector<const Expr*> flat;
+    SplitConjuncts(block->where.get(), &flat);
+    bool candidate = false;
+    for (const Expr* c : flat) {
+      if (c->kind != Expr::Kind::kBinary || !IsComparisonOp(c->bop)) continue;
+      for (const auto& child : c->children) {
+        if (child->kind == Expr::Kind::kScalarSubquery) candidate = true;
+      }
+    }
+    if (!candidate) return 0;
+  }
+  // Detach WHERE into owned conjuncts (cloning, as in the Prepare phase).
+  std::vector<std::unique_ptr<Expr>> conjuncts;
+  {
+    std::vector<Expr*> flat;
+    SplitConjunctsMutable(block->where.get(), &flat);
+    if (flat.size() == 1) {
+      conjuncts.push_back(std::move(block->where));
+    } else {
+      for (Expr* c : flat) conjuncts.push_back(c->Clone());
+      block->where.reset();
+    }
+    mutated_ = true;  // the AST was restructured even if nothing converts
+  }
+  int converted = 0;
+  std::vector<std::unique_ptr<Expr>> additions;
+  for (auto& c : conjuncts) {
+    if (c == nullptr) continue;
+    if (TryConvert(block, &c, &additions)) ++converted;
+  }
+  for (auto& a : additions) conjuncts.push_back(std::move(a));
+  std::unique_ptr<Expr> where;
+  for (auto& c : conjuncts) {
+    if (c != nullptr) {
+      if (!where) {
+        where = std::move(c);
+      } else {
+        where = MakeBinary(BinaryOp::kAnd, std::move(where), std::move(c));
+        where->result_type = TypeId::kTiny;
+      }
+    }
+  }
+  block->where = std::move(where);
+  return converted;
+}
+
+}  // namespace
+
+Result<int> DecorrelateScalarSubqueries(BoundStatement* stmt) {
+  Decorrelator decorrelator(stmt);
+  return decorrelator.Run();
+}
+
+}  // namespace taurus

@@ -1,0 +1,34 @@
+#ifndef TAURUS_BRIDGE_DECORRELATE_H_
+#define TAURUS_BRIDGE_DECORRELATE_H_
+
+#include "common/result.h"
+#include "frontend/binder.h"
+
+namespace taurus {
+
+/// The plan converter's subquery-to-derived-table conversion (paper
+/// Section 4.2.3, second special case, and the whole Section 4.2 Q17
+/// walk-through): Orca may produce a de-correlated plan for a correlated
+/// scalar aggregation subquery, which on the MySQL side requires the
+/// derived-table form — the `derived_1_2` leaf in the paper's Fig. 7 and
+/// Listing 7.
+///
+/// This rewrites WHERE conjuncts of the form
+///     expr  CMP  (SELECT AGG(x) FROM ... WHERE inner_col = outer_expr
+///                                          [AND local predicates])
+/// into a grouped derived table joined into the block:
+///     FROM ..., (SELECT inner_col AS dkey, AGG(x) AS dagg
+///                FROM ... WHERE local GROUP BY inner_col) derived_k
+///     WHERE expr CMP derived_k.dagg AND derived_k.dkey = outer_expr
+///
+/// Legal for SUM/AVG/MIN/MAX/STDDEV (an empty group yields NULL, which the
+/// comparison rejects in both forms); COUNT is excluded (COUNT over an
+/// empty group is 0, so the forms diverge — the classic count bug).
+///
+/// Returns the number of subqueries converted. Mutates the bound AST and
+/// refreshes stmt->leaves / num_refs / num_blocks.
+Result<int> DecorrelateScalarSubqueries(BoundStatement* stmt);
+
+}  // namespace taurus
+
+#endif  // TAURUS_BRIDGE_DECORRELATE_H_

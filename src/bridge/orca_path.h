@@ -1,0 +1,68 @@
+#ifndef TAURUS_BRIDGE_ORCA_PATH_H_
+#define TAURUS_BRIDGE_ORCA_PATH_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "frontend/binder.h"
+#include "mdp/provider.h"
+#include "mdp/stats_adapter.h"
+#include "myopt/skeleton.h"
+#include "orca/orca.h"
+
+namespace taurus {
+
+/// Metrics from one Orca-path optimization, used by the Table 1 bench.
+struct OrcaPathMetrics {
+  int64_t partitions_evaluated = 0;
+  int memo_groups = 0;
+  int64_t mdp_dxl_requests = 0;
+  int64_t mdp_cache_hits = 0;
+  int cte_producers_reused = 0;
+  int subqueries_decorrelated = 0;
+};
+
+/// Drives the Orca detour for a whole statement: for every query block
+/// (derived tables and expression subqueries bottom-up), run the parse
+/// tree converter, the Orca optimizer (statistics served through the
+/// metadata provider), and the plan converter — producing the same
+/// BlockSkeleton structure the MySQL optimizer produces, so plan
+/// refinement stays oblivious of the detour (Section 4.3).
+///
+/// CTE handling (Section 4.2.3): Orca has one producer plan per CTE. The
+/// binder expanded each CTE reference into its own copy (MySQL's multiple-
+/// producer model), so this driver optimizes the first copy and *maps* the
+/// resulting skeleton onto every further copy of the same CTE — the
+/// single-producer-to-n-consumers translation.
+class OrcaPathOptimizer {
+ public:
+  OrcaPathOptimizer(const Catalog& catalog, BoundStatement* stmt,
+                    MetadataProvider* mdp, const OrcaConfig& config);
+
+  Result<std::unique_ptr<BlockSkeleton>> Optimize();
+
+  const OrcaPathMetrics& metrics() const { return metrics_; }
+
+ private:
+  Result<std::unique_ptr<BlockSkeleton>> OptimizeBlock(QueryBlock* block);
+
+  /// Maps a CTE producer skeleton onto another bound copy of the same CTE
+  /// body (clone-structured blocks).
+  Result<std::unique_ptr<BlockSkeleton>> RemapSkeleton(
+      const BlockSkeleton& tmpl, QueryBlock* target);
+
+  const Catalog& catalog_;
+  BoundStatement* stmt_;
+  MetadataProvider* mdp_;
+  const OrcaConfig& config_;
+  MdpStatsProvider stats_;
+  OrcaPathMetrics metrics_;
+  std::map<std::string, const BlockSkeleton*> cte_templates_;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_BRIDGE_ORCA_PATH_H_

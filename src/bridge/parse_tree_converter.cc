@@ -1,0 +1,299 @@
+#include "bridge/parse_tree_converter.h"
+
+#include <map>
+#include <vector>
+
+#include "frontend/normalize.h"
+#include "parser/ast_util.h"
+
+namespace taurus {
+
+namespace {
+
+/// Assigns the metadata-provider OID for a predicate conjunct where a cube
+/// point applies (comparisons and arithmetic between two typed operands).
+int64_t ConjunctOid(const Expr& e, MetadataProvider* mdp) {
+  if (e.kind != Expr::Kind::kBinary) return kInvalidOid;
+  TypeId l = e.children[0]->result_type;
+  TypeId r = e.children[1]->result_type;
+  if (IsComparisonOp(e.bop)) {
+    auto oid = mdp->ComparisonOid(e.bop, l, r);
+    return oid.ok() ? *oid : kInvalidOid;
+  }
+  if (IsArithmeticOp(e.bop)) {
+    auto oid = mdp->ArithmeticOid(e.bop, l, r);
+    return oid.ok() ? *oid : kInvalidOid;
+  }
+  return kInvalidOid;
+}
+
+class Converter {
+ public:
+  Converter(int num_refs, MetadataProvider* mdp)
+      : num_refs_(num_refs), mdp_(mdp) {}
+
+  Result<std::unique_ptr<OrcaLogicalOp>> Convert(QueryBlock* block);
+
+ private:
+  /// Local (this block's) leaves referenced by an expression.
+  std::vector<int> LocalLeafRefs(const Expr& e) {
+    std::vector<bool> refs(static_cast<size_t>(num_refs_), false);
+    CollectReferencedRefs(e, &refs);
+    std::vector<int> out;
+    for (int r = 0; r < num_refs_; ++r) {
+      if (refs[static_cast<size_t>(r)] && block_local_.count(r)) {
+        out.push_back(r);
+      }
+    }
+    return out;
+  }
+
+  Result<std::unique_ptr<OrcaLogicalOp>> BuildFromTree(TableRef* ref);
+
+  /// Wraps (or extends) the Get of `ref_id` with a Select carrying `cond`.
+  void PushLocalCond(int ref_id, Expr* cond);
+
+  /// Attaches a multi-table conjunct at the lowest join covering its refs.
+  void AttachJoinCond(OrcaLogicalOp* node, Expr* cond,
+                      const std::vector<int>& refs);
+
+  static void CollectLeafIds(const OrcaLogicalOp* op, std::vector<int>* out) {
+    if (op->kind == OrcaLogicalOp::Kind::kGet) {
+      out->push_back(op->leaf->ref_id);
+      return;
+    }
+    for (const auto& c : op->children) CollectLeafIds(c.get(), out);
+  }
+
+  int num_refs_;
+  MetadataProvider* mdp_;
+  std::map<int, bool> block_local_;
+  /// The Select node (or Get) currently representing each leaf.
+  std::map<int, OrcaLogicalOp*> leaf_node_;
+};
+
+Result<std::unique_ptr<OrcaLogicalOp>> Converter::BuildFromTree(
+    TableRef* ref) {
+  if (ref->kind == TableRef::Kind::kJoin) {
+    auto join = std::make_unique<OrcaLogicalOp>();
+    join->kind = OrcaLogicalOp::Kind::kJoin;
+    join->join_type = ref->join_type == JoinType::kCross ? JoinType::kInner
+                                                         : ref->join_type;
+    TAURUS_ASSIGN_OR_RETURN(auto left, BuildFromTree(ref->left.get()));
+    TAURUS_ASSIGN_OR_RETURN(auto right, BuildFromTree(ref->right.get()));
+    join->children.push_back(std::move(left));
+    join->children.push_back(std::move(right));
+    if (ref->on != nullptr) {
+      std::vector<Expr*> conds;
+      SplitConjunctsMutable(ref->on.get(), &conds);
+      for (Expr* c : conds) {
+        join->conds.push_back(c);
+        join->cond_oids.push_back(ConjunctOid(*c, mdp_));
+      }
+    }
+    return join;
+  }
+  auto get = std::make_unique<OrcaLogicalOp>();
+  get->kind = OrcaLogicalOp::Kind::kGet;
+  get->leaf = ref;
+  if (ref->kind == TableRef::Kind::kBase) {
+    TAURUS_ASSIGN_OR_RETURN(get->relation_oid,
+                            mdp_->RelationOidByName(ref->table_name));
+  }
+  leaf_node_[ref->ref_id] = get.get();
+  return get;
+}
+
+void Converter::PushLocalCond(int ref_id, Expr* cond) {
+  OrcaLogicalOp* node = leaf_node_[ref_id];
+  if (node == nullptr) return;
+  if (node->kind == OrcaLogicalOp::Kind::kSelect) {
+    node->conds.push_back(cond);
+    node->cond_oids.push_back(ConjunctOid(*cond, mdp_));
+    return;
+  }
+  // Splice a Select above the Get, in place: move the Get's content into a
+  // new child and retarget the node.
+  auto child = std::make_unique<OrcaLogicalOp>();
+  child->kind = OrcaLogicalOp::Kind::kGet;
+  child->leaf = node->leaf;
+  child->relation_oid = node->relation_oid;
+  node->kind = OrcaLogicalOp::Kind::kSelect;
+  node->leaf = child->leaf;  // keep the TABLE_LIST link visible on Select
+  node->conds.clear();
+  node->cond_oids.clear();
+  node->conds.push_back(cond);
+  node->cond_oids.push_back(ConjunctOid(*cond, mdp_));
+  node->children.push_back(std::move(child));
+}
+
+void Converter::AttachJoinCond(OrcaLogicalOp* node, Expr* cond,
+                               const std::vector<int>& refs) {
+  // Descend while a single child covers all refs. Descending into the
+  // LEFT (preserved) side of any join is always legal for a WHERE
+  // conjunct; descending into the RIGHT side is legal only below inner
+  // joins (the NULL-extended / existential side must not be pre-filtered
+  // by WHERE predicates).
+  while (node->kind == OrcaLogicalOp::Kind::kJoin) {
+    auto covers = [&](const OrcaLogicalOp& child) {
+      std::vector<int> ids;
+      CollectLeafIds(&child, &ids);
+      for (int r : refs) {
+        bool found = false;
+        for (int id : ids) {
+          if (id == r) found = true;
+        }
+        if (!found) return false;
+      }
+      return true;
+    };
+    if (covers(*node->children[0])) {
+      if (node->children[0]->kind != OrcaLogicalOp::Kind::kJoin) break;
+      node = node->children[0].get();
+      continue;
+    }
+    if (node->join_type == JoinType::kInner && covers(*node->children[1])) {
+      if (node->children[1]->kind != OrcaLogicalOp::Kind::kJoin) break;
+      node = node->children[1].get();
+      continue;
+    }
+    break;
+  }
+  node->conds.push_back(cond);
+  node->cond_oids.push_back(ConjunctOid(*cond, mdp_));
+}
+
+Result<std::unique_ptr<OrcaLogicalOp>> Converter::Convert(QueryBlock* block) {
+  if (block->from.empty()) {
+    return Status::NotSupported("block without FROM cannot go to Orca");
+  }
+  for (const TableRef* leaf : block->Leaves()) {
+    block_local_[leaf->ref_id] = true;
+  }
+
+  // FROM: comma list becomes a left-deep chain of inner joins.
+  std::unique_ptr<OrcaLogicalOp> root;
+  for (auto& tree : block->from) {
+    TAURUS_ASSIGN_OR_RETURN(auto sub, BuildFromTree(tree.get()));
+    if (!root) {
+      root = std::move(sub);
+    } else {
+      auto join = std::make_unique<OrcaLogicalOp>();
+      join->kind = OrcaLogicalOp::Kind::kJoin;
+      join->join_type = JoinType::kInner;
+      join->children.push_back(std::move(root));
+      join->children.push_back(std::move(sub));
+      root = std::move(join);
+    }
+  }
+
+  // Predicate segregation. WHERE (1)/(2) of the paper's clause order:
+  // single-leaf conjuncts become Selects over the Gets; join conjuncts
+  // attach to the lowest covering join.
+  std::vector<Expr*> where_conjuncts;
+  if (block->where != nullptr) {
+    SplitConjunctsMutable(block->where.get(), &where_conjuncts);
+  }
+  // Segregate single-leaf pieces of dependent joins' ON conditions too —
+  // the semi-join case the paper works through with TPC-H Q4: without the
+  // segregation Orca would not see the pushed-down selections.
+  std::vector<OrcaLogicalOp*> join_nodes;
+  {
+    std::vector<OrcaLogicalOp*> stack{root.get()};
+    while (!stack.empty()) {
+      OrcaLogicalOp* n = stack.back();
+      stack.pop_back();
+      if (n->kind == OrcaLogicalOp::Kind::kJoin) join_nodes.push_back(n);
+      for (auto& c : n->children) stack.push_back(c.get());
+    }
+  }
+  for (OrcaLogicalOp* join : join_nodes) {
+    if (join->join_type == JoinType::kInner) continue;
+    std::vector<Expr*> keep;
+    std::vector<int64_t> keep_oids;
+    for (size_t i = 0; i < join->conds.size(); ++i) {
+      Expr* c = join->conds[i];
+      std::vector<int> refs = LocalLeafRefs(*c);
+      // Only-inner-side conjuncts push into the inner side's Select (legal
+      // for left/semi/anti alike: the inner side is filtered before
+      // matching).
+      std::vector<int> right_ids;
+      CollectLeafIds(join->children[1].get(), &right_ids);
+      bool only_right = !refs.empty();
+      for (int r : refs) {
+        bool in_right = false;
+        for (int id : right_ids) {
+          if (id == r) in_right = true;
+        }
+        if (!in_right) only_right = false;
+      }
+      if (only_right && refs.size() == 1) {
+        PushLocalCond(refs[0], c);
+      } else {
+        keep.push_back(c);
+        keep_oids.push_back(join->cond_oids[i]);
+      }
+    }
+    join->conds = std::move(keep);
+    join->cond_oids = std::move(keep_oids);
+  }
+  // Inner joins' ON conjuncts with a single leaf also become Selects.
+  for (OrcaLogicalOp* join : join_nodes) {
+    if (join->join_type != JoinType::kInner) continue;
+    std::vector<Expr*> keep;
+    std::vector<int64_t> keep_oids;
+    for (size_t i = 0; i < join->conds.size(); ++i) {
+      Expr* c = join->conds[i];
+      std::vector<int> refs = LocalLeafRefs(*c);
+      if (refs.size() == 1) {
+        PushLocalCond(refs[0], c);
+      } else {
+        keep.push_back(c);
+        keep_oids.push_back(join->cond_oids[i]);
+      }
+    }
+    join->conds = std::move(keep);
+    join->cond_oids = std::move(keep_oids);
+  }
+
+  for (Expr* c : where_conjuncts) {
+    std::vector<int> refs = LocalLeafRefs(*c);
+    if (refs.size() == 1) {
+      PushLocalCond(refs[0], c);
+    } else if (root->kind == OrcaLogicalOp::Kind::kJoin) {
+      AttachJoinCond(root.get(), c, refs);
+    } else {
+      // Single-leaf block: everything is a local condition.
+      PushLocalCond(block->Leaves()[0]->ref_id, c);
+    }
+  }
+  return root;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<OrcaLogicalOp>> ConvertBlockToOrcaLogical(
+    QueryBlock* block, int num_refs, MetadataProvider* mdp,
+    const OrcaConfig& config) {
+  // Orca's OR-refactoring first (it may split one conjunct into several).
+  if (config.enable_or_factoring) {
+    if (block->where != nullptr) {
+      FactorOrCommonConjuncts(&block->where);
+    }
+    std::vector<TableRef*> stack;
+    for (auto& t : block->from) stack.push_back(t.get());
+    while (!stack.empty()) {
+      TableRef* r = stack.back();
+      stack.pop_back();
+      if (r->kind == TableRef::Kind::kJoin) {
+        if (r->on != nullptr) FactorOrCommonConjuncts(&r->on);
+        stack.push_back(r->left.get());
+        stack.push_back(r->right.get());
+      }
+    }
+  }
+  Converter converter(num_refs, mdp);
+  return converter.Convert(block);
+}
+
+}  // namespace taurus

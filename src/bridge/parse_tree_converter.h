@@ -1,0 +1,38 @@
+#ifndef TAURUS_BRIDGE_PARSE_TREE_CONVERTER_H_
+#define TAURUS_BRIDGE_PARSE_TREE_CONVERTER_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "mdp/provider.h"
+#include "orca/logical.h"
+#include "orca/orca.h"
+#include "parser/ast.h"
+
+namespace taurus {
+
+/// The MySQL-to-Orca Parse Tree Converter (paper Section 4.1). Takes one
+/// prepared query block and produces the equivalent Orca logical operator
+/// tree, working directly on in-memory trees (no DXL detour, unlike the
+/// metadata exchange).
+///
+/// Responsibilities reproduced from the paper:
+///  * clause-wise translation of the FROM join structure;
+///  * predicate segregation: because Orca's pipeline is joined after
+///    selection pushdown, single-table conjuncts (from WHERE and from
+///    semi-join ON conditions) are divided among Select nodes over the
+///    Gets, and only genuine join predicates stay on Join nodes
+///    (Listings 3 -> 4);
+///  * OID embellishment: relation OIDs and comparison-expression OIDs are
+///    obtained from the metadata provider and recorded on the tree
+///    (Section 5.7's STR_EQ_STR example);
+///  * Orca's OR-refactoring is applied to the predicate pool first when
+///    enabled (Section 7 item 4) — this mutates the bound AST so the
+///    refactored predicates also reach execution.
+Result<std::unique_ptr<OrcaLogicalOp>> ConvertBlockToOrcaLogical(
+    QueryBlock* block, int num_refs, MetadataProvider* mdp,
+    const OrcaConfig& config);
+
+}  // namespace taurus
+
+#endif  // TAURUS_BRIDGE_PARSE_TREE_CONVERTER_H_

@@ -1,0 +1,36 @@
+#ifndef TAURUS_BRIDGE_PLAN_CONVERTER_H_
+#define TAURUS_BRIDGE_PLAN_CONVERTER_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "myopt/skeleton.h"
+#include "orca/orca.h"
+#include "orca/physical.h"
+
+namespace taurus {
+
+/// The Orca-to-MySQL Plan Converter (paper Section 4.2): converts one
+/// block's Orca physical plan into a MySQL skeleton plan in two passes.
+///
+/// Pass 1 (Section 4.2.1) walks the physical tree in pre-order and uses
+/// the TABLE_LIST back-pointers carried in the table descriptors to assign
+/// every leaf to its query block; if Orca changed the query-block
+/// structure, conversion aborts (the caller then falls back to the MySQL
+/// optimizer).
+///
+/// Pass 2 (Section 4.2.2) fills the best-position structure: join order,
+/// join method and access method per table, copying Orca's cost and
+/// cardinality estimates so they surface in EXPLAIN.
+///
+/// The converter also performs the inner-hash-join build/probe flip the
+/// paper describes in Section 7 item 2: Orca's convention puts the build
+/// side on the right, while MySQL's executor builds inner hash joins from
+/// the left input, so the children are swapped.
+Result<std::unique_ptr<SkeletonNode>> ConvertOrcaPlanToSkeleton(
+    const OrcaPhysicalOp& plan, const QueryBlock& block,
+    const OrcaConfig& config);
+
+}  // namespace taurus
+
+#endif  // TAURUS_BRIDGE_PLAN_CONVERTER_H_

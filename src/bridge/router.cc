@@ -1,0 +1,16 @@
+#include "bridge/router.h"
+
+namespace taurus {
+
+int CountTableReferences(const BoundStatement& stmt) {
+  // Every leaf across every block received a ref_id from the binder.
+  return stmt.num_refs;
+}
+
+bool ShouldRouteToOrca(const BoundStatement& stmt,
+                       const RouterConfig& config) {
+  if (!config.enable_orca) return false;
+  return CountTableReferences(stmt) >= config.complex_query_threshold;
+}
+
+}  // namespace taurus

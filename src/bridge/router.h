@@ -1,0 +1,27 @@
+#ifndef TAURUS_BRIDGE_ROUTER_H_
+#define TAURUS_BRIDGE_ROUTER_H_
+
+#include "frontend/binder.h"
+
+namespace taurus {
+
+/// Query routing (paper Section 4.1): only 'complex' SELECT queries take
+/// the Orca detour, where complexity is defined as the total number of
+/// table references in the query. The default threshold is 3 (TPC-H runs)
+/// — TPC-DS used 2 and the compile-overhead experiment used 1 so that all
+/// queries detour.
+struct RouterConfig {
+  bool enable_orca = true;
+  int complex_query_threshold = 3;
+};
+
+/// Number of table references in the statement (all blocks, subqueries and
+/// CTE copies included).
+int CountTableReferences(const BoundStatement& stmt);
+
+/// True when the statement should be sent to Orca for optimization.
+bool ShouldRouteToOrca(const BoundStatement& stmt, const RouterConfig& config);
+
+}  // namespace taurus
+
+#endif  // TAURUS_BRIDGE_ROUTER_H_

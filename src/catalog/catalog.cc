@@ -1,0 +1,70 @@
+#include "catalog/catalog.h"
+
+namespace taurus {
+
+Result<TableDef*> Catalog::CreateTable(const std::string& name,
+                                       std::vector<ColumnDef> columns) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("table needs at least one column: " + name);
+  }
+  auto def = std::make_unique<TableDef>();
+  def->id = static_cast<int>(by_id_.size());
+  def->name = name;
+  def->columns = std::move(columns);
+  TableDef* ptr = def.get();
+  by_id_.push_back(ptr);
+  tables_[name] = std::move(def);
+  return ptr;
+}
+
+Status Catalog::AddIndex(const std::string& table_name, IndexDef index) {
+  TableDef* table = GetTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + table_name);
+  }
+  for (int c : index.column_idx) {
+    if (c < 0 || static_cast<size_t>(c) >= table->columns.size()) {
+      return Status::InvalidArgument("index column out of range in " +
+                                     index.name);
+    }
+  }
+  table->indexes.push_back(std::move(index));
+  return Status::OK();
+}
+
+TableDef* Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const TableDef* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const TableDef* Catalog::GetTableById(int id) const {
+  if (id < 0 || static_cast<size_t>(id) >= by_id_.size()) return nullptr;
+  return by_id_[static_cast<size_t>(id)];
+}
+
+const TableStats& Catalog::GetStats(int table_id) const {
+  static const TableStats kEmpty;
+  auto it = stats_.find(table_id);
+  return it == stats_.end() ? kEmpty : it->second;
+}
+
+void Catalog::SetStats(int table_id, TableStats stats) {
+  stats_[table_id] = std::move(stats);
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, def] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace taurus

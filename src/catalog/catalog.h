@@ -1,0 +1,54 @@
+#ifndef TAURUS_CATALOG_CATALOG_H_
+#define TAURUS_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/stats.h"
+#include "common/result.h"
+
+namespace taurus {
+
+/// MySQL-style data dictionary: table definitions, indexes and statistics.
+/// Both the MySQL-path optimizer and (through the metadata provider) Orca
+/// read from this catalog. Object ids are dense small integers; the
+/// metadata provider lifts them into the Orca OID space.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates a table; fails if the name already exists.
+  Result<TableDef*> CreateTable(const std::string& name,
+                                std::vector<ColumnDef> columns);
+
+  /// Adds an index to an existing table.
+  Status AddIndex(const std::string& table_name, IndexDef index);
+
+  /// Lookup by name (nullptr if absent).
+  TableDef* GetTable(const std::string& name);
+  const TableDef* GetTable(const std::string& name) const;
+
+  /// Lookup by catalog object id.
+  const TableDef* GetTableById(int id) const;
+
+  /// Statistics for a table id (empty stats if ANALYZE has not run).
+  const TableStats& GetStats(int table_id) const;
+  void SetStats(int table_id, TableStats stats);
+
+  std::vector<std::string> TableNames() const;
+  int NumTables() const { return static_cast<int>(tables_.size()); }
+
+ private:
+  std::map<std::string, std::unique_ptr<TableDef>> tables_;
+  std::vector<TableDef*> by_id_;
+  std::map<int, TableStats> stats_;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_CATALOG_CATALOG_H_

@@ -1,0 +1,171 @@
+#include "catalog/histogram.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace taurus {
+
+int64_t EncodeStringPrefix(std::string_view s) {
+  // Big-endian pack of the first 8 bytes, then bias so that the unsigned
+  // byte order maps onto signed integer order.
+  uint64_t acc = 0;
+  for (int i = 0; i < 8; ++i) {
+    acc <<= 8;
+    if (static_cast<size_t>(i) < s.size()) {
+      acc |= static_cast<unsigned char>(s[i]);
+    }
+  }
+  return static_cast<int64_t>(acc ^ 0x8000000000000000ULL);
+}
+
+double ValueToStatsDouble(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kInt:
+      return static_cast<double>(v.AsInt());
+    case Value::Kind::kDouble:
+      return v.AsDouble();
+    case Value::Kind::kString:
+      return static_cast<double>(EncodeStringPrefix(v.AsString()));
+    case Value::Kind::kNull:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+Histogram Histogram::Build(std::vector<Value> values, int max_buckets) {
+  Histogram h;
+  size_t total = values.size();
+  if (total == 0) return h;
+
+  // Separate NULLs.
+  std::vector<Value> non_null;
+  non_null.reserve(values.size());
+  size_t nulls = 0;
+  for (Value& v : values) {
+    if (v.is_null()) {
+      ++nulls;
+    } else {
+      non_null.push_back(std::move(v));
+    }
+  }
+  h.null_fraction_ = static_cast<double>(nulls) / static_cast<double>(total);
+  if (non_null.empty()) return h;
+
+  std::sort(non_null.begin(), non_null.end(),
+            [](const Value& a, const Value& b) {
+              return Value::Compare(a, b) < 0;
+            });
+
+  // Count distinct values.
+  size_t ndv = 1;
+  for (size_t i = 1; i < non_null.size(); ++i) {
+    if (Value::Compare(non_null[i - 1], non_null[i]) != 0) ++ndv;
+  }
+
+  const double denom = static_cast<double>(total);
+  if (ndv <= static_cast<size_t>(max_buckets)) {
+    h.type_ = HistogramType::kSingleton;
+    size_t i = 0;
+    while (i < non_null.size()) {
+      size_t j = i;
+      while (j < non_null.size() &&
+             Value::Compare(non_null[i], non_null[j]) == 0) {
+        ++j;
+      }
+      HistogramBucket b;
+      b.lower = non_null[i];
+      b.upper = non_null[i];
+      b.frequency = static_cast<double>(j - i) / denom;
+      b.ndv = 1;
+      h.buckets_.push_back(std::move(b));
+      i = j;
+    }
+    return h;
+  }
+
+  h.type_ = HistogramType::kEquiHeight;
+  size_t per_bucket =
+      (non_null.size() + static_cast<size_t>(max_buckets) - 1) /
+      static_cast<size_t>(max_buckets);
+  size_t i = 0;
+  while (i < non_null.size()) {
+    size_t j = std::min(i + per_bucket, non_null.size());
+    // Extend so that a distinct value never straddles buckets.
+    while (j < non_null.size() &&
+           Value::Compare(non_null[j - 1], non_null[j]) == 0) {
+      ++j;
+    }
+    HistogramBucket b;
+    b.lower = non_null[i];
+    b.upper = non_null[j - 1];
+    b.frequency = static_cast<double>(j - i) / denom;
+    b.ndv = 1;
+    for (size_t k = i + 1; k < j; ++k) {
+      if (Value::Compare(non_null[k - 1], non_null[k]) != 0) ++b.ndv;
+    }
+    h.buckets_.push_back(std::move(b));
+    i = j;
+  }
+  return h;
+}
+
+double Histogram::SelectivityEquals(const Value& v) const {
+  if (empty()) return 0.1;  // no stats: default guess
+  if (v.is_null()) return null_fraction_;
+  for (const HistogramBucket& b : buckets_) {
+    int lo = Value::Compare(v, b.lower);
+    int hi = Value::Compare(v, b.upper);
+    if (lo >= 0 && hi <= 0) {
+      return b.frequency / static_cast<double>(std::max<int64_t>(b.ndv, 1));
+    }
+  }
+  return 0.0;
+}
+
+double Histogram::SelectivityLess(const Value& v, bool inclusive) const {
+  if (empty()) return 0.3;
+  if (v.is_null()) return 0.0;
+  double acc = 0.0;
+  double x = ValueToStatsDouble(v);
+  for (const HistogramBucket& b : buckets_) {
+    int cmp_upper = Value::Compare(v, b.upper);
+    if (cmp_upper > 0) {
+      acc += b.frequency;
+      continue;
+    }
+    int cmp_lower = Value::Compare(v, b.lower);
+    if (cmp_lower < 0) break;
+    // v falls inside this bucket: interpolate.
+    double lo = ValueToStatsDouble(b.lower);
+    double hi = ValueToStatsDouble(b.upper);
+    double frac;
+    if (hi <= lo) {
+      frac = inclusive ? 1.0 : 0.0;
+    } else {
+      frac = (x - lo) / (hi - lo);
+      if (inclusive) {
+        frac += 1.0 / static_cast<double>(std::max<int64_t>(b.ndv, 1));
+      }
+      frac = std::clamp(frac, 0.0, 1.0);
+    }
+    acc += b.frequency * frac;
+    break;
+  }
+  return std::clamp(acc, 0.0, 1.0);
+}
+
+double Histogram::SelectivityGreater(const Value& v, bool inclusive) const {
+  if (empty()) return 0.3;
+  if (v.is_null()) return 0.0;
+  double le = SelectivityLess(v, /*inclusive=*/!inclusive);
+  double non_null = 1.0 - null_fraction_;
+  return std::clamp(non_null - le, 0.0, 1.0);
+}
+
+int64_t Histogram::TotalNdv() const {
+  int64_t ndv = 0;
+  for (const HistogramBucket& b : buckets_) ndv += b.ndv;
+  return ndv;
+}
+
+}  // namespace taurus

@@ -1,0 +1,91 @@
+#ifndef TAURUS_CATALOG_HISTOGRAM_H_
+#define TAURUS_CATALOG_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "types/value.h"
+
+namespace taurus {
+
+/// Histogram flavors supported by both MySQL and (after the paper's
+/// extension) Orca. Singleton histograms store one bucket per distinct
+/// value; equi-height histograms store buckets of roughly equal row counts.
+enum class HistogramType { kSingleton, kEquiHeight };
+
+/// One histogram bucket over non-NULL values.
+///
+/// For singleton histograms `lower == upper` and `ndv == 1`. `frequency`
+/// is the fraction of non-NULL rows falling in [lower, upper] (inclusive).
+struct HistogramBucket {
+  Value lower;
+  Value upper;
+  double frequency = 0.0;
+  int64_t ndv = 1;
+};
+
+/// Order-preserving encoding of a string's first 8 bytes into a signed
+/// 64-bit integer (Section 7 of the paper: this is how equi-height string
+/// histograms were fed to Orca). Two strings sharing a >=8-byte common
+/// prefix encode equal — the documented limitation.
+int64_t EncodeStringPrefix(std::string_view s);
+
+/// Maps any value onto the real line for histogram interpolation: integers
+/// and temporal values map directly, doubles map to themselves, strings map
+/// through EncodeStringPrefix.
+double ValueToStatsDouble(const Value& v);
+
+/// Column histogram plus the NULL fraction.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Builds a histogram from a column's values (NULLs included in `values`;
+  /// they only contribute to the null fraction). Produces a singleton
+  /// histogram when the number of distinct values is <= max_buckets,
+  /// otherwise an equi-height histogram with `max_buckets` buckets —
+  /// mirroring MySQL's ANALYZE behavior.
+  static Histogram Build(std::vector<Value> values, int max_buckets);
+
+  /// Installs pre-computed buckets directly. Used when reconstructing a
+  /// histogram from a serialized (DXL) form; buckets must already be
+  /// sorted and disjoint.
+  static Histogram FromBuckets(HistogramType type,
+                               std::vector<HistogramBucket> buckets,
+                               double null_fraction) {
+    Histogram h;
+    h.type_ = type;
+    h.buckets_ = std::move(buckets);
+    h.null_fraction_ = null_fraction;
+    return h;
+  }
+
+  bool empty() const { return buckets_.empty(); }
+  HistogramType type() const { return type_; }
+  const std::vector<HistogramBucket>& buckets() const { return buckets_; }
+  double null_fraction() const { return null_fraction_; }
+
+  /// Estimated fraction of all rows with column = v.
+  double SelectivityEquals(const Value& v) const;
+
+  /// Estimated fraction of all rows with column < v (or <= v when
+  /// `inclusive`). Uses linear interpolation within buckets.
+  double SelectivityLess(const Value& v, bool inclusive) const;
+
+  /// Estimated fraction with column > v (or >= v).
+  double SelectivityGreater(const Value& v, bool inclusive) const;
+
+  /// Total number of distinct values covered by the histogram.
+  int64_t TotalNdv() const;
+
+ private:
+  HistogramType type_ = HistogramType::kSingleton;
+  std::vector<HistogramBucket> buckets_;
+  double null_fraction_ = 0.0;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_CATALOG_HISTOGRAM_H_

@@ -1,0 +1,50 @@
+#ifndef TAURUS_CATALOG_SCHEMA_H_
+#define TAURUS_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "types/type.h"
+
+namespace taurus {
+
+/// Column definition inside a table.
+struct ColumnDef {
+  std::string name;
+  TypeId type = TypeId::kLong;
+  /// Declared length for CHAR/VARCHAR (the "type modifier" the metadata
+  /// provider reports to Orca); 0 when not applicable.
+  int length = 0;
+  bool nullable = true;
+};
+
+/// Secondary or primary index over a table. Indexes are ordered (B-tree
+/// like) and support point lookup, prefix lookup and range scans.
+struct IndexDef {
+  std::string name;
+  /// Positions of the key columns within the table, in key order.
+  std::vector<int> column_idx;
+  bool unique = false;
+  bool primary = false;
+};
+
+/// Table definition. `id` is the catalog-internal object id; the metadata
+/// provider maps it into the Orca OID space as relation_base + id.
+struct TableDef {
+  int id = -1;
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::vector<IndexDef> indexes;
+
+  /// Index of the column with `name`, or -1.
+  int ColumnIndex(const std::string& col_name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == col_name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_CATALOG_SCHEMA_H_

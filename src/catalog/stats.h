@@ -1,0 +1,36 @@
+#ifndef TAURUS_CATALOG_STATS_H_
+#define TAURUS_CATALOG_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/histogram.h"
+#include "types/value.h"
+
+namespace taurus {
+
+/// Per-column statistics collected by ANALYZE and served to both optimizers.
+/// Unlike stock MySQL, histograms are kept for UNIQUE columns too — the
+/// paper lifted that restriction so Orca could see them (Section 5.5).
+struct ColumnStats {
+  int64_t null_count = 0;
+  int64_t distinct_count = 0;
+  Value min_value;
+  Value max_value;
+  Histogram histogram;
+};
+
+/// Per-table statistics.
+struct TableStats {
+  int64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+
+  const ColumnStats* column(int idx) const {
+    if (idx < 0 || static_cast<size_t>(idx) >= columns.size()) return nullptr;
+    return &columns[idx];
+  }
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_CATALOG_STATS_H_

@@ -1,0 +1,70 @@
+#ifndef TAURUS_COMMON_RESULT_H_
+#define TAURUS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace taurus {
+
+/// Value-or-error holder, modeled after arrow::Result. A Result<T> holds
+/// either a T or a non-OK Status; constructing one from an OK Status is a
+/// programming error.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirror arrow::Result.
+  Result(T value) : repr_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+#define TAURUS_CONCAT_IMPL(a, b) a##b
+#define TAURUS_CONCAT(a, b) TAURUS_CONCAT_IMPL(a, b)
+
+/// ASSIGN_OR_RETURN: evaluates `rexpr` (a Result<T>), returns its status on
+/// error, otherwise move-assigns the value into `lhs`.
+#define TAURUS_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  TAURUS_ASSIGN_OR_RETURN_IMPL(                                  \
+      TAURUS_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define TAURUS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace taurus
+
+#endif  // TAURUS_COMMON_RESULT_H_

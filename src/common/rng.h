@@ -1,0 +1,50 @@
+#ifndef TAURUS_COMMON_RNG_H_
+#define TAURUS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace taurus {
+
+/// Deterministic xorshift64* pseudo-random generator. The workload
+/// generators (TPC-H/TPC-DS style) must be reproducible across runs and
+/// platforms, so std::mt19937 distributions are avoided on purpose.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Random lowercase ASCII string of length in [min_len, max_len].
+  std::string NextString(int min_len, int max_len) {
+    int len = static_cast<int>(Uniform(min_len, max_len));
+    std::string s(static_cast<size_t>(len), 'a');
+    for (char& c : s) c = static_cast<char>('a' + Uniform(0, 25));
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_COMMON_RNG_H_

@@ -1,0 +1,89 @@
+#ifndef TAURUS_COMMON_STATUS_H_
+#define TAURUS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace taurus {
+
+/// Error categories used across the engine. Mirrors the small set of
+/// failure classes a query pipeline can hit: user errors (syntax, binding),
+/// unsupported constructs (trigger Orca fallback), and internal invariant
+/// violations.
+enum class StatusCode {
+  kOk = 0,
+  kSyntaxError,
+  kBindError,
+  kTypeError,
+  kNotFound,
+  kAlreadyExists,
+  kNotSupported,
+  kInvalidArgument,
+  kInternal,
+  kExecutionError,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "SyntaxError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success/error result, modeled after arrow::Status.
+/// Functions that can fail return Status (or Result<T>); exceptions are not
+/// used for control flow anywhere in the library.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status SyntaxError(std::string msg) {
+    return Status(StatusCode::kSyntaxError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is an error.
+#define TAURUS_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::taurus::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace taurus
+
+#endif  // TAURUS_COMMON_STATUS_H_

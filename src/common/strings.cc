@@ -1,0 +1,78 @@
+#include "common/strings.h"
+
+#include <cctype>
+
+namespace taurus {
+
+std::string AsciiLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool AsciiEqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> SplitString(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Recursive matcher over (value position, pattern position).
+bool LikeMatchImpl(std::string_view v, size_t vi, std::string_view p,
+                   size_t pi) {
+  while (pi < p.size()) {
+    char pc = p[pi];
+    if (pc == '%') {
+      // Collapse consecutive '%'.
+      while (pi < p.size() && p[pi] == '%') ++pi;
+      if (pi == p.size()) return true;
+      for (size_t k = vi; k <= v.size(); ++k) {
+        if (LikeMatchImpl(v, k, p, pi)) return true;
+      }
+      return false;
+    }
+    if (vi >= v.size()) return false;
+    if (pc != '_' && pc != v[vi]) return false;
+    ++vi;
+    ++pi;
+  }
+  return vi == v.size();
+}
+
+}  // namespace
+
+bool SqlLikeMatch(std::string_view value, std::string_view pattern) {
+  return LikeMatchImpl(value, 0, pattern, 0);
+}
+
+uint64_t Fnv1aHash(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace taurus

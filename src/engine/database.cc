@@ -1,0 +1,210 @@
+#include "engine/database.h"
+
+#include <chrono>
+
+#include "engine/explain.h"
+#include "exec/block_executor.h"
+#include "exec/expr_eval.h"
+#include "frontend/binder.h"
+#include "myopt/mysql_optimizer.h"
+#include "myopt/refine.h"
+#include "parser/parser.h"
+
+namespace taurus {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Status Database::ExecuteSql(const std::string& sql) {
+  TAURUS_ASSIGN_OR_RETURN(auto stmt, ParseStatement(sql));
+  switch (stmt->kind) {
+    case Statement::Kind::kCreateTable: {
+      TAURUS_ASSIGN_OR_RETURN(TableDef * table,
+                              catalog_.CreateTable(stmt->table_name,
+                                                   stmt->columns));
+      if (!stmt->primary_key.empty()) {
+        IndexDef pk;
+        pk.name = stmt->table_name + "_pk";
+        pk.column_idx = stmt->primary_key;
+        pk.unique = true;
+        pk.primary = true;
+        TAURUS_RETURN_IF_ERROR(catalog_.AddIndex(stmt->table_name, pk));
+      }
+      storage_.CreateTable(table);
+      return Status::OK();
+    }
+    case Statement::Kind::kCreateIndex: {
+      const TableDef* table = catalog_.GetTable(stmt->table_name);
+      if (table == nullptr) {
+        return Status::NotFound("no such table: " + stmt->table_name);
+      }
+      IndexDef index = stmt->index;
+      for (const ColumnDef& col : stmt->columns) {  // parser parks names here
+        int idx = table->ColumnIndex(col.name);
+        if (idx < 0) {
+          return Status::BindError("index column not found: " + col.name);
+        }
+        index.column_idx.push_back(idx);
+      }
+      TAURUS_RETURN_IF_ERROR(catalog_.AddIndex(stmt->table_name, index));
+      TableData* data = storage_.Get(table->id);
+      if (data != nullptr) data->BuildIndexes();
+      return Status::OK();
+    }
+    case Statement::Kind::kInsert: {
+      const TableDef* table = catalog_.GetTable(stmt->table_name);
+      TableData* data =
+          table != nullptr ? storage_.Get(table->id) : nullptr;
+      if (data == nullptr) {
+        return Status::NotFound("no such table: " + stmt->table_name);
+      }
+      for (const auto& row_exprs : stmt->insert_rows) {
+        if (row_exprs.size() != table->columns.size()) {
+          return Status::InvalidArgument("INSERT arity mismatch");
+        }
+        Row row;
+        for (size_t c = 0; c < row_exprs.size(); ++c) {
+          TAURUS_ASSIGN_OR_RETURN(Value v, EvalConstExpr(*row_exprs[c]));
+          // Coerce literals to the declared column type where sensible.
+          TypeId want = table->columns[c].type;
+          if (!v.is_null() && v.type() != want) {
+            if (IsTemporalType(want) && v.kind() == Value::Kind::kString) {
+              if (CategoryOf(want) == TypeCategory::kDte) {
+                TAURUS_ASSIGN_OR_RETURN(int64_t days, ParseDate(v.AsString()));
+                v = Value::Date(days);
+              } else {
+                TAURUS_ASSIGN_OR_RETURN(int64_t secs,
+                                        ParseDatetime(v.AsString()));
+                v = Value::Datetime(secs);
+              }
+            } else if (IsNumericType(want) &&
+                       v.kind() == Value::Kind::kInt) {
+              v = Value::Double(static_cast<double>(v.AsInt()), want);
+            } else if (v.kind() == Value::Kind::kInt) {
+              v = Value::Int(v.AsInt(), want);
+            } else if (v.kind() == Value::Kind::kString) {
+              v = Value::Str(v.AsString(), want);
+            }
+          }
+          row.push_back(std::move(v));
+        }
+        data->Append(std::move(row));
+      }
+      data->BuildIndexes();
+      return Status::OK();
+    }
+    case Statement::Kind::kAnalyze:
+      return Analyze(stmt->table_name);
+    case Statement::Kind::kSelect:
+    case Statement::Kind::kExplain:
+      return Status::InvalidArgument(
+          "use Query()/Explain() for SELECT statements");
+  }
+  return Status::Internal("unreachable statement kind");
+}
+
+Status Database::BulkLoad(const std::string& table, std::vector<Row> rows) {
+  const TableDef* def = catalog_.GetTable(table);
+  TableData* data = def != nullptr ? storage_.Get(def->id) : nullptr;
+  if (data == nullptr) return Status::NotFound("no such table: " + table);
+  data->Reserve(data->NumRows() + rows.size());
+  for (Row& r : rows) {
+    if (r.size() != def->columns.size()) {
+      return Status::InvalidArgument("bulk load arity mismatch for " + table);
+    }
+    data->Append(std::move(r));
+  }
+  data->BuildIndexes();
+  return Status::OK();
+}
+
+Status Database::Analyze(const std::string& table) {
+  const TableDef* def = catalog_.GetTable(table);
+  TableData* data = def != nullptr ? storage_.Get(def->id) : nullptr;
+  if (data == nullptr) return Status::NotFound("no such table: " + table);
+  catalog_.SetStats(def->id, ComputeTableStats(*data));
+  return Status::OK();
+}
+
+Status Database::AnalyzeAll() {
+  for (const std::string& name : catalog_.TableNames()) {
+    TAURUS_RETURN_IF_ERROR(Analyze(name));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<CompiledQuery>> Database::Compile(
+    const std::string& sql, OptimizerPath path) {
+  auto start = std::chrono::steady_clock::now();
+  last_fell_back_ = false;
+
+  TAURUS_ASSIGN_OR_RETURN(auto parsed, ParseSelect(sql));
+  TAURUS_ASSIGN_OR_RETURN(BoundStatement stmt,
+                          BindStatement(catalog_, std::move(parsed)));
+  TAURUS_RETURN_IF_ERROR(PrepareStatement(&stmt, prepare_options_));
+
+  bool try_orca = path == OptimizerPath::kOrca ||
+                  (path == OptimizerPath::kAuto &&
+                   ShouldRouteToOrca(stmt, router_config_));
+
+  std::unique_ptr<BlockSkeleton> skeleton;
+  bool used_orca = false;
+  if (try_orca) {
+    OrcaPathOptimizer orca(catalog_, &stmt, &mdp_, orca_config_);
+    auto orca_skel = orca.Optimize();
+    if (orca_skel.ok()) {
+      skeleton = std::move(*orca_skel);
+      used_orca = true;
+      last_orca_metrics_ = orca.metrics();
+    } else if (path == OptimizerPath::kOrca) {
+      return orca_skel.status();
+    } else {
+      // Abort the detour; resort to the usual MySQL optimization
+      // (Section 4.2.1).
+      last_fell_back_ = true;
+    }
+  }
+  if (skeleton == nullptr) {
+    TAURUS_ASSIGN_OR_RETURN(skeleton, MySqlOptimize(catalog_, &stmt));
+  }
+
+  TAURUS_ASSIGN_OR_RETURN(auto compiled,
+                          RefinePlan(std::move(stmt), *skeleton, catalog_));
+  compiled->used_orca = used_orca;
+  compiled->optimize_ms = MsSince(start);
+  return compiled;
+}
+
+Result<QueryResult> Database::Query(const std::string& sql,
+                                    OptimizerPath path) {
+  TAURUS_ASSIGN_OR_RETURN(auto compiled, Compile(sql, path));
+  QueryResult out;
+  out.columns = compiled->root->column_names;
+  out.used_orca = compiled->used_orca;
+  out.optimize_ms = compiled->optimize_ms;
+
+  auto start = std::chrono::steady_clock::now();
+  ExecContext ctx;
+  TAURUS_ASSIGN_OR_RETURN(out.rows,
+                          ExecuteQuery(compiled.get(), storage_, &ctx));
+  out.execute_ms = MsSince(start);
+  out.rows_scanned = ctx.rows_scanned;
+  out.index_lookups = ctx.index_lookups;
+  out.rebinds = ctx.rebinds;
+  return out;
+}
+
+Result<std::string> Database::Explain(const std::string& sql,
+                                      OptimizerPath path) {
+  TAURUS_ASSIGN_OR_RETURN(auto compiled, Compile(sql, path));
+  return RenderExplain(*compiled);
+}
+
+}  // namespace taurus

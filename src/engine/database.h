@@ -1,0 +1,110 @@
+#ifndef TAURUS_ENGINE_DATABASE_H_
+#define TAURUS_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bridge/orca_path.h"
+#include "bridge/router.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "exec/physical_plan.h"
+#include "frontend/prepare.h"
+#include "mdp/provider.h"
+#include "orca/orca.h"
+#include "storage/storage.h"
+
+namespace taurus {
+
+/// Which optimizer compiles a query.
+enum class OptimizerPath {
+  kAuto,   ///< route by the complex-query threshold (the integration)
+  kMySql,  ///< force the native MySQL-style optimizer
+  kOrca,   ///< force the Orca detour (no threshold check)
+};
+
+/// Result of one query execution, with compile/execute instrumentation.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  bool used_orca = false;
+  double optimize_ms = 0.0;
+  double execute_ms = 0.0;
+  int64_t rows_scanned = 0;
+  int64_t index_lookups = 0;
+  int64_t rebinds = 0;
+};
+
+/// The embedded database engine: catalog + storage + both optimizers +
+/// executor, wired together exactly as Fig. 3 of the paper — SQL arrives,
+/// is parsed and prepared, routed either through the MySQL optimizer or
+/// through the Orca detour (parse tree converter, Orca, plan converter),
+/// and the resulting skeleton is refined and executed by the MySQL-style
+/// executor. A failed Orca conversion falls back to the MySQL optimizer.
+class Database {
+ public:
+  Database() : mdp_(catalog_) {}
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- DDL / data ---
+
+  /// Executes a non-SELECT statement (CREATE TABLE / CREATE INDEX /
+  /// INSERT / ANALYZE).
+  Status ExecuteSql(const std::string& sql);
+
+  /// Bulk-appends rows and rebuilds the table's indexes.
+  Status BulkLoad(const std::string& table, std::vector<Row> rows);
+
+  /// Recomputes statistics (row counts, NDVs, histograms) for one table.
+  Status Analyze(const std::string& table);
+  /// ANALYZE every table.
+  Status AnalyzeAll();
+
+  // --- Queries ---
+
+  /// Compiles a SELECT: parse -> bind -> prepare -> optimize (per `path`,
+  /// with Orca fallback) -> refine.
+  Result<std::unique_ptr<CompiledQuery>> Compile(
+      const std::string& sql, OptimizerPath path = OptimizerPath::kAuto);
+
+  /// Compiles and executes a SELECT.
+  Result<QueryResult> Query(const std::string& sql,
+                            OptimizerPath path = OptimizerPath::kAuto);
+
+  /// MySQL-style tree EXPLAIN; the first line marks Orca-assisted plans.
+  Result<std::string> Explain(const std::string& sql,
+                              OptimizerPath path = OptimizerPath::kAuto);
+
+  // --- Configuration ---
+  RouterConfig& router_config() { return router_config_; }
+  OrcaConfig& orca_config() { return orca_config_; }
+  PrepareOptions& prepare_options() { return prepare_options_; }
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  Storage& storage() { return storage_; }
+  MetadataProvider& mdp() { return mdp_; }
+
+  /// Metrics from the most recent Orca-path compilation.
+  const OrcaPathMetrics& last_orca_metrics() const {
+    return last_orca_metrics_;
+  }
+  /// True when the most recent kAuto/kOrca compile fell back to MySQL.
+  bool last_compile_fell_back() const { return last_fell_back_; }
+
+ private:
+  Catalog catalog_;
+  Storage storage_;
+  MetadataProvider mdp_;
+  RouterConfig router_config_;
+  OrcaConfig orca_config_;
+  PrepareOptions prepare_options_;
+  OrcaPathMetrics last_orca_metrics_;
+  bool last_fell_back_ = false;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_ENGINE_DATABASE_H_

@@ -1,0 +1,292 @@
+#include "engine/explain.h"
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "parser/ast_util.h"
+
+namespace taurus {
+
+namespace {
+
+std::string Est(double cost, double rows) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " (cost=%.2f rows=%.0f)", cost, rows);
+  return buf;
+}
+
+std::string CondsToString(const std::vector<const Expr*>& conds) {
+  std::string out;
+  for (size_t i = 0; i < conds.size(); ++i) {
+    if (i) out += " and ";
+    out += conds[i]->ToString();
+  }
+  return out;
+}
+
+class ExplainRenderer {
+ public:
+  explicit ExplainRenderer(const CompiledQuery& query) : query_(&query) {
+    // Build ref_id -> leaf map for invalidation annotations.
+    std::vector<const QueryBlock*> blocks{query.ast.get()};
+    while (!blocks.empty()) {
+      const QueryBlock* b = blocks.back();
+      blocks.pop_back();
+      for (const TableRef* leaf : b->Leaves()) {
+        leaf_by_ref_[leaf->ref_id] = leaf;
+        if (leaf->kind == TableRef::Kind::kDerived) {
+          blocks.push_back(leaf->derived.get());
+        }
+      }
+      if (b->union_next) blocks.push_back(b->union_next.get());
+    }
+  }
+
+  std::string Render() {
+    std::string out = query_->used_orca ? "EXPLAIN (ORCA)\n" : "EXPLAIN\n";
+    RenderBlock(*query_->root, 0, &out);
+    for (size_t i = 0; i < query_->subplans.size(); ++i) {
+      out += "Subquery #" + std::to_string(i + 1) +
+             (query_->subplans[i]->correlated ? " (correlated)" : "") + "\n";
+      RenderBlock(*query_->subplans[i]->plan, 0, &out);
+    }
+    return out;
+  }
+
+ private:
+  void Line(int indent, const std::string& text, std::string* out) {
+    out->append(static_cast<size_t>(indent) * 4, ' ');
+    out->append("-> ");
+    out->append(text);
+    out->push_back('\n');
+  }
+
+  /// Name of the outer table a correlated derived table rebinds on.
+  std::string InvalidationSource(const BlockPlan& derived) {
+    std::vector<bool> used(static_cast<size_t>(query_->num_refs), false);
+    const QueryBlock* b = derived.block;
+    if (b->where) CollectReferencedRefs(*b->where, &used);
+    for (const auto& item : b->select_items) {
+      CollectReferencedRefs(*item.expr, &used);
+    }
+    if (b->having) CollectReferencedRefs(*b->having, &used);
+    // Any used leaf not owned by the derived block is the binding source.
+    std::vector<bool> owned(used.size(), false);
+    std::vector<const QueryBlock*> blocks{b};
+    while (!blocks.empty()) {
+      const QueryBlock* blk = blocks.back();
+      blocks.pop_back();
+      for (const TableRef* leaf : blk->Leaves()) {
+        if (leaf->ref_id >= 0 &&
+            static_cast<size_t>(leaf->ref_id) < owned.size()) {
+          owned[static_cast<size_t>(leaf->ref_id)] = true;
+        }
+        if (leaf->kind == TableRef::Kind::kDerived) {
+          blocks.push_back(leaf->derived.get());
+        }
+      }
+    }
+    for (size_t r = 0; r < used.size(); ++r) {
+      if (used[r] && !owned[r]) {
+        auto it = leaf_by_ref_.find(static_cast<int>(r));
+        if (it != leaf_by_ref_.end()) return it->second->alias;
+      }
+    }
+    return "outer";
+  }
+
+  void RenderOp(const PhysOp& op, int indent, std::string* out) {
+    switch (op.kind) {
+      case PhysOp::Kind::kFilter:
+        Line(indent, "Filter: " + CondsToString(op.conds) +
+                         Est(op.est_cost, op.est_rows),
+             out);
+        RenderOp(*op.child, indent + 1, out);
+        return;
+      case PhysOp::Kind::kNLJoin: {
+        std::string name = "Nested loop ";
+        switch (op.join_type) {
+          case JoinType::kInner:
+          case JoinType::kCross:
+            name += "inner join";
+            break;
+          case JoinType::kLeft:
+            name += "left join";
+            break;
+          case JoinType::kSemi:
+            name += "semijoin";
+            break;
+          case JoinType::kAntiSemi:
+            name += "antijoin";
+            break;
+        }
+        if (!op.conds.empty()) name += " on " + CondsToString(op.conds);
+        Line(indent, name + Est(op.est_cost, op.est_rows), out);
+        RenderOp(*op.child, indent + 1, out);
+        RenderOp(*op.right, indent + 1, out);
+        return;
+      }
+      case PhysOp::Kind::kHashJoin: {
+        std::string name;
+        switch (op.join_type) {
+          case JoinType::kInner:
+          case JoinType::kCross:
+            name = "Inner hash join";
+            break;
+          case JoinType::kLeft:
+            name = "Left hash join";
+            break;
+          case JoinType::kSemi:
+            name = "Hash semijoin";
+            break;
+          case JoinType::kAntiSemi:
+            name = "Hash antijoin";
+            break;
+        }
+        std::string keys;
+        for (size_t i = 0; i < op.hash_keys.size(); ++i) {
+          if (i) keys += ", ";
+          keys += op.hash_keys[i].first->ToString() + " = " +
+                  op.hash_keys[i].second->ToString();
+        }
+        if (!keys.empty()) name += " (" + keys + ")";
+        Line(indent, name + Est(op.est_cost, op.est_rows), out);
+        RenderOp(*op.child, indent + 1, out);
+        RenderOp(*op.right, indent + 1, out);
+        return;
+      }
+      case PhysOp::Kind::kTableScan: {
+        std::string text = "Table scan on " + op.leaf->alias;
+        if (!op.filters.empty()) {
+          Line(indent,
+               "Filter: " + CondsToString(op.filters) +
+                   Est(op.est_cost, op.est_rows),
+               out);
+          Line(indent + 1, text + Est(op.est_cost, op.est_rows), out);
+        } else {
+          Line(indent, text + Est(op.est_cost, op.est_rows), out);
+        }
+        return;
+      }
+      case PhysOp::Kind::kIndexRange: {
+        std::string idx =
+            op.index_id >= 0
+                ? op.leaf->table->indexes[static_cast<size_t>(op.index_id)]
+                      .name
+                : "?";
+        std::string text =
+            "Index range scan on " + op.leaf->alias + " using " + idx;
+        if (!op.filters.empty()) {
+          text += ", with filter: " + CondsToString(op.filters);
+        }
+        Line(indent, text + Est(op.est_cost, op.est_rows), out);
+        return;
+      }
+      case PhysOp::Kind::kIndexLookup: {
+        std::string idx =
+            op.index_id >= 0
+                ? op.leaf->table->indexes[static_cast<size_t>(op.index_id)]
+                      .name
+                : "?";
+        const IndexDef& def =
+            op.leaf->table->indexes[static_cast<size_t>(op.index_id)];
+        std::string keys;
+        for (size_t i = 0; i < op.lookup_keys.size(); ++i) {
+          if (i) keys += ", ";
+          keys += op.leaf->table
+                      ->columns[static_cast<size_t>(def.column_idx[i])]
+                      .name +
+                  "=" + op.lookup_keys[i]->ToString();
+        }
+        std::string text = "Index lookup on " + op.leaf->alias + " using " +
+                           idx + " (" + keys + ")";
+        if (!op.filters.empty()) {
+          text += ", with filter: " + CondsToString(op.filters);
+        }
+        Line(indent, text + Est(op.est_cost, op.est_rows), out);
+        return;
+      }
+      case PhysOp::Kind::kDerivedScan: {
+        std::string text = "Table scan on " + op.leaf->alias;
+        if (!op.filters.empty()) {
+          Line(indent,
+               "Filter: " + CondsToString(op.filters) +
+                   Est(op.est_cost, op.est_rows),
+               out);
+          ++indent;
+        }
+        Line(indent, text + Est(op.est_cost, op.est_rows), out);
+        std::string mat = "Materialize";
+        if (op.invalidate_on_rebind) {
+          mat += " (invalidate on row from " +
+                 InvalidationSource(*op.derived_plan) + ")";
+        }
+        Line(indent + 1, mat, out);
+        RenderBlock(*op.derived_plan, indent + 2, out);
+        return;
+      }
+    }
+  }
+
+  void RenderBlock(const BlockPlan& plan, int indent, std::string* out) {
+    if (plan.limit >= 0) {
+      Line(indent, "Limit: " + std::to_string(plan.limit) + " row(s)", out);
+      ++indent;
+    }
+    if (!plan.order_keys.empty()) {
+      std::string keys;
+      for (size_t i = 0; i < plan.order_keys.size(); ++i) {
+        if (i) keys += ", ";
+        keys += plan.order_keys[i].first->ToString();
+        if (!plan.order_keys[i].second) keys += " DESC";
+      }
+      if (plan.order_satisfied) {
+        Line(indent, "Sort elided (index provides order): " + keys, out);
+      } else {
+        Line(indent, "Sort: " + keys, out);
+      }
+      ++indent;
+    }
+    if (plan.having != nullptr) {
+      Line(indent, "Filter: " + plan.having->ToString(), out);
+      ++indent;
+    }
+    if (plan.agg_mode != AggMode::kNone) {
+      std::string aggs;
+      for (size_t i = 0; i < plan.agg_exprs.size(); ++i) {
+        if (i) aggs += ", ";
+        aggs += plan.agg_exprs[i]->ToString();
+      }
+      std::string mode = plan.agg_mode == AggMode::kStream
+                             ? "Stream aggregate: "
+                             : "Aggregate: ";
+      Line(indent, mode + aggs + Est(plan.est_cost, plan.est_rows), out);
+      ++indent;
+    }
+    if (plan.join_root != nullptr) {
+      RenderOp(*plan.join_root, indent, out);
+    } else {
+      Line(indent, "Rows fetched before execution", out);
+    }
+    for (const auto& arm : plan.union_arms) {
+      Line(indent, "Union arm", out);
+      RenderBlock(*arm, indent + 1, out);
+    }
+  }
+
+  const CompiledQuery* query_;
+  std::map<int, const TableRef*> leaf_by_ref_;
+};
+
+}  // namespace
+
+Result<std::string> RenderExplain(const CompiledQuery& query) {
+  if (query.root == nullptr) {
+    return Status::InvalidArgument("query was not compiled");
+  }
+  ExplainRenderer renderer(query);
+  return renderer.Render();
+}
+
+}  // namespace taurus

@@ -1,0 +1,20 @@
+#ifndef TAURUS_ENGINE_EXPLAIN_H_
+#define TAURUS_ENGINE_EXPLAIN_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "exec/physical_plan.h"
+
+namespace taurus {
+
+/// Renders a compiled plan in MySQL's tree EXPLAIN format. Orca-assisted
+/// plans are announced on the first line ("EXPLAIN (ORCA)", paper
+/// Listing 7), cost/row estimates come from whichever optimizer produced
+/// the skeleton, and correlated derived-table materialization carries the
+/// "(invalidate on row from <table>)" annotation.
+Result<std::string> RenderExplain(const CompiledQuery& query);
+
+}  // namespace taurus
+
+#endif  // TAURUS_ENGINE_EXPLAIN_H_

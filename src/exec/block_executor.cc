@@ -1,0 +1,856 @@
+#include "exec/block_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "exec/expr_eval.h"
+
+namespace taurus {
+
+namespace {
+
+/// Returns the ref_ids of all leaves under a physical subtree.
+std::vector<int> SubtreeRefs(const PhysOp& op) {
+  std::vector<const PhysOp*> leaves;
+  op.CollectLeaves(&leaves);
+  std::vector<int> refs;
+  refs.reserve(leaves.size());
+  for (const PhysOp* leaf : leaves) refs.push_back(leaf->leaf->ref_id);
+  return refs;
+}
+
+void ClearSlots(Frame* frame, const std::vector<int>& refs) {
+  for (int r : refs) (*frame)[static_cast<size_t>(r)] = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Frame iterators
+// ---------------------------------------------------------------------------
+
+class FrameIter {
+ public:
+  virtual ~FrameIter() = default;
+  /// (Re)positions the iterator at the start. The frame carries the current
+  /// outer bindings; index lookups and correlated derived tables read them
+  /// here (a re-Open with new bindings is a "rebind").
+  virtual Status Open(Frame* frame, ExecContext* ctx) = 0;
+  /// Advances; on success fills this subtree's slots in `frame`.
+  virtual Result<bool> Next(Frame* frame, ExecContext* ctx) = 0;
+};
+
+class TableScanIter : public FrameIter {
+ public:
+  explicit TableScanIter(const PhysOp* op) : op_(op) {}
+
+  Status Open(Frame* frame, ExecContext* ctx) override {
+    (void)frame;
+    data_ = ctx->storage->Get(op_->leaf->table->id);
+    if (data_ == nullptr) {
+      return Status::Internal("no storage for table " + op_->leaf->table_name);
+    }
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Frame* frame, ExecContext* ctx) override {
+    size_t slot = static_cast<size_t>(op_->leaf->ref_id);
+    while (pos_ < data_->NumRows()) {
+      (*frame)[slot] = &data_->row(pos_++);
+      ++ctx->rows_scanned;
+      TAURUS_ASSIGN_OR_RETURN(bool ok,
+                              EvalConjuncts(op_->filters, *frame, nullptr, ctx));
+      if (ok) return true;
+    }
+    (*frame)[slot] = nullptr;
+    return false;
+  }
+
+ private:
+  const PhysOp* op_;
+  const TableData* data_ = nullptr;
+  size_t pos_ = 0;
+};
+
+class IndexRangeIter : public FrameIter {
+ public:
+  explicit IndexRangeIter(const PhysOp* op) : op_(op) {}
+
+  Status Open(Frame* frame, ExecContext* ctx) override {
+    data_ = ctx->storage->Get(op_->leaf->table->id);
+    if (data_ == nullptr || op_->index_id < 0 ||
+        op_->index_id >= data_->NumIndexes()) {
+      return Status::Internal("bad index range target");
+    }
+    const OrderedIndex& index = data_->index(op_->index_id);
+    Value lo, hi;
+    const Value* lo_ptr = nullptr;
+    const Value* hi_ptr = nullptr;
+    if (op_->range_lo != nullptr) {
+      TAURUS_ASSIGN_OR_RETURN(lo, EvalExpr(*op_->range_lo, *frame, nullptr, ctx));
+      lo_ptr = &lo;
+    }
+    if (op_->range_hi != nullptr) {
+      TAURUS_ASSIGN_OR_RETURN(hi, EvalExpr(*op_->range_hi, *frame, nullptr, ctx));
+      hi_ptr = &hi;
+    }
+    auto [b, e] = index.Range(lo_ptr, op_->lo_inclusive, hi_ptr,
+                              op_->hi_inclusive);
+    begin_ = b;
+    end_ = e;
+    pos_ = b;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Frame* frame, ExecContext* ctx) override {
+    size_t slot = static_cast<size_t>(op_->leaf->ref_id);
+    const OrderedIndex& index = data_->index(op_->index_id);
+    while (pos_ < end_) {
+      (*frame)[slot] = &data_->row(index.entry(pos_++).row_id);
+      ++ctx->rows_scanned;
+      TAURUS_ASSIGN_OR_RETURN(bool ok,
+                              EvalConjuncts(op_->filters, *frame, nullptr, ctx));
+      if (ok) return true;
+    }
+    (*frame)[slot] = nullptr;
+    return false;
+  }
+
+ private:
+  const PhysOp* op_;
+  const TableData* data_ = nullptr;
+  size_t begin_ = 0, end_ = 0, pos_ = 0;
+};
+
+class IndexLookupIter : public FrameIter {
+ public:
+  explicit IndexLookupIter(const PhysOp* op) : op_(op) {}
+
+  Status Open(Frame* frame, ExecContext* ctx) override {
+    data_ = ctx->storage->Get(op_->leaf->table->id);
+    if (data_ == nullptr || op_->index_id < 0 ||
+        op_->index_id >= data_->NumIndexes()) {
+      return Status::Internal("bad index lookup target");
+    }
+    Row key;
+    key.reserve(op_->lookup_keys.size());
+    bool has_null = false;
+    for (const Expr* e : op_->lookup_keys) {
+      TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, *frame, nullptr, ctx));
+      if (v.is_null()) has_null = true;
+      key.push_back(std::move(v));
+    }
+    ++ctx->index_lookups;
+    if (has_null) {  // equality with NULL never matches
+      begin_ = end_ = pos_ = 0;
+      empty_ = true;
+      return Status::OK();
+    }
+    empty_ = false;
+    auto [b, e] = data_->index(op_->index_id).EqualRange(key);
+    begin_ = b;
+    end_ = e;
+    pos_ = b;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Frame* frame, ExecContext* ctx) override {
+    size_t slot = static_cast<size_t>(op_->leaf->ref_id);
+    if (!empty_) {
+      const OrderedIndex& index = data_->index(op_->index_id);
+      while (pos_ < end_) {
+        (*frame)[slot] = &data_->row(index.entry(pos_++).row_id);
+        ++ctx->rows_scanned;
+        TAURUS_ASSIGN_OR_RETURN(
+            bool ok, EvalConjuncts(op_->filters, *frame, nullptr, ctx));
+        if (ok) return true;
+      }
+    }
+    (*frame)[slot] = nullptr;
+    return false;
+  }
+
+ private:
+  const PhysOp* op_;
+  const TableData* data_ = nullptr;
+  size_t begin_ = 0, end_ = 0, pos_ = 0;
+  bool empty_ = false;
+};
+
+class DerivedScanIter : public FrameIter {
+ public:
+  explicit DerivedScanIter(const PhysOp* op) : op_(op) {}
+
+  Status Open(Frame* frame, ExecContext* ctx) override {
+    if (op_->invalidate_on_rebind) {
+      if (materialized_) ++ctx->rebinds;
+      TAURUS_ASSIGN_OR_RETURN(rows_,
+                              ExecuteBlock(*op_->derived_plan, *frame, ctx));
+      materialized_ = true;
+    } else if (!materialized_) {
+      // Non-correlated derived tables (incl. CTE copies) materialize once
+      // per query, shared across subplan re-executions.
+      auto it = ctx->derived_cache.find(op_->derived_plan);
+      if (it == ctx->derived_cache.end()) {
+        TAURUS_ASSIGN_OR_RETURN(
+            std::vector<Row> rows,
+            ExecuteBlock(*op_->derived_plan, *frame, ctx));
+        it = ctx->derived_cache.emplace(op_->derived_plan, std::move(rows))
+                 .first;
+      }
+      cached_rows_ = &it->second;
+      materialized_ = true;
+    }
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Frame* frame, ExecContext* ctx) override {
+    size_t slot = static_cast<size_t>(op_->leaf->ref_id);
+    const std::vector<Row>& rows =
+        cached_rows_ != nullptr ? *cached_rows_ : rows_;
+    while (pos_ < rows.size()) {
+      (*frame)[slot] = &rows[pos_++];
+      TAURUS_ASSIGN_OR_RETURN(bool ok,
+                              EvalConjuncts(op_->filters, *frame, nullptr, ctx));
+      if (ok) return true;
+    }
+    (*frame)[slot] = nullptr;
+    return false;
+  }
+
+ private:
+  const PhysOp* op_;
+  std::vector<Row> rows_;
+  const std::vector<Row>* cached_rows_ = nullptr;
+  size_t pos_ = 0;
+  bool materialized_ = false;
+};
+
+class FilterIter : public FrameIter {
+ public:
+  FilterIter(const PhysOp* op, std::unique_ptr<FrameIter> child)
+      : op_(op), child_(std::move(child)) {}
+
+  Status Open(Frame* frame, ExecContext* ctx) override {
+    return child_->Open(frame, ctx);
+  }
+
+  Result<bool> Next(Frame* frame, ExecContext* ctx) override {
+    while (true) {
+      TAURUS_ASSIGN_OR_RETURN(bool has, child_->Next(frame, ctx));
+      if (!has) return false;
+      TAURUS_ASSIGN_OR_RETURN(bool ok,
+                              EvalConjuncts(op_->conds, *frame, nullptr, ctx));
+      if (ok) return true;
+    }
+  }
+
+ private:
+  const PhysOp* op_;
+  std::unique_ptr<FrameIter> child_;
+};
+
+class NLJoinIter : public FrameIter {
+ public:
+  NLJoinIter(const PhysOp* op, std::unique_ptr<FrameIter> left,
+             std::unique_ptr<FrameIter> right)
+      : op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        right_refs_(SubtreeRefs(*op->right)) {}
+
+  Status Open(Frame* frame, ExecContext* ctx) override {
+    TAURUS_RETURN_IF_ERROR(left_->Open(frame, ctx));
+    have_left_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Frame* frame, ExecContext* ctx) override {
+    const JoinType jt = op_->join_type;
+    while (true) {
+      if (!have_left_) {
+        TAURUS_ASSIGN_OR_RETURN(bool has, left_->Next(frame, ctx));
+        if (!has) return false;
+        have_left_ = true;
+        matched_ = false;
+        TAURUS_RETURN_IF_ERROR(right_->Open(frame, ctx));  // rebind
+      }
+      while (true) {
+        TAURUS_ASSIGN_OR_RETURN(bool has, right_->Next(frame, ctx));
+        if (!has) break;
+        TAURUS_ASSIGN_OR_RETURN(bool ok,
+                                EvalConjuncts(op_->conds, *frame, nullptr, ctx));
+        if (!ok) continue;
+        matched_ = true;
+        if (jt == JoinType::kSemi) {
+          ClearSlots(frame, right_refs_);
+          have_left_ = false;
+          return true;
+        }
+        if (jt == JoinType::kAntiSemi) break;  // reject this left row
+        return true;  // inner / cross / left
+      }
+      // Right side exhausted (or anti-semi matched).
+      bool emit_unmatched =
+          (jt == JoinType::kLeft || jt == JoinType::kAntiSemi) && !matched_;
+      have_left_ = false;
+      if (emit_unmatched) {
+        ClearSlots(frame, right_refs_);  // NULL-extend / project left only
+        return true;
+      }
+    }
+  }
+
+ private:
+  const PhysOp* op_;
+  std::unique_ptr<FrameIter> left_;
+  std::unique_ptr<FrameIter> right_;
+  std::vector<int> right_refs_;
+  bool have_left_ = false;
+  bool matched_ = false;
+};
+
+/// Hash join. Convention: the build side is the right child — except for
+/// INNER hash joins, where (matching the MySQL quirk the paper reports in
+/// Section 7 item 2) the BUILD side is the LEFT child and the probe side
+/// the right. The Orca plan converter flips Orca's children for inner hash
+/// joins so that Orca's intended build side lands on the left.
+class HashJoinIter : public FrameIter {
+ public:
+  HashJoinIter(const PhysOp* op, std::unique_ptr<FrameIter> left,
+               std::unique_ptr<FrameIter> right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {
+    build_is_left_ = (op->join_type == JoinType::kInner ||
+                      op->join_type == JoinType::kCross);
+    build_refs_ = SubtreeRefs(build_is_left_ ? *op->child : *op->right);
+    for (const auto& [l, r] : op_->hash_keys) {
+      build_keys_.push_back(build_is_left_ ? l : r);
+      probe_keys_.push_back(build_is_left_ ? r : l);
+    }
+  }
+
+  Status Open(Frame* frame, ExecContext* ctx) override {
+    table_.clear();
+    entries_.clear();
+    FrameIter* build = build_is_left_ ? left_.get() : right_.get();
+    TAURUS_RETURN_IF_ERROR(build->Open(frame, ctx));
+    while (true) {
+      TAURUS_ASSIGN_OR_RETURN(bool has, build->Next(frame, ctx));
+      if (!has) break;
+      Row key;
+      key.reserve(build_keys_.size());
+      bool has_null = false;
+      for (const Expr* e : build_keys_) {
+        TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, *frame, nullptr, ctx));
+        if (v.is_null()) has_null = true;
+        key.push_back(std::move(v));
+      }
+      if (has_null) continue;  // NULL keys never join
+      Entry entry;
+      entry.key = std::move(key);
+      entry.frame = std::make_unique<OwnedFrame>(*frame);
+      uint64_t h = HashRow(entry.key);
+      table_.emplace(h, entries_.size());
+      entries_.push_back(std::move(entry));
+    }
+    ClearSlots(frame, build_refs_);
+    FrameIter* probe = build_is_left_ ? right_.get() : left_.get();
+    TAURUS_RETURN_IF_ERROR(probe->Open(frame, ctx));
+    have_probe_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Frame* frame, ExecContext* ctx) override {
+    const JoinType jt = op_->join_type;
+    FrameIter* probe = build_is_left_ ? right_.get() : left_.get();
+    while (true) {
+      if (!have_probe_) {
+        TAURUS_ASSIGN_OR_RETURN(bool has, probe->Next(frame, ctx));
+        if (!has) return false;
+        have_probe_ = true;
+        matched_ = false;
+        candidates_.clear();
+        cand_pos_ = 0;
+        Row key;
+        key.reserve(probe_keys_.size());
+        bool has_null = false;
+        for (const Expr* e : probe_keys_) {
+          TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, *frame, nullptr, ctx));
+          if (v.is_null()) has_null = true;
+          key.push_back(std::move(v));
+        }
+        if (!has_null) {
+          auto [b, e] = table_.equal_range(HashRow(key));
+          for (auto it = b; it != e; ++it) {
+            const Entry& cand = entries_[it->second];
+            bool eq = true;
+            for (size_t i = 0; i < key.size(); ++i) {
+              if (Value::Compare(cand.key[i], key[i]) != 0) {
+                eq = false;
+                break;
+              }
+            }
+            if (eq) candidates_.push_back(it->second);
+          }
+        }
+      }
+      while (cand_pos_ < candidates_.size()) {
+        const Entry& entry = entries_[candidates_[cand_pos_++]];
+        // Restore the build subtree's slots from the owned frame.
+        for (int r : build_refs_) {
+          size_t slot = static_cast<size_t>(r);
+          (*frame)[slot] =
+              entry.frame->present[slot] ? &entry.frame->rows[slot] : nullptr;
+        }
+        TAURUS_ASSIGN_OR_RETURN(bool ok,
+                                EvalConjuncts(op_->conds, *frame, nullptr, ctx));
+        if (!ok) continue;
+        matched_ = true;
+        if (jt == JoinType::kSemi) {
+          ClearSlots(frame, build_refs_);
+          have_probe_ = false;
+          return true;
+        }
+        if (jt == JoinType::kAntiSemi) {
+          cand_pos_ = candidates_.size();
+          break;
+        }
+        return true;  // inner / cross / left
+      }
+      bool emit_unmatched =
+          (jt == JoinType::kLeft || jt == JoinType::kAntiSemi) && !matched_;
+      have_probe_ = false;
+      if (emit_unmatched) {
+        ClearSlots(frame, build_refs_);
+        return true;
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    Row key;
+    std::unique_ptr<OwnedFrame> frame;
+  };
+
+  const PhysOp* op_;
+  std::unique_ptr<FrameIter> left_;
+  std::unique_ptr<FrameIter> right_;
+  bool build_is_left_ = false;
+  std::vector<int> build_refs_;
+  std::vector<const Expr*> build_keys_;
+  std::vector<const Expr*> probe_keys_;
+
+  std::unordered_multimap<uint64_t, size_t> table_;
+  std::vector<Entry> entries_;
+  bool have_probe_ = false;
+  bool matched_ = false;
+  std::vector<size_t> candidates_;
+  size_t cand_pos_ = 0;
+};
+
+std::unique_ptr<FrameIter> BuildIter(const PhysOp* op) {
+  switch (op->kind) {
+    case PhysOp::Kind::kTableScan:
+      return std::make_unique<TableScanIter>(op);
+    case PhysOp::Kind::kIndexRange:
+      return std::make_unique<IndexRangeIter>(op);
+    case PhysOp::Kind::kIndexLookup:
+      return std::make_unique<IndexLookupIter>(op);
+    case PhysOp::Kind::kDerivedScan:
+      return std::make_unique<DerivedScanIter>(op);
+    case PhysOp::Kind::kFilter:
+      return std::make_unique<FilterIter>(op, BuildIter(op->child.get()));
+    case PhysOp::Kind::kNLJoin:
+      return std::make_unique<NLJoinIter>(op, BuildIter(op->child.get()),
+                                          BuildIter(op->right.get()));
+    case PhysOp::Kind::kHashJoin:
+      return std::make_unique<HashJoinIter>(op, BuildIter(op->child.get()),
+                                            BuildIter(op->right.get()));
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// One aggregate accumulator (SUM/COUNT/AVG/MIN/MAX/STDDEV, with DISTINCT).
+struct Accum {
+  int64_t count = 0;
+  int64_t isum = 0;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  bool int_only = true;
+  Value min_v, max_v;
+  std::set<Value> distinct;
+
+  void Update(const Expr& agg, const Value& v) {
+    if (agg.agg_func == AggFunc::kCountStar) {
+      ++count;
+      return;
+    }
+    if (v.is_null()) return;
+    if (agg.agg_distinct) {
+      distinct.insert(v);
+      return;
+    }
+    Add(v);
+  }
+
+  void Add(const Value& v) {
+    ++count;
+    if (v.kind() == Value::Kind::kInt) {
+      isum += v.AsInt();
+    } else {
+      int_only = false;
+    }
+    double d = v.AsDouble();
+    sum += d;
+    sumsq += d * d;
+    if (min_v.is_null() || Value::Compare(v, min_v) < 0) min_v = v;
+    if (max_v.is_null() || Value::Compare(v, max_v) > 0) max_v = v;
+  }
+
+  Value Finalize(const Expr& agg) {
+    if (agg.agg_distinct) {
+      // Fold the distinct set through a plain accumulator.
+      Accum folded;
+      for (const Value& v : distinct) folded.Add(v);
+      Expr plain;
+      plain.kind = Expr::Kind::kAgg;
+      plain.agg_func = agg.agg_func;
+      return folded.Finalize(plain);
+    }
+    switch (agg.agg_func) {
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+        return Value::Int(count);
+      case AggFunc::kSum:
+        if (count == 0) return Value::Null();
+        return int_only ? Value::Int(isum) : Value::Double(sum);
+      case AggFunc::kAvg:
+        if (count == 0) return Value::Null();
+        return Value::Double(sum / static_cast<double>(count));
+      case AggFunc::kMin:
+        return min_v;
+      case AggFunc::kMax:
+        return max_v;
+      case AggFunc::kStddev: {
+        if (count == 0) return Value::Null();
+        double n = static_cast<double>(count);
+        double var = sumsq / n - (sum / n) * (sum / n);
+        return Value::Double(std::sqrt(std::max(var, 0.0)));
+      }
+    }
+    return Value::Null();
+  }
+};
+
+/// A finished group, ready for HAVING/ORDER BY/projection.
+struct Group {
+  Row key;
+  Row agg_values;
+  OwnedFrame rep;  ///< representative input frame
+};
+
+int CompareRows(const Row& a, const Row& b,
+                const std::vector<bool>* ascending = nullptr) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    int c = Value::Compare(a[i], b[i]);
+    // NULLs sort first on ASC (MySQL semantics); flip for DESC.
+    if (c != 0) {
+      bool asc = ascending == nullptr || (*ascending)[i];
+      return asc ? c : -c;
+    }
+  }
+  return 0;
+}
+
+Result<std::vector<Row>> ExecuteSingle(const BlockPlan& plan,
+                                       const Frame& outer, ExecContext* ctx,
+                                       bool apply_order_limit) {
+  Frame frame = outer;
+  std::vector<Row> output;
+
+  const bool has_order = apply_order_limit && !plan.order_keys.empty() &&
+                         !plan.order_satisfied;
+  const bool has_limit = apply_order_limit && plan.limit >= 0;
+
+  // ---- No FROM clause: one conceptual row. ----
+  if (plan.join_root == nullptr && plan.agg_mode == AggMode::kNone) {
+    Row row;
+    for (const Expr* p : plan.projections) {
+      TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, frame, nullptr, ctx));
+      row.push_back(std::move(v));
+    }
+    output.push_back(std::move(row));
+    return output;
+  }
+
+  std::unique_ptr<FrameIter> iter;
+  if (plan.join_root != nullptr) {
+    iter = BuildIter(plan.join_root.get());
+    TAURUS_RETURN_IF_ERROR(iter->Open(&frame, ctx));
+  }
+
+  if (plan.agg_mode != AggMode::kNone) {
+    // ---- Aggregation path (hash or sort+stream; same results). ----
+    std::vector<Group> groups;
+    std::unordered_map<uint64_t, std::vector<size_t>> group_index;
+    std::vector<std::vector<Accum>> accums;
+
+    auto consume = [&](const Frame& f) -> Status {
+      Row key;
+      key.reserve(plan.group_exprs.size());
+      for (const Expr* g : plan.group_exprs) {
+        TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, f, nullptr, ctx));
+        key.push_back(std::move(v));
+      }
+      uint64_t h = HashRow(key);
+      size_t idx = SIZE_MAX;
+      for (size_t cand : group_index[h]) {
+        if (CompareRows(groups[cand].key, key) == 0) {
+          idx = cand;
+          break;
+        }
+      }
+      if (idx == SIZE_MAX) {
+        idx = groups.size();
+        group_index[h].push_back(idx);
+        Group g;
+        g.key = std::move(key);
+        g.rep = OwnedFrame(f);
+        groups.push_back(std::move(g));
+        accums.emplace_back(plan.agg_exprs.size());
+      }
+      for (size_t i = 0; i < plan.agg_exprs.size(); ++i) {
+        const Expr& agg = *plan.agg_exprs[i];
+        Value v;
+        if (agg.agg_func != AggFunc::kCountStar) {
+          TAURUS_ASSIGN_OR_RETURN(v, EvalExpr(*agg.children[0], f, nullptr, ctx));
+        }
+        accums[idx][i].Update(agg, v);
+      }
+      return Status::OK();
+    };
+
+    if (iter != nullptr) {
+      while (true) {
+        TAURUS_ASSIGN_OR_RETURN(bool has, iter->Next(&frame, ctx));
+        if (!has) break;
+        TAURUS_RETURN_IF_ERROR(consume(frame));
+      }
+    } else {
+      TAURUS_RETURN_IF_ERROR(consume(frame));
+    }
+
+    // Scalar aggregation over empty input still yields one group.
+    if (groups.empty() && plan.group_exprs.empty()) {
+      Group g;
+      g.rep = OwnedFrame(frame);
+      groups.push_back(std::move(g));
+      accums.emplace_back(plan.agg_exprs.size());
+    }
+    for (size_t i = 0; i < groups.size(); ++i) {
+      groups[i].agg_values.reserve(plan.agg_exprs.size());
+      for (size_t a = 0; a < plan.agg_exprs.size(); ++a) {
+        groups[i].agg_values.push_back(
+            accums[i][a].Finalize(*plan.agg_exprs[a]));
+      }
+    }
+
+    // HAVING, ORDER BY keys, projection per group.
+    struct OutUnit {
+      Row sort_key;
+      Row row;
+    };
+    std::vector<OutUnit> units;
+    for (Group& g : groups) {
+      Frame rep_view = g.rep.View();
+      AggContext agg_ctx;
+      agg_ctx.agg_exprs = &plan.agg_exprs;
+      agg_ctx.agg_values = &g.agg_values;
+      agg_ctx.group_exprs = &plan.group_exprs;
+      agg_ctx.group_values = &g.key;
+      if (plan.having != nullptr) {
+        TAURUS_ASSIGN_OR_RETURN(
+            bool ok, EvalPredicate(*plan.having, rep_view, &agg_ctx, ctx));
+        if (!ok) continue;
+      }
+      OutUnit unit;
+      if (has_order) {
+        for (const auto& [e, asc] : plan.order_keys) {
+          TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, rep_view, &agg_ctx, ctx));
+          unit.sort_key.push_back(std::move(v));
+        }
+      }
+      for (const Expr* p : plan.projections) {
+        TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, rep_view, &agg_ctx, ctx));
+        unit.row.push_back(std::move(v));
+      }
+      units.push_back(std::move(unit));
+    }
+    if (has_order) {
+      std::vector<bool> asc;
+      for (const auto& [e, a] : plan.order_keys) asc.push_back(a);
+      std::stable_sort(units.begin(), units.end(),
+                       [&](const OutUnit& a, const OutUnit& b) {
+                         return CompareRows(a.sort_key, b.sort_key, &asc) < 0;
+                       });
+    }
+    for (OutUnit& u : units) output.push_back(std::move(u.row));
+  } else if (has_order) {
+    // ---- Materialize, sort, project. ----
+    struct SortUnit {
+      Row sort_key;
+      OwnedFrame frame;
+    };
+    std::vector<SortUnit> units;
+    while (iter != nullptr) {
+      TAURUS_ASSIGN_OR_RETURN(bool has, iter->Next(&frame, ctx));
+      if (!has) break;
+      SortUnit u;
+      for (const auto& [e, a] : plan.order_keys) {
+        TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, frame, nullptr, ctx));
+        u.sort_key.push_back(std::move(v));
+      }
+      u.frame = OwnedFrame(frame);
+      units.push_back(std::move(u));
+    }
+    std::vector<bool> asc;
+    for (const auto& [e, a] : plan.order_keys) asc.push_back(a);
+    std::stable_sort(units.begin(), units.end(),
+                     [&](const SortUnit& a, const SortUnit& b) {
+                       return CompareRows(a.sort_key, b.sort_key, &asc) < 0;
+                     });
+    for (SortUnit& u : units) {
+      Frame view = u.frame.View();
+      Row row;
+      for (const Expr* p : plan.projections) {
+        TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, view, nullptr, ctx));
+        row.push_back(std::move(v));
+      }
+      output.push_back(std::move(row));
+    }
+  } else {
+    // ---- Streaming projection with early LIMIT exit. ----
+    int64_t want = has_limit ? plan.offset + plan.limit : -1;
+    while (iter != nullptr) {
+      if (want >= 0 && static_cast<int64_t>(output.size()) >= want &&
+          !plan.distinct) {
+        break;
+      }
+      TAURUS_ASSIGN_OR_RETURN(bool has, iter->Next(&frame, ctx));
+      if (!has) break;
+      Row row;
+      for (const Expr* p : plan.projections) {
+        TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, frame, nullptr, ctx));
+        row.push_back(std::move(v));
+      }
+      output.push_back(std::move(row));
+    }
+  }
+
+  // DISTINCT.
+  if (plan.distinct) {
+    std::vector<Row> dedup;
+    std::unordered_map<uint64_t, std::vector<size_t>> seen;
+    for (Row& r : output) {
+      uint64_t h = HashRow(r);
+      bool dup = false;
+      for (size_t idx : seen[h]) {
+        if (CompareRows(dedup[idx], r) == 0) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) {
+        seen[h].push_back(dedup.size());
+        dedup.push_back(std::move(r));
+      }
+    }
+    output = std::move(dedup);
+  }
+
+  // OFFSET / LIMIT.
+  if (apply_order_limit && (plan.offset > 0 || plan.limit >= 0)) {
+    size_t begin = std::min(static_cast<size_t>(plan.offset), output.size());
+    size_t end = plan.limit >= 0
+                     ? std::min(begin + static_cast<size_t>(plan.limit),
+                                output.size())
+                     : output.size();
+    std::vector<Row> window(std::make_move_iterator(output.begin() + begin),
+                            std::make_move_iterator(output.begin() + end));
+    output = std::move(window);
+  }
+  return output;
+}
+
+}  // namespace
+
+Result<std::vector<Row>> ExecuteBlock(const BlockPlan& plan,
+                                      const Frame& outer, ExecContext* ctx) {
+  if (plan.union_arms.empty()) {
+    return ExecuteSingle(plan, outer, ctx, /*apply_order_limit=*/true);
+  }
+  // UNION: run all arms without per-arm ordering, combine, then apply the
+  // head block's ORDER BY (resolved to positions) and LIMIT.
+  TAURUS_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      ExecuteSingle(plan, outer, ctx, /*apply_order_limit=*/false));
+  for (const auto& arm : plan.union_arms) {
+    TAURUS_ASSIGN_OR_RETURN(
+        std::vector<Row> arm_rows,
+        ExecuteSingle(*arm, outer, ctx, /*apply_order_limit=*/false));
+    for (Row& r : arm_rows) rows.push_back(std::move(r));
+  }
+  if (!plan.union_all) {
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return CompareRows(a, b) < 0; });
+    rows.erase(std::unique(rows.begin(), rows.end(),
+                           [](const Row& a, const Row& b) {
+                             return CompareRows(a, b) == 0;
+                           }),
+               rows.end());
+  }
+  if (!plan.union_order_positions.empty()) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       for (const auto& [pos, asc] : plan.union_order_positions) {
+                         int c = Value::Compare(a[static_cast<size_t>(pos)],
+                                                b[static_cast<size_t>(pos)]);
+                         if (c != 0) return asc ? c < 0 : c > 0;
+                       }
+                       return false;
+                     });
+  }
+  if (plan.offset > 0 || plan.limit >= 0) {
+    size_t begin = std::min(static_cast<size_t>(plan.offset), rows.size());
+    size_t end =
+        plan.limit >= 0
+            ? std::min(begin + static_cast<size_t>(plan.limit), rows.size())
+            : rows.size();
+    std::vector<Row> window(std::make_move_iterator(rows.begin() + begin),
+                            std::make_move_iterator(rows.begin() + end));
+    rows = std::move(window);
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> ExecuteQuery(CompiledQuery* query,
+                                      const Storage& storage,
+                                      ExecContext* ctx_out) {
+  ExecContext local;
+  ExecContext* ctx = ctx_out != nullptr ? ctx_out : &local;
+  ctx->storage = &storage;
+  ctx->query = query;
+  ctx->subplan_cache.clear();
+  Frame outer(static_cast<size_t>(query->num_refs), nullptr);
+  return ExecuteBlock(*query->root, outer, ctx);
+}
+
+}  // namespace taurus

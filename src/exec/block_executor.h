@@ -1,0 +1,27 @@
+#ifndef TAURUS_EXEC_BLOCK_EXECUTOR_H_
+#define TAURUS_EXEC_BLOCK_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "exec/exec_context.h"
+#include "exec/frame.h"
+#include "exec/physical_plan.h"
+
+namespace taurus {
+
+/// Executes one block plan (joins → aggregation → HAVING → ORDER BY →
+/// LIMIT → projection → UNION combination) and returns the materialized
+/// output rows. `outer` supplies bindings for correlated references; pass
+/// an all-null frame (sized CompiledQuery::num_refs) at the top level.
+Result<std::vector<Row>> ExecuteBlock(const BlockPlan& plan,
+                                      const Frame& outer, ExecContext* ctx);
+
+/// Convenience top-level entry: executes a compiled query against storage.
+Result<std::vector<Row>> ExecuteQuery(CompiledQuery* query,
+                                      const Storage& storage,
+                                      ExecContext* ctx_out = nullptr);
+
+}  // namespace taurus
+
+#endif  // TAURUS_EXEC_BLOCK_EXECUTOR_H_

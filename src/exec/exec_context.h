@@ -1,0 +1,37 @@
+#ifndef TAURUS_EXEC_EXEC_CONTEXT_H_
+#define TAURUS_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "exec/physical_plan.h"
+#include "storage/storage.h"
+
+namespace taurus {
+
+/// Per-query execution state: the storage handles, the compiled plan (for
+/// expression-subquery lookup), result caches and instrumentation counters.
+struct ExecContext {
+  const Storage* storage = nullptr;
+  CompiledQuery* query = nullptr;
+
+  /// Cache of non-correlated expression-subquery results (keyed by
+  /// subplan id).
+  std::map<int, std::vector<Row>> subplan_cache;
+
+  /// Cache of non-correlated derived-table materializations (keyed by the
+  /// derived BlockPlan). Without it, a CTE consumed inside a correlated
+  /// subquery would re-materialize on every outer row.
+  std::map<const BlockPlan*, std::vector<Row>> derived_cache;
+
+  // Instrumentation (consumed by tests and cost-model calibration).
+  int64_t rows_scanned = 0;    ///< rows produced by table/index scans
+  int64_t index_lookups = 0;   ///< "ref" accesses performed
+  int64_t rebinds = 0;         ///< correlated re-materializations
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,49 @@
+#ifndef TAURUS_EXEC_EXPR_EVAL_H_
+#define TAURUS_EXEC_EXPR_EVAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "exec/exec_context.h"
+#include "exec/frame.h"
+#include "parser/ast.h"
+
+namespace taurus {
+
+/// Post-aggregation evaluation context: expressions above a GROUP BY are
+/// matched structurally against the computed aggregates and group keys
+/// before falling back to (representative-row) frame evaluation.
+struct AggContext {
+  const std::vector<const Expr*>* agg_exprs = nullptr;
+  const Row* agg_values = nullptr;  ///< parallel to agg_exprs
+  const std::vector<const Expr*>* group_exprs = nullptr;
+  const Row* group_values = nullptr;  ///< parallel to group_exprs
+};
+
+/// Evaluates `expr` against the current frame. A column reference whose
+/// slot is unoccupied evaluates to SQL NULL (this is how NULL-extended
+/// rows of outer joins and semi-join outputs work). Expression subqueries
+/// are executed through their compiled subplans in `ctx->query`.
+Result<Value> EvalExpr(const Expr& expr, const Frame& frame,
+                       const AggContext* agg, ExecContext* ctx);
+
+/// Evaluates a predicate with SQL three-valued semantics reduced to a
+/// boolean: true iff the value is non-NULL and truthy.
+Result<bool> EvalPredicate(const Expr& expr, const Frame& frame,
+                           const AggContext* agg, ExecContext* ctx);
+
+/// Evaluates each conjunct; false as soon as one fails.
+Result<bool> EvalConjuncts(const std::vector<const Expr*>& conds,
+                           const Frame& frame, const AggContext* agg,
+                           ExecContext* ctx);
+
+/// Folds an expression with no column references, subqueries or aggregates
+/// to a literal value. Returns NotSupported for non-constant expressions.
+Result<Value> EvalConstExpr(const Expr& expr);
+
+/// True when `expr` contains no column references, subqueries or aggregates.
+bool IsConstExpr(const Expr& expr);
+
+}  // namespace taurus
+
+#endif  // TAURUS_EXEC_EXPR_EVAL_H_

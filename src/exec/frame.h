@@ -1,0 +1,51 @@
+#ifndef TAURUS_EXEC_FRAME_H_
+#define TAURUS_EXEC_FRAME_H_
+
+#include <vector>
+
+#include "types/value.h"
+
+namespace taurus {
+
+/// A Frame is the unit of data flowing between frame-producing operators
+/// (scans, joins, filters): one slot per table-reference leaf in the whole
+/// statement, indexed by TableRef::ref_id. A slot points at the leaf's
+/// current row (owned by a scan's table, an index, or a materialized
+/// derived table) or is null when the leaf is not in scope / NULL-extended.
+using Frame = std::vector<const Row*>;
+
+/// A deep copy of (the occupied slots of) a Frame, used by buffering
+/// operators (sort, group-by representative rows, hash join build sides)
+/// whose inputs outlive the producing iterator's current position.
+struct OwnedFrame {
+  std::vector<Row> rows;        ///< storage, parallel to `present`
+  std::vector<bool> present;    ///< slot occupancy
+
+  OwnedFrame() = default;
+
+  /// Captures `frame` by value.
+  explicit OwnedFrame(const Frame& frame) {
+    rows.resize(frame.size());
+    present.resize(frame.size(), false);
+    for (size_t i = 0; i < frame.size(); ++i) {
+      if (frame[i] != nullptr) {
+        rows[i] = *frame[i];
+        present[i] = true;
+      }
+    }
+  }
+
+  /// Reconstitutes a Frame view pointing into this OwnedFrame's storage.
+  /// The view is valid while this object is alive and un-moved.
+  Frame View() const {
+    Frame f(rows.size(), nullptr);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (present[i]) f[i] = &rows[i];
+    }
+    return f;
+  }
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_EXEC_FRAME_H_

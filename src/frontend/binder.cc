@@ -1,0 +1,496 @@
+#include "frontend/binder.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace taurus {
+
+namespace {
+
+/// Synthesized output name for an unnamed select item, matching the naming
+/// MySQL uses for derived-table columns ("Name_exp_<i>" in the paper's
+/// Listing 7; lower-cased here).
+std::string SynthesizedName(int idx) {
+  return "name_exp_" + std::to_string(idx + 1);
+}
+
+std::string OutputNameOf(const SelectItem& item, int idx) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == Expr::Kind::kColumnRef) return item.expr->column_name;
+  return SynthesizedName(idx);
+}
+
+TypeId DeriveArithmeticType(TypeId l, TypeId r, BinaryOp op) {
+  if (op == BinaryOp::kDiv) return TypeId::kDouble;
+  if (IsNumericType(l) || IsNumericType(r)) return TypeId::kDouble;
+  // date - date and friends degrade to integer arithmetic.
+  return TypeId::kLongLong;
+}
+
+class Binder {
+ public:
+  explicit Binder(const Catalog& catalog) : catalog_(catalog) {}
+
+  struct Scope {
+    QueryBlock* block = nullptr;
+    std::vector<TableRef*> leaves;
+    Scope* parent = nullptr;
+  };
+
+  Status BindBlock(QueryBlock* block, Scope* parent_scope);
+
+  int num_refs() const { return next_ref_id_; }
+  int num_blocks() const { return next_block_id_; }
+  std::vector<TableRef*>& leaves() { return leaves_; }
+
+ private:
+  Status BindTableRef(TableRef* ref, Scope* scope, QueryBlock* block);
+  Status BindExpr(Expr* expr, Scope* scope);
+  Status ResolveColumn(Expr* expr, Scope* scope);
+  Status DeriveType(Expr* expr);
+
+  /// Finds a CTE definition visible from `block` walking the enclosing
+  /// blocks. Returns nullptr when `name` is not a CTE.
+  const CteDef* FindCte(const std::string& name, Scope* scope,
+                        QueryBlock* current_block);
+
+  const Catalog& catalog_;
+  int next_ref_id_ = 0;
+  int next_block_id_ = 0;
+  std::vector<TableRef*> leaves_;
+};
+
+const CteDef* Binder::FindCte(const std::string& name, Scope* scope,
+                              QueryBlock* current_block) {
+  if (current_block != nullptr) {
+    for (const CteDef& cte : current_block->ctes) {
+      if (cte.name == name) return &cte;
+    }
+  }
+  for (Scope* s = scope; s != nullptr; s = s->parent) {
+    if (s->block == nullptr) continue;
+    for (const CteDef& cte : s->block->ctes) {
+      if (cte.name == name) return &cte;
+    }
+  }
+  return nullptr;
+}
+
+Status Binder::BindTableRef(TableRef* ref, Scope* scope, QueryBlock* block) {
+  switch (ref->kind) {
+    case TableRef::Kind::kJoin:
+      TAURUS_RETURN_IF_ERROR(BindTableRef(ref->left.get(), scope, block));
+      TAURUS_RETURN_IF_ERROR(BindTableRef(ref->right.get(), scope, block));
+      // ON conditions are bound after all leaves are registered.
+      return Status::OK();
+    case TableRef::Kind::kBase: {
+      // CTE reference? Expand to a derived table (one copy per consumer —
+      // MySQL's multiple-producer model).
+      const CteDef* cte = FindCte(ref->table_name, scope, block);
+      if (cte != nullptr) {
+        ref->kind = TableRef::Kind::kDerived;
+        ref->from_cte = true;
+        ref->cte_name = ref->table_name;
+        ref->derived = cte->query->Clone();
+        if (ref->alias.empty() || ref->alias == ref->table_name) {
+          ref->alias = ref->table_name;
+        }
+        return BindTableRef(ref, scope, block);
+      }
+      const TableDef* table = catalog_.GetTable(ref->table_name);
+      if (table == nullptr) {
+        return Status::BindError("no such table: " + ref->table_name);
+      }
+      ref->table = table;
+      ref->ref_id = next_ref_id_++;
+      ref->owner = block;
+      leaves_.push_back(ref);
+      scope->leaves.push_back(ref);
+      return Status::OK();
+    }
+    case TableRef::Kind::kDerived: {
+      // A derived table cannot see sibling FROM entries, but it must see
+      // the enclosing blocks' CTEs (e.g. a UNION of CTE references inside
+      // a derived table) and outer scopes for correlation. Hide the
+      // current block's leaves while keeping its CTE definitions visible.
+      Scope cte_scope;
+      cte_scope.block = block;
+      cte_scope.parent = scope->parent;
+      TAURUS_RETURN_IF_ERROR(BindBlock(ref->derived.get(), &cte_scope));
+      ref->ref_id = next_ref_id_++;
+      ref->owner = block;
+      leaves_.push_back(ref);
+      scope->leaves.push_back(ref);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable table-ref kind");
+}
+
+Status Binder::ResolveColumn(Expr* expr, Scope* scope) {
+  const std::string& qualifier = expr->table_name;
+  const std::string& column = expr->column_name;
+  for (Scope* s = scope; s != nullptr; s = s->parent) {
+    const TableRef* match = nullptr;
+    int match_idx = -1;
+    TypeId match_type = TypeId::kNull;
+    bool match_nullable = true;
+    for (const TableRef* leaf : s->leaves) {
+      if (!qualifier.empty() && leaf->alias != qualifier) continue;
+      int idx = -1;
+      TypeId type = TypeId::kNull;
+      bool nullable = true;
+      if (leaf->kind == TableRef::Kind::kBase) {
+        idx = leaf->table->ColumnIndex(column);
+        if (idx >= 0) {
+          type = leaf->table->columns[static_cast<size_t>(idx)].type;
+          nullable = leaf->table->columns[static_cast<size_t>(idx)].nullable;
+        }
+      } else {
+        const QueryBlock& inner = *leaf->derived;
+        for (size_t i = 0; i < inner.select_items.size(); ++i) {
+          if (OutputNameOf(inner.select_items[i], static_cast<int>(i)) ==
+              column) {
+            idx = static_cast<int>(i);
+            type = inner.select_items[i].expr->result_type;
+            break;
+          }
+        }
+      }
+      if (idx < 0) continue;
+      if (match != nullptr && match != leaf) {
+        return Status::BindError("ambiguous column reference: " + column);
+      }
+      match = leaf;
+      match_idx = idx;
+      match_type = type;
+      match_nullable = nullable;
+    }
+    if (match != nullptr) {
+      expr->ref_id = match->ref_id;
+      expr->column_idx = match_idx;
+      expr->result_type = match_type;
+      expr->column_nullable = match_nullable;
+      return Status::OK();
+    }
+  }
+  return Status::BindError("unresolved column: " +
+                           (qualifier.empty() ? column
+                                              : qualifier + "." + column));
+}
+
+Status Binder::DeriveType(Expr* expr) {
+  switch (expr->kind) {
+    case Expr::Kind::kLiteral:
+      expr->result_type = expr->literal.type();
+      return Status::OK();
+    case Expr::Kind::kColumnRef:
+      return Status::OK();  // set during resolution
+    case Expr::Kind::kBinary:
+      if (IsArithmeticOp(expr->bop)) {
+        expr->result_type =
+            DeriveArithmeticType(expr->children[0]->result_type,
+                                 expr->children[1]->result_type, expr->bop);
+      } else {
+        expr->result_type = TypeId::kTiny;  // comparisons & AND/OR
+      }
+      return Status::OK();
+    case Expr::Kind::kUnary:
+      expr->result_type = (expr->uop == UnaryOp::kNeg)
+                              ? expr->children[0]->result_type
+                              : TypeId::kTiny;
+      return Status::OK();
+    case Expr::Kind::kAgg:
+      switch (expr->agg_func) {
+        case AggFunc::kCountStar:
+        case AggFunc::kCount:
+          expr->result_type = TypeId::kLongLong;
+          break;
+        case AggFunc::kAvg:
+        case AggFunc::kStddev:
+          expr->result_type = TypeId::kDouble;
+          break;
+        case AggFunc::kSum:
+          expr->result_type =
+              IsIntegerType(expr->children[0]->result_type)
+                  ? TypeId::kLongLong
+                  : TypeId::kDouble;
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          expr->result_type = expr->children[0]->result_type;
+          break;
+      }
+      return Status::OK();
+    case Expr::Kind::kFuncCall: {
+      const std::string& f = expr->func_name;
+      if (f == "year" || f == "month" || f == "day" || f == "length") {
+        expr->result_type = TypeId::kLong;
+      } else if (f == "substring" || f == "substr" || f == "upper" ||
+                 f == "lower" || f == "concat" || f == "trim") {
+        expr->result_type = TypeId::kVarchar;
+      } else if (f == "abs" || f == "round" || f == "mod") {
+        expr->result_type = expr->children.empty()
+                                ? TypeId::kDouble
+                                : expr->children[0]->result_type;
+      } else if (f == "coalesce" || f == "ifnull" || f == "nullif") {
+        expr->result_type = expr->children[0]->result_type;
+      } else if (f == "if") {
+        expr->result_type = expr->children.size() > 1
+                                ? expr->children[1]->result_type
+                                : TypeId::kNull;
+      } else {
+        return Status::NotSupported("unknown function: " + f);
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kCase: {
+      size_t n = expr->children.size() - (expr->case_has_else ? 1 : 0);
+      expr->result_type = n >= 2 ? expr->children[1]->result_type
+                                 : TypeId::kNull;
+      return Status::OK();
+    }
+    case Expr::Kind::kInList:
+    case Expr::Kind::kBetween:
+    case Expr::Kind::kLike:
+    case Expr::Kind::kExists:
+    case Expr::Kind::kInSubquery:
+      expr->result_type = TypeId::kTiny;
+      return Status::OK();
+    case Expr::Kind::kScalarSubquery:
+      expr->result_type = expr->subquery->select_items.empty()
+                              ? TypeId::kNull
+                              : expr->subquery->select_items[0]
+                                    .expr->result_type;
+      return Status::OK();
+    case Expr::Kind::kCast:
+      expr->result_type = expr->cast_type;
+      return Status::OK();
+    case Expr::Kind::kIntervalAdd:
+      expr->result_type = expr->children[0]->result_type == TypeId::kNull
+                              ? TypeId::kDate
+                              : expr->children[0]->result_type;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+Status Binder::BindExpr(Expr* expr, Scope* scope) {
+  if (expr->kind == Expr::Kind::kColumnRef) {
+    return ResolveColumn(expr, scope);
+  }
+  for (auto& child : expr->children) {
+    TAURUS_RETURN_IF_ERROR(BindExpr(child.get(), scope));
+  }
+  if (expr->subquery) {
+    TAURUS_RETURN_IF_ERROR(BindBlock(expr->subquery.get(), scope));
+    if (expr->kind == Expr::Kind::kScalarSubquery ||
+        expr->kind == Expr::Kind::kInSubquery) {
+      if (expr->subquery->select_items.size() != 1) {
+        return Status::BindError("subquery must return exactly one column");
+      }
+    }
+  }
+  return DeriveType(expr);
+}
+
+Status Binder::BindBlock(QueryBlock* block, Scope* parent_scope) {
+  block->block_id = next_block_id_++;
+  Scope scope;
+  scope.block = block;
+  scope.parent = parent_scope;
+
+  // Bind FROM (registers leaves, expands CTE references).
+  for (auto& ref : block->from) {
+    TAURUS_RETURN_IF_ERROR(BindTableRef(ref.get(), &scope, block));
+  }
+  // Bind join ON conditions now that all leaves are visible.
+  {
+    std::vector<TableRef*> stack;
+    for (auto& ref : block->from) stack.push_back(ref.get());
+    while (!stack.empty()) {
+      TableRef* r = stack.back();
+      stack.pop_back();
+      if (r->kind == TableRef::Kind::kJoin) {
+        if (r->on) TAURUS_RETURN_IF_ERROR(BindExpr(r->on.get(), &scope));
+        stack.push_back(r->left.get());
+        stack.push_back(r->right.get());
+      }
+    }
+  }
+
+  // Expand '*' select items.
+  {
+    std::vector<SelectItem> expanded;
+    for (auto& item : block->select_items) {
+      if (item.expr->kind == Expr::Kind::kColumnRef &&
+          item.expr->column_name == "*") {
+        const std::string& qualifier = item.expr->table_name;
+        bool any = false;
+        for (TableRef* leaf : scope.leaves) {
+          if (!qualifier.empty() && leaf->alias != qualifier) continue;
+          any = true;
+          if (leaf->kind == TableRef::Kind::kBase) {
+            for (const ColumnDef& col : leaf->table->columns) {
+              expanded.push_back(
+                  SelectItem{MakeColumnRef(leaf->alias, col.name), ""});
+            }
+          } else {
+            const QueryBlock& inner = *leaf->derived;
+            for (size_t i = 0; i < inner.select_items.size(); ++i) {
+              expanded.push_back(SelectItem{
+                  MakeColumnRef(leaf->alias,
+                                OutputNameOf(inner.select_items[i],
+                                             static_cast<int>(i))),
+                  ""});
+            }
+          }
+        }
+        if (!any) {
+          return Status::BindError("'*' qualifier matches no table: " +
+                                   qualifier);
+        }
+      } else {
+        expanded.push_back(std::move(item));
+      }
+    }
+    block->select_items = std::move(expanded);
+  }
+
+  for (auto& item : block->select_items) {
+    TAURUS_RETURN_IF_ERROR(BindExpr(item.expr.get(), &scope));
+  }
+  if (block->where) {
+    TAURUS_RETURN_IF_ERROR(BindExpr(block->where.get(), &scope));
+  }
+
+  // GROUP BY: resolve ordinals and select-list aliases first.
+  for (auto& g : block->group_by) {
+    if (g->kind == Expr::Kind::kLiteral &&
+        g->literal.kind() == Value::Kind::kInt) {
+      int64_t ord = g->literal.AsInt();
+      if (ord < 1 ||
+          ord > static_cast<int64_t>(block->select_items.size())) {
+        return Status::BindError("GROUP BY ordinal out of range");
+      }
+      g = block->select_items[static_cast<size_t>(ord - 1)].expr->Clone();
+      continue;
+    }
+    if (g->kind == Expr::Kind::kColumnRef && g->table_name.empty()) {
+      bool replaced = false;
+      for (auto& item : block->select_items) {
+        if (item.alias == g->column_name &&
+            item.expr->kind != Expr::Kind::kColumnRef) {
+          g = item.expr->Clone();
+          replaced = true;
+          break;
+        }
+      }
+      if (replaced) continue;
+    }
+    TAURUS_RETURN_IF_ERROR(BindExpr(g.get(), &scope));
+  }
+
+  // HAVING may reference select aliases.
+  if (block->having) {
+    // Replace alias references by clones of the aliased expressions.
+    std::vector<Expr*> stack{block->having.get()};
+    while (!stack.empty()) {
+      Expr* e = stack.back();
+      stack.pop_back();
+      for (auto& child : e->children) {
+        if (child->kind == Expr::Kind::kColumnRef &&
+            child->table_name.empty()) {
+          for (auto& item : block->select_items) {
+            if (item.alias == child->column_name) {
+              child = item.expr->Clone();
+              break;
+            }
+          }
+        }
+        stack.push_back(child.get());
+      }
+    }
+    if (block->having->kind == Expr::Kind::kColumnRef &&
+        block->having->table_name.empty()) {
+      for (auto& item : block->select_items) {
+        if (item.alias == block->having->column_name) {
+          block->having = item.expr->Clone();
+          break;
+        }
+      }
+    }
+    TAURUS_RETURN_IF_ERROR(BindExpr(block->having.get(), &scope));
+  }
+
+  // ORDER BY: ordinals and aliases resolve against the select list.
+  for (auto& o : block->order_by) {
+    if (o.expr->kind == Expr::Kind::kLiteral &&
+        o.expr->literal.kind() == Value::Kind::kInt) {
+      int64_t ord = o.expr->literal.AsInt();
+      if (ord < 1 ||
+          ord > static_cast<int64_t>(block->select_items.size())) {
+        return Status::BindError("ORDER BY ordinal out of range");
+      }
+      o.expr = block->select_items[static_cast<size_t>(ord - 1)].expr->Clone();
+      continue;
+    }
+    if (o.expr->kind == Expr::Kind::kColumnRef && o.expr->table_name.empty()) {
+      bool replaced = false;
+      for (auto& item : block->select_items) {
+        if (item.alias == o.expr->column_name) {
+          o.expr = item.expr->Clone();
+          replaced = true;
+          break;
+        }
+      }
+      if (replaced) continue;
+    }
+    TAURUS_RETURN_IF_ERROR(BindExpr(o.expr.get(), &scope));
+  }
+
+  // UNION continuation binds in the same enclosing scope.
+  if (block->union_next) {
+    TAURUS_RETURN_IF_ERROR(BindBlock(block->union_next.get(), parent_scope));
+    if (block->union_next->select_items.size() !=
+        block->select_items.size()) {
+      return Status::BindError("UNION arms have different column counts");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BoundStatement> BindStatement(const Catalog& catalog,
+                                     std::unique_ptr<QueryBlock> block) {
+  Binder binder(catalog);
+  TAURUS_RETURN_IF_ERROR(binder.BindBlock(block.get(), nullptr));
+  BoundStatement out;
+  out.block = std::move(block);
+  out.num_refs = binder.num_refs();
+  out.num_blocks = binder.num_blocks();
+  out.leaves = std::move(binder.leaves());
+  return out;
+}
+
+std::vector<std::string> OutputColumnNames(const QueryBlock& block) {
+  std::vector<std::string> names;
+  names.reserve(block.select_items.size());
+  for (size_t i = 0; i < block.select_items.size(); ++i) {
+    names.push_back(OutputNameOf(block.select_items[i], static_cast<int>(i)));
+  }
+  return names;
+}
+
+const Expr* DerivedOutputExpr(const TableRef& derived_leaf, int idx) {
+  if (derived_leaf.kind != TableRef::Kind::kDerived) return nullptr;
+  const QueryBlock& inner = *derived_leaf.derived;
+  if (idx < 0 || static_cast<size_t>(idx) >= inner.select_items.size()) {
+    return nullptr;
+  }
+  return inner.select_items[static_cast<size_t>(idx)].expr.get();
+}
+
+}  // namespace taurus

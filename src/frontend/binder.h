@@ -1,0 +1,46 @@
+#ifndef TAURUS_FRONTEND_BINDER_H_
+#define TAURUS_FRONTEND_BINDER_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "parser/ast.h"
+
+namespace taurus {
+
+/// Result of binding a statement: the bound AST plus statement-wide
+/// metadata needed by planning and execution.
+struct BoundStatement {
+  std::unique_ptr<QueryBlock> block;
+  /// Total number of table-reference leaves across all blocks; frames are
+  /// indexed by ref_id in [0, num_refs).
+  int num_refs = 0;
+  /// Total number of query blocks (block_id in [0, num_blocks)).
+  int num_blocks = 0;
+  /// Leaf lookup by ref_id (non-owning; leaves live in `block`).
+  std::vector<TableRef*> leaves;
+};
+
+/// Resolves names (tables against the catalog, CTEs, column references incl.
+/// correlated ones), expands '*', resolves ORDER BY / GROUP BY ordinals and
+/// aliases, assigns ref_id / block_id, sets TABLE_LIST-style owner pointers,
+/// and derives expression result types.
+///
+/// CTE references are expanded to derived tables by cloning the CTE body —
+/// MySQL's "multiple producer plans" model (Section 4.2.3); the Orca plan
+/// converter later maps Orca's single producer back onto these copies.
+Result<BoundStatement> BindStatement(const Catalog& catalog,
+                                     std::unique_ptr<QueryBlock> block);
+
+/// Returns the output column names of a bound query block (select aliases,
+/// column names for bare column refs, or synthesized `name_exp_<i>`).
+std::vector<std::string> OutputColumnNames(const QueryBlock& block);
+
+/// Returns the expression a derived table exposes for output column `idx`.
+const Expr* DerivedOutputExpr(const TableRef& derived_leaf, int idx);
+
+}  // namespace taurus
+
+#endif  // TAURUS_FRONTEND_BINDER_H_

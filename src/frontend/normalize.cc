@@ -1,0 +1,123 @@
+#include "frontend/normalize.h"
+
+#include <vector>
+
+#include "parser/ast_util.h"
+
+namespace taurus {
+
+namespace {
+
+/// Collects the top-level OR branches of an expression.
+void SplitDisjuncts(Expr* e, std::vector<Expr*>* out) {
+  if (e->kind == Expr::Kind::kBinary && e->bop == BinaryOp::kOr) {
+    SplitDisjuncts(e->children[0].get(), out);
+    SplitDisjuncts(e->children[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+std::unique_ptr<Expr> AndAll(std::vector<std::unique_ptr<Expr>> conjs) {
+  std::unique_ptr<Expr> acc;
+  for (auto& c : conjs) {
+    if (!acc) {
+      acc = std::move(c);
+    } else {
+      acc = MakeBinary(BinaryOp::kAnd, std::move(acc), std::move(c));
+      acc->result_type = TypeId::kTiny;
+    }
+  }
+  return acc;
+}
+
+std::unique_ptr<Expr> OrAll(std::vector<std::unique_ptr<Expr>> disjs) {
+  std::unique_ptr<Expr> acc;
+  for (auto& d : disjs) {
+    if (!acc) {
+      acc = std::move(d);
+    } else {
+      acc = MakeBinary(BinaryOp::kOr, std::move(acc), std::move(d));
+      acc->result_type = TypeId::kTiny;
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+bool FactorOrCommonConjuncts(std::unique_ptr<Expr>* expr) {
+  Expr* e = expr->get();
+  bool changed = false;
+  for (auto& child : e->children) {
+    changed |= FactorOrCommonConjuncts(&child);
+  }
+  if (e->kind != Expr::Kind::kBinary || e->bop != BinaryOp::kOr) {
+    return changed;
+  }
+
+  std::vector<Expr*> branches;
+  SplitDisjuncts(e, &branches);
+  if (branches.size() < 2) return changed;
+
+  // Conjuncts of the first branch that appear (structurally) in every
+  // other branch are common.
+  std::vector<const Expr*> first;
+  SplitConjuncts(branches[0], &first);
+  std::vector<const Expr*> common;
+  for (const Expr* cand : first) {
+    bool in_all = true;
+    for (size_t b = 1; b < branches.size() && in_all; ++b) {
+      std::vector<const Expr*> conjs;
+      SplitConjuncts(branches[b], &conjs);
+      bool found = false;
+      for (const Expr* c : conjs) {
+        if (ExprEquals(*c, *cand)) {
+          found = true;
+          break;
+        }
+      }
+      in_all = found;
+    }
+    if (in_all) common.push_back(cand);
+  }
+  if (common.empty()) return changed;
+
+  // Rebuild: common AND (residual1 OR residual2 OR ...).
+  std::vector<std::unique_ptr<Expr>> new_disjuncts;
+  bool any_branch_empty = false;
+  for (Expr* branch : branches) {
+    std::vector<const Expr*> conjs;
+    SplitConjuncts(branch, &conjs);
+    std::vector<std::unique_ptr<Expr>> residual;
+    for (const Expr* c : conjs) {
+      bool is_common = false;
+      for (const Expr* k : common) {
+        if (ExprEquals(*c, *k)) {
+          is_common = true;
+          break;
+        }
+      }
+      if (!is_common) residual.push_back(c->Clone());
+    }
+    if (residual.empty()) {
+      // A branch consisting only of common conjuncts makes the OR of
+      // residuals vacuously true.
+      any_branch_empty = true;
+      break;
+    }
+    new_disjuncts.push_back(AndAll(std::move(residual)));
+  }
+
+  std::vector<std::unique_ptr<Expr>> pieces;
+  for (const Expr* k : common) pieces.push_back(k->Clone());
+  if (!any_branch_empty) {
+    pieces.push_back(OrAll(std::move(new_disjuncts)));
+  }
+  std::unique_ptr<Expr> replacement = AndAll(std::move(pieces));
+  replacement->result_type = TypeId::kTiny;
+  *expr = std::move(replacement);
+  return true;
+}
+
+}  // namespace taurus

@@ -1,0 +1,21 @@
+#ifndef TAURUS_FRONTEND_NORMALIZE_H_
+#define TAURUS_FRONTEND_NORMALIZE_H_
+
+#include <memory>
+
+#include "parser/ast.h"
+
+namespace taurus {
+
+/// Orca's OR-refactoring (paper Section 7 MySQL-change item 4 and the
+/// TPC-DS Q41 analysis in Section 6.2): rewrites
+///     (a AND x) OR (a AND y)   ->   a AND (x OR y)
+/// pulling conjuncts common to every OR branch (matched structurally) out
+/// in front. This can expose hash-joinable equalities and halves repeated
+/// predicate evaluation. Applied recursively; returns true if anything
+/// changed.
+bool FactorOrCommonConjuncts(std::unique_ptr<Expr>* expr);
+
+}  // namespace taurus
+
+#endif  // TAURUS_FRONTEND_NORMALIZE_H_

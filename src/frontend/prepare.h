@@ -1,0 +1,37 @@
+#ifndef TAURUS_FRONTEND_PREPARE_H_
+#define TAURUS_FRONTEND_PREPARE_H_
+
+#include "common/status.h"
+#include "frontend/binder.h"
+
+namespace taurus {
+
+/// Options controlling the MySQL "Prepare" phase rewrites (Section 2.2).
+struct PrepareOptions {
+  /// Fold constant scalar subtrees (e.g. DATE '1995-01-01' + INTERVAL 3
+  /// MONTH) to literals.
+  bool fold_constants = true;
+  /// Convert top-level EXISTS / IN (subquery) WHERE conjuncts into
+  /// semi/anti-semi joins when allowed (NOT IN requires non-nullable
+  /// columns, mirroring MySQL's nullability condition, Section 4.1).
+  bool subquery_to_semijoin = true;
+  /// Convert LEFT JOINs to INNER when a WHERE conjunct is null-rejecting
+  /// on the inner side.
+  bool simplify_outer_joins = true;
+};
+
+/// Runs the Prepare-phase logical rewrites over a bound statement, in
+/// place. The rewrites preserve binding (ref_ids remain stable; moved
+/// leaves are re-owned by their new blocks).
+Status PrepareStatement(BoundStatement* stmt,
+                        const PrepareOptions& opts = PrepareOptions());
+
+/// Rebuilds stmt->leaves (indexed by ref_id) and re-establishes leaf owner
+/// pointers after an AST-restructuring rewrite (conjunct cloning, subquery
+/// conversion, decorrelation). stmt->num_refs must already reflect any
+/// newly introduced leaves.
+void RecollectLeaves(BoundStatement* stmt);
+
+}  // namespace taurus
+
+#endif  // TAURUS_FRONTEND_PREPARE_H_

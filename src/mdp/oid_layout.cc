@@ -1,0 +1,258 @@
+#include "mdp/oid_layout.h"
+
+namespace taurus {
+
+namespace {
+
+constexpr int kNumCats = kNumRegularTypeCategories;  // 12
+constexpr int kNumAggCats = kNumAggTypeCategories;   // 14
+constexpr int kNumAggFuncs = 6;
+
+int AggFuncIndex(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return 0;
+    case AggFunc::kMin:
+      return 1;
+    case AggFunc::kMax:
+      return 2;
+    case AggFunc::kSum:
+      return 3;
+    case AggFunc::kAvg:
+      return 4;
+    case AggFunc::kStddev:
+      return 5;
+  }
+  return -1;
+}
+
+AggFunc AggFuncFromIndex(int k, bool star) {
+  switch (k) {
+    case 0:
+      return star ? AggFunc::kCountStar : AggFunc::kCount;
+    case 1:
+      return AggFunc::kMin;
+    case 2:
+      return AggFunc::kMax;
+    case 3:
+      return AggFunc::kSum;
+    case 4:
+      return AggFunc::kAvg;
+    default:
+      return AggFunc::kStddev;
+  }
+}
+
+const char* CmpOpToken(int k) {
+  static const char* kTokens[] = {"EQ", "NE", "LT", "LE", "GT", "GE"};
+  return k >= 0 && k < 6 ? kTokens[k] : "?";
+}
+
+const char* ArithOpToken(int k) {
+  static const char* kTokens[] = {"ADD", "SUB", "MUL", "DIV", "MOD"};
+  return k >= 0 && k < 5 ? kTokens[k] : "?";
+}
+
+const char* AggToken(int k) {
+  static const char* kTokens[] = {"COUNT", "MIN", "MAX", "SUM", "AVG",
+                                  "STDDEV"};
+  return k >= 0 && k < 6 ? kTokens[k] : "?";
+}
+
+}  // namespace
+
+int ArithOpIndex(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return 0;
+    case BinaryOp::kSub:
+      return 1;
+    case BinaryOp::kMul:
+      return 2;
+    case BinaryOp::kDiv:
+      return 3;
+    case BinaryOp::kMod:
+      return 4;
+    default:
+      return -1;
+  }
+}
+
+int CmpOpIndex(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return 0;
+    case BinaryOp::kNe:
+      return 1;
+    case BinaryOp::kLt:
+      return 2;
+    case BinaryOp::kLe:
+      return 3;
+    case BinaryOp::kGt:
+      return 4;
+    case BinaryOp::kGe:
+      return 5;
+    default:
+      return -1;
+  }
+}
+
+BinaryOp ArithOpFromIndex(int k) {
+  static const BinaryOp kOps[] = {BinaryOp::kAdd, BinaryOp::kSub,
+                                  BinaryOp::kMul, BinaryOp::kDiv,
+                                  BinaryOp::kMod};
+  return kOps[k];
+}
+
+BinaryOp CmpOpFromIndex(int k) {
+  static const BinaryOp kOps[] = {BinaryOp::kEq, BinaryOp::kNe,
+                                  BinaryOp::kLt, BinaryOp::kLe,
+                                  BinaryOp::kGt, BinaryOp::kGe};
+  return kOps[k];
+}
+
+int64_t TypeOid(TypeId type) {
+  return kTypeBase + static_cast<int64_t>(type);
+}
+
+Result<TypeId> TypeFromOid(int64_t oid) {
+  int64_t e = oid - kTypeBase;
+  if (e < 0 || e >= kNumTypeIds) {
+    return Status::InvalidArgument("not a type OID: " + std::to_string(oid));
+  }
+  return static_cast<TypeId>(e);
+}
+
+Result<int64_t> ArithExprOid(TypeCategory left, TypeCategory right,
+                             BinaryOp op) {
+  int k = ArithOpIndex(op);
+  int i = static_cast<int>(left);
+  int j = static_cast<int>(right);
+  if (k < 0 || i >= kNumCats || j >= kNumCats) {
+    return Status::InvalidArgument("invalid arithmetic expression point");
+  }
+  return kArithBase + (static_cast<int64_t>(k) * kNumCats + i) * kNumCats + j;
+}
+
+Result<int64_t> CmpExprOid(TypeCategory left, TypeCategory right,
+                           BinaryOp op) {
+  int k = CmpOpIndex(op);
+  int i = static_cast<int>(left);
+  int j = static_cast<int>(right);
+  if (k < 0 || i >= kNumCats || j >= kNumCats) {
+    return Status::InvalidArgument("invalid comparison expression point");
+  }
+  return kCmpBase + (static_cast<int64_t>(k) * kNumCats + i) * kNumCats + j;
+}
+
+Result<int64_t> AggExprOid(TypeCategory cat, AggFunc func) {
+  int k = AggFuncIndex(func);
+  int i = static_cast<int>(cat);
+  if (k < 0 || i >= kNumAggCats) {
+    return Status::InvalidArgument("invalid aggregate expression point");
+  }
+  // COUNT(*) must use the STAR pseudo-category.
+  if (func == AggFunc::kCountStar && cat != TypeCategory::kStar) {
+    return Status::InvalidArgument("COUNT(*) requires the STAR category");
+  }
+  return kAggBase + static_cast<int64_t>(k) * kNumAggCats + i;
+}
+
+Result<ExprPoint> DecodeExprOid(int64_t oid) {
+  ExprPoint p;
+  if (oid >= kArithBase && oid < kArithBase + kNumArithExprs) {
+    int64_t e = oid - kArithBase;
+    p.family = ExprPoint::Family::kArith;
+    p.right = static_cast<TypeCategory>(e % kNumCats);
+    e /= kNumCats;
+    p.left = static_cast<TypeCategory>(e % kNumCats);
+    p.op = ArithOpFromIndex(static_cast<int>(e / kNumCats));
+    return p;
+  }
+  if (oid >= kCmpBase && oid < kCmpBase + kNumCmpExprs) {
+    int64_t e = oid - kCmpBase;
+    p.family = ExprPoint::Family::kCmp;
+    p.right = static_cast<TypeCategory>(e % kNumCats);
+    e /= kNumCats;
+    p.left = static_cast<TypeCategory>(e % kNumCats);
+    p.op = CmpOpFromIndex(static_cast<int>(e / kNumCats));
+    return p;
+  }
+  if (oid >= kAggBase && oid < kAggBase + kNumAggExprs) {
+    int64_t e = oid - kAggBase;
+    p.family = ExprPoint::Family::kAgg;
+    p.left = static_cast<TypeCategory>(e % kNumAggCats);
+    p.right = p.left;
+    p.agg = AggFuncFromIndex(static_cast<int>(e / kNumAggCats),
+                             p.left == TypeCategory::kStar);
+    return p;
+  }
+  return Status::InvalidArgument("not an expression OID: " +
+                                 std::to_string(oid));
+}
+
+int64_t CommutatorOid(int64_t expr_oid) {
+  auto point = DecodeExprOid(expr_oid);
+  if (!point.ok()) return kInvalidOid;
+  const ExprPoint& p = *point;
+  switch (p.family) {
+    case ExprPoint::Family::kArith:
+      // Only + and * commute (Section 5.3).
+      if (p.op != BinaryOp::kAdd && p.op != BinaryOp::kMul) {
+        return kInvalidOid;
+      }
+      return *ArithExprOid(p.right, p.left, p.op);
+    case ExprPoint::Family::kCmp:
+      return *CmpExprOid(p.right, p.left, CommuteComparison(p.op));
+    case ExprPoint::Family::kAgg:
+      return kInvalidOid;  // unary
+  }
+  return kInvalidOid;
+}
+
+int64_t InverseOid(int64_t expr_oid) {
+  auto point = DecodeExprOid(expr_oid);
+  if (!point.ok()) return kInvalidOid;
+  const ExprPoint& p = *point;
+  if (p.family != ExprPoint::Family::kCmp) return kInvalidOid;
+  return *CmpExprOid(p.left, p.right, InverseComparison(p.op));
+}
+
+std::string ExprOidName(int64_t oid) {
+  auto point = DecodeExprOid(oid);
+  if (!point.ok()) return "INVALID";
+  const ExprPoint& p = *point;
+  switch (p.family) {
+    case ExprPoint::Family::kArith:
+      return std::string(TypeCategoryName(p.left)) + "_" +
+             ArithOpToken(ArithOpIndex(p.op)) + "_" +
+             TypeCategoryName(p.right);
+    case ExprPoint::Family::kCmp:
+      return std::string(TypeCategoryName(p.left)) + "_" +
+             CmpOpToken(CmpOpIndex(p.op)) + "_" + TypeCategoryName(p.right);
+    case ExprPoint::Family::kAgg:
+      return std::string(AggToken(AggFuncIndex(p.agg))) + "_" +
+             TypeCategoryName(p.left);
+  }
+  return "INVALID";
+}
+
+int64_t RelationOid(int table_id) {
+  return kRelationBase + static_cast<int64_t>(table_id) * kRelationStride;
+}
+
+int64_t ColumnOid(int table_id, int column_idx) {
+  return RelationOid(table_id) + 1 + column_idx;
+}
+
+int64_t IndexOid(int table_id, int index_idx) {
+  return RelationOid(table_id) + kIndexSlot + index_idx;
+}
+
+int TableIdFromOid(int64_t oid) {
+  if (oid < kRelationBase) return -1;
+  return static_cast<int>((oid - kRelationBase) / kRelationStride);
+}
+
+}  // namespace taurus

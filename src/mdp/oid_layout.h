@@ -1,0 +1,87 @@
+#ifndef TAURUS_MDP_OID_LAYOUT_H_
+#define TAURUS_MDP_OID_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "parser/ast.h"
+#include "types/type.h"
+
+namespace taurus {
+
+/// Metadata OID layout (paper Section 5.6): every object type occupies a
+/// contiguous slot starting at a "base", with the object's enumeration id
+/// added ("base + enumeration ID"). Relations and their columns/indexes —
+/// whose counts are unknown in advance — live far above the fixed slots,
+/// strided so they cannot collide.
+inline constexpr int64_t kInvalidOid = -1;
+
+inline constexpr int64_t kTypeBase = 1000;      // 31 types
+inline constexpr int64_t kArithBase = 2000;     // 12*12*5  = 720 exprs
+inline constexpr int64_t kCmpBase = 3000;       // 12*12*6  = 864 exprs
+inline constexpr int64_t kAggBase = 4000;       // 14*6     = 84 exprs
+inline constexpr int64_t kMappedFuncBase = 5000; // parallel to expressions
+inline constexpr int64_t kRegularFuncBase = 8000;
+inline constexpr int64_t kRelationBase = 1000000;
+inline constexpr int64_t kRelationStride = 4096;
+/// Within a relation's stride: columns at +1.., indexes at +2048...
+inline constexpr int64_t kIndexSlot = 2048;
+
+/// Number of expression points in each cube.
+inline constexpr int kNumArithExprs = 12 * 12 * 5;
+inline constexpr int kNumCmpExprs = 12 * 12 * 6;
+inline constexpr int kNumAggExprs = 14 * 6;
+
+/// Arithmetic operators indexed along the cube's Z axis, order {+,-,*,/,%}.
+int ArithOpIndex(BinaryOp op);  // -1 when not arithmetic
+/// Comparison operators, order {=, <>, <, <=, >, >=} (Section 5.3).
+int CmpOpIndex(BinaryOp op);  // -1 when not a comparison
+BinaryOp ArithOpFromIndex(int k);
+BinaryOp CmpOpFromIndex(int k);
+
+// --- Types ---
+int64_t TypeOid(TypeId type);
+Result<TypeId> TypeFromOid(int64_t oid);
+
+// --- Expression cubes: (i, j, k) <-> linear enumeration <-> OID ---
+/// Arithmetic expression OID for left/right type categories and operator.
+Result<int64_t> ArithExprOid(TypeCategory left, TypeCategory right,
+                             BinaryOp op);
+/// Comparison expression OID.
+Result<int64_t> CmpExprOid(TypeCategory left, TypeCategory right,
+                           BinaryOp op);
+/// Aggregate expression OID (cat may be kStar/kAny for COUNT forms).
+Result<int64_t> AggExprOid(TypeCategory cat, AggFunc func);
+
+/// Decoded expression-cube point.
+struct ExprPoint {
+  enum class Family { kArith, kCmp, kAgg } family;
+  TypeCategory left;            // agg: the (possibly STAR/ANY) category
+  TypeCategory right;           // agg: unused
+  BinaryOp op;                  // arith/cmp
+  AggFunc agg;                  // agg
+};
+Result<ExprPoint> DecodeExprOid(int64_t oid);
+
+/// OID of the commutator expression (Section 5.3): swaps operand
+/// categories; `+`/`*` and all comparisons commute, `-`/`/`/`%` do not.
+/// Returns kInvalidOid when no commutator exists.
+int64_t CommutatorOid(int64_t expr_oid);
+
+/// OID of the inverse (NOT-eliminating) expression; comparisons only.
+int64_t InverseOid(int64_t expr_oid);
+
+/// Human-readable expression name, e.g. "STR_EQ_STR" (Section 5.7).
+std::string ExprOidName(int64_t oid);
+
+// --- Relations ---
+int64_t RelationOid(int table_id);
+int64_t ColumnOid(int table_id, int column_idx);
+int64_t IndexOid(int table_id, int index_idx);
+/// Table id from any relation/column/index OID, or -1.
+int TableIdFromOid(int64_t oid);
+
+}  // namespace taurus
+
+#endif  // TAURUS_MDP_OID_LAYOUT_H_

@@ -1,0 +1,106 @@
+#ifndef TAURUS_MDP_PROVIDER_H_
+#define TAURUS_MDP_PROVIDER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "mdp/oid_layout.h"
+
+namespace taurus {
+
+/// Relation metadata as reconstructed from a DXL document: what the Orca
+/// side knows about a MySQL table. String histogram boundaries arrive
+/// already converted to order-preserving 64-bit integers (Section 7).
+struct MdpRelationInfo {
+  int64_t oid = kInvalidOid;
+  std::string name;
+  int64_t rows = 0;
+  struct Column {
+    int64_t oid = kInvalidOid;
+    std::string name;
+    TypeId type = TypeId::kLong;
+    int length = 0;
+    bool nullable = true;
+    ColumnStats stats;  ///< histogram with numeric (encoded) boundaries
+  };
+  std::vector<Column> columns;
+  struct Index {
+    int64_t oid = kInvalidOid;
+    std::string name;
+    std::vector<int> key_columns;
+    bool unique = false;
+  };
+  std::vector<Index> indexes;
+};
+
+/// The MySQL metadata provider (paper Section 5): Orca's plug-in interface
+/// to MySQL's data dictionary. Object lookups used while building the
+/// logical tree return OIDs directly; bulk metadata (relations, columns,
+/// statistics, histograms) is exchanged as DXL documents, which the Orca
+/// side parses and caches — the paper's "Orca maintains an internal
+/// metadata cache" (Section 5.7).
+///
+/// Unlike the PostgreSQL provider, no function pointers are returned:
+/// queries execute inside MySQL (Section 5), so mapped/regular functions
+/// exist purely as metadata IDs.
+class MetadataProvider {
+ public:
+  explicit MetadataProvider(const Catalog& catalog) : catalog_(&catalog) {}
+  MetadataProvider(const MetadataProvider&) = delete;
+  MetadataProvider& operator=(const MetadataProvider&) = delete;
+
+  // --- Object-id lookups (parse-tree-converter "embellishment") ---
+
+  /// OID of a relation by (schema-qualified) name.
+  Result<int64_t> RelationOidByName(const std::string& name) const;
+
+  /// OID for a comparison expression over concrete MySQL types; the types
+  /// are first mapped to their categories (Section 5.2).
+  Result<int64_t> ComparisonOid(BinaryOp op, TypeId left, TypeId right) const;
+
+  /// OID for an arithmetic expression.
+  Result<int64_t> ArithmeticOid(BinaryOp op, TypeId left, TypeId right) const;
+
+  /// OID for an aggregate expression. COUNT(*) maps to the STAR category;
+  /// COUNT(expr) maps to ANY (Section 5.2); other aggregates use the
+  /// argument type's category.
+  Result<int64_t> AggregateOid(AggFunc func, TypeId arg_type) const;
+
+  /// Mapped-function OID parallel to an expression OID (Section 5.4).
+  int64_t MappedFunctionOid(int64_t expr_oid) const;
+
+  /// Regular (SQL builtin) function OID: EXTRACT, SUBSTRING, CAST, ... .
+  Result<int64_t> RegularFunctionOid(const std::string& name) const;
+
+  // --- DXL exchange ---
+
+  /// Serializes a relation (definition + statistics + histograms) to DXL.
+  /// String histogram bucket boundaries are encoded to int64 via the
+  /// order-preserving prefix encoding.
+  Result<std::string> RelationToDxl(int64_t relation_oid) const;
+
+  /// Parses a relation DXL document (inverse of RelationToDxl).
+  static Result<MdpRelationInfo> ParseRelationDxl(const std::string& dxl);
+
+  /// Cached fetch: serializes + parses on first use, then serves from the
+  /// metadata cache.
+  Result<const MdpRelationInfo*> GetRelation(int64_t relation_oid);
+
+  // Cache instrumentation.
+  int64_t dxl_requests() const { return dxl_requests_; }
+  int64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  const Catalog* catalog_;
+  std::map<int64_t, std::unique_ptr<MdpRelationInfo>> cache_;
+  int64_t dxl_requests_ = 0;
+  int64_t cache_hits_ = 0;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_MDP_PROVIDER_H_

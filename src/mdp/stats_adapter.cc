@@ -1,0 +1,32 @@
+#include "mdp/stats_adapter.h"
+
+namespace taurus {
+
+double MdpStatsProvider::LeafBaseRows(const TableRef& leaf) const {
+  if (leaf.kind == TableRef::Kind::kBase && leaf.table != nullptr) {
+    auto rel = mdp_->GetRelation(RelationOid(leaf.table->id));
+    if (rel.ok() && (*rel)->rows > 0) {
+      return static_cast<double>((*rel)->rows);
+    }
+    return 1000.0;
+  }
+  return StatsProvider::LeafBaseRows(leaf);  // derived-table estimates
+}
+
+const ColumnStats* MdpStatsProvider::ColumnStatsFor(int ref_id,
+                                                    int column_idx) const {
+  const TableRef* leaf = LeafByRef(ref_id);
+  if (leaf == nullptr || leaf->kind != TableRef::Kind::kBase ||
+      leaf->table == nullptr) {
+    return nullptr;
+  }
+  auto rel = mdp_->GetRelation(RelationOid(leaf->table->id));
+  if (!rel.ok()) return nullptr;
+  if (column_idx < 0 ||
+      static_cast<size_t>(column_idx) >= (*rel)->columns.size()) {
+    return nullptr;
+  }
+  return &(*rel)->columns[static_cast<size_t>(column_idx)].stats;
+}
+
+}  // namespace taurus

@@ -1,0 +1,46 @@
+#ifndef TAURUS_MDP_STATS_ADAPTER_H_
+#define TAURUS_MDP_STATS_ADAPTER_H_
+
+#include <vector>
+
+#include "catalog/histogram.h"
+#include "mdp/provider.h"
+#include "myopt/cardinality.h"
+
+namespace taurus {
+
+/// StatsProvider implementation for the Orca path: every statistic is
+/// answered from the metadata provider's DXL-reconstructed relation info
+/// (never directly from the catalog), and string probe values are run
+/// through the order-preserving 64-bit prefix encoding so they are
+/// comparable with the encoded histogram boundaries (Section 7).
+///
+/// The deliberate consequence — also the paper's documented limitation —
+/// is that strings sharing a >=8-byte prefix become indistinguishable to
+/// Orca's cardinality estimation.
+class MdpStatsProvider : public StatsProvider {
+ public:
+  MdpStatsProvider(const Catalog& catalog,
+                   const std::vector<TableRef*>& leaves,
+                   MetadataProvider* mdp)
+      : StatsProvider(catalog, leaves), mdp_(mdp) {}
+
+  double LeafBaseRows(const TableRef& leaf) const override;
+
+  const ColumnStats* ColumnStatsFor(int ref_id,
+                                    int column_idx) const override;
+
+  Value NormalizeProbe(Value v) const override {
+    if (v.kind() == Value::Kind::kString) {
+      return Value::Int(EncodeStringPrefix(v.AsString()));
+    }
+    return v;
+  }
+
+ private:
+  MetadataProvider* mdp_;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_MDP_STATS_ADAPTER_H_

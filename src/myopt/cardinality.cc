@@ -1,0 +1,207 @@
+#include "myopt/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/expr_eval.h"
+#include "parser/ast_util.h"
+
+namespace taurus {
+
+namespace {
+
+constexpr double kDefaultRows = 1000.0;
+constexpr double kDefaultEq = 0.05;
+constexpr double kDefaultRange = 1.0 / 3.0;
+constexpr double kDefaultLike = 0.1;
+constexpr double kDefaultOther = 0.5;
+
+}  // namespace
+
+double StatsProvider::LeafBaseRows(const TableRef& leaf) const {
+  if (leaf.kind == TableRef::Kind::kBase && leaf.table != nullptr) {
+    const TableStats& stats = catalog_->GetStats(leaf.table->id);
+    if (stats.row_count > 0) return static_cast<double>(stats.row_count);
+    return kDefaultRows;
+  }
+  auto it = derived_rows_.find(&leaf);
+  if (it != derived_rows_.end()) return std::max(it->second, 1.0);
+  return kDefaultRows;
+}
+
+const ColumnStats* StatsProvider::ColumnStatsFor(int ref_id,
+                                                 int column_idx) const {
+  const TableRef* leaf = LeafByRef(ref_id);
+  if (leaf == nullptr || leaf->kind != TableRef::Kind::kBase ||
+      leaf->table == nullptr) {
+    return nullptr;
+  }
+  const TableStats& stats = catalog_->GetStats(leaf->table->id);
+  return stats.column(column_idx);
+}
+
+double StatsProvider::NdvOf(int ref_id, int column_idx,
+                            double default_rows) const {
+  const ColumnStats* cs = ColumnStatsFor(ref_id, column_idx);
+  if (cs == nullptr || cs->distinct_count <= 0) return default_rows;
+  return static_cast<double>(cs->distinct_count);
+}
+
+bool StatsProvider::IsColumnEquality(const Expr& e) {
+  return e.kind == Expr::Kind::kBinary && e.bop == BinaryOp::kEq &&
+         e.children[0]->kind == Expr::Kind::kColumnRef &&
+         e.children[1]->kind == Expr::Kind::kColumnRef &&
+         e.children[0]->ref_id != e.children[1]->ref_id;
+}
+
+double StatsProvider::EqJoinSelectivity(const Expr& eq) const {
+  if (!IsColumnEquality(eq)) return kDefaultEq;
+  const Expr& a = *eq.children[0];
+  const Expr& b = *eq.children[1];
+  double rows_a = 0, rows_b = 0;
+  if (const TableRef* la = LeafByRef(a.ref_id)) rows_a = LeafBaseRows(*la);
+  if (const TableRef* lb = LeafByRef(b.ref_id)) rows_b = LeafBaseRows(*lb);
+  double ndv_a = NdvOf(a.ref_id, a.column_idx, std::max(rows_a, 1.0));
+  double ndv_b = NdvOf(b.ref_id, b.column_idx, std::max(rows_b, 1.0));
+  return 1.0 / std::max({ndv_a, ndv_b, 1.0});
+}
+
+double StatsProvider::ConjunctSelectivity(const Expr& e) const {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      if (e.literal.is_null()) return 0.0;
+      return e.literal.IsTrue() ? 1.0 : 0.0;
+    case Expr::Kind::kBinary: {
+      if (e.bop == BinaryOp::kAnd) {
+        return ConjunctSelectivity(*e.children[0]) *
+               ConjunctSelectivity(*e.children[1]);
+      }
+      if (e.bop == BinaryOp::kOr) {
+        double s1 = ConjunctSelectivity(*e.children[0]);
+        double s2 = ConjunctSelectivity(*e.children[1]);
+        return std::min(1.0, s1 + s2 - s1 * s2);
+      }
+      if (!IsComparisonOp(e.bop)) return kDefaultOther;
+      if (IsColumnEquality(e)) {
+        return EqJoinSelectivity(e);
+      }
+      // col <op> const (either orientation).
+      const Expr* col = nullptr;
+      const Expr* lit = nullptr;
+      BinaryOp op = e.bop;
+      if (e.children[0]->kind == Expr::Kind::kColumnRef &&
+          IsConstExpr(*e.children[1])) {
+        col = e.children[0].get();
+        lit = e.children[1].get();
+      } else if (e.children[1]->kind == Expr::Kind::kColumnRef &&
+                 IsConstExpr(*e.children[0])) {
+        col = e.children[1].get();
+        lit = e.children[0].get();
+        op = CommuteComparison(op);
+      } else {
+        return IsComparisonOp(e.bop) && e.bop == BinaryOp::kEq ? kDefaultEq
+                                                               : kDefaultRange;
+      }
+      const ColumnStats* cs = ColumnStatsFor(col->ref_id, col->column_idx);
+      auto lit_value = EvalConstExpr(*lit);
+      if (cs == nullptr || cs->histogram.empty() || !lit_value.ok()) {
+        switch (op) {
+          case BinaryOp::kEq:
+            return kDefaultEq;
+          case BinaryOp::kNe:
+            return 1.0 - kDefaultEq;
+          default:
+            return kDefaultRange;
+        }
+      }
+      const Histogram& h = cs->histogram;
+      Value v = NormalizeProbe(*lit_value);
+      switch (op) {
+        case BinaryOp::kEq:
+          return h.SelectivityEquals(v);
+        case BinaryOp::kNe:
+          return std::max(0.0, 1.0 - h.null_fraction() -
+                                   h.SelectivityEquals(v));
+        case BinaryOp::kLt:
+          return h.SelectivityLess(v, false);
+        case BinaryOp::kLe:
+          return h.SelectivityLess(v, true);
+        case BinaryOp::kGt:
+          return h.SelectivityGreater(v, false);
+        case BinaryOp::kGe:
+          return h.SelectivityGreater(v, true);
+        default:
+          return kDefaultRange;
+      }
+    }
+    case Expr::Kind::kUnary:
+      switch (e.uop) {
+        case UnaryOp::kNot:
+          return std::max(0.0, 1.0 - ConjunctSelectivity(*e.children[0]));
+        case UnaryOp::kIsNull: {
+          if (e.children[0]->kind == Expr::Kind::kColumnRef) {
+            const ColumnStats* cs = ColumnStatsFor(e.children[0]->ref_id,
+                                                   e.children[0]->column_idx);
+            if (cs != nullptr && !cs->histogram.empty()) {
+              return cs->histogram.null_fraction();
+            }
+          }
+          return 0.05;
+        }
+        case UnaryOp::kIsNotNull:
+          return 0.95;
+        case UnaryOp::kNeg:
+          return kDefaultOther;
+      }
+      return kDefaultOther;
+    case Expr::Kind::kBetween: {
+      if (e.children[0]->kind == Expr::Kind::kColumnRef &&
+          IsConstExpr(*e.children[1]) && IsConstExpr(*e.children[2])) {
+        const ColumnStats* cs = ColumnStatsFor(e.children[0]->ref_id,
+                                               e.children[0]->column_idx);
+        auto lo = EvalConstExpr(*e.children[1]);
+        auto hi = EvalConstExpr(*e.children[2]);
+        if (cs != nullptr && !cs->histogram.empty() && lo.ok() && hi.ok()) {
+          const Histogram& h = cs->histogram;
+          double s = h.SelectivityLess(NormalizeProbe(*hi), true) -
+                     h.SelectivityLess(NormalizeProbe(*lo), false);
+          s = std::clamp(s, 0.0, 1.0);
+          return e.negated ? std::clamp(1.0 - s, 0.0, 1.0) : s;
+        }
+      }
+      double s = kDefaultRange * kDefaultRange * 4;  // moderately selective
+      return e.negated ? 1.0 - s : s;
+    }
+    case Expr::Kind::kInList: {
+      if (e.children[0]->kind == Expr::Kind::kColumnRef) {
+        const ColumnStats* cs = ColumnStatsFor(e.children[0]->ref_id,
+                                               e.children[0]->column_idx);
+        if (cs != nullptr && !cs->histogram.empty()) {
+          double s = 0;
+          for (size_t i = 1; i < e.children.size(); ++i) {
+            auto v = EvalConstExpr(*e.children[i]);
+            if (v.ok()) {
+              s += cs->histogram.SelectivityEquals(NormalizeProbe(*v));
+            }
+          }
+          s = std::clamp(s, 0.0, 1.0);
+          return e.negated ? 1.0 - s : s;
+        }
+      }
+      double s = std::min(1.0, kDefaultEq *
+                                   static_cast<double>(e.children.size() - 1));
+      return e.negated ? 1.0 - s : s;
+    }
+    case Expr::Kind::kLike:
+      // Histograms cannot see inside regular expressions (the paper makes
+      // this point for TPC-H Q16); use a flat default.
+      return e.negated ? 1.0 - kDefaultLike : kDefaultLike;
+    case Expr::Kind::kExists:
+    case Expr::Kind::kInSubquery:
+      return kDefaultOther;
+    default:
+      return kDefaultOther;
+  }
+}
+
+}  // namespace taurus

@@ -1,0 +1,74 @@
+#ifndef TAURUS_MYOPT_CARDINALITY_H_
+#define TAURUS_MYOPT_CARDINALITY_H_
+
+#include <map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "parser/ast.h"
+
+namespace taurus {
+
+/// Statistics facade shared by the MySQL-style optimizer and (through the
+/// metadata provider) Orca's cardinality estimation. It resolves column
+/// references (ref_id, column_idx) back to catalog statistics and supplies
+/// selectivity estimates for predicates.
+class StatsProvider {
+ public:
+  StatsProvider(const Catalog& catalog, const std::vector<TableRef*>& leaves)
+      : catalog_(&catalog), leaves_(&leaves) {}
+  virtual ~StatsProvider() = default;
+
+  /// Registers the estimated output cardinality of a derived-table leaf
+  /// (known after its block has been optimized).
+  void SetDerivedRows(const TableRef* leaf, double rows) {
+    derived_rows_[leaf] = rows;
+  }
+
+  /// Base cardinality of a leaf before predicates: table row count from
+  /// ANALYZE, the registered estimate for derived tables, or a default.
+  /// Virtual so the Orca path can answer through the metadata provider.
+  virtual double LeafBaseRows(const TableRef& leaf) const;
+
+  /// Catalog statistics for a base-table column ref, or nullptr (derived
+  /// columns, unresolved refs, missing ANALYZE). Virtual so the Orca path
+  /// can answer with DXL-reconstructed statistics.
+  virtual const ColumnStats* ColumnStatsFor(int ref_id, int column_idx) const;
+
+  /// Hook applied to literal probe values before histogram lookups. The
+  /// Orca path overrides it to apply the order-preserving 64-bit string
+  /// encoding (Section 7), so string probes match encoded histogram
+  /// boundaries.
+  virtual Value NormalizeProbe(Value v) const { return v; }
+
+  /// Number of distinct values of a column; falls back to `default_rows`
+  /// when no statistics exist (i.e. assume unique).
+  double NdvOf(int ref_id, int column_idx, double default_rows) const;
+
+  /// Selectivity of one predicate conjunct, treating column refs of any
+  /// single table uniformly (the "local predicate" estimate).
+  double ConjunctSelectivity(const Expr& e) const;
+
+  /// Selectivity of an equality join predicate col_a = col_b:
+  /// 1 / max(ndv(a), ndv(b)).
+  double EqJoinSelectivity(const Expr& eq) const;
+
+  /// True if the conjunct is `col = col` over two different leaves.
+  static bool IsColumnEquality(const Expr& e);
+
+  const TableRef* LeafByRef(int ref_id) const {
+    if (ref_id < 0 || static_cast<size_t>(ref_id) >= leaves_->size()) {
+      return nullptr;
+    }
+    return (*leaves_)[static_cast<size_t>(ref_id)];
+  }
+
+ private:
+  const Catalog* catalog_;
+  const std::vector<TableRef*>* leaves_;
+  std::map<const TableRef*, double> derived_rows_;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_MYOPT_CARDINALITY_H_

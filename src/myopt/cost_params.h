@@ -1,0 +1,23 @@
+#ifndef TAURUS_MYOPT_COST_PARAMS_H_
+#define TAURUS_MYOPT_COST_PARAMS_H_
+
+namespace taurus {
+
+/// Cost-model constants, in abstract "row visit" units. Both optimizers
+/// consume these; Orca's instance is tunable separately (the paper notes
+/// Orca's relatively high index-lookup and hash-join costs as an area for
+/// fine-tuning — the ablation bench sweeps them).
+struct CostParams {
+  double seq_row = 1.0;        ///< sequential scan, per row
+  double index_descend = 8.0;  ///< B-tree descent per lookup
+  double index_row = 1.5;      ///< per row fetched through an index
+  double hash_build = 1.8;     ///< per build-side row
+  double hash_probe = 1.1;     ///< per probe-side row
+  double row_out = 0.05;       ///< per row emitted by an operator
+  double sort_row = 2.0;       ///< per row sorted (amortized n log n fudge)
+  double materialize_row = 1.0;///< per row materialized (derived tables)
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_MYOPT_COST_PARAMS_H_

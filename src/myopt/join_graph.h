@@ -1,0 +1,63 @@
+#ifndef TAURUS_MYOPT_JOIN_GRAPH_H_
+#define TAURUS_MYOPT_JOIN_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "parser/ast.h"
+
+namespace taurus {
+
+/// One reorderable element of a block's FROM clause. Inner-join operands
+/// flatten into freely reorderable units; the right side of a LEFT / SEMI /
+/// ANTI-SEMI join becomes a *dependent* unit that must be placed after all
+/// units of its left side (MySQL's constraint) and carries its ON
+/// condition conjuncts.
+struct JoinUnit {
+  TableRef* ref = nullptr;       ///< leaf, or subtree root for composites
+  JoinType join_type = JoinType::kInner;
+  uint64_t dependency = 0;       ///< unit bits that must be placed first
+  std::vector<Expr*> join_conds; ///< ON conjuncts (dependent units only)
+};
+
+/// A predicate conjunct with the set of units it references.
+struct JoinConjunct {
+  Expr* expr = nullptr;
+  uint64_t units = 0;  ///< bitmask over JoinGraph::units
+};
+
+/// Flattened, reorderable view of a query block's FROM + WHERE, the common
+/// input of both the MySQL greedy join-order search and the Orca logical
+/// tree construction.
+struct JoinGraph {
+  QueryBlock* block = nullptr;
+  std::vector<JoinUnit> units;
+  /// WHERE conjuncts plus inner-join ON conjuncts.
+  std::vector<JoinConjunct> conjuncts;
+  /// Maps a block-local leaf ref_id to its containing unit, or -1.
+  std::map<int, int> unit_of_ref;
+
+  /// Bitmask over units referenced by `e` (correlated/outer refs ignored).
+  uint64_t UnitMaskOf(const Expr& e, int num_refs) const;
+};
+
+/// Builds the join graph for one block. Fails (NotSupported) for blocks
+/// with more than 64 units.
+Result<JoinGraph> BuildJoinGraph(QueryBlock* block, int num_refs);
+
+/// Builds a join graph for a single FROM subtree (used to plan the inside
+/// of a dependent unit). `extra_conds` supplies additional conjuncts (e.g.
+/// the pieces of the enclosing join's ON condition that reference only
+/// this subtree).
+Result<JoinGraph> BuildJoinGraphForTree(TableRef* tree,
+                                        const std::vector<Expr*>& extra_conds,
+                                        int num_refs);
+
+/// Collects the base/derived leaves under a FROM subtree.
+void CollectLeavesOf(TableRef* ref, std::vector<TableRef*>* out);
+
+}  // namespace taurus
+
+#endif  // TAURUS_MYOPT_JOIN_GRAPH_H_

@@ -1,0 +1,30 @@
+#ifndef TAURUS_MYOPT_REFINE_H_
+#define TAURUS_MYOPT_REFINE_H_
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "exec/physical_plan.h"
+#include "frontend/binder.h"
+#include "myopt/skeleton.h"
+
+namespace taurus {
+
+/// MySQL plan refinement (Section 4.3): turns a skeleton plan (join order,
+/// join methods, access methods — from either the MySQL optimizer or the
+/// Orca detour) plus the prepared AST into an executable plan. Refinement
+/// performs the four tasks the paper lists: predicate placement (scan
+/// filters, index range bounds, index lookup keys, join conditions, post-
+/// outer-join filters), aggregation, row ordering, and row-limit
+/// enforcement. It is deliberately oblivious of which optimizer produced
+/// the skeleton.
+///
+/// Consumes `stmt` (the AST moves into the returned CompiledQuery).
+Result<std::unique_ptr<CompiledQuery>> RefinePlan(BoundStatement stmt,
+                                                  const BlockSkeleton& skel,
+                                                  const Catalog& catalog);
+
+}  // namespace taurus
+
+#endif  // TAURUS_MYOPT_REFINE_H_

@@ -1,0 +1,57 @@
+#include "myopt/skeleton.h"
+
+namespace taurus {
+
+namespace {
+
+std::string LeafLabel(const SkeletonNode& node) {
+  std::string name = node.leaf->alias.empty() ? node.leaf->table_name
+                                              : node.leaf->alias;
+  switch (node.access) {
+    case AccessMethod::kTableScan:
+      return name + "(scan)";
+    case AccessMethod::kIndexRange: {
+      std::string idx = "?";
+      if (node.leaf->table != nullptr && node.index_id >= 0) {
+        idx = node.leaf->table->indexes[static_cast<size_t>(node.index_id)]
+                  .name;
+      }
+      return name + "(range:" + idx + ")";
+    }
+    case AccessMethod::kIndexLookup: {
+      std::string idx = "?";
+      if (node.leaf->table != nullptr && node.index_id >= 0) {
+        idx = node.leaf->table->indexes[static_cast<size_t>(node.index_id)]
+                  .name;
+      }
+      return name + "(ref:" + idx + ")";
+    }
+  }
+  return name;
+}
+
+void Render(const BlockSkeleton& skel, std::string* out) {
+  *out += "block " + std::to_string(skel.block->block_id) + ": [";
+  if (skel.root != nullptr) {
+    std::vector<const SkeletonNode*> leaves;
+    skel.root->BestPositionArray(&leaves);
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      if (i) *out += ", ";
+      *out += LeafLabel(*leaves[i]);
+    }
+  }
+  *out += "]\n";
+  for (const auto& [leaf, sub] : skel.derived) Render(*sub, out);
+  for (const auto& [expr, sub] : skel.subqueries) Render(*sub, out);
+  for (const auto& arm : skel.union_arms) Render(*arm, out);
+}
+
+}  // namespace
+
+std::string RenderBestPositionArrays(const BlockSkeleton& skel) {
+  std::string out;
+  Render(skel, &out);
+  return out;
+}
+
+}  // namespace taurus

@@ -1,0 +1,50 @@
+#include "orca/logical.h"
+
+#include "orca/orca.h"
+
+namespace taurus {
+
+const char* JoinSearchStrategyName(JoinSearchStrategy s) {
+  switch (s) {
+    case JoinSearchStrategy::kGreedy:
+      return "GREEDY";
+    case JoinSearchStrategy::kExhaustive:
+      return "EXHAUSTIVE";
+    case JoinSearchStrategy::kExhaustive2:
+      return "EXHAUSTIVE2";
+  }
+  return "?";
+}
+
+std::string OrcaLogicalOp::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out;
+  switch (kind) {
+    case Kind::kGet:
+      out = pad + "LogicalGet(" + (leaf != nullptr ? leaf->alias : "?") +
+            ", oid=" + std::to_string(relation_oid) + ")\n";
+      break;
+    case Kind::kSelect: {
+      out = pad + "LogicalSelect[";
+      for (size_t i = 0; i < conds.size(); ++i) {
+        if (i) out += " AND ";
+        out += conds[i]->ToString();
+      }
+      out += "]\n";
+      break;
+    }
+    case Kind::kJoin: {
+      out = pad + "LogicalJoin(" + JoinTypeName(join_type) + ")[";
+      for (size_t i = 0; i < conds.size(); ++i) {
+        if (i) out += " AND ";
+        out += conds[i]->ToString();
+      }
+      out += "]\n";
+      break;
+    }
+  }
+  for (const auto& c : children) out += c->ToString(indent + 1);
+  return out;
+}
+
+}  // namespace taurus

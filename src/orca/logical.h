@@ -1,0 +1,49 @@
+#ifndef TAURUS_ORCA_LOGICAL_H_
+#define TAURUS_ORCA_LOGICAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "parser/ast.h"
+
+namespace taurus {
+
+/// Orca logical operator tree — what the Parse Tree Converter produces
+/// (Section 4.1). Selection pushdown has already happened by construction:
+/// single-table conjuncts live in Select nodes directly above their Gets
+/// (the paper's "predicate segregation"), and only genuine join predicates
+/// sit on Join nodes, as in the paper's Listing 4.
+struct OrcaLogicalOp {
+  enum class Kind { kGet, kSelect, kJoin };
+
+  Kind kind = Kind::kGet;
+
+  // kGet: the table descriptor. `leaf` doubles as the pointer to MySQL's
+  // TABLE_LIST entry (Section 4.1) — it is carried into the physical plan
+  // and used by the plan converter's query-block discovery.
+  TableRef* leaf = nullptr;
+  /// Relation OID obtained from the metadata provider during
+  /// "embellishment" (Section 4.1).
+  int64_t relation_oid = -1;
+
+  // kSelect / kJoin predicate conjuncts. Join conjuncts may carry
+  // expression OIDs assigned by the metadata provider.
+  std::vector<Expr*> conds;
+  /// Expression OIDs parallel to `conds` (kInvalidOid where no cube point
+  /// applies, e.g. BETWEEN).
+  std::vector<int64_t> cond_oids;
+
+  // kJoin
+  JoinType join_type = JoinType::kInner;
+
+  std::vector<std::unique_ptr<OrcaLogicalOp>> children;
+
+  /// Pretty-printer for tests and debugging.
+  std::string ToString(int indent = 0) const;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_ORCA_LOGICAL_H_

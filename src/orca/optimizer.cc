@@ -1,0 +1,835 @@
+#include "orca/optimizer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "parser/ast_util.h"
+
+namespace taurus {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Collects base/derived leaves under a logical subtree.
+void CollectGetLeaves(const OrcaLogicalOp* op, std::vector<TableRef*>* out) {
+  if (op->kind == OrcaLogicalOp::Kind::kGet) {
+    out->push_back(op->leaf);
+    return;
+  }
+  for (const auto& c : op->children) CollectGetLeaves(c.get(), out);
+}
+
+/// One reorderable element of the flattened join tree.
+struct Unit {
+  OrcaLogicalOp* op = nullptr;   ///< Get, or subtree root for composites
+  TableRef* leaf = nullptr;      ///< set for simple (Get) units
+  std::vector<Expr*> local_conds;
+  JoinType join_type = JoinType::kInner;
+  uint64_t dependency = 0;
+  std::vector<Expr*> join_conds;
+
+  double rows = 1.0;             ///< after local conjuncts
+  double base_rows = 1.0;        ///< before local conjuncts
+  double access_cost = 0.0;      ///< best standalone access cost
+  OrcaPhysicalOp::Kind access = OrcaPhysicalOp::Kind::kTableScan;
+  int access_index = -1;
+  std::unique_ptr<OrcaPhysicalOp> composite_plan;  ///< for composite units
+};
+
+struct PoolConjunct {
+  Expr* expr = nullptr;
+  uint64_t units = 0;
+};
+
+/// Best physical alternative memoized per unit subset (a memo group).
+struct GroupState {
+  int id = -1;
+  double rows = -1.0;
+  double cost = kInf;
+  bool done = false;
+  bool is_leaf = false;
+  int leaf_unit = -1;
+  // Join spec.
+  uint64_t left = 0;
+  uint64_t right = 0;
+  OrcaPhysicalOp::Kind impl = OrcaPhysicalOp::Kind::kHashJoin;
+  JoinType join_type = JoinType::kInner;
+  int inner_index = -1;  ///< index for index-NLJ lookups on the right leaf
+};
+
+class JoinSearch {
+ public:
+  JoinSearch(const OrcaConfig& config, StatsProvider* stats, int num_refs,
+             int64_t* partitions, int* groups)
+      : config_(config),
+        stats_(stats),
+        num_refs_(num_refs),
+        partitions_(partitions),
+        groups_(groups) {}
+
+  Status Flatten(OrcaLogicalOp* root);
+  Result<std::unique_ptr<OrcaPhysicalOp>> Run();
+
+ private:
+  Status FlattenInto(OrcaLogicalOp* op, uint64_t* added,
+                     std::vector<Expr*> pending_conds);
+  Status AddUnit(OrcaLogicalOp* op, JoinType type, uint64_t dependency,
+                 std::vector<Expr*> join_conds,
+                 std::vector<Expr*> local_conds, uint64_t* added);
+  Status SetupUnit(Unit* unit);
+
+  uint64_t UnitMask(const Expr& e) const;
+  bool Admissible(uint64_t set) const;
+  std::vector<Expr*> CrossConds(uint64_t a, uint64_t b) const;
+  double CrossSelectivity(const std::vector<Expr*>& conds) const;
+  double Rows(uint64_t set);
+  GroupState& GroupOf(uint64_t set);
+  Status OptimizeSet(uint64_t set);
+  Status TryPartition(uint64_t set, uint64_t a, uint64_t b, GroupState* g,
+                      bool allow_cross);
+  Status GreedyPlan(uint64_t set);
+  std::unique_ptr<OrcaPhysicalOp> Extract(uint64_t set);
+  std::unique_ptr<OrcaPhysicalOp> BuildLeafPlan(int unit_idx,
+                                                bool as_lookup,
+                                                int lookup_index);
+
+  const OrcaConfig& config_;
+  StatsProvider* stats_;
+  int num_refs_;
+  int64_t* partitions_;
+  int* groups_;
+
+  std::vector<Unit> units_;
+  std::vector<PoolConjunct> pool_;
+  std::unordered_map<int, int> unit_of_ref_;
+  std::unordered_map<uint64_t, GroupState> memo_;
+  std::unordered_map<uint64_t, double> rows_memo_;
+  int64_t budget_ = 0;
+  bool budget_exhausted_ = false;
+};
+
+Status JoinSearch::AddUnit(OrcaLogicalOp* op, JoinType type,
+                           uint64_t dependency,
+                           std::vector<Expr*> join_conds,
+                           std::vector<Expr*> local_conds, uint64_t* added) {
+  if (units_.size() >= 64) {
+    return Status::NotSupported("more than 64 join units in one block");
+  }
+  int idx = static_cast<int>(units_.size());
+  Unit u;
+  u.op = op;
+  if (op->kind == OrcaLogicalOp::Kind::kGet) u.leaf = op->leaf;
+  u.join_type = type;
+  u.dependency = dependency;
+  u.join_conds = std::move(join_conds);
+  u.local_conds = std::move(local_conds);
+  std::vector<TableRef*> leaves;
+  CollectGetLeaves(op, &leaves);
+  for (TableRef* leaf : leaves) unit_of_ref_[leaf->ref_id] = idx;
+  units_.push_back(std::move(u));
+  *added |= 1ULL << idx;
+  return Status::OK();
+}
+
+Status JoinSearch::FlattenInto(OrcaLogicalOp* op, uint64_t* added,
+                               std::vector<Expr*> pending_conds) {
+  switch (op->kind) {
+    case OrcaLogicalOp::Kind::kGet:
+      return AddUnit(op, JoinType::kInner, 0, {}, std::move(pending_conds),
+                     added);
+    case OrcaLogicalOp::Kind::kSelect: {
+      // Selection directly over a Get: local conjuncts. Over anything
+      // else: hand the conjuncts to the pool via pending for the child.
+      std::vector<Expr*> conds = pending_conds;
+      conds.insert(conds.end(), op->conds.begin(), op->conds.end());
+      OrcaLogicalOp* child = op->children[0].get();
+      if (child->kind == OrcaLogicalOp::Kind::kGet) {
+        return AddUnit(child, JoinType::kInner, 0, {}, std::move(conds),
+                       added);
+      }
+      TAURUS_RETURN_IF_ERROR(FlattenInto(child, added, {}));
+      for (Expr* c : conds) pool_.push_back(PoolConjunct{c, 0});
+      return Status::OK();
+    }
+    case OrcaLogicalOp::Kind::kJoin: {
+      if (op->join_type == JoinType::kInner ||
+          op->join_type == JoinType::kCross) {
+        TAURUS_RETURN_IF_ERROR(FlattenInto(op->children[0].get(), added, {}));
+        TAURUS_RETURN_IF_ERROR(FlattenInto(op->children[1].get(), added, {}));
+        for (Expr* c : op->conds) pool_.push_back(PoolConjunct{c, 0});
+        for (Expr* c : pending_conds) pool_.push_back(PoolConjunct{c, 0});
+        return Status::OK();
+      }
+      uint64_t left_mask = 0;
+      TAURUS_RETURN_IF_ERROR(
+          FlattenInto(op->children[0].get(), &left_mask, {}));
+      *added |= left_mask;
+      OrcaLogicalOp* right = op->children[1].get();
+      std::vector<Expr*> local;
+      if (right->kind == OrcaLogicalOp::Kind::kSelect &&
+          right->children[0]->kind == OrcaLogicalOp::Kind::kGet) {
+        local = right->conds;
+        right = right->children[0].get();
+      }
+      TAURUS_RETURN_IF_ERROR(AddUnit(right, op->join_type, left_mask,
+                                     op->conds, std::move(local), added));
+      for (Expr* c : pending_conds) pool_.push_back(PoolConjunct{c, 0});
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable logical kind");
+}
+
+uint64_t JoinSearch::UnitMask(const Expr& e) const {
+  std::vector<bool> refs(static_cast<size_t>(num_refs_), false);
+  CollectReferencedRefs(e, &refs);
+  uint64_t mask = 0;
+  for (int r = 0; r < num_refs_; ++r) {
+    if (!refs[static_cast<size_t>(r)]) continue;
+    auto it = unit_of_ref_.find(r);
+    if (it != unit_of_ref_.end()) mask |= 1ULL << it->second;
+  }
+  return mask;
+}
+
+Status JoinSearch::SetupUnit(Unit* unit) {
+  if (unit->op->kind == OrcaLogicalOp::Kind::kGet) {
+    unit->base_rows = stats_->LeafBaseRows(*unit->leaf);
+    double sel = 1.0;
+    for (const Expr* c : unit->local_conds) {
+      sel *= stats_->ConjunctSelectivity(*c);
+    }
+    unit->rows = std::max(unit->base_rows * std::clamp(sel, 0.0, 1.0), 1.0);
+    // Access choice: sequential scan vs index range over a local range
+    // predicate (cost-based, unlike stock MySQL's heuristics).
+    unit->access = OrcaPhysicalOp::Kind::kTableScan;
+    unit->access_cost = unit->base_rows * config_.cost.seq_row;
+    if (unit->leaf->kind == TableRef::Kind::kBase &&
+        unit->leaf->table != nullptr) {
+      for (const Expr* c : unit->local_conds) {
+        const Expr* col = nullptr;
+        if (c->kind == Expr::Kind::kBetween && !c->negated) {
+          col = c->children[0].get();
+        } else if (c->kind == Expr::Kind::kBinary && IsComparisonOp(c->bop) &&
+                   c->bop != BinaryOp::kNe) {
+          if (c->children[0]->kind == Expr::Kind::kColumnRef) {
+            col = c->children[0].get();
+          } else if (c->children[1]->kind == Expr::Kind::kColumnRef) {
+            col = c->children[1].get();
+          }
+        }
+        if (col == nullptr || col->kind != Expr::Kind::kColumnRef ||
+            col->ref_id != unit->leaf->ref_id) {
+          continue;
+        }
+        for (size_t i = 0; i < unit->leaf->table->indexes.size(); ++i) {
+          const IndexDef& idx = unit->leaf->table->indexes[i];
+          if (idx.column_idx.empty() ||
+              idx.column_idx[0] != col->column_idx) {
+            continue;
+          }
+          double range_sel = stats_->ConjunctSelectivity(*c);
+          double cost = config_.cost.index_descend +
+                        range_sel * unit->base_rows * config_.cost.index_row;
+          if (cost < unit->access_cost) {
+            unit->access_cost = cost;
+            unit->access = OrcaPhysicalOp::Kind::kIndexRangeScan;
+            unit->access_index = static_cast<int>(i);
+          }
+        }
+      }
+      // Correlated "ref" access: equality binding an index's first key
+      // column to a purely-outer expression (correlated subquery blocks).
+      for (const Expr* c : unit->local_conds) {
+        if (c->kind != Expr::Kind::kBinary || c->bop != BinaryOp::kEq) {
+          continue;
+        }
+        for (int side = 0; side < 2; ++side) {
+          const Expr& col = *c->children[static_cast<size_t>(side)];
+          const Expr& other = *c->children[static_cast<size_t>(1 - side)];
+          if (col.kind != Expr::Kind::kColumnRef ||
+              col.ref_id != unit->leaf->ref_id) {
+            continue;
+          }
+          std::vector<bool> other_refs(static_cast<size_t>(num_refs_),
+                                       false);
+          CollectReferencedRefs(other, &other_refs);
+          if (unit->leaf->ref_id >= 0 &&
+              other_refs[static_cast<size_t>(unit->leaf->ref_id)]) {
+            continue;
+          }
+          bool touches_sibling_unit = false;
+          for (int r = 0; r < num_refs_; ++r) {
+            if (other_refs[static_cast<size_t>(r)] &&
+                unit_of_ref_.count(r) != 0) {
+              touches_sibling_unit = true;
+            }
+          }
+          if (touches_sibling_unit) continue;
+          for (size_t i = 0; i < unit->leaf->table->indexes.size(); ++i) {
+            const IndexDef& idx = unit->leaf->table->indexes[i];
+            if (idx.column_idx.empty() ||
+                idx.column_idx[0] != col.column_idx) {
+              continue;
+            }
+            double ndv = stats_->NdvOf(unit->leaf->ref_id, col.column_idx,
+                                       std::max(unit->base_rows, 1.0));
+            double match =
+                std::max(unit->base_rows / std::max(ndv, 1.0), 1.0);
+            double cost = config_.cost.index_descend +
+                          match * config_.cost.index_row;
+            if (cost < unit->access_cost) {
+              unit->access_cost = cost;
+              unit->access = OrcaPhysicalOp::Kind::kIndexLookup;
+              unit->access_index = static_cast<int>(i);
+            }
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+  // Composite unit: optimize its subtree recursively with a fresh search,
+  // folding in join-cond pieces that reference only this unit.
+  JoinSearch sub(config_, stats_, num_refs_, partitions_, groups_);
+  TAURUS_RETURN_IF_ERROR(sub.Flatten(unit->op));
+  // Restrict join_conds to subtree-only pieces and push them in.
+  for (Expr* jc : unit->join_conds) {
+    uint64_t m = sub.UnitMask(*jc);
+    bool subtree_only = true;
+    std::vector<bool> refs(static_cast<size_t>(num_refs_), false);
+    CollectReferencedRefs(*jc, &refs);
+    std::vector<TableRef*> leaves;
+    CollectGetLeaves(unit->op, &leaves);
+    for (int r = 0; r < num_refs_; ++r) {
+      if (!refs[static_cast<size_t>(r)]) continue;
+      bool inside = false;
+      for (TableRef* l : leaves) {
+        if (l->ref_id == r) inside = true;
+      }
+      // Outer-block refs (not any unit) are fine; refs to sibling units
+      // of the parent search are not.
+      if (!inside && unit_of_ref_.count(r) != 0) subtree_only = false;
+    }
+    (void)m;
+    if (subtree_only) sub.pool_.push_back(PoolConjunct{jc, 0});
+  }
+  for (PoolConjunct& c : sub.pool_) c.units = sub.UnitMask(*c.expr);
+  // Fold freshly-added single-unit conjuncts into unit-local conditions.
+  {
+    std::vector<PoolConjunct> keep;
+    for (PoolConjunct& c : sub.pool_) {
+      if (c.units != 0 && std::popcount(c.units) == 1) {
+        int uidx = std::countr_zero(c.units);
+        Unit& su = sub.units_[static_cast<size_t>(uidx)];
+        bool already = false;
+        for (const Expr* lc : su.local_conds) {
+          if (lc == c.expr) already = true;
+        }
+        if (!already) su.local_conds.push_back(c.expr);
+      } else {
+        keep.push_back(c);
+      }
+    }
+    sub.pool_ = std::move(keep);
+  }
+  TAURUS_ASSIGN_OR_RETURN(unit->composite_plan, sub.Run());
+  unit->rows = std::max(unit->composite_plan->rows, 1.0);
+  unit->base_rows = unit->rows;
+  unit->access_cost = unit->composite_plan->cost;
+  return Status::OK();
+}
+
+Status JoinSearch::Flatten(OrcaLogicalOp* root) {
+  uint64_t added = 0;
+  TAURUS_RETURN_IF_ERROR(FlattenInto(root, &added, {}));
+  for (PoolConjunct& c : pool_) c.units = UnitMask(*c.expr);
+  // Single-unit pool conjuncts fold into that unit's local conditions.
+  std::vector<PoolConjunct> keep;
+  for (PoolConjunct& c : pool_) {
+    if (c.units != 0 && std::popcount(c.units) == 1) {
+      int u = std::countr_zero(c.units);
+      units_[static_cast<size_t>(u)].local_conds.push_back(c.expr);
+    } else {
+      keep.push_back(c);
+    }
+  }
+  pool_ = std::move(keep);
+  return Status::OK();
+}
+
+bool JoinSearch::Admissible(uint64_t set) const {
+  if (std::popcount(set) == 1) return true;
+  for (size_t u = 0; u < units_.size(); ++u) {
+    if ((set & (1ULL << u)) == 0) continue;
+    if (units_[u].join_type == JoinType::kInner) continue;
+    if ((units_[u].dependency & ~set) != 0) return false;
+  }
+  return true;
+}
+
+std::vector<Expr*> JoinSearch::CrossConds(uint64_t a, uint64_t b) const {
+  std::vector<Expr*> out;
+  uint64_t both = a | b;
+  for (const PoolConjunct& c : pool_) {
+    if (c.units == 0) continue;
+    if ((c.units & ~both) != 0) continue;
+    if ((c.units & a) == 0 || (c.units & b) == 0) continue;
+    out.push_back(c.expr);
+  }
+  // Dependent unit joined as the whole right side contributes its ON.
+  if (std::popcount(b) == 1) {
+    const Unit& u = units_[static_cast<size_t>(std::countr_zero(b))];
+    if (u.join_type != JoinType::kInner) {
+      for (Expr* jc : u.join_conds) {
+        uint64_t m = UnitMask(*jc);
+        if (m == b) continue;  // folded into the unit already
+        out.push_back(jc);
+      }
+    }
+  }
+  return out;
+}
+
+double JoinSearch::CrossSelectivity(const std::vector<Expr*>& conds) const {
+  double sel = 1.0;
+  for (const Expr* c : conds) {
+    if (StatsProvider::IsColumnEquality(*c)) {
+      sel *= stats_->EqJoinSelectivity(*c);
+    } else {
+      sel *= stats_->ConjunctSelectivity(*c);
+    }
+  }
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+double JoinSearch::Rows(uint64_t set) {
+  auto it = rows_memo_.find(set);
+  if (it != rows_memo_.end()) return it->second;
+  double rows;
+  if (std::popcount(set) == 1) {
+    rows = units_[static_cast<size_t>(std::countr_zero(set))].rows;
+  } else {
+    // Canonical decomposition: peel the highest dependent unit whose
+    // dependency is satisfied; otherwise all-inner product formula.
+    int dependent = -1;
+    for (int u = static_cast<int>(units_.size()) - 1; u >= 0; --u) {
+      uint64_t bit = 1ULL << u;
+      if ((set & bit) == 0) continue;
+      if (units_[static_cast<size_t>(u)].join_type == JoinType::kInner) {
+        continue;
+      }
+      if ((units_[static_cast<size_t>(u)].dependency & ~(set & ~bit)) == 0) {
+        dependent = u;
+        break;
+      }
+    }
+    if (dependent >= 0) {
+      uint64_t bit = 1ULL << dependent;
+      const Unit& u = units_[static_cast<size_t>(dependent)];
+      double base = Rows(set & ~bit);
+      double sel = CrossSelectivity(CrossConds(set & ~bit, bit));
+      double inner_est = base * u.rows * sel;
+      switch (u.join_type) {
+        case JoinType::kSemi:
+          rows = std::min(base, std::max(inner_est, 1.0));
+          break;
+        case JoinType::kAntiSemi:
+          rows = std::max(base - std::min(base, inner_est), 1.0);
+          break;
+        case JoinType::kLeft:
+          rows = std::max(inner_est, base);
+          break;
+        default:
+          rows = inner_est;
+          break;
+      }
+    } else {
+      rows = 1.0;
+      for (size_t u = 0; u < units_.size(); ++u) {
+        if (set & (1ULL << u)) rows *= units_[u].rows;
+      }
+      for (const PoolConjunct& c : pool_) {
+        if (c.units == 0 || (c.units & ~set) != 0) continue;
+        if (std::popcount(c.units) < 2) continue;
+        if (StatsProvider::IsColumnEquality(*c.expr)) {
+          rows *= stats_->EqJoinSelectivity(*c.expr);
+        } else {
+          rows *= stats_->ConjunctSelectivity(*c.expr);
+        }
+      }
+    }
+  }
+  rows = std::max(rows, 1.0);
+  rows_memo_[set] = rows;
+  return rows;
+}
+
+GroupState& JoinSearch::GroupOf(uint64_t set) {
+  auto [it, inserted] = memo_.try_emplace(set);
+  if (inserted) {
+    it->second.id = (*groups_)++;
+  }
+  return it->second;
+}
+
+Status JoinSearch::TryPartition(uint64_t set, uint64_t a, uint64_t b,
+                                GroupState* g, bool allow_cross) {
+  if (!Admissible(a) || !Admissible(b)) return Status::OK();
+  JoinType jt = JoinType::kInner;
+  if (std::popcount(b) == 1) {
+    const Unit& u = units_[static_cast<size_t>(std::countr_zero(b))];
+    if (u.join_type != JoinType::kInner) {
+      if ((u.dependency & ~a) != 0) return Status::OK();
+      jt = u.join_type;
+    }
+  } else {
+    // A non-singleton right side must resolve its dependents internally.
+    for (size_t u = 0; u < units_.size(); ++u) {
+      if ((b & (1ULL << u)) == 0) continue;
+      if (units_[u].join_type != JoinType::kInner &&
+          (units_[u].dependency & ~b) != 0) {
+        return Status::OK();
+      }
+    }
+  }
+  // Dependent units in A must be resolved inside A.
+  for (size_t u = 0; u < units_.size(); ++u) {
+    if ((a & (1ULL << u)) == 0) continue;
+    if (units_[u].join_type != JoinType::kInner &&
+        (units_[u].dependency & ~a) != 0) {
+      return Status::OK();
+    }
+  }
+
+  ++(*partitions_);
+  ++budget_;
+
+  TAURUS_RETURN_IF_ERROR(OptimizeSet(a));
+  TAURUS_RETURN_IF_ERROR(OptimizeSet(b));
+  GroupState& ga = GroupOf(a);
+  GroupState& gb = GroupOf(b);
+  if (ga.cost == kInf || gb.cost == kInf) return Status::OK();
+
+  std::vector<Expr*> conds = CrossConds(a, b);
+  bool has_equality = false;
+  for (const Expr* c : conds) {
+    if (StatsProvider::IsColumnEquality(*c)) has_equality = true;
+  }
+  // Require connectivity for inner joins unless the caller has determined
+  // that only cross products remain.
+  if (!allow_cross && jt == JoinType::kInner && conds.empty()) {
+    return Status::OK();
+  }
+
+  double out_rows = Rows(set);
+  double rows_a = Rows(a);
+  double rows_b = Rows(b);
+  const CostParams& cp = config_.cost;
+
+  // Hash join: build on the right (Orca's convention).
+  if (has_equality) {
+    double cost = ga.cost + gb.cost + rows_b * cp.hash_build +
+                  rows_a * cp.hash_probe + out_rows * cp.row_out;
+    if (cost < g->cost) {
+      g->cost = cost;
+      g->is_leaf = false;
+      g->left = a;
+      g->right = b;
+      g->impl = OrcaPhysicalOp::Kind::kHashJoin;
+      g->join_type = jt;
+      g->inner_index = -1;
+    }
+  }
+
+  // Index nested-loop join: right side is a single base leaf with an index
+  // whose first key column is bound by one of the equalities.
+  if (config_.enable_index_nlj && std::popcount(b) == 1) {
+    const Unit& u = units_[static_cast<size_t>(std::countr_zero(b))];
+    if (u.leaf != nullptr && u.leaf->kind == TableRef::Kind::kBase &&
+        u.leaf->table != nullptr) {
+      for (size_t i = 0; i < u.leaf->table->indexes.size(); ++i) {
+        const IndexDef& idx = u.leaf->table->indexes[i];
+        if (idx.column_idx.empty()) continue;
+        bool bound = false;
+        for (const Expr* c : conds) {
+          if (c->kind != Expr::Kind::kBinary || c->bop != BinaryOp::kEq) {
+            continue;
+          }
+          for (int side = 0; side < 2; ++side) {
+            const Expr& col = *c->children[static_cast<size_t>(side)];
+            if (col.kind == Expr::Kind::kColumnRef &&
+                col.ref_id == u.leaf->ref_id &&
+                col.column_idx == idx.column_idx[0]) {
+              bound = true;
+            }
+          }
+        }
+        if (!bound) continue;
+        double ndv = stats_->NdvOf(u.leaf->ref_id, idx.column_idx[0],
+                                   std::max(u.base_rows, 1.0));
+        double match = std::max(u.base_rows / std::max(ndv, 1.0), 1.0);
+        double cost = ga.cost +
+                      rows_a * (cp.index_descend + match * cp.index_row) +
+                      out_rows * cp.row_out;
+        if (cost < g->cost) {
+          g->cost = cost;
+          g->is_leaf = false;
+          g->left = a;
+          g->right = b;
+          g->impl = OrcaPhysicalOp::Kind::kNLJoin;
+          g->join_type = jt;
+          g->inner_index = static_cast<int>(i);
+        }
+      }
+    }
+  }
+
+  // Plain nested-loop join (inner side re-executed per outer row).
+  {
+    double inner_cost = std::max(gb.cost, 1.0);
+    double cost =
+        ga.cost + rows_a * inner_cost + out_rows * cp.row_out;
+    if (cost < g->cost) {
+      g->cost = cost;
+      g->is_leaf = false;
+      g->left = a;
+      g->right = b;
+      g->impl = OrcaPhysicalOp::Kind::kNLJoin;
+      g->join_type = jt;
+      g->inner_index = -1;
+    }
+  }
+  return Status::OK();
+}
+
+Status JoinSearch::OptimizeSet(uint64_t set) {
+  GroupState& g = GroupOf(set);
+  if (g.done) return Status::OK();
+  g.done = true;  // set first; recursion on subsets only (strictly smaller)
+  g.rows = Rows(set);
+
+  if (std::popcount(set) == 1) {
+    int u = std::countr_zero(set);
+    g.is_leaf = true;
+    g.leaf_unit = u;
+    g.cost = units_[static_cast<size_t>(u)].access_cost;
+    return Status::OK();
+  }
+
+  int64_t budget_cap =
+      config_.strategy == JoinSearchStrategy::kExhaustive2
+          ? config_.exhaustive2_pair_budget
+          : config_.exhaustive_pair_budget;
+  if (config_.strategy == JoinSearchStrategy::kGreedy ||
+      budget_exhausted_ || budget_ > budget_cap) {
+    budget_exhausted_ = budget_ > budget_cap || budget_exhausted_;
+    return GreedyPlan(set);
+  }
+
+  bool bushy = config_.strategy == JoinSearchStrategy::kExhaustive2 &&
+               config_.enable_bushy;
+
+  for (int pass = 0; pass < 2 && g.cost == kInf; ++pass) {
+    // pass 0: connected partitions only; pass 1: allow cross products.
+    if (bushy) {
+      // Enumerate proper subsets a of set (canonicalized by containing the
+      // lowest bit), try both orientations.
+      uint64_t low = set & (~set + 1);
+      for (uint64_t a = (set - 1) & set; a != 0; a = (a - 1) & set) {
+        if ((a & low) == 0) continue;
+        uint64_t b = set & ~a;
+        if (pass == 0 && CrossConds(a, b).empty()) continue;
+        TAURUS_RETURN_IF_ERROR(TryPartition(set, a, b, &g, pass == 1));
+        TAURUS_RETURN_IF_ERROR(TryPartition(set, b, a, &g, pass == 1));
+        if (budget_ > budget_cap) break;
+      }
+    } else {
+      // Linear: the right side is always a single unit.
+      for (size_t u = 0; u < units_.size(); ++u) {
+        uint64_t bit = 1ULL << u;
+        if ((set & bit) == 0) continue;
+        uint64_t rest = set & ~bit;
+        if (pass == 0 && CrossConds(rest, bit).empty()) continue;
+        TAURUS_RETURN_IF_ERROR(TryPartition(set, rest, bit, &g, pass == 1));
+        // Commuted orientation for inner units (hash-join side choice).
+        if (units_[u].join_type == JoinType::kInner) {
+          TAURUS_RETURN_IF_ERROR(TryPartition(set, bit, rest, &g, pass == 1));
+        }
+        if (budget_ > budget_cap) break;
+      }
+    }
+  }
+  if (g.cost == kInf) {
+    // Dependency structure defeated the enumerator; fall back to greedy.
+    g.done = false;
+    return GreedyPlan(set);
+  }
+  return Status::OK();
+}
+
+Status JoinSearch::GreedyPlan(uint64_t set) {
+  GroupState& g = GroupOf(set);
+  if (g.done && g.cost < kInf) return Status::OK();
+  g.done = true;
+  g.rows = Rows(set);
+  if (std::popcount(set) == 1) {
+    int u = std::countr_zero(set);
+    g.is_leaf = true;
+    g.leaf_unit = u;
+    g.cost = units_[static_cast<size_t>(u)].access_cost;
+    return Status::OK();
+  }
+  // Greedy left-deep: repeatedly find the cheapest last join (b singleton)
+  // by recursing greedily on set \ b.
+  double best_cost = kInf;
+  uint64_t best_b = 0;
+  GroupState trial;
+  for (size_t u = 0; u < units_.size(); ++u) {
+    uint64_t bit = 1ULL << u;
+    if ((set & bit) == 0) continue;
+    uint64_t rest = set & ~bit;
+    if (!Admissible(rest)) continue;
+    if (units_[u].join_type != JoinType::kInner &&
+        (units_[u].dependency & ~rest) != 0) {
+      continue;
+    }
+    // Dependents inside rest must stay resolvable.
+    bool ok = true;
+    for (size_t v = 0; v < units_.size(); ++v) {
+      if ((rest & (1ULL << v)) == 0) continue;
+      if (units_[v].join_type != JoinType::kInner &&
+          (units_[v].dependency & ~(rest & ~(1ULL << v))) != 0) {
+        ok = false;
+      }
+    }
+    if (!ok) continue;
+    if (CrossConds(rest, bit).empty() &&
+        units_[u].join_type == JoinType::kInner) {
+      continue;  // avoid cross products while alternatives exist
+    }
+    GroupState cand;
+    cand.cost = kInf;
+    TAURUS_RETURN_IF_ERROR(GreedyPlan(rest));
+    TAURUS_RETURN_IF_ERROR(OptimizeSet(bit));
+    TAURUS_RETURN_IF_ERROR(TryPartition(set, rest, bit, &cand, false));
+    if (cand.cost < best_cost) {
+      best_cost = cand.cost;
+      best_b = bit;
+      trial = cand;
+    }
+  }
+  if (best_b == 0) {
+    // All extensions were cross products; allow them.
+    for (size_t u = 0; u < units_.size(); ++u) {
+      uint64_t bit = 1ULL << u;
+      if ((set & bit) == 0) continue;
+      uint64_t rest = set & ~bit;
+      if (!Admissible(rest)) continue;
+      if (units_[u].join_type != JoinType::kInner &&
+          (units_[u].dependency & ~rest) != 0) {
+        continue;
+      }
+      GroupState cand;
+      cand.cost = kInf;
+      TAURUS_RETURN_IF_ERROR(GreedyPlan(rest));
+      TAURUS_RETURN_IF_ERROR(OptimizeSet(bit));
+      TAURUS_RETURN_IF_ERROR(TryPartition(set, rest, bit, &cand, true));
+      if (cand.cost < best_cost) {
+        best_cost = cand.cost;
+        best_b = bit;
+        trial = cand;
+      }
+    }
+  }
+  if (best_b == 0) {
+    return Status::Internal("greedy join ordering found no extension");
+  }
+  trial.id = g.id;
+  trial.rows = g.rows;
+  trial.done = true;
+  g = trial;
+  return Status::OK();
+}
+
+std::unique_ptr<OrcaPhysicalOp> JoinSearch::BuildLeafPlan(int unit_idx,
+                                                          bool as_lookup,
+                                                          int lookup_index) {
+  Unit& u = units_[static_cast<size_t>(unit_idx)];
+  if (u.composite_plan != nullptr) {
+    return std::move(u.composite_plan);
+  }
+  auto op = std::make_unique<OrcaPhysicalOp>();
+  op->leaf = u.leaf;
+  op->filters = u.local_conds;
+  op->rows = u.rows;
+  op->cost = u.access_cost;
+  if (as_lookup) {
+    op->kind = OrcaPhysicalOp::Kind::kIndexLookup;
+    op->index_id = lookup_index;
+  } else {
+    op->kind = u.access;
+    op->index_id = u.access_index;
+  }
+  return op;
+}
+
+std::unique_ptr<OrcaPhysicalOp> JoinSearch::Extract(uint64_t set) {
+  GroupState& g = GroupOf(set);
+  if (g.is_leaf) {
+    auto op = BuildLeafPlan(g.leaf_unit, false, -1);
+    op->memo_group = g.id;
+    return op;
+  }
+  auto op = std::make_unique<OrcaPhysicalOp>();
+  op->kind = g.impl;
+  op->join_type = g.join_type;
+  op->rows = g.rows;
+  op->cost = g.cost;
+  op->memo_group = g.id;
+  op->conds = CrossConds(g.left, g.right);
+  op->children.push_back(Extract(g.left));
+  if (g.inner_index >= 0) {
+    GroupState& gr = GroupOf(g.right);
+    auto right = BuildLeafPlan(gr.leaf_unit, true, g.inner_index);
+    right->memo_group = gr.id;
+    op->children.push_back(std::move(right));
+  } else {
+    op->children.push_back(Extract(g.right));
+  }
+  return op;
+}
+
+Result<std::unique_ptr<OrcaPhysicalOp>> JoinSearch::Run() {
+  if (units_.empty()) {
+    return Status::Internal("no units to optimize");
+  }
+  for (Unit& u : units_) {
+    TAURUS_RETURN_IF_ERROR(SetupUnit(&u));
+  }
+  uint64_t full = units_.size() == 64
+                      ? ~0ULL
+                      : ((1ULL << units_.size()) - 1);
+  TAURUS_RETURN_IF_ERROR(OptimizeSet(full));
+  GroupState& g = GroupOf(full);
+  if (g.cost == kInf) {
+    return Status::Internal("optimizer produced no plan");
+  }
+  return Extract(full);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<OrcaPhysicalOp>> OrcaOptimizer::Optimize(
+    OrcaLogicalOp* root) {
+  JoinSearch search(config_, stats_, num_refs_, &partitions_evaluated_,
+                    &num_groups_);
+  TAURUS_RETURN_IF_ERROR(search.Flatten(root));
+  return search.Run();
+}
+
+}  // namespace taurus

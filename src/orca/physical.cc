@@ -1,0 +1,40 @@
+#include "orca/physical.h"
+
+#include <cstdio>
+
+namespace taurus {
+
+std::string OrcaPhysicalOp::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  char est[64];
+  std::snprintf(est, sizeof(est), " (rows=%.0f cost=%.0f)", rows, cost);
+  std::string out = pad;
+  switch (kind) {
+    case Kind::kTableScan:
+      out += "TableScan:" + std::to_string(memo_group) + " " +
+             (leaf ? leaf->alias : "?");
+      break;
+    case Kind::kIndexRangeScan:
+      out += "IndexScan:" + std::to_string(memo_group) + " " +
+             (leaf ? leaf->alias : "?");
+      break;
+    case Kind::kIndexLookup:
+      out += "IndexLookup:" + std::to_string(memo_group) + " " +
+             (leaf ? leaf->alias : "?");
+      break;
+    case Kind::kNLJoin:
+      out += std::string("NLJoin[") + JoinTypeName(join_type) + "]:" +
+             std::to_string(memo_group);
+      break;
+    case Kind::kHashJoin:
+      out += std::string("HashJoin[") + JoinTypeName(join_type) + "]:" +
+             std::to_string(memo_group);
+      break;
+  }
+  out += est;
+  out += "\n";
+  for (const auto& c : children) out += c->ToString(indent + 1);
+  return out;
+}
+
+}  // namespace taurus

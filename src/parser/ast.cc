@@ -1,0 +1,355 @@
+#include "parser/ast.h"
+
+namespace taurus {
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsArithmeticOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+BinaryOp CommuteComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // = and <> are symmetric
+  }
+}
+
+BinaryOp InverseComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return BinaryOp::kNe;
+    case BinaryOp::kNe:
+      return BinaryOp::kEq;
+    case BinaryOp::kLt:
+      return BinaryOp::kGe;
+    case BinaryOp::kLe:
+      return BinaryOp::kGt;
+    case BinaryOp::kGt:
+      return BinaryOp::kLe;
+    case BinaryOp::kGe:
+      return BinaryOp::kLt;
+    default:
+      return op;
+  }
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCountStar:
+      return "count(*)";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kStddev:
+      return "stddev";
+  }
+  return "?";
+}
+
+const char* JoinTypeName(JoinType t) {
+  switch (t) {
+    case JoinType::kInner:
+      return "inner";
+    case JoinType::kCross:
+      return "cross";
+    case JoinType::kLeft:
+      return "left";
+    case JoinType::kSemi:
+      return "semi";
+    case JoinType::kAntiSemi:
+      return "anti-semi";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->table_name = table_name;
+  out->column_name = column_name;
+  out->ref_id = ref_id;
+  out->column_idx = column_idx;
+  out->column_nullable = column_nullable;
+  out->bop = bop;
+  out->uop = uop;
+  out->negated = negated;
+  out->func_name = func_name;
+  out->agg_func = agg_func;
+  out->agg_distinct = agg_distinct;
+  out->case_has_else = case_has_else;
+  out->cast_type = cast_type;
+  out->interval_unit = interval_unit;
+  out->interval_amount = interval_amount;
+  out->result_type = result_type;
+  out->subplan_id = subplan_id;
+  out->children.reserve(children.size());
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  if (subquery) out->subquery = subquery->Clone();
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      if (literal.kind() == Value::Kind::kString) {
+        return "'" + literal.ToString() + "'";
+      }
+      return literal.ToString();
+    case Kind::kColumnRef:
+      if (!table_name.empty()) return table_name + "." + column_name;
+      return column_name;
+    case Kind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinaryOpName(bop) + " " +
+             children[1]->ToString() + ")";
+    case Kind::kUnary:
+      switch (uop) {
+        case UnaryOp::kNot:
+          return "(NOT " + children[0]->ToString() + ")";
+        case UnaryOp::kNeg:
+          return "(-" + children[0]->ToString() + ")";
+        case UnaryOp::kIsNull:
+          return "(" + children[0]->ToString() + " IS NULL)";
+        case UnaryOp::kIsNotNull:
+          return "(" + children[0]->ToString() + " IS NOT NULL)";
+      }
+      return "?";
+    case Kind::kFuncCall: {
+      std::string out = func_name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kAgg: {
+      if (agg_func == AggFunc::kCountStar) return "count(*)";
+      std::string out = AggFuncName(agg_func);
+      out += "(";
+      if (agg_distinct) out += "distinct ";
+      out += children[0]->ToString();
+      return out + ")";
+    }
+    case Kind::kCase: {
+      std::string out = "CASE";
+      size_t n = children.size() - (case_has_else ? 1 : 0);
+      for (size_t i = 0; i + 1 < n; i += 2) {
+        out += " WHEN " + children[i]->ToString() + " THEN " +
+               children[i + 1]->ToString();
+      }
+      if (case_has_else) out += " ELSE " + children.back()->ToString();
+      return out + " END";
+    }
+    case Kind::kInList: {
+      std::string out = "(" + children[0]->ToString() +
+                        (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + "))";
+    }
+    case Kind::kBetween:
+      return "(" + children[0]->ToString() + (negated ? " NOT" : "") +
+             " BETWEEN " + children[1]->ToString() + " AND " +
+             children[2]->ToString() + ")";
+    case Kind::kLike:
+      return "(" + children[0]->ToString() + (negated ? " NOT" : "") +
+             " LIKE " + children[1]->ToString() + ")";
+    case Kind::kExists:
+      return std::string(negated ? "NOT " : "") + "EXISTS(<subquery>)";
+    case Kind::kInSubquery:
+      return "(" + children[0]->ToString() + (negated ? " NOT" : "") +
+             " IN (<subquery>))";
+    case Kind::kScalarSubquery:
+      return "(<subquery>)";
+    case Kind::kCast:
+      return "CAST(" + children[0]->ToString() + " AS " +
+             TypeIdName(cast_type) + ")";
+    case Kind::kIntervalAdd: {
+      const char* unit = interval_unit == IntervalUnit::kDay     ? "DAY"
+                         : interval_unit == IntervalUnit::kMonth ? "MONTH"
+                                                                 : "YEAR";
+      return "(" + children[0]->ToString() +
+             (interval_amount >= 0 ? " + INTERVAL " : " - INTERVAL ") +
+             std::to_string(interval_amount >= 0 ? interval_amount
+                                                 : -interval_amount) +
+             " " + unit + ")";
+    }
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kLiteral;
+  e->literal = std::move(v);
+  e->result_type = e->literal.type();
+  return e;
+}
+
+std::unique_ptr<Expr> MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kColumnRef;
+  e->table_name = std::move(table);
+  e->column_name = std::move(column);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeBinary(BinaryOp op, std::unique_ptr<Expr> l,
+                                 std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kBinary;
+  e->bop = op;
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+std::unique_ptr<Expr> MakeUnary(UnaryOp op, std::unique_ptr<Expr> operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kUnary;
+  e->uop = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+std::unique_ptr<TableRef> TableRef::Clone() const {
+  auto out = std::make_unique<TableRef>();
+  out->kind = kind;
+  out->table_name = table_name;
+  out->alias = alias;
+  if (derived) out->derived = derived->Clone();
+  out->from_cte = from_cte;
+  out->cte_name = cte_name;
+  out->join_type = join_type;
+  if (left) out->left = left->Clone();
+  if (right) out->right = right->Clone();
+  if (on) out->on = on->Clone();
+  out->ref_id = ref_id;
+  out->table = table;
+  out->owner = nullptr;  // re-established by the binder
+  return out;
+}
+
+std::unique_ptr<QueryBlock> QueryBlock::Clone() const {
+  auto out = std::make_unique<QueryBlock>();
+  for (const CteDef& cte : ctes) {
+    out->ctes.push_back(CteDef{cte.name, cte.query->Clone()});
+  }
+  out->distinct = distinct;
+  for (const SelectItem& item : select_items) {
+    out->select_items.push_back(SelectItem{item.expr->Clone(), item.alias});
+  }
+  for (const auto& t : from) out->from.push_back(t->Clone());
+  if (where) out->where = where->Clone();
+  for (const auto& g : group_by) out->group_by.push_back(g->Clone());
+  if (having) out->having = having->Clone();
+  for (const OrderItem& o : order_by) {
+    out->order_by.push_back(OrderItem{o.expr->Clone(), o.ascending});
+  }
+  out->limit = limit;
+  out->offset = offset;
+  if (union_next) out->union_next = union_next->Clone();
+  out->union_all = union_all;
+  out->block_id = block_id;
+  return out;
+}
+
+namespace {
+
+void CollectLeaves(TableRef* ref, std::vector<TableRef*>* out) {
+  if (ref->kind == TableRef::Kind::kJoin) {
+    CollectLeaves(ref->left.get(), out);
+    CollectLeaves(ref->right.get(), out);
+  } else {
+    out->push_back(ref);
+  }
+}
+
+}  // namespace
+
+std::vector<TableRef*> QueryBlock::Leaves() {
+  std::vector<TableRef*> out;
+  for (const auto& t : from) CollectLeaves(t.get(), &out);
+  return out;
+}
+
+std::vector<const TableRef*> QueryBlock::Leaves() const {
+  std::vector<TableRef*> out;
+  for (const auto& t : from) {
+    CollectLeaves(const_cast<TableRef*>(t.get()), &out);
+  }
+  return std::vector<const TableRef*>(out.begin(), out.end());
+}
+
+}  // namespace taurus

@@ -1,0 +1,136 @@
+#include "parser/ast_util.h"
+
+namespace taurus {
+
+bool ExprEquals(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  if (a.children.size() != b.children.size()) return false;
+  switch (a.kind) {
+    case Expr::Kind::kLiteral:
+      if (a.literal.is_null() != b.literal.is_null()) return false;
+      if (Value::Compare(a.literal, b.literal) != 0) return false;
+      break;
+    case Expr::Kind::kColumnRef:
+      if (a.ref_id != b.ref_id || a.column_idx != b.column_idx) return false;
+      break;
+    case Expr::Kind::kBinary:
+      if (a.bop != b.bop) return false;
+      break;
+    case Expr::Kind::kUnary:
+      if (a.uop != b.uop) return false;
+      break;
+    case Expr::Kind::kFuncCall:
+      if (a.func_name != b.func_name) return false;
+      break;
+    case Expr::Kind::kAgg:
+      if (a.agg_func != b.agg_func || a.agg_distinct != b.agg_distinct) {
+        return false;
+      }
+      break;
+    case Expr::Kind::kCast:
+      if (a.cast_type != b.cast_type) return false;
+      break;
+    case Expr::Kind::kIntervalAdd:
+      if (a.interval_unit != b.interval_unit ||
+          a.interval_amount != b.interval_amount) {
+        return false;
+      }
+      break;
+    case Expr::Kind::kCase:
+      if (a.case_has_else != b.case_has_else) return false;
+      break;
+    case Expr::Kind::kInList:
+    case Expr::Kind::kBetween:
+    case Expr::Kind::kLike:
+      if (a.negated != b.negated) return false;
+      break;
+    case Expr::Kind::kExists:
+    case Expr::Kind::kInSubquery:
+    case Expr::Kind::kScalarSubquery:
+      // Two textually identical subqueries bind to distinct leaves, so
+      // structural equality would be misleading; compare by identity via
+      // the compiled subplan id instead.
+      return a.subplan_id >= 0 && a.subplan_id == b.subplan_id;
+  }
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!ExprEquals(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void CollectFromBlock(const QueryBlock& block, std::vector<bool>* refs);
+
+void CollectFromTableRef(const TableRef& ref, std::vector<bool>* refs) {
+  if (ref.kind == TableRef::Kind::kJoin) {
+    if (ref.on) CollectReferencedRefs(*ref.on, refs);
+    CollectFromTableRef(*ref.left, refs);
+    CollectFromTableRef(*ref.right, refs);
+  } else if (ref.kind == TableRef::Kind::kDerived) {
+    CollectFromBlock(*ref.derived, refs);
+  }
+}
+
+void CollectFromBlock(const QueryBlock& block, std::vector<bool>* refs) {
+  for (const auto& item : block.select_items) {
+    CollectReferencedRefs(*item.expr, refs);
+  }
+  if (block.where) CollectReferencedRefs(*block.where, refs);
+  if (block.having) CollectReferencedRefs(*block.having, refs);
+  for (const auto& g : block.group_by) CollectReferencedRefs(*g, refs);
+  for (const auto& o : block.order_by) CollectReferencedRefs(*o.expr, refs);
+  for (const auto& t : block.from) CollectFromTableRef(*t, refs);
+  if (block.union_next) CollectFromBlock(*block.union_next, refs);
+}
+
+}  // namespace
+
+void CollectReferencedRefs(const Expr& expr, std::vector<bool>* refs) {
+  if (expr.kind == Expr::Kind::kColumnRef && expr.ref_id >= 0 &&
+      static_cast<size_t>(expr.ref_id) < refs->size()) {
+    (*refs)[static_cast<size_t>(expr.ref_id)] = true;
+  }
+  for (const auto& child : expr.children) {
+    CollectReferencedRefs(*child, refs);
+  }
+  if (expr.subquery) CollectFromBlock(*expr.subquery, refs);
+}
+
+bool ContainsAggregate(const Expr& expr) {
+  if (expr.kind == Expr::Kind::kAgg) return true;
+  for (const auto& child : expr.children) {
+    if (ContainsAggregate(*child)) return true;
+  }
+  return false;
+}
+
+bool ContainsSubquery(const Expr& expr) {
+  if (expr.subquery) return true;
+  for (const auto& child : expr.children) {
+    if (ContainsSubquery(*child)) return true;
+  }
+  return false;
+}
+
+void SplitConjuncts(const Expr* pred, std::vector<const Expr*>* out) {
+  if (pred == nullptr) return;
+  if (pred->kind == Expr::Kind::kBinary && pred->bop == BinaryOp::kAnd) {
+    SplitConjuncts(pred->children[0].get(), out);
+    SplitConjuncts(pred->children[1].get(), out);
+    return;
+  }
+  out->push_back(pred);
+}
+
+void SplitConjunctsMutable(Expr* pred, std::vector<Expr*>* out) {
+  if (pred == nullptr) return;
+  if (pred->kind == Expr::Kind::kBinary && pred->bop == BinaryOp::kAnd) {
+    SplitConjunctsMutable(pred->children[0].get(), out);
+    SplitConjunctsMutable(pred->children[1].get(), out);
+    return;
+  }
+  out->push_back(pred);
+}
+
+}  // namespace taurus

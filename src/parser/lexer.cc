@@ -1,0 +1,135 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace taurus {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(sql[i] == '*' && sql[i + 1] == '/')) ++i;
+      if (i + 1 >= n) {
+        return Status::SyntaxError("unterminated block comment");
+      }
+      i += 2;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      tok.kind = TokenKind::kIdent;
+      tok.text = std::string(sql.substr(start, i - start));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string text(sql.substr(start, i - start));
+      if (is_float) {
+        tok.kind = TokenKind::kFloat;
+        tok.float_val = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kInteger;
+        tok.int_val = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string out;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            out.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        out.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) return Status::SyntaxError("unterminated string literal");
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(out);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char symbols first.
+    auto two = sql.substr(i, 2);
+    if (two == "<=" || two == ">=" || two == "<>" || two == "!=" ||
+        two == "||") {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = (two == "!=") ? "<>" : std::string(two);
+      tokens.push_back(std::move(tok));
+      i += 2;
+      continue;
+    }
+    static const std::string kSingles = "(),.;+-*/%=<>";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = std::string(1, c);
+      tokens.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+    return Status::SyntaxError(std::string("unexpected character '") + c +
+                               "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace taurus

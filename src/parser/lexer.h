@@ -1,0 +1,37 @@
+#ifndef TAURUS_PARSER_LEXER_H_
+#define TAURUS_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace taurus {
+
+/// Token kinds produced by the SQL lexer.
+enum class TokenKind {
+  kIdent,    ///< identifier or keyword (keywords resolved by the parser)
+  kInteger,  ///< integer literal
+  kFloat,    ///< floating-point literal
+  kString,   ///< 'quoted string' (quotes stripped, '' unescaped)
+  kSymbol,   ///< operator/punctuation; text holds the symbol ("<=", "(", ...)
+  kEnd,      ///< end of input
+};
+
+/// A lexed token.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   ///< identifier/symbol text or string payload
+  int64_t int_val = 0;
+  double float_val = 0.0;
+  size_t offset = 0;  ///< byte offset in the input, for error messages
+};
+
+/// Tokenizes a SQL string. Comments (`-- ...` and `/* ... */`) are skipped.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace taurus
+
+#endif  // TAURUS_PARSER_LEXER_H_

@@ -1,0 +1,866 @@
+#include "parser/parser.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "parser/lexer.h"
+#include "types/datetime.h"
+
+namespace taurus {
+
+namespace {
+
+/// Keywords that terminate an implicit alias position.
+bool IsReservedKeyword(const std::string& word) {
+  static const char* kReserved[] = {
+      "select", "from",   "where",  "group",  "having", "order",  "limit",
+      "offset", "on",     "inner",  "left",   "right",  "cross",  "join",
+      "union",  "as",     "and",    "or",     "not",    "in",     "exists",
+      "like",   "between", "is",    "case",   "when",   "then",   "else",
+      "end",    "distinct", "outer", "semi",  "asc",    "desc",   "with",
+      "values", "set",    "by",     "all",    "using",  "straight_join"};
+  for (const char* kw : kReserved) {
+    if (AsciiEqualsIgnoreCase(word, kw)) return true;
+  }
+  return false;
+}
+
+/// Recursive-descent SQL parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<Statement>> ParseStatementTop();
+
+  Result<std::unique_ptr<QueryBlock>> ParseQueryExpr();
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekIsKeyword(const char* kw, int ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kIdent && AsciiEqualsIgnoreCase(t.text, kw);
+  }
+  bool PeekIsSymbol(const char* sym, int ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kSymbol && t.text == sym;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (PeekIsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (PeekIsSymbol(sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (AcceptKeyword(kw)) return Status::OK();
+    return Status::SyntaxError(std::string("expected keyword '") + kw +
+                               "' near '" + Peek().text + "'");
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (AcceptSymbol(sym)) return Status::OK();
+    return Status::SyntaxError(std::string("expected '") + sym + "' near '" +
+                               Peek().text + "'");
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::SyntaxError("expected identifier near '" + Peek().text +
+                                 "'");
+    }
+    return AsciiLower(Advance().text);
+  }
+
+  Result<std::unique_ptr<QueryBlock>> ParseQueryBlock();
+  Result<std::unique_ptr<TableRef>> ParseTableRef();
+  Result<std::unique_ptr<TableRef>> ParseTablePrimary();
+  Status ParseOptionalAlias(std::string* alias);
+
+  // Expression precedence chain.
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+  Result<std::unique_ptr<Expr>> ParseOr();
+  Result<std::unique_ptr<Expr>> ParseAnd();
+  Result<std::unique_ptr<Expr>> ParseNot();
+  Result<std::unique_ptr<Expr>> ParsePredicate();
+  Result<std::unique_ptr<Expr>> ParseAdditive();
+  Result<std::unique_ptr<Expr>> ParseMultiplicative();
+  Result<std::unique_ptr<Expr>> ParseUnary();
+  Result<std::unique_ptr<Expr>> ParsePrimary();
+  Result<std::unique_ptr<Expr>> ParseCase();
+  Result<std::unique_ptr<Expr>> ParseFunctionCall(const std::string& name);
+
+  Result<std::unique_ptr<Statement>> ParseCreate();
+  Result<std::unique_ptr<Statement>> ParseInsert();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<std::unique_ptr<Statement>> Parser::ParseStatementTop() {
+  auto stmt = std::make_unique<Statement>();
+  if (PeekIsKeyword("explain")) {
+    Advance();
+    stmt->kind = Statement::Kind::kExplain;
+    TAURUS_ASSIGN_OR_RETURN(stmt->select, ParseQueryExpr());
+    return stmt;
+  }
+  if (PeekIsKeyword("select") || PeekIsKeyword("with")) {
+    stmt->kind = Statement::Kind::kSelect;
+    TAURUS_ASSIGN_OR_RETURN(stmt->select, ParseQueryExpr());
+    AcceptSymbol(";");
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::SyntaxError("trailing tokens after statement: '" +
+                                 Peek().text + "'");
+    }
+    return stmt;
+  }
+  if (PeekIsKeyword("create")) return ParseCreate();
+  if (PeekIsKeyword("insert")) return ParseInsert();
+  if (PeekIsKeyword("analyze")) {
+    Advance();
+    AcceptKeyword("table");
+    stmt->kind = Statement::Kind::kAnalyze;
+    TAURUS_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdent());
+    return stmt;
+  }
+  return Status::SyntaxError("unrecognized statement start: '" + Peek().text +
+                             "'");
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseCreate() {
+  TAURUS_RETURN_IF_ERROR(ExpectKeyword("create"));
+  auto stmt = std::make_unique<Statement>();
+  bool unique = AcceptKeyword("unique");
+  if (AcceptKeyword("table")) {
+    if (unique) return Status::SyntaxError("UNIQUE TABLE is not valid");
+    stmt->kind = Statement::Kind::kCreateTable;
+    TAURUS_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdent());
+    TAURUS_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      if (PeekIsKeyword("primary")) {
+        Advance();
+        TAURUS_RETURN_IF_ERROR(ExpectKeyword("key"));
+        TAURUS_RETURN_IF_ERROR(ExpectSymbol("("));
+        while (true) {
+          TAURUS_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+          int idx = -1;
+          for (size_t i = 0; i < stmt->columns.size(); ++i) {
+            if (stmt->columns[i].name == col) idx = static_cast<int>(i);
+          }
+          if (idx < 0) {
+            return Status::SyntaxError("PRIMARY KEY references unknown column " +
+                                       col);
+          }
+          stmt->primary_key.push_back(idx);
+          if (!AcceptSymbol(",")) break;
+        }
+        TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      } else {
+        ColumnDef col;
+        TAURUS_ASSIGN_OR_RETURN(col.name, ExpectIdent());
+        TAURUS_ASSIGN_OR_RETURN(std::string type_name, ExpectIdent());
+        TAURUS_ASSIGN_OR_RETURN(col.type, TypeIdFromSqlName(type_name));
+        if (AcceptSymbol("(")) {
+          if (Peek().kind != TokenKind::kInteger) {
+            return Status::SyntaxError("expected length in type modifier");
+          }
+          col.length = static_cast<int>(Advance().int_val);
+          if (AcceptSymbol(",")) {
+            if (Peek().kind != TokenKind::kInteger) {
+              return Status::SyntaxError("expected scale in type modifier");
+            }
+            Advance();  // scale ignored; decimals are stored as doubles
+          }
+          TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+        }
+        if (AcceptKeyword("not")) {
+          TAURUS_RETURN_IF_ERROR(ExpectKeyword("null"));
+          col.nullable = false;
+        } else if (AcceptKeyword("null")) {
+          col.nullable = true;
+        }
+        if (AcceptKeyword("primary")) {
+          TAURUS_RETURN_IF_ERROR(ExpectKeyword("key"));
+          stmt->primary_key.push_back(static_cast<int>(stmt->columns.size()));
+          col.nullable = false;
+        }
+        stmt->columns.push_back(std::move(col));
+      }
+      if (!AcceptSymbol(",")) break;
+    }
+    TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    AcceptSymbol(";");
+    return stmt;
+  }
+  if (AcceptKeyword("index")) {
+    stmt->kind = Statement::Kind::kCreateIndex;
+    stmt->index.unique = unique;
+    TAURUS_ASSIGN_OR_RETURN(stmt->index.name, ExpectIdent());
+    TAURUS_RETURN_IF_ERROR(ExpectKeyword("on"));
+    TAURUS_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdent());
+    TAURUS_RETURN_IF_ERROR(ExpectSymbol("("));
+    // Column positions are resolved by the engine against the table.
+    while (true) {
+      TAURUS_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+      // Temporarily park column names; the engine translates to positions.
+      stmt->columns.push_back(ColumnDef{col, TypeId::kLong, 0, true});
+      if (!AcceptSymbol(",")) break;
+    }
+    TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    AcceptSymbol(";");
+    return stmt;
+  }
+  return Status::SyntaxError("expected TABLE or INDEX after CREATE");
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseInsert() {
+  TAURUS_RETURN_IF_ERROR(ExpectKeyword("insert"));
+  TAURUS_RETURN_IF_ERROR(ExpectKeyword("into"));
+  auto stmt = std::make_unique<Statement>();
+  stmt->kind = Statement::Kind::kInsert;
+  TAURUS_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdent());
+  TAURUS_RETURN_IF_ERROR(ExpectKeyword("values"));
+  while (true) {
+    TAURUS_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<std::unique_ptr<Expr>> row;
+    while (true) {
+      TAURUS_ASSIGN_OR_RETURN(auto e, ParseExpr());
+      row.push_back(std::move(e));
+      if (!AcceptSymbol(",")) break;
+    }
+    TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    stmt->insert_rows.push_back(std::move(row));
+    if (!AcceptSymbol(",")) break;
+  }
+  AcceptSymbol(";");
+  return stmt;
+}
+
+Result<std::unique_ptr<QueryBlock>> Parser::ParseQueryExpr() {
+  std::vector<CteDef> ctes;
+  if (AcceptKeyword("with")) {
+    if (PeekIsKeyword("recursive")) {
+      return Status::NotSupported(
+          "recursive CTEs are not supported (paper limitation)");
+    }
+    while (true) {
+      CteDef cte;
+      TAURUS_ASSIGN_OR_RETURN(cte.name, ExpectIdent());
+      TAURUS_RETURN_IF_ERROR(ExpectKeyword("as"));
+      TAURUS_RETURN_IF_ERROR(ExpectSymbol("("));
+      TAURUS_ASSIGN_OR_RETURN(cte.query, ParseQueryExpr());
+      TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      ctes.push_back(std::move(cte));
+      if (!AcceptSymbol(",")) break;
+    }
+  }
+  TAURUS_ASSIGN_OR_RETURN(auto block, ParseQueryBlock());
+  block->ctes = std::move(ctes);
+  // UNION [ALL] chains.
+  QueryBlock* tail = block.get();
+  while (PeekIsKeyword("union")) {
+    Advance();
+    bool all = AcceptKeyword("all");
+    TAURUS_ASSIGN_OR_RETURN(auto next, ParseQueryBlock());
+    tail->union_all = all;
+    tail->union_next = std::move(next);
+    tail = tail->union_next.get();
+  }
+  // A trailing ORDER BY / LIMIT was consumed by the last arm's block
+  // grammar, but it applies to the whole union — move it to the head.
+  if (tail != block.get()) {
+    block->order_by = std::move(tail->order_by);
+    tail->order_by.clear();
+    block->limit = tail->limit;
+    block->offset = tail->offset;
+    tail->limit = -1;
+    tail->offset = 0;
+  }
+  // A trailing ORDER BY / LIMIT after a union applies to the union result;
+  // attach it to the head block.
+  if (AcceptKeyword("order")) {
+    TAURUS_RETURN_IF_ERROR(ExpectKeyword("by"));
+    while (true) {
+      OrderItem item;
+      TAURUS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (AcceptKeyword("desc")) {
+        item.ascending = false;
+      } else {
+        AcceptKeyword("asc");
+      }
+      block->order_by.push_back(std::move(item));
+      if (!AcceptSymbol(",")) break;
+    }
+  }
+  if (AcceptKeyword("limit")) {
+    if (Peek().kind != TokenKind::kInteger) {
+      return Status::SyntaxError("expected integer after LIMIT");
+    }
+    int64_t first = Advance().int_val;
+    if (AcceptSymbol(",")) {
+      if (Peek().kind != TokenKind::kInteger) {
+        return Status::SyntaxError("expected integer after LIMIT n,");
+      }
+      block->offset = first;
+      block->limit = Advance().int_val;
+    } else if (AcceptKeyword("offset")) {
+      if (Peek().kind != TokenKind::kInteger) {
+        return Status::SyntaxError("expected integer after OFFSET");
+      }
+      block->limit = first;
+      block->offset = Advance().int_val;
+    } else {
+      block->limit = first;
+    }
+  }
+  return block;
+}
+
+Result<std::unique_ptr<QueryBlock>> Parser::ParseQueryBlock() {
+  TAURUS_RETURN_IF_ERROR(ExpectKeyword("select"));
+  auto block = std::make_unique<QueryBlock>();
+  if (AcceptKeyword("distinct")) block->distinct = true;
+
+  // SELECT list.
+  while (true) {
+    SelectItem item;
+    if (PeekIsSymbol("*")) {
+      Advance();
+      // '*' expands during binding; encode as a column ref named "*".
+      item.expr = MakeColumnRef("", "*");
+    } else if (Peek().kind == TokenKind::kIdent && PeekIsSymbol(".", 1) &&
+               PeekIsSymbol("*", 2)) {
+      std::string tbl = AsciiLower(Advance().text);
+      Advance();  // '.'
+      Advance();  // '*'
+      item.expr = MakeColumnRef(tbl, "*");
+    } else {
+      TAURUS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    }
+    if (AcceptKeyword("as")) {
+      TAURUS_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+    } else if (Peek().kind == TokenKind::kIdent &&
+               !IsReservedKeyword(Peek().text)) {
+      item.alias = AsciiLower(Advance().text);
+    }
+    block->select_items.push_back(std::move(item));
+    if (!AcceptSymbol(",")) break;
+  }
+
+  if (AcceptKeyword("from")) {
+    while (true) {
+      TAURUS_ASSIGN_OR_RETURN(auto ref, ParseTableRef());
+      block->from.push_back(std::move(ref));
+      if (!AcceptSymbol(",")) break;
+    }
+  }
+
+  if (AcceptKeyword("where")) {
+    TAURUS_ASSIGN_OR_RETURN(block->where, ParseExpr());
+  }
+  if (AcceptKeyword("group")) {
+    TAURUS_RETURN_IF_ERROR(ExpectKeyword("by"));
+    while (true) {
+      TAURUS_ASSIGN_OR_RETURN(auto e, ParseExpr());
+      block->group_by.push_back(std::move(e));
+      if (!AcceptSymbol(",")) break;
+    }
+  }
+  if (AcceptKeyword("having")) {
+    TAURUS_ASSIGN_OR_RETURN(block->having, ParseExpr());
+  }
+  if (PeekIsKeyword("order") && !PeekIsKeyword("union", 0)) {
+    Advance();
+    TAURUS_RETURN_IF_ERROR(ExpectKeyword("by"));
+    while (true) {
+      OrderItem item;
+      TAURUS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (AcceptKeyword("desc")) {
+        item.ascending = false;
+      } else {
+        AcceptKeyword("asc");
+      }
+      block->order_by.push_back(std::move(item));
+      if (!AcceptSymbol(",")) break;
+    }
+  }
+  if (AcceptKeyword("limit")) {
+    if (Peek().kind != TokenKind::kInteger) {
+      return Status::SyntaxError("expected integer after LIMIT");
+    }
+    int64_t first = Advance().int_val;
+    if (AcceptSymbol(",")) {
+      if (Peek().kind != TokenKind::kInteger) {
+        return Status::SyntaxError("expected integer after LIMIT n,");
+      }
+      block->offset = first;
+      block->limit = Advance().int_val;
+    } else if (AcceptKeyword("offset")) {
+      if (Peek().kind != TokenKind::kInteger) {
+        return Status::SyntaxError("expected integer after OFFSET");
+      }
+      block->limit = first;
+      block->offset = Advance().int_val;
+    } else {
+      block->limit = first;
+    }
+  }
+  return block;
+}
+
+Result<std::unique_ptr<TableRef>> Parser::ParseTableRef() {
+  TAURUS_ASSIGN_OR_RETURN(auto left, ParseTablePrimary());
+  while (true) {
+    JoinType jt;
+    if (PeekIsKeyword("join") || PeekIsKeyword("inner") ||
+        PeekIsKeyword("straight_join")) {
+      if (!AcceptKeyword("join")) {
+        Advance();  // INNER or STRAIGHT_JOIN
+        AcceptKeyword("join");
+      }
+      jt = JoinType::kInner;
+    } else if (PeekIsKeyword("left")) {
+      Advance();
+      AcceptKeyword("outer");
+      TAURUS_RETURN_IF_ERROR(ExpectKeyword("join"));
+      jt = JoinType::kLeft;
+    } else if (PeekIsKeyword("cross")) {
+      Advance();
+      TAURUS_RETURN_IF_ERROR(ExpectKeyword("join"));
+      jt = JoinType::kCross;
+    } else {
+      break;
+    }
+    TAURUS_ASSIGN_OR_RETURN(auto right, ParseTablePrimary());
+    auto join = std::make_unique<TableRef>();
+    join->kind = TableRef::Kind::kJoin;
+    join->join_type = jt;
+    join->left = std::move(left);
+    join->right = std::move(right);
+    if (AcceptKeyword("on")) {
+      TAURUS_ASSIGN_OR_RETURN(join->on, ParseExpr());
+    } else if (jt != JoinType::kCross) {
+      join->join_type = JoinType::kCross;  // JOIN without ON degenerates
+    }
+    left = std::move(join);
+  }
+  return left;
+}
+
+Status Parser::ParseOptionalAlias(std::string* alias) {
+  if (AcceptKeyword("as")) {
+    TAURUS_ASSIGN_OR_RETURN(*alias, ExpectIdent());
+    return Status::OK();
+  }
+  if (Peek().kind == TokenKind::kIdent && !IsReservedKeyword(Peek().text)) {
+    *alias = AsciiLower(Advance().text);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<TableRef>> Parser::ParseTablePrimary() {
+  auto ref = std::make_unique<TableRef>();
+  if (AcceptSymbol("(")) {
+    if (PeekIsKeyword("select") || PeekIsKeyword("with")) {
+      ref->kind = TableRef::Kind::kDerived;
+      TAURUS_ASSIGN_OR_RETURN(ref->derived, ParseQueryExpr());
+      TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      TAURUS_RETURN_IF_ERROR(ParseOptionalAlias(&ref->alias));
+      if (ref->alias.empty()) {
+        return Status::SyntaxError("derived table requires an alias");
+      }
+      return ref;
+    }
+    // Parenthesized join nest.
+    TAURUS_ASSIGN_OR_RETURN(ref, ParseTableRef());
+    TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return ref;
+  }
+  ref->kind = TableRef::Kind::kBase;
+  TAURUS_ASSIGN_OR_RETURN(ref->table_name, ExpectIdent());
+  TAURUS_RETURN_IF_ERROR(ParseOptionalAlias(&ref->alias));
+  if (ref->alias.empty()) ref->alias = ref->table_name;
+  return ref;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseOr() {
+  TAURUS_ASSIGN_OR_RETURN(auto left, ParseAnd());
+  while (AcceptKeyword("or")) {
+    TAURUS_ASSIGN_OR_RETURN(auto right, ParseAnd());
+    left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseAnd() {
+  TAURUS_ASSIGN_OR_RETURN(auto left, ParseNot());
+  while (AcceptKeyword("and")) {
+    TAURUS_ASSIGN_OR_RETURN(auto right, ParseNot());
+    left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseNot() {
+  if (AcceptKeyword("not")) {
+    TAURUS_ASSIGN_OR_RETURN(auto operand, ParseNot());
+    return MakeUnary(UnaryOp::kNot, std::move(operand));
+  }
+  return ParsePredicate();
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParsePredicate() {
+  TAURUS_ASSIGN_OR_RETURN(auto left, ParseAdditive());
+
+  // IS [NOT] NULL
+  if (AcceptKeyword("is")) {
+    bool negate = AcceptKeyword("not");
+    TAURUS_RETURN_IF_ERROR(ExpectKeyword("null"));
+    return MakeUnary(negate ? UnaryOp::kIsNotNull : UnaryOp::kIsNull,
+                     std::move(left));
+  }
+
+  bool negated = AcceptKeyword("not");
+  if (AcceptKeyword("like")) {
+    TAURUS_ASSIGN_OR_RETURN(auto pattern, ParseAdditive());
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kLike;
+    e->negated = negated;
+    e->children.push_back(std::move(left));
+    e->children.push_back(std::move(pattern));
+    return e;
+  }
+  if (AcceptKeyword("between")) {
+    TAURUS_ASSIGN_OR_RETURN(auto lo, ParseAdditive());
+    TAURUS_RETURN_IF_ERROR(ExpectKeyword("and"));
+    TAURUS_ASSIGN_OR_RETURN(auto hi, ParseAdditive());
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBetween;
+    e->negated = negated;
+    e->children.push_back(std::move(left));
+    e->children.push_back(std::move(lo));
+    e->children.push_back(std::move(hi));
+    return e;
+  }
+  if (AcceptKeyword("in")) {
+    TAURUS_RETURN_IF_ERROR(ExpectSymbol("("));
+    if (PeekIsKeyword("select") || PeekIsKeyword("with")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kInSubquery;
+      e->negated = negated;
+      e->children.push_back(std::move(left));
+      TAURUS_ASSIGN_OR_RETURN(e->subquery, ParseQueryExpr());
+      TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return e;
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kInList;
+    e->negated = negated;
+    e->children.push_back(std::move(left));
+    while (true) {
+      TAURUS_ASSIGN_OR_RETURN(auto item, ParseExpr());
+      e->children.push_back(std::move(item));
+      if (!AcceptSymbol(",")) break;
+    }
+    TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return e;
+  }
+  if (negated) {
+    return Status::SyntaxError("expected LIKE/BETWEEN/IN after NOT");
+  }
+
+  // Comparison operators.
+  struct CmpMap {
+    const char* sym;
+    BinaryOp op;
+  };
+  static const CmpMap kCmps[] = {{"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe},
+                                 {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe},
+                                 {"<", BinaryOp::kLt},  {">", BinaryOp::kGt}};
+  for (const CmpMap& m : kCmps) {
+    if (PeekIsSymbol(m.sym)) {
+      Advance();
+      TAURUS_ASSIGN_OR_RETURN(auto right, ParseAdditive());
+      return MakeBinary(m.op, std::move(left), std::move(right));
+    }
+  }
+  return left;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseAdditive() {
+  TAURUS_ASSIGN_OR_RETURN(auto left, ParseMultiplicative());
+  while (PeekIsSymbol("+") || PeekIsSymbol("-")) {
+    bool plus = Peek().text == "+";
+    Advance();
+    if (AcceptKeyword("interval")) {
+      // expr +/- INTERVAL <n|'n'> DAY|MONTH|YEAR
+      int64_t amount = 0;
+      if (Peek().kind == TokenKind::kInteger) {
+        amount = Advance().int_val;
+      } else if (Peek().kind == TokenKind::kString) {
+        amount = std::strtoll(Advance().text.c_str(), nullptr, 10);
+      } else {
+        return Status::SyntaxError("expected amount after INTERVAL");
+      }
+      IntervalUnit unit;
+      if (AcceptKeyword("day")) {
+        unit = IntervalUnit::kDay;
+      } else if (AcceptKeyword("month")) {
+        unit = IntervalUnit::kMonth;
+      } else if (AcceptKeyword("year")) {
+        unit = IntervalUnit::kYear;
+      } else {
+        return Status::SyntaxError("expected DAY/MONTH/YEAR after INTERVAL");
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kIntervalAdd;
+      e->interval_unit = unit;
+      e->interval_amount = plus ? amount : -amount;
+      e->children.push_back(std::move(left));
+      left = std::move(e);
+      continue;
+    }
+    TAURUS_ASSIGN_OR_RETURN(auto right, ParseMultiplicative());
+    left = MakeBinary(plus ? BinaryOp::kAdd : BinaryOp::kSub, std::move(left),
+                      std::move(right));
+  }
+  return left;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseMultiplicative() {
+  TAURUS_ASSIGN_OR_RETURN(auto left, ParseUnary());
+  while (PeekIsSymbol("*") || PeekIsSymbol("/") || PeekIsSymbol("%")) {
+    BinaryOp op = Peek().text == "*"   ? BinaryOp::kMul
+                  : Peek().text == "/" ? BinaryOp::kDiv
+                                       : BinaryOp::kMod;
+    Advance();
+    TAURUS_ASSIGN_OR_RETURN(auto right, ParseUnary());
+    left = MakeBinary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseUnary() {
+  if (AcceptSymbol("-")) {
+    TAURUS_ASSIGN_OR_RETURN(auto operand, ParseUnary());
+    return MakeUnary(UnaryOp::kNeg, std::move(operand));
+  }
+  AcceptSymbol("+");
+  return ParsePrimary();
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseCase() {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kCase;
+  std::unique_ptr<Expr> operand;
+  if (!PeekIsKeyword("when")) {
+    // Simple CASE: desugar 'CASE x WHEN v ...' to 'CASE WHEN x = v ...'.
+    TAURUS_ASSIGN_OR_RETURN(operand, ParseExpr());
+  }
+  while (AcceptKeyword("when")) {
+    TAURUS_ASSIGN_OR_RETURN(auto when, ParseExpr());
+    if (operand) {
+      when = MakeBinary(BinaryOp::kEq, operand->Clone(), std::move(when));
+    }
+    TAURUS_RETURN_IF_ERROR(ExpectKeyword("then"));
+    TAURUS_ASSIGN_OR_RETURN(auto then, ParseExpr());
+    e->children.push_back(std::move(when));
+    e->children.push_back(std::move(then));
+  }
+  if (e->children.empty()) {
+    return Status::SyntaxError("CASE requires at least one WHEN");
+  }
+  if (AcceptKeyword("else")) {
+    TAURUS_ASSIGN_OR_RETURN(auto els, ParseExpr());
+    e->children.push_back(std::move(els));
+    e->case_has_else = true;
+  }
+  TAURUS_RETURN_IF_ERROR(ExpectKeyword("end"));
+  return e;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseFunctionCall(
+    const std::string& name) {
+  // Aggregates.
+  struct AggMap {
+    const char* name;
+    AggFunc func;
+  };
+  static const AggMap kAggs[] = {{"count", AggFunc::kCount},
+                                 {"sum", AggFunc::kSum},
+                                 {"avg", AggFunc::kAvg},
+                                 {"min", AggFunc::kMin},
+                                 {"max", AggFunc::kMax},
+                                 {"stddev", AggFunc::kStddev},
+                                 {"stddev_samp", AggFunc::kStddev}};
+  for (const AggMap& m : kAggs) {
+    if (name == m.name) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kAgg;
+      e->agg_func = m.func;
+      if (m.func == AggFunc::kCount && PeekIsSymbol("*")) {
+        Advance();
+        e->agg_func = AggFunc::kCountStar;
+        TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return e;
+      }
+      if (AcceptKeyword("distinct")) e->agg_distinct = true;
+      TAURUS_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+      e->children.push_back(std::move(arg));
+      TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return e;
+    }
+  }
+  // CAST(expr AS type).
+  if (name == "cast") {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kCast;
+    TAURUS_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+    e->children.push_back(std::move(arg));
+    TAURUS_RETURN_IF_ERROR(ExpectKeyword("as"));
+    TAURUS_ASSIGN_OR_RETURN(std::string type_name, ExpectIdent());
+    TAURUS_ASSIGN_OR_RETURN(e->cast_type, TypeIdFromSqlName(type_name));
+    if (AcceptSymbol("(")) {  // e.g. CHAR(10)
+      if (Peek().kind == TokenKind::kInteger) Advance();
+      TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return e;
+  }
+  // EXTRACT(unit FROM expr) desugars to year()/month()/day().
+  if (name == "extract") {
+    TAURUS_ASSIGN_OR_RETURN(std::string unit, ExpectIdent());
+    TAURUS_RETURN_IF_ERROR(ExpectKeyword("from"));
+    TAURUS_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+    TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kFuncCall;
+    e->func_name = unit;  // "year"/"month"/"day"
+    e->children.push_back(std::move(arg));
+    return e;
+  }
+  // Regular function call.
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kFuncCall;
+  e->func_name = name;
+  if (!AcceptSymbol(")")) {
+    while (true) {
+      TAURUS_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+      e->children.push_back(std::move(arg));
+      if (!AcceptSymbol(",")) break;
+    }
+    TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+  }
+  return e;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParsePrimary() {
+  const Token& tok = Peek();
+  if (tok.kind == TokenKind::kInteger) {
+    Advance();
+    return MakeLiteral(Value::Int(tok.int_val));
+  }
+  if (tok.kind == TokenKind::kFloat) {
+    Advance();
+    return MakeLiteral(Value::Double(tok.float_val));
+  }
+  if (tok.kind == TokenKind::kString) {
+    Advance();
+    return MakeLiteral(Value::Str(tok.text));
+  }
+  if (PeekIsSymbol("(")) {
+    Advance();
+    if (PeekIsKeyword("select") || PeekIsKeyword("with")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kScalarSubquery;
+      TAURUS_ASSIGN_OR_RETURN(e->subquery, ParseQueryExpr());
+      TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return e;
+    }
+    TAURUS_ASSIGN_OR_RETURN(auto e, ParseExpr());
+    TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return e;
+  }
+  if (tok.kind == TokenKind::kIdent) {
+    std::string word = AsciiLower(tok.text);
+    if (word == "case") {
+      Advance();
+      return ParseCase();
+    }
+    if (word == "exists") {
+      Advance();
+      TAURUS_RETURN_IF_ERROR(ExpectSymbol("("));
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kExists;
+      TAURUS_ASSIGN_OR_RETURN(e->subquery, ParseQueryExpr());
+      TAURUS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return e;
+    }
+    if (word == "null") {
+      Advance();
+      return MakeLiteral(Value::Null());
+    }
+    if (word == "true") {
+      Advance();
+      return MakeLiteral(Value::Bool(true));
+    }
+    if (word == "false") {
+      Advance();
+      return MakeLiteral(Value::Bool(false));
+    }
+    if (word == "date" && Peek(1).kind == TokenKind::kString) {
+      Advance();
+      const Token& lit = Advance();
+      TAURUS_ASSIGN_OR_RETURN(int64_t days, ParseDate(lit.text));
+      return MakeLiteral(Value::Date(days));
+    }
+    if (word == "timestamp" && Peek(1).kind == TokenKind::kString) {
+      Advance();
+      const Token& lit = Advance();
+      TAURUS_ASSIGN_OR_RETURN(int64_t secs, ParseDatetime(lit.text));
+      return MakeLiteral(Value::Datetime(secs));
+    }
+    Advance();
+    if (PeekIsSymbol("(")) {
+      Advance();
+      return ParseFunctionCall(word);
+    }
+    if (PeekIsSymbol(".") && Peek(1).kind == TokenKind::kIdent) {
+      Advance();  // '.'
+      std::string col = AsciiLower(Advance().text);
+      return MakeColumnRef(word, col);
+    }
+    return MakeColumnRef("", word);
+  }
+  return Status::SyntaxError("unexpected token '" + tok.text +
+                             "' in expression");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Statement>> ParseStatement(std::string_view sql) {
+  TAURUS_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatementTop();
+}
+
+Result<std::unique_ptr<QueryBlock>> ParseSelect(std::string_view sql) {
+  TAURUS_ASSIGN_OR_RETURN(auto stmt, ParseStatement(sql));
+  if (stmt->kind != Statement::Kind::kSelect &&
+      stmt->kind != Statement::Kind::kExplain) {
+    return Status::InvalidArgument("not a SELECT statement");
+  }
+  return std::move(stmt->select);
+}
+
+}  // namespace taurus

@@ -1,0 +1,22 @@
+#ifndef TAURUS_PARSER_PARSER_H_
+#define TAURUS_PARSER_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "parser/ast.h"
+
+namespace taurus {
+
+/// Parses one SQL statement (SELECT, CREATE TABLE, CREATE INDEX, INSERT,
+/// ANALYZE, EXPLAIN). The produced AST is unresolved; the frontend binder
+/// resolves names and types.
+Result<std::unique_ptr<Statement>> ParseStatement(std::string_view sql);
+
+/// Convenience: parses a SELECT statement and returns its query block.
+Result<std::unique_ptr<QueryBlock>> ParseSelect(std::string_view sql);
+
+}  // namespace taurus
+
+#endif  // TAURUS_PARSER_PARSER_H_

@@ -1,0 +1,56 @@
+#include "storage/storage.h"
+
+#include <unordered_set>
+
+namespace taurus {
+
+TableData* Storage::CreateTable(const TableDef* def) {
+  auto data = std::make_unique<TableData>(def);
+  TableData* ptr = data.get();
+  tables_[def->id] = std::move(data);
+  return ptr;
+}
+
+TableData* Storage::Get(int table_id) {
+  auto it = tables_.find(table_id);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const TableData* Storage::Get(int table_id) const {
+  auto it = tables_.find(table_id);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+TableStats ComputeTableStats(const TableData& data, int max_buckets) {
+  TableStats stats;
+  stats.row_count = static_cast<int64_t>(data.NumRows());
+  const size_t num_cols = data.def().columns.size();
+  stats.columns.resize(num_cols);
+
+  for (size_t c = 0; c < num_cols; ++c) {
+    ColumnStats& cs = stats.columns[c];
+    std::vector<Value> values;
+    values.reserve(data.NumRows());
+    std::unordered_set<uint64_t> distinct;
+    for (size_t r = 0; r < data.NumRows(); ++r) {
+      const Value& v = data.row(r)[c];
+      values.push_back(v);
+      if (v.is_null()) {
+        ++cs.null_count;
+        continue;
+      }
+      distinct.insert(v.Hash());
+      if (cs.min_value.is_null() || Value::Compare(v, cs.min_value) < 0) {
+        cs.min_value = v;
+      }
+      if (cs.max_value.is_null() || Value::Compare(v, cs.max_value) > 0) {
+        cs.max_value = v;
+      }
+    }
+    cs.distinct_count = static_cast<int64_t>(distinct.size());
+    cs.histogram = Histogram::Build(std::move(values), max_buckets);
+  }
+  return stats;
+}
+
+}  // namespace taurus

@@ -1,0 +1,38 @@
+#ifndef TAURUS_STORAGE_STORAGE_H_
+#define TAURUS_STORAGE_STORAGE_H_
+
+#include <map>
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "storage/table_data.h"
+
+namespace taurus {
+
+/// Owns the TableData instances for every table in a catalog.
+class Storage {
+ public:
+  Storage() = default;
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  /// Creates (empty) storage for a newly created table.
+  TableData* CreateTable(const TableDef* def);
+
+  /// Storage for a table id, or nullptr.
+  TableData* Get(int table_id);
+  const TableData* Get(int table_id) const;
+
+ private:
+  std::map<int, std::unique_ptr<TableData>> tables_;
+};
+
+/// Computes full TableStats (row count, per-column NDV/nulls/min/max and
+/// histograms) for a table — the engine's ANALYZE. `max_buckets` bounds the
+/// histogram resolution (MySQL's default is 100).
+TableStats ComputeTableStats(const TableData& data, int max_buckets = 64);
+
+}  // namespace taurus
+
+#endif  // TAURUS_STORAGE_STORAGE_H_

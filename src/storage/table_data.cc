@@ -1,0 +1,14 @@
+#include "storage/table_data.h"
+
+namespace taurus {
+
+void TableData::BuildIndexes() {
+  indexes_.clear();
+  for (const IndexDef& idef : def_->indexes) {
+    auto index = std::make_unique<OrderedIndex>(&idef);
+    index->Build(rows_);
+    indexes_.push_back(std::move(index));
+  }
+}
+
+}  // namespace taurus

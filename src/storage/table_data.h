@@ -1,0 +1,46 @@
+#ifndef TAURUS_STORAGE_TABLE_DATA_H_
+#define TAURUS_STORAGE_TABLE_DATA_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/ordered_index.h"
+#include "types/value.h"
+
+namespace taurus {
+
+/// In-memory row store for one table plus its ordered indexes. This stands
+/// in for the Taurus Page Stores: the paper's experiments measure plan
+/// quality, and the store preserves the access-path cost structure (full
+/// scan vs. index range vs. index lookup) the optimizers reason about.
+class TableData {
+ public:
+  explicit TableData(const TableDef* def) : def_(def) {}
+  TableData(const TableData&) = delete;
+  TableData& operator=(const TableData&) = delete;
+
+  const TableDef& def() const { return *def_; }
+  size_t NumRows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  void Append(Row row) { rows_.push_back(std::move(row)); }
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// (Re)builds all indexes declared in the table definition. Call after
+  /// bulk load and after any schema change that adds an index.
+  void BuildIndexes();
+
+  int NumIndexes() const { return static_cast<int>(indexes_.size()); }
+  const OrderedIndex& index(int i) const { return *indexes_[static_cast<size_t>(i)]; }
+
+ private:
+  const TableDef* def_;
+  std::vector<Row> rows_;
+  std::vector<std::unique_ptr<OrderedIndex>> indexes_;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_STORAGE_TABLE_DATA_H_

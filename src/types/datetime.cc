@@ -1,0 +1,145 @@
+#include "types/datetime.h"
+
+#include <cstdio>
+
+namespace taurus {
+
+int64_t CivilToDays(int y, int m, int d) {
+  // Howard Hinnant's days_from_civil.
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(d) - 1u;
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;
+  return static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) -
+         719468;
+}
+
+void DaysToCivil(int64_t z, int* year, int* month, int* day) {
+  // Howard Hinnant's civil_from_days.
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+namespace {
+
+bool ParseInt(std::string_view s, size_t pos, size_t len, int* out) {
+  if (pos + len > s.size()) return false;
+  int v = 0;
+  for (size_t i = pos; i < pos + len; ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    v = v * 10 + (s[i] - '0');
+  }
+  *out = v;
+  return true;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2) {
+    bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    return leap ? 29 : 28;
+  }
+  return kDays[month - 1];
+}
+
+}  // namespace
+
+Result<int64_t> ParseDate(std::string_view text) {
+  int y, m, d;
+  if (text.size() < 10 || text[4] != '-' || text[7] != '-' ||
+      !ParseInt(text, 0, 4, &y) || !ParseInt(text, 5, 2, &m) ||
+      !ParseInt(text, 8, 2, &d) || m < 1 || m > 12 || d < 1 ||
+      d > DaysInMonth(y, m)) {
+    return Status::InvalidArgument("bad DATE literal: " + std::string(text));
+  }
+  return CivilToDays(y, m, d);
+}
+
+Result<int64_t> ParseDatetime(std::string_view text) {
+  TAURUS_ASSIGN_OR_RETURN(int64_t days, ParseDate(text.substr(0, 10)));
+  int64_t secs = days * 86400;
+  if (text.size() > 10) {
+    int hh, mm, ss;
+    if (text.size() < 19 || (text[10] != ' ' && text[10] != 'T') ||
+        !ParseInt(text, 11, 2, &hh) || !ParseInt(text, 14, 2, &mm) ||
+        !ParseInt(text, 17, 2, &ss) || hh > 23 || mm > 59 || ss > 59) {
+      return Status::InvalidArgument("bad DATETIME literal: " +
+                                     std::string(text));
+    }
+    secs += hh * 3600 + mm * 60 + ss;
+  }
+  return secs;
+}
+
+std::string FormatDate(int64_t days) {
+  int y, m, d;
+  DaysToCivil(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+std::string FormatDatetime(int64_t seconds) {
+  int64_t days = seconds >= 0 ? seconds / 86400
+                              : (seconds - 86399) / 86400;  // floor division
+  int64_t rem = seconds - days * 86400;
+  int y, m, d;
+  DaysToCivil(days, &y, &m, &d);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", y, m, d,
+                static_cast<int>(rem / 3600), static_cast<int>(rem / 60 % 60),
+                static_cast<int>(rem % 60));
+  return buf;
+}
+
+int64_t AddIntervalToDate(int64_t days, int64_t amount, IntervalUnit unit) {
+  if (unit == IntervalUnit::kDay) return days + amount;
+  int y, m, d;
+  DaysToCivil(days, &y, &m, &d);
+  int64_t months = (unit == IntervalUnit::kYear) ? amount * 12 : amount;
+  int64_t total = static_cast<int64_t>(y) * 12 + (m - 1) + months;
+  int ny = static_cast<int>(total / 12);
+  int nm = static_cast<int>(total % 12) + 1;
+  if (nm <= 0) {  // handle negative month remainder
+    nm += 12;
+    ny -= 1;
+  }
+  int nd = d;
+  int dim = DaysInMonth(ny, nm);
+  if (nd > dim) nd = dim;
+  return CivilToDays(ny, nm, nd);
+}
+
+int ExtractYear(int64_t days) {
+  int y, m, d;
+  DaysToCivil(days, &y, &m, &d);
+  return y;
+}
+
+int ExtractMonth(int64_t days) {
+  int y, m, d;
+  DaysToCivil(days, &y, &m, &d);
+  return m;
+}
+
+int ExtractDay(int64_t days) {
+  int y, m, d;
+  DaysToCivil(days, &y, &m, &d);
+  return d;
+}
+
+}  // namespace taurus

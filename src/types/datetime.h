@@ -1,0 +1,53 @@
+#ifndef TAURUS_TYPES_DATETIME_H_
+#define TAURUS_TYPES_DATETIME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace taurus {
+
+/// Calendar helpers. DATE values are stored as days since the epoch
+/// 1970-01-01; DATETIME/TIMESTAMP values as seconds since that epoch. The
+/// conversions use the proleptic Gregorian calendar (Howard Hinnant's civil
+/// calendar algorithms).
+
+/// Days since 1970-01-01 for the given civil date.
+int64_t CivilToDays(int year, int month, int day);
+
+/// Inverse of CivilToDays.
+void DaysToCivil(int64_t days, int* year, int* month, int* day);
+
+/// Parses 'YYYY-MM-DD' into days-since-epoch.
+Result<int64_t> ParseDate(std::string_view text);
+
+/// Parses 'YYYY-MM-DD[ HH:MM:SS]' into seconds-since-epoch.
+Result<int64_t> ParseDatetime(std::string_view text);
+
+/// Formats days-since-epoch as 'YYYY-MM-DD'.
+std::string FormatDate(int64_t days);
+
+/// Formats seconds-since-epoch as 'YYYY-MM-DD HH:MM:SS'.
+std::string FormatDatetime(int64_t seconds);
+
+/// Units supported by INTERVAL expressions.
+enum class IntervalUnit { kDay, kMonth, kYear };
+
+/// Adds `amount` units to a DATE value (days-since-epoch). MONTH/YEAR
+/// additions clamp the day-of-month (e.g. Jan 31 + 1 MONTH = Feb 28/29),
+/// matching MySQL semantics.
+int64_t AddIntervalToDate(int64_t days, int64_t amount, IntervalUnit unit);
+
+/// Year component of a DATE value, for the YEAR()/EXTRACT(YEAR ...) SQL
+/// functions.
+int ExtractYear(int64_t days);
+/// Month component (1-12).
+int ExtractMonth(int64_t days);
+/// Day-of-month component (1-31).
+int ExtractDay(int64_t days);
+
+}  // namespace taurus
+
+#endif  // TAURUS_TYPES_DATETIME_H_

@@ -1,0 +1,243 @@
+#include "types/type.h"
+
+#include "common/strings.h"
+
+namespace taurus {
+
+TypeCategory CategoryOf(TypeId type) {
+  switch (type) {
+    case TypeId::kTiny:
+    case TypeId::kShort:
+    case TypeId::kYear:
+      return TypeCategory::kInt2;
+    case TypeId::kInt24:
+    case TypeId::kLong:
+    case TypeId::kEnum:
+      return TypeCategory::kInt4;
+    case TypeId::kLongLong:
+    case TypeId::kSet:
+      return TypeCategory::kInt8;
+    case TypeId::kDecimal:
+    case TypeId::kNewDecimal:
+    case TypeId::kFloat:
+    case TypeId::kDouble:
+      return TypeCategory::kNum;
+    case TypeId::kBit:
+      return TypeCategory::kBit;
+    case TypeId::kVarchar:
+    case TypeId::kVarString:
+    case TypeId::kString:
+      return TypeCategory::kStr;
+    case TypeId::kTinyBlob:
+    case TypeId::kMediumBlob:
+    case TypeId::kLongBlob:
+    case TypeId::kBlob:
+      return TypeCategory::kBlb;
+    case TypeId::kDate:
+    case TypeId::kNewDate:
+      return TypeCategory::kDte;
+    case TypeId::kTime:
+    case TypeId::kTime2:
+      return TypeCategory::kTim;
+    case TypeId::kDatetime:
+    case TypeId::kDatetime2:
+    case TypeId::kTimestamp:
+    case TypeId::kTimestamp2:
+    case TypeId::kNull:
+      return TypeCategory::kDtm;
+    case TypeId::kJson:
+      return TypeCategory::kJsn;
+    case TypeId::kGeometry:
+      return TypeCategory::kGeo;
+  }
+  return TypeCategory::kDtm;
+}
+
+const char* TypeCategoryName(TypeCategory cat) {
+  switch (cat) {
+    case TypeCategory::kInt2:
+      return "INT2";
+    case TypeCategory::kInt4:
+      return "INT4";
+    case TypeCategory::kInt8:
+      return "INT8";
+    case TypeCategory::kNum:
+      return "NUM";
+    case TypeCategory::kBit:
+      return "BIT";
+    case TypeCategory::kStr:
+      return "STR";
+    case TypeCategory::kBlb:
+      return "BLB";
+    case TypeCategory::kDte:
+      return "DTE";
+    case TypeCategory::kTim:
+      return "TIM";
+    case TypeCategory::kDtm:
+      return "DTM";
+    case TypeCategory::kJsn:
+      return "JSN";
+    case TypeCategory::kGeo:
+      return "GEO";
+    case TypeCategory::kStar:
+      return "STAR";
+    case TypeCategory::kAny:
+      return "ANY";
+  }
+  return "?";
+}
+
+const char* TypeIdName(TypeId type) {
+  switch (type) {
+    case TypeId::kDecimal:
+      return "decimal";
+    case TypeId::kTiny:
+      return "tinyint";
+    case TypeId::kShort:
+      return "smallint";
+    case TypeId::kLong:
+      return "int";
+    case TypeId::kFloat:
+      return "float";
+    case TypeId::kDouble:
+      return "double";
+    case TypeId::kNull:
+      return "null";
+    case TypeId::kTimestamp:
+      return "timestamp";
+    case TypeId::kLongLong:
+      return "bigint";
+    case TypeId::kInt24:
+      return "mediumint";
+    case TypeId::kDate:
+      return "date";
+    case TypeId::kTime:
+      return "time";
+    case TypeId::kDatetime:
+      return "datetime";
+    case TypeId::kYear:
+      return "year";
+    case TypeId::kNewDate:
+      return "newdate";
+    case TypeId::kVarchar:
+      return "varchar";
+    case TypeId::kBit:
+      return "bit";
+    case TypeId::kTimestamp2:
+      return "timestamp2";
+    case TypeId::kDatetime2:
+      return "datetime2";
+    case TypeId::kTime2:
+      return "time2";
+    case TypeId::kJson:
+      return "json";
+    case TypeId::kNewDecimal:
+      return "newdecimal";
+    case TypeId::kEnum:
+      return "enum";
+    case TypeId::kSet:
+      return "set";
+    case TypeId::kTinyBlob:
+      return "tinyblob";
+    case TypeId::kMediumBlob:
+      return "mediumblob";
+    case TypeId::kLongBlob:
+      return "longblob";
+    case TypeId::kBlob:
+      return "blob";
+    case TypeId::kVarString:
+      return "varstring";
+    case TypeId::kString:
+      return "char";
+    case TypeId::kGeometry:
+      return "geometry";
+  }
+  return "?";
+}
+
+bool IsStringType(TypeId type) {
+  return CategoryOf(type) == TypeCategory::kStr;
+}
+
+bool IsIntegerType(TypeId type) {
+  TypeCategory c = CategoryOf(type);
+  return c == TypeCategory::kInt2 || c == TypeCategory::kInt4 ||
+         c == TypeCategory::kInt8;
+}
+
+bool IsNumericType(TypeId type) {
+  return CategoryOf(type) == TypeCategory::kNum;
+}
+
+bool IsTemporalType(TypeId type) {
+  TypeCategory c = CategoryOf(type);
+  return (c == TypeCategory::kDte || c == TypeCategory::kTim ||
+          c == TypeCategory::kDtm) &&
+         type != TypeId::kNull;
+}
+
+int TypeFixedLength(TypeId type) {
+  switch (type) {
+    case TypeId::kTiny:
+      return 1;
+    case TypeId::kShort:
+    case TypeId::kYear:
+      return 2;
+    case TypeId::kInt24:
+      return 3;
+    case TypeId::kLong:
+    case TypeId::kFloat:
+      return 4;
+    case TypeId::kLongLong:
+    case TypeId::kDouble:
+    case TypeId::kBit:
+    case TypeId::kSet:
+    case TypeId::kEnum:
+    case TypeId::kDate:
+    case TypeId::kNewDate:
+    case TypeId::kTime:
+    case TypeId::kTime2:
+    case TypeId::kDatetime:
+    case TypeId::kDatetime2:
+    case TypeId::kTimestamp:
+    case TypeId::kTimestamp2:
+      return 8;
+    case TypeId::kDecimal:
+    case TypeId::kNewDecimal:
+      return 8;  // stored as scaled double in this engine
+    default:
+      return -1;  // variable length
+  }
+}
+
+bool TypePassByValue(TypeId type) {
+  int len = TypeFixedLength(type);
+  return len >= 0 && len <= 8;
+}
+
+Result<TypeId> TypeIdFromSqlName(std::string_view name) {
+  std::string n = AsciiLower(name);
+  if (n == "tinyint" || n == "bool" || n == "boolean") return TypeId::kTiny;
+  if (n == "smallint") return TypeId::kShort;
+  if (n == "mediumint") return TypeId::kInt24;
+  if (n == "int" || n == "integer") return TypeId::kLong;
+  if (n == "bigint") return TypeId::kLongLong;
+  if (n == "float") return TypeId::kFloat;
+  if (n == "double" || n == "real") return TypeId::kDouble;
+  if (n == "decimal" || n == "numeric") return TypeId::kNewDecimal;
+  if (n == "bit") return TypeId::kBit;
+  if (n == "year") return TypeId::kYear;
+  if (n == "date") return TypeId::kDate;
+  if (n == "time") return TypeId::kTime;
+  if (n == "datetime") return TypeId::kDatetime;
+  if (n == "timestamp") return TypeId::kTimestamp;
+  if (n == "varchar") return TypeId::kVarchar;
+  if (n == "char") return TypeId::kString;
+  if (n == "text") return TypeId::kBlob;
+  if (n == "blob") return TypeId::kBlob;
+  if (n == "json") return TypeId::kJson;
+  if (n == "enum") return TypeId::kEnum;
+  return Status::NotSupported("unknown SQL type name: " + std::string(name));
+}
+
+}  // namespace taurus

@@ -1,0 +1,113 @@
+#ifndef TAURUS_TYPES_TYPE_H_
+#define TAURUS_TYPES_TYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace taurus {
+
+/// The 31 MySQL field types (mirrors MySQL's enum_field_types). The paper's
+/// metadata provider groups these 31 types into 12 type categories
+/// (Section 5.1) to keep the expression OID space manageable.
+enum class TypeId : uint8_t {
+  kDecimal = 0,
+  kTiny,
+  kShort,
+  kLong,
+  kFloat,
+  kDouble,
+  kNull,
+  kTimestamp,
+  kLongLong,
+  kInt24,
+  kDate,
+  kTime,
+  kDatetime,
+  kYear,
+  kNewDate,
+  kVarchar,
+  kBit,
+  kTimestamp2,
+  kDatetime2,
+  kTime2,
+  kJson,
+  kNewDecimal,
+  kEnum,
+  kSet,
+  kTinyBlob,
+  kMediumBlob,
+  kLongBlob,
+  kBlob,
+  kVarString,
+  kString,
+  kGeometry,
+};
+
+/// Number of distinct TypeId values.
+inline constexpr int kNumTypeIds = 31;
+
+/// The 12 type categories of the metadata provider (Section 5.1), plus the
+/// two aggregation-only pseudo-categories STAR (COUNT(*)) and ANY
+/// (COUNT(expr)), for a total of 14. The INT category was split into
+/// INT2/INT4/INT8 so that Orca can match indexes on integer-like columns
+/// (Section 7, lessons learned).
+enum class TypeCategory : uint8_t {
+  kInt2 = 0,  // TINY, SHORT, YEAR
+  kInt4,      // INT24, LONG, ENUM
+  kInt8,      // LONGLONG, SET
+  kNum,       // DECIMAL, NEWDECIMAL, FLOAT, DOUBLE
+  kBit,       // BIT
+  kStr,       // VARCHAR, VAR_STRING, STRING
+  kBlb,       // TINY/MEDIUM/LONG/plain BLOB
+  kDte,       // DATE, NEWDATE
+  kTim,       // TIME, TIME2
+  kDtm,       // DATETIME(2), TIMESTAMP(2), and the NULL placeholder type
+  kJsn,       // JSON
+  kGeo,       // GEOMETRY
+  kStar,      // aggregation-only: COUNT(*)
+  kAny,       // aggregation-only: COUNT(expr) for any expr type
+};
+
+/// Number of regular type categories (excludes STAR/ANY).
+inline constexpr int kNumRegularTypeCategories = 12;
+/// Number of categories including the aggregation-only STAR and ANY.
+inline constexpr int kNumAggTypeCategories = 14;
+
+/// Maps a concrete MySQL type to its metadata-provider category.
+TypeCategory CategoryOf(TypeId type);
+
+/// Short uppercase category label ("INT4", "NUM", "STR", ...), as used in
+/// expression names such as STR_EQ_STR (Section 5.7).
+const char* TypeCategoryName(TypeCategory cat);
+
+/// Lowercase SQL-ish name of a type ("int", "varchar", "date", ...).
+const char* TypeIdName(TypeId type);
+
+/// True for the three string types (STR category).
+bool IsStringType(TypeId type);
+/// True for the integer-like categories INT2/INT4/INT8.
+bool IsIntegerType(TypeId type);
+/// True for NUM category types.
+bool IsNumericType(TypeId type);
+/// True for temporal types (DATE/TIME/DATETIME/TIMESTAMP families, YEAR).
+bool IsTemporalType(TypeId type);
+
+/// Fixed-width byte length of a type's storage, or -1 for variable-length
+/// types. Reported to Orca by the metadata provider.
+int TypeFixedLength(TypeId type);
+
+/// Whether values of this type are pass-by-value in the metadata-provider
+/// sense (fits into a machine word).
+bool TypePassByValue(TypeId type);
+
+/// Parses a SQL type name ("INT", "BIGINT", "VARCHAR", "DECIMAL", ...) into
+/// a TypeId. Used by the DDL parser.
+Result<TypeId> TypeIdFromSqlName(std::string_view name);
+
+}  // namespace taurus
+
+#endif  // TAURUS_TYPES_TYPE_H_

@@ -1,0 +1,144 @@
+#ifndef TAURUS_TYPES_VALUE_H_
+#define TAURUS_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/type.h"
+
+namespace taurus {
+
+/// Runtime SQL value. A Value carries a concrete MySQL TypeId plus one of
+/// four physical representations: NULL, 64-bit integer (also used for all
+/// temporal types: DATE as days since epoch, DATETIME/TIMESTAMP/TIME as
+/// seconds), double (NUM category), or string (STR/BLB/JSN/GEO categories).
+///
+/// Values are cheap to copy for the fixed-width kinds and use std::string
+/// for the rest; the executor's Row is simply std::vector<Value>.
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull, kInt, kDouble, kString };
+
+  /// Default-constructed value is SQL NULL.
+  Value() : type_(TypeId::kNull), kind_(Kind::kNull), i_(0), d_(0) {}
+
+  static Value Null() { return Value(); }
+
+  static Value Int(int64_t v, TypeId type = TypeId::kLongLong) {
+    Value out;
+    out.type_ = type;
+    out.kind_ = Kind::kInt;
+    out.i_ = v;
+    return out;
+  }
+
+  static Value Double(double v, TypeId type = TypeId::kDouble) {
+    Value out;
+    out.type_ = type;
+    out.kind_ = Kind::kDouble;
+    out.d_ = v;
+    return out;
+  }
+
+  static Value Str(std::string v, TypeId type = TypeId::kVarchar) {
+    Value out;
+    out.type_ = type;
+    out.kind_ = Kind::kString;
+    out.s_ = std::move(v);
+    return out;
+  }
+
+  /// DATE value from days since 1970-01-01.
+  static Value Date(int64_t days) { return Int(days, TypeId::kDate); }
+
+  /// DATETIME value from seconds since the epoch.
+  static Value Datetime(int64_t seconds) {
+    return Int(seconds, TypeId::kDatetime);
+  }
+
+  /// Boolean result of a predicate, carried as TINYINT 0/1 (MySQL has no
+  /// separate BOOL type).
+  static Value Bool(bool b) { return Int(b ? 1 : 0, TypeId::kTiny); }
+
+  bool is_null() const { return kind_ == Kind::kNull; }
+  TypeId type() const { return type_; }
+  Kind kind() const { return kind_; }
+
+  /// Raw integer payload. Valid only for kInt values.
+  int64_t AsInt() const { return i_; }
+
+  /// Numeric coercion: integers widen to double; NULL yields 0.
+  double AsDouble() const {
+    switch (kind_) {
+      case Kind::kInt:
+        return static_cast<double>(i_);
+      case Kind::kDouble:
+        return d_;
+      default:
+        return 0.0;
+    }
+  }
+
+  /// String payload. Valid only for kString values.
+  const std::string& AsString() const { return s_; }
+
+  /// SQL truthiness: non-NULL and numerically non-zero.
+  bool IsTrue() const {
+    switch (kind_) {
+      case Kind::kInt:
+        return i_ != 0;
+      case Kind::kDouble:
+        return d_ != 0.0;
+      case Kind::kString:
+        return !s_.empty();
+      case Kind::kNull:
+        return false;
+    }
+    return false;
+  }
+
+  /// Total-order comparison used by sorts, index keys and merge logic.
+  /// NULL sorts before everything (MySQL ORDER BY semantics); numeric kinds
+  /// compare numerically regardless of int/double representation; strings
+  /// compare bytewise. Cross-kind number-vs-string compares the string as a
+  /// number (best-effort, as MySQL coerces).
+  static int Compare(const Value& a, const Value& b);
+
+  /// Equality consistent with Compare()==0. Note: this is *ordering*
+  /// equality (NULL == NULL), used for grouping and index keys, not SQL
+  /// three-valued equality — the expression evaluator handles NULLs itself.
+  bool operator==(const Value& other) const {
+    return Compare(*this, other) == 0;
+  }
+  bool operator<(const Value& other) const {
+    return Compare(*this, other) < 0;
+  }
+
+  /// Hash consistent with operator== (numeric kinds hash by double value).
+  uint64_t Hash() const;
+
+  /// Human-readable rendering used by EXPLAIN and result printing.
+  /// Temporal types format as calendar dates/datetimes.
+  std::string ToString() const;
+
+ private:
+  TypeId type_;
+  Kind kind_;
+  int64_t i_;
+  double d_;
+  std::string s_;
+};
+
+/// A materialized tuple.
+using Row = std::vector<Value>;
+
+/// Hash of a full row (combines per-value hashes).
+uint64_t HashRow(const Row& row);
+
+/// Renders a row as "(v1, v2, ...)" for debugging and golden tests.
+std::string RowToString(const Row& row);
+
+}  // namespace taurus
+
+#endif  // TAURUS_TYPES_VALUE_H_

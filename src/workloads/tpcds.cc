@@ -1,0 +1,461 @@
+#include "workloads/tpcds.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "types/datetime.h"
+
+namespace taurus {
+
+namespace {
+
+const char* kCategories[] = {"Books", "Electronics", "Home", "Jewelry",
+                             "Men", "Music", "Shoes", "Sports", "Women",
+                             "Children"};
+const char* kClasses[] = {"accent", "athletic", "classical", "dresses",
+                          "earings", "fiction", "history", "kids",
+                          "mystery", "pop", "romance", "school"};
+const char* kColors[] = {"aquamarine", "azure", "beige", "black", "blue",
+                         "brown", "coral", "cream", "cyan", "forest",
+                         "gold", "green"};
+const char* kBuyPotentials[] = {"0-500", "501-1000", "1001-5000",
+                                ">10000", "5001-10000", "Unknown"};
+const char* kMarital[] = {"S", "M", "D", "W", "U"};
+const char* kEducation[] = {"Primary", "Secondary", "College",
+                            "2 yr Degree", "4 yr Degree", "Advanced Degree",
+                            "Unknown"};
+const char* kGenders[] = {"M", "F"};
+const char* kCredit[] = {"Low Risk", "Good", "High Risk", "Unknown"};
+const char* kStates[] = {"TN", "GA", "SC", "NC", "VA", "AL", "KY", "FL"};
+const char* kCounties[] = {"Williamson County", "Walker County",
+                           "Ziebach County", "Daviess County",
+                           "Barrow County", "Franklin Parish",
+                           "Luce County", "Richland County"};
+const char* kCities[] = {"Midway", "Fairview", "Oakland", "Riverside",
+                         "Five Points", "Oak Grove", "Pleasant Hill",
+                         "Centerville"};
+const char* kDayNames[] = {"Sunday", "Monday", "Tuesday", "Wednesday",
+                           "Thursday", "Friday", "Saturday"};
+
+Status Ddl(Database* db, const std::string& sql) { return db->ExecuteSql(sql); }
+
+}  // namespace
+
+Status CreateTpcdsSchema(Database* db) {
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE date_dim (d_date_sk INT NOT NULL PRIMARY KEY, "
+      "d_date DATE NOT NULL, d_year INT NOT NULL, d_moy INT NOT NULL, "
+      "d_dom INT NOT NULL, d_qoy INT NOT NULL, d_week_seq INT NOT NULL, "
+      "d_day_name VARCHAR(9) NOT NULL)"));
+  TAURUS_RETURN_IF_ERROR(
+      Ddl(db, "CREATE INDEX d_year_idx ON date_dim (d_year)"));
+  TAURUS_RETURN_IF_ERROR(
+      Ddl(db, "CREATE INDEX d_week_idx ON date_dim (d_week_seq)"));
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE item (i_item_sk INT NOT NULL PRIMARY KEY, "
+      "i_item_id CHAR(16) NOT NULL, i_item_desc VARCHAR(200), "
+      "i_brand_id INT, i_brand CHAR(50), i_class CHAR(50), "
+      "i_category CHAR(50), i_manufact_id INT, i_manufact CHAR(50), "
+      "i_color CHAR(20), i_current_price DECIMAL(7,2), "
+      "i_wholesale_cost DECIMAL(7,2))"));
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE customer (c_customer_sk INT NOT NULL PRIMARY KEY, "
+      "c_customer_id CHAR(16) NOT NULL, c_current_addr_sk INT, "
+      "c_current_cdemo_sk INT, c_current_hdemo_sk INT, "
+      "c_first_name CHAR(20), c_last_name CHAR(30), "
+      "c_preferred_cust_flag CHAR(1))"));
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE customer_address (ca_address_sk INT NOT NULL PRIMARY "
+      "KEY, ca_city VARCHAR(60), ca_county VARCHAR(30), ca_state CHAR(2), "
+      "ca_zip CHAR(10), ca_country VARCHAR(20))"));
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE customer_demographics (cd_demo_sk INT NOT NULL PRIMARY "
+      "KEY, cd_gender CHAR(1), cd_marital_status CHAR(1), "
+      "cd_education_status CHAR(20), cd_purchase_estimate INT, "
+      "cd_credit_rating CHAR(10), cd_dep_count INT)"));
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE household_demographics (hd_demo_sk INT NOT NULL "
+      "PRIMARY KEY, hd_income_band_sk INT, hd_buy_potential CHAR(15), "
+      "hd_dep_count INT, hd_vehicle_count INT)"));
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE income_band (ib_income_band_sk INT NOT NULL PRIMARY "
+      "KEY, ib_lower_bound INT, ib_upper_bound INT)"));
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE store (s_store_sk INT NOT NULL PRIMARY KEY, "
+      "s_store_id CHAR(16) NOT NULL, s_store_name VARCHAR(50), "
+      "s_number_employees INT, s_city VARCHAR(60), s_county VARCHAR(30), "
+      "s_state CHAR(2))"));
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE warehouse (w_warehouse_sk INT NOT NULL PRIMARY KEY, "
+      "w_warehouse_name VARCHAR(20), w_warehouse_sq_ft INT, "
+      "w_city VARCHAR(60), w_state CHAR(2))"));
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE promotion (p_promo_sk INT NOT NULL PRIMARY KEY, "
+      "p_promo_id CHAR(16) NOT NULL, p_channel_dmail CHAR(1), "
+      "p_channel_email CHAR(1), p_channel_tv CHAR(1))"));
+
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE store_sales (ss_sold_date_sk INT, ss_item_sk INT NOT "
+      "NULL, ss_customer_sk INT, ss_cdemo_sk INT, ss_hdemo_sk INT, "
+      "ss_addr_sk INT, ss_store_sk INT, ss_promo_sk INT, "
+      "ss_ticket_number INT NOT NULL, ss_quantity INT, "
+      "ss_wholesale_cost DECIMAL(7,2), ss_list_price DECIMAL(7,2), "
+      "ss_sales_price DECIMAL(7,2), ss_ext_sales_price DECIMAL(7,2), "
+      "ss_net_paid DECIMAL(7,2), ss_net_profit DECIMAL(7,2))"));
+  for (const char* idx :
+       {"CREATE INDEX ss_item_idx ON store_sales (ss_item_sk)",
+        "CREATE INDEX ss_date_idx ON store_sales (ss_sold_date_sk)",
+        "CREATE INDEX ss_cust_idx ON store_sales (ss_customer_sk)",
+        "CREATE INDEX ss_ticket_idx ON store_sales (ss_ticket_number)"}) {
+    TAURUS_RETURN_IF_ERROR(Ddl(db, idx));
+  }
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE store_returns (sr_returned_date_sk INT, "
+      "sr_item_sk INT NOT NULL, sr_customer_sk INT, sr_ticket_number INT "
+      "NOT NULL, sr_return_quantity INT, sr_return_amt DECIMAL(7,2), "
+      "sr_store_sk INT)"));
+  for (const char* idx :
+       {"CREATE INDEX sr_item_idx ON store_returns (sr_item_sk)",
+        "CREATE INDEX sr_ticket_idx ON store_returns (sr_ticket_number)",
+        "CREATE INDEX sr_cust_idx ON store_returns (sr_customer_sk)"}) {
+    TAURUS_RETURN_IF_ERROR(Ddl(db, idx));
+  }
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE catalog_sales (cs_sold_date_sk INT, cs_ship_date_sk "
+      "INT, cs_bill_customer_sk INT, cs_bill_cdemo_sk INT, "
+      "cs_bill_hdemo_sk INT, cs_bill_addr_sk INT, cs_item_sk INT NOT NULL, "
+      "cs_promo_sk INT, cs_order_number INT NOT NULL, cs_warehouse_sk INT, "
+      "cs_quantity INT, cs_wholesale_cost DECIMAL(7,2), "
+      "cs_list_price DECIMAL(7,2), cs_sales_price DECIMAL(7,2), "
+      "cs_ext_sales_price DECIMAL(7,2), cs_ext_discount_amt DECIMAL(7,2), "
+      "cs_net_profit DECIMAL(7,2))"));
+  for (const char* idx :
+       {"CREATE INDEX cs_item_idx ON catalog_sales (cs_item_sk)",
+        "CREATE INDEX cs_date_idx ON catalog_sales (cs_sold_date_sk)",
+        "CREATE INDEX cs_cust_idx ON catalog_sales (cs_bill_customer_sk)",
+        "CREATE INDEX cs_order_idx ON catalog_sales (cs_order_number)"}) {
+    TAURUS_RETURN_IF_ERROR(Ddl(db, idx));
+  }
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE catalog_returns (cr_returned_date_sk INT, "
+      "cr_item_sk INT NOT NULL, cr_order_number INT NOT NULL, "
+      "cr_return_quantity INT, cr_return_amount DECIMAL(7,2), "
+      "cr_returning_customer_sk INT)"));
+  for (const char* idx :
+       {"CREATE INDEX cr_item_idx ON catalog_returns (cr_item_sk)",
+        "CREATE INDEX cr_order_idx ON catalog_returns (cr_order_number)",
+        "CREATE INDEX cr_cust_idx ON catalog_returns "
+        "(cr_returning_customer_sk)"}) {
+    TAURUS_RETURN_IF_ERROR(Ddl(db, idx));
+  }
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE web_sales (ws_sold_date_sk INT, ws_ship_date_sk INT, "
+      "ws_item_sk INT NOT NULL, ws_bill_customer_sk INT, ws_bill_addr_sk "
+      "INT, ws_promo_sk INT, ws_order_number INT NOT NULL, "
+      "ws_warehouse_sk INT, ws_quantity INT, ws_sales_price DECIMAL(7,2), "
+      "ws_ext_sales_price DECIMAL(7,2), ws_ext_discount_amt DECIMAL(7,2), "
+      "ws_net_profit DECIMAL(7,2))"));
+  for (const char* idx :
+       {"CREATE INDEX ws_item_idx ON web_sales (ws_item_sk)",
+        "CREATE INDEX ws_date_idx ON web_sales (ws_sold_date_sk)",
+        "CREATE INDEX ws_cust_idx ON web_sales (ws_bill_customer_sk)",
+        "CREATE INDEX ws_order_idx ON web_sales (ws_order_number)"}) {
+    TAURUS_RETURN_IF_ERROR(Ddl(db, idx));
+  }
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE web_returns (wr_returned_date_sk INT, wr_item_sk INT "
+      "NOT NULL, wr_order_number INT NOT NULL, wr_return_quantity INT, "
+      "wr_return_amt DECIMAL(7,2), wr_returning_customer_sk INT)"));
+  for (const char* idx :
+       {"CREATE INDEX wr_item_idx ON web_returns (wr_item_sk)",
+        "CREATE INDEX wr_order_idx ON web_returns (wr_order_number)"}) {
+    TAURUS_RETURN_IF_ERROR(Ddl(db, idx));
+  }
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE inventory (inv_date_sk INT NOT NULL, inv_item_sk INT "
+      "NOT NULL, inv_warehouse_sk INT NOT NULL, inv_quantity_on_hand INT)"));
+  for (const char* idx :
+       {"CREATE INDEX inv_item_idx ON inventory (inv_item_sk)",
+        "CREATE INDEX inv_date_idx ON inventory (inv_date_sk)"}) {
+    TAURUS_RETURN_IF_ERROR(Ddl(db, idx));
+  }
+  return Status::OK();
+}
+
+Status LoadTpcds(Database* db, double scale, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t num_items = std::max<int64_t>(24, int64_t(18000 * scale));
+  const int64_t num_customers =
+      std::max<int64_t>(40, int64_t(100000 * scale));
+  const int64_t num_addresses = std::max<int64_t>(20, num_customers / 2);
+  const int64_t num_cdemo = 400;
+  const int64_t num_hdemo = 144;
+  const int64_t num_stores = 12;
+  const int64_t num_warehouses = 5;
+  const int64_t num_promos = std::max<int64_t>(12, int64_t(300 * scale));
+  const int64_t num_ss = std::max<int64_t>(200, int64_t(2880000 * scale));
+  const int64_t num_cs = num_ss / 2;
+  const int64_t num_ws = num_ss / 4;
+
+  const int64_t date_base = CivilToDays(1998, 1, 1);
+  const int64_t date_end = CivilToDays(2002, 12, 31);
+  const int64_t num_dates = date_end - date_base + 1;
+
+  auto dec = [](double v) { return Value::Double(v, TypeId::kNewDecimal); };
+
+  // date_dim: d_date_sk counts days from the base.
+  {
+    std::vector<Row> rows;
+    for (int64_t d = 0; d < num_dates; ++d) {
+      int64_t days = date_base + d;
+      int y, m, dom;
+      DaysToCivil(days, &y, &m, &dom);
+      rows.push_back({Value::Int(d), Value::Date(days), Value::Int(y),
+                      Value::Int(m), Value::Int(dom),
+                      Value::Int((m - 1) / 3 + 1), Value::Int(d / 7),
+                      Value::Str(kDayNames[(days + 4) % 7])});
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("date_dim", std::move(rows)));
+  }
+  // item: i_manufact has ~1/28 as many distinct values as there are items
+  // (the Q41 analysis: 28000 items, 999 manufacturers).
+  {
+    std::vector<Row> rows;
+    int64_t num_manufact = std::max<int64_t>(4, num_items / 28);
+    for (int64_t i = 1; i <= num_items; ++i) {
+      int64_t man = 1 + rng.Uniform(0, num_manufact - 1);
+      int brand1 = static_cast<int>(rng.Uniform(1, 10));
+      int brand2 = static_cast<int>(rng.Uniform(1, 10));
+      rows.push_back(
+          {Value::Int(i), Value::Str("AAAAAAAA" + std::to_string(i)),
+           Value::Str(rng.NextString(20, 60)),
+           Value::Int(brand1 * 1000 + brand2),
+           Value::Str("brand#" + std::to_string(brand1) +
+                      std::to_string(brand2)),
+           Value::Str(kClasses[rng.Uniform(0, 11)]),
+           Value::Str(kCategories[rng.Uniform(0, 9)]), Value::Int(man),
+           Value::Str("manufact#" + std::to_string(man)),
+           Value::Str(kColors[rng.Uniform(0, 11)]),
+           dec(0.99 + rng.NextDouble() * 99.0),
+           dec(0.5 + rng.NextDouble() * 60.0)});
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("item", std::move(rows)));
+  }
+  // customer_address / demographics / households / income bands.
+  {
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= num_addresses; ++i) {
+      rows.push_back({Value::Int(i), Value::Str(kCities[rng.Uniform(0, 7)]),
+                      Value::Str(kCounties[rng.Uniform(0, 7)]),
+                      Value::Str(kStates[rng.Uniform(0, 7)]),
+                      Value::Str(std::to_string(10000 + i % 90000)),
+                      Value::Str("United States")});
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("customer_address", std::move(rows)));
+  }
+  {
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= num_cdemo; ++i) {
+      rows.push_back({Value::Int(i), Value::Str(kGenders[i % 2]),
+                      Value::Str(kMarital[i % 5]),
+                      Value::Str(kEducation[i % 7]),
+                      Value::Int(500 * (1 + i % 20)),
+                      Value::Str(kCredit[i % 4]),
+                      Value::Int(i % 7)});
+    }
+    TAURUS_RETURN_IF_ERROR(
+        db->BulkLoad("customer_demographics", std::move(rows)));
+  }
+  {
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= num_hdemo; ++i) {
+      rows.push_back({Value::Int(i), Value::Int(1 + i % 20),
+                      Value::Str(kBuyPotentials[i % 6]),
+                      Value::Int(i % 10), Value::Int(i % 5)});
+    }
+    TAURUS_RETURN_IF_ERROR(
+        db->BulkLoad("household_demographics", std::move(rows)));
+  }
+  {
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= 20; ++i) {
+      rows.push_back({Value::Int(i), Value::Int((i - 1) * 10000),
+                      Value::Int(i * 10000)});
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("income_band", std::move(rows)));
+  }
+  // customer / store / warehouse / promotion.
+  {
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= num_customers; ++i) {
+      rows.push_back({Value::Int(i),
+                      Value::Str("CUST" + std::to_string(100000 + i)),
+                      Value::Int(1 + i % num_addresses),
+                      Value::Int(1 + rng.Uniform(0, num_cdemo - 1)),
+                      Value::Int(1 + rng.Uniform(0, num_hdemo - 1)),
+                      Value::Str(rng.NextString(4, 10)),
+                      Value::Str(rng.NextString(4, 12)),
+                      Value::Str(rng.Uniform(0, 1) != 0 ? "Y" : "N")});
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("customer", std::move(rows)));
+  }
+  {
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= num_stores; ++i) {
+      rows.push_back({Value::Int(i),
+                      Value::Str("STORE" + std::to_string(i)),
+                      Value::Str("ese" + std::to_string(i)),
+                      Value::Int(200 + 10 * i),
+                      Value::Str(kCities[i % 8]),
+                      Value::Str(kCounties[i % 8]),
+                      Value::Str(kStates[i % 8])});
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("store", std::move(rows)));
+  }
+  {
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= num_warehouses; ++i) {
+      rows.push_back({Value::Int(i),
+                      Value::Str("Warehouse" + std::to_string(i)),
+                      Value::Int(50000 + 1000 * i),
+                      Value::Str(kCities[i % 8]),
+                      Value::Str(kStates[i % 8])});
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("warehouse", std::move(rows)));
+  }
+  {
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= num_promos; ++i) {
+      rows.push_back({Value::Int(i),
+                      Value::Str("PROMO" + std::to_string(i)),
+                      Value::Str(rng.Uniform(0, 1) != 0 ? "Y" : "N"),
+                      Value::Str(rng.Uniform(0, 1) != 0 ? "Y" : "N"),
+                      Value::Str(rng.Uniform(0, 1) != 0 ? "Y" : "N")});
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("promotion", std::move(rows)));
+  }
+
+  // store_sales (+ ~10% returns).
+  {
+    std::vector<Row> sales;
+    std::vector<Row> returns;
+    for (int64_t t = 1; t <= num_ss; ++t) {
+      int64_t item = 1 + rng.Uniform(0, num_items - 1);
+      int64_t date = rng.Uniform(0, num_dates - 1);
+      int64_t cust = 1 + rng.Uniform(0, num_customers - 1);
+      int qty = static_cast<int>(rng.Uniform(1, 100));
+      double wholesale = 1.0 + rng.NextDouble() * 80.0;
+      double list = wholesale * (1.2 + rng.NextDouble());
+      double price = list * (0.3 + 0.7 * rng.NextDouble());
+      sales.push_back(
+          {Value::Int(date), Value::Int(item), Value::Int(cust),
+           Value::Int(1 + rng.Uniform(0, num_cdemo - 1)),
+           Value::Int(1 + rng.Uniform(0, num_hdemo - 1)),
+           Value::Int(1 + cust % num_addresses),
+           Value::Int(1 + rng.Uniform(0, num_stores - 1)),
+           rng.Uniform(0, 3) == 0
+               ? Value::Int(1 + rng.Uniform(0, num_promos - 1))
+               : Value::Null(),
+           Value::Int(t), Value::Int(qty), dec(wholesale), dec(list),
+           dec(price), dec(price * qty), dec(price * qty),
+           dec((price - wholesale) * qty)});
+      if (rng.Uniform(0, 9) == 0) {
+        int rqty = 1 + static_cast<int>(rng.Uniform(0, qty - 1));
+        returns.push_back({Value::Int(std::min(date + rng.Uniform(1, 30),
+                                               num_dates - 1)),
+                           Value::Int(item), Value::Int(cust), Value::Int(t),
+                           Value::Int(rqty), dec(price * rqty),
+                           sales.back()[6]});
+      }
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("store_sales", std::move(sales)));
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("store_returns", std::move(returns)));
+  }
+  // catalog_sales (+ returns).
+  {
+    std::vector<Row> sales;
+    std::vector<Row> returns;
+    for (int64_t o = 1; o <= num_cs; ++o) {
+      int64_t item = 1 + rng.Uniform(0, num_items - 1);
+      int64_t date = rng.Uniform(0, num_dates - 8);
+      int64_t cust = 1 + rng.Uniform(0, num_customers - 1);
+      int qty = static_cast<int>(rng.Uniform(1, 100));
+      double wholesale = 1.0 + rng.NextDouble() * 80.0;
+      double list = wholesale * (1.2 + rng.NextDouble());
+      double price = list * (0.3 + 0.7 * rng.NextDouble());
+      sales.push_back(
+          {Value::Int(date), Value::Int(date + rng.Uniform(2, 7)),
+           Value::Int(cust),
+           Value::Int(1 + rng.Uniform(0, num_cdemo - 1)),
+           Value::Int(1 + rng.Uniform(0, num_hdemo - 1)),
+           Value::Int(1 + cust % num_addresses), Value::Int(item),
+           rng.Uniform(0, 3) == 0
+               ? Value::Int(1 + rng.Uniform(0, num_promos - 1))
+               : Value::Null(),
+           Value::Int(o), Value::Int(1 + rng.Uniform(0, num_warehouses - 1)),
+           Value::Int(qty), dec(wholesale), dec(list), dec(price),
+           dec(price * qty), dec((list - price) * qty),
+           dec((price - wholesale) * qty)});
+      if (rng.Uniform(0, 9) == 0) {
+        int rqty = 1 + static_cast<int>(rng.Uniform(0, qty - 1));
+        returns.push_back({Value::Int(std::min(date + rng.Uniform(3, 40),
+                                               num_dates - 1)),
+                           Value::Int(item), Value::Int(o),
+                           Value::Int(rqty), dec(price * rqty),
+                           Value::Int(cust)});
+      }
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("catalog_sales", std::move(sales)));
+    TAURUS_RETURN_IF_ERROR(
+        db->BulkLoad("catalog_returns", std::move(returns)));
+  }
+  // web_sales (+ returns).
+  {
+    std::vector<Row> sales;
+    std::vector<Row> returns;
+    for (int64_t o = 1; o <= num_ws; ++o) {
+      int64_t item = 1 + rng.Uniform(0, num_items - 1);
+      int64_t date = rng.Uniform(0, num_dates - 8);
+      int64_t cust = 1 + rng.Uniform(0, num_customers - 1);
+      int qty = static_cast<int>(rng.Uniform(1, 100));
+      double price = 1.0 + rng.NextDouble() * 140.0;
+      sales.push_back(
+          {Value::Int(date), Value::Int(date + rng.Uniform(1, 7)),
+           Value::Int(item), Value::Int(cust),
+           Value::Int(1 + cust % num_addresses),
+           rng.Uniform(0, 3) == 0
+               ? Value::Int(1 + rng.Uniform(0, num_promos - 1))
+               : Value::Null(),
+           Value::Int(o), Value::Int(1 + rng.Uniform(0, num_warehouses - 1)),
+           Value::Int(qty), dec(price), dec(price * qty),
+           dec(price * qty * 0.1 * rng.NextDouble()),
+           dec(price * qty * (rng.NextDouble() - 0.3))});
+      if (rng.Uniform(0, 9) == 0) {
+        int rqty = 1 + static_cast<int>(rng.Uniform(0, qty - 1));
+        returns.push_back({Value::Int(std::min(date + rng.Uniform(3, 40),
+                                               num_dates - 1)),
+                           Value::Int(item), Value::Int(o),
+                           Value::Int(rqty), dec(price * rqty),
+                           Value::Int(cust)});
+      }
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("web_sales", std::move(sales)));
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("web_returns", std::move(returns)));
+  }
+  // inventory: bi-weekly snapshots per (item, warehouse).
+  {
+    std::vector<Row> rows;
+    for (int64_t d = 0; d < num_dates; d += 14) {
+      for (int64_t i = 1; i <= num_items; ++i) {
+        for (int64_t w = 1; w <= num_warehouses; ++w) {
+          rows.push_back({Value::Int(d), Value::Int(i), Value::Int(w),
+                          Value::Int(rng.Uniform(0, 1000))});
+        }
+      }
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("inventory", std::move(rows)));
+  }
+  return db->AnalyzeAll();
+}
+
+}  // namespace taurus

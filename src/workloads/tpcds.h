@@ -1,0 +1,46 @@
+#ifndef TAURUS_WORKLOADS_TPCDS_H_
+#define TAURUS_WORKLOADS_TPCDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace taurus {
+
+/// TPC-DS-style workload: a 17-table subset of the official schema (the
+/// three sales channels with their returns, inventory, and the dimension
+/// tables the evaluation's queries touch), a deterministic generator, and
+/// a 99-query suite.
+///
+/// Query provenance: the queries the paper discusses by number (DS 1, 6, 9,
+/// 14, 17, 24, 31, 32, 41, 56, 58, 64, 72, 81, 92) are hand-written
+/// adaptations of the official queries in this engine's dialect —
+/// INTERSECT/EXCEPT forms are pre-rewritten as the paper had to do for
+/// MySQL. The remaining slots are filled from structure templates that
+/// match the benchmark's query-class mix (star joins over the three
+/// channels, demographic snowflakes, EXISTS/NOT IN channel comparisons,
+/// CTE self-joins, average-subquery filters, union multi-channel reports),
+/// so the 99-point series of Fig. 11/12 has the right diversity.
+
+/// Creates tables and indexes.
+Status CreateTpcdsSchema(Database* db);
+
+/// Generates and loads data; `scale` 1.0 targets ~ 3M store_sales rows
+/// (use ~0.02 for second-scale runs). ANALYZEs everything.
+Status LoadTpcds(Database* db, double scale, uint64_t seed = 19990401);
+
+/// The 99 queries (index 0 = Q1 ... index 98 = Q99).
+const std::vector<std::string>& TpcdsQueries();
+
+/// Convenience: schema + load.
+inline Status SetupTpcds(Database* db, double scale,
+                         uint64_t seed = 19990401) {
+  TAURUS_RETURN_IF_ERROR(CreateTpcdsSchema(db));
+  return LoadTpcds(db, scale, seed);
+}
+
+}  // namespace taurus
+
+#endif  // TAURUS_WORKLOADS_TPCDS_H_

@@ -1,0 +1,578 @@
+#include "workloads/tpcds.h"
+
+#include <map>
+
+namespace taurus {
+
+namespace {
+
+const char* kCats[] = {"Books", "Electronics", "Home", "Jewelry", "Men",
+                       "Music", "Shoes", "Sports", "Women", "Children"};
+const char* kEdu[] = {"Primary", "Secondary", "College", "2 yr Degree",
+                      "4 yr Degree", "Advanced Degree", "Unknown"};
+const char* kCols[] = {"aquamarine", "azure", "beige", "black", "blue",
+                       "brown", "coral", "cream", "cyan", "forest",
+                       "gold", "green"};
+
+/// Per-channel column names used by the query templates.
+struct Channel {
+  const char* fact;
+  const char* date_fk;
+  const char* item_fk;
+  const char* cust_fk;
+  const char* addr_fk;
+  const char* cdemo_fk;  // nullptr for web
+  const char* hdemo_fk;  // nullptr for web
+  const char* price;
+  const char* quantity;
+};
+
+const Channel kChannels[] = {
+    {"store_sales", "ss_sold_date_sk", "ss_item_sk", "ss_customer_sk",
+     "ss_addr_sk", "ss_cdemo_sk", "ss_hdemo_sk", "ss_ext_sales_price",
+     "ss_quantity"},
+    {"catalog_sales", "cs_sold_date_sk", "cs_item_sk", "cs_bill_customer_sk",
+     "cs_bill_addr_sk", "cs_bill_cdemo_sk", "cs_bill_hdemo_sk",
+     "cs_ext_sales_price", "cs_quantity"},
+    {"web_sales", "ws_sold_date_sk", "ws_item_sk", "ws_bill_customer_sk",
+     "ws_bill_addr_sk", nullptr, nullptr, "ws_ext_sales_price",
+     "ws_quantity"},
+};
+
+std::string Num(int64_t v) { return std::to_string(v); }
+
+/// Template family 0: channel star report (3 tables).
+std::string StarReport(int i) {
+  const Channel& ch = kChannels[i % 3];
+  int year = 1998 + i % 5;
+  std::string cat1 = kCats[i % 10];
+  std::string cat2 = kCats[(i + 3) % 10];
+  return std::string("SELECT i_category, d_moy, SUM(") + ch.price +
+         ") AS total_sales, COUNT(*) AS cnt FROM " + ch.fact +
+         ", date_dim, item WHERE " + ch.date_fk + " = d_date_sk AND " +
+         ch.item_fk + " = i_item_sk AND d_year = " + Num(year) +
+         " AND i_category IN ('" + cat1 + "', '" + cat2 +
+         "') AND d_moy <= " + Num(6 + i % 7) +
+         " GROUP BY i_category, d_moy ORDER BY total_sales DESC, "
+         "i_category, d_moy LIMIT 100";
+}
+
+/// Template family 1: customer/address star (5 tables).
+std::string AddressStar(int i) {
+  const Channel& ch = kChannels[i % 3];
+  int year = 1998 + i % 5;
+  int moy = 1 + i % 12;
+  std::string cat = kCats[(i + 5) % 10];
+  return std::string("SELECT ca_state, COUNT(*) AS cnt, SUM(") + ch.price +
+         ") AS amt FROM " + ch.fact +
+         ", date_dim, item, customer, customer_address WHERE " + ch.date_fk +
+         " = d_date_sk AND " + ch.item_fk + " = i_item_sk AND " +
+         ch.cust_fk + " = c_customer_sk AND c_current_addr_sk = "
+         "ca_address_sk AND d_year = " + Num(year) +
+         " AND d_moy = " + Num(moy) + " AND i_category = '" + cat +
+         "' GROUP BY ca_state ORDER BY cnt DESC, ca_state LIMIT " +
+         Num(80 + i % 20);
+}
+
+/// Template family 2: demographics snowflake (store/catalog only).
+std::string DemographicsStar(int i) {
+  const Channel& ch = kChannels[i % 2];
+  int year = 1998 + i % 5;
+  std::string edu = kEdu[i % 7];
+  int dep = i % 7;
+  return std::string(
+             "SELECT cd_gender, cd_marital_status, COUNT(*) AS cnt, AVG(") +
+         ch.quantity + ") AS avg_qty FROM " + ch.fact +
+         ", customer_demographics, household_demographics, date_dim WHERE " +
+         ch.cdemo_fk + " = cd_demo_sk AND " + ch.hdemo_fk +
+         " = hd_demo_sk AND " + ch.date_fk + " = d_date_sk AND d_year = " +
+         Num(year) + " AND cd_education_status = '" + edu +
+         "' AND hd_dep_count = " + Num(dep) + " AND hd_vehicle_count <= " +
+         Num(1 + i % 4) +
+         " GROUP BY cd_gender, cd_marital_status "
+         "ORDER BY cd_gender, cd_marital_status";
+}
+
+/// Template family 3: EXISTS cross-channel (semi-join).
+std::string ExistsCrossChannel(int i) {
+  const Channel& a = kChannels[i % 3];
+  const Channel& b = kChannels[(i + 1) % 3];
+  int year = 1998 + i % 5;
+  int moy = 1 + i % 12;
+  return std::string(
+             "SELECT DISTINCT c_last_name, c_first_name, c_customer_id "
+             "FROM customer, ") +
+         a.fact + ", date_dim WHERE c_customer_sk = " + a.cust_fk +
+         " AND " + a.date_fk + " = d_date_sk AND d_year = " + Num(year) +
+         " AND d_moy = " + Num(moy) + " AND EXISTS (SELECT * FROM " +
+         b.fact + ", date_dim d2 WHERE " + b.cust_fk +
+         " = c_customer_sk AND " + b.date_fk +
+         " = d2.d_date_sk AND d2.d_year = " + Num(year) +
+         ") AND c_preferred_cust_flag = '" + (i % 2 ? "Y" : "N") +
+         "' ORDER BY c_last_name, c_first_name, c_customer_id LIMIT 100";
+}
+
+/// Template family 4: NOT EXISTS cross-channel (anti-join).
+std::string AntiCrossChannel(int i) {
+  const Channel& a = kChannels[i % 3];
+  const Channel& b = kChannels[(i + 2) % 3];
+  int year = 1998 + i % 5;
+  int moy = 1 + i % 12;
+  return std::string(
+             "SELECT DISTINCT c_last_name, c_first_name, c_customer_id "
+             "FROM customer, ") +
+         a.fact + ", date_dim WHERE c_customer_sk = " + a.cust_fk +
+         " AND " + a.date_fk + " = d_date_sk AND d_year = " + Num(year) +
+         " AND d_moy = " + Num(moy) + " AND NOT EXISTS (SELECT * FROM " +
+         b.fact + ", date_dim d2 WHERE " + b.cust_fk +
+         " = c_customer_sk AND " + b.date_fk +
+         " = d2.d_date_sk AND d2.d_year = " + Num(year) + " AND d2.d_moy = " +
+         Num(moy) + ") ORDER BY c_last_name, c_first_name, c_customer_id "
+         "LIMIT " + Num(60 + i % 40);
+}
+
+/// Template family 5: CTE year-over-year self-join.
+std::string YearOverYear(int i) {
+  const Channel& ch = kChannels[i % 3];
+  int inst = i / 8;  // family instance: varies where i % k cycles collide
+  int year = 1998 + inst % 4;
+  return std::string("WITH year_total AS (SELECT ") + ch.cust_fk +
+         " AS cid, d_year AS y, SUM(" + ch.price + ") AS total FROM " +
+         ch.fact + ", date_dim WHERE " + ch.date_fk +
+         " = d_date_sk AND d_year BETWEEN " + Num(year) + " AND " +
+         Num(year + 1) + " GROUP BY " + ch.cust_fk +
+         ", d_year) SELECT t1.cid, t1.total, t2.total FROM year_total t1, "
+         "year_total t2 WHERE t1.cid = t2.cid AND t1.y = " + Num(year) +
+         " AND t2.y = " + Num(year + 1) +
+         " AND t2.total > 1." + Num((i + inst) % 9) +
+         " * t1.total ORDER BY t1.cid LIMIT 100";
+}
+
+/// Template family 6: per-item average subquery filter.
+std::string AvgSubqueryFilter(int i) {
+  const Channel& ch = kChannels[i % 3];
+  int year = 1998 + i % 5;
+  std::string cat = kCats[(i + 7) % 10];
+  return std::string("SELECT COUNT(*) AS cnt, SUM(") + ch.price +
+         ") AS amt FROM " + ch.fact + ", item, date_dim WHERE " +
+         ch.item_fk + " = i_item_sk AND " + ch.date_fk +
+         " = d_date_sk AND d_year = " + Num(year) + " AND i_category = '" +
+         cat + "' AND " + ch.price + " > (SELECT 1." + Num(1 + i % 8) +
+         " * AVG(f2." + ch.price +
+         ") FROM " + ch.fact + " f2 WHERE f2." + ch.item_fk +
+         " = i_item_sk)";
+}
+
+/// Template family 7: union multi-channel totals by year.
+std::string UnionChannels(int i) {
+  int inst = i / 8;  // family instance
+  int moy = 1 + inst % 12;
+  std::string m = Num(moy);
+  return
+      "SELECT d_year, SUM(p) AS total FROM ("
+      "SELECT d_year AS d_year, ss_ext_sales_price AS p "
+      "FROM store_sales, date_dim WHERE ss_sold_date_sk = d_date_sk AND "
+      "d_moy = " + m +
+      " UNION ALL SELECT d_year, cs_ext_sales_price FROM catalog_sales, "
+      "date_dim WHERE cs_sold_date_sk = d_date_sk AND d_moy = " + m +
+      " UNION ALL SELECT d_year, ws_ext_sales_price FROM web_sales, "
+      "date_dim WHERE ws_sold_date_sk = d_date_sk AND d_moy = " + m +
+      ") x WHERE d_year >= " + Num(1998 + (i + inst) % 4) +
+      " GROUP BY d_year ORDER BY d_year";
+}
+
+/// Hand-written adaptations of the queries the paper highlights.
+std::map<int, std::string> HandWrittenQueries() {
+  std::map<int, std::string> q;
+
+  // Q1 (198X in the paper): store-returns CTE + correlated per-store avg.
+  q[1] = R"(WITH customer_total_return AS (
+  SELECT sr_customer_sk AS ctr_customer_sk, sr_store_sk AS ctr_store_sk,
+         SUM(sr_return_amt) AS ctr_total_return
+  FROM store_returns, date_dim
+  WHERE sr_returned_date_sk = d_date_sk AND d_year = 2000
+  GROUP BY sr_customer_sk, sr_store_sk)
+SELECT c_customer_id
+FROM customer_total_return ctr1, store, customer
+WHERE ctr1.ctr_total_return > (SELECT AVG(ctr_total_return) * 1.2
+                               FROM customer_total_return ctr2
+                               WHERE ctr1.ctr_store_sk = ctr2.ctr_store_sk)
+  AND s_store_sk = ctr1.ctr_store_sk AND s_state = 'TN'
+  AND ctr1.ctr_customer_sk = c_customer_sk
+ORDER BY c_customer_id
+LIMIT 100)";
+
+  // Q6 (123X): items priced 20% above their category average.
+  q[6] = R"(SELECT ca_state, COUNT(*) AS cnt
+FROM customer_address, customer, store_sales, date_dim, item
+WHERE ca_address_sk = c_current_addr_sk
+  AND c_customer_sk = ss_customer_sk AND ss_sold_date_sk = d_date_sk
+  AND ss_item_sk = i_item_sk AND d_year = 2001 AND d_moy = 1
+  AND i_current_price > 1.2 * (SELECT AVG(j.i_current_price) FROM item j
+                               WHERE j.i_category = item.i_category)
+GROUP BY ca_state
+HAVING COUNT(*) >= 3
+ORDER BY cnt, ca_state
+LIMIT 100)";
+
+  // Q9: CASE over bucketed scalar subqueries (paper's Listing 6 shape;
+  // the subquery form avoids redundant evaluation per bucket).
+  q[9] = R"(SELECT
+  CASE WHEN (SELECT COUNT(*) FROM store_sales
+             WHERE ss_quantity BETWEEN 1 AND 20) > 3000
+       THEN (SELECT AVG(ss_ext_sales_price) FROM store_sales
+             WHERE ss_quantity BETWEEN 1 AND 20)
+       ELSE (SELECT AVG(ss_net_paid) FROM store_sales
+             WHERE ss_quantity BETWEEN 1 AND 20) END AS bucket1,
+  CASE WHEN (SELECT COUNT(*) FROM store_sales
+             WHERE ss_quantity BETWEEN 21 AND 40) > 3000
+       THEN (SELECT AVG(ss_ext_sales_price) FROM store_sales
+             WHERE ss_quantity BETWEEN 21 AND 40)
+       ELSE (SELECT AVG(ss_net_paid) FROM store_sales
+             WHERE ss_quantity BETWEEN 21 AND 40) END AS bucket2,
+  CASE WHEN (SELECT COUNT(*) FROM store_sales
+             WHERE ss_quantity BETWEEN 41 AND 60) > 3000
+       THEN (SELECT AVG(ss_ext_sales_price) FROM store_sales
+             WHERE ss_quantity BETWEEN 41 AND 60)
+       ELSE (SELECT AVG(ss_net_paid) FROM store_sales
+             WHERE ss_quantity BETWEEN 41 AND 60) END AS bucket3,
+  CASE WHEN (SELECT COUNT(*) FROM store_sales
+             WHERE ss_quantity BETWEEN 61 AND 80) > 3000
+       THEN (SELECT AVG(ss_ext_sales_price) FROM store_sales
+             WHERE ss_quantity BETWEEN 61 AND 80)
+       ELSE (SELECT AVG(ss_net_paid) FROM store_sales
+             WHERE ss_quantity BETWEEN 61 AND 80) END AS bucket4,
+  CASE WHEN (SELECT COUNT(*) FROM store_sales
+             WHERE ss_quantity BETWEEN 81 AND 100) > 3000
+       THEN (SELECT AVG(ss_ext_sales_price) FROM store_sales
+             WHERE ss_quantity BETWEEN 81 AND 100)
+       ELSE (SELECT AVG(ss_net_paid) FROM store_sales
+             WHERE ss_quantity BETWEEN 81 AND 100) END AS bucket5
+FROM customer_demographics
+WHERE cd_demo_sk = 1)";
+
+  // Q14: many CTEs with multi-way joins; the EXHAUSTIVE2 compile-time
+  // stress case (Table 1 discussion).
+  q[14] = R"(WITH cross_items AS (
+  SELECT i_item_sk AS cross_item_sk
+  FROM item,
+    (SELECT iss.i_brand_id AS brand_id, iss.i_class AS class_id,
+            iss.i_category AS category_id
+     FROM store_sales, item iss, date_dim d1
+     WHERE ss_item_sk = iss.i_item_sk AND ss_sold_date_sk = d1.d_date_sk
+       AND d1.d_year BETWEEN 1999 AND 2001) x
+  WHERE i_brand_id = brand_id AND i_class = class_id
+    AND i_category = category_id),
+avg_sales AS (
+  SELECT AVG(quantity * list_price) AS average_sales
+  FROM (SELECT ss_quantity AS quantity, ss_list_price AS list_price
+        FROM store_sales, date_dim
+        WHERE ss_sold_date_sk = d_date_sk AND d_year BETWEEN 1999 AND 2001
+        UNION ALL
+        SELECT cs_quantity, cs_list_price
+        FROM catalog_sales, date_dim
+        WHERE cs_sold_date_sk = d_date_sk AND d_year BETWEEN 1999 AND 2001
+        UNION ALL
+        SELECT ws_quantity, ws_sales_price
+        FROM web_sales, date_dim
+        WHERE ws_sold_date_sk = d_date_sk AND d_year BETWEEN 1999 AND 2001)
+       xx)
+SELECT i_brand_id, i_class, i_category,
+  SUM(ss_quantity * ss_list_price) AS sales, COUNT(*) AS number_sales
+FROM store_sales, item, date_dim
+WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk
+  AND d_year = 2001 AND d_moy = 11
+  AND ss_item_sk IN (SELECT cross_item_sk FROM cross_items)
+GROUP BY i_brand_id, i_class, i_category
+HAVING SUM(ss_quantity * ss_list_price) >
+       (SELECT average_sales FROM avg_sales)
+ORDER BY sales DESC, i_brand_id
+LIMIT 100)";
+
+  // Q17 (>=10X): store sale -> store return -> catalog re-purchase.
+  q[17] = R"(SELECT i_item_id, i_item_desc, s_state,
+  COUNT(ss_quantity) AS store_sales_cnt,
+  AVG(ss_quantity) AS store_sales_avg,
+  COUNT(sr_return_quantity) AS store_returns_cnt,
+  COUNT(cs_quantity) AS catalog_sales_cnt
+FROM store_sales, store_returns, catalog_sales,
+     date_dim d1, date_dim d2, date_dim d3, store, item
+WHERE d1.d_qoy = 1 AND d1.d_year = 2000 AND d1.d_date_sk = ss_sold_date_sk
+  AND i_item_sk = ss_item_sk AND s_store_sk = ss_store_sk
+  AND ss_customer_sk = sr_customer_sk AND ss_item_sk = sr_item_sk
+  AND ss_ticket_number = sr_ticket_number
+  AND sr_returned_date_sk = d2.d_date_sk
+  AND d2.d_qoy BETWEEN 1 AND 3 AND d2.d_year = 2000
+  AND sr_customer_sk = cs_bill_customer_sk AND sr_item_sk = cs_item_sk
+  AND cs_sold_date_sk = d3.d_date_sk
+  AND d3.d_qoy BETWEEN 1 AND 3 AND d3.d_year = 2000
+GROUP BY i_item_id, i_item_desc, s_state
+ORDER BY i_item_id, i_item_desc, s_state
+LIMIT 100)";
+
+  // Q24 (>=10X): ssales CTE + HAVING over a second aggregation.
+  q[24] = R"(WITH ssales AS (
+  SELECT c_last_name, c_first_name, s_store_name, i_color,
+         SUM(ss_net_paid) AS netpaid
+  FROM store_sales, store_returns, store, item, customer
+  WHERE ss_ticket_number = sr_ticket_number AND ss_item_sk = sr_item_sk
+    AND ss_customer_sk = c_customer_sk AND ss_item_sk = i_item_sk
+    AND ss_store_sk = s_store_sk AND s_state = 'TN'
+  GROUP BY c_last_name, c_first_name, s_store_name, i_color)
+SELECT c_last_name, c_first_name, s_store_name, SUM(netpaid) AS paid
+FROM ssales
+WHERE i_color = 'azure'
+GROUP BY c_last_name, c_first_name, s_store_name
+HAVING SUM(netpaid) > (SELECT 0.05 * AVG(netpaid) FROM ssales)
+ORDER BY c_last_name, c_first_name, s_store_name
+LIMIT 100)";
+
+  // Q31 (>=10X): county quarter-over-quarter across two channels.
+  q[31] = R"(WITH ss AS (
+  SELECT ca_county, d_qoy, SUM(ss_ext_sales_price) AS store_sales_v
+  FROM store_sales, date_dim, customer_address
+  WHERE ss_sold_date_sk = d_date_sk AND ss_addr_sk = ca_address_sk
+    AND d_year = 2000
+  GROUP BY ca_county, d_qoy),
+ws AS (
+  SELECT ca_county, d_qoy, SUM(ws_ext_sales_price) AS web_sales_v
+  FROM web_sales, date_dim, customer_address
+  WHERE ws_sold_date_sk = d_date_sk AND ws_bill_addr_sk = ca_address_sk
+    AND d_year = 2000
+  GROUP BY ca_county, d_qoy)
+SELECT ss1.ca_county, ss1.store_sales_v, ss2.store_sales_v AS q2_store,
+       ws1.web_sales_v, ws2.web_sales_v AS q2_web
+FROM ss ss1, ss ss2, ws ws1, ws ws2
+WHERE ss1.d_qoy = 1 AND ss2.d_qoy = 2 AND ss1.ca_county = ss2.ca_county
+  AND ws1.d_qoy = 1 AND ws2.d_qoy = 2 AND ws1.ca_county = ws2.ca_county
+  AND ss1.ca_county = ws1.ca_county
+  AND ws2.web_sales_v * ss1.store_sales_v >
+      ws1.web_sales_v * ss2.store_sales_v
+ORDER BY ss1.ca_county)";
+
+  // Q32 (>=10X): excessive catalog discounts vs the per-item average.
+  q[32] = R"(SELECT SUM(cs_ext_discount_amt) AS excess_discount_amount
+FROM catalog_sales, item, date_dim
+WHERE i_manufact_id = 7 AND i_item_sk = cs_item_sk
+  AND d_date_sk = cs_sold_date_sk AND d_year = 2000
+  AND d_moy BETWEEN 1 AND 3
+  AND cs_ext_discount_amt > (SELECT 1.3 * AVG(cs2.cs_ext_discount_amt)
+                             FROM catalog_sales cs2, date_dim d2
+                             WHERE cs2.cs_item_sk = i_item_sk
+                               AND d2.d_date_sk = cs2.cs_sold_date_sk
+                               AND d2.d_year = 2000
+                               AND d2.d_moy BETWEEN 1 AND 3)
+LIMIT 100)";
+
+  // Q41 (222X): the OR-refactoring showcase — the self-join condition
+  // repeats in every OR branch (Section 6.2).
+  q[41] = R"(SELECT DISTINCT i_manufact
+FROM item i1
+WHERE i_manufact_id BETWEEN 1 AND 8
+  AND (SELECT COUNT(*) FROM item
+       WHERE (item.i_manufact = i1.i_manufact AND i_category = 'Women'
+              AND i_color IN ('azure', 'blue'))
+          OR (item.i_manufact = i1.i_manufact AND i_category = 'Men'
+              AND i_color IN ('black', 'brown'))
+          OR (item.i_manufact = i1.i_manufact AND i_category = 'Home'
+              AND i_color IN ('coral', 'cream'))
+          OR (item.i_manufact = i1.i_manufact AND i_category = 'Sports'
+              AND i_color IN ('cyan', 'forest'))) > 0
+ORDER BY i_manufact
+LIMIT 100)";
+
+  // Q56 (the short query Orca loses on, Fig. 12): per-color totals across
+  // the three channels.
+  q[56] = R"(WITH ss AS (
+  SELECT i_item_id, SUM(ss_ext_sales_price) AS total_sales
+  FROM store_sales, date_dim, item
+  WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk
+    AND i_color IN ('azure', 'beige') AND d_year = 2000 AND d_moy = 2
+  GROUP BY i_item_id),
+cs AS (
+  SELECT i_item_id, SUM(cs_ext_sales_price) AS total_sales
+  FROM catalog_sales, date_dim, item
+  WHERE cs_sold_date_sk = d_date_sk AND cs_item_sk = i_item_sk
+    AND i_color IN ('azure', 'beige') AND d_year = 2000 AND d_moy = 2
+  GROUP BY i_item_id),
+ws AS (
+  SELECT i_item_id, SUM(ws_ext_sales_price) AS total_sales
+  FROM web_sales, date_dim, item
+  WHERE ws_sold_date_sk = d_date_sk AND ws_item_sk = i_item_sk
+    AND i_color IN ('azure', 'beige') AND d_year = 2000 AND d_moy = 2
+  GROUP BY i_item_id)
+SELECT i_item_id, SUM(total_sales) AS total
+FROM (SELECT * FROM ss UNION ALL SELECT * FROM cs
+      UNION ALL SELECT * FROM ws) tmp
+GROUP BY i_item_id
+ORDER BY total, i_item_id
+LIMIT 100)";
+
+  // Q58 (>=10X): items selling comparably across all three channels in
+  // one week.
+  q[58] = R"(WITH ss_items AS (
+  SELECT i_item_id AS item_id, SUM(ss_ext_sales_price) AS ss_item_rev
+  FROM store_sales, item, date_dim
+  WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk
+    AND d_week_seq = 110
+  GROUP BY i_item_id),
+cs_items AS (
+  SELECT i_item_id AS item_id, SUM(cs_ext_sales_price) AS cs_item_rev
+  FROM catalog_sales, item, date_dim
+  WHERE cs_item_sk = i_item_sk AND cs_sold_date_sk = d_date_sk
+    AND d_week_seq = 110
+  GROUP BY i_item_id),
+ws_items AS (
+  SELECT i_item_id AS item_id, SUM(ws_ext_sales_price) AS ws_item_rev
+  FROM web_sales, item, date_dim
+  WHERE ws_item_sk = i_item_sk AND ws_sold_date_sk = d_date_sk
+    AND d_week_seq = 110
+  GROUP BY i_item_id)
+SELECT ss_items.item_id, ss_item_rev, cs_item_rev, ws_item_rev
+FROM ss_items, cs_items, ws_items
+WHERE ss_items.item_id = cs_items.item_id
+  AND ss_items.item_id = ws_items.item_id
+  AND ss_item_rev BETWEEN 0.2 * cs_item_rev AND 5 * cs_item_rev
+  AND ss_item_rev BETWEEN 0.2 * ws_item_rev AND 5 * ws_item_rev
+ORDER BY ss_items.item_id
+LIMIT 100)";
+
+  // Q64: a wide CTE join consumed twice — the other EXHAUSTIVE2
+  // compile-time stress case (Table 1 discussion).
+  q[64] = R"(WITH cs_ui AS (
+  SELECT cs_item_sk AS ui_item_sk, SUM(cs_ext_sales_price) AS sale
+  FROM catalog_sales, catalog_returns
+  WHERE cs_item_sk = cr_item_sk AND cs_order_number = cr_order_number
+  GROUP BY cs_item_sk
+  HAVING SUM(cs_ext_sales_price) > 2 * SUM(cr_return_amount)),
+cross_sales AS (
+  SELECT i_item_id AS item_id, i_item_sk AS item_sk,
+         s_store_name AS store_name, d1.d_year AS syear,
+         COUNT(*) AS cnt, SUM(ss_wholesale_cost) AS s1,
+         SUM(ss_list_price) AS s2
+  FROM store_sales, store_returns, cs_ui, date_dim d1, store, item,
+       customer, customer_demographics cd1,
+       household_demographics hd1, customer_address ad1, promotion
+  WHERE ss_store_sk = s_store_sk AND ss_sold_date_sk = d1.d_date_sk
+    AND ss_customer_sk = c_customer_sk AND ss_cdemo_sk = cd1.cd_demo_sk
+    AND ss_hdemo_sk = hd1.hd_demo_sk AND ss_addr_sk = ad1.ca_address_sk
+    AND ss_item_sk = i_item_sk AND ss_item_sk = sr_item_sk
+    AND ss_ticket_number = sr_ticket_number
+    AND ss_item_sk = cs_ui.ui_item_sk AND ss_promo_sk = p_promo_sk
+  GROUP BY i_item_id, i_item_sk, s_store_name, d1.d_year)
+SELECT cs1.item_id, cs1.store_name, cs1.syear, cs1.cnt, cs2.syear AS year2,
+       cs2.cnt AS cnt2
+FROM cross_sales cs1, cross_sales cs2
+WHERE cs1.item_sk = cs2.item_sk AND cs1.syear = 2000 AND cs2.syear = 2001
+  AND cs2.cnt >= cs1.cnt
+ORDER BY cs1.item_id, cs1.store_name
+LIMIT 100)";
+
+  // Q72 (8.5X, the paper's Section 3.1 running example, Listing 1): the
+  // 11-table snowflake over catalog_sales and inventory.
+  q[72] = R"(SELECT i_item_desc, w_warehouse_name, d1.d_week_seq,
+  SUM(CASE WHEN p_promo_sk IS NULL THEN 1 ELSE 0 END) AS no_promo,
+  SUM(CASE WHEN p_promo_sk IS NOT NULL THEN 1 ELSE 0 END) AS promo,
+  COUNT(*) AS total_cnt
+FROM catalog_sales
+JOIN inventory ON (cs_item_sk = inv_item_sk)
+JOIN warehouse ON (w_warehouse_sk = inv_warehouse_sk)
+JOIN item ON (i_item_sk = cs_item_sk)
+JOIN customer_demographics ON (cs_bill_cdemo_sk = cd_demo_sk)
+JOIN household_demographics ON (cs_bill_hdemo_sk = hd_demo_sk)
+JOIN date_dim d1 ON (cs_sold_date_sk = d1.d_date_sk)
+JOIN date_dim d2 ON (inv_date_sk = d2.d_date_sk)
+JOIN date_dim d3 ON (cs_ship_date_sk = d3.d_date_sk)
+LEFT OUTER JOIN promotion ON (cs_promo_sk = p_promo_sk)
+LEFT OUTER JOIN catalog_returns ON (cr_item_sk = cs_item_sk
+  AND cr_order_number = cs_order_number)
+WHERE d1.d_week_seq = d2.d_week_seq
+  AND inv_quantity_on_hand < cs_quantity
+  AND d3.d_date > CAST(d1.d_date AS DATE) + INTERVAL '5' DAY
+  AND hd_buy_potential = '501-1000'
+  AND d1.d_year = 1999 AND cd_marital_status = 'D'
+GROUP BY i_item_desc, w_warehouse_name, d1.d_week_seq
+ORDER BY total_cnt DESC, i_item_desc, w_warehouse_name, d1.d_week_seq
+LIMIT 100)";
+
+  // Q81 (>=10X): catalog-returns analog of Q1, keyed by state.
+  q[81] = R"(WITH customer_total_return AS (
+  SELECT cr_returning_customer_sk AS ctr_customer_sk,
+         ca_state AS ctr_state, SUM(cr_return_amount) AS ctr_total_return
+  FROM catalog_returns, date_dim, customer_address, customer
+  WHERE cr_returned_date_sk = d_date_sk AND d_year = 2000
+    AND cr_returning_customer_sk = c_customer_sk
+    AND c_current_addr_sk = ca_address_sk
+  GROUP BY cr_returning_customer_sk, ca_state)
+SELECT c_customer_id, c_first_name, c_last_name, ctr_total_return
+FROM customer_total_return ctr1, customer_address, customer
+WHERE ctr1.ctr_total_return > (SELECT AVG(ctr_total_return) * 1.2
+                               FROM customer_total_return ctr2
+                               WHERE ctr1.ctr_state = ctr2.ctr_state)
+  AND ca_address_sk = c_current_addr_sk AND ca_state = 'GA'
+  AND ctr1.ctr_customer_sk = c_customer_sk
+ORDER BY c_customer_id, ctr_total_return
+LIMIT 100)";
+
+  // Q92 (>=10X): web analog of Q32.
+  q[92] = R"(SELECT SUM(ws_ext_discount_amt) AS excess_discount_amount
+FROM web_sales, item, date_dim
+WHERE i_manufact_id = 3 AND i_item_sk = ws_item_sk
+  AND d_date_sk = ws_sold_date_sk AND d_year = 2001
+  AND d_moy BETWEEN 1 AND 3
+  AND ws_ext_discount_amt > (SELECT 1.3 * AVG(ws2.ws_ext_discount_amt)
+                             FROM web_sales ws2, date_dim d2
+                             WHERE ws2.ws_item_sk = i_item_sk
+                               AND d2.d_date_sk = ws2.ws_sold_date_sk
+                               AND d2.d_year = 2001
+                               AND d2.d_moy BETWEEN 1 AND 3)
+LIMIT 100)";
+
+  return q;
+}
+
+}  // namespace
+
+const std::vector<std::string>& TpcdsQueries() {
+  static const std::vector<std::string>* kQueries = [] {
+    auto* out = new std::vector<std::string>();
+    std::map<int, std::string> hand = HandWrittenQueries();
+    for (int i = 1; i <= 99; ++i) {
+      auto it = hand.find(i);
+      if (it != hand.end()) {
+        out->push_back(it->second);
+        continue;
+      }
+      switch (i % 8) {
+        case 0:
+          out->push_back(StarReport(i));
+          break;
+        case 1:
+          out->push_back(AddressStar(i));
+          break;
+        case 2:
+          out->push_back(DemographicsStar(i));
+          break;
+        case 3:
+          out->push_back(ExistsCrossChannel(i));
+          break;
+        case 4:
+          out->push_back(AntiCrossChannel(i));
+          break;
+        case 5:
+          out->push_back(YearOverYear(i));
+          break;
+        case 6:
+          out->push_back(AvgSubqueryFilter(i));
+          break;
+        default:
+          out->push_back(UnionChannels(i));
+          break;
+      }
+    }
+    return out;
+  }();
+  return *kQueries;
+}
+
+}  // namespace taurus

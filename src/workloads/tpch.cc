@@ -1,0 +1,292 @@
+#include "workloads/tpch.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "types/datetime.h"
+
+namespace taurus {
+
+namespace {
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+
+struct NationSpec {
+  const char* name;
+  int region;
+};
+const NationSpec kNations[] = {
+    {"ALGERIA", 0},    {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},     {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},     {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},  {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},      {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},    {"MOZAMBIQUE", 0},{"PERU", 1},
+    {"CHINA", 2},      {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},    {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "MACHINERY", "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK",
+                            "MAIL", "FOB"};
+const char* kInstructs[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                            "TAKE BACK RETURN"};
+const char* kTypes1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                         "PROMO"};
+const char* kTypes2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                         "BRUSHED"};
+const char* kTypes3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainers1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainers2[] = {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK",
+                              "CAN", "DRUM"};
+const char* kColors[] = {"almond",  "antique", "aquamarine", "azure",
+                         "beige",   "bisque",  "black",      "blanched",
+                         "blue",    "blush",   "brown",      "burlywood",
+                         "chartreuse", "chocolate", "coral",  "cornsilk",
+                         "cream",   "cyan",    "dark",       "deep",
+                         "dim",     "dodger",  "drab",       "firebrick",
+                         "floral",  "forest",  "frosted",    "gainsboro",
+                         "ghost",   "goldenrod"};
+
+Status Ddl(Database* db, const std::string& sql) {
+  return db->ExecuteSql(sql);
+}
+
+}  // namespace
+
+Status CreateTpchSchema(Database* db) {
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE region (r_regionkey INT NOT NULL PRIMARY KEY, "
+      "r_name CHAR(25) NOT NULL, r_comment VARCHAR(152))"));
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE nation (n_nationkey INT NOT NULL PRIMARY KEY, "
+      "n_name CHAR(25) NOT NULL, n_regionkey INT NOT NULL, "
+      "n_comment VARCHAR(152))"));
+  TAURUS_RETURN_IF_ERROR(
+      Ddl(db, "CREATE INDEX nation_fk1 ON nation (n_regionkey)"));
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE supplier (s_suppkey INT NOT NULL PRIMARY KEY, "
+      "s_name CHAR(25) NOT NULL, s_address VARCHAR(40) NOT NULL, "
+      "s_nationkey INT NOT NULL, s_phone CHAR(15) NOT NULL, "
+      "s_acctbal DECIMAL(15,2) NOT NULL, s_comment VARCHAR(101) NOT NULL)"));
+  TAURUS_RETURN_IF_ERROR(
+      Ddl(db, "CREATE INDEX supplier_fk1 ON supplier (s_nationkey)"));
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE customer (c_custkey INT NOT NULL PRIMARY KEY, "
+      "c_name VARCHAR(25) NOT NULL, c_address VARCHAR(40) NOT NULL, "
+      "c_nationkey INT NOT NULL, c_phone CHAR(15) NOT NULL, "
+      "c_acctbal DECIMAL(15,2) NOT NULL, c_mktsegment CHAR(10) NOT NULL, "
+      "c_comment VARCHAR(117) NOT NULL)"));
+  TAURUS_RETURN_IF_ERROR(
+      Ddl(db, "CREATE INDEX customer_fk1 ON customer (c_nationkey)"));
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE part (p_partkey INT NOT NULL PRIMARY KEY, "
+      "p_name VARCHAR(55) NOT NULL, p_mfgr CHAR(25) NOT NULL, "
+      "p_brand CHAR(10) NOT NULL, p_type VARCHAR(25) NOT NULL, "
+      "p_size INT NOT NULL, p_container CHAR(10) NOT NULL, "
+      "p_retailprice DECIMAL(15,2) NOT NULL, p_comment VARCHAR(23) NOT NULL)"));
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE partsupp (ps_partkey INT NOT NULL, "
+      "ps_suppkey INT NOT NULL, ps_availqty INT NOT NULL, "
+      "ps_supplycost DECIMAL(15,2) NOT NULL, ps_comment VARCHAR(199) NOT "
+      "NULL, PRIMARY KEY (ps_partkey, ps_suppkey))"));
+  TAURUS_RETURN_IF_ERROR(
+      Ddl(db, "CREATE INDEX partsupp_fk2 ON partsupp (ps_suppkey)"));
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE orders (o_orderkey INT NOT NULL PRIMARY KEY, "
+      "o_custkey INT NOT NULL, o_orderstatus CHAR(1) NOT NULL, "
+      "o_totalprice DECIMAL(15,2) NOT NULL, o_orderdate DATE NOT NULL, "
+      "o_orderpriority CHAR(15) NOT NULL, o_clerk CHAR(15) NOT NULL, "
+      "o_shippriority INT NOT NULL, o_comment VARCHAR(79) NOT NULL)"));
+  TAURUS_RETURN_IF_ERROR(
+      Ddl(db, "CREATE INDEX orders_fk1 ON orders (o_custkey)"));
+  TAURUS_RETURN_IF_ERROR(
+      Ddl(db, "CREATE INDEX orders_d_idx ON orders (o_orderdate)"));
+  TAURUS_RETURN_IF_ERROR(Ddl(db,
+      "CREATE TABLE lineitem (l_orderkey INT NOT NULL, "
+      "l_partkey INT NOT NULL, l_suppkey INT NOT NULL, "
+      "l_linenumber INT NOT NULL, l_quantity DECIMAL(15,2) NOT NULL, "
+      "l_extendedprice DECIMAL(15,2) NOT NULL, "
+      "l_discount DECIMAL(15,2) NOT NULL, l_tax DECIMAL(15,2) NOT NULL, "
+      "l_returnflag CHAR(1) NOT NULL, l_linestatus CHAR(1) NOT NULL, "
+      "l_shipdate DATE NOT NULL, l_commitdate DATE NOT NULL, "
+      "l_receiptdate DATE NOT NULL, l_shipinstruct CHAR(25) NOT NULL, "
+      "l_shipmode CHAR(10) NOT NULL, l_comment VARCHAR(44) NOT NULL, "
+      "PRIMARY KEY (l_orderkey, l_linenumber))"));
+  TAURUS_RETURN_IF_ERROR(
+      Ddl(db, "CREATE INDEX lineitem_fk1 ON lineitem (l_orderkey)"));
+  TAURUS_RETURN_IF_ERROR(
+      Ddl(db, "CREATE INDEX lineitem_fk2 ON lineitem (l_partkey)"));
+  TAURUS_RETURN_IF_ERROR(
+      Ddl(db, "CREATE INDEX lineitem_fk3 ON lineitem (l_suppkey)"));
+  return Status::OK();
+}
+
+Status LoadTpch(Database* db, double sf, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t num_suppliers = std::max<int64_t>(10, int64_t(10000 * sf));
+  const int64_t num_parts = std::max<int64_t>(20, int64_t(200000 * sf));
+  const int64_t num_customers = std::max<int64_t>(15, int64_t(150000 * sf));
+  const int64_t num_orders = std::max<int64_t>(30, int64_t(1500000 * sf));
+  const int64_t date_lo = CivilToDays(1992, 1, 1);
+  const int64_t date_hi = CivilToDays(1998, 8, 2);
+
+  auto comment = [&rng](int min_len, int max_len) {
+    return Value::Str(rng.NextString(min_len, max_len));
+  };
+  auto decimal = [](double v) { return Value::Double(v, TypeId::kNewDecimal); };
+
+  // region
+  {
+    std::vector<Row> rows;
+    for (int i = 0; i < 5; ++i) {
+      rows.push_back({Value::Int(i), Value::Str(kRegions[i]),
+                      comment(10, 30)});
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("region", std::move(rows)));
+  }
+  // nation
+  {
+    std::vector<Row> rows;
+    for (int i = 0; i < 25; ++i) {
+      rows.push_back({Value::Int(i), Value::Str(kNations[i].name),
+                      Value::Int(kNations[i].region), comment(10, 30)});
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("nation", std::move(rows)));
+  }
+  // supplier — ~1% of comments carry the Q16 "Customer ... Complaints" tag.
+  {
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= num_suppliers; ++i) {
+      std::string cmt = rng.NextString(20, 60);
+      if (rng.Uniform(0, 99) == 0) {
+        cmt = rng.NextString(3, 10) + "Customer" + rng.NextString(3, 10) +
+              "Complaints" + rng.NextString(3, 10);
+      }
+      rows.push_back({Value::Int(i),
+                      Value::Str("Supplier#" + std::to_string(i)),
+                      comment(10, 30), Value::Int(rng.Uniform(0, 24)),
+                      Value::Str(std::to_string(10 + i % 25) + "-" +
+                                 std::to_string(100 + i % 900)),
+                      decimal(-999.99 + rng.NextDouble() * 10999.98),
+                      Value::Str(cmt)});
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("supplier", std::move(rows)));
+  }
+  // part
+  {
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= num_parts; ++i) {
+      std::string name = std::string(kColors[rng.Uniform(0, 29)]) + " " +
+                         kColors[rng.Uniform(0, 29)];
+      int brand_m = static_cast<int>(rng.Uniform(1, 5));
+      int brand_n = static_cast<int>(rng.Uniform(1, 5));
+      std::string type = std::string(kTypes1[rng.Uniform(0, 5)]) + " " +
+                         kTypes2[rng.Uniform(0, 4)] + " " +
+                         kTypes3[rng.Uniform(0, 4)];
+      std::string container = std::string(kContainers1[rng.Uniform(0, 4)]) +
+                              " " + kContainers2[rng.Uniform(0, 7)];
+      rows.push_back(
+          {Value::Int(i), Value::Str(name),
+           Value::Str("Manufacturer#" + std::to_string(brand_m)),
+           Value::Str("Brand#" + std::to_string(brand_m) +
+                      std::to_string(brand_n)),
+           Value::Str(type), Value::Int(rng.Uniform(1, 50)),
+           Value::Str(container),
+           decimal(900.0 + (static_cast<double>(i % 1000)) + 100.0 *
+                               rng.NextDouble()),
+           comment(5, 20)});
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("part", std::move(rows)));
+  }
+  // partsupp: 4 suppliers per part.
+  {
+    std::vector<Row> rows;
+    for (int64_t p = 1; p <= num_parts; ++p) {
+      for (int s = 0; s < 4; ++s) {
+        int64_t suppkey = 1 + (p + s * (num_suppliers / 4 + 1)) %
+                                  num_suppliers;
+        rows.push_back({Value::Int(p), Value::Int(suppkey),
+                        Value::Int(rng.Uniform(1, 9999)),
+                        decimal(1.0 + rng.NextDouble() * 999.0),
+                        comment(20, 60)});
+      }
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("partsupp", std::move(rows)));
+  }
+  // customer
+  {
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= num_customers; ++i) {
+      rows.push_back({Value::Int(i),
+                      Value::Str("Customer#" + std::to_string(i)),
+                      comment(10, 30), Value::Int(rng.Uniform(0, 24)),
+                      Value::Str(std::to_string(10 + i % 25) + "-" +
+                                 std::to_string(100 + i % 900)),
+                      decimal(-999.99 + rng.NextDouble() * 10999.98),
+                      Value::Str(kSegments[rng.Uniform(0, 4)]),
+                      comment(20, 60)});
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("customer", std::move(rows)));
+  }
+  // orders + lineitem — only ~2/3 of customers have orders (Q22 relies on
+  // customers without orders existing).
+  {
+    std::vector<Row> orders;
+    std::vector<Row> items;
+    for (int64_t o = 1; o <= num_orders; ++o) {
+      int64_t custkey = 1 + rng.Uniform(0, (num_customers * 2) / 3);
+      int64_t odate = rng.Uniform(date_lo, date_hi - 151);
+      int lines = static_cast<int>(rng.Uniform(1, 7));
+      double total = 0.0;
+      bool any_open = false;
+      for (int l = 1; l <= lines; ++l) {
+        int64_t partkey = 1 + rng.Uniform(0, num_parts - 1);
+        int64_t suppkey =
+            1 + (partkey + rng.Uniform(0, 3) * (num_suppliers / 4 + 1)) %
+                    num_suppliers;
+        double qty = static_cast<double>(rng.Uniform(1, 50));
+        double price = qty * (900.0 + static_cast<double>(partkey % 1000));
+        double discount = 0.01 * static_cast<double>(rng.Uniform(0, 10));
+        double tax = 0.01 * static_cast<double>(rng.Uniform(0, 8));
+        int64_t ship = odate + rng.Uniform(1, 121);
+        int64_t commit = odate + rng.Uniform(30, 90);
+        int64_t receipt = ship + rng.Uniform(1, 30);
+        bool open = receipt > CivilToDays(1995, 6, 17);
+        any_open |= open;
+        const char* flag =
+            open ? "N" : (rng.Uniform(0, 1) != 0 ? "R" : "A");
+        items.push_back({Value::Int(o), Value::Int(partkey),
+                         Value::Int(suppkey), Value::Int(l),
+                         decimal(qty), decimal(price), decimal(discount),
+                         decimal(tax), Value::Str(flag),
+                         Value::Str(open ? "O" : "F"), Value::Date(ship),
+                         Value::Date(commit), Value::Date(receipt),
+                         Value::Str(kInstructs[rng.Uniform(0, 3)]),
+                         Value::Str(kShipModes[rng.Uniform(0, 6)]),
+                         comment(10, 40)});
+        total += price * (1 + tax) * (1 - discount);
+      }
+      std::string ocmt = rng.NextString(15, 40);
+      if (rng.Uniform(0, 99) == 0) {
+        ocmt = rng.NextString(3, 8) + "special" + rng.NextString(3, 8) +
+               "requests" + rng.NextString(3, 8);
+      }
+      orders.push_back(
+          {Value::Int(o), Value::Int(custkey),
+           Value::Str(any_open ? "O" : "F"), decimal(total),
+           Value::Date(odate), Value::Str(kPriorities[rng.Uniform(0, 4)]),
+           Value::Str("Clerk#" + std::to_string(rng.Uniform(1, 1000))),
+           Value::Int(0), Value::Str(ocmt)});
+    }
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("orders", std::move(orders)));
+    TAURUS_RETURN_IF_ERROR(db->BulkLoad("lineitem", std::move(items)));
+  }
+  return db->AnalyzeAll();
+}
+
+}  // namespace taurus

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "frontend/binder.h"
+#include "parser/ast_util.h"
+#include "parser/parser.h"
+
+namespace taurus {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_
+                    .CreateTable("orders",
+                                 {{"o_orderkey", TypeId::kLong, 0, false},
+                                  {"o_custkey", TypeId::kLong, 0, false},
+                                  {"o_orderdate", TypeId::kDate, 0, false},
+                                  {"o_orderpriority", TypeId::kVarchar, 15,
+                                   false}})
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .CreateTable("lineitem",
+                                 {{"l_orderkey", TypeId::kLong, 0, false},
+                                  {"l_quantity", TypeId::kNewDecimal, 0, false},
+                                  {"l_comment", TypeId::kVarchar, 44, true}})
+                    .ok());
+  }
+
+  Result<BoundStatement> Bind(const std::string& sql) {
+    auto q = ParseSelect(sql);
+    if (!q.ok()) return q.status();
+    return BindStatement(catalog_, std::move(*q));
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, ResolvesUnqualifiedColumns) {
+  auto b = Bind("SELECT o_orderkey FROM orders");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  const Expr& e = *b->block->select_items[0].expr;
+  EXPECT_EQ(e.ref_id, 0);
+  EXPECT_EQ(e.column_idx, 0);
+  EXPECT_EQ(e.result_type, TypeId::kLong);
+  EXPECT_FALSE(e.column_nullable);
+}
+
+TEST_F(BinderTest, ResolvesQualifiedAndAliased) {
+  auto b = Bind("SELECT o.o_custkey FROM orders o");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(b->block->select_items[0].expr->column_idx, 1);
+}
+
+TEST_F(BinderTest, UnknownTableAndColumn) {
+  EXPECT_EQ(Bind("SELECT x FROM nope").status().code(),
+            StatusCode::kBindError);
+  EXPECT_EQ(Bind("SELECT nope FROM orders").status().code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, AmbiguousColumnRejected) {
+  auto b = Bind("SELECT l_orderkey FROM lineitem l1, lineitem l2");
+  EXPECT_EQ(b.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, StarExpansion) {
+  auto b = Bind("SELECT * FROM orders");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->block->select_items.size(), 4u);
+  auto b2 = Bind("SELECT lineitem.* FROM orders, lineitem");
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(b2->block->select_items.size(), 3u);
+}
+
+TEST_F(BinderTest, RefIdsAreGloballyUnique) {
+  auto b = Bind(
+      "SELECT o_orderkey FROM orders WHERE EXISTS "
+      "(SELECT 1 FROM lineitem WHERE l_orderkey = o_orderkey)");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(b->num_refs, 2);
+  EXPECT_EQ(b->num_blocks, 2);
+  ASSERT_EQ(b->leaves.size(), 2u);
+  EXPECT_NE(b->leaves[0]->ref_id, b->leaves[1]->ref_id);
+}
+
+TEST_F(BinderTest, CorrelatedReferenceResolvesToOuter) {
+  auto b = Bind(
+      "SELECT o_orderkey FROM orders WHERE EXISTS "
+      "(SELECT 1 FROM lineitem WHERE l_orderkey = o_orderkey)");
+  ASSERT_TRUE(b.ok());
+  const Expr& exists = *b->block->where;
+  const Expr& cond = *exists.subquery->where;
+  // One side must reference ref 0 (orders), the other ref 1 (lineitem).
+  int refs = cond.children[0]->ref_id + cond.children[1]->ref_id;
+  EXPECT_EQ(refs, 1);
+}
+
+TEST_F(BinderTest, OwnerPointersSet) {
+  auto b = Bind("SELECT o_orderkey FROM orders, lineitem");
+  ASSERT_TRUE(b.ok());
+  for (const TableRef* leaf : b->leaves) {
+    EXPECT_EQ(leaf->owner, b->block.get());
+  }
+}
+
+TEST_F(BinderTest, DerivedTableColumns) {
+  auto b = Bind(
+      "SELECT d.total FROM (SELECT o_custkey, COUNT(*) AS total FROM orders "
+      "GROUP BY o_custkey) d");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  const Expr& e = *b->block->select_items[0].expr;
+  EXPECT_EQ(e.column_idx, 1);
+  EXPECT_EQ(e.result_type, TypeId::kLongLong);
+}
+
+TEST_F(BinderTest, DerivedSynthesizedNames) {
+  auto b = Bind("SELECT name_exp_1 FROM (SELECT COUNT(*) FROM orders) d");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+}
+
+TEST_F(BinderTest, CteExpandsToDerivedPerConsumer) {
+  auto b = Bind(
+      "WITH big AS (SELECT o_custkey FROM orders) "
+      "SELECT b1.o_custkey FROM big b1, big b2");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  auto leaves = b->block->Leaves();
+  ASSERT_EQ(leaves.size(), 2u);
+  // Each consumer got its own derived copy (multiple-producer model).
+  EXPECT_EQ(leaves[0]->kind, TableRef::Kind::kDerived);
+  EXPECT_TRUE(leaves[0]->from_cte);
+  EXPECT_EQ(leaves[0]->cte_name, "big");
+  EXPECT_NE(leaves[0]->derived.get(), leaves[1]->derived.get());
+  // Two CTE copies + outer block = 3 blocks, 4 leaves total (2 derived +
+  // the orders leaf inside each copy).
+  EXPECT_EQ(b->num_blocks, 3);
+  EXPECT_EQ(b->num_refs, 4);
+}
+
+TEST_F(BinderTest, OrderByOrdinalAndAlias) {
+  auto b = Bind(
+      "SELECT o_custkey, COUNT(*) AS cnt FROM orders GROUP BY o_custkey "
+      "ORDER BY cnt DESC, 1");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(b->block->order_by.size(), 2u);
+  EXPECT_EQ(b->block->order_by[0].expr->kind, Expr::Kind::kAgg);
+  EXPECT_EQ(b->block->order_by[1].expr->kind, Expr::Kind::kColumnRef);
+}
+
+TEST_F(BinderTest, GroupByOrdinal) {
+  auto b = Bind("SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY 1");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->block->group_by[0]->kind, Expr::Kind::kColumnRef);
+}
+
+TEST_F(BinderTest, HavingAliasResolution) {
+  auto b = Bind(
+      "SELECT o_custkey, COUNT(*) AS cnt FROM orders GROUP BY o_custkey "
+      "HAVING cnt > 3");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_TRUE(ContainsAggregate(*b->block->having));
+}
+
+TEST_F(BinderTest, TypeDerivation) {
+  auto b = Bind(
+      "SELECT l_quantity + 1, l_quantity * l_quantity, o_orderkey + 1, "
+      "SUM(o_orderkey), AVG(l_quantity), o_orderdate < DATE '1995-01-01' "
+      "FROM orders, lineitem");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  auto& items = b->block->select_items;
+  EXPECT_EQ(items[0].expr->result_type, TypeId::kDouble);
+  EXPECT_EQ(items[1].expr->result_type, TypeId::kDouble);
+  EXPECT_EQ(items[2].expr->result_type, TypeId::kLongLong);
+  EXPECT_EQ(items[3].expr->result_type, TypeId::kLongLong);
+  EXPECT_EQ(items[4].expr->result_type, TypeId::kDouble);
+  EXPECT_EQ(items[5].expr->result_type, TypeId::kTiny);
+}
+
+TEST_F(BinderTest, ScalarSubqueryArityEnforced) {
+  EXPECT_EQ(Bind("SELECT (SELECT o_orderkey, o_custkey FROM orders) FROM "
+                 "lineitem")
+                .status()
+                .code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, UnionArityEnforced) {
+  EXPECT_EQ(Bind("SELECT o_orderkey FROM orders UNION SELECT l_orderkey, "
+                 "l_quantity FROM lineitem")
+                .status()
+                .code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, OutputColumnNames) {
+  auto b = Bind("SELECT o_orderkey, COUNT(*) AS cnt, 1 + 1 FROM orders");
+  ASSERT_TRUE(b.ok());
+  auto names = OutputColumnNames(*b->block);
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "o_orderkey");
+  EXPECT_EQ(names[1], "cnt");
+  EXPECT_EQ(names[2], "name_exp_3");
+}
+
+TEST_F(BinderTest, ExprUtilities) {
+  auto b = Bind("SELECT o_orderkey + 1 FROM orders WHERE o_custkey = 5");
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(ExprEquals(*b->block->select_items[0].expr,
+                         *b->block->select_items[0].expr->Clone()));
+  std::vector<bool> refs(static_cast<size_t>(b->num_refs), false);
+  CollectReferencedRefs(*b->block->where, &refs);
+  EXPECT_TRUE(refs[0]);
+}
+
+}  // namespace
+}  // namespace taurus

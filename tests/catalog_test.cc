@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace taurus {
+namespace {
+
+std::vector<ColumnDef> TwoCols() {
+  return {{"id", TypeId::kLong, 0, false}, {"name", TypeId::kVarchar, 25, true}};
+}
+
+TEST(CatalogTest, CreateAndLookup) {
+  Catalog cat;
+  auto t = cat.CreateTable("t1", TwoCols());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->id, 0);
+  EXPECT_EQ(cat.GetTable("t1"), *t);
+  EXPECT_EQ(cat.GetTableById(0), *t);
+  EXPECT_EQ(cat.GetTable("missing"), nullptr);
+  EXPECT_EQ(cat.GetTableById(99), nullptr);
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("t", TwoCols()).ok());
+  auto dup = cat.CreateTable("t", TwoCols());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, EmptyColumnsRejected) {
+  Catalog cat;
+  EXPECT_EQ(cat.CreateTable("t", {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, IdsAreDense) {
+  Catalog cat;
+  EXPECT_EQ((*cat.CreateTable("a", TwoCols()))->id, 0);
+  EXPECT_EQ((*cat.CreateTable("b", TwoCols()))->id, 1);
+  EXPECT_EQ((*cat.CreateTable("c", TwoCols()))->id, 2);
+  EXPECT_EQ(cat.NumTables(), 3);
+}
+
+TEST(CatalogTest, ColumnIndexLookup) {
+  Catalog cat;
+  const TableDef* t = *cat.CreateTable("t", TwoCols());
+  EXPECT_EQ(t->ColumnIndex("id"), 0);
+  EXPECT_EQ(t->ColumnIndex("name"), 1);
+  EXPECT_EQ(t->ColumnIndex("nope"), -1);
+}
+
+TEST(CatalogTest, AddIndexValidatesColumns) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("t", TwoCols()).ok());
+  IndexDef good{"t_pk", {0}, true, true};
+  EXPECT_TRUE(cat.AddIndex("t", good).ok());
+  IndexDef bad{"t_bad", {5}, false, false};
+  EXPECT_EQ(cat.AddIndex("t", bad).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(cat.AddIndex("missing", good).code(), StatusCode::kNotFound);
+  EXPECT_EQ(cat.GetTable("t")->indexes.size(), 1u);
+}
+
+TEST(CatalogTest, StatsDefaultEmptyThenSettable) {
+  Catalog cat;
+  const TableDef* t = *cat.CreateTable("t", TwoCols());
+  EXPECT_EQ(cat.GetStats(t->id).row_count, 0);
+  TableStats stats;
+  stats.row_count = 123;
+  stats.columns.resize(2);
+  stats.columns[0].distinct_count = 123;
+  cat.SetStats(t->id, std::move(stats));
+  EXPECT_EQ(cat.GetStats(t->id).row_count, 123);
+  EXPECT_EQ(cat.GetStats(t->id).columns[0].distinct_count, 123);
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("zeta", TwoCols()).ok());
+  ASSERT_TRUE(cat.CreateTable("alpha", TwoCols()).ok());
+  auto names = cat.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+}  // namespace
+}  // namespace taurus

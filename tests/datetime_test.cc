@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "types/datetime.h"
+
+namespace taurus {
+namespace {
+
+TEST(DatetimeTest, EpochIsZero) { EXPECT_EQ(CivilToDays(1970, 1, 1), 0); }
+
+TEST(DatetimeTest, KnownDates) {
+  EXPECT_EQ(CivilToDays(1970, 1, 2), 1);
+  EXPECT_EQ(CivilToDays(1969, 12, 31), -1);
+  EXPECT_EQ(CivilToDays(2000, 3, 1), 11017);
+}
+
+TEST(DatetimeTest, RoundTripWideRange) {
+  for (int64_t d = -200000; d <= 200000; d += 373) {
+    int y, m, day;
+    DaysToCivil(d, &y, &m, &day);
+    EXPECT_EQ(CivilToDays(y, m, day), d);
+  }
+}
+
+TEST(DatetimeTest, ParseAndFormatDate) {
+  auto days = ParseDate("1995-01-01");
+  ASSERT_TRUE(days.ok());
+  EXPECT_EQ(FormatDate(*days), "1995-01-01");
+}
+
+TEST(DatetimeTest, ParseRejectsBadDates) {
+  EXPECT_FALSE(ParseDate("1995-13-01").ok());
+  EXPECT_FALSE(ParseDate("1995-02-30").ok());
+  EXPECT_FALSE(ParseDate("1995/01/01").ok());
+  EXPECT_FALSE(ParseDate("95-01-01").ok());
+}
+
+TEST(DatetimeTest, LeapYearHandling) {
+  EXPECT_TRUE(ParseDate("2000-02-29").ok());   // divisible by 400
+  EXPECT_FALSE(ParseDate("1900-02-29").ok());  // divisible by 100 only
+  EXPECT_TRUE(ParseDate("1996-02-29").ok());
+  EXPECT_FALSE(ParseDate("1995-02-29").ok());
+}
+
+TEST(DatetimeTest, ParseDatetimeWithAndWithoutTime) {
+  auto secs = ParseDatetime("1995-06-17 12:34:56");
+  ASSERT_TRUE(secs.ok());
+  EXPECT_EQ(FormatDatetime(*secs), "1995-06-17 12:34:56");
+  auto midnight = ParseDatetime("1995-06-17");
+  ASSERT_TRUE(midnight.ok());
+  EXPECT_EQ(*midnight % 86400, 0);
+}
+
+TEST(DatetimeTest, FormatDatetimeBeforeEpoch) {
+  auto secs = ParseDatetime("1969-12-31 23:59:59");
+  ASSERT_TRUE(secs.ok());
+  EXPECT_EQ(*secs, -1);
+  EXPECT_EQ(FormatDatetime(*secs), "1969-12-31 23:59:59");
+}
+
+TEST(DatetimeTest, AddDays) {
+  int64_t d = *ParseDate("1995-01-01");
+  EXPECT_EQ(FormatDate(AddIntervalToDate(d, 5, IntervalUnit::kDay)),
+            "1995-01-06");
+  EXPECT_EQ(FormatDate(AddIntervalToDate(d, -1, IntervalUnit::kDay)),
+            "1994-12-31");
+}
+
+TEST(DatetimeTest, AddMonthsClampsDayOfMonth) {
+  int64_t d = *ParseDate("1995-01-31");
+  EXPECT_EQ(FormatDate(AddIntervalToDate(d, 1, IntervalUnit::kMonth)),
+            "1995-02-28");
+  EXPECT_EQ(FormatDate(AddIntervalToDate(*ParseDate("1996-01-31"), 1,
+                                         IntervalUnit::kMonth)),
+            "1996-02-29");
+}
+
+TEST(DatetimeTest, AddMonthsAcrossYearBoundary) {
+  int64_t d = *ParseDate("1995-11-15");
+  EXPECT_EQ(FormatDate(AddIntervalToDate(d, 3, IntervalUnit::kMonth)),
+            "1996-02-15");
+  EXPECT_EQ(FormatDate(AddIntervalToDate(d, -12, IntervalUnit::kMonth)),
+            "1994-11-15");
+}
+
+TEST(DatetimeTest, AddYears) {
+  int64_t d = *ParseDate("1996-02-29");
+  EXPECT_EQ(FormatDate(AddIntervalToDate(d, 1, IntervalUnit::kYear)),
+            "1997-02-28");
+}
+
+TEST(DatetimeTest, ExtractComponents) {
+  int64_t d = *ParseDate("1998-09-02");
+  EXPECT_EQ(ExtractYear(d), 1998);
+  EXPECT_EQ(ExtractMonth(d), 9);
+  EXPECT_EQ(ExtractDay(d), 2);
+}
+
+}  // namespace
+}  // namespace taurus

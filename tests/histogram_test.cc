@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "catalog/histogram.h"
+#include "common/rng.h"
+
+namespace taurus {
+namespace {
+
+std::vector<Value> IntColumn(const std::vector<int64_t>& vals) {
+  std::vector<Value> out;
+  for (int64_t v : vals) out.push_back(Value::Int(v));
+  return out;
+}
+
+TEST(StringPrefixTest, OrderPreserving) {
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    std::string a = rng.NextString(0, 12);
+    std::string b = rng.NextString(0, 12);
+    int64_t ea = EncodeStringPrefix(a);
+    int64_t eb = EncodeStringPrefix(b);
+    if (a.substr(0, 8) < b.substr(0, 8)) {
+      EXPECT_LT(ea, eb) << a << " vs " << b;
+    } else if (a.substr(0, 8) > b.substr(0, 8)) {
+      EXPECT_GT(ea, eb) << a << " vs " << b;
+    } else {
+      EXPECT_EQ(ea, eb) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(StringPrefixTest, LongCommonPrefixCollides) {
+  // The documented limitation (Section 7): >=8-byte shared prefixes are
+  // indistinguishable.
+  EXPECT_EQ(EncodeStringPrefix("ABCDEFGHx"), EncodeStringPrefix("ABCDEFGHy"));
+  EXPECT_NE(EncodeStringPrefix("ABCDEFGx"), EncodeStringPrefix("ABCDEFGy"));
+}
+
+TEST(StringPrefixTest, EmptyIsMinimal) {
+  EXPECT_LT(EncodeStringPrefix(""), EncodeStringPrefix("\x01"));
+}
+
+TEST(HistogramTest, EmptyColumn) {
+  Histogram h = Histogram::Build({}, 16);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(HistogramTest, SingletonWhenFewDistinct) {
+  Histogram h = Histogram::Build(IntColumn({1, 1, 2, 2, 2, 3}), 16);
+  EXPECT_EQ(h.type(), HistogramType::kSingleton);
+  ASSERT_EQ(h.buckets().size(), 3u);
+  EXPECT_DOUBLE_EQ(h.buckets()[1].frequency, 0.5);
+  EXPECT_DOUBLE_EQ(h.SelectivityEquals(Value::Int(2)), 0.5);
+  EXPECT_DOUBLE_EQ(h.SelectivityEquals(Value::Int(7)), 0.0);
+}
+
+TEST(HistogramTest, EquiHeightWhenManyDistinct) {
+  std::vector<int64_t> vals;
+  for (int64_t i = 0; i < 1000; ++i) vals.push_back(i);
+  Histogram h = Histogram::Build(IntColumn(vals), 8);
+  EXPECT_EQ(h.type(), HistogramType::kEquiHeight);
+  EXPECT_EQ(h.buckets().size(), 8u);
+  // Total frequency sums to ~1.
+  double total = 0;
+  for (const auto& b : h.buckets()) total += b.frequency;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(h.TotalNdv(), 1000);
+}
+
+TEST(HistogramTest, RangeSelectivityInterpolates) {
+  std::vector<int64_t> vals;
+  for (int64_t i = 0; i < 1000; ++i) vals.push_back(i);
+  Histogram h = Histogram::Build(IntColumn(vals), 10);
+  EXPECT_NEAR(h.SelectivityLess(Value::Int(500), false), 0.5, 0.05);
+  EXPECT_NEAR(h.SelectivityLess(Value::Int(100), false), 0.1, 0.05);
+  EXPECT_NEAR(h.SelectivityGreater(Value::Int(900), false), 0.1, 0.05);
+}
+
+TEST(HistogramTest, RangeBeyondBounds) {
+  Histogram h = Histogram::Build(IntColumn({10, 20, 30}), 16);
+  EXPECT_DOUBLE_EQ(h.SelectivityLess(Value::Int(5), false), 0.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityLess(Value::Int(100), false), 1.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityGreater(Value::Int(100), false), 0.0);
+}
+
+TEST(HistogramTest, NullFractionTracked) {
+  std::vector<Value> vals = IntColumn({1, 2, 3});
+  vals.push_back(Value::Null());
+  Histogram h = Histogram::Build(std::move(vals), 16);
+  EXPECT_DOUBLE_EQ(h.null_fraction(), 0.25);
+  // Non-null selectivities exclude the NULL share.
+  EXPECT_NEAR(h.SelectivityLess(Value::Int(100), false), 0.75, 1e-9);
+}
+
+TEST(HistogramTest, SkewedSingletonFrequencies) {
+  std::vector<int64_t> vals(90, 7);
+  for (int64_t i = 0; i < 10; ++i) vals.push_back(100 + i);
+  Histogram h = Histogram::Build(IntColumn(vals), 16);
+  EXPECT_EQ(h.type(), HistogramType::kSingleton);
+  EXPECT_NEAR(h.SelectivityEquals(Value::Int(7)), 0.9, 1e-9);
+  EXPECT_NEAR(h.SelectivityEquals(Value::Int(105)), 0.01, 1e-9);
+}
+
+TEST(HistogramTest, EquiHeightEqualsUsesBucketNdv) {
+  std::vector<int64_t> vals;
+  for (int64_t i = 0; i < 1000; ++i) vals.push_back(i % 100);
+  Histogram h = Histogram::Build(IntColumn(vals), 5);
+  // 100 distinct values, each with frequency 0.01.
+  EXPECT_NEAR(h.SelectivityEquals(Value::Int(42)), 0.01, 0.005);
+}
+
+TEST(HistogramTest, StringEquiHeight) {
+  // More distinct strings than buckets forces equi-height string buckets —
+  // the case the paper had to add to Orca (Section 5.5 / 7).
+  std::vector<Value> vals;
+  Rng rng(23);
+  for (int i = 0; i < 400; ++i) vals.push_back(Value::Str(rng.NextString(3, 10)));
+  Histogram h = Histogram::Build(std::move(vals), 8);
+  EXPECT_EQ(h.type(), HistogramType::kEquiHeight);
+  // Selectivity of a range over strings should be sane (monotone, in [0,1]).
+  double a = h.SelectivityLess(Value::Str("f"), false);
+  double b = h.SelectivityLess(Value::Str("q"), false);
+  EXPECT_LE(a, b);
+  EXPECT_GE(a, 0.0);
+  EXPECT_LE(b, 1.0);
+}
+
+TEST(HistogramTest, ValueToStatsDoubleMonotoneForStrings) {
+  EXPECT_LT(ValueToStatsDouble(Value::Str("apple")),
+            ValueToStatsDouble(Value::Str("banana")));
+  EXPECT_EQ(ValueToStatsDouble(Value::Int(5)), 5.0);
+}
+
+TEST(HistogramTest, DistinctValueNeverStraddlesBuckets) {
+  std::vector<int64_t> vals;
+  for (int i = 0; i < 50; ++i) vals.push_back(1);
+  for (int64_t i = 0; i < 300; ++i) vals.push_back(i + 10);
+  Histogram h = Histogram::Build(IntColumn(vals), 6);
+  for (size_t i = 1; i < h.buckets().size(); ++i) {
+    EXPECT_GT(Value::Compare(h.buckets()[i].lower, h.buckets()[i - 1].upper),
+              0);
+  }
+}
+
+}  // namespace
+}  // namespace taurus

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+
+namespace taurus {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto toks = Tokenize("SELECT a, b FROM t WHERE x >= 10;");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 12u);  // incl. kEnd
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*toks)[0].text, "SELECT");
+  EXPECT_EQ((*toks)[8].kind, TokenKind::kSymbol);
+  EXPECT_EQ((*toks)[8].text, ">=");
+  EXPECT_EQ((*toks)[9].kind, TokenKind::kInteger);
+  EXPECT_EQ((*toks)[9].int_val, 10);
+  EXPECT_EQ(toks->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  auto toks = Tokenize("'it''s'");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*toks)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_FALSE(Tokenize("'abc").ok());
+}
+
+TEST(LexerTest, FloatForms) {
+  auto toks = Tokenize("1.5 .25 2e3 1.5E-2");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ((*toks)[0].float_val, 1.5);
+  EXPECT_DOUBLE_EQ((*toks)[1].float_val, 0.25);
+  EXPECT_DOUBLE_EQ((*toks)[2].float_val, 2000.0);
+  EXPECT_DOUBLE_EQ((*toks)[3].float_val, 0.015);
+}
+
+TEST(LexerTest, NotEqualsNormalized) {
+  auto toks = Tokenize("a != b <> c");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[1].text, "<>");
+  EXPECT_EQ((*toks)[3].text, "<>");
+}
+
+TEST(LexerTest, LineComment) {
+  auto toks = Tokenize("a -- comment here\n b");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 3u);
+  EXPECT_EQ((*toks)[1].text, "b");
+}
+
+TEST(LexerTest, BlockComment) {
+  auto toks = Tokenize("a /* multi\nline */ b");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 3u);
+}
+
+TEST(LexerTest, UnterminatedBlockComment) {
+  EXPECT_FALSE(Tokenize("a /* oops").ok());
+}
+
+TEST(LexerTest, UnexpectedCharacter) {
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+}
+
+TEST(LexerTest, IdentifiersWithUnderscoresAndDigits) {
+  auto toks = Tokenize("l_orderkey d1 _x");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "l_orderkey");
+  EXPECT_EQ((*toks)[1].text, "d1");
+  EXPECT_EQ((*toks)[2].text, "_x");
+}
+
+TEST(LexerTest, OffsetsRecorded) {
+  auto toks = Tokenize("ab cd");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].offset, 0u);
+  EXPECT_EQ((*toks)[1].offset, 3u);
+}
+
+}  // namespace
+}  // namespace taurus

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "mdp/provider.h"
+#include "mdp/stats_adapter.h"
+#include "parser/parser.h"
+#include "frontend/binder.h"
+#include "storage/storage.h"
+
+namespace taurus {
+namespace {
+
+class MdpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = catalog_.CreateTable(
+        "part", {{"p_partkey", TypeId::kLong, 0, false},
+                 {"p_brand", TypeId::kVarchar, 10, false},
+                 {"p_retail", TypeId::kNewDecimal, 0, true}});
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(catalog_.AddIndex("part", {"part_pk", {0}, true, true}).ok());
+    ASSERT_TRUE(
+        catalog_.AddIndex("part", {"brand_idx", {1, 0}, false, false}).ok());
+    data_ = storage_.CreateTable(*t);
+    for (int i = 0; i < 500; ++i) {
+      data_->Append({Value::Int(i),
+                     Value::Str("Brand#" + std::to_string(10 + i % 25)),
+                     i % 11 == 0 ? Value::Null()
+                                 : Value::Double(1.5 * i, TypeId::kNewDecimal)});
+    }
+    data_->BuildIndexes();
+    catalog_.SetStats((*t)->id, ComputeTableStats(*data_));
+    mdp_ = std::make_unique<MetadataProvider>(catalog_);
+  }
+
+  Catalog catalog_;
+  Storage storage_;
+  TableData* data_ = nullptr;
+  std::unique_ptr<MetadataProvider> mdp_;
+};
+
+TEST_F(MdpTest, RelationOidByName) {
+  auto oid = mdp_->RelationOidByName("part");
+  ASSERT_TRUE(oid.ok());
+  EXPECT_EQ(*oid, RelationOid(0));
+  EXPECT_EQ(mdp_->RelationOidByName("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(MdpTest, ExpressionOidsUseTypeCategories) {
+  // INT and BIGINT map to different categories (INT4 vs INT8) after the
+  // Section 7 refinement, so the OIDs differ.
+  auto a = mdp_->ComparisonOid(BinaryOp::kEq, TypeId::kLong, TypeId::kLong);
+  auto b =
+      mdp_->ComparisonOid(BinaryOp::kEq, TypeId::kLongLong, TypeId::kLong);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  // But types in the same category share a point: INT and MEDIUMINT.
+  auto c = mdp_->ComparisonOid(BinaryOp::kEq, TypeId::kInt24, TypeId::kLong);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*a, *c);
+}
+
+TEST_F(MdpTest, AggregateOids) {
+  auto star = mdp_->AggregateOid(AggFunc::kCountStar, TypeId::kNull);
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(ExprOidName(*star), "COUNT_STAR");
+  auto cnt = mdp_->AggregateOid(AggFunc::kCount, TypeId::kVarchar);
+  ASSERT_TRUE(cnt.ok());
+  EXPECT_EQ(ExprOidName(*cnt), "COUNT_ANY");  // COUNT(expr) -> ANY category
+  auto sum = mdp_->AggregateOid(AggFunc::kSum, TypeId::kNewDecimal);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(ExprOidName(*sum), "SUM_NUM");
+}
+
+TEST_F(MdpTest, MappedFunctionOidsParallelExpressions) {
+  auto eq = mdp_->ComparisonOid(BinaryOp::kEq, TypeId::kVarchar,
+                                TypeId::kVarchar);
+  int64_t f = mdp_->MappedFunctionOid(*eq);
+  EXPECT_GE(f, kMappedFuncBase);
+  EXPECT_LT(f, kRegularFuncBase);
+  // Distinct expressions map to distinct function OIDs.
+  auto lt = mdp_->ComparisonOid(BinaryOp::kLt, TypeId::kVarchar,
+                                TypeId::kVarchar);
+  EXPECT_NE(mdp_->MappedFunctionOid(*lt), f);
+  EXPECT_EQ(mdp_->MappedFunctionOid(999), kInvalidOid);
+}
+
+TEST_F(MdpTest, RegularFunctionOids) {
+  auto a = mdp_->RegularFunctionOid("substring");
+  auto b = mdp_->RegularFunctionOid("SUBSTRING");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);  // case-insensitive
+  EXPECT_GE(*a, kRegularFuncBase);
+  EXPECT_FALSE(mdp_->RegularFunctionOid("frobnicate").ok());
+}
+
+TEST_F(MdpTest, DxlRoundTripPreservesRelation) {
+  auto oid = mdp_->RelationOidByName("part");
+  auto dxl = mdp_->RelationToDxl(*oid);
+  ASSERT_TRUE(dxl.ok()) << dxl.status().ToString();
+  EXPECT_NE(dxl->find("<dxl:Relation"), std::string::npos);
+  EXPECT_NE(dxl->find("dxl:ColumnStats"), std::string::npos);
+
+  auto info = MetadataProvider::ParseRelationDxl(*dxl);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->name, "part");
+  EXPECT_EQ(info->rows, 500);
+  ASSERT_EQ(info->columns.size(), 3u);
+  EXPECT_EQ(info->columns[0].name, "p_partkey");
+  EXPECT_EQ(info->columns[0].type, TypeId::kLong);
+  EXPECT_FALSE(info->columns[0].nullable);
+  EXPECT_TRUE(info->columns[2].nullable);
+  EXPECT_EQ(info->columns[0].stats.distinct_count, 500);
+  ASSERT_EQ(info->indexes.size(), 2u);
+  EXPECT_EQ(info->indexes[1].key_columns.size(), 2u);
+  EXPECT_TRUE(info->indexes[0].unique);
+}
+
+TEST_F(MdpTest, DxlStringHistogramBoundariesAreEncoded) {
+  auto oid = mdp_->RelationOidByName("part");
+  auto info = mdp_->GetRelation(*oid);
+  ASSERT_TRUE(info.ok());
+  const Histogram& h = (*info)->columns[1].stats.histogram;
+  ASSERT_FALSE(h.empty());
+  // Boundaries arrive as numeric (encoded) values, not strings.
+  for (const HistogramBucket& b : h.buckets()) {
+    EXPECT_NE(b.lower.kind(), Value::Kind::kString);
+  }
+  // An encoded probe lands in the right bucket.
+  int64_t probe = EncodeStringPrefix("Brand#17");
+  double sel = h.SelectivityEquals(Value::Int(probe));
+  EXPECT_GT(sel, 0.0);
+  EXPECT_LT(sel, 0.2);
+}
+
+TEST_F(MdpTest, NullFractionSurvivesDxl) {
+  auto oid = mdp_->RelationOidByName("part");
+  auto info = mdp_->GetRelation(*oid);
+  ASSERT_TRUE(info.ok());
+  EXPECT_NEAR((*info)->columns[2].stats.histogram.null_fraction(),
+              46.0 / 500.0, 1e-9);
+}
+
+TEST_F(MdpTest, MetadataCacheServesRepeats) {
+  auto oid = mdp_->RelationOidByName("part");
+  ASSERT_TRUE(mdp_->GetRelation(*oid).ok());
+  ASSERT_TRUE(mdp_->GetRelation(*oid).ok());
+  ASSERT_TRUE(mdp_->GetRelation(*oid).ok());
+  EXPECT_EQ(mdp_->dxl_requests(), 1);
+  EXPECT_EQ(mdp_->cache_hits(), 2);
+}
+
+TEST_F(MdpTest, BadOidRejected) {
+  EXPECT_FALSE(mdp_->RelationToDxl(123).ok());
+  EXPECT_FALSE(mdp_->GetRelation(RelationOid(57)).ok());
+}
+
+TEST_F(MdpTest, DxlEscapesSpecialCharacters) {
+  auto t2 = catalog_.CreateTable(
+      "weird", {{"a", TypeId::kVarchar, 10, true}});
+  ASSERT_TRUE(t2.ok());
+  TableData* d = storage_.CreateTable(*t2);
+  d->Append({Value::Str("x<y&\"z\"")});
+  d->BuildIndexes();
+  catalog_.SetStats((*t2)->id, ComputeTableStats(*d));
+  auto dxl = mdp_->RelationToDxl(RelationOid((*t2)->id));
+  ASSERT_TRUE(dxl.ok());
+  auto info = MetadataProvider::ParseRelationDxl(*dxl);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->name, "weird");
+}
+
+TEST_F(MdpTest, StatsAdapterNormalizesStringProbes) {
+  auto parsed = ParseSelect(
+      "SELECT COUNT(*) FROM part WHERE p_brand = 'Brand#17' AND "
+      "p_partkey < 100");
+  ASSERT_TRUE(parsed.ok());
+  auto bound = BindStatement(catalog_, std::move(*parsed));
+  ASSERT_TRUE(bound.ok());
+  BoundStatement stmt = std::move(*bound);
+  MdpStatsProvider stats(catalog_, stmt.leaves, mdp_.get());
+  const Expr& str_eq = *stmt.block->where->children[0];
+  const Expr& int_lt = *stmt.block->where->children[1];
+  double s1 = stats.ConjunctSelectivity(str_eq);
+  EXPECT_GT(s1, 0.0);
+  EXPECT_NEAR(s1, 1.0 / 25.0, 0.03);  // 25 distinct brands
+  double s2 = stats.ConjunctSelectivity(int_lt);
+  EXPECT_NEAR(s2, 0.2, 0.05);  // 100 of 500
+}
+
+}  // namespace
+}  // namespace taurus

@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include "exec/block_executor.h"
+#include "frontend/prepare.h"
+#include "myopt/mysql_optimizer.h"
+#include "myopt/refine.h"
+#include "parser/parser.h"
+#include "storage/storage.h"
+
+namespace taurus {
+namespace {
+
+/// End-to-end MySQL-path harness: parse -> bind -> prepare -> greedy
+/// optimize -> refine -> execute.
+class MySqlPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // orders(o_id, o_custkey, o_date, o_priority), pk(o_id), idx(o_custkey)
+    auto orders = catalog_.CreateTable(
+        "orders", {{"o_id", TypeId::kLong, 0, false},
+                   {"o_custkey", TypeId::kLong, 0, false},
+                   {"o_date", TypeId::kDate, 0, false},
+                   {"o_priority", TypeId::kVarchar, 15, false}});
+    ASSERT_TRUE(orders.ok());
+    ASSERT_TRUE(catalog_.AddIndex("orders", {"o_pk", {0}, true, true}).ok());
+    ASSERT_TRUE(
+        catalog_.AddIndex("orders", {"o_cust_idx", {1}, false, false}).ok());
+    auto cust = catalog_.CreateTable(
+        "customer", {{"c_id", TypeId::kLong, 0, false},
+                     {"c_name", TypeId::kVarchar, 25, false},
+                     {"c_nation", TypeId::kLong, 0, false}});
+    ASSERT_TRUE(cust.ok());
+    ASSERT_TRUE(catalog_.AddIndex("customer", {"c_pk", {0}, true, true}).ok());
+    auto item = catalog_.CreateTable(
+        "lineitem", {{"l_oid", TypeId::kLong, 0, false},
+                     {"l_qty", TypeId::kLong, 0, false},
+                     {"l_price", TypeId::kDouble, 0, false}});
+    ASSERT_TRUE(item.ok());
+    ASSERT_TRUE(
+        catalog_.AddIndex("lineitem", {"l_oid_idx", {0}, false, false}).ok());
+
+    TableData* od = storage_.CreateTable(*orders);
+    int64_t d0 = 9000;
+    for (int i = 0; i < 50; ++i) {
+      od->Append({Value::Int(i), Value::Int(i % 10), Value::Date(d0 + i),
+                  Value::Str(i % 2 ? "HIGH" : "LOW")});
+    }
+    od->BuildIndexes();
+    catalog_.SetStats((*orders)->id, ComputeTableStats(*od));
+
+    TableData* cd = storage_.CreateTable(*cust);
+    for (int i = 0; i < 10; ++i) {
+      cd->Append({Value::Int(i), Value::Str("cust" + std::to_string(i)),
+                  Value::Int(i % 3)});
+    }
+    cd->BuildIndexes();
+    catalog_.SetStats((*cust)->id, ComputeTableStats(*cd));
+
+    TableData* ld = storage_.CreateTable(*item);
+    for (int i = 0; i < 200; ++i) {
+      ld->Append({Value::Int(i % 50), Value::Int(i % 7),
+                  Value::Double(1.5 * (i % 11))});
+    }
+    ld->BuildIndexes();
+    catalog_.SetStats((*item)->id, ComputeTableStats(*ld));
+  }
+
+  Result<std::vector<Row>> Run(const std::string& sql) {
+    auto parsed = ParseSelect(sql);
+    if (!parsed.ok()) return parsed.status();
+    auto bound = BindStatement(catalog_, std::move(*parsed));
+    if (!bound.ok()) return bound.status();
+    BoundStatement stmt = std::move(*bound);
+    TAURUS_RETURN_IF_ERROR(PrepareStatement(&stmt));
+    auto skel = MySqlOptimize(catalog_, &stmt);
+    if (!skel.ok()) return skel.status();
+    auto compiled = RefinePlan(std::move(stmt), **skel, catalog_);
+    if (!compiled.ok()) return compiled.status();
+    query_ = std::move(*compiled);
+    return ExecuteQuery(query_.get(), storage_, &last_ctx_);
+  }
+
+  Catalog catalog_;
+  Storage storage_;
+  std::unique_ptr<CompiledQuery> query_;
+  ExecContext last_ctx_;
+};
+
+TEST_F(MySqlPathTest, SimpleScanWithFilter) {
+  auto rows = Run("SELECT o_id FROM orders WHERE o_custkey = 3");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 5u);  // custkeys 3, 13, 23, 33, 43
+  for (const Row& r : *rows) EXPECT_EQ(r[0].AsInt() % 10, 3);
+}
+
+TEST_F(MySqlPathTest, ProjectionExpressions) {
+  auto rows = Run("SELECT o_id * 2 + 1 FROM orders WHERE o_id < 3 ORDER BY 1");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0][0].AsInt(), 1);
+  EXPECT_EQ((*rows)[2][0].AsInt(), 5);
+}
+
+TEST_F(MySqlPathTest, TwoWayJoin) {
+  auto rows = Run(
+      "SELECT c_name, o_id FROM customer JOIN orders ON c_id = o_custkey "
+      "WHERE c_nation = 0 ORDER BY o_id");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // nations 0: custs 0,3,6,9 -> 4 custs * 5 orders each = 20 rows.
+  EXPECT_EQ(rows->size(), 20u);
+}
+
+TEST_F(MySqlPathTest, ThreeWayJoinAggregation) {
+  auto rows = Run(
+      "SELECT c_nation, COUNT(*) cnt, SUM(l_qty) FROM customer "
+      "JOIN orders ON c_id = o_custkey JOIN lineitem ON l_oid = o_id "
+      "GROUP BY c_nation ORDER BY c_nation");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 3u);
+  int64_t total = 0;
+  for (const Row& r : *rows) total += r[1].AsInt();
+  EXPECT_EQ(total, 200);  // every lineitem joins exactly one order/customer
+}
+
+TEST_F(MySqlPathTest, LeftJoinPreservesOuterRows) {
+  // Customer 9 has orders; all do. Filter to an order subset so some
+  // customers lose matches.
+  auto rows = Run(
+      "SELECT c_id, COUNT(o_id) FROM customer LEFT JOIN orders "
+      "ON c_id = o_custkey AND o_id < 5 GROUP BY c_id ORDER BY c_id");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 10u);
+  // Orders 0..4 belong to customers 0..4; customers 5..9 get 0.
+  EXPECT_EQ((*rows)[0][1].AsInt(), 1);
+  EXPECT_EQ((*rows)[9][1].AsInt(), 0);
+}
+
+TEST_F(MySqlPathTest, WhereOnLeftJoinInnerFiltersNullExtended) {
+  auto rows = Run(
+      "SELECT c_id FROM customer LEFT JOIN orders ON c_id = o_custkey AND "
+      "o_id < 0 WHERE o_id IS NULL ORDER BY c_id");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 10u);  // no orders match; all NULL-extended
+}
+
+TEST_F(MySqlPathTest, ExistsSemiJoin) {
+  auto rows = Run(
+      "SELECT c_id FROM customer WHERE EXISTS "
+      "(SELECT 1 FROM orders WHERE o_custkey = c_id AND o_id >= 40) "
+      "ORDER BY c_id");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // Orders 40..49 cover custkeys 0..9 -> all 10 customers.
+  EXPECT_EQ(rows->size(), 10u);
+}
+
+TEST_F(MySqlPathTest, NotExistsAntiJoin) {
+  auto rows = Run(
+      "SELECT c_id FROM customer WHERE NOT EXISTS "
+      "(SELECT 1 FROM orders WHERE o_custkey = c_id AND o_id < 5)");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // Orders 0..4 -> custkeys 0..4 excluded; customers 5..9 remain.
+  EXPECT_EQ(rows->size(), 5u);
+}
+
+TEST_F(MySqlPathTest, InSubquerySemiJoin) {
+  auto rows = Run(
+      "SELECT o_id FROM orders WHERE o_custkey IN "
+      "(SELECT c_id FROM customer WHERE c_nation = 1)");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // nation 1: custs 1,4,7 -> 15 orders.
+  EXPECT_EQ(rows->size(), 15u);
+}
+
+TEST_F(MySqlPathTest, ScalarSubqueryCorrelated) {
+  auto rows = Run(
+      "SELECT o_id FROM orders WHERE o_custkey = "
+      "(SELECT MIN(c_id) FROM customer WHERE c_nation = 2) ORDER BY o_id");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // min c_id with nation 2 is 2 -> orders of cust 2.
+  EXPECT_EQ(rows->size(), 5u);
+  EXPECT_EQ((*rows)[0][0].AsInt(), 2);
+}
+
+TEST_F(MySqlPathTest, CorrelatedScalarSubqueryPerRow) {
+  // TPC-H Q17 pattern: compare against a per-group average.
+  auto rows = Run(
+      "SELECT l_oid, l_qty FROM lineitem WHERE l_qty > "
+      "(SELECT AVG(l2.l_qty) FROM lineitem l2 WHERE l2.l_oid = "
+      "lineitem.l_oid)");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_GT(rows->size(), 0u);
+  EXPECT_LT(rows->size(), 200u);
+}
+
+TEST_F(MySqlPathTest, DerivedTableAggregation) {
+  auto rows = Run(
+      "SELECT d.k, d.total FROM (SELECT o_custkey k, COUNT(*) total FROM "
+      "orders GROUP BY o_custkey) d WHERE d.total > 4 ORDER BY d.k");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 10u);  // each custkey has exactly 5 orders
+  EXPECT_EQ((*rows)[0][1].AsInt(), 5);
+}
+
+TEST_F(MySqlPathTest, CteTwoConsumers) {
+  auto rows = Run(
+      "WITH top AS (SELECT o_custkey k, COUNT(*) c FROM orders GROUP BY "
+      "o_custkey) SELECT t1.k FROM top t1, top t2 WHERE t1.k = t2.k "
+      "ORDER BY t1.k");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 10u);
+}
+
+TEST_F(MySqlPathTest, HavingFiltersGroups) {
+  auto rows = Run(
+      "SELECT o_custkey, COUNT(*) c FROM orders WHERE o_id < 23 "
+      "GROUP BY o_custkey HAVING c >= 3 ORDER BY o_custkey");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // orders 0..22: custkeys 0,1,2 have 3 orders; 3..9 have 2.
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST_F(MySqlPathTest, OrderByDescWithLimit) {
+  auto rows = Run("SELECT o_id FROM orders ORDER BY o_id DESC LIMIT 3");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0][0].AsInt(), 49);
+  EXPECT_EQ((*rows)[2][0].AsInt(), 47);
+}
+
+TEST_F(MySqlPathTest, LimitOffset) {
+  auto rows = Run("SELECT o_id FROM orders ORDER BY o_id LIMIT 5 OFFSET 10");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 5u);
+  EXPECT_EQ((*rows)[0][0].AsInt(), 10);
+}
+
+TEST_F(MySqlPathTest, DistinctDeduplicates) {
+  auto rows = Run("SELECT DISTINCT o_custkey FROM orders");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 10u);
+}
+
+TEST_F(MySqlPathTest, UnionAndUnionAll) {
+  auto rows = Run(
+      "SELECT o_custkey FROM orders WHERE o_id < 2 UNION "
+      "SELECT c_id FROM customer WHERE c_id < 2");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 2u);  // {0, 1} deduplicated
+  auto rows2 = Run(
+      "SELECT o_custkey FROM orders WHERE o_id < 2 UNION ALL "
+      "SELECT c_id FROM customer WHERE c_id < 2");
+  ASSERT_TRUE(rows2.ok());
+  EXPECT_EQ(rows2->size(), 4u);
+}
+
+TEST_F(MySqlPathTest, CaseExpression) {
+  auto rows = Run(
+      "SELECT SUM(CASE WHEN o_priority = 'HIGH' THEN 1 ELSE 0 END), "
+      "SUM(CASE WHEN o_priority = 'LOW' THEN 1 ELSE 0 END) FROM orders");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][0].AsInt(), 25);
+  EXPECT_EQ((*rows)[0][1].AsInt(), 25);
+}
+
+TEST_F(MySqlPathTest, GroupWithoutGroupByOnEmptyInput) {
+  auto rows = Run("SELECT COUNT(*), SUM(o_id), MIN(o_id) FROM orders "
+                  "WHERE o_id > 1000");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].AsInt(), 0);
+  EXPECT_TRUE((*rows)[0][1].is_null());
+  EXPECT_TRUE((*rows)[0][2].is_null());
+}
+
+TEST_F(MySqlPathTest, DateRangePredicates) {
+  auto rows = Run(
+      "SELECT COUNT(*) FROM orders WHERE o_date >= DATE '1994-08-23' AND "
+      "o_date < DATE '1994-08-23' + INTERVAL 10 DAY");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][0].AsInt(), 10);
+}
+
+TEST_F(MySqlPathTest, IndexLookupIsUsed) {
+  auto rows = Run(
+      "SELECT c_name, o_id FROM customer JOIN orders ON o_custkey = c_id "
+      "WHERE c_id = 4");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 5u);
+  // The o_cust_idx ref access should register index lookups.
+  EXPECT_GT(last_ctx_.index_lookups, 0);
+}
+
+TEST_F(MySqlPathTest, InListPredicate) {
+  auto rows = Run("SELECT COUNT(*) FROM orders WHERE o_custkey IN (1, 3, 5)");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][0].AsInt(), 15);
+}
+
+TEST_F(MySqlPathTest, BetweenAndLike) {
+  auto rows = Run(
+      "SELECT COUNT(*) FROM orders WHERE o_id BETWEEN 10 AND 19 AND "
+      "o_priority LIKE 'H%'");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][0].AsInt(), 5);
+}
+
+TEST_F(MySqlPathTest, CountDistinct) {
+  auto rows = Run("SELECT COUNT(DISTINCT o_custkey) FROM orders");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][0].AsInt(), 10);
+}
+
+TEST_F(MySqlPathTest, AvgMinMaxStddev) {
+  auto rows = Run(
+      "SELECT AVG(l_qty), MIN(l_qty), MAX(l_qty), STDDEV(l_qty) "
+      "FROM lineitem");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_NEAR((*rows)[0][0].AsDouble(), 2.97, 0.01);  // mean of i%7 over 200
+  EXPECT_EQ((*rows)[0][1].AsInt(), 0);
+  EXPECT_EQ((*rows)[0][2].AsInt(), 6);
+  EXPECT_GT((*rows)[0][3].AsDouble(), 0.0);
+}
+
+TEST_F(MySqlPathTest, BestPositionArrayRendering) {
+  auto parsed = ParseSelect(
+      "SELECT c_name FROM customer JOIN orders ON c_id = o_custkey "
+      "WHERE o_id = 7");
+  ASSERT_TRUE(parsed.ok());
+  auto bound = BindStatement(catalog_, std::move(*parsed));
+  ASSERT_TRUE(bound.ok());
+  BoundStatement stmt = std::move(*bound);
+  ASSERT_TRUE(PrepareStatement(&stmt).ok());
+  auto skel = MySqlOptimize(catalog_, &stmt);
+  ASSERT_TRUE(skel.ok()) << skel.status().ToString();
+  std::string arrays = RenderBestPositionArrays(**skel);
+  EXPECT_NE(arrays.find("block 0:"), std::string::npos);
+  EXPECT_NE(arrays.find("orders"), std::string::npos);
+  EXPECT_NE(arrays.find("customer"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace taurus

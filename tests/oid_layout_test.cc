@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mdp/oid_layout.h"
+
+namespace taurus {
+namespace {
+
+TEST(OidLayoutTest, CubeSizes) {
+  EXPECT_EQ(kNumArithExprs, 720);  // 12 * 12 * 5 (Section 5.2)
+  EXPECT_EQ(kNumCmpExprs, 864);    // 12 * 12 * 6
+  EXPECT_EQ(kNumAggExprs, 84);     // 14 * 6
+}
+
+TEST(OidLayoutTest, SlotsAreDisjoint) {
+  // "base + enumeration" layout (Section 5.6): ranges must not overlap.
+  EXPECT_GE(kArithBase, kTypeBase + kNumTypeIds);
+  EXPECT_GE(kCmpBase, kArithBase + kNumArithExprs);
+  EXPECT_GE(kAggBase, kCmpBase + kNumCmpExprs);
+  EXPECT_GE(kMappedFuncBase, kAggBase + kNumAggExprs);
+  EXPECT_GE(kRegularFuncBase,
+            kMappedFuncBase + kNumArithExprs + kNumCmpExprs + kNumAggExprs);
+  EXPECT_GT(kRelationBase, kRegularFuncBase);
+}
+
+TEST(OidLayoutTest, TypeOidRoundTrip) {
+  for (int t = 0; t < kNumTypeIds; ++t) {
+    TypeId type = static_cast<TypeId>(t);
+    auto back = TypeFromOid(TypeOid(type));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, type);
+  }
+  EXPECT_FALSE(TypeFromOid(kTypeBase - 1).ok());
+  EXPECT_FALSE(TypeFromOid(kTypeBase + kNumTypeIds).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep over every comparison-cube point.
+// ---------------------------------------------------------------------------
+
+class CmpCubeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CmpCubeTest, EncodeDecodeCommutatorInverse) {
+  int64_t oid = kCmpBase + GetParam();
+  auto point = DecodeExprOid(oid);
+  ASSERT_TRUE(point.ok());
+  ASSERT_EQ(point->family, ExprPoint::Family::kCmp);
+
+  // Encode(decode(oid)) == oid.
+  auto re = CmpExprOid(point->left, point->right, point->op);
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(*re, oid);
+
+  // Commutator exists for all comparisons and is an involution.
+  int64_t comm = CommutatorOid(oid);
+  ASSERT_NE(comm, kInvalidOid);
+  EXPECT_EQ(CommutatorOid(comm), oid);
+  // The commutator swaps the operand categories.
+  auto cp = DecodeExprOid(comm);
+  ASSERT_TRUE(cp.ok());
+  EXPECT_EQ(cp->left, point->right);
+  EXPECT_EQ(cp->right, point->left);
+  EXPECT_EQ(cp->op, CommuteComparison(point->op));
+
+  // Inverse is an involution that keeps operand order.
+  int64_t inv = InverseOid(oid);
+  ASSERT_NE(inv, kInvalidOid);
+  EXPECT_EQ(InverseOid(inv), oid);
+  auto ip = DecodeExprOid(inv);
+  ASSERT_TRUE(ip.ok());
+  EXPECT_EQ(ip->left, point->left);
+  EXPECT_EQ(ip->right, point->right);
+  EXPECT_EQ(ip->op, InverseComparison(point->op));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllComparisons, CmpCubeTest,
+                         ::testing::Range(0, kNumCmpExprs));
+
+// ---------------------------------------------------------------------------
+// Property sweep over every arithmetic-cube point.
+// ---------------------------------------------------------------------------
+
+class ArithCubeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArithCubeTest, EncodeDecodeCommutator) {
+  int64_t oid = kArithBase + GetParam();
+  auto point = DecodeExprOid(oid);
+  ASSERT_TRUE(point.ok());
+  ASSERT_EQ(point->family, ExprPoint::Family::kArith);
+  auto re = ArithExprOid(point->left, point->right, point->op);
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(*re, oid);
+
+  int64_t comm = CommutatorOid(oid);
+  if (point->op == BinaryOp::kAdd || point->op == BinaryOp::kMul) {
+    ASSERT_NE(comm, kInvalidOid);
+    EXPECT_EQ(CommutatorOid(comm), oid);  // involution
+  } else {
+    // '-', '/', '%' do not commute (Section 5.3).
+    EXPECT_EQ(comm, kInvalidOid);
+  }
+  // No inverse for arithmetic.
+  EXPECT_EQ(InverseOid(oid), kInvalidOid);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArithmetic, ArithCubeTest,
+                         ::testing::Range(0, kNumArithExprs));
+
+// ---------------------------------------------------------------------------
+
+TEST(OidLayoutTest, AggCubeRoundTrip) {
+  for (int e = 0; e < kNumAggExprs; ++e) {
+    int64_t oid = kAggBase + e;
+    auto point = DecodeExprOid(oid);
+    ASSERT_TRUE(point.ok());
+    ASSERT_EQ(point->family, ExprPoint::Family::kAgg);
+    auto re = AggExprOid(point->left, point->agg);
+    ASSERT_TRUE(re.ok()) << ExprOidName(oid);
+    EXPECT_EQ(*re, oid);
+    EXPECT_EQ(CommutatorOid(oid), kInvalidOid);  // aggregates are unary
+  }
+}
+
+TEST(OidLayoutTest, CountStarUsesStarCategory) {
+  auto star = AggExprOid(TypeCategory::kStar, AggFunc::kCountStar);
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(ExprOidName(*star), "COUNT_STAR");
+  // COUNT(*) with a non-STAR category is rejected.
+  EXPECT_FALSE(AggExprOid(TypeCategory::kNum, AggFunc::kCountStar).ok());
+  auto any = AggExprOid(TypeCategory::kAny, AggFunc::kCount);
+  ASSERT_TRUE(any.ok());
+  EXPECT_EQ(ExprOidName(*any), "COUNT_ANY");
+}
+
+TEST(OidLayoutTest, ExprNames) {
+  auto eq = CmpExprOid(TypeCategory::kStr, TypeCategory::kStr, BinaryOp::kEq);
+  EXPECT_EQ(ExprOidName(*eq), "STR_EQ_STR");  // Section 5.7's example
+  auto add =
+      ArithExprOid(TypeCategory::kInt4, TypeCategory::kNum, BinaryOp::kAdd);
+  EXPECT_EQ(ExprOidName(*add), "INT4_ADD_NUM");
+  EXPECT_EQ(ExprOidName(12345678), "INVALID");
+}
+
+TEST(OidLayoutTest, AllExpressionOidsDistinct) {
+  std::set<int64_t> seen;
+  for (int e = 0; e < kNumArithExprs; ++e) seen.insert(kArithBase + e);
+  for (int e = 0; e < kNumCmpExprs; ++e) seen.insert(kCmpBase + e);
+  for (int e = 0; e < kNumAggExprs; ++e) seen.insert(kAggBase + e);
+  EXPECT_EQ(seen.size(),
+            static_cast<size_t>(kNumArithExprs + kNumCmpExprs +
+                                kNumAggExprs));
+}
+
+TEST(OidLayoutTest, RelationOidsStrided) {
+  EXPECT_EQ(RelationOid(0), kRelationBase);
+  EXPECT_EQ(RelationOid(3), kRelationBase + 3 * kRelationStride);
+  EXPECT_EQ(ColumnOid(3, 7), RelationOid(3) + 8);
+  EXPECT_EQ(IndexOid(3, 2), RelationOid(3) + kIndexSlot + 2);
+  EXPECT_EQ(TableIdFromOid(RelationOid(3)), 3);
+  EXPECT_EQ(TableIdFromOid(ColumnOid(3, 7)), 3);
+  EXPECT_EQ(TableIdFromOid(IndexOid(3, 2)), 3);
+  EXPECT_EQ(TableIdFromOid(42), -1);  // below relation_base
+}
+
+TEST(OidLayoutTest, ColumnsNeverCollideWithIndexSlots) {
+  // Up to kIndexSlot-1 columns fit before the index slot begins.
+  EXPECT_LT(ColumnOid(0, static_cast<int>(kIndexSlot) - 2), IndexOid(0, 0));
+  EXPECT_LT(IndexOid(0, 100), RelationOid(1));
+}
+
+}  // namespace
+}  // namespace taurus

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace taurus {
+namespace {
+
+std::unique_ptr<QueryBlock> MustParse(const std::string& sql) {
+  auto r = ParseSelect(sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  return r.ok() ? std::move(*r) : nullptr;
+}
+
+TEST(ParserTest, MinimalSelect) {
+  auto q = MustParse("SELECT a FROM t");
+  ASSERT_NE(q, nullptr);
+  ASSERT_EQ(q->select_items.size(), 1u);
+  EXPECT_EQ(q->select_items[0].expr->kind, Expr::Kind::kColumnRef);
+  ASSERT_EQ(q->from.size(), 1u);
+  EXPECT_EQ(q->from[0]->table_name, "t");
+}
+
+TEST(ParserTest, SelectListAliases) {
+  auto q = MustParse("SELECT a AS x, b y, c FROM t");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->select_items[0].alias, "x");
+  EXPECT_EQ(q->select_items[1].alias, "y");
+  EXPECT_EQ(q->select_items[2].alias, "");
+}
+
+TEST(ParserTest, WherePrecedence) {
+  auto q = MustParse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_NE(q, nullptr);
+  // OR binds weaker than AND.
+  EXPECT_EQ(q->where->bop, BinaryOp::kOr);
+  EXPECT_EQ(q->where->children[1]->bop, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto q = MustParse("SELECT 1 + 2 * 3 FROM t");
+  const Expr& e = *q->select_items[0].expr;
+  EXPECT_EQ(e.bop, BinaryOp::kAdd);
+  EXPECT_EQ(e.children[1]->bop, BinaryOp::kMul);
+}
+
+TEST(ParserTest, JoinTypes) {
+  auto q = MustParse(
+      "SELECT 1 FROM a JOIN b ON a.x = b.x LEFT OUTER JOIN c ON b.y = c.y "
+      "CROSS JOIN d");
+  ASSERT_EQ(q->from.size(), 1u);
+  const TableRef& top = *q->from[0];
+  EXPECT_EQ(top.join_type, JoinType::kCross);
+  EXPECT_EQ(top.left->join_type, JoinType::kLeft);
+  EXPECT_EQ(top.left->left->join_type, JoinType::kInner);
+}
+
+TEST(ParserTest, CommaJoinList) {
+  auto q = MustParse("SELECT 1 FROM a, b, c WHERE a.x = b.x");
+  EXPECT_EQ(q->from.size(), 3u);
+}
+
+TEST(ParserTest, DerivedTableNeedsAlias) {
+  EXPECT_FALSE(ParseSelect("SELECT 1 FROM (SELECT 1 FROM t)").ok());
+  auto q = MustParse("SELECT 1 FROM (SELECT a FROM t) d");
+  EXPECT_EQ(q->from[0]->kind, TableRef::Kind::kDerived);
+  EXPECT_EQ(q->from[0]->alias, "d");
+}
+
+TEST(ParserTest, GroupByHavingOrderLimit) {
+  auto q = MustParse(
+      "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 5 "
+      "ORDER BY 2 DESC, a LIMIT 10 OFFSET 3");
+  EXPECT_EQ(q->group_by.size(), 1u);
+  ASSERT_NE(q->having, nullptr);
+  ASSERT_EQ(q->order_by.size(), 2u);
+  EXPECT_FALSE(q->order_by[0].ascending);
+  EXPECT_TRUE(q->order_by[1].ascending);
+  EXPECT_EQ(q->limit, 10);
+  EXPECT_EQ(q->offset, 3);
+}
+
+TEST(ParserTest, MySqlLimitCommaForm) {
+  auto q = MustParse("SELECT a FROM t LIMIT 5, 7");
+  EXPECT_EQ(q->offset, 5);
+  EXPECT_EQ(q->limit, 7);
+}
+
+TEST(ParserTest, ExistsSubquery) {
+  auto q = MustParse(
+      "SELECT 1 FROM o WHERE EXISTS (SELECT * FROM l WHERE l.k = o.k)");
+  EXPECT_EQ(q->where->kind, Expr::Kind::kExists);
+  EXPECT_FALSE(q->where->negated);
+  auto q2 = MustParse("SELECT 1 FROM o WHERE NOT EXISTS (SELECT 1 FROM l)");
+  // NOT EXISTS parses as NOT(EXISTS) via the NOT production.
+  EXPECT_EQ(q2->where->kind, Expr::Kind::kUnary);
+}
+
+TEST(ParserTest, InListAndInSubquery) {
+  auto q = MustParse("SELECT 1 FROM t WHERE a IN (1, 2, 3)");
+  EXPECT_EQ(q->where->kind, Expr::Kind::kInList);
+  EXPECT_EQ(q->where->children.size(), 4u);
+  auto q2 = MustParse("SELECT 1 FROM t WHERE a NOT IN (SELECT b FROM u)");
+  EXPECT_EQ(q2->where->kind, Expr::Kind::kInSubquery);
+  EXPECT_TRUE(q2->where->negated);
+}
+
+TEST(ParserTest, BetweenLikeIsNull) {
+  auto q = MustParse(
+      "SELECT 1 FROM t WHERE a BETWEEN 1 AND 5 AND b LIKE 'x%' AND c IS NOT "
+      "NULL");
+  std::vector<const Expr*> found;
+  const Expr* w = q->where.get();
+  // (a BETWEEN..) AND (b LIKE..) AND (c IS NOT NULL), left-assoc.
+  EXPECT_EQ(w->bop, BinaryOp::kAnd);
+  EXPECT_EQ(w->children[1]->uop, UnaryOp::kIsNotNull);
+}
+
+TEST(ParserTest, CaseSearchedAndSimple) {
+  auto q = MustParse(
+      "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END, "
+      "CASE b WHEN 2 THEN 'p' END FROM t");
+  const Expr& searched = *q->select_items[0].expr;
+  EXPECT_EQ(searched.kind, Expr::Kind::kCase);
+  EXPECT_TRUE(searched.case_has_else);
+  const Expr& simple = *q->select_items[1].expr;
+  EXPECT_EQ(simple.kind, Expr::Kind::kCase);
+  EXPECT_FALSE(simple.case_has_else);
+  // Simple CASE desugars to b = 2 condition.
+  EXPECT_EQ(simple.children[0]->bop, BinaryOp::kEq);
+}
+
+TEST(ParserTest, DateLiteralAndInterval) {
+  auto q = MustParse(
+      "SELECT 1 FROM t WHERE d >= DATE '1995-01-01' AND "
+      "d < DATE '1995-01-01' + INTERVAL '3' MONTH");
+  const Expr& lt = *q->where->children[1];
+  EXPECT_EQ(lt.bop, BinaryOp::kLt);
+  EXPECT_EQ(lt.children[1]->kind, Expr::Kind::kIntervalAdd);
+  EXPECT_EQ(lt.children[1]->interval_amount, 3);
+  EXPECT_EQ(lt.children[1]->interval_unit, IntervalUnit::kMonth);
+}
+
+TEST(ParserTest, IntervalSubtraction) {
+  auto q = MustParse("SELECT d - INTERVAL 5 DAY FROM t");
+  EXPECT_EQ(q->select_items[0].expr->interval_amount, -5);
+}
+
+TEST(ParserTest, AggregatesAndDistinct) {
+  auto q = MustParse(
+      "SELECT COUNT(*), COUNT(DISTINCT a), SUM(b), AVG(c), MIN(d), MAX(e), "
+      "STDDEV(f) FROM t");
+  EXPECT_EQ(q->select_items[0].expr->agg_func, AggFunc::kCountStar);
+  EXPECT_EQ(q->select_items[1].expr->agg_func, AggFunc::kCount);
+  EXPECT_TRUE(q->select_items[1].expr->agg_distinct);
+  EXPECT_EQ(q->select_items[6].expr->agg_func, AggFunc::kStddev);
+}
+
+TEST(ParserTest, CastAndExtract) {
+  auto q = MustParse(
+      "SELECT CAST(a AS date), EXTRACT(year FROM d), CAST(b AS CHAR(10)) "
+      "FROM t");
+  EXPECT_EQ(q->select_items[0].expr->kind, Expr::Kind::kCast);
+  EXPECT_EQ(q->select_items[0].expr->cast_type, TypeId::kDate);
+  EXPECT_EQ(q->select_items[1].expr->kind, Expr::Kind::kFuncCall);
+  EXPECT_EQ(q->select_items[1].expr->func_name, "year");
+}
+
+TEST(ParserTest, CtesParse) {
+  auto q = MustParse(
+      "WITH c1 AS (SELECT a FROM t), c2 AS (SELECT b FROM u) "
+      "SELECT 1 FROM c1, c2");
+  ASSERT_EQ(q->ctes.size(), 2u);
+  EXPECT_EQ(q->ctes[0].name, "c1");
+}
+
+TEST(ParserTest, RecursiveCteRejected) {
+  EXPECT_EQ(ParseSelect("WITH RECURSIVE r AS (SELECT 1) SELECT 1 FROM r")
+                .status()
+                .code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(ParserTest, UnionChain) {
+  auto q = MustParse(
+      "SELECT a FROM t UNION ALL SELECT a FROM u UNION SELECT a FROM v "
+      "ORDER BY 1 LIMIT 4");
+  ASSERT_NE(q->union_next, nullptr);
+  EXPECT_TRUE(q->union_all);
+  ASSERT_NE(q->union_next->union_next, nullptr);
+  EXPECT_FALSE(q->union_next->union_all);
+  EXPECT_EQ(q->order_by.size(), 1u);
+  EXPECT_EQ(q->limit, 4);
+}
+
+TEST(ParserTest, StarForms) {
+  auto q = MustParse("SELECT *, t.* FROM t");
+  EXPECT_EQ(q->select_items[0].expr->column_name, "*");
+  EXPECT_EQ(q->select_items[1].expr->table_name, "t");
+}
+
+TEST(ParserTest, ScalarSubqueryInSelect) {
+  auto q = MustParse("SELECT (SELECT MAX(a) FROM u) FROM t");
+  EXPECT_EQ(q->select_items[0].expr->kind, Expr::Kind::kScalarSubquery);
+}
+
+TEST(ParserTest, CreateTableStatement) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE part (p_partkey INT NOT NULL PRIMARY KEY, "
+      "p_name VARCHAR(55), p_size INT)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->kind, Statement::Kind::kCreateTable);
+  EXPECT_EQ((*stmt)->table_name, "part");
+  ASSERT_EQ((*stmt)->columns.size(), 3u);
+  EXPECT_FALSE((*stmt)->columns[0].nullable);
+  EXPECT_EQ((*stmt)->columns[1].length, 55);
+  ASSERT_EQ((*stmt)->primary_key.size(), 1u);
+  EXPECT_EQ((*stmt)->primary_key[0], 0);
+}
+
+TEST(ParserTest, CreateTableCompositePk) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE li (a INT NOT NULL, b INT NOT NULL, PRIMARY KEY (a, b))");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->primary_key.size(), 2u);
+}
+
+TEST(ParserTest, CreateIndexStatement) {
+  auto stmt = ParseStatement("CREATE INDEX li_fk ON lineitem (l_partkey)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->kind, Statement::Kind::kCreateIndex);
+  EXPECT_EQ((*stmt)->index.name, "li_fk");
+  EXPECT_FALSE((*stmt)->index.unique);
+}
+
+TEST(ParserTest, InsertStatement) {
+  auto stmt =
+      ParseStatement("INSERT INTO t VALUES (1, 'a'), (2, NULL)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->insert_rows.size(), 2u);
+  EXPECT_EQ((*stmt)->insert_rows[0].size(), 2u);
+}
+
+TEST(ParserTest, ExplainStatement) {
+  auto stmt = ParseStatement("EXPLAIN SELECT a FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->kind, Statement::Kind::kExplain);
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t garbage garbage").ok());
+}
+
+TEST(ParserTest, CloneIsDeepAndEqual) {
+  auto q = MustParse(
+      "SELECT a, COUNT(*) c FROM t JOIN u ON t.x = u.x WHERE a IN (1,2) "
+      "GROUP BY a HAVING c > 1 ORDER BY a LIMIT 3");
+  auto copy = q->Clone();
+  EXPECT_EQ(copy->select_items.size(), q->select_items.size());
+  EXPECT_EQ(copy->limit, 3);
+  EXPECT_NE(copy->select_items[0].expr.get(), q->select_items[0].expr.get());
+  EXPECT_EQ(copy->where->ToString(), q->where->ToString());
+}
+
+}  // namespace
+}  // namespace taurus

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "types/type.h"
+
+namespace taurus {
+namespace {
+
+TEST(TypeTest, ThirtyOneTypes) { EXPECT_EQ(kNumTypeIds, 31); }
+
+TEST(TypeTest, TwelveRegularCategoriesPlusStarAny) {
+  EXPECT_EQ(kNumRegularTypeCategories, 12);
+  EXPECT_EQ(kNumAggTypeCategories, 14);
+}
+
+TEST(TypeTest, EveryTypeMapsToARegularCategory) {
+  // Section 5.1: the 31 types partition into the 12 regular categories —
+  // STAR/ANY are aggregation-only and never the category of a type.
+  std::set<TypeCategory> seen;
+  for (int t = 0; t < kNumTypeIds; ++t) {
+    TypeCategory c = CategoryOf(static_cast<TypeId>(t));
+    EXPECT_NE(c, TypeCategory::kStar);
+    EXPECT_NE(c, TypeCategory::kAny);
+    seen.insert(c);
+  }
+  // All 12 regular categories are inhabited.
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kNumRegularTypeCategories));
+}
+
+TEST(TypeTest, IntCategoryWasSplit) {
+  // Section 7 lesson: INT was refined into INT2/INT4/INT8.
+  EXPECT_EQ(CategoryOf(TypeId::kTiny), TypeCategory::kInt2);
+  EXPECT_EQ(CategoryOf(TypeId::kShort), TypeCategory::kInt2);
+  EXPECT_EQ(CategoryOf(TypeId::kYear), TypeCategory::kInt2);
+  EXPECT_EQ(CategoryOf(TypeId::kInt24), TypeCategory::kInt4);
+  EXPECT_EQ(CategoryOf(TypeId::kLong), TypeCategory::kInt4);
+  EXPECT_EQ(CategoryOf(TypeId::kEnum), TypeCategory::kInt4);
+  EXPECT_EQ(CategoryOf(TypeId::kLongLong), TypeCategory::kInt8);
+  EXPECT_EQ(CategoryOf(TypeId::kSet), TypeCategory::kInt8);
+}
+
+TEST(TypeTest, NumCategoryGroupsDecimalsAndReals) {
+  for (TypeId t : {TypeId::kDecimal, TypeId::kNewDecimal, TypeId::kFloat,
+                   TypeId::kDouble}) {
+    EXPECT_EQ(CategoryOf(t), TypeCategory::kNum);
+  }
+}
+
+TEST(TypeTest, BlobConsolidation) {
+  for (TypeId t : {TypeId::kTinyBlob, TypeId::kBlob, TypeId::kMediumBlob,
+                   TypeId::kLongBlob}) {
+    EXPECT_EQ(CategoryOf(t), TypeCategory::kBlb);
+  }
+}
+
+TEST(TypeTest, CategoryNames) {
+  EXPECT_STREQ(TypeCategoryName(TypeCategory::kNum), "NUM");
+  EXPECT_STREQ(TypeCategoryName(TypeCategory::kStr), "STR");
+  EXPECT_STREQ(TypeCategoryName(TypeCategory::kStar), "STAR");
+  EXPECT_STREQ(TypeCategoryName(TypeCategory::kAny), "ANY");
+}
+
+TEST(TypeTest, Predicates) {
+  EXPECT_TRUE(IsStringType(TypeId::kVarchar));
+  EXPECT_FALSE(IsStringType(TypeId::kBlob));
+  EXPECT_TRUE(IsIntegerType(TypeId::kLong));
+  EXPECT_FALSE(IsIntegerType(TypeId::kDouble));
+  EXPECT_TRUE(IsNumericType(TypeId::kNewDecimal));
+  EXPECT_TRUE(IsTemporalType(TypeId::kDate));
+  EXPECT_TRUE(IsTemporalType(TypeId::kTimestamp));
+  EXPECT_FALSE(IsTemporalType(TypeId::kNull));
+  EXPECT_FALSE(IsTemporalType(TypeId::kLong));
+}
+
+TEST(TypeTest, FixedLengthsAndPassByValue) {
+  EXPECT_EQ(TypeFixedLength(TypeId::kTiny), 1);
+  EXPECT_EQ(TypeFixedLength(TypeId::kLong), 4);
+  EXPECT_EQ(TypeFixedLength(TypeId::kLongLong), 8);
+  EXPECT_EQ(TypeFixedLength(TypeId::kVarchar), -1);
+  EXPECT_TRUE(TypePassByValue(TypeId::kDate));
+  EXPECT_FALSE(TypePassByValue(TypeId::kBlob));
+}
+
+TEST(TypeTest, SqlNameRoundTrips) {
+  EXPECT_EQ(*TypeIdFromSqlName("INT"), TypeId::kLong);
+  EXPECT_EQ(*TypeIdFromSqlName("bigint"), TypeId::kLongLong);
+  EXPECT_EQ(*TypeIdFromSqlName("Varchar"), TypeId::kVarchar);
+  EXPECT_EQ(*TypeIdFromSqlName("DECIMAL"), TypeId::kNewDecimal);
+  EXPECT_EQ(*TypeIdFromSqlName("date"), TypeId::kDate);
+  EXPECT_FALSE(TypeIdFromSqlName("frobnicate").ok());
+}
+
+TEST(TypeTest, NamesAreDistinctAndNonEmpty) {
+  std::set<std::string> names;
+  for (int t = 0; t < kNumTypeIds; ++t) {
+    names.insert(TypeIdName(static_cast<TypeId>(t)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumTypeIds));
+}
+
+}  // namespace
+}  // namespace taurus

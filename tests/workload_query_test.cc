@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "parser/parser.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+namespace taurus {
+namespace {
+
+// Static (no-engine) sanity over the query suites: everything parses, the
+// suites have the right sizes, the hand-written paper queries carry their
+// signature constructs, and the template-generated TPC-DS remainder is
+// diverse rather than copy-pasted.
+
+TEST(WorkloadQueryTest, TpchHasTwentyTwoParsingQueries) {
+  const auto& queries = TpchQueries();
+  ASSERT_EQ(queries.size(), 22u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto q = ParseSelect(queries[i]);
+    EXPECT_TRUE(q.ok()) << "TPC-H Q" << i + 1 << ": "
+                        << q.status().ToString();
+  }
+}
+
+TEST(WorkloadQueryTest, TpcdsHasNinetyNineParsingQueries) {
+  const auto& queries = TpcdsQueries();
+  ASSERT_EQ(queries.size(), 99u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto q = ParseSelect(queries[i]);
+    EXPECT_TRUE(q.ok()) << "TPC-DS Q" << i + 1 << ": "
+                        << q.status().ToString();
+  }
+}
+
+TEST(WorkloadQueryTest, TpchSignatureConstructs) {
+  const auto& q = TpchQueries();
+  // Q4: EXISTS (the paper's Listing 2).
+  EXPECT_NE(q[3].find("EXISTS"), std::string::npos);
+  // Q13: LEFT OUTER JOIN with NOT LIKE in the ON clause.
+  EXPECT_NE(q[12].find("LEFT OUTER JOIN"), std::string::npos);
+  EXPECT_NE(q[12].find("NOT LIKE"), std::string::npos);
+  // Q15: the revenue view as a CTE.
+  EXPECT_NE(q[14].find("WITH revenue"), std::string::npos);
+  // Q16: NOT IN + the Customer...Complaints LIKE (Listing 8).
+  EXPECT_NE(q[15].find("NOT IN"), std::string::npos);
+  EXPECT_NE(q[15].find("%Customer%Complaints%"), std::string::npos);
+  // Q17: the correlated 0.2 * AVG subquery (Listing 5).
+  EXPECT_NE(q[16].find("0.2 * AVG(l_quantity)"), std::string::npos);
+  // Q19: the three-branch OR with the join predicate in every branch.
+  EXPECT_NE(q[18].find("OR (p_partkey = l_partkey"), std::string::npos);
+  // Q21: EXISTS + NOT EXISTS.
+  EXPECT_NE(q[20].find("NOT EXISTS"), std::string::npos);
+}
+
+TEST(WorkloadQueryTest, TpcdsPaperQueriesPresent) {
+  const auto& q = TpcdsQueries();
+  // Q1/Q81: CTE + correlated average.
+  EXPECT_NE(q[0].find("customer_total_return"), std::string::npos);
+  EXPECT_NE(q[80].find("customer_total_return"), std::string::npos);
+  // Q41: the OR nest over the item self-condition (Section 6.2).
+  EXPECT_GE([&] {
+    size_t count = 0;
+    for (size_t pos = q[40].find("item.i_manufact = i1.i_manufact");
+         pos != std::string::npos;
+         pos = q[40].find("item.i_manufact = i1.i_manufact", pos + 1)) {
+      ++count;
+    }
+    return count;
+  }(), 4u);
+  // Q72: the paper's Listing 1 shape — 11 table references.
+  EXPECT_NE(q[71].find("LEFT OUTER JOIN promotion"), std::string::npos);
+  EXPECT_NE(q[71].find("inv_quantity_on_hand < cs_quantity"),
+            std::string::npos);
+  EXPECT_NE(q[71].find("INTERVAL '5' DAY"), std::string::npos);
+  // Q9: bucketed CASE over scalar subqueries (Listing 6 shape).
+  EXPECT_NE(q[8].find("CASE WHEN (SELECT COUNT(*)"), std::string::npos);
+  // Q64: the wide CTE joined with itself.
+  EXPECT_NE(q[63].find("cross_sales cs1, cross_sales cs2"),
+            std::string::npos);
+}
+
+TEST(WorkloadQueryTest, TemplateQueriesAreDistinct) {
+  const auto& q = TpcdsQueries();
+  std::set<std::string> unique(q.begin(), q.end());
+  EXPECT_EQ(unique.size(), q.size()) << "duplicate generated queries";
+}
+
+TEST(WorkloadQueryTest, TemplateMixCoversAllChannels) {
+  const auto& q = TpcdsQueries();
+  int store = 0, catalog = 0, web = 0, exists = 0, cte = 0, unions = 0;
+  for (const std::string& sql : q) {
+    if (sql.find("store_sales") != std::string::npos) ++store;
+    if (sql.find("catalog_sales") != std::string::npos) ++catalog;
+    if (sql.find("web_sales") != std::string::npos) ++web;
+    if (sql.find("EXISTS") != std::string::npos) ++exists;
+    if (sql.find("WITH ") != std::string::npos) ++cte;
+    if (sql.find("UNION") != std::string::npos) ++unions;
+  }
+  EXPECT_GT(store, 20);
+  EXPECT_GT(catalog, 20);
+  EXPECT_GT(web, 20);
+  EXPECT_GT(exists, 10);
+  EXPECT_GT(cte, 10);
+  EXPECT_GT(unions, 5);
+}
+
+}  // namespace
+}  // namespace taurus
