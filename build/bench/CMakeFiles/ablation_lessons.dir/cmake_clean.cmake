@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lessons.dir/ablation_lessons.cc.o"
+  "CMakeFiles/ablation_lessons.dir/ablation_lessons.cc.o.d"
+  "ablation_lessons"
+  "ablation_lessons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lessons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

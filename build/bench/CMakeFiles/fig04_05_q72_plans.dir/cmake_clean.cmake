@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_05_q72_plans.dir/fig04_05_q72_plans.cc.o"
+  "CMakeFiles/fig04_05_q72_plans.dir/fig04_05_q72_plans.cc.o.d"
+  "fig04_05_q72_plans"
+  "fig04_05_q72_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_05_q72_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

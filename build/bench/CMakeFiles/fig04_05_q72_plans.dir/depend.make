@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_05_q72_plans.
+# This may be replaced when dependencies are built.

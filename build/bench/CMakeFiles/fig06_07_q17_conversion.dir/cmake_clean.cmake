@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_07_q17_conversion.dir/fig06_07_q17_conversion.cc.o"
+  "CMakeFiles/fig06_07_q17_conversion.dir/fig06_07_q17_conversion.cc.o.d"
+  "fig06_07_q17_conversion"
+  "fig06_07_q17_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_07_q17_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_07_q17_conversion.
+# This may be replaced when dependencies are built.

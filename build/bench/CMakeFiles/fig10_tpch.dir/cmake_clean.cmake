@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tpch.dir/fig10_tpch.cc.o"
+  "CMakeFiles/fig10_tpch.dir/fig10_tpch.cc.o.d"
+  "fig10_tpch"
+  "fig10_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_tpcds.cc" "bench/CMakeFiles/fig11_tpcds.dir/fig11_tpcds.cc.o" "gcc" "bench/CMakeFiles/fig11_tpcds.dir/fig11_tpcds.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/taurus_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/taurus_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/bridge/CMakeFiles/taurus_bridge.dir/DependInfo.cmake"
+  "/root/repo/build/src/orca/CMakeFiles/taurus_orca.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdp/CMakeFiles/taurus_mdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/myopt/CMakeFiles/taurus_myopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/taurus_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/taurus_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/taurus_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/taurus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/taurus_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/taurus_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/taurus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tpcds.dir/fig11_tpcds.cc.o"
+  "CMakeFiles/fig11_tpcds.dir/fig11_tpcds.cc.o.d"
+  "fig11_tpcds"
+  "fig11_tpcds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tpcds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

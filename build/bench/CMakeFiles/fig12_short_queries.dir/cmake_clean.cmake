@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_short_queries.dir/fig12_short_queries.cc.o"
+  "CMakeFiles/fig12_short_queries.dir/fig12_short_queries.cc.o.d"
+  "fig12_short_queries"
+  "fig12_short_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_short_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

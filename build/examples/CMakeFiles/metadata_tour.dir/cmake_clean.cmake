@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_tour.dir/metadata_tour.cpp.o"
+  "CMakeFiles/metadata_tour.dir/metadata_tour.cpp.o.d"
+  "metadata_tour"
+  "metadata_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

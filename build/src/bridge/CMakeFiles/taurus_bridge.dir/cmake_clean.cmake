@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taurus_bridge.dir/decorrelate.cc.o"
+  "CMakeFiles/taurus_bridge.dir/decorrelate.cc.o.d"
+  "CMakeFiles/taurus_bridge.dir/orca_path.cc.o"
+  "CMakeFiles/taurus_bridge.dir/orca_path.cc.o.d"
+  "CMakeFiles/taurus_bridge.dir/parse_tree_converter.cc.o"
+  "CMakeFiles/taurus_bridge.dir/parse_tree_converter.cc.o.d"
+  "CMakeFiles/taurus_bridge.dir/plan_converter.cc.o"
+  "CMakeFiles/taurus_bridge.dir/plan_converter.cc.o.d"
+  "CMakeFiles/taurus_bridge.dir/router.cc.o"
+  "CMakeFiles/taurus_bridge.dir/router.cc.o.d"
+  "libtaurus_bridge.a"
+  "libtaurus_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taurus_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

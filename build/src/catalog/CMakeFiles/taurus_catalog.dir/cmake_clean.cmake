@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taurus_catalog.dir/catalog.cc.o"
+  "CMakeFiles/taurus_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/taurus_catalog.dir/histogram.cc.o"
+  "CMakeFiles/taurus_catalog.dir/histogram.cc.o.d"
+  "libtaurus_catalog.a"
+  "libtaurus_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taurus_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taurus_common.dir/status.cc.o"
+  "CMakeFiles/taurus_common.dir/status.cc.o.d"
+  "CMakeFiles/taurus_common.dir/strings.cc.o"
+  "CMakeFiles/taurus_common.dir/strings.cc.o.d"
+  "libtaurus_common.a"
+  "libtaurus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taurus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taurus_engine.dir/database.cc.o"
+  "CMakeFiles/taurus_engine.dir/database.cc.o.d"
+  "CMakeFiles/taurus_engine.dir/explain.cc.o"
+  "CMakeFiles/taurus_engine.dir/explain.cc.o.d"
+  "libtaurus_engine.a"
+  "libtaurus_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taurus_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taurus_exec.dir/block_executor.cc.o"
+  "CMakeFiles/taurus_exec.dir/block_executor.cc.o.d"
+  "CMakeFiles/taurus_exec.dir/expr_eval.cc.o"
+  "CMakeFiles/taurus_exec.dir/expr_eval.cc.o.d"
+  "libtaurus_exec.a"
+  "libtaurus_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taurus_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

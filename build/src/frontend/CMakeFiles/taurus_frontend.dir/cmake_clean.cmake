@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taurus_frontend.dir/binder.cc.o"
+  "CMakeFiles/taurus_frontend.dir/binder.cc.o.d"
+  "CMakeFiles/taurus_frontend.dir/normalize.cc.o"
+  "CMakeFiles/taurus_frontend.dir/normalize.cc.o.d"
+  "CMakeFiles/taurus_frontend.dir/prepare.cc.o"
+  "CMakeFiles/taurus_frontend.dir/prepare.cc.o.d"
+  "libtaurus_frontend.a"
+  "libtaurus_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taurus_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

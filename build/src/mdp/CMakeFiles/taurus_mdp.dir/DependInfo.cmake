@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mdp/oid_layout.cc" "src/mdp/CMakeFiles/taurus_mdp.dir/oid_layout.cc.o" "gcc" "src/mdp/CMakeFiles/taurus_mdp.dir/oid_layout.cc.o.d"
+  "/root/repo/src/mdp/provider.cc" "src/mdp/CMakeFiles/taurus_mdp.dir/provider.cc.o" "gcc" "src/mdp/CMakeFiles/taurus_mdp.dir/provider.cc.o.d"
+  "/root/repo/src/mdp/stats_adapter.cc" "src/mdp/CMakeFiles/taurus_mdp.dir/stats_adapter.cc.o" "gcc" "src/mdp/CMakeFiles/taurus_mdp.dir/stats_adapter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/taurus_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/taurus_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/myopt/CMakeFiles/taurus_myopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/taurus_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/taurus_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/taurus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/taurus_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/taurus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

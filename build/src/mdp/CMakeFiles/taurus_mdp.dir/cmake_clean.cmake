@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taurus_mdp.dir/oid_layout.cc.o"
+  "CMakeFiles/taurus_mdp.dir/oid_layout.cc.o.d"
+  "CMakeFiles/taurus_mdp.dir/provider.cc.o"
+  "CMakeFiles/taurus_mdp.dir/provider.cc.o.d"
+  "CMakeFiles/taurus_mdp.dir/stats_adapter.cc.o"
+  "CMakeFiles/taurus_mdp.dir/stats_adapter.cc.o.d"
+  "libtaurus_mdp.a"
+  "libtaurus_mdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taurus_mdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

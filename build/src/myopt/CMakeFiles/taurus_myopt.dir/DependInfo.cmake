@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/myopt/cardinality.cc" "src/myopt/CMakeFiles/taurus_myopt.dir/cardinality.cc.o" "gcc" "src/myopt/CMakeFiles/taurus_myopt.dir/cardinality.cc.o.d"
+  "/root/repo/src/myopt/join_graph.cc" "src/myopt/CMakeFiles/taurus_myopt.dir/join_graph.cc.o" "gcc" "src/myopt/CMakeFiles/taurus_myopt.dir/join_graph.cc.o.d"
+  "/root/repo/src/myopt/mysql_optimizer.cc" "src/myopt/CMakeFiles/taurus_myopt.dir/mysql_optimizer.cc.o" "gcc" "src/myopt/CMakeFiles/taurus_myopt.dir/mysql_optimizer.cc.o.d"
+  "/root/repo/src/myopt/refine.cc" "src/myopt/CMakeFiles/taurus_myopt.dir/refine.cc.o" "gcc" "src/myopt/CMakeFiles/taurus_myopt.dir/refine.cc.o.d"
+  "/root/repo/src/myopt/skeleton.cc" "src/myopt/CMakeFiles/taurus_myopt.dir/skeleton.cc.o" "gcc" "src/myopt/CMakeFiles/taurus_myopt.dir/skeleton.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/taurus_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/taurus_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/taurus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/taurus_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/taurus_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/taurus_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/taurus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

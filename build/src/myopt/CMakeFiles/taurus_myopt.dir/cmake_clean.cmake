@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taurus_myopt.dir/cardinality.cc.o"
+  "CMakeFiles/taurus_myopt.dir/cardinality.cc.o.d"
+  "CMakeFiles/taurus_myopt.dir/join_graph.cc.o"
+  "CMakeFiles/taurus_myopt.dir/join_graph.cc.o.d"
+  "CMakeFiles/taurus_myopt.dir/mysql_optimizer.cc.o"
+  "CMakeFiles/taurus_myopt.dir/mysql_optimizer.cc.o.d"
+  "CMakeFiles/taurus_myopt.dir/refine.cc.o"
+  "CMakeFiles/taurus_myopt.dir/refine.cc.o.d"
+  "CMakeFiles/taurus_myopt.dir/skeleton.cc.o"
+  "CMakeFiles/taurus_myopt.dir/skeleton.cc.o.d"
+  "libtaurus_myopt.a"
+  "libtaurus_myopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taurus_myopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

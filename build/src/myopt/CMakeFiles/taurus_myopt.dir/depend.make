@@ -1,0 +1,2 @@
+# Empty dependencies file for taurus_myopt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taurus_orca.dir/logical.cc.o"
+  "CMakeFiles/taurus_orca.dir/logical.cc.o.d"
+  "CMakeFiles/taurus_orca.dir/optimizer.cc.o"
+  "CMakeFiles/taurus_orca.dir/optimizer.cc.o.d"
+  "CMakeFiles/taurus_orca.dir/physical.cc.o"
+  "CMakeFiles/taurus_orca.dir/physical.cc.o.d"
+  "libtaurus_orca.a"
+  "libtaurus_orca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taurus_orca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taurus_parser.dir/ast.cc.o"
+  "CMakeFiles/taurus_parser.dir/ast.cc.o.d"
+  "CMakeFiles/taurus_parser.dir/ast_util.cc.o"
+  "CMakeFiles/taurus_parser.dir/ast_util.cc.o.d"
+  "CMakeFiles/taurus_parser.dir/lexer.cc.o"
+  "CMakeFiles/taurus_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/taurus_parser.dir/parser.cc.o"
+  "CMakeFiles/taurus_parser.dir/parser.cc.o.d"
+  "libtaurus_parser.a"
+  "libtaurus_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taurus_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

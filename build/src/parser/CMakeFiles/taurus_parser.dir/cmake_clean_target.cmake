@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtaurus_parser.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/ordered_index.cc" "src/storage/CMakeFiles/taurus_storage.dir/ordered_index.cc.o" "gcc" "src/storage/CMakeFiles/taurus_storage.dir/ordered_index.cc.o.d"
+  "/root/repo/src/storage/storage.cc" "src/storage/CMakeFiles/taurus_storage.dir/storage.cc.o" "gcc" "src/storage/CMakeFiles/taurus_storage.dir/storage.cc.o.d"
+  "/root/repo/src/storage/table_data.cc" "src/storage/CMakeFiles/taurus_storage.dir/table_data.cc.o" "gcc" "src/storage/CMakeFiles/taurus_storage.dir/table_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/taurus_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/taurus_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/taurus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taurus_storage.dir/ordered_index.cc.o"
+  "CMakeFiles/taurus_storage.dir/ordered_index.cc.o.d"
+  "CMakeFiles/taurus_storage.dir/storage.cc.o"
+  "CMakeFiles/taurus_storage.dir/storage.cc.o.d"
+  "CMakeFiles/taurus_storage.dir/table_data.cc.o"
+  "CMakeFiles/taurus_storage.dir/table_data.cc.o.d"
+  "libtaurus_storage.a"
+  "libtaurus_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taurus_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taurus_types.dir/datetime.cc.o"
+  "CMakeFiles/taurus_types.dir/datetime.cc.o.d"
+  "CMakeFiles/taurus_types.dir/type.cc.o"
+  "CMakeFiles/taurus_types.dir/type.cc.o.d"
+  "CMakeFiles/taurus_types.dir/value.cc.o"
+  "CMakeFiles/taurus_types.dir/value.cc.o.d"
+  "libtaurus_types.a"
+  "libtaurus_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taurus_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

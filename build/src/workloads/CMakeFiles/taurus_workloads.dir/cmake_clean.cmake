@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taurus_workloads.dir/tpcds.cc.o"
+  "CMakeFiles/taurus_workloads.dir/tpcds.cc.o.d"
+  "CMakeFiles/taurus_workloads.dir/tpcds_queries.cc.o"
+  "CMakeFiles/taurus_workloads.dir/tpcds_queries.cc.o.d"
+  "CMakeFiles/taurus_workloads.dir/tpch.cc.o"
+  "CMakeFiles/taurus_workloads.dir/tpch.cc.o.d"
+  "CMakeFiles/taurus_workloads.dir/tpch_queries.cc.o"
+  "CMakeFiles/taurus_workloads.dir/tpch_queries.cc.o.d"
+  "libtaurus_workloads.a"
+  "libtaurus_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taurus_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decorrelate_test.dir/decorrelate_test.cc.o"
+  "CMakeFiles/decorrelate_test.dir/decorrelate_test.cc.o.d"
+  "decorrelate_test"
+  "decorrelate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decorrelate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdp_provider_test.dir/mdp_provider_test.cc.o"
+  "CMakeFiles/mdp_provider_test.dir/mdp_provider_test.cc.o.d"
+  "mdp_provider_test"
+  "mdp_provider_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdp_provider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

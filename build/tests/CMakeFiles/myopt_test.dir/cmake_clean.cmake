@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myopt_test.dir/myopt_test.cc.o"
+  "CMakeFiles/myopt_test.dir/myopt_test.cc.o.d"
+  "myopt_test"
+  "myopt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mysql_path_test.dir/mysql_path_test.cc.o"
+  "CMakeFiles/mysql_path_test.dir/mysql_path_test.cc.o.d"
+  "mysql_path_test"
+  "mysql_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mysql_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oid_layout_test.dir/oid_layout_test.cc.o"
+  "CMakeFiles/oid_layout_test.dir/oid_layout_test.cc.o.d"
+  "oid_layout_test"
+  "oid_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oid_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

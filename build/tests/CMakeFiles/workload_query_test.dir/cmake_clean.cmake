@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_query_test.dir/workload_query_test.cc.o"
+  "CMakeFiles/workload_query_test.dir/workload_query_test.cc.o.d"
+  "workload_query_test"
+  "workload_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
