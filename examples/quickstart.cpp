@@ -83,5 +83,25 @@ int main() {
     Check(explain.status(), "explain");
     std::printf("%s\n", explain->c_str());
   }
+
+  // --- The skeleton-plan cache: a repeated statement skips the optimizer.
+  // Whitespace/case variants share the fingerprint, and DDL or ANALYZE
+  // bumps a catalog version that invalidates affected entries.
+  auto warm = db.Query("select D_NAME, count(*) as headcount, "
+                       "avg(E_SALARY) as avg_salary "
+                       "from DEPT join EMP on e_dept = d_id "
+                       "where e_salary > 45000 group by d_name "
+                       "order by headcount desc",
+                       OptimizerPath::kMySql);
+  Check(warm.status(), "cached query");
+  std::printf("=== Plan cache ===\n");
+  std::printf("variant spelling hit=%s, optimize %.3f ms (saved %.3f ms)\n",
+              warm->plan_cache_hit ? "yes" : "no", warm->optimize_ms,
+              warm->optimize_saved_ms);
+  const taurus::PlanCacheStats& stats = db.plan_cache().stats();
+  std::printf("cache stats: %lld hits, %lld misses, %lld invalidations\n",
+              static_cast<long long>(stats.hits),
+              static_cast<long long>(stats.misses),
+              static_cast<long long>(stats.invalidations));
   return 0;
 }

@@ -272,25 +272,29 @@ Result<std::unique_ptr<OrcaLogicalOp>> Converter::Convert(QueryBlock* block) {
 
 }  // namespace
 
+void ApplyOrcaOrFactoring(QueryBlock* block) {
+  if (block->where != nullptr) {
+    FactorOrCommonConjuncts(&block->where);
+  }
+  std::vector<TableRef*> stack;
+  for (auto& t : block->from) stack.push_back(t.get());
+  while (!stack.empty()) {
+    TableRef* r = stack.back();
+    stack.pop_back();
+    if (r->kind == TableRef::Kind::kJoin) {
+      if (r->on != nullptr) FactorOrCommonConjuncts(&r->on);
+      stack.push_back(r->left.get());
+      stack.push_back(r->right.get());
+    }
+  }
+}
+
 Result<std::unique_ptr<OrcaLogicalOp>> ConvertBlockToOrcaLogical(
     QueryBlock* block, int num_refs, MetadataProvider* mdp,
     const OrcaConfig& config) {
   // Orca's OR-refactoring first (it may split one conjunct into several).
   if (config.enable_or_factoring) {
-    if (block->where != nullptr) {
-      FactorOrCommonConjuncts(&block->where);
-    }
-    std::vector<TableRef*> stack;
-    for (auto& t : block->from) stack.push_back(t.get());
-    while (!stack.empty()) {
-      TableRef* r = stack.back();
-      stack.pop_back();
-      if (r->kind == TableRef::Kind::kJoin) {
-        if (r->on != nullptr) FactorOrCommonConjuncts(&r->on);
-        stack.push_back(r->left.get());
-        stack.push_back(r->right.get());
-      }
-    }
+    ApplyOrcaOrFactoring(block);
   }
   Converter converter(num_refs, mdp);
   return converter.Convert(block);

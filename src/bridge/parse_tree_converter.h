@@ -33,6 +33,13 @@ Result<std::unique_ptr<OrcaLogicalOp>> ConvertBlockToOrcaLogical(
     QueryBlock* block, int num_refs, MetadataProvider* mdp,
     const OrcaConfig& config);
 
+/// Orca's general OR-refactoring over one block's WHERE and join ON
+/// conditions ("(a AND x) OR (a AND y)" -> "a AND (x OR y)", Section 7
+/// item 4). Run by ConvertBlockToOrcaLogical before conversion; exposed so
+/// the plan cache can replay the same deterministic AST mutation when
+/// re-attaching a cached Orca-route skeleton to a freshly bound statement.
+void ApplyOrcaOrFactoring(QueryBlock* block);
+
 }  // namespace taurus
 
 #endif  // TAURUS_BRIDGE_PARSE_TREE_CONVERTER_H_

@@ -17,6 +17,7 @@ Result<TableDef*> Catalog::CreateTable(const std::string& name,
   TableDef* ptr = def.get();
   by_id_.push_back(ptr);
   tables_[name] = std::move(def);
+  ++schema_version_;
   return ptr;
 }
 
@@ -32,6 +33,7 @@ Status Catalog::AddIndex(const std::string& table_name, IndexDef index) {
     }
   }
   table->indexes.push_back(std::move(index));
+  ++schema_version_;
   return Status::OK();
 }
 
@@ -58,6 +60,7 @@ const TableStats& Catalog::GetStats(int table_id) const {
 
 void Catalog::SetStats(int table_id, TableStats stats) {
   stats_[table_id] = std::move(stats);
+  ++stats_version_;
 }
 
 std::vector<std::string> Catalog::TableNames() const {

@@ -1,6 +1,7 @@
 #ifndef TAURUS_CATALOG_CATALOG_H_
 #define TAURUS_CATALOG_CATALOG_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -43,10 +44,20 @@ class Catalog {
   std::vector<std::string> TableNames() const;
   int NumTables() const { return static_cast<int>(tables_.size()); }
 
+  /// Monotonically increasing version counters used for plan-cache
+  /// invalidation: `schema_version` bumps on DDL (CREATE TABLE /
+  /// CREATE INDEX), `stats_version` bumps whenever statistics are
+  /// replaced (ANALYZE). A cached plan records the versions it was
+  /// compiled against; any mismatch forces re-optimization.
+  uint64_t schema_version() const { return schema_version_; }
+  uint64_t stats_version() const { return stats_version_; }
+
  private:
   std::map<std::string, std::unique_ptr<TableDef>> tables_;
   std::vector<TableDef*> by_id_;
   std::map<int, TableStats> stats_;
+  uint64_t schema_version_ = 1;
+  uint64_t stats_version_ = 1;
 };
 
 }  // namespace taurus

@@ -1,11 +1,15 @@
 #include "engine/database.h"
 
+#include <algorithm>
 #include <chrono>
 
+#include "bridge/decorrelate.h"
+#include "bridge/parse_tree_converter.h"
 #include "engine/explain.h"
 #include "exec/block_executor.h"
 #include "exec/expr_eval.h"
 #include "frontend/binder.h"
+#include "frontend/fingerprint.h"
 #include "myopt/mysql_optimizer.h"
 #include "myopt/refine.h"
 #include "parser/parser.h"
@@ -18,6 +22,49 @@ double MsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// Visits every query block of a statement (derived bodies, expression
+/// subquery bodies, UNION continuations).
+template <typename Fn>
+void ForEachBlock(QueryBlock* block, const Fn& fn) {
+  fn(block);
+  std::vector<TableRef*> stack;
+  for (auto& t : block->from) stack.push_back(t.get());
+  while (!stack.empty()) {
+    TableRef* r = stack.back();
+    stack.pop_back();
+    if (r->kind == TableRef::Kind::kJoin) {
+      stack.push_back(r->left.get());
+      stack.push_back(r->right.get());
+    } else if (r->kind == TableRef::Kind::kDerived && r->derived != nullptr) {
+      ForEachBlock(r->derived.get(), fn);
+    }
+  }
+  std::vector<Expr*> roots;
+  for (auto& item : block->select_items) roots.push_back(item.expr.get());
+  if (block->where) roots.push_back(block->where.get());
+  for (auto& g : block->group_by) roots.push_back(g.get());
+  if (block->having) roots.push_back(block->having.get());
+  for (auto& o : block->order_by) roots.push_back(o.expr.get());
+  for (auto& t : block->from) stack.push_back(t.get());
+  while (!stack.empty()) {
+    TableRef* r = stack.back();
+    stack.pop_back();
+    if (r->kind == TableRef::Kind::kJoin) {
+      if (r->on) roots.push_back(r->on.get());
+      stack.push_back(r->left.get());
+      stack.push_back(r->right.get());
+    }
+  }
+  std::vector<Expr*> estack(roots.begin(), roots.end());
+  while (!estack.empty()) {
+    Expr* e = estack.back();
+    estack.pop_back();
+    if (e->subquery) ForEachBlock(e->subquery.get(), fn);
+    for (auto& c : e->children) estack.push_back(c.get());
+  }
+  if (block->union_next) ForEachBlock(block->union_next.get(), fn);
 }
 
 }  // namespace
@@ -142,6 +189,68 @@ Status Database::AnalyzeAll() {
 
 Result<std::unique_ptr<CompiledQuery>> Database::Compile(
     const std::string& sql, OptimizerPath path) {
+  return CompileInternal(sql, path, plan_cache_config_.enable);
+}
+
+std::string Database::MakeCacheKey(const std::string& canonical,
+                                   OptimizerPath path) const {
+  // Everything that steers optimization after fingerprinting must be part
+  // of the key: the requested path, the router decision inputs, and the
+  // Orca knobs / cost constants. A config change then simply misses
+  // instead of serving a plan compiled under different settings.
+  std::string key = canonical;
+  key += "|path=";
+  key += std::to_string(static_cast<int>(path));
+  key += "|router=";
+  key += std::to_string(router_config_.enable_orca);
+  key += ",";
+  key += std::to_string(router_config_.complex_query_threshold);
+  key += "|orca=";
+  key += std::to_string(static_cast<int>(orca_config_.strategy));
+  for (bool flag :
+       {orca_config_.enable_or_factoring, orca_config_.enable_bushy,
+        orca_config_.enable_index_nlj, orca_config_.flip_inner_hash_build,
+        orca_config_.enable_eager_agg, orca_config_.enable_decorrelation}) {
+    key += flag ? '1' : '0';
+  }
+  const CostParams& c = orca_config_.cost;
+  for (double v : {c.seq_row, c.index_descend, c.index_row, c.hash_build,
+                   c.hash_probe, c.row_out, c.sort_row, c.materialize_row}) {
+    key += ",";
+    key += std::to_string(v);
+  }
+  return key;
+}
+
+Result<std::unique_ptr<CompiledQuery>> Database::CompileFromCacheEntry(
+    const PlanCacheEntry& entry, BoundStatement stmt) {
+  // Replay the route's deterministic pre-optimization AST rewrites: the
+  // cached skeleton was built against the rewritten statement, and the
+  // rewritten predicates must reach refinement/execution exactly as on the
+  // cold compile.
+  if (entry.via_orca_route) {
+    if (orca_config_.enable_decorrelation) {
+      TAURUS_RETURN_IF_ERROR(DecorrelateScalarSubqueries(&stmt).status());
+    }
+    if (orca_config_.enable_or_factoring) {
+      ForEachBlock(stmt.block.get(), [](QueryBlock* b) {
+        if (!b->from.empty()) ApplyOrcaOrFactoring(b);
+      });
+    }
+  } else {
+    ForEachBlock(stmt.block.get(), [&stmt](QueryBlock* b) {
+      ApplyIndexGatedOrFactoring(b, stmt.leaves);
+    });
+  }
+  TAURUS_ASSIGN_OR_RETURN(auto skeleton, ThawSkeleton(entry.skeleton, stmt));
+  TAURUS_ASSIGN_OR_RETURN(auto compiled,
+                          RefinePlan(std::move(stmt), *skeleton, catalog_));
+  compiled->used_orca = entry.used_orca;
+  return compiled;
+}
+
+Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
+    const std::string& sql, OptimizerPath path, bool use_cache) {
   auto start = std::chrono::steady_clock::now();
   last_fell_back_ = false;
 
@@ -149,6 +258,35 @@ Result<std::unique_ptr<CompiledQuery>> Database::Compile(
   TAURUS_ASSIGN_OR_RETURN(BoundStatement stmt,
                           BindStatement(catalog_, std::move(parsed)));
   TAURUS_RETURN_IF_ERROR(PrepareStatement(&stmt, prepare_options_));
+
+  // Skeleton-plan cache: looked up on the normalized statement fingerprint
+  // strictly before the router, so a hit skips routing and both optimizers.
+  std::string cache_key;
+  uint64_t fingerprint = 0;
+  if (use_cache) {
+    if (plan_cache_.capacity() != plan_cache_config_.capacity) {
+      plan_cache_.set_capacity(plan_cache_config_.capacity);
+    }
+    StatementFingerprint fp = FingerprintStatement(stmt);
+    fingerprint = fp.hash;
+    cache_key = MakeCacheKey(fp.canonical, path);
+    const PlanCacheEntry* entry = plan_cache_.Lookup(
+        cache_key, catalog_.schema_version(), catalog_.stats_version());
+    if (entry != nullptr) {
+      double cold_ms = entry->cold_optimize_ms;
+      auto hit = CompileFromCacheEntry(*entry, std::move(stmt));
+      if (hit.ok()) {
+        (*hit)->plan_cache_hit = true;
+        (*hit)->optimize_ms = MsSince(start);
+        (*hit)->optimize_saved_ms =
+            std::max(cold_ms - (*hit)->optimize_ms, 0.0);
+        return hit;
+      }
+      // Thaw/refine mismatch (should not happen; defensive): the statement
+      // was consumed, so recompile from SQL with the cache bypassed.
+      return CompileInternal(sql, path, /*use_cache=*/false);
+    }
+  }
 
   bool try_orca = path == OptimizerPath::kOrca ||
                   (path == OptimizerPath::kAuto &&
@@ -175,10 +313,37 @@ Result<std::unique_ptr<CompiledQuery>> Database::Compile(
     TAURUS_ASSIGN_OR_RETURN(skeleton, MySqlOptimize(catalog_, &stmt));
   }
 
+  // Freeze before refinement consumes the statement. A fallback compile is
+  // not cached: the failed detour left the AST partially rewritten, so the
+  // replay on a later hit would not be deterministic.
+  FrozenBlockSkeleton frozen;
+  bool cacheable = false;
+  if (use_cache && !last_fell_back_) {
+    auto frozen_or = FreezeSkeleton(*skeleton);
+    if (frozen_or.ok()) {
+      frozen = std::move(*frozen_or);
+      cacheable = true;
+    }
+  }
+
   TAURUS_ASSIGN_OR_RETURN(auto compiled,
                           RefinePlan(std::move(stmt), *skeleton, catalog_));
   compiled->used_orca = used_orca;
   compiled->optimize_ms = MsSince(start);
+
+  if (cacheable) {
+    PlanCacheEntry entry;
+    entry.fingerprint = fingerprint;
+    entry.skeleton = std::move(frozen);
+    entry.used_orca = used_orca;
+    entry.via_orca_route = try_orca;
+    entry.est_cost = skeleton->cost;
+    entry.est_rows = skeleton->out_rows;
+    entry.cold_optimize_ms = compiled->optimize_ms;
+    entry.schema_version = catalog_.schema_version();
+    entry.stats_version = catalog_.stats_version();
+    plan_cache_.Insert(cache_key, std::move(entry));
+  }
   return compiled;
 }
 
@@ -189,6 +354,8 @@ Result<QueryResult> Database::Query(const std::string& sql,
   out.columns = compiled->root->column_names;
   out.used_orca = compiled->used_orca;
   out.optimize_ms = compiled->optimize_ms;
+  out.plan_cache_hit = compiled->plan_cache_hit;
+  out.optimize_saved_ms = compiled->optimize_saved_ms;
 
   auto start = std::chrono::steady_clock::now();
   ExecContext ctx;

@@ -9,6 +9,7 @@
 #include "bridge/router.h"
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "engine/plan_cache.h"
 #include "exec/physical_plan.h"
 #include "frontend/prepare.h"
 #include "mdp/provider.h"
@@ -34,6 +35,11 @@ struct QueryResult {
   int64_t rows_scanned = 0;
   int64_t index_lookups = 0;
   int64_t rebinds = 0;
+  /// True when the skeleton plan came from the engine's plan cache.
+  bool plan_cache_hit = false;
+  /// Optimizer time avoided by the cache hit (cold compile time minus this
+  /// compile's); 0 on misses.
+  double optimize_saved_ms = 0.0;
 };
 
 /// The embedded database engine: catalog + storage + both optimizers +
@@ -81,6 +87,12 @@ class Database {
   RouterConfig& router_config() { return router_config_; }
   OrcaConfig& orca_config() { return orca_config_; }
   PrepareOptions& prepare_options() { return prepare_options_; }
+  PlanCacheConfig& plan_cache_config() { return plan_cache_config_; }
+
+  /// The skeleton-plan cache (exposed for stats, Clear() and capacity
+  /// tuning in tests and benches).
+  PlanCache& plan_cache() { return plan_cache_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
@@ -95,12 +107,29 @@ class Database {
   bool last_compile_fell_back() const { return last_fell_back_; }
 
  private:
+  /// Compile with the cache consulted (or bypassed, for the recovery path
+  /// after a thaw mismatch).
+  Result<std::unique_ptr<CompiledQuery>> CompileInternal(
+      const std::string& sql, OptimizerPath path, bool use_cache);
+
+  /// Replays the route's deterministic AST rewrites onto a freshly bound
+  /// statement, thaws the cached skeleton and refines it.
+  Result<std::unique_ptr<CompiledQuery>> CompileFromCacheEntry(
+      const PlanCacheEntry& entry, BoundStatement stmt);
+
+  /// Cache key: statement fingerprint + requested path + the router/Orca
+  /// configuration that steers optimization after fingerprinting.
+  std::string MakeCacheKey(const std::string& canonical,
+                           OptimizerPath path) const;
+
   Catalog catalog_;
   Storage storage_;
   MetadataProvider mdp_;
   RouterConfig router_config_;
   OrcaConfig orca_config_;
   PrepareOptions prepare_options_;
+  PlanCacheConfig plan_cache_config_;
+  PlanCache plan_cache_{PlanCacheConfig().capacity};
   OrcaPathMetrics last_orca_metrics_;
   bool last_fell_back_ = false;
 };

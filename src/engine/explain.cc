@@ -45,6 +45,13 @@ class ExplainRenderer {
 
   std::string Render() {
     std::string out = query_->used_orca ? "EXPLAIN (ORCA)\n" : "EXPLAIN\n";
+    if (query_->plan_cache_hit) {
+      // Own line so the first-line optimizer marker stays stable.
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "plan cache hit (saved %.3f ms)\n",
+                    query_->optimize_saved_ms);
+      out += buf;
+    }
     RenderBlock(*query_->root, 0, &out);
     for (size_t i = 0; i < query_->subplans.size(); ++i) {
       out += "Subquery #" + std::to_string(i + 1) +

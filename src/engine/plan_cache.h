@@ -1,0 +1,149 @@
+#ifndef TAURUS_ENGINE_PLAN_CACHE_H_
+#define TAURUS_ENGINE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "frontend/binder.h"
+#include "myopt/skeleton.h"
+
+namespace taurus {
+
+/// A skeleton plan in portable form. A live BlockSkeleton holds raw
+/// TableRef* pointers into one specific bound AST, so it dies with its
+/// statement; the frozen form identifies leaves by ref_id and expression
+/// subqueries by deterministic traversal ordinal, which are stable across
+/// re-parses of the same (fingerprint-identical) statement. Freeze turns a
+/// live skeleton into this form for caching; Thaw re-attaches it to a
+/// freshly bound statement.
+struct FrozenSkeletonNode {
+  bool is_join = false;
+
+  // Leaf.
+  int leaf_ref_id = -1;
+  AccessMethod access = AccessMethod::kTableScan;
+  int index_id = -1;
+
+  // Join.
+  JoinMethod method = JoinMethod::kNestedLoop;
+  JoinType join_type = JoinType::kInner;
+  std::unique_ptr<FrozenSkeletonNode> left;
+  std::unique_ptr<FrozenSkeletonNode> right;
+
+  double est_rows = 0.0;
+  double est_cost = 0.0;
+};
+
+struct FrozenBlockSkeleton {
+  std::unique_ptr<FrozenSkeletonNode> root;  ///< null when block has no FROM
+  double out_rows = 1.0;
+  double cost = 0.0;
+  bool stream_agg = false;
+
+  /// Sub-skeletons of derived-table leaves, keyed by the leaf's ref_id.
+  std::vector<std::pair<int, FrozenBlockSkeleton>> derived;
+  /// Sub-skeletons of expression subqueries (EXISTS / IN / scalar), in the
+  /// canonical block traversal order.
+  std::vector<FrozenBlockSkeleton> subqueries;
+  std::vector<FrozenBlockSkeleton> union_arms;
+};
+
+/// Converts a live skeleton into portable form. Fails (making the plan
+/// uncacheable, never wrong) if the skeleton references structure that
+/// cannot be identified positionally.
+Result<FrozenBlockSkeleton> FreezeSkeleton(const BlockSkeleton& skel);
+
+/// Reconstructs a live skeleton over `stmt` (whose root block must be
+/// structurally identical to the statement the frozen skeleton was compiled
+/// from — guaranteed by fingerprint-equality plus replayed rewrites).
+/// Validates leaf kinds, ref ranges and index ids; any mismatch returns an
+/// error, which the caller treats as a cache miss.
+Result<std::unique_ptr<BlockSkeleton>> ThawSkeleton(
+    const FrozenBlockSkeleton& frozen, const BoundStatement& stmt);
+
+struct PlanCacheConfig {
+  bool enable = true;
+  size_t capacity = 64;  ///< max cached skeletons (LRU evicted beyond)
+};
+
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t evictions = 0;
+  /// Entries dropped on lookup because catalog schema/stats versions moved.
+  int64_t invalidations = 0;
+};
+
+/// One cached compilation: the frozen skeleton plus routing metadata and
+/// the catalog versions it was compiled against.
+struct PlanCacheEntry {
+  uint64_t fingerprint = 0;
+  FrozenBlockSkeleton skeleton;
+
+  /// Routing metadata: which optimizer produced the skeleton, and whether
+  /// the Orca detour's AST rewrites (decorrelation, general OR factoring)
+  /// must be replayed before thawing.
+  bool used_orca = false;
+  bool via_orca_route = false;
+
+  double est_cost = 0.0;   ///< skeleton cost estimate
+  double est_rows = 0.0;   ///< estimated output cardinality
+  double cold_optimize_ms = 0.0;  ///< optimize wall time of the cold compile
+
+  uint64_t schema_version = 0;
+  uint64_t stats_version = 0;
+  int64_t hit_count = 0;
+};
+
+/// LRU cache of frozen skeleton plans keyed by statement fingerprint (plus
+/// routing tag). Invalidation is version-based: a lookup whose entry was
+/// compiled against older catalog schema/stats versions drops the entry and
+/// reports a miss, so DDL and ANALYZE never serve a stale plan.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 64) : capacity_(capacity) {}
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the entry for `key` if present and compiled against the given
+  /// catalog versions; bumps it to most-recently-used. Returns nullptr on
+  /// miss (and erases the entry when it was stale). The pointer is valid
+  /// until the next non-const call.
+  const PlanCacheEntry* Lookup(const std::string& key,
+                               uint64_t schema_version,
+                               uint64_t stats_version);
+
+  /// Inserts (or replaces) the entry for `key`, evicting the least
+  /// recently used entry when over capacity.
+  void Insert(const std::string& key, PlanCacheEntry entry);
+
+  void Clear();
+  /// Shrinking below the current size evicts least-recently-used entries.
+  void set_capacity(size_t capacity);
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return lru_.size(); }
+
+  const PlanCacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PlanCacheStats(); }
+
+ private:
+  struct Node {
+    std::string key;
+    PlanCacheEntry entry;
+  };
+
+  std::list<Node> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Node>::iterator> index_;
+  size_t capacity_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_ENGINE_PLAN_CACHE_H_

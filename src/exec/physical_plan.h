@@ -152,6 +152,13 @@ struct CompiledQuery {
   bool used_orca = false;
   /// Optimization wall-clock time, for the Table 1 experiment.
   double optimize_ms = 0.0;
+
+  /// True when the skeleton came from the engine's plan cache rather than
+  /// a fresh optimizer run.
+  bool plan_cache_hit = false;
+  /// On a cache hit: the cold compile's optimize time minus this compile's,
+  /// i.e. the optimizer work the cache avoided. 0 on misses.
+  double optimize_saved_ms = 0.0;
 };
 
 }  // namespace taurus

@@ -1,0 +1,212 @@
+#include "frontend/fingerprint.h"
+
+#include <cctype>
+
+namespace taurus {
+
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+void SerializeBlock(const QueryBlock& block, std::string* out);
+
+void SerializeExpr(const Expr& e, std::string* out) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      out->push_back('L');
+      out->append(std::to_string(static_cast<int>(e.literal.kind())));
+      out->push_back(':');
+      out->append(e.literal.ToString());
+      return;
+    case Expr::Kind::kColumnRef:
+      if (e.ref_id >= 0) {
+        out->push_back('c');
+        out->append(std::to_string(e.ref_id));
+        out->push_back('.');
+        out->append(std::to_string(e.column_idx));
+      } else {
+        // Unresolved reference (should not survive binding); fall back to
+        // case-normalized names so the serialization stays deterministic.
+        out->append(Lower(e.table_name));
+        out->push_back('.');
+        out->append(Lower(e.column_name));
+      }
+      return;
+    case Expr::Kind::kBinary:
+      out->push_back('(');
+      SerializeExpr(*e.children[0], out);
+      out->push_back(' ');
+      out->append(BinaryOpName(e.bop));
+      out->push_back(' ');
+      SerializeExpr(*e.children[1], out);
+      out->push_back(')');
+      return;
+    case Expr::Kind::kUnary:
+      out->push_back('u');
+      out->append(std::to_string(static_cast<int>(e.uop)));
+      out->push_back('(');
+      SerializeExpr(*e.children[0], out);
+      out->push_back(')');
+      return;
+    case Expr::Kind::kFuncCall:
+      out->append(Lower(e.func_name));
+      break;
+    case Expr::Kind::kAgg:
+      out->append(AggFuncName(e.agg_func));
+      if (e.agg_distinct) out->push_back('!');
+      break;
+    case Expr::Kind::kCase:
+      out->append("case");
+      if (e.case_has_else) out->push_back('e');
+      break;
+    case Expr::Kind::kInList:
+      out->append(e.negated ? "notin" : "in");
+      break;
+    case Expr::Kind::kBetween:
+      out->append(e.negated ? "notbetween" : "between");
+      break;
+    case Expr::Kind::kLike:
+      out->append(e.negated ? "notlike" : "like");
+      break;
+    case Expr::Kind::kExists:
+      out->append(e.negated ? "notexists" : "exists");
+      break;
+    case Expr::Kind::kInSubquery:
+      out->append(e.negated ? "notinsub" : "insub");
+      break;
+    case Expr::Kind::kScalarSubquery:
+      out->append("scalar");
+      break;
+    case Expr::Kind::kCast:
+      out->append("cast");
+      out->append(std::to_string(static_cast<int>(e.cast_type)));
+      break;
+    case Expr::Kind::kIntervalAdd:
+      out->append("ivl");
+      out->append(std::to_string(static_cast<int>(e.interval_unit)));
+      out->push_back(':');
+      out->append(std::to_string(e.interval_amount));
+      break;
+  }
+  out->push_back('(');
+  for (size_t i = 0; i < e.children.size(); ++i) {
+    if (i) out->push_back(',');
+    SerializeExpr(*e.children[i], out);
+  }
+  out->push_back(')');
+  if (e.subquery != nullptr) {
+    out->push_back('[');
+    SerializeBlock(*e.subquery, out);
+    out->push_back(']');
+  }
+}
+
+void SerializeTableRef(const TableRef& ref, std::string* out) {
+  switch (ref.kind) {
+    case TableRef::Kind::kBase:
+      out->push_back('t');
+      out->append(std::to_string(ref.table != nullptr ? ref.table->id : -1));
+      out->append("#r");
+      out->append(std::to_string(ref.ref_id));
+      return;
+    case TableRef::Kind::kDerived:
+      out->append("d#r");
+      out->append(std::to_string(ref.ref_id));
+      out->push_back('[');
+      SerializeBlock(*ref.derived, out);
+      out->push_back(']');
+      return;
+    case TableRef::Kind::kJoin:
+      out->push_back('(');
+      SerializeTableRef(*ref.left, out);
+      out->push_back(' ');
+      out->append(JoinTypeName(ref.join_type));
+      out->push_back(' ');
+      SerializeTableRef(*ref.right, out);
+      if (ref.on != nullptr) {
+        out->append(" on ");
+        SerializeExpr(*ref.on, out);
+      }
+      out->push_back(')');
+      return;
+  }
+}
+
+void SerializeBlock(const QueryBlock& block, std::string* out) {
+  out->push_back('{');
+  if (block.distinct) out->append("distinct ");
+  out->append("sel:");
+  for (size_t i = 0; i < block.select_items.size(); ++i) {
+    if (i) out->push_back(',');
+    SerializeExpr(*block.select_items[i].expr, out);
+  }
+  out->append(";from:");
+  for (size_t i = 0; i < block.from.size(); ++i) {
+    if (i) out->push_back(',');
+    SerializeTableRef(*block.from[i], out);
+  }
+  if (block.where != nullptr) {
+    out->append(";where:");
+    SerializeExpr(*block.where, out);
+  }
+  if (!block.group_by.empty()) {
+    out->append(";group:");
+    for (size_t i = 0; i < block.group_by.size(); ++i) {
+      if (i) out->push_back(',');
+      SerializeExpr(*block.group_by[i], out);
+    }
+  }
+  if (block.having != nullptr) {
+    out->append(";having:");
+    SerializeExpr(*block.having, out);
+  }
+  if (!block.order_by.empty()) {
+    out->append(";order:");
+    for (size_t i = 0; i < block.order_by.size(); ++i) {
+      if (i) out->push_back(',');
+      SerializeExpr(*block.order_by[i].expr, out);
+      out->push_back(block.order_by[i].ascending ? 'a' : 'd');
+    }
+  }
+  if (block.limit >= 0) {
+    out->append(";limit:");
+    out->append(std::to_string(block.limit));
+    out->push_back(',');
+    out->append(std::to_string(block.offset));
+  }
+  if (block.union_next != nullptr) {
+    out->append(block.union_all ? ";unionall:" : ";union:");
+    SerializeBlock(*block.union_next, out);
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+uint64_t FingerprintHash(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;  // FNV-1a prime
+  }
+  return h;
+}
+
+StatementFingerprint FingerprintStatement(const BoundStatement& stmt) {
+  StatementFingerprint fp;
+  fp.canonical.reserve(256);
+  fp.canonical.append("refs:");
+  fp.canonical.append(std::to_string(stmt.num_refs));
+  fp.canonical.push_back(';');
+  SerializeBlock(*stmt.block, &fp.canonical);
+  fp.hash = FingerprintHash(fp.canonical);
+  return fp;
+}
+
+}  // namespace taurus

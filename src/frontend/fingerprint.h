@@ -1,0 +1,38 @@
+#ifndef TAURUS_FRONTEND_FINGERPRINT_H_
+#define TAURUS_FRONTEND_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "frontend/binder.h"
+
+namespace taurus {
+
+/// Normalized identity of a bound statement, used as the plan-cache key.
+///
+/// The canonical text is a deterministic serialization of the bound (and
+/// prepared) AST in which column references are rendered by resolved
+/// (ref_id, column_idx), base tables by catalog object id, and select-item
+/// aliases are omitted. Because it is derived from the *bound* tree,
+/// whitespace, keyword case and alias spelling differences all collapse:
+/// two statements that bind to the same tree get the same canonical text.
+/// Anything that can change the skeleton plan (join shape, predicates,
+/// grouping, ordering, limits, set operations) is included.
+struct StatementFingerprint {
+  /// FNV-1a hash of `canonical`; cheap routing/metadata identity.
+  uint64_t hash = 0;
+  /// Full canonical serialization; the collision-proof cache key.
+  std::string canonical;
+};
+
+/// Computes the fingerprint of a bound statement. Deterministic: equal
+/// bound trees always produce equal canonical text and hashes.
+StatementFingerprint FingerprintStatement(const BoundStatement& stmt);
+
+/// FNV-1a 64-bit hash of a byte string (exposed for tests and for mixing
+/// routing tags into cache keys).
+uint64_t FingerprintHash(const std::string& bytes);
+
+}  // namespace taurus
+
+#endif  // TAURUS_FRONTEND_FINGERPRINT_H_

@@ -45,8 +45,10 @@ bool CommonConjunctsEnableIndex(const Expr& factored,
   return false;
 }
 
-void MySqlIndexOnlyOrFactoring(QueryBlock* block,
-                               const std::vector<TableRef*>& leaves) {
+}  // namespace
+
+void ApplyIndexGatedOrFactoring(QueryBlock* block,
+                                const std::vector<TableRef*>& leaves) {
   if (block->where == nullptr) return;
   std::unique_ptr<Expr> trial = block->where->Clone();
   if (!FactorOrCommonConjuncts(&trial)) return;
@@ -66,6 +68,8 @@ void MySqlIndexOnlyOrFactoring(QueryBlock* block,
   }
   if (any_new) block->where = std::move(trial);
 }
+
+namespace {
 
 /// Walks a block's own expressions (not descending into subquery bodies)
 /// and collects every subquery expression node.
@@ -500,7 +504,7 @@ Result<std::unique_ptr<BlockSkeleton>> MySqlOptimizer::OptimizeBlock(
   }
 
   // Stock MySQL's limited, index-gated OR refactoring (Section 7 item 4).
-  MySqlIndexOnlyOrFactoring(block, stmt_->leaves);
+  ApplyIndexGatedOrFactoring(block, stmt_->leaves);
 
   double rows = 1.0;
   double cost = 0.0;

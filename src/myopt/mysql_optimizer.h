@@ -57,6 +57,13 @@ class MySqlOptimizer {
 Result<std::unique_ptr<BlockSkeleton>> MySqlOptimize(const Catalog& catalog,
                                                      BoundStatement* stmt);
 
+/// Stock MySQL's limited, index-gated OR refactoring of one block's WHERE
+/// (Section 7 item 4). Applied by the optimizer before join ordering;
+/// exposed so the plan cache can replay the same deterministic AST rewrite
+/// when re-attaching a cached skeleton to a freshly bound statement.
+void ApplyIndexGatedOrFactoring(QueryBlock* block,
+                                const std::vector<TableRef*>& leaves);
+
 }  // namespace taurus
 
 #endif  // TAURUS_MYOPT_MYSQL_OPTIMIZER_H_

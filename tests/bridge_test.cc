@@ -184,6 +184,50 @@ TEST_F(BridgeTest, CteProducerReusedAcrossConsumers) {
   EXPECT_EQ((*skel)->derived.size(), 2u);  // both consumers have skeletons
 }
 
+TEST_F(BridgeTest, RouterCountsCteCopiesIndividually) {
+  // The binder expands each CTE reference into its own derived-table copy
+  // (MySQL's multiple-producer model); both the copies and the base tables
+  // inside each copy's body count toward the routing total.
+  auto stmt = Prep(
+      "WITH agg AS (SELECT fk, SUM(v) s FROM t1 GROUP BY fk) "
+      "SELECT COUNT(*) FROM agg a1, agg a2 WHERE a1.fk = a2.fk");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(CountTableReferences(*stmt), 4);  // 2 copies + t1 in each body
+
+  RouterConfig config;
+  config.complex_query_threshold = 4;  // exactly at: routes
+  EXPECT_TRUE(ShouldRouteToOrca(*stmt, config));
+  config.complex_query_threshold = 5;  // one above: stays on MySQL
+  EXPECT_FALSE(ShouldRouteToOrca(*stmt, config));
+}
+
+TEST_F(BridgeTest, RouterCountsNestedSubqueryTables) {
+  // Tables referenced only inside nested subquery blocks still count —
+  // "total number of table references in the query" spans all blocks.
+  auto stmt = Prep(
+      "SELECT COUNT(*) FROM t1 WHERE EXISTS "
+      "(SELECT 1 FROM t2 WHERE t2.id = t1.id AND EXISTS "
+      "(SELECT 1 FROM t3 WHERE t3.id = t2.id))");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(CountTableReferences(*stmt), 3);
+
+  RouterConfig config;
+  config.complex_query_threshold = 3;  // exactly at
+  EXPECT_TRUE(ShouldRouteToOrca(*stmt, config));
+  config.complex_query_threshold = 4;  // just below the threshold
+  EXPECT_FALSE(ShouldRouteToOrca(*stmt, config));
+}
+
+TEST_F(BridgeTest, RouterBoundaryBelowThresholdSingleTable) {
+  auto stmt = Prep("SELECT COUNT(*) FROM t1 WHERE v > 10");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(CountTableReferences(*stmt), 1);
+  RouterConfig config;  // default threshold 3
+  EXPECT_FALSE(ShouldRouteToOrca(*stmt, config));
+  config.complex_query_threshold = 1;
+  EXPECT_TRUE(ShouldRouteToOrca(*stmt, config));
+}
+
 TEST_F(BridgeTest, MetricsAccumulate) {
   auto stmt = Prep(
       "SELECT COUNT(*) FROM t1, t2, t3 WHERE t1.id = t2.fk AND "
