@@ -1,11 +1,31 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite.
-# Exits nonzero on the first failing step. Usage: scripts/check.sh [build-dir]
+# Exits nonzero on the first failing step.
+#
+# Usage: scripts/check.sh [build-dir]
+#   TAURUS_SANITIZE=address|undefined scripts/check.sh
+#     opt-in sanitizer mode: builds with -fsanitize=<value> in its own
+#     build dir (build-asan / build-ubsan / build-san) and runs the suite
+#     under the sanitizer.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
 
-cmake -B "$build_dir" -S "$repo_root"
+cmake_flags=()
+if [[ -n "${TAURUS_SANITIZE:-}" ]]; then
+  case "$TAURUS_SANITIZE" in
+    address) default_dir="$repo_root/build-asan" ;;
+    undefined) default_dir="$repo_root/build-ubsan" ;;
+    *) default_dir="$repo_root/build-san" ;;
+  esac
+  build_dir="${1:-$default_dir}"
+  cmake_flags+=("-DTAURUS_SANITIZE=$TAURUS_SANITIZE")
+  # Halt on the first UBSan report instead of printing and continuing.
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+else
+  build_dir="${1:-$repo_root/build}"
+fi
+
+cmake -B "$build_dir" -S "$repo_root" ${cmake_flags[@]+"${cmake_flags[@]}"}
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"

@@ -5,6 +5,7 @@
 
 #include "bridge/decorrelate.h"
 #include "bridge/parse_tree_converter.h"
+#include "common/fault_injector.h"
 #include "bridge/plan_converter.h"
 #include "orca/optimizer.h"
 #include "parser/ast_util.h"
@@ -56,15 +57,18 @@ void CollectBlockSubqueriesOrdered(QueryBlock* block,
 OrcaPathOptimizer::OrcaPathOptimizer(const Catalog& catalog,
                                      BoundStatement* stmt,
                                      MetadataProvider* mdp,
-                                     const OrcaConfig& config)
+                                     const OrcaConfig& config,
+                                     ResourceGovernor* governor)
     : catalog_(catalog),
       stmt_(stmt),
       mdp_(mdp),
       config_(config),
+      governor_(governor),
       stats_(catalog, stmt->leaves, mdp) {}
 
 Result<std::unique_ptr<BlockSkeleton>> OrcaPathOptimizer::Optimize() {
   if (config_.enable_decorrelation) {
+    TAURUS_FAULT_POINT("bridge.decorrelate");
     // Subquery -> derived-table conversion (Section 4.2.3 / the Q17
     // "derived_1_2" case). A failed rewrite leaves the correlated form.
     TAURUS_ASSIGN_OR_RETURN(int converted,
@@ -211,7 +215,7 @@ Result<std::unique_ptr<BlockSkeleton>> OrcaPathOptimizer::OptimizeBlock(
     TAURUS_ASSIGN_OR_RETURN(
         auto logical,
         ConvertBlockToOrcaLogical(block, stmt_->num_refs, mdp_, config_));
-    OrcaOptimizer optimizer(config_, &stats_, stmt_->num_refs);
+    OrcaOptimizer optimizer(config_, &stats_, stmt_->num_refs, governor_);
     TAURUS_ASSIGN_OR_RETURN(auto physical, optimizer.Optimize(logical.get()));
     metrics_.partitions_evaluated += optimizer.partitions_evaluated();
     metrics_.memo_groups += optimizer.num_groups();

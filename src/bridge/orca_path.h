@@ -6,6 +6,7 @@
 #include <string>
 
 #include "catalog/catalog.h"
+#include "common/resource_budget.h"
 #include "common/result.h"
 #include "frontend/binder.h"
 #include "mdp/provider.h"
@@ -39,8 +40,11 @@ struct OrcaPathMetrics {
 /// single-producer-to-n-consumers translation.
 class OrcaPathOptimizer {
  public:
+  /// `governor`, when non-null, bounds every memo search this detour runs
+  /// (blocks share one budget); kResourceExhausted aborts the detour.
   OrcaPathOptimizer(const Catalog& catalog, BoundStatement* stmt,
-                    MetadataProvider* mdp, const OrcaConfig& config);
+                    MetadataProvider* mdp, const OrcaConfig& config,
+                    ResourceGovernor* governor = nullptr);
 
   Result<std::unique_ptr<BlockSkeleton>> Optimize();
 
@@ -58,6 +62,7 @@ class OrcaPathOptimizer {
   BoundStatement* stmt_;
   MetadataProvider* mdp_;
   const OrcaConfig& config_;
+  ResourceGovernor* governor_;
   MdpStatsProvider stats_;
   OrcaPathMetrics metrics_;
   std::map<std::string, const BlockSkeleton*> cte_templates_;

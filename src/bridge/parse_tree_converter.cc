@@ -3,6 +3,7 @@
 #include <map>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "frontend/normalize.h"
 #include "parser/ast_util.h"
 
@@ -292,6 +293,7 @@ void ApplyOrcaOrFactoring(QueryBlock* block) {
 Result<std::unique_ptr<OrcaLogicalOp>> ConvertBlockToOrcaLogical(
     QueryBlock* block, int num_refs, MetadataProvider* mdp,
     const OrcaConfig& config) {
+  TAURUS_FAULT_POINT("bridge.parse_tree_convert");
   // Orca's OR-refactoring first (it may split one conjunct into several).
   if (config.enable_or_factoring) {
     ApplyOrcaOrFactoring(block);

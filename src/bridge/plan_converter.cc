@@ -1,5 +1,7 @@
 #include "bridge/plan_converter.h"
 
+#include "common/fault_injector.h"
+
 namespace taurus {
 
 namespace {
@@ -82,6 +84,7 @@ Result<std::unique_ptr<SkeletonNode>> Convert(const OrcaPhysicalOp& op,
 Result<std::unique_ptr<SkeletonNode>> ConvertOrcaPlanToSkeleton(
     const OrcaPhysicalOp& plan, const QueryBlock& block,
     const OrcaConfig& config) {
+  TAURUS_FAULT_POINT("bridge.plan_convert");
   int leaves_seen = 0;
   TAURUS_RETURN_IF_ERROR(DiscoverQueryBlocks(plan, block, &leaves_seen));
   if (leaves_seen != static_cast<int>(block.Leaves().size())) {

@@ -1,0 +1,116 @@
+#include "common/fault_injector.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace taurus {
+
+namespace {
+
+// xorshift64*: small, seedable, good enough for fault-probability draws.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+}  // namespace
+
+struct FaultInjector::Impl {
+  struct Point {
+    // Count mode: fail while remaining > 0. Probability mode: remaining < 0
+    // and each traversal draws against `probability`.
+    int remaining = 0;
+    double probability = 0.0;
+    uint64_t rng_state = 0;
+    StatusCode code = StatusCode::kInternal;
+    int64_t hits = 0;
+    int64_t trips = 0;
+  };
+
+  mutable std::mutex mu;
+  std::unordered_map<std::string, Point> points;
+};
+
+FaultInjector::FaultInjector() : impl_(new Impl) {}
+FaultInjector::~FaultInjector() { delete impl_; }
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::ArmCount(const std::string& point, int count,
+                             StatusCode code) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Impl::Point& p = impl_->points[point];
+  p = Impl::Point{};
+  p.remaining = count;
+  p.code = code;
+  armed_points_.store(static_cast<int>(impl_->points.size()),
+                      std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmProbability(const std::string& point, double p,
+                                   uint64_t seed, StatusCode code) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Impl::Point& entry = impl_->points[point];
+  entry = Impl::Point{};
+  entry.remaining = -1;
+  entry.probability = p;
+  entry.rng_state = seed == 0 ? 0x9E3779B97F4A7C15ULL : seed;
+  entry.code = code;
+  armed_points_.store(static_cast<int>(impl_->points.size()),
+                      std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->points.erase(point);
+  armed_points_.store(static_cast<int>(impl_->points.size()),
+                      std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->points.clear();
+  armed_points_.store(0, std::memory_order_relaxed);
+}
+
+int64_t FaultInjector::trips(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(point);
+  return it == impl_->points.end() ? 0 : it->second.trips;
+}
+
+int64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(point);
+  return it == impl_->points.end() ? 0 : it->second.hits;
+}
+
+Status FaultInjector::Check(const char* point) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(point);
+  if (it == impl_->points.end()) return Status::OK();
+  Impl::Point& p = it->second;
+  ++p.hits;
+  bool fire = false;
+  if (p.remaining > 0) {
+    --p.remaining;
+    fire = true;
+  } else if (p.remaining < 0) {
+    constexpr double kScale =
+        1.0 / static_cast<double>(~static_cast<uint64_t>(0));
+    fire = static_cast<double>(NextRandom(&p.rng_state)) * kScale <
+           p.probability;
+  }
+  if (!fire) return Status::OK();
+  ++p.trips;
+  return Status(p.code, std::string("injected fault at ") + point);
+}
+
+}  // namespace taurus

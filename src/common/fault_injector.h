@@ -1,0 +1,88 @@
+#ifndef TAURUS_COMMON_FAULT_INJECTOR_H_
+#define TAURUS_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace taurus {
+
+/// Deterministic fault injection for exercising fallback edges.
+///
+/// The compile pipeline declares *named fault points* at each bridge
+/// boundary (see kFaultPoints below). In production nothing is armed and a
+/// fault check is one relaxed atomic load. Tests arm a point to fail the
+/// next N traversals (count mode) or each traversal with probability p
+/// (probability mode, seeded xorshift so runs are reproducible); the check
+/// then returns an error Status which flows through the normal
+/// Status/Result plumbing, letting tests prove that every failure edge
+/// falls back cleanly.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  /// Arms `point` to fail its next `count` traversals with `code`.
+  void ArmCount(const std::string& point, int count,
+                StatusCode code = StatusCode::kInternal);
+
+  /// Arms `point` to fail each traversal with probability `p` in [0, 1].
+  /// The decision stream is driven by `seed` for reproducibility.
+  void ArmProbability(const std::string& point, double p, uint64_t seed,
+                      StatusCode code = StatusCode::kInternal);
+
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  /// Times `point` fired (returned an error) since it was last armed.
+  int64_t trips(const std::string& point) const;
+  /// Times `point` was evaluated while armed.
+  int64_t hits(const std::string& point) const;
+
+  /// Called from fault sites (via TAURUS_FAULT_POINT). Returns OK unless
+  /// `point` is armed and its trigger condition holds.
+  Status Check(const char* point);
+
+  bool any_armed() const {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  FaultInjector();
+  ~FaultInjector();
+
+  struct Impl;
+  Impl* impl_;
+  std::atomic<int> armed_points_{0};
+};
+
+/// Fast-path check: a single atomic load when nothing is armed.
+inline Status CheckFaultPoint(const char* point) {
+  FaultInjector& injector = FaultInjector::Instance();
+  if (!injector.any_armed()) return Status::OK();
+  return injector.Check(point);
+}
+
+/// Declares a named fault point; returns the injected error from the
+/// enclosing function when the point is armed and fires.
+#define TAURUS_FAULT_POINT(name) \
+  TAURUS_RETURN_IF_ERROR(::taurus::CheckFaultPoint(name))
+
+/// Catalog of the fault points compiled into the pipeline, one per bridge
+/// boundary. Tests iterate this list to prove each edge is reachable and
+/// contained; keep it in sync with the TAURUS_FAULT_POINT sites.
+inline constexpr const char* kFaultPoints[] = {
+    "bridge.decorrelate",        // scalar-subquery decorrelation rewrite
+    "bridge.parse_tree_convert", // QueryBlock -> Orca logical tree
+    "mdp.relation_lookup",       // metadata provider OID resolution
+    "orca.memo_explore",         // memo search inside OrcaOptimizer
+    "bridge.plan_convert",       // Orca physical plan -> skeleton
+    "plan_cache.freeze",         // skeleton freeze before caching
+    "plan_cache.thaw",           // frozen skeleton thaw on cache hit
+    "myopt.refine",              // skeleton refinement into executable plan
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_COMMON_FAULT_INJECTOR_H_

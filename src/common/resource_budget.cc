@@ -1,0 +1,55 @@
+#include "common/resource_budget.h"
+
+#include <chrono>
+#include <string>
+
+namespace taurus {
+
+double ResourceGovernor::SteadyNowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ResourceGovernor::ResourceGovernor(const ResourceBudgetConfig& config)
+    : config_(&config) {
+  if (config_->optimize_deadline_ms > 0) start_ms_ = NowMs();
+}
+
+double ResourceGovernor::NowMs() const {
+  return config_->clock_ms ? config_->clock_ms() : SteadyNowMs();
+}
+
+Status ResourceGovernor::ChargeMemoGroups(int total_groups) {
+  if (config_->max_memo_groups > 0 && total_groups > config_->max_memo_groups) {
+    return Status::ResourceExhausted(
+        "memo group budget exceeded (" + std::to_string(total_groups) + " > " +
+        std::to_string(config_->max_memo_groups) + ")");
+  }
+  return CheckDeadline();
+}
+
+Status ResourceGovernor::ChargePartitionPair() {
+  ++pairs_charged_;
+  if (config_->max_partition_pairs > 0 &&
+      pairs_charged_ > config_->max_partition_pairs) {
+    return Status::ResourceExhausted(
+        "partition pair budget exceeded (" + std::to_string(pairs_charged_) +
+        " > " + std::to_string(config_->max_partition_pairs) + ")");
+  }
+  if ((pairs_charged_ & 63) == 0) return CheckDeadline();
+  return Status::OK();
+}
+
+Status ResourceGovernor::CheckDeadline() {
+  if (config_->optimize_deadline_ms <= 0) return Status::OK();
+  double elapsed = NowMs() - start_ms_;
+  if (elapsed > config_->optimize_deadline_ms) {
+    return Status::ResourceExhausted(
+        "optimizer deadline exceeded (" + std::to_string(elapsed) + " ms > " +
+        std::to_string(config_->optimize_deadline_ms) + " ms)");
+  }
+  return Status::OK();
+}
+
+}  // namespace taurus

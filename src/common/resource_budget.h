@@ -1,0 +1,70 @@
+#ifndef TAURUS_COMMON_RESOURCE_BUDGET_H_
+#define TAURUS_COMMON_RESOURCE_BUDGET_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace taurus {
+
+/// Limits on what the Orca detour may consume before the engine gives up on
+/// it and falls back to the MySQL path. All limits default to 0 = unlimited;
+/// a production deployment would set them from system variables.
+///
+/// The clock is injectable so deadline behavior is testable without real
+/// sleeps: tests supply a fake that jumps forward on each call.
+struct ResourceBudgetConfig {
+  /// Wall-clock budget for one Orca optimization attempt, in ms.
+  double optimize_deadline_ms = 0.0;
+  /// Cap on memo groups created across a single optimization (including
+  /// nested blocks, which share the group counter).
+  int max_memo_groups = 0;
+  /// Cap on join partition pairs examined during memo exploration.
+  int64_t max_partition_pairs = 0;
+  /// Cap on rows an Orca-produced plan may scan during execution.
+  int64_t max_exec_rows = 0;
+  /// Wall-clock budget for executing an Orca-produced plan, in ms.
+  double exec_deadline_ms = 0.0;
+  /// Monotonic millisecond clock; nullptr uses std::chrono::steady_clock.
+  std::function<double()> clock_ms;
+
+  bool governs_optimize() const {
+    return optimize_deadline_ms > 0 || max_memo_groups > 0 ||
+           max_partition_pairs > 0;
+  }
+  bool governs_exec() const {
+    return max_exec_rows > 0 || exec_deadline_ms > 0;
+  }
+};
+
+/// Per-compile enforcement of a ResourceBudgetConfig. Created on the stack
+/// for each Orca detour (stamping the start time) and threaded down into
+/// the memo search; a nullptr governor means "ungoverned".
+class ResourceGovernor {
+ public:
+  explicit ResourceGovernor(const ResourceBudgetConfig& config);
+
+  /// Current time on the governed timeline, in ms.
+  double NowMs() const;
+
+  /// Charges the current total memo group count against the cap.
+  Status ChargeMemoGroups(int total_groups);
+
+  /// Charges one examined partition pair; every 64th charge also checks
+  /// the deadline so hot search loops pay for at most ~1.5% clock reads.
+  Status ChargePartitionPair();
+
+  Status CheckDeadline();
+
+  static double SteadyNowMs();
+
+ private:
+  const ResourceBudgetConfig* config_;
+  double start_ms_ = 0.0;
+  int64_t pairs_charged_ = 0;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_COMMON_RESOURCE_BUDGET_H_

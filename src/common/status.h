@@ -21,6 +21,7 @@ enum class StatusCode {
   kInvalidArgument,
   kInternal,
   kExecutionError,
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "SyntaxError", ...).
@@ -62,6 +63,9 @@ class Status {
   }
   static Status ExecutionError(std::string msg) {
     return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -24,10 +24,16 @@ double MsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Defense-in-depth recursion cap for AST walks; the parser rejects
+/// nesting beyond its own (smaller) limit, so this is unreachable for any
+/// statement that survived parsing.
+constexpr int kMaxBlockNesting = 64;
+
 /// Visits every query block of a statement (derived bodies, expression
 /// subquery bodies, UNION continuations).
 template <typename Fn>
-void ForEachBlock(QueryBlock* block, const Fn& fn) {
+void ForEachBlock(QueryBlock* block, const Fn& fn, int depth = 0) {
+  if (depth > kMaxBlockNesting) return;
   fn(block);
   std::vector<TableRef*> stack;
   for (auto& t : block->from) stack.push_back(t.get());
@@ -38,7 +44,7 @@ void ForEachBlock(QueryBlock* block, const Fn& fn) {
       stack.push_back(r->left.get());
       stack.push_back(r->right.get());
     } else if (r->kind == TableRef::Kind::kDerived && r->derived != nullptr) {
-      ForEachBlock(r->derived.get(), fn);
+      ForEachBlock(r->derived.get(), fn, depth + 1);
     }
   }
   std::vector<Expr*> roots;
@@ -61,10 +67,10 @@ void ForEachBlock(QueryBlock* block, const Fn& fn) {
   while (!estack.empty()) {
     Expr* e = estack.back();
     estack.pop_back();
-    if (e->subquery) ForEachBlock(e->subquery.get(), fn);
+    if (e->subquery) ForEachBlock(e->subquery.get(), fn, depth + 1);
     for (auto& c : e->children) estack.push_back(c.get());
   }
-  if (block->union_next) ForEachBlock(block->union_next.get(), fn);
+  if (block->union_next) ForEachBlock(block->union_next.get(), fn, depth + 1);
 }
 
 }  // namespace
@@ -222,6 +228,28 @@ std::string Database::MakeCacheKey(const std::string& canonical,
   return key;
 }
 
+bool Database::IsQuarantined(uint64_t fingerprint_hash) const {
+  auto it = quarantine_.find(fingerprint_hash);
+  if (it == quarantine_.end()) return false;
+  const QuarantineEntry& e = it->second;
+  if (e.schema_version != catalog_.schema_version() ||
+      e.stats_version != catalog_.stats_version()) {
+    return false;  // versions moved (DDL/ANALYZE); entry is stale
+  }
+  return e.failures >= quarantine_config_.failure_threshold;
+}
+
+void Database::RecordDetourFailure(uint64_t fingerprint_hash) {
+  QuarantineEntry& e = quarantine_[fingerprint_hash];
+  if (e.schema_version != catalog_.schema_version() ||
+      e.stats_version != catalog_.stats_version()) {
+    e = QuarantineEntry{};
+    e.schema_version = catalog_.schema_version();
+    e.stats_version = catalog_.stats_version();
+  }
+  ++e.failures;
+}
+
 Result<std::unique_ptr<CompiledQuery>> Database::CompileFromCacheEntry(
     const PlanCacheEntry& entry, BoundStatement stmt) {
   // Replay the route's deterministic pre-optimization AST rewrites: the
@@ -259,24 +287,38 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
                           BindStatement(catalog_, std::move(parsed)));
   TAURUS_RETURN_IF_ERROR(PrepareStatement(&stmt, prepare_options_));
 
-  // Skeleton-plan cache: looked up on the normalized statement fingerprint
-  // strictly before the router, so a hit skips routing and both optimizers.
-  std::string cache_key;
+  // The normalized statement fingerprint keys both the plan cache and the
+  // quarantine map.
   uint64_t fingerprint = 0;
+  std::string canonical;
+  bool quarantined = false;
+  if (use_cache || quarantine_config_.enable) {
+    StatementFingerprint fp = FingerprintStatement(stmt);
+    fingerprint = fp.hash;
+    canonical = std::move(fp.canonical);
+    quarantined = path == OptimizerPath::kAuto && quarantine_config_.enable &&
+                  IsQuarantined(fingerprint);
+  }
+
+  // Skeleton-plan cache: looked up strictly before the router, so a hit
+  // skips routing and both optimizers. A quarantined statement refuses a
+  // cached Orca plan; the fresh compile below re-caches it under the same
+  // key as a MySQL-path plan.
+  std::string cache_key;
   if (use_cache) {
     if (plan_cache_.capacity() != plan_cache_config_.capacity) {
       plan_cache_.set_capacity(plan_cache_config_.capacity);
     }
-    StatementFingerprint fp = FingerprintStatement(stmt);
-    fingerprint = fp.hash;
-    cache_key = MakeCacheKey(fp.canonical, path);
+    cache_key = MakeCacheKey(canonical, path);
     const PlanCacheEntry* entry = plan_cache_.Lookup(
         cache_key, catalog_.schema_version(), catalog_.stats_version());
+    if (entry != nullptr && quarantined && entry->used_orca) entry = nullptr;
     if (entry != nullptr) {
       double cold_ms = entry->cold_optimize_ms;
       auto hit = CompileFromCacheEntry(*entry, std::move(stmt));
       if (hit.ok()) {
         (*hit)->plan_cache_hit = true;
+        (*hit)->fingerprint = fingerprint;
         (*hit)->optimize_ms = MsSince(start);
         (*hit)->optimize_saved_ms =
             std::max(cold_ms - (*hit)->optimize_ms, 0.0);
@@ -288,37 +330,97 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
     }
   }
 
+  auto cache_plan = [&](const BlockSkeleton& skel, FrozenBlockSkeleton frozen,
+                        bool used_orca, double cold_ms) {
+    PlanCacheEntry entry;
+    entry.fingerprint = fingerprint;
+    entry.skeleton = std::move(frozen);
+    entry.used_orca = used_orca;
+    entry.via_orca_route = used_orca;
+    entry.est_cost = skel.cost;
+    entry.est_rows = skel.out_rows;
+    entry.cold_optimize_ms = cold_ms;
+    entry.schema_version = catalog_.schema_version();
+    entry.stats_version = catalog_.stats_version();
+    plan_cache_.Insert(cache_key, std::move(entry));
+  };
+
   bool try_orca = path == OptimizerPath::kOrca ||
                   (path == OptimizerPath::kAuto &&
                    ShouldRouteToOrca(stmt, router_config_));
+  bool quarantine_hit = false;
+  if (try_orca && quarantined) {
+    try_orca = false;
+    quarantine_hit = true;
+    ++health_.quarantine_hits;
+  }
 
-  std::unique_ptr<BlockSkeleton> skeleton;
-  bool used_orca = false;
+  Status detour_error;  // stays OK unless the detour fails
   if (try_orca) {
-    OrcaPathOptimizer orca(catalog_, &stmt, &mdp_, orca_config_);
+    ++health_.detours_attempted;
+    ResourceGovernor governor(resource_budget_);
+    OrcaPathOptimizer orca(
+        catalog_, &stmt, &mdp_, orca_config_,
+        resource_budget_.governs_optimize() ? &governor : nullptr);
     auto orca_skel = orca.Optimize();
     if (orca_skel.ok()) {
-      skeleton = std::move(*orca_skel);
-      used_orca = true;
+      std::unique_ptr<BlockSkeleton> skeleton = std::move(*orca_skel);
       last_orca_metrics_ = orca.metrics();
-    } else if (path == OptimizerPath::kOrca) {
-      return orca_skel.status();
+      // Freeze before refinement consumes the statement.
+      FrozenBlockSkeleton frozen;
+      bool cacheable = false;
+      if (use_cache) {
+        auto frozen_or = FreezeSkeleton(*skeleton);
+        if (frozen_or.ok()) {
+          frozen = std::move(*frozen_or);
+          cacheable = true;
+        }
+      }
+      auto refined = RefinePlan(std::move(stmt), *skeleton, catalog_);
+      if (refined.ok()) {
+        auto compiled = std::move(*refined);
+        compiled->used_orca = true;
+        compiled->fingerprint = fingerprint;
+        compiled->optimize_ms = MsSince(start);
+        if (cacheable) {
+          cache_plan(*skeleton, std::move(frozen), /*used_orca=*/true,
+                     compiled->optimize_ms);
+        }
+        return compiled;
+      }
+      detour_error = refined.status();
     } else {
-      // Abort the detour; resort to the usual MySQL optimization
-      // (Section 4.2.1).
-      last_fell_back_ = true;
+      detour_error = orca_skel.status();
     }
-  }
-  if (skeleton == nullptr) {
-    TAURUS_ASSIGN_OR_RETURN(skeleton, MySqlOptimize(catalog_, &stmt));
+
+    // The detour failed. Forced-Orca surfaces the error; the auto route
+    // aborts the detour and resorts to the usual MySQL optimization
+    // (Section 4.2.1).
+    ++health_.detours_failed;
+    if (detour_error.code() == StatusCode::kResourceExhausted) {
+      ++health_.budget_kills;
+    }
+    if (path == OptimizerPath::kOrca) return detour_error;
+    ++health_.fallbacks;
+    last_fell_back_ = true;
+    if (quarantine_config_.enable) RecordDetourFailure(fingerprint);
+    // Clean fallback: the detour may have rewritten the AST (decorrelation,
+    // OR factoring) or consumed it (refinement), so re-parse and re-bind
+    // from the pristine SQL. The MySQL path then sees exactly what it would
+    // have seen without the detour — which also makes the compile cacheable.
+    TAURUS_ASSIGN_OR_RETURN(auto reparsed, ParseSelect(sql));
+    TAURUS_ASSIGN_OR_RETURN(stmt,
+                            BindStatement(catalog_, std::move(reparsed)));
+    TAURUS_RETURN_IF_ERROR(PrepareStatement(&stmt, prepare_options_));
   }
 
-  // Freeze before refinement consumes the statement. A fallback compile is
-  // not cached: the failed detour left the AST partially rewritten, so the
-  // replay on a later hit would not be deterministic.
+  // MySQL path: direct route, quarantine skip, or clean fallback.
+  TAURUS_ASSIGN_OR_RETURN(auto skeleton, MySqlOptimize(catalog_, &stmt));
+
+  // Freeze before refinement consumes the statement.
   FrozenBlockSkeleton frozen;
   bool cacheable = false;
-  if (use_cache && !last_fell_back_) {
+  if (use_cache) {
     auto frozen_or = FreezeSkeleton(*skeleton);
     if (frozen_or.ok()) {
       frozen = std::move(*frozen_or);
@@ -328,21 +430,16 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
 
   TAURUS_ASSIGN_OR_RETURN(auto compiled,
                           RefinePlan(std::move(stmt), *skeleton, catalog_));
-  compiled->used_orca = used_orca;
+  compiled->used_orca = false;
+  compiled->fell_back = last_fell_back_;
+  if (!detour_error.ok()) compiled->fallback_reason = detour_error.ToString();
+  compiled->quarantine_hit = quarantine_hit;
+  compiled->fingerprint = fingerprint;
   compiled->optimize_ms = MsSince(start);
 
   if (cacheable) {
-    PlanCacheEntry entry;
-    entry.fingerprint = fingerprint;
-    entry.skeleton = std::move(frozen);
-    entry.used_orca = used_orca;
-    entry.via_orca_route = try_orca;
-    entry.est_cost = skeleton->cost;
-    entry.est_rows = skeleton->out_rows;
-    entry.cold_optimize_ms = compiled->optimize_ms;
-    entry.schema_version = catalog_.schema_version();
-    entry.stats_version = catalog_.stats_version();
-    plan_cache_.Insert(cache_key, std::move(entry));
+    cache_plan(*skeleton, std::move(frozen), /*used_orca=*/false,
+               compiled->optimize_ms);
   }
   return compiled;
 }
@@ -356,11 +453,49 @@ Result<QueryResult> Database::Query(const std::string& sql,
   out.optimize_ms = compiled->optimize_ms;
   out.plan_cache_hit = compiled->plan_cache_hit;
   out.optimize_saved_ms = compiled->optimize_saved_ms;
+  out.fell_back = compiled->fell_back;
+  out.fallback_reason = compiled->fallback_reason;
+  out.quarantine_hit = compiled->quarantine_hit;
 
   auto start = std::chrono::steady_clock::now();
   ExecContext ctx;
-  TAURUS_ASSIGN_OR_RETURN(out.rows,
-                          ExecuteQuery(compiled.get(), storage_, &ctx));
+  if (compiled->used_orca && resource_budget_.governs_exec()) {
+    // The executor budget governs the detour only; the MySQL path (and any
+    // fallback re-execution below) runs unbudgeted.
+    ctx.max_rows_scanned = resource_budget_.max_exec_rows;
+    if (resource_budget_.exec_deadline_ms > 0) {
+      ctx.clock_ms = resource_budget_.clock_ms
+                         ? resource_budget_.clock_ms
+                         : std::function<double()>(
+                               &ResourceGovernor::SteadyNowMs);
+      ctx.exec_deadline_ms =
+          ctx.clock_ms() + resource_budget_.exec_deadline_ms;
+    }
+  }
+  auto rows = ExecuteQuery(compiled.get(), storage_, &ctx);
+  if (!rows.ok()) {
+    bool budget_kill = compiled->used_orca &&
+                       rows.status().code() == StatusCode::kResourceExhausted;
+    if (!budget_kill || path != OptimizerPath::kAuto) return rows.status();
+    // The executor budget killed an Orca plan mid-execution on the auto
+    // route: recompile through the MySQL path and re-execute unbudgeted.
+    ++health_.exec_budget_kills;
+    ++health_.fallbacks;
+    if (quarantine_config_.enable && compiled->fingerprint != 0) {
+      RecordDetourFailure(compiled->fingerprint);
+    }
+    Status kill = rows.status();
+    TAURUS_ASSIGN_OR_RETURN(compiled, Compile(sql, OptimizerPath::kMySql));
+    out.used_orca = false;
+    out.fell_back = true;
+    out.fallback_reason = kill.ToString();
+    out.plan_cache_hit = compiled->plan_cache_hit;
+    out.optimize_ms += compiled->optimize_ms;
+    ctx = ExecContext{};
+    rows = ExecuteQuery(compiled.get(), storage_, &ctx);
+    if (!rows.ok()) return rows.status();
+  }
+  out.rows = std::move(*rows);
   out.execute_ms = MsSince(start);
   out.rows_scanned = ctx.rows_scanned;
   out.index_lookups = ctx.index_lookups;

@@ -1,13 +1,16 @@
 #ifndef TAURUS_ENGINE_DATABASE_H_
 #define TAURUS_ENGINE_DATABASE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bridge/orca_path.h"
 #include "bridge/router.h"
 #include "catalog/catalog.h"
+#include "common/resource_budget.h"
 #include "common/result.h"
 #include "engine/plan_cache.h"
 #include "exec/physical_plan.h"
@@ -40,6 +43,33 @@ struct QueryResult {
   /// Optimizer time avoided by the cache hit (cold compile time minus this
   /// compile's); 0 on misses.
   double optimize_saved_ms = 0.0;
+  /// True when the Orca detour failed (at compile or under the executor
+  /// budget) and the query was served by the MySQL path instead.
+  bool fell_back = false;
+  /// The detour failure behind `fell_back` ("" otherwise).
+  std::string fallback_reason;
+  /// True when the detour was skipped because the statement is quarantined.
+  bool quarantine_hit = false;
+};
+
+/// Policy for quarantining statements that repeatedly fail the Orca detour:
+/// after `failure_threshold` failures the auto route stops attempting Orca
+/// for that statement fingerprint until a schema/stats version bump (DDL or
+/// ANALYZE), which also invalidates cached plans.
+struct QuarantineConfig {
+  bool enable = true;
+  int failure_threshold = 3;
+};
+
+/// Aggregate fault-containment counters (degradation observability): how
+/// often the detour runs, fails, gets budget-killed, or is skipped.
+struct OptimizerHealth {
+  int64_t detours_attempted = 0;  ///< compiles that entered the Orca detour
+  int64_t detours_failed = 0;     ///< detours that errored (any cause)
+  int64_t fallbacks = 0;          ///< auto-route recoveries via the MySQL path
+  int64_t budget_kills = 0;       ///< detours killed by the optimize budget
+  int64_t exec_budget_kills = 0;  ///< Orca plans killed mid-execution
+  int64_t quarantine_hits = 0;    ///< compiles that skipped Orca (quarantine)
 };
 
 /// The embedded database engine: catalog + storage + both optimizers +
@@ -88,6 +118,8 @@ class Database {
   OrcaConfig& orca_config() { return orca_config_; }
   PrepareOptions& prepare_options() { return prepare_options_; }
   PlanCacheConfig& plan_cache_config() { return plan_cache_config_; }
+  ResourceBudgetConfig& resource_budget() { return resource_budget_; }
+  QuarantineConfig& quarantine_config() { return quarantine_config_; }
 
   /// The skeleton-plan cache (exposed for stats, Clear() and capacity
   /// tuning in tests and benches).
@@ -106,6 +138,16 @@ class Database {
   /// True when the most recent kAuto/kOrca compile fell back to MySQL.
   bool last_compile_fell_back() const { return last_fell_back_; }
 
+  /// Fault-containment counters since construction (or the last reset).
+  const OptimizerHealth& optimizer_health() const { return health_; }
+  void ResetOptimizerHealth() { health_ = OptimizerHealth(); }
+
+  /// True when `fingerprint_hash` has reached the quarantine threshold and
+  /// the catalog versions have not moved since.
+  bool IsQuarantined(uint64_t fingerprint_hash) const;
+  /// Drops all quarantine state (tests; ANALYZE/DDL clear it naturally).
+  void ClearQuarantine() { quarantine_.clear(); }
+
  private:
   /// Compile with the cache consulted (or bypassed, for the recovery path
   /// after a thaw mismatch).
@@ -122,6 +164,16 @@ class Database {
   std::string MakeCacheKey(const std::string& canonical,
                            OptimizerPath path) const;
 
+  /// Counts one detour failure against `fingerprint_hash`; entries reset
+  /// when the catalog versions move (so ANALYZE/DDL clear quarantines).
+  void RecordDetourFailure(uint64_t fingerprint_hash);
+
+  struct QuarantineEntry {
+    int failures = 0;
+    uint64_t schema_version = 0;
+    uint64_t stats_version = 0;
+  };
+
   Catalog catalog_;
   Storage storage_;
   MetadataProvider mdp_;
@@ -130,6 +182,10 @@ class Database {
   PrepareOptions prepare_options_;
   PlanCacheConfig plan_cache_config_;
   PlanCache plan_cache_{PlanCacheConfig().capacity};
+  ResourceBudgetConfig resource_budget_;
+  QuarantineConfig quarantine_config_;
+  std::unordered_map<uint64_t, QuarantineEntry> quarantine_;
+  OptimizerHealth health_;
   OrcaPathMetrics last_orca_metrics_;
   bool last_fell_back_ = false;
 };

@@ -52,6 +52,12 @@ class ExplainRenderer {
                     query_->optimize_saved_ms);
       out += buf;
     }
+    // Degradation markers (own lines, after the optimizer marker).
+    if (query_->quarantine_hit) {
+      out += "orca detour quarantined; used MySQL path\n";
+    } else if (query_->fell_back) {
+      out += "orca detour fell back (" + query_->fallback_reason + ")\n";
+    }
     RenderBlock(*query_->root, 0, &out);
     for (size_t i = 0; i < query_->subplans.size(); ++i) {
       out += "Subquery #" + std::to_string(i + 1) +

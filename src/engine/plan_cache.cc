@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/fault_injector.h"
+
 namespace taurus {
 
 namespace {
@@ -196,11 +198,13 @@ Result<std::unique_ptr<BlockSkeleton>> ThawBlock(
 }  // namespace
 
 Result<FrozenBlockSkeleton> FreezeSkeleton(const BlockSkeleton& skel) {
+  TAURUS_FAULT_POINT("plan_cache.freeze");
   return FreezeBlock(skel);
 }
 
 Result<std::unique_ptr<BlockSkeleton>> ThawSkeleton(
     const FrozenBlockSkeleton& frozen, const BoundStatement& stmt) {
+  TAURUS_FAULT_POINT("plan_cache.thaw");
   return ThawBlock(frozen, stmt.block.get(), stmt);
 }
 

@@ -59,7 +59,7 @@ class TableScanIter : public FrameIter {
     size_t slot = static_cast<size_t>(op_->leaf->ref_id);
     while (pos_ < data_->NumRows()) {
       (*frame)[slot] = &data_->row(pos_++);
-      ++ctx->rows_scanned;
+      TAURUS_RETURN_IF_ERROR(ctx->ChargeScannedRow());
       TAURUS_ASSIGN_OR_RETURN(bool ok,
                               EvalConjuncts(op_->filters, *frame, nullptr, ctx));
       if (ok) return true;
@@ -109,7 +109,7 @@ class IndexRangeIter : public FrameIter {
     const OrderedIndex& index = data_->index(op_->index_id);
     while (pos_ < end_) {
       (*frame)[slot] = &data_->row(index.entry(pos_++).row_id);
-      ++ctx->rows_scanned;
+      TAURUS_RETURN_IF_ERROR(ctx->ChargeScannedRow());
       TAURUS_ASSIGN_OR_RETURN(bool ok,
                               EvalConjuncts(op_->filters, *frame, nullptr, ctx));
       if (ok) return true;
@@ -162,7 +162,7 @@ class IndexLookupIter : public FrameIter {
       const OrderedIndex& index = data_->index(op_->index_id);
       while (pos_ < end_) {
         (*frame)[slot] = &data_->row(index.entry(pos_++).row_id);
-        ++ctx->rows_scanned;
+        TAURUS_RETURN_IF_ERROR(ctx->ChargeScannedRow());
         TAURUS_ASSIGN_OR_RETURN(
             bool ok, EvalConjuncts(op_->filters, *frame, nullptr, ctx));
         if (ok) return true;

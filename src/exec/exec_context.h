@@ -2,10 +2,12 @@
 #define TAURUS_EXEC_EXEC_CONTEXT_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "exec/physical_plan.h"
 #include "storage/storage.h"
 
@@ -30,6 +32,26 @@ struct ExecContext {
   int64_t rows_scanned = 0;    ///< rows produced by table/index scans
   int64_t index_lookups = 0;   ///< "ref" accesses performed
   int64_t rebinds = 0;         ///< correlated re-materializations
+
+  // Resource budget, armed by the engine for Orca-detour plans only (the
+  // MySQL path is never budgeted). 0 = unlimited.
+  int64_t max_rows_scanned = 0;
+  double exec_deadline_ms = 0.0;          ///< absolute, on clock_ms timeline
+  std::function<double()> clock_ms;       ///< set iff exec_deadline_ms > 0
+
+  /// Counts one scanned row against the budget. The deadline is polled
+  /// every 256 rows to keep the clock off the per-row hot path.
+  Status ChargeScannedRow() {
+    ++rows_scanned;
+    if (max_rows_scanned > 0 && rows_scanned > max_rows_scanned) {
+      return Status::ResourceExhausted("executor row budget exceeded");
+    }
+    if (exec_deadline_ms > 0 && (rows_scanned & 255) == 0 && clock_ms &&
+        clock_ms() > exec_deadline_ms) {
+      return Status::ResourceExhausted("executor deadline exceeded");
+    }
+    return Status::OK();
+  }
 };
 
 }  // namespace taurus

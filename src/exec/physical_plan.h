@@ -159,6 +159,17 @@ struct CompiledQuery {
   /// On a cache hit: the cold compile's optimize time minus this compile's,
   /// i.e. the optimizer work the cache avoided. 0 on misses.
   double optimize_saved_ms = 0.0;
+
+  /// True when the Orca detour was attempted and failed, and this plan is
+  /// the clean MySQL-path fallback (Section 4.2.1).
+  bool fell_back = false;
+  /// The detour failure that caused the fallback ("" when !fell_back).
+  std::string fallback_reason;
+  /// True when the detour was skipped because the statement is quarantined
+  /// (it failed the detour too many times since the last version bump).
+  bool quarantine_hit = false;
+  /// Statement fingerprint hash (0 when fingerprinting was skipped).
+  uint64_t fingerprint = 0;
 };
 
 }  // namespace taurus

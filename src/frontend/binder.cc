@@ -55,10 +55,24 @@ class Binder {
   const CteDef* FindCte(const std::string& name, Scope* scope,
                         QueryBlock* current_block);
 
+  // Defense-in-depth against stack overflow: the parser already bounds
+  // nesting, but CTE expansion clones blocks after parsing, so the binder
+  // re-checks with its own (looser) limits.
+  static constexpr int kMaxBlockDepth = 40;
+  static constexpr int kMaxExprDepth = 256;
+
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth(depth) { ++*depth; }
+    ~DepthGuard() { --*depth; }
+    int* depth;
+  };
+
   const Catalog& catalog_;
   int next_ref_id_ = 0;
   int next_block_id_ = 0;
   std::vector<TableRef*> leaves_;
+  int block_depth_ = 0;
+  int expr_depth_ = 0;
 };
 
 const CteDef* Binder::FindCte(const std::string& name, Scope* scope,
@@ -277,6 +291,11 @@ Status Binder::DeriveType(Expr* expr) {
 }
 
 Status Binder::BindExpr(Expr* expr, Scope* scope) {
+  DepthGuard depth(&expr_depth_);
+  if (expr_depth_ > kMaxExprDepth) {
+    return Status::SyntaxError("expression nested too deeply (limit " +
+                               std::to_string(kMaxExprDepth) + ")");
+  }
   if (expr->kind == Expr::Kind::kColumnRef) {
     return ResolveColumn(expr, scope);
   }
@@ -296,6 +315,11 @@ Status Binder::BindExpr(Expr* expr, Scope* scope) {
 }
 
 Status Binder::BindBlock(QueryBlock* block, Scope* parent_scope) {
+  DepthGuard depth(&block_depth_);
+  if (block_depth_ > kMaxBlockDepth) {
+    return Status::SyntaxError("query blocks nested too deeply (limit " +
+                               std::to_string(kMaxBlockDepth) + ")");
+  }
   block->block_id = next_block_id_++;
   Scope scope;
   scope.block = block;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "catalog/histogram.h"
+#include "common/fault_injector.h"
 #include "common/strings.h"
 
 namespace taurus {
@@ -142,6 +143,7 @@ std::string Dbl(double v) {
 
 Result<int64_t> MetadataProvider::RelationOidByName(
     const std::string& name) const {
+  TAURUS_FAULT_POINT("mdp.relation_lookup");
   const TableDef* table = catalog_->GetTable(name);
   if (table == nullptr) {
     return Status::NotFound("metadata provider: no relation " + name);

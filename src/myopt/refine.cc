@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "common/fault_injector.h"
 #include "exec/expr_eval.h"
 #include "parser/ast_util.h"
 
@@ -830,6 +831,7 @@ Result<std::unique_ptr<BlockPlan>> Refiner::RefineBlock(
 Result<std::unique_ptr<CompiledQuery>> RefinePlan(BoundStatement stmt,
                                                   const BlockSkeleton& skel,
                                                   const Catalog& catalog) {
+  TAURUS_FAULT_POINT("myopt.refine");
   auto out = std::make_unique<CompiledQuery>();
   out->num_refs = stmt.num_refs;
   Refiner refiner(out.get(), catalog, stmt.num_refs);

@@ -6,6 +6,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "common/fault_injector.h"
 #include "parser/ast_util.h"
 
 namespace taurus {
@@ -64,12 +65,14 @@ struct GroupState {
 class JoinSearch {
  public:
   JoinSearch(const OrcaConfig& config, StatsProvider* stats, int num_refs,
-             int64_t* partitions, int* groups)
+             int64_t* partitions, int* groups,
+             ResourceGovernor* governor = nullptr)
       : config_(config),
         stats_(stats),
         num_refs_(num_refs),
         partitions_(partitions),
-        groups_(groups) {}
+        groups_(groups),
+        governor_(governor) {}
 
   Status Flatten(OrcaLogicalOp* root);
   Result<std::unique_ptr<OrcaPhysicalOp>> Run();
@@ -102,6 +105,7 @@ class JoinSearch {
   int num_refs_;
   int64_t* partitions_;
   int* groups_;
+  ResourceGovernor* governor_;
 
   std::vector<Unit> units_;
   std::vector<PoolConjunct> pool_;
@@ -295,7 +299,7 @@ Status JoinSearch::SetupUnit(Unit* unit) {
   }
   // Composite unit: optimize its subtree recursively with a fresh search,
   // folding in join-cond pieces that reference only this unit.
-  JoinSearch sub(config_, stats_, num_refs_, partitions_, groups_);
+  JoinSearch sub(config_, stats_, num_refs_, partitions_, groups_, governor_);
   TAURUS_RETURN_IF_ERROR(sub.Flatten(unit->op));
   // Restrict join_conds to subtree-only pieces and push them in.
   for (Expr* jc : unit->join_conds) {
@@ -508,6 +512,9 @@ Status JoinSearch::TryPartition(uint64_t set, uint64_t a, uint64_t b,
 
   ++(*partitions_);
   ++budget_;
+  if (governor_ != nullptr) {
+    TAURUS_RETURN_IF_ERROR(governor_->ChargePartitionPair());
+  }
 
   TAURUS_RETURN_IF_ERROR(OptimizeSet(a));
   TAURUS_RETURN_IF_ERROR(OptimizeSet(b));
@@ -608,7 +615,11 @@ Status JoinSearch::TryPartition(uint64_t set, uint64_t a, uint64_t b,
 }
 
 Status JoinSearch::OptimizeSet(uint64_t set) {
+  TAURUS_FAULT_POINT("orca.memo_explore");
   GroupState& g = GroupOf(set);
+  if (governor_ != nullptr) {
+    TAURUS_RETURN_IF_ERROR(governor_->ChargeMemoGroups(*groups_));
+  }
   if (g.done) return Status::OK();
   g.done = true;  // set first; recursion on subsets only (strictly smaller)
   g.rows = Rows(set);
@@ -674,6 +685,9 @@ Status JoinSearch::OptimizeSet(uint64_t set) {
 
 Status JoinSearch::GreedyPlan(uint64_t set) {
   GroupState& g = GroupOf(set);
+  if (governor_ != nullptr) {
+    TAURUS_RETURN_IF_ERROR(governor_->ChargeMemoGroups(*groups_));
+  }
   if (g.done && g.cost < kInf) return Status::OK();
   g.done = true;
   g.rows = Rows(set);
@@ -827,7 +841,7 @@ Result<std::unique_ptr<OrcaPhysicalOp>> JoinSearch::Run() {
 Result<std::unique_ptr<OrcaPhysicalOp>> OrcaOptimizer::Optimize(
     OrcaLogicalOp* root) {
   JoinSearch search(config_, stats_, num_refs_, &partitions_evaluated_,
-                    &num_groups_);
+                    &num_groups_, governor_);
   TAURUS_RETURN_IF_ERROR(search.Flatten(root));
   return search.Run();
 }

@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "common/resource_budget.h"
 #include "common/result.h"
 #include "myopt/cardinality.h"
 #include "orca/logical.h"
@@ -19,8 +20,15 @@ namespace taurus {
 /// path, an MdpStatsProvider backed by the metadata provider).
 class OrcaOptimizer {
  public:
-  OrcaOptimizer(const OrcaConfig& config, StatsProvider* stats, int num_refs)
-      : config_(config), stats_(stats), num_refs_(num_refs) {}
+  /// `governor`, when non-null, bounds the memo search (group/pair caps and
+  /// the wall-clock deadline); exceeding a limit aborts with
+  /// kResourceExhausted so the caller can fall back.
+  OrcaOptimizer(const OrcaConfig& config, StatsProvider* stats, int num_refs,
+                ResourceGovernor* governor = nullptr)
+      : config_(config),
+        stats_(stats),
+        num_refs_(num_refs),
+        governor_(governor) {}
 
   /// Optimizes one block's logical tree into a physical tree.
   Result<std::unique_ptr<OrcaPhysicalOp>> Optimize(OrcaLogicalOp* root);
@@ -35,6 +43,7 @@ class OrcaOptimizer {
   const OrcaConfig& config_;
   StatsProvider* stats_;
   int num_refs_;
+  ResourceGovernor* governor_;
   int64_t partitions_evaluated_ = 0;
   int num_groups_ = 0;
 };

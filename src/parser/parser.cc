@@ -102,8 +102,22 @@ class Parser {
   Result<std::unique_ptr<Statement>> ParseCreate();
   Result<std::unique_ptr<Statement>> ParseInsert();
 
+  // Recursion-depth limits: the parser is recursive-descent, so deeply
+  // nested input must fail with SyntaxError before it can overflow the
+  // C++ stack (here and in every downstream AST walker).
+  static constexpr int kMaxBlockDepth = 32;
+  static constexpr int kMaxExprDepth = 200;
+
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth(depth) { ++*depth; }
+    ~DepthGuard() { --*depth; }
+    int* depth;
+  };
+
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int block_depth_ = 0;
+  int expr_depth_ = 0;
 };
 
 Result<std::unique_ptr<Statement>> Parser::ParseStatementTop() {
@@ -247,6 +261,11 @@ Result<std::unique_ptr<Statement>> Parser::ParseInsert() {
 }
 
 Result<std::unique_ptr<QueryBlock>> Parser::ParseQueryExpr() {
+  DepthGuard depth(&block_depth_);
+  if (block_depth_ > kMaxBlockDepth) {
+    return Status::SyntaxError("query blocks nested too deeply (limit " +
+                               std::to_string(kMaxBlockDepth) + ")");
+  }
   std::vector<CteDef> ctes;
   if (AcceptKeyword("with")) {
     if (PeekIsKeyword("recursive")) {
@@ -494,6 +513,11 @@ Result<std::unique_ptr<TableRef>> Parser::ParseTablePrimary() {
 }
 
 Result<std::unique_ptr<Expr>> Parser::ParseOr() {
+  DepthGuard depth(&expr_depth_);
+  if (expr_depth_ > kMaxExprDepth) {
+    return Status::SyntaxError("expression nested too deeply (limit " +
+                               std::to_string(kMaxExprDepth) + ")");
+  }
   TAURUS_ASSIGN_OR_RETURN(auto left, ParseAnd());
   while (AcceptKeyword("or")) {
     TAURUS_ASSIGN_OR_RETURN(auto right, ParseAnd());
@@ -512,6 +536,11 @@ Result<std::unique_ptr<Expr>> Parser::ParseAnd() {
 }
 
 Result<std::unique_ptr<Expr>> Parser::ParseNot() {
+  DepthGuard depth(&expr_depth_);
+  if (expr_depth_ > kMaxExprDepth) {
+    return Status::SyntaxError("expression nested too deeply (limit " +
+                               std::to_string(kMaxExprDepth) + ")");
+  }
   if (AcceptKeyword("not")) {
     TAURUS_ASSIGN_OR_RETURN(auto operand, ParseNot());
     return MakeUnary(UnaryOp::kNot, std::move(operand));
@@ -651,6 +680,11 @@ Result<std::unique_ptr<Expr>> Parser::ParseMultiplicative() {
 }
 
 Result<std::unique_ptr<Expr>> Parser::ParseUnary() {
+  DepthGuard depth(&expr_depth_);
+  if (expr_depth_ > kMaxExprDepth) {
+    return Status::SyntaxError("expression nested too deeply (limit " +
+                               std::to_string(kMaxExprDepth) + ")");
+  }
   if (AcceptSymbol("-")) {
     TAURUS_ASSIGN_OR_RETURN(auto operand, ParseUnary());
     return MakeUnary(UnaryOp::kNeg, std::move(operand));

@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "engine/database.h"
+#include "workloads/tpch.h"
+
+namespace taurus {
+namespace {
+
+void SortRows(std::vector<Row>* rows) {
+  std::sort(rows->begin(), rows->end(), [](const Row& a, const Row& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      int c = Value::Compare(a[i], b[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+}
+
+std::string RowsText(std::vector<Row> rows) {
+  SortRows(&rows);
+  std::string out;
+  for (const Row& r : rows) out += RowToString(r) + "\n";
+  return out;
+}
+
+/// TPC-H at a tiny scale with the routing threshold lowered so every join
+/// query takes the Orca detour on the auto route. Each test starts from a
+/// clean engine: no armed faults, default budgets, empty quarantine and
+/// plan cache, zeroed health counters.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    ASSERT_TRUE(SetupTpch(db_, 0.001).ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  void SetUp() override { ResetEngine(); }
+  void TearDown() override { FaultInjector::Instance().DisarmAll(); }
+
+  static void ResetEngine() {
+    FaultInjector::Instance().DisarmAll();
+    db_->resource_budget() = ResourceBudgetConfig();
+    db_->quarantine_config() = QuarantineConfig();
+    db_->ClearQuarantine();
+    db_->ResetOptimizerHealth();
+    db_->plan_cache_config() = PlanCacheConfig();
+    db_->plan_cache().Clear();
+    db_->router_config() = RouterConfig();
+    db_->router_config().complex_query_threshold = 1;
+  }
+
+  static std::string Q(int n) { return TpchQueries()[static_cast<size_t>(n - 1)]; }
+
+  static Database* db_;
+};
+
+Database* FaultInjectionTest::db_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// (a) Every named fault point, tripped on the auto route, must produce a
+// successful query whose rows match the MySQL-path baseline.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, EveryFaultPointFallsBackCleanlyOnAutoRoute) {
+  struct PointCase {
+    const char* point;
+    int query;             // TPC-H query number
+    bool expect_fallback;  // freeze failure only makes the plan uncacheable
+  };
+  const PointCase kCases[] = {
+      {"bridge.decorrelate", 17, true},
+      {"bridge.parse_tree_convert", 3, true},
+      {"mdp.relation_lookup", 3, true},
+      {"orca.memo_explore", 3, true},
+      {"bridge.plan_convert", 3, true},
+      {"plan_cache.freeze", 3, false},
+      {"myopt.refine", 3, true},
+  };
+  FaultInjector& injector = FaultInjector::Instance();
+  for (const PointCase& c : kCases) {
+    SCOPED_TRACE(c.point);
+    ResetEngine();
+    const std::string sql = Q(c.query);
+
+    auto baseline = db_->Query(sql, OptimizerPath::kMySql);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+    // count=1: the single firing lands on the detour; the fallback's own
+    // traversal of the same point (e.g. refine, freeze) must succeed.
+    injector.ArmCount(c.point, 1);
+    auto res = db_->Query(sql, OptimizerPath::kAuto);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_EQ(injector.trips(c.point), 1) << "fault point never reached";
+    EXPECT_EQ(RowsText(res->rows), RowsText(baseline->rows));
+    EXPECT_EQ(res->fell_back, c.expect_fallback);
+    EXPECT_EQ(db_->last_compile_fell_back(), c.expect_fallback);
+    if (c.expect_fallback) {
+      EXPECT_FALSE(res->used_orca);
+      EXPECT_NE(res->fallback_reason.find("injected fault"), std::string::npos)
+          << res->fallback_reason;
+      EXPECT_EQ(db_->optimizer_health().detours_failed, 1);
+      EXPECT_EQ(db_->optimizer_health().fallbacks, 1);
+    } else {
+      // Freeze failed after a successful detour: the plan simply is not
+      // cached, the query still runs on the Orca plan.
+      EXPECT_TRUE(res->used_orca);
+    }
+    injector.Disarm(c.point);
+  }
+}
+
+TEST_F(FaultInjectionTest, ThawFaultFallsBackToFreshCompile) {
+  const std::string sql = Q(3);
+  auto cold = db_->Query(sql, OptimizerPath::kAuto);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(cold->used_orca);
+  auto warm = db_->Query(sql, OptimizerPath::kAuto);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->plan_cache_hit);
+
+  FaultInjector::Instance().ArmCount("plan_cache.thaw", 1);
+  auto res = db_->Query(sql, OptimizerPath::kAuto);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(FaultInjector::Instance().trips("plan_cache.thaw"), 1);
+  EXPECT_FALSE(res->plan_cache_hit);  // recompiled with the cache bypassed
+  EXPECT_TRUE(res->used_orca);
+  EXPECT_EQ(RowsText(res->rows), RowsText(cold->rows));
+}
+
+TEST_F(FaultInjectionTest, ExplainMarksFallback) {
+  db_->plan_cache_config().enable = false;
+  FaultInjector::Instance().ArmCount("bridge.parse_tree_convert", 1);
+  auto text = db_->Explain(Q(3), OptimizerPath::kAuto);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("orca detour fell back"), std::string::npos) << *text;
+}
+
+// ---------------------------------------------------------------------------
+// (b) Forced-Orca surfaces the injected error instead of falling back.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, ForcedOrcaSurfacesInjectedErrors) {
+  const char* kDetourPoints[] = {
+      "bridge.decorrelate",  "bridge.parse_tree_convert",
+      "mdp.relation_lookup", "orca.memo_explore",
+      "bridge.plan_convert", "myopt.refine",
+  };
+  for (const char* point : kDetourPoints) {
+    SCOPED_TRACE(point);
+    ResetEngine();
+    FaultInjector::Instance().ArmCount(point, 1);
+    auto res = db_->Query(Q(3), OptimizerPath::kOrca);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.status().code(), StatusCode::kInternal);
+    EXPECT_NE(res.status().message().find("injected fault"),
+              std::string::npos);
+    FaultInjector::Instance().Disarm(point);
+  }
+}
+
+TEST_F(FaultInjectionTest, ProbabilityModeIsSeededAndDeterministic) {
+  FaultInjector& injector = FaultInjector::Instance();
+  auto run_sequence = [&]() {
+    injector.ArmProbability("bridge.parse_tree_convert", 0.5, 42);
+    std::string outcomes;
+    for (int i = 0; i < 16; ++i) {
+      outcomes +=
+          CheckFaultPoint("bridge.parse_tree_convert").ok() ? '.' : 'X';
+    }
+    injector.Disarm("bridge.parse_tree_convert");
+    return outcomes;
+  };
+  std::string first = run_sequence();
+  EXPECT_NE(first.find('X'), std::string::npos);
+  EXPECT_NE(first.find('.'), std::string::npos);
+  EXPECT_EQ(first, run_sequence());  // same seed, same decision stream
+}
+
+// ---------------------------------------------------------------------------
+// (c) Quarantine: N detour failures park the statement on the MySQL path
+// until a stats/schema version bump (ANALYZE / DDL).
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, QuarantineEngagesAfterNFailuresAndClearsOnAnalyze) {
+  db_->plan_cache_config().enable = false;  // observe every compile
+  const int threshold = db_->quarantine_config().failure_threshold;
+  ASSERT_EQ(threshold, 3);
+  const std::string sql = Q(3);
+
+  auto baseline = db_->Query(sql, OptimizerPath::kMySql);
+  ASSERT_TRUE(baseline.ok());
+
+  FaultInjector::Instance().ArmCount("bridge.parse_tree_convert", 1000000);
+  for (int i = 0; i < threshold; ++i) {
+    auto res = db_->Query(sql, OptimizerPath::kAuto);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_TRUE(res->fell_back);
+    EXPECT_EQ(RowsText(res->rows), RowsText(baseline->rows));
+  }
+  EXPECT_EQ(db_->optimizer_health().detours_attempted, threshold);
+
+  // Threshold reached: the detour is skipped without being attempted.
+  auto skipped = db_->Query(sql, OptimizerPath::kAuto);
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_TRUE(skipped->quarantine_hit);
+  EXPECT_FALSE(skipped->fell_back);
+  EXPECT_FALSE(skipped->used_orca);
+  EXPECT_EQ(db_->optimizer_health().detours_attempted, threshold);
+  EXPECT_EQ(db_->optimizer_health().quarantine_hits, 1);
+  EXPECT_EQ(RowsText(skipped->rows), RowsText(baseline->rows));
+
+  auto text = db_->Explain(sql, OptimizerPath::kAuto);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("orca detour quarantined"), std::string::npos);
+
+  // Still quarantined even after the fault is gone...
+  FaultInjector::Instance().DisarmAll();
+  auto still = db_->Query(sql, OptimizerPath::kAuto);
+  ASSERT_TRUE(still.ok());
+  EXPECT_TRUE(still->quarantine_hit);
+
+  // ...until ANALYZE moves the stats version.
+  ASSERT_TRUE(db_->Analyze("lineitem").ok());
+  auto healed = db_->Query(sql, OptimizerPath::kAuto);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_FALSE(healed->quarantine_hit);
+  EXPECT_TRUE(healed->used_orca);
+  EXPECT_EQ(RowsText(healed->rows), RowsText(baseline->rows));
+}
+
+TEST_F(FaultInjectionTest, FallbackCompilesAreCached) {
+  // The clean re-parse fallback makes fallback compiles cacheable: the
+  // second execution must hit the cache and stay on the MySQL-path plan.
+  const std::string sql = Q(3);
+  auto baseline = db_->Query(sql, OptimizerPath::kMySql);
+  ASSERT_TRUE(baseline.ok());
+
+  FaultInjector::Instance().ArmCount("bridge.parse_tree_convert", 1);
+  auto cold = db_->Query(sql, OptimizerPath::kAuto);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(cold->fell_back);
+
+  FaultInjector::Instance().DisarmAll();
+  auto warm = db_->Query(sql, OptimizerPath::kAuto);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->plan_cache_hit);
+  EXPECT_FALSE(warm->used_orca);  // served the cached fallback plan
+  EXPECT_EQ(RowsText(warm->rows), RowsText(baseline->rows));
+}
+
+// ---------------------------------------------------------------------------
+// Resource governor: budget violations abort Orca mid-search and fall back.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, MemoGroupBudgetAbortsSearchAndFallsBack) {
+  const std::string sql = Q(5);  // 6-way join: plenty of memo groups
+  auto baseline = db_->Query(sql, OptimizerPath::kMySql);
+  ASSERT_TRUE(baseline.ok());
+
+  db_->resource_budget().max_memo_groups = 2;
+  auto res = db_->Query(sql, OptimizerPath::kAuto);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->fell_back);
+  EXPECT_FALSE(res->used_orca);
+  EXPECT_NE(res->fallback_reason.find("memo group budget"), std::string::npos)
+      << res->fallback_reason;
+  EXPECT_EQ(db_->optimizer_health().budget_kills, 1);
+  EXPECT_EQ(RowsText(res->rows), RowsText(baseline->rows));
+
+  auto forced = db_->Query(sql, OptimizerPath::kOrca);
+  ASSERT_FALSE(forced.ok());
+  EXPECT_EQ(forced.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FaultInjectionTest, PartitionPairBudgetAbortsSearchAndFallsBack) {
+  const std::string sql = Q(5);
+  auto baseline = db_->Query(sql, OptimizerPath::kMySql);
+  ASSERT_TRUE(baseline.ok());
+
+  db_->resource_budget().max_partition_pairs = 1;
+  auto res = db_->Query(sql, OptimizerPath::kAuto);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->fell_back);
+  EXPECT_NE(res->fallback_reason.find("partition pair budget"),
+            std::string::npos);
+  EXPECT_EQ(db_->optimizer_health().budget_kills, 1);
+  EXPECT_EQ(RowsText(res->rows), RowsText(baseline->rows));
+}
+
+TEST_F(FaultInjectionTest, OptimizeDeadlineWithInjectedClock) {
+  const std::string sql = Q(5);
+  auto baseline = db_->Query(sql, OptimizerPath::kMySql);
+  ASSERT_TRUE(baseline.ok());
+
+  // Fake clock: jumps 100 ms per reading, so the 50 ms deadline trips on
+  // the first check after the governor stamps its start time.
+  auto ticks = std::make_shared<double>(0.0);
+  db_->resource_budget().clock_ms = [ticks]() { return *ticks += 100.0; };
+  db_->resource_budget().optimize_deadline_ms = 50.0;
+
+  auto res = db_->Query(sql, OptimizerPath::kAuto);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->fell_back);
+  EXPECT_NE(res->fallback_reason.find("deadline"), std::string::npos);
+  EXPECT_EQ(db_->optimizer_health().budget_kills, 1);
+  EXPECT_EQ(RowsText(res->rows), RowsText(baseline->rows));
+
+  auto forced = db_->Query(sql, OptimizerPath::kOrca);
+  ASSERT_FALSE(forced.ok());
+  EXPECT_EQ(forced.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Executor budget: an Orca plan killed mid-execution on the auto route is
+// transparently re-run through the MySQL path.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, ExecRowBudgetKillsOrcaPlanAndReRunsViaMySql) {
+  db_->plan_cache_config().enable = false;
+  const std::string sql = Q(3);
+  auto baseline = db_->Query(sql, OptimizerPath::kMySql);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_GT(baseline->rows_scanned, 5);  // MySQL path runs unbudgeted
+
+  db_->resource_budget().max_exec_rows = 5;
+  auto res = db_->Query(sql, OptimizerPath::kAuto);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->fell_back);
+  EXPECT_FALSE(res->used_orca);
+  EXPECT_NE(res->fallback_reason.find("row budget"), std::string::npos);
+  EXPECT_EQ(db_->optimizer_health().exec_budget_kills, 1);
+  EXPECT_EQ(RowsText(res->rows), RowsText(baseline->rows));
+
+  auto forced = db_->Query(sql, OptimizerPath::kOrca);
+  ASSERT_FALSE(forced.ok());
+  EXPECT_EQ(forced.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FaultInjectionTest, ExecDeadlineWithInjectedClock) {
+  db_->plan_cache_config().enable = false;
+  const std::string sql = Q(3);
+  auto baseline = db_->Query(sql, OptimizerPath::kMySql);
+  ASSERT_TRUE(baseline.ok());
+
+  auto ticks = std::make_shared<double>(0.0);
+  db_->resource_budget().clock_ms = [ticks]() { return *ticks += 50.0; };
+  db_->resource_budget().exec_deadline_ms = 10.0;
+
+  auto res = db_->Query(sql, OptimizerPath::kAuto);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->fell_back);
+  EXPECT_NE(res->fallback_reason.find("deadline"), std::string::npos);
+  EXPECT_EQ(db_->optimizer_health().exec_budget_kills, 1);
+  EXPECT_EQ(RowsText(res->rows), RowsText(baseline->rows));
+}
+
+TEST_F(FaultInjectionTest, MySqlPathIsNeverBudgeted) {
+  db_->resource_budget().max_exec_rows = 5;
+  db_->resource_budget().max_memo_groups = 1;
+  auto res = db_->Query(Q(3), OptimizerPath::kMySql);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_FALSE(res->fell_back);
+  EXPECT_GT(res->rows_scanned, 5);
+}
+
+}  // namespace
+}  // namespace taurus

@@ -12,10 +12,8 @@ namespace {
 /// small star schema, the MySQL path and the Orca detour must return the
 /// same multiset of rows — the reproduction's central invariant, probed
 /// far beyond the hand-written workloads.
-class FuzzPathsTest : public ::testing::TestWithParam<int> {
- protected:
-  static Database* db() {
-    static Database* instance = [] {
+Database* FuzzDb() {
+  static Database* instance = [] {
       auto* d = new Database();
       auto ok = [](const Status& st) {
         if (!st.ok()) std::abort();
@@ -58,8 +56,12 @@ class FuzzPathsTest : public ::testing::TestWithParam<int> {
       ok(d->AnalyzeAll());
       return d;
     }();
-    return instance;
-  }
+  return instance;
+}
+
+class FuzzPathsTest : public ::testing::TestWithParam<int> {
+ protected:
+  static Database* db() { return FuzzDb(); }
 
   /// Deterministically generates one SQL query from the seed.
   static std::string GenerateQuery(uint64_t seed) {
@@ -166,6 +168,80 @@ TEST_P(FuzzPathsTest, PathsAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPathsTest, ::testing::Range(0, 120));
+
+/// Adversarially deep inputs: the parser/binder depth guards must reject
+/// them with SyntaxError instead of overflowing the stack, while moderate
+/// nesting keeps working on both paths.
+class DeepNestingTest : public ::testing::Test {
+ protected:
+  static Database* db() { return FuzzDb(); }
+
+  static std::string NestedDerived(int depth) {
+    std::string sql = "SELECT f_id, f_v FROM fact WHERE f_id < 5";
+    for (int i = 0; i < depth; ++i) {
+      sql = "SELECT f_id, f_v FROM (" + sql + ") d" + std::to_string(i);
+    }
+    return sql;
+  }
+
+  static std::string NestedScalarSubquery(int depth) {
+    std::string sql = "SELECT MAX(f_id) FROM fact";
+    for (int i = 0; i < depth; ++i) {
+      sql = "SELECT (" + sql + ") FROM fact WHERE f_id = 1";
+    }
+    return sql;
+  }
+
+  static void ExpectSyntaxError(const std::string& sql) {
+    auto res = db()->Query(sql);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.status().code(), StatusCode::kSyntaxError)
+        << res.status().ToString();
+  }
+};
+
+TEST_F(DeepNestingTest, DeepDerivedTablesRejectedModerateOnesWork) {
+  auto mysql = db()->Query(NestedDerived(8),
+                                          OptimizerPath::kMySql);
+  ASSERT_TRUE(mysql.ok()) << mysql.status().ToString();
+  auto auto_path = db()->Query(NestedDerived(8));
+  ASSERT_TRUE(auto_path.ok()) << auto_path.status().ToString();
+  EXPECT_EQ(mysql->rows.size(), auto_path->rows.size());
+
+  ExpectSyntaxError(NestedDerived(100));
+  ExpectSyntaxError(NestedDerived(1000));  // must not smash the stack
+}
+
+TEST_F(DeepNestingTest, DeepScalarSubqueriesRejected) {
+  auto shallow = db()->Query(NestedScalarSubquery(4));
+  ASSERT_TRUE(shallow.ok()) << shallow.status().ToString();
+  ASSERT_EQ(shallow->rows.size(), 1u);
+
+  ExpectSyntaxError(NestedScalarSubquery(100));
+}
+
+TEST_F(DeepNestingTest, DeepParenthesesRejected) {
+  auto paren_expr = [](int depth) {
+    return "SELECT f_id FROM fact WHERE f_id = " + std::string(depth, '(') +
+           "1" + std::string(depth, ')');
+  };
+  auto shallow = db()->Query(paren_expr(50));
+  ASSERT_TRUE(shallow.ok()) << shallow.status().ToString();
+
+  ExpectSyntaxError(paren_expr(1000));
+}
+
+TEST_F(DeepNestingTest, DeepNotChainsRejected) {
+  auto not_chain = [](int depth) {
+    std::string sql = "SELECT f_id FROM fact WHERE ";
+    for (int i = 0; i < depth; ++i) sql += "NOT ";
+    return sql + "f_id > 1990";
+  };
+  auto shallow = db()->Query(not_chain(8));
+  ASSERT_TRUE(shallow.ok()) << shallow.status().ToString();
+
+  ExpectSyntaxError(not_chain(500));
+}
 
 }  // namespace
 }  // namespace taurus
