@@ -57,6 +57,46 @@ inline double ArgScale(int argc, char** argv, double def) {
   return def;
 }
 
+/// argv helper: bare boolean flag (e.g. --json).
+inline bool ArgFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == name) return true;
+  }
+  return false;
+}
+
+/// argv helper: --<prefix><int64> with a default (prefix includes the '=').
+inline long long ArgInt(int argc, char** argv, const char* prefix,
+                        long long def) {
+  const size_t n = std::string(prefix).size();
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return std::atoll(a.c_str() + n);
+  }
+  return def;
+}
+
+/// Machine-readable results sink for the --json flag: writes
+/// BENCH_<name>.json (flat name -> number map) to the working directory so
+/// CI jobs can trend bench output without scraping stdout.
+inline void WriteBenchJson(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  const std::string path = "BENCH_" + name + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\"", name.c_str());
+  for (const auto& m : metrics) {
+    std::fprintf(f, ",\n  \"%s\": %.6f", m.first.c_str(), m.second);
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 inline void PrintHeader(const char* title) {
   std::printf("\n============================================================\n");
   std::printf("%s\n", title);

@@ -3,10 +3,11 @@
 # Exits nonzero on the first failing step.
 #
 # Usage: scripts/check.sh [build-dir]
-#   TAURUS_SANITIZE=address|undefined scripts/check.sh
+#   TAURUS_SANITIZE=address|undefined|thread scripts/check.sh
 #     opt-in sanitizer mode: builds with -fsanitize=<value> in its own
-#     build dir (build-asan / build-ubsan / build-san) and runs the suite
-#     under the sanitizer.
+#     build dir (build-asan / build-ubsan / build-tsan / build-san) and
+#     runs the suite under the sanitizer. The thread leg exercises the
+#     morsel-driven parallel executor's concurrency.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -16,12 +17,15 @@ if [[ -n "${TAURUS_SANITIZE:-}" ]]; then
   case "$TAURUS_SANITIZE" in
     address) default_dir="$repo_root/build-asan" ;;
     undefined) default_dir="$repo_root/build-ubsan" ;;
+    thread) default_dir="$repo_root/build-tsan" ;;
     *) default_dir="$repo_root/build-san" ;;
   esac
   build_dir="${1:-$default_dir}"
   cmake_flags+=("-DTAURUS_SANITIZE=$TAURUS_SANITIZE")
   # Halt on the first UBSan report instead of printing and continuing.
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+  # TSan exits nonzero on any report; second_deadlock_stack aids triage.
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 else
   build_dir="${1:-$repo_root/build}"
 fi

@@ -1,0 +1,71 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace taurus {
+
+ThreadPool::ThreadPool(int workers) {
+  int n = std::max(1, workers);
+  threads_.reserve(static_cast<size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int ThreadPool::HardwareWorkers() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+bool ThreadPool::TryRun(int n, const std::function<void(int)>& fn) {
+  n = std::min(n, size());
+  if (n <= 0) return false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (busy_) return false;  // reentrant use; caller runs serially
+    busy_ = true;
+    task_ = &fn;
+    task_width_ = n;
+    remaining_ = n;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    task_ = nullptr;
+    busy_ = false;
+  }
+  return true;
+}
+
+void ThreadPool::WorkerLoop(int worker_id) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      if (worker_id >= task_width_) continue;  // not part of this batch
+      task = task_;
+    }
+    (*task)(worker_id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace taurus

@@ -1,0 +1,60 @@
+#ifndef TAURUS_COMMON_THREAD_POOL_H_
+#define TAURUS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace taurus {
+
+/// A fixed-size worker pool for morsel-driven pipeline execution. Threads
+/// are started once and reused across queries; the pool runs one batch of
+/// tasks at a time (`TryRun`), which is all the executor needs: a pipeline
+/// fans out to `n` workers, joins, and the next pipeline reuses the pool.
+///
+/// Concurrency contract (kept deliberately small so TSan can certify it):
+///  - TryRun publishes the task before waking workers (mutex-protected
+///    generation bump), so everything written by the caller before TryRun
+///    happens-before the task body on each worker.
+///  - TryRun returns only after every worker has finished, so everything a
+///    task wrote happens-before the caller's reads after TryRun.
+class ThreadPool {
+ public:
+  /// Starts `workers` (>= 1) threads.
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs `fn(w)` for w in [0, n) across the pool (n is clamped to size())
+  /// and blocks until all invocations return. Returns false without running
+  /// anything if a batch is already in flight — i.e. a task tried to use the
+  /// pool reentrantly; the caller then falls back to its serial path.
+  bool TryRun(int n, const std::function<void(int)>& fn);
+
+  /// hardware_concurrency with a floor of 1 (the standard allows 0).
+  static int HardwareWorkers();
+
+ private:
+  void WorkerLoop(int worker_id);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< signals workers: new generation
+  std::condition_variable done_cv_;   ///< signals TryRun: batch finished
+  const std::function<void(int)>* task_ = nullptr;  ///< current batch body
+  int task_width_ = 0;       ///< workers participating in current batch
+  int remaining_ = 0;        ///< workers not yet finished with the batch
+  uint64_t generation_ = 0;  ///< bumped per batch; workers wait on it
+  bool busy_ = false;        ///< a batch is in flight (reentrancy guard)
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_COMMON_THREAD_POOL_H_

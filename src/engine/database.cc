@@ -459,20 +459,12 @@ Result<QueryResult> Database::Query(const std::string& sql,
 
   auto start = std::chrono::steady_clock::now();
   ExecContext ctx;
-  if (compiled->used_orca && resource_budget_.governs_exec()) {
-    // The executor budget governs the detour only; the MySQL path (and any
-    // fallback re-execution below) runs unbudgeted.
-    ctx.max_rows_scanned = resource_budget_.max_exec_rows;
-    if (resource_budget_.exec_deadline_ms > 0) {
-      ctx.clock_ms = resource_budget_.clock_ms
-                         ? resource_budget_.clock_ms
-                         : std::function<double()>(
-                               &ResourceGovernor::SteadyNowMs);
-      ctx.exec_deadline_ms =
-          ctx.clock_ms() + resource_budget_.exec_deadline_ms;
-    }
-  }
+  ArmExecContext(&ctx, compiled->used_orca);
+  ExecContext* final_ctx = &ctx;
   auto rows = ExecuteQuery(compiled.get(), storage_, &ctx);
+  ExecContext retry_ctx;  // ExecContext is non-copyable (shared atomic
+                          // budget counter), so the fallback re-execution
+                          // gets its own context.
   if (!rows.ok()) {
     bool budget_kill = compiled->used_orca &&
                        rows.status().code() == StatusCode::kResourceExhausted;
@@ -491,16 +483,46 @@ Result<QueryResult> Database::Query(const std::string& sql,
     out.fallback_reason = kill.ToString();
     out.plan_cache_hit = compiled->plan_cache_hit;
     out.optimize_ms += compiled->optimize_ms;
-    ctx = ExecContext{};
-    rows = ExecuteQuery(compiled.get(), storage_, &ctx);
+    ArmExecContext(&retry_ctx, /*used_orca=*/false);
+    rows = ExecuteQuery(compiled.get(), storage_, &retry_ctx);
+    final_ctx = &retry_ctx;
     if (!rows.ok()) return rows.status();
   }
   out.rows = std::move(*rows);
   out.execute_ms = MsSince(start);
-  out.rows_scanned = ctx.rows_scanned;
-  out.index_lookups = ctx.index_lookups;
-  out.rebinds = ctx.rebinds;
+  out.rows_scanned = final_ctx->rows_scanned;
+  out.index_lookups = final_ctx->index_lookups;
+  out.rebinds = final_ctx->rebinds;
+  out.parallel_workers_used = final_ctx->max_workers_used;
+  out.parallel_pipelines = final_ctx->parallel_pipelines;
   return out;
+}
+
+void Database::ArmExecContext(ExecContext* ctx, bool used_orca) {
+  if (used_orca && resource_budget_.governs_exec()) {
+    // The executor budget governs the detour only; the MySQL path (and any
+    // fallback re-execution) runs unbudgeted.
+    ctx->max_rows_scanned = resource_budget_.max_exec_rows;
+    if (resource_budget_.exec_deadline_ms > 0) {
+      ctx->clock_ms = resource_budget_.clock_ms
+                          ? resource_budget_.clock_ms
+                          : std::function<double()>(
+                                &ResourceGovernor::SteadyNowMs);
+      ctx->exec_deadline_ms =
+          ctx->clock_ms() + resource_budget_.exec_deadline_ms;
+    }
+  }
+  int workers = exec_config_.parallel_workers;
+  if (workers <= 0) workers = ThreadPool::HardwareWorkers();
+  ctx->parallel_workers = workers;
+  ctx->morsel_rows = std::max<int64_t>(1, exec_config_.morsel_rows);
+  ctx->parallel_min_driver_rows = exec_config_.parallel_min_driver_rows;
+  if (workers > 1) {
+    if (pool_ == nullptr || pool_->size() != workers) {
+      pool_ = std::make_unique<ThreadPool>(workers);
+    }
+    ctx->pool = pool_.get();
+  }
 }
 
 Result<std::string> Database::Explain(const std::string& sql,

@@ -12,7 +12,9 @@
 #include "catalog/catalog.h"
 #include "common/resource_budget.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "engine/plan_cache.h"
+#include "exec/exec_context.h"
 #include "exec/physical_plan.h"
 #include "frontend/prepare.h"
 #include "mdp/provider.h"
@@ -50,6 +52,23 @@ struct QueryResult {
   std::string fallback_reason;
   /// True when the detour was skipped because the statement is quarantined.
   bool quarantine_hit = false;
+  /// Widest worker count any pipeline of this query actually used
+  /// (1 = everything ran serial).
+  int parallel_workers_used = 1;
+  /// How many pipelines ran through the morsel-driven parallel executor.
+  int parallel_pipelines = 0;
+};
+
+/// Morsel-driven parallel executor knobs (see DESIGN.md section 8).
+struct ExecutorConfig {
+  /// Worker threads for eligible pipelines; 0 = hardware_concurrency,
+  /// 1 = exactly today's serial executor.
+  int parallel_workers = 0;
+  /// Rows per morsel carved from the driving table scan.
+  int64_t morsel_rows = 2048;
+  /// Pipelines whose driving table has fewer rows stay serial, so short
+  /// OLTP-style queries never pay pool hand-off overhead.
+  int64_t parallel_min_driver_rows = 32768;
 };
 
 /// Policy for quarantining statements that repeatedly fail the Orca detour:
@@ -120,6 +139,7 @@ class Database {
   PlanCacheConfig& plan_cache_config() { return plan_cache_config_; }
   ResourceBudgetConfig& resource_budget() { return resource_budget_; }
   QuarantineConfig& quarantine_config() { return quarantine_config_; }
+  ExecutorConfig& exec_config() { return exec_config_; }
 
   /// The skeleton-plan cache (exposed for stats, Clear() and capacity
   /// tuning in tests and benches).
@@ -168,6 +188,11 @@ class Database {
   /// when the catalog versions move (so ANALYZE/DDL clear quarantines).
   void RecordDetourFailure(uint64_t fingerprint_hash);
 
+  /// Arms `ctx` for one execution attempt: the exec resource budget (Orca
+  /// detour plans only) plus the parallel-executor knobs and worker pool
+  /// (created lazily, resized when the knob changes).
+  void ArmExecContext(ExecContext* ctx, bool used_orca);
+
   struct QuarantineEntry {
     int failures = 0;
     uint64_t schema_version = 0;
@@ -184,6 +209,8 @@ class Database {
   PlanCache plan_cache_{PlanCacheConfig().capacity};
   ResourceBudgetConfig resource_budget_;
   QuarantineConfig quarantine_config_;
+  ExecutorConfig exec_config_;
+  std::unique_ptr<ThreadPool> pool_;
   std::unordered_map<uint64_t, QuarantineEntry> quarantine_;
   OptimizerHealth health_;
   OrcaPathMetrics last_orca_metrics_;

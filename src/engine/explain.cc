@@ -278,7 +278,15 @@ class ExplainRenderer {
       ++indent;
     }
     if (plan.join_root != nullptr) {
-      RenderOp(*plan.join_root, indent, out);
+      // Parallelism marker: the refinement verdict for the block's driving
+      // pipeline (actual degree used is a runtime property, surfaced in
+      // QueryResult::parallel_workers_used).
+      if (plan.parallel_eligible) {
+        Line(indent, "Parallel pipeline (morsel-driven eligible)", out);
+      } else {
+        Line(indent, "Serial pipeline (" + plan.serial_reason + ")", out);
+      }
+      RenderOp(*plan.join_root, indent + 1, out);
     } else {
       Line(indent, "Rows fetched before execution", out);
     }

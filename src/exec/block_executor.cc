@@ -1,11 +1,13 @@
 #include "exec/block_executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <set>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
 #include "exec/expr_eval.h"
 
 namespace taurus {
@@ -45,19 +47,31 @@ class TableScanIter : public FrameIter {
  public:
   explicit TableScanIter(const PhysOp* op) : op_(op) {}
 
+  /// Restricts the scan to rows [begin, end): the morsel-driven executor
+  /// drives one worker-private instance per chain, repositioning it with
+  /// SetRange + Open for each morsel it claims.
+  void SetRange(size_t begin, size_t end) {
+    ranged_ = true;
+    range_begin_ = begin;
+    range_end_ = end;
+  }
+
+  const PhysOp* Op() const { return op_; }
+
   Status Open(Frame* frame, ExecContext* ctx) override {
     (void)frame;
     data_ = ctx->storage->Get(op_->leaf->table->id);
     if (data_ == nullptr) {
       return Status::Internal("no storage for table " + op_->leaf->table_name);
     }
-    pos_ = 0;
+    pos_ = ranged_ ? range_begin_ : 0;
+    end_ = ranged_ ? std::min(range_end_, data_->NumRows()) : data_->NumRows();
     return Status::OK();
   }
 
   Result<bool> Next(Frame* frame, ExecContext* ctx) override {
     size_t slot = static_cast<size_t>(op_->leaf->ref_id);
-    while (pos_ < data_->NumRows()) {
+    while (pos_ < end_) {
       (*frame)[slot] = &data_->row(pos_++);
       TAURUS_RETURN_IF_ERROR(ctx->ChargeScannedRow());
       TAURUS_ASSIGN_OR_RETURN(bool ok,
@@ -72,6 +86,9 @@ class TableScanIter : public FrameIter {
   const PhysOp* op_;
   const TableData* data_ = nullptr;
   size_t pos_ = 0;
+  size_t end_ = 0;
+  bool ranged_ = false;
+  size_t range_begin_ = 0, range_end_ = 0;
 };
 
 class IndexRangeIter : public FrameIter {
@@ -313,79 +330,150 @@ class NLJoinIter : public FrameIter {
   bool matched_ = false;
 };
 
-/// Hash join. Convention: the build side is the right child — except for
-/// INNER hash joins, where (matching the MySQL quirk the paper reports in
-/// Section 7 item 2) the BUILD side is the LEFT child and the probe side
-/// the right. The Orca plan converter flips Orca's children for inner hash
-/// joins so that Orca's intended build side lands on the left.
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+/// Static (per-plan-node) hash join shape: which child builds, which slots
+/// the build side populates, and the key expressions on each side.
+struct HashJoinLayout {
+  bool build_is_left = false;
+  std::vector<int> build_refs;
+  std::vector<const Expr*> build_keys;
+  std::vector<const Expr*> probe_keys;
+};
+
+/// Convention: the build side is the right child — except for INNER hash
+/// joins, where (matching the MySQL quirk the paper reports in Section 7
+/// item 2) the BUILD side is the LEFT child and the probe side the right.
+/// The Orca plan converter flips Orca's children for inner hash joins so
+/// that Orca's intended build side lands on the left.
+HashJoinLayout MakeHashJoinLayout(const PhysOp& op) {
+  HashJoinLayout layout;
+  layout.build_is_left = (op.join_type == JoinType::kInner ||
+                          op.join_type == JoinType::kCross);
+  layout.build_refs =
+      SubtreeRefs(layout.build_is_left ? *op.child : *op.right);
+  for (const auto& [l, r] : op.hash_keys) {
+    layout.build_keys.push_back(layout.build_is_left ? l : r);
+    layout.probe_keys.push_back(layout.build_is_left ? r : l);
+  }
+  return layout;
+}
+
+/// The materialized build side of a hash join. Built once (serially), then
+/// probed — possibly by many workers concurrently, which is safe because
+/// probing never mutates it.
+struct HashJoinShared {
+  struct Entry {
+    Row key;
+    OwnedFrame frame;  ///< only the build subtree's slots (narrowed copy)
+  };
+  std::unordered_multimap<uint64_t, size_t> table;
+  std::vector<Entry> entries;
+};
+
+/// Drains `build` into `out`. Buffers only the build subtree's frame slots
+/// per row, and pre-sizes the table from the optimizer's cardinality
+/// estimate to cut rehashing on large builds.
+Status FillHashJoinState(const PhysOp& op, const HashJoinLayout& layout,
+                         FrameIter* build, Frame* frame, ExecContext* ctx,
+                         HashJoinShared* out) {
+  out->table.clear();
+  out->entries.clear();
+  const PhysOp& build_child = layout.build_is_left ? *op.child : *op.right;
+  if (build_child.est_rows > 1.0) {
+    // Cap the reservation: estimates can be wildly high after bad stats.
+    size_t cap = static_cast<size_t>(
+        std::min(build_child.est_rows, 16.0 * 1024 * 1024));
+    out->entries.reserve(cap);
+    out->table.reserve(cap);
+  }
+  TAURUS_RETURN_IF_ERROR(build->Open(frame, ctx));
+  while (true) {
+    TAURUS_ASSIGN_OR_RETURN(bool has, build->Next(frame, ctx));
+    if (!has) break;
+    Row key;
+    key.reserve(layout.build_keys.size());
+    bool has_null = false;
+    for (const Expr* e : layout.build_keys) {
+      TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, *frame, nullptr, ctx));
+      if (v.is_null()) has_null = true;
+      key.push_back(std::move(v));
+    }
+    if (has_null) continue;  // NULL keys never join
+    HashJoinShared::Entry entry;
+    entry.key = std::move(key);
+    entry.frame = OwnedFrame(*frame, layout.build_refs);
+    uint64_t h = HashRow(entry.key);
+    out->table.emplace(h, out->entries.size());
+    out->entries.push_back(std::move(entry));
+  }
+  ClearSlots(frame, layout.build_refs);
+  return Status::OK();
+}
+
 class HashJoinIter : public FrameIter {
  public:
+  /// Serial form: owns both children and (re)builds its own hash state on
+  /// every Open (a re-Open with new outer bindings must rebuild).
   HashJoinIter(const PhysOp* op, std::unique_ptr<FrameIter> left,
                std::unique_ptr<FrameIter> right)
-      : op_(op), left_(std::move(left)), right_(std::move(right)) {
-    build_is_left_ = (op->join_type == JoinType::kInner ||
-                      op->join_type == JoinType::kCross);
-    build_refs_ = SubtreeRefs(build_is_left_ ? *op->child : *op->right);
-    for (const auto& [l, r] : op_->hash_keys) {
-      build_keys_.push_back(build_is_left_ ? l : r);
-      probe_keys_.push_back(build_is_left_ ? r : l);
+      : op_(op), layout_(MakeHashJoinLayout(*op)) {
+    if (layout_.build_is_left) {
+      build_iter_ = std::move(left);
+      probe_iter_ = std::move(right);
+    } else {
+      build_iter_ = std::move(right);
+      probe_iter_ = std::move(left);
     }
   }
 
+  /// Parallel worker-clone form: probes a pre-built shared read-only state;
+  /// Open only repositions the probe chain.
+  HashJoinIter(const PhysOp* op, std::unique_ptr<FrameIter> probe,
+               const HashJoinShared* shared)
+      : op_(op),
+        layout_(MakeHashJoinLayout(*op)),
+        probe_iter_(std::move(probe)),
+        shared_(shared) {}
+
   Status Open(Frame* frame, ExecContext* ctx) override {
-    table_.clear();
-    entries_.clear();
-    FrameIter* build = build_is_left_ ? left_.get() : right_.get();
-    TAURUS_RETURN_IF_ERROR(build->Open(frame, ctx));
-    while (true) {
-      TAURUS_ASSIGN_OR_RETURN(bool has, build->Next(frame, ctx));
-      if (!has) break;
-      Row key;
-      key.reserve(build_keys_.size());
-      bool has_null = false;
-      for (const Expr* e : build_keys_) {
-        TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, *frame, nullptr, ctx));
-        if (v.is_null()) has_null = true;
-        key.push_back(std::move(v));
-      }
-      if (has_null) continue;  // NULL keys never join
-      Entry entry;
-      entry.key = std::move(key);
-      entry.frame = std::make_unique<OwnedFrame>(*frame);
-      uint64_t h = HashRow(entry.key);
-      table_.emplace(h, entries_.size());
-      entries_.push_back(std::move(entry));
+    if (shared_ == nullptr) {
+      TAURUS_RETURN_IF_ERROR(FillHashJoinState(*op_, layout_,
+                                               build_iter_.get(), frame, ctx,
+                                               &own_state_));
+    } else {
+      ClearSlots(frame, layout_.build_refs);
     }
-    ClearSlots(frame, build_refs_);
-    FrameIter* probe = build_is_left_ ? right_.get() : left_.get();
-    TAURUS_RETURN_IF_ERROR(probe->Open(frame, ctx));
+    TAURUS_RETURN_IF_ERROR(probe_iter_->Open(frame, ctx));
     have_probe_ = false;
     return Status::OK();
   }
 
   Result<bool> Next(Frame* frame, ExecContext* ctx) override {
     const JoinType jt = op_->join_type;
-    FrameIter* probe = build_is_left_ ? right_.get() : left_.get();
+    const HashJoinShared& state = shared_ != nullptr ? *shared_ : own_state_;
     while (true) {
       if (!have_probe_) {
-        TAURUS_ASSIGN_OR_RETURN(bool has, probe->Next(frame, ctx));
+        TAURUS_ASSIGN_OR_RETURN(bool has, probe_iter_->Next(frame, ctx));
         if (!has) return false;
         have_probe_ = true;
         matched_ = false;
         candidates_.clear();
         cand_pos_ = 0;
         Row key;
-        key.reserve(probe_keys_.size());
+        key.reserve(layout_.probe_keys.size());
         bool has_null = false;
-        for (const Expr* e : probe_keys_) {
+        for (const Expr* e : layout_.probe_keys) {
           TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, *frame, nullptr, ctx));
           if (v.is_null()) has_null = true;
           key.push_back(std::move(v));
         }
         if (!has_null) {
-          auto [b, e] = table_.equal_range(HashRow(key));
+          auto [b, e] = state.table.equal_range(HashRow(key));
           for (auto it = b; it != e; ++it) {
-            const Entry& cand = entries_[it->second];
+            const HashJoinShared::Entry& cand = state.entries[it->second];
             bool eq = true;
             for (size_t i = 0; i < key.size(); ++i) {
               if (Value::Compare(cand.key[i], key[i]) != 0) {
@@ -398,19 +486,20 @@ class HashJoinIter : public FrameIter {
         }
       }
       while (cand_pos_ < candidates_.size()) {
-        const Entry& entry = entries_[candidates_[cand_pos_++]];
+        const HashJoinShared::Entry& entry =
+            state.entries[candidates_[cand_pos_++]];
         // Restore the build subtree's slots from the owned frame.
-        for (int r : build_refs_) {
+        for (int r : layout_.build_refs) {
           size_t slot = static_cast<size_t>(r);
           (*frame)[slot] =
-              entry.frame->present[slot] ? &entry.frame->rows[slot] : nullptr;
+              entry.frame.present[slot] ? &entry.frame.rows[slot] : nullptr;
         }
         TAURUS_ASSIGN_OR_RETURN(bool ok,
                                 EvalConjuncts(op_->conds, *frame, nullptr, ctx));
         if (!ok) continue;
         matched_ = true;
         if (jt == JoinType::kSemi) {
-          ClearSlots(frame, build_refs_);
+          ClearSlots(frame, layout_.build_refs);
           have_probe_ = false;
           return true;
         }
@@ -424,28 +513,20 @@ class HashJoinIter : public FrameIter {
           (jt == JoinType::kLeft || jt == JoinType::kAntiSemi) && !matched_;
       have_probe_ = false;
       if (emit_unmatched) {
-        ClearSlots(frame, build_refs_);
+        ClearSlots(frame, layout_.build_refs);
         return true;
       }
     }
   }
 
  private:
-  struct Entry {
-    Row key;
-    std::unique_ptr<OwnedFrame> frame;
-  };
-
   const PhysOp* op_;
-  std::unique_ptr<FrameIter> left_;
-  std::unique_ptr<FrameIter> right_;
-  bool build_is_left_ = false;
-  std::vector<int> build_refs_;
-  std::vector<const Expr*> build_keys_;
-  std::vector<const Expr*> probe_keys_;
+  HashJoinLayout layout_;
+  std::unique_ptr<FrameIter> build_iter_;  ///< null for worker clones
+  std::unique_ptr<FrameIter> probe_iter_;
+  const HashJoinShared* shared_ = nullptr;  ///< set for worker clones
+  HashJoinShared own_state_;                ///< used by the serial form
 
-  std::unordered_multimap<uint64_t, size_t> table_;
-  std::vector<Entry> entries_;
   bool have_probe_ = false;
   bool matched_ = false;
   std::vector<size_t> candidates_;
@@ -479,6 +560,9 @@ std::unique_ptr<FrameIter> BuildIter(const PhysOp* op) {
 // ---------------------------------------------------------------------------
 
 /// One aggregate accumulator (SUM/COUNT/AVG/MIN/MAX/STDDEV, with DISTINCT).
+/// Fully mergeable: two partial states over disjoint row sets combine into
+/// the state of the union (DISTINCT via set union, STDDEV via sum/sumsq),
+/// which is what lets the parallel executor aggregate per morsel.
 struct Accum {
   int64_t count = 0;
   int64_t isum = 0;
@@ -513,6 +597,24 @@ struct Accum {
     sumsq += d * d;
     if (min_v.is_null() || Value::Compare(v, min_v) < 0) min_v = v;
     if (max_v.is_null() || Value::Compare(v, max_v) > 0) max_v = v;
+  }
+
+  /// Folds another partial state (over disjoint input rows) into this one.
+  void Merge(const Accum& o) {
+    count += o.count;
+    isum += o.isum;
+    sum += o.sum;
+    sumsq += o.sumsq;
+    int_only = int_only && o.int_only;
+    if (!o.min_v.is_null() &&
+        (min_v.is_null() || Value::Compare(o.min_v, min_v) < 0)) {
+      min_v = o.min_v;
+    }
+    if (!o.max_v.is_null() &&
+        (max_v.is_null() || Value::Compare(o.max_v, max_v) > 0)) {
+      max_v = o.max_v;
+    }
+    distinct.insert(o.distinct.begin(), o.distinct.end());
   }
 
   Value Finalize(const Expr& agg) {
@@ -570,6 +672,439 @@ int CompareRows(const Row& a, const Row& b,
   return 0;
 }
 
+/// Hash-aggregation state: groups in first-encounter order plus their
+/// accumulators. The serial path runs one instance over all rows; the
+/// parallel path runs one per morsel and merges the partials in morsel
+/// order, which reproduces the serial group order and representative rows
+/// exactly regardless of worker scheduling.
+class GroupByState {
+ public:
+  void Init(const BlockPlan* plan) { plan_ = plan; }
+
+  Status Consume(const Frame& f, ExecContext* ctx) {
+    Row key;
+    key.reserve(plan_->group_exprs.size());
+    for (const Expr* g : plan_->group_exprs) {
+      TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, f, nullptr, ctx));
+      key.push_back(std::move(v));
+    }
+    uint64_t h = HashRow(key);
+    size_t idx = Find(h, key);
+    if (idx == SIZE_MAX) {
+      idx = groups_.size();
+      index_[h].push_back(idx);
+      Group g;
+      g.key = std::move(key);
+      g.rep = OwnedFrame(f);
+      groups_.push_back(std::move(g));
+      accums_.emplace_back(plan_->agg_exprs.size());
+    }
+    for (size_t i = 0; i < plan_->agg_exprs.size(); ++i) {
+      const Expr& agg = *plan_->agg_exprs[i];
+      Value v;
+      if (agg.agg_func != AggFunc::kCountStar) {
+        TAURUS_ASSIGN_OR_RETURN(v,
+                                EvalExpr(*agg.children[0], f, nullptr, ctx));
+      }
+      accums_[idx][i].Update(agg, v);
+    }
+    return Status::OK();
+  }
+
+  /// Merges a LATER partial state into this one: existing groups fold their
+  /// accumulators; new groups append in `o`'s own encounter order. Merging
+  /// morsel partials in morsel order therefore yields exactly the serial
+  /// encounter order (and the serial representative frame per group).
+  void Merge(GroupByState&& o) {
+    for (size_t gi = 0; gi < o.groups_.size(); ++gi) {
+      uint64_t h = HashRow(o.groups_[gi].key);
+      size_t idx = Find(h, o.groups_[gi].key);
+      if (idx == SIZE_MAX) {
+        idx = groups_.size();
+        index_[h].push_back(idx);
+        groups_.push_back(std::move(o.groups_[gi]));
+        accums_.push_back(std::move(o.accums_[gi]));
+      } else {
+        for (size_t a = 0; a < accums_[idx].size(); ++a) {
+          accums_[idx][a].Merge(o.accums_[gi][a]);
+        }
+      }
+    }
+  }
+
+  bool empty() const { return groups_.empty(); }
+
+  /// Scalar aggregation over empty input still yields one group.
+  void AddEmptyScalarGroup(const Frame& frame) {
+    Group g;
+    g.rep = OwnedFrame(frame);
+    groups_.push_back(std::move(g));
+    accums_.emplace_back(plan_->agg_exprs.size());
+  }
+
+  /// Fills each group's agg_values and hands the groups over.
+  std::vector<Group> Finalize() {
+    for (size_t i = 0; i < groups_.size(); ++i) {
+      groups_[i].agg_values.reserve(plan_->agg_exprs.size());
+      for (size_t a = 0; a < plan_->agg_exprs.size(); ++a) {
+        groups_[i].agg_values.push_back(
+            accums_[i][a].Finalize(*plan_->agg_exprs[a]));
+      }
+    }
+    return std::move(groups_);
+  }
+
+ private:
+  size_t Find(uint64_t h, const Row& key) const {
+    auto it = index_.find(h);
+    if (it == index_.end()) return SIZE_MAX;
+    for (size_t cand : it->second) {
+      if (CompareRows(groups_[cand].key, key) == 0) return cand;
+    }
+    return SIZE_MAX;
+  }
+
+  const BlockPlan* plan_ = nullptr;
+  std::vector<Group> groups_;
+  std::unordered_map<uint64_t, std::vector<size_t>> index_;
+  std::vector<std::vector<Accum>> accums_;
+};
+
+/// A buffered pre-sort row: its ORDER BY key plus the captured frame.
+struct SortUnit {
+  Row sort_key;
+  OwnedFrame frame;
+};
+
+// ---------------------------------------------------------------------------
+// Pipeline finish stages (shared by the serial and parallel paths)
+// ---------------------------------------------------------------------------
+
+/// HAVING, ORDER BY keys, projection and sort over finished groups.
+Status FinishAgg(const BlockPlan& plan, std::vector<Group> groups,
+                 ExecContext* ctx, bool has_order, std::vector<Row>* output) {
+  struct OutUnit {
+    Row sort_key;
+    Row row;
+  };
+  std::vector<OutUnit> units;
+  for (Group& g : groups) {
+    Frame rep_view = g.rep.View();
+    AggContext agg_ctx;
+    agg_ctx.agg_exprs = &plan.agg_exprs;
+    agg_ctx.agg_values = &g.agg_values;
+    agg_ctx.group_exprs = &plan.group_exprs;
+    agg_ctx.group_values = &g.key;
+    if (plan.having != nullptr) {
+      TAURUS_ASSIGN_OR_RETURN(
+          bool ok, EvalPredicate(*plan.having, rep_view, &agg_ctx, ctx));
+      if (!ok) continue;
+    }
+    OutUnit unit;
+    if (has_order) {
+      for (const auto& [e, asc] : plan.order_keys) {
+        TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, rep_view, &agg_ctx, ctx));
+        unit.sort_key.push_back(std::move(v));
+      }
+    }
+    for (const Expr* p : plan.projections) {
+      TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, rep_view, &agg_ctx, ctx));
+      unit.row.push_back(std::move(v));
+    }
+    units.push_back(std::move(unit));
+  }
+  if (has_order) {
+    std::vector<bool> asc;
+    for (const auto& [e, a] : plan.order_keys) asc.push_back(a);
+    std::stable_sort(units.begin(), units.end(),
+                     [&](const OutUnit& a, const OutUnit& b) {
+                       return CompareRows(a.sort_key, b.sort_key, &asc) < 0;
+                     });
+  }
+  for (OutUnit& u : units) output->push_back(std::move(u.row));
+  return Status::OK();
+}
+
+/// Sorts buffered rows by their keys and projects them.
+Status FinishSort(const BlockPlan& plan, std::vector<SortUnit> units,
+                  ExecContext* ctx, std::vector<Row>* output) {
+  std::vector<bool> asc;
+  for (const auto& [e, a] : plan.order_keys) asc.push_back(a);
+  std::stable_sort(units.begin(), units.end(),
+                   [&](const SortUnit& a, const SortUnit& b) {
+                     return CompareRows(a.sort_key, b.sort_key, &asc) < 0;
+                   });
+  for (SortUnit& u : units) {
+    Frame view = u.frame.View();
+    Row row;
+    for (const Expr* p : plan.projections) {
+      TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, view, nullptr, ctx));
+      row.push_back(std::move(v));
+    }
+    output->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven parallel pipeline (see DESIGN.md section 8)
+// ---------------------------------------------------------------------------
+
+/// What the per-worker iterator chains feed, per pipeline shape.
+enum class PipeMode { kAgg, kSort, kPlain };
+
+/// The probe/driving child an eligible pipeline descends through.
+const PhysOp* DrivingChild(const PhysOp& op) {
+  switch (op.kind) {
+    case PhysOp::Kind::kFilter:
+      return op.child.get();
+    case PhysOp::Kind::kNLJoin:
+      return op.child.get();
+    case PhysOp::Kind::kHashJoin: {
+      bool build_is_left = (op.join_type == JoinType::kInner ||
+                            op.join_type == JoinType::kCross);
+      return build_is_left ? op.right.get() : op.child.get();
+    }
+    default:
+      return nullptr;
+  }
+}
+
+/// The driving TableScan of an eligible pipeline (refinement guarantees
+/// one exists; returns null defensively otherwise).
+const PhysOp* FindDriverScan(const PhysOp* op) {
+  while (op != nullptr) {
+    if (op->kind == PhysOp::Kind::kTableScan) return op;
+    op = DrivingChild(*op);
+  }
+  return nullptr;
+}
+
+/// Hash-join build sides along the driving path, materialized once on the
+/// main thread and probed read-only by all workers.
+struct PipelineShared {
+  std::unordered_map<const PhysOp*, HashJoinShared> hash_states;
+};
+
+Status PrebuildHashStates(const PhysOp* root, Frame* frame, ExecContext* ctx,
+                          PipelineShared* shared) {
+  for (const PhysOp* cur = root; cur != nullptr; cur = DrivingChild(*cur)) {
+    if (cur->kind != PhysOp::Kind::kHashJoin) continue;
+    HashJoinLayout layout = MakeHashJoinLayout(*cur);
+    const PhysOp* build_child =
+        layout.build_is_left ? cur->child.get() : cur->right.get();
+    std::unique_ptr<FrameIter> build = BuildIter(build_child);
+    TAURUS_RETURN_IF_ERROR(FillHashJoinState(
+        *cur, layout, build.get(), frame, ctx, &shared->hash_states[cur]));
+  }
+  return Status::OK();
+}
+
+/// A worker-private clone of the driving iterator chain: hash joins probe
+/// the shared states, NL-join inner sides are private (re-opened per driver
+/// row, as in the serial executor), and the driver scan is returned through
+/// `driver_out` so the worker can reposition it per morsel.
+std::unique_ptr<FrameIter> BuildWorkerChain(const PhysOp* op,
+                                            const PipelineShared& shared,
+                                            TableScanIter** driver_out) {
+  switch (op->kind) {
+    case PhysOp::Kind::kTableScan: {
+      auto scan = std::make_unique<TableScanIter>(op);
+      *driver_out = scan.get();
+      return scan;
+    }
+    case PhysOp::Kind::kFilter:
+      return std::make_unique<FilterIter>(
+          op, BuildWorkerChain(op->child.get(), shared, driver_out));
+    case PhysOp::Kind::kNLJoin:
+      return std::make_unique<NLJoinIter>(
+          op, BuildWorkerChain(op->child.get(), shared, driver_out),
+          BuildIter(op->right.get()));
+    case PhysOp::Kind::kHashJoin: {
+      auto it = shared.hash_states.find(op);
+      if (it == shared.hash_states.end()) return nullptr;
+      auto probe = BuildWorkerChain(DrivingChild(*op), shared, driver_out);
+      if (probe == nullptr) return nullptr;
+      return std::make_unique<HashJoinIter>(op, std::move(probe), &it->second);
+    }
+    default:
+      return nullptr;  // not a driving-path operator
+  }
+}
+
+/// Per-morsel stage-A results, merged on the main thread in morsel order.
+struct ParallelOut {
+  bool engaged = false;
+  GroupByState agg;
+  std::vector<SortUnit> sort_units;
+  std::vector<Row> rows;
+};
+
+/// One worker's processing of one morsel's pipeline output.
+Status ConsumeMorsel(PipeMode mode, const BlockPlan& plan, FrameIter* chain,
+                     Frame* frame, ExecContext* shard, GroupByState* agg,
+                     std::vector<SortUnit>* sort_units,
+                     std::vector<Row>* rows) {
+  while (true) {
+    TAURUS_ASSIGN_OR_RETURN(bool has, chain->Next(frame, shard));
+    if (!has) return Status::OK();
+    switch (mode) {
+      case PipeMode::kAgg:
+        TAURUS_RETURN_IF_ERROR(agg->Consume(*frame, shard));
+        break;
+      case PipeMode::kSort: {
+        SortUnit u;
+        for (const auto& [e, a] : plan.order_keys) {
+          TAURUS_ASSIGN_OR_RETURN(Value v,
+                                  EvalExpr(*e, *frame, nullptr, shard));
+          u.sort_key.push_back(std::move(v));
+        }
+        u.frame = OwnedFrame(*frame);
+        sort_units->push_back(std::move(u));
+        break;
+      }
+      case PipeMode::kPlain: {
+        Row row;
+        for (const Expr* p : plan.projections) {
+          TAURUS_ASSIGN_OR_RETURN(Value v,
+                                  EvalExpr(*p, *frame, nullptr, shard));
+          row.push_back(std::move(v));
+        }
+        rows->push_back(std::move(row));
+        break;
+      }
+    }
+  }
+}
+
+/// Attempts to run the block's driving pipeline morsel-parallel. Returns
+/// false when a runtime gate keeps it serial (no pool, small driver table,
+/// DOP < 2, pool busy); true with `out->engaged` set when the parallel
+/// pipeline ran. Errors from workers (including deterministic budget kills
+/// through the shared atomic row counter) propagate with the smallest
+/// morsel index winning, so failures are reproducible too.
+Result<bool> TryParallelPipeline(const BlockPlan& plan, const Frame& outer,
+                                 ExecContext* ctx, PipeMode mode,
+                                 ParallelOut* out) {
+  const PhysOp* driver = FindDriverScan(plan.join_root.get());
+  if (driver == nullptr) return false;
+  const TableData* data = ctx->storage->Get(driver->leaf->table->id);
+  if (data == nullptr) return false;
+  const int64_t total = static_cast<int64_t>(data->NumRows());
+  if (total < ctx->parallel_min_driver_rows) return false;
+  const int64_t morsel = std::max<int64_t>(1, ctx->morsel_rows);
+  const int64_t num_morsels = (total + morsel - 1) / morsel;
+  const int dop = static_cast<int>(
+      std::min<int64_t>(ctx->parallel_workers, num_morsels));
+  if (dop < 2) return false;
+
+  // Build sides run once, serially, with the root context (they may hold
+  // derived tables, subqueries, anything — the workers never re-enter them).
+  PipelineShared shared;
+  {
+    Frame build_frame = outer;
+    TAURUS_RETURN_IF_ERROR(
+        PrebuildHashStates(plan.join_root.get(), &build_frame, ctx, &shared));
+  }
+
+  // Per-morsel output slots: workers write disjoint indices, the main
+  // thread reads only after the pool joins, so no locking is needed and
+  // the merged result is independent of scheduling.
+  const size_t nm = static_cast<size_t>(num_morsels);
+  std::vector<GroupByState> agg_parts(mode == PipeMode::kAgg ? nm : 0);
+  for (GroupByState& s : agg_parts) s.Init(&plan);
+  std::vector<std::vector<SortUnit>> sort_parts(
+      mode == PipeMode::kSort ? nm : 0);
+  std::vector<std::vector<Row>> row_parts(mode == PipeMode::kPlain ? nm : 0);
+  std::vector<Status> morsel_status(nm, Status::OK());
+  std::vector<Status> worker_status(static_cast<size_t>(dop), Status::OK());
+  std::unique_ptr<ExecContext[]> shards(new ExecContext[dop]);
+
+  std::atomic<int64_t> next_morsel{0};
+  std::atomic<bool> abort{false};
+
+  auto worker = [&](int w) {
+    ExecContext* shard = &shards[w];
+    ctx->InitShard(shard);
+    TableScanIter* scan = nullptr;
+    std::unique_ptr<FrameIter> chain =
+        BuildWorkerChain(plan.join_root.get(), shared, &scan);
+    if (chain == nullptr || scan == nullptr || scan->Op() != driver) {
+      worker_status[static_cast<size_t>(w)] =
+          Status::Internal("worker chain build failed");
+      abort.store(true, std::memory_order_relaxed);
+      return;
+    }
+    Frame frame = outer;
+    while (!abort.load(std::memory_order_relaxed)) {
+      int64_t m = next_morsel.fetch_add(1, std::memory_order_relaxed);
+      if (m >= num_morsels) break;
+      scan->SetRange(static_cast<size_t>(m * morsel),
+                     static_cast<size_t>(std::min(total, (m + 1) * morsel)));
+      Status st = chain->Open(&frame, shard);
+      if (st.ok()) {
+        size_t mi = static_cast<size_t>(m);
+        st = ConsumeMorsel(
+            mode, plan, chain.get(), &frame, shard,
+            mode == PipeMode::kAgg ? &agg_parts[mi] : nullptr,
+            mode == PipeMode::kSort ? &sort_parts[mi] : nullptr,
+            mode == PipeMode::kPlain ? &row_parts[mi] : nullptr);
+      }
+      if (!st.ok()) {
+        morsel_status[static_cast<size_t>(m)] = std::move(st);
+        abort.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+  };
+
+  if (!ctx->pool->TryRun(dop, worker)) return false;  // pool busy: go serial
+
+  for (int w = 0; w < dop; ++w) ctx->MergeShard(shards[w]);
+  // First failing morsel (by morsel index, not completion order) wins.
+  for (const Status& st : morsel_status) {
+    if (!st.ok()) return st;
+  }
+  for (const Status& st : worker_status) {
+    if (!st.ok()) return st;
+  }
+
+  switch (mode) {
+    case PipeMode::kAgg: {
+      out->agg.Init(&plan);
+      bool first = true;
+      for (GroupByState& part : agg_parts) {
+        if (first) {
+          out->agg = std::move(part);
+          first = false;
+        } else {
+          out->agg.Merge(std::move(part));
+        }
+      }
+      break;
+    }
+    case PipeMode::kSort:
+      for (std::vector<SortUnit>& part : sort_parts) {
+        for (SortUnit& u : part) out->sort_units.push_back(std::move(u));
+      }
+      break;
+    case PipeMode::kPlain:
+      for (std::vector<Row>& part : row_parts) {
+        for (Row& r : part) out->rows.push_back(std::move(r));
+      }
+      break;
+  }
+
+  ++ctx->parallel_pipelines;
+  ctx->max_workers_used = std::max(ctx->max_workers_used, dop);
+  out->engaged = true;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Block execution
+// ---------------------------------------------------------------------------
+
 Result<std::vector<Row>> ExecuteSingle(const BlockPlan& plan,
                                        const Frame& outer, ExecContext* ctx,
                                        bool apply_order_limit) {
@@ -591,151 +1126,69 @@ Result<std::vector<Row>> ExecuteSingle(const BlockPlan& plan,
     return output;
   }
 
+  const PipeMode mode = plan.agg_mode != AggMode::kNone
+                            ? PipeMode::kAgg
+                            : (has_order ? PipeMode::kSort : PipeMode::kPlain);
+
+  // ---- Parallel attempt (stage A via the morsel-driven pipeline). ----
+  ParallelOut par;
+  if (plan.join_root != nullptr && plan.parallel_eligible &&
+      ctx->pool != nullptr && !ctx->is_worker_shard &&
+      !(mode == PipeMode::kPlain && has_limit && !plan.distinct)) {
+    TAURUS_ASSIGN_OR_RETURN(bool engaged,
+                            TryParallelPipeline(plan, outer, ctx, mode, &par));
+    (void)engaged;
+  }
+
   std::unique_ptr<FrameIter> iter;
-  if (plan.join_root != nullptr) {
+  if (plan.join_root != nullptr && !par.engaged) {
     iter = BuildIter(plan.join_root.get());
     TAURUS_RETURN_IF_ERROR(iter->Open(&frame, ctx));
   }
 
-  if (plan.agg_mode != AggMode::kNone) {
+  if (mode == PipeMode::kAgg) {
     // ---- Aggregation path (hash or sort+stream; same results). ----
-    std::vector<Group> groups;
-    std::unordered_map<uint64_t, std::vector<size_t>> group_index;
-    std::vector<std::vector<Accum>> accums;
-
-    auto consume = [&](const Frame& f) -> Status {
-      Row key;
-      key.reserve(plan.group_exprs.size());
-      for (const Expr* g : plan.group_exprs) {
-        TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, f, nullptr, ctx));
-        key.push_back(std::move(v));
-      }
-      uint64_t h = HashRow(key);
-      size_t idx = SIZE_MAX;
-      for (size_t cand : group_index[h]) {
-        if (CompareRows(groups[cand].key, key) == 0) {
-          idx = cand;
-          break;
+    GroupByState state;
+    if (par.engaged) {
+      state = std::move(par.agg);
+    } else {
+      state.Init(&plan);
+      if (iter != nullptr) {
+        while (true) {
+          TAURUS_ASSIGN_OR_RETURN(bool has, iter->Next(&frame, ctx));
+          if (!has) break;
+          TAURUS_RETURN_IF_ERROR(state.Consume(frame, ctx));
         }
+      } else {
+        TAURUS_RETURN_IF_ERROR(state.Consume(frame, ctx));
       }
-      if (idx == SIZE_MAX) {
-        idx = groups.size();
-        group_index[h].push_back(idx);
-        Group g;
-        g.key = std::move(key);
-        g.rep = OwnedFrame(f);
-        groups.push_back(std::move(g));
-        accums.emplace_back(plan.agg_exprs.size());
-      }
-      for (size_t i = 0; i < plan.agg_exprs.size(); ++i) {
-        const Expr& agg = *plan.agg_exprs[i];
-        Value v;
-        if (agg.agg_func != AggFunc::kCountStar) {
-          TAURUS_ASSIGN_OR_RETURN(v, EvalExpr(*agg.children[0], f, nullptr, ctx));
-        }
-        accums[idx][i].Update(agg, v);
-      }
-      return Status::OK();
-    };
-
-    if (iter != nullptr) {
-      while (true) {
+    }
+    if (state.empty() && plan.group_exprs.empty()) {
+      state.AddEmptyScalarGroup(frame);
+    }
+    TAURUS_RETURN_IF_ERROR(
+        FinishAgg(plan, state.Finalize(), ctx, has_order, &output));
+  } else if (mode == PipeMode::kSort) {
+    // ---- Materialize, sort, project. ----
+    std::vector<SortUnit> units;
+    if (par.engaged) {
+      units = std::move(par.sort_units);
+    } else {
+      while (iter != nullptr) {
         TAURUS_ASSIGN_OR_RETURN(bool has, iter->Next(&frame, ctx));
         if (!has) break;
-        TAURUS_RETURN_IF_ERROR(consume(frame));
-      }
-    } else {
-      TAURUS_RETURN_IF_ERROR(consume(frame));
-    }
-
-    // Scalar aggregation over empty input still yields one group.
-    if (groups.empty() && plan.group_exprs.empty()) {
-      Group g;
-      g.rep = OwnedFrame(frame);
-      groups.push_back(std::move(g));
-      accums.emplace_back(plan.agg_exprs.size());
-    }
-    for (size_t i = 0; i < groups.size(); ++i) {
-      groups[i].agg_values.reserve(plan.agg_exprs.size());
-      for (size_t a = 0; a < plan.agg_exprs.size(); ++a) {
-        groups[i].agg_values.push_back(
-            accums[i][a].Finalize(*plan.agg_exprs[a]));
-      }
-    }
-
-    // HAVING, ORDER BY keys, projection per group.
-    struct OutUnit {
-      Row sort_key;
-      Row row;
-    };
-    std::vector<OutUnit> units;
-    for (Group& g : groups) {
-      Frame rep_view = g.rep.View();
-      AggContext agg_ctx;
-      agg_ctx.agg_exprs = &plan.agg_exprs;
-      agg_ctx.agg_values = &g.agg_values;
-      agg_ctx.group_exprs = &plan.group_exprs;
-      agg_ctx.group_values = &g.key;
-      if (plan.having != nullptr) {
-        TAURUS_ASSIGN_OR_RETURN(
-            bool ok, EvalPredicate(*plan.having, rep_view, &agg_ctx, ctx));
-        if (!ok) continue;
-      }
-      OutUnit unit;
-      if (has_order) {
-        for (const auto& [e, asc] : plan.order_keys) {
-          TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, rep_view, &agg_ctx, ctx));
-          unit.sort_key.push_back(std::move(v));
+        SortUnit u;
+        for (const auto& [e, a] : plan.order_keys) {
+          TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, frame, nullptr, ctx));
+          u.sort_key.push_back(std::move(v));
         }
+        u.frame = OwnedFrame(frame);
+        units.push_back(std::move(u));
       }
-      for (const Expr* p : plan.projections) {
-        TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, rep_view, &agg_ctx, ctx));
-        unit.row.push_back(std::move(v));
-      }
-      units.push_back(std::move(unit));
     }
-    if (has_order) {
-      std::vector<bool> asc;
-      for (const auto& [e, a] : plan.order_keys) asc.push_back(a);
-      std::stable_sort(units.begin(), units.end(),
-                       [&](const OutUnit& a, const OutUnit& b) {
-                         return CompareRows(a.sort_key, b.sort_key, &asc) < 0;
-                       });
-    }
-    for (OutUnit& u : units) output.push_back(std::move(u.row));
-  } else if (has_order) {
-    // ---- Materialize, sort, project. ----
-    struct SortUnit {
-      Row sort_key;
-      OwnedFrame frame;
-    };
-    std::vector<SortUnit> units;
-    while (iter != nullptr) {
-      TAURUS_ASSIGN_OR_RETURN(bool has, iter->Next(&frame, ctx));
-      if (!has) break;
-      SortUnit u;
-      for (const auto& [e, a] : plan.order_keys) {
-        TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, frame, nullptr, ctx));
-        u.sort_key.push_back(std::move(v));
-      }
-      u.frame = OwnedFrame(frame);
-      units.push_back(std::move(u));
-    }
-    std::vector<bool> asc;
-    for (const auto& [e, a] : plan.order_keys) asc.push_back(a);
-    std::stable_sort(units.begin(), units.end(),
-                     [&](const SortUnit& a, const SortUnit& b) {
-                       return CompareRows(a.sort_key, b.sort_key, &asc) < 0;
-                     });
-    for (SortUnit& u : units) {
-      Frame view = u.frame.View();
-      Row row;
-      for (const Expr* p : plan.projections) {
-        TAURUS_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, view, nullptr, ctx));
-        row.push_back(std::move(v));
-      }
-      output.push_back(std::move(row));
-    }
+    TAURUS_RETURN_IF_ERROR(FinishSort(plan, std::move(units), ctx, &output));
+  } else if (par.engaged) {
+    output = std::move(par.rows);
   } else {
     // ---- Streaming projection with early LIMIT exit. ----
     int64_t want = has_limit ? plan.offset + plan.limit : -1;

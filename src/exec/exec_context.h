@@ -1,6 +1,7 @@
 #ifndef TAURUS_EXEC_EXEC_CONTEXT_H_
 #define TAURUS_EXEC_EXEC_CONTEXT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -13,9 +14,26 @@
 
 namespace taurus {
 
+class ThreadPool;
+
 /// Per-query execution state: the storage handles, the compiled plan (for
 /// expression-subquery lookup), result caches and instrumentation counters.
+///
+/// Under the morsel-driven parallel executor the root context is sharded:
+/// each worker gets a private ExecContext whose counters accumulate locally
+/// and merge back into the root at pipeline end (MergeShard). The one piece
+/// of state that must stay globally exact while workers run is the Orca
+/// detour's row budget, so it is enforced through a single atomic counter
+/// owned by the root and shared by every shard — a kResourceExhausted kill
+/// fires at the same global row count regardless of how rows were split.
+///
+/// Non-copyable (the shared budget counter is an atomic); the engine creates
+/// one root context per execution attempt.
 struct ExecContext {
+  ExecContext() = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
   const Storage* storage = nullptr;
   CompiledQuery* query = nullptr;
 
@@ -39,19 +57,75 @@ struct ExecContext {
   double exec_deadline_ms = 0.0;          ///< absolute, on clock_ms timeline
   std::function<double()> clock_ms;       ///< set iff exec_deadline_ms > 0
 
-  /// Counts one scanned row against the budget. The deadline is polled
-  /// every 256 rows to keep the clock off the per-row hot path.
+  // --- Morsel-driven parallelism (see DESIGN.md section 8) ---
+
+  /// Worker pool, or null to force every pipeline serial. Worker shards
+  /// never carry a pool (no nested parallelism).
+  ThreadPool* pool = nullptr;
+  /// Resolved degree-of-parallelism knob (>= 1; 1 = serial).
+  int parallel_workers = 1;
+  /// Rows per morsel carved from the driving table scan.
+  int64_t morsel_rows = 2048;
+  /// Pipelines whose driving table is smaller than this stay serial, so
+  /// short OLTP-style queries never pay pool hand-off overhead.
+  int64_t parallel_min_driver_rows = 32768;
+  /// True for per-worker shards (suppresses nested parallel attempts).
+  bool is_worker_shard = false;
+
+  // Parallel-execution stats, merged into QueryResult by the engine.
+  int parallel_pipelines = 0;   ///< pipelines that ran morsel-parallel
+  int max_workers_used = 1;     ///< widest DOP any pipeline actually used
+
+  /// Counts one scanned row against the budget. The row cap is charged on
+  /// the shared atomic so concurrent shards trip it at one deterministic
+  /// global count; the deadline is polled every 256 *locally charged* rows
+  /// (a per-context stride — a stride on the global counter would make
+  /// sharded workers poll the clock 1/Nth as often each).
   Status ChargeScannedRow() {
     ++rows_scanned;
-    if (max_rows_scanned > 0 && rows_scanned > max_rows_scanned) {
+    if (max_rows_scanned > 0 &&
+        budget_rows()->fetch_add(1, std::memory_order_relaxed) + 1 >
+            max_rows_scanned) {
       return Status::ResourceExhausted("executor row budget exceeded");
     }
-    if (exec_deadline_ms > 0 && (rows_scanned & 255) == 0 && clock_ms &&
-        clock_ms() > exec_deadline_ms) {
+    if (exec_deadline_ms > 0 && (++deadline_poll_ticker_ & 255) == 0 &&
+        clock_ms && clock_ms() > exec_deadline_ms) {
       return Status::ResourceExhausted("executor deadline exceeded");
     }
     return Status::OK();
   }
+
+  /// Initializes `shard` as a worker-private view of this root context:
+  /// same storage/plan/budget (shared atomic), fresh counters and caches.
+  void InitShard(ExecContext* shard) const {
+    shard->storage = storage;
+    shard->query = query;
+    shard->max_rows_scanned = max_rows_scanned;
+    shard->exec_deadline_ms = exec_deadline_ms;
+    shard->clock_ms = clock_ms;
+    shard->shared_budget_rows_ = budget_rows();
+    shard->morsel_rows = morsel_rows;
+    shard->is_worker_shard = true;
+  }
+
+  /// Folds a finished worker shard's counters back into this root context.
+  void MergeShard(const ExecContext& shard) {
+    rows_scanned += shard.rows_scanned;
+    index_lookups += shard.index_lookups;
+    rebinds += shard.rebinds;
+  }
+
+ private:
+  /// The budget counter this context charges: the root's own atomic, or —
+  /// for worker shards — a pointer to the root's.
+  std::atomic<int64_t>* budget_rows() const {
+    return shared_budget_rows_ != nullptr ? shared_budget_rows_
+                                          : &owned_budget_rows_;
+  }
+
+  mutable std::atomic<int64_t> owned_budget_rows_{0};
+  std::atomic<int64_t>* shared_budget_rows_ = nullptr;
+  uint32_t deadline_poll_ticker_ = 0;
 };
 
 }  // namespace taurus

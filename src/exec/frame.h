@@ -35,6 +35,22 @@ struct OwnedFrame {
     }
   }
 
+  /// Captures only the `slots` of `frame` (for buffering operators that
+  /// later reconstitute just those slots, e.g. a hash join's build side —
+  /// copying the whole frame there would buffer every in-scope table's
+  /// row once per build row).
+  OwnedFrame(const Frame& frame, const std::vector<int>& slots) {
+    rows.resize(frame.size());
+    present.resize(frame.size(), false);
+    for (int s : slots) {
+      size_t i = static_cast<size_t>(s);
+      if (i < frame.size() && frame[i] != nullptr) {
+        rows[i] = *frame[i];
+        present[i] = true;
+      }
+    }
+  }
+
   /// Reconstitutes a Frame view pointing into this OwnedFrame's storage.
   /// The view is valid while this object is alive and un-moved.
   Frame View() const {

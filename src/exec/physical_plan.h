@@ -112,6 +112,17 @@ struct BlockPlan {
   std::vector<const Expr*> projections;
   std::vector<std::string> column_names;
 
+  /// True when refinement proved the block's driving pipeline safe for the
+  /// morsel-driven parallel executor: a TableScan-driven probe chain with
+  /// no correlation, no expression subqueries in worker-evaluated
+  /// expressions, and mergeable output (see DESIGN.md section 8). The
+  /// executor still applies runtime gates (worker pool present, driver
+  /// table large enough).
+  bool parallel_eligible = false;
+  /// Why the pipeline must stay serial ("" when parallel_eligible);
+  /// surfaced in EXPLAIN.
+  std::string serial_reason;
+
   // UNION [ALL] arms (each compiled independently; the head block's
   // order/limit apply to the union result).
   std::vector<std::unique_ptr<BlockPlan>> union_arms;

@@ -98,6 +98,165 @@ void CollectOwnedRefs(const QueryBlock& block, RefSet* out) {
 
 /// True when the (sub)query block references any leaf it does not own —
 /// i.e. it is correlated and must be re-evaluated per outer row.
+// ---------------------------------------------------------------------------
+// Morsel-driven parallel eligibility (see DESIGN.md section 8)
+// ---------------------------------------------------------------------------
+
+/// Collects every expression evaluated anywhere in `op`'s subtree and
+/// whether the subtree contains a derived-table scan.
+void CollectOpExprs(const PhysOp& op, bool* has_derived,
+                    std::vector<const Expr*>* out) {
+  for (const Expr* e : op.filters) out->push_back(e);
+  if (op.range_lo != nullptr) out->push_back(op.range_lo);
+  if (op.range_hi != nullptr) out->push_back(op.range_hi);
+  for (const Expr* e : op.lookup_keys) out->push_back(e);
+  for (const Expr* e : op.conds) out->push_back(e);
+  for (const auto& [l, r] : op.hash_keys) {
+    out->push_back(l);
+    out->push_back(r);
+  }
+  if (op.kind == PhysOp::Kind::kDerivedScan) *has_derived = true;
+  if (op.child != nullptr) CollectOpExprs(*op.child, has_derived, out);
+  if (op.right != nullptr) CollectOpExprs(*op.right, has_derived, out);
+}
+
+/// Decides whether the block's driving pipeline is safe for the
+/// morsel-driven parallel executor and records the verdict (or the reason
+/// it must stay serial) on the plan. The walk mirrors the executor's
+/// driving-path descent: Filter -> child, hash join -> probe child,
+/// NL join -> left; the driver must be a full TableScan (index-range
+/// drivers deliver rows in index order, which splitting would destroy).
+void AnalyzeParallelSafety(BlockPlan* plan, int num_refs) {
+  plan->parallel_eligible = false;
+  if (plan->join_root == nullptr) {
+    plan->serial_reason = "no driving table";
+    return;
+  }
+
+  // Expressions evaluated on worker threads (driving path + NL inner
+  // sides + per-row block-level work) vs. anywhere (adds hash-join build
+  // sides, which the main thread materializes once before fan-out).
+  std::vector<const Expr*> worker_exprs;
+  std::vector<const Expr*> all_exprs;
+  bool worker_derived = false;
+  bool build_derived = false;
+
+  const PhysOp* cur = plan->join_root.get();
+  const PhysOp* driver = nullptr;
+  while (cur != nullptr && driver == nullptr) {
+    switch (cur->kind) {
+      case PhysOp::Kind::kTableScan:
+        for (const Expr* e : cur->filters) worker_exprs.push_back(e);
+        driver = cur;
+        break;
+      case PhysOp::Kind::kFilter:
+        for (const Expr* e : cur->conds) worker_exprs.push_back(e);
+        cur = cur->child.get();
+        break;
+      case PhysOp::Kind::kHashJoin: {
+        if (cur->join_type == JoinType::kSemi ||
+            cur->join_type == JoinType::kAntiSemi) {
+          plan->serial_reason = "semi/anti-join probe pipeline";
+          return;
+        }
+        for (const Expr* e : cur->conds) worker_exprs.push_back(e);
+        for (const auto& [l, r] : cur->hash_keys) {
+          worker_exprs.push_back(l);
+          worker_exprs.push_back(r);
+        }
+        bool build_is_left = (cur->join_type == JoinType::kInner ||
+                              cur->join_type == JoinType::kCross);
+        const PhysOp* build =
+            build_is_left ? cur->child.get() : cur->right.get();
+        CollectOpExprs(*build, &build_derived, &all_exprs);
+        cur = build_is_left ? cur->right.get() : cur->child.get();
+        break;
+      }
+      case PhysOp::Kind::kNLJoin: {
+        if (cur->join_type == JoinType::kSemi ||
+            cur->join_type == JoinType::kAntiSemi) {
+          plan->serial_reason = "semi/anti-join probe pipeline";
+          return;
+        }
+        for (const Expr* e : cur->conds) worker_exprs.push_back(e);
+        // The inner side re-opens per driver row on the worker.
+        CollectOpExprs(*cur->right, &worker_derived, &worker_exprs);
+        cur = cur->child.get();
+        break;
+      }
+      case PhysOp::Kind::kIndexRange:
+        plan->serial_reason = "ordered index-range driver";
+        return;
+      case PhysOp::Kind::kIndexLookup:
+        plan->serial_reason = "index-lookup driver";
+        return;
+      case PhysOp::Kind::kDerivedScan:
+        plan->serial_reason = "derived-table driver";
+        return;
+    }
+  }
+  if (driver == nullptr) {
+    plan->serial_reason = "no table-scan driver";
+    return;
+  }
+  if (worker_derived) {
+    plan->serial_reason = "derived table on a worker-side inner loop";
+    return;
+  }
+
+  // Block-level expressions: group keys and aggregate arguments run per
+  // pipeline row on workers; sort keys and projections may too, depending
+  // on the pipeline shape. Treat them all as worker-evaluated.
+  for (const Expr* g : plan->group_exprs) worker_exprs.push_back(g);
+  for (const Expr* a : plan->agg_exprs) worker_exprs.push_back(a);
+  for (const auto& [e, asc] : plan->order_keys) worker_exprs.push_back(e);
+  for (const Expr* p : plan->projections) worker_exprs.push_back(p);
+  if (plan->having != nullptr) worker_exprs.push_back(plan->having);
+
+  // Expression subqueries re-enter the executor and mutate the context's
+  // subplan cache — only the main thread may do that.
+  for (const Expr* e : worker_exprs) {
+    if (ContainsSubquery(*e)) {
+      plan->serial_reason = "expression subquery in pipeline";
+      return;
+    }
+  }
+
+  // Correlation: any reference to a leaf outside this block's join tree
+  // means the pipeline's results depend on outer bindings; it runs (and
+  // possibly re-runs per outer row) serially.
+  std::vector<bool> owned(static_cast<size_t>(num_refs), false);
+  std::vector<const PhysOp*> leaves;
+  plan->join_root->CollectLeaves(&leaves);
+  for (const PhysOp* leaf : leaves) {
+    if (leaf->leaf != nullptr && leaf->leaf->ref_id >= 0 &&
+        leaf->leaf->ref_id < num_refs) {
+      owned[static_cast<size_t>(leaf->leaf->ref_id)] = true;
+    }
+  }
+  std::vector<bool> used(static_cast<size_t>(num_refs), false);
+  for (const Expr* e : worker_exprs) CollectReferencedRefs(*e, &used);
+  for (const Expr* e : all_exprs) CollectReferencedRefs(*e, &used);
+  for (int r = 0; r < num_refs; ++r) {
+    if (used[static_cast<size_t>(r)] && !owned[static_cast<size_t>(r)]) {
+      plan->serial_reason = "correlated pipeline";
+      return;
+    }
+  }
+
+  // A plain streaming pipeline with a row limit short-circuits the scan;
+  // splitting it would trade the early exit for wasted whole-table work.
+  if (plan->limit >= 0 && plan->agg_mode == AggMode::kNone &&
+      (plan->order_keys.empty() || plan->order_satisfied) &&
+      !plan->distinct) {
+    plan->serial_reason = "row-limit early exit";
+    return;
+  }
+
+  plan->parallel_eligible = true;
+  plan->serial_reason.clear();
+}
+
 bool BlockIsCorrelated(const QueryBlock& block, int num_refs) {
   RefSet owned(static_cast<size_t>(num_refs), 0);
   CollectOwnedRefs(block, &owned);
@@ -823,6 +982,7 @@ Result<std::unique_ptr<BlockPlan>> Refiner::RefineBlock(
       plan->union_order_positions.emplace_back(pos, asc);
     }
   }
+  AnalyzeParallelSafety(plan.get(), num_refs_);
   return plan;
 }
 
