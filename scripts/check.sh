@@ -3,14 +3,39 @@
 # Exits nonzero on the first failing step.
 #
 # Usage: scripts/check.sh [build-dir]
+#   Default mode runs two legs:
+#     1. RelWithDebInfo with -DTAURUS_WERROR=ON (warnings are errors), the
+#        configuration the plan verifiers gate behind the verify_plans knob.
+#     2. Debug in build-debug, where the plan verifiers are always on
+#        (kVerifyPlansDefault) and assertions are live.
 #   TAURUS_SANITIZE=address|undefined|thread scripts/check.sh
 #     opt-in sanitizer mode: builds with -fsanitize=<value> in its own
 #     build dir (build-asan / build-ubsan / build-tsan / build-san) and
 #     runs the suite under the sanitizer. The thread leg exercises the
 #     morsel-driven parallel executor's concurrency.
+#   TAURUS_LINT=1 scripts/check.sh
+#     lint mode: runs clang-tidy (config in .clang-tidy) over src/ using
+#     the compile database from the default build dir instead of the test
+#     legs. Skips with a message and exit 0 when clang-tidy is not
+#     installed, so the gate is a no-op on machines without it.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [[ -n "${TAURUS_LINT:-}" && "${TAURUS_LINT}" != "0" ]]; then
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "check.sh: clang-tidy not found; skipping lint leg." >&2
+    exit 0
+  fi
+  build_dir="${1:-$repo_root/build}"
+  # Configure (not build) is enough to emit compile_commands.json.
+  cmake -B "$build_dir" -S "$repo_root" >/dev/null
+  mapfile -t sources < <(find "$repo_root/src" -name '*.cc' | sort)
+  echo "check.sh: clang-tidy over ${#sources[@]} files in src/"
+  clang-tidy -p "$build_dir" --quiet "${sources[@]}"
+  echo "check.sh: lint leg passed."
+  exit 0
+fi
 
 cmake_flags=()
 if [[ -n "${TAURUS_SANITIZE:-}" ]]; then
@@ -26,10 +51,22 @@ if [[ -n "${TAURUS_SANITIZE:-}" ]]; then
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
   # TSan exits nonzero on any report; second_deadlock_stack aids triage.
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
-else
-  build_dir="${1:-$repo_root/build}"
+
+  cmake -B "$build_dir" -S "$repo_root" "${cmake_flags[@]}"
+  cmake --build "$build_dir" -j "$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+  exit 0
 fi
 
-cmake -B "$build_dir" -S "$repo_root" ${cmake_flags[@]+"${cmake_flags[@]}"}
+build_dir="${1:-$repo_root/build}"
+
+echo "check.sh: leg 1/2 — RelWithDebInfo, warnings as errors"
+cmake -B "$build_dir" -S "$repo_root" -DTAURUS_WERROR=ON
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+echo "check.sh: leg 2/2 — Debug, plan verifiers always on"
+debug_dir="$repo_root/build-debug"
+cmake -B "$debug_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Debug -DTAURUS_WERROR=ON
+cmake --build "$debug_dir" -j "$(nproc)"
+ctest --test-dir "$debug_dir" --output-on-failure -j "$(nproc)"

@@ -9,6 +9,9 @@
 #include "bridge/plan_converter.h"
 #include "orca/optimizer.h"
 #include "parser/ast_util.h"
+#include "verify/logical_verifier.h"
+#include "verify/physical_verifier.h"
+#include "verify/skeleton_verifier.h"
 
 namespace taurus {
 
@@ -58,13 +61,22 @@ OrcaPathOptimizer::OrcaPathOptimizer(const Catalog& catalog,
                                      BoundStatement* stmt,
                                      MetadataProvider* mdp,
                                      const OrcaConfig& config,
-                                     ResourceGovernor* governor)
+                                     ResourceGovernor* governor,
+                                     const PlanVerifyConfig* verify)
     : catalog_(catalog),
       stmt_(stmt),
       mdp_(mdp),
       config_(config),
       governor_(governor),
+      verify_(verify),
       stats_(catalog, stmt->leaves, mdp) {}
+
+Status OrcaPathOptimizer::CheckEnforce(const char* subsystem) const {
+  if (!ShouldVerify() || !verify_->enforce || verify_report_.ok()) {
+    return Status::OK();
+  }
+  return verify_report_.ToStatus(subsystem);
+}
 
 Result<std::unique_ptr<BlockSkeleton>> OrcaPathOptimizer::Optimize() {
   if (config_.enable_decorrelation) {
@@ -79,6 +91,13 @@ Result<std::unique_ptr<BlockSkeleton>> OrcaPathOptimizer::Optimize() {
   if (skel.ok()) {
     metrics_.mdp_dxl_requests = mdp_->dxl_requests();
     metrics_.mdp_cache_hits = mdp_->cache_hits();
+    if (ShouldVerify()) {
+      // Statement-level skeleton invariants, including the CTE
+      // single-producer/n-consumer pairing (an Orca-detour property).
+      VerifySkeletonPlan(*skel.value(), catalog_,
+                         /*check_cte_pairing=*/true, &verify_report_);
+      TAURUS_RETURN_IF_ERROR(CheckEnforce("verify.skeleton"));
+    }
   }
   return skel;
 }
@@ -215,13 +234,25 @@ Result<std::unique_ptr<BlockSkeleton>> OrcaPathOptimizer::OptimizeBlock(
     TAURUS_ASSIGN_OR_RETURN(
         auto logical,
         ConvertBlockToOrcaLogical(block, stmt_->num_refs, mdp_, config_));
+    if (ShouldVerify()) {
+      VerifyLogicalTree(*logical, *block, *stmt_, &verify_report_);
+      TAURUS_RETURN_IF_ERROR(CheckEnforce("verify.logical"));
+    }
     OrcaOptimizer optimizer(config_, &stats_, stmt_->num_refs, governor_);
     TAURUS_ASSIGN_OR_RETURN(auto physical, optimizer.Optimize(logical.get()));
     metrics_.partitions_evaluated += optimizer.partitions_evaluated();
     metrics_.memo_groups += optimizer.num_groups();
+    if (ShouldVerify()) {
+      VerifyPhysicalPlan(*physical, *block, &verify_report_);
+      TAURUS_RETURN_IF_ERROR(CheckEnforce("verify.physical"));
+    }
     TAURUS_ASSIGN_OR_RETURN(skel->root,
                             ConvertOrcaPlanToSkeleton(*physical, *block,
                                                       config_));
+    if (ShouldVerify()) {
+      VerifyBuildProbeFlip(*skel->root, *physical, &verify_report_);
+      TAURUS_RETURN_IF_ERROR(CheckEnforce("verify.skeleton"));
+    }
     rows = physical->rows;
     cost = physical->cost;
   }

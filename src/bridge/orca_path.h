@@ -13,6 +13,7 @@
 #include "mdp/stats_adapter.h"
 #include "myopt/skeleton.h"
 #include "orca/orca.h"
+#include "verify/diagnostics.h"
 
 namespace taurus {
 
@@ -42,16 +43,32 @@ class OrcaPathOptimizer {
  public:
   /// `governor`, when non-null, bounds every memo search this detour runs
   /// (blocks share one budget); kResourceExhausted aborts the detour.
+  /// `verify`, when non-null with verify_plans set, runs the boundary
+  /// verifiers (logical after the parse tree converter, physical on Orca's
+  /// output, flip legality and skeleton invariants after the plan
+  /// converter); with enforce set, an error-severity violation aborts the
+  /// detour with kPlanInvariantViolation.
   OrcaPathOptimizer(const Catalog& catalog, BoundStatement* stmt,
                     MetadataProvider* mdp, const OrcaConfig& config,
-                    ResourceGovernor* governor = nullptr);
+                    ResourceGovernor* governor = nullptr,
+                    const PlanVerifyConfig* verify = nullptr);
 
   Result<std::unique_ptr<BlockSkeleton>> Optimize();
 
   const OrcaPathMetrics& metrics() const { return metrics_; }
 
+  /// Diagnostics accumulated by the boundary verifiers across all blocks.
+  const VerifyReport& verify_report() const { return verify_report_; }
+
  private:
   Result<std::unique_ptr<BlockSkeleton>> OptimizeBlock(QueryBlock* block);
+
+  bool ShouldVerify() const {
+    return verify_ != nullptr && verify_->verify_plans;
+  }
+  /// OK unless enforcement is on and the report has a new error; then the
+  /// first error as kPlanInvariantViolation with origin `subsystem`.
+  Status CheckEnforce(const char* subsystem) const;
 
   /// Maps a CTE producer skeleton onto another bound copy of the same CTE
   /// body (clone-structured blocks).
@@ -63,8 +80,10 @@ class OrcaPathOptimizer {
   MetadataProvider* mdp_;
   const OrcaConfig& config_;
   ResourceGovernor* governor_;
+  const PlanVerifyConfig* verify_;
   MdpStatsProvider stats_;
   OrcaPathMetrics metrics_;
+  VerifyReport verify_report_;
   std::map<std::string, const BlockSkeleton*> cte_templates_;
 };
 

@@ -23,8 +23,9 @@ double ResourceGovernor::NowMs() const {
 Status ResourceGovernor::ChargeMemoGroups(int total_groups) {
   if (config_->max_memo_groups > 0 && total_groups > config_->max_memo_groups) {
     return Status::ResourceExhausted(
-        "memo group budget exceeded (" + std::to_string(total_groups) + " > " +
-        std::to_string(config_->max_memo_groups) + ")");
+               "memo group budget exceeded (" + std::to_string(total_groups) +
+               " > " + std::to_string(config_->max_memo_groups) + ")")
+        .SetOrigin("orca.governor", "max_memo_groups");
   }
   return CheckDeadline();
 }
@@ -34,8 +35,10 @@ Status ResourceGovernor::ChargePartitionPair() {
   if (config_->max_partition_pairs > 0 &&
       pairs_charged_ > config_->max_partition_pairs) {
     return Status::ResourceExhausted(
-        "partition pair budget exceeded (" + std::to_string(pairs_charged_) +
-        " > " + std::to_string(config_->max_partition_pairs) + ")");
+               "partition pair budget exceeded (" +
+               std::to_string(pairs_charged_) + " > " +
+               std::to_string(config_->max_partition_pairs) + ")")
+        .SetOrigin("orca.governor", "max_partition_pairs");
   }
   if ((pairs_charged_ & 63) == 0) return CheckDeadline();
   return Status::OK();
@@ -46,8 +49,10 @@ Status ResourceGovernor::CheckDeadline() {
   double elapsed = NowMs() - start_ms_;
   if (elapsed > config_->optimize_deadline_ms) {
     return Status::ResourceExhausted(
-        "optimizer deadline exceeded (" + std::to_string(elapsed) + " ms > " +
-        std::to_string(config_->optimize_deadline_ms) + " ms)");
+               "optimizer deadline exceeded (" + std::to_string(elapsed) +
+               " ms > " + std::to_string(config_->optimize_deadline_ms) +
+               " ms)")
+        .SetOrigin("orca.governor", "optimize_deadline_ms");
   }
   return Status::OK();
 }

@@ -26,7 +26,11 @@ class Result {
 
   const Status& status() const {
     static const Status kOk = Status::OK();
-    return ok() ? kOk : std::get<Status>(repr_);
+    // get_if (not ok() ? ... : std::get) so GCC 12 does not speculate a
+    // read of the Status alternative while the variant holds a T, which
+    // trips -Wmaybe-uninitialized under -O2.
+    const Status* s = std::get_if<Status>(&repr_);
+    return s != nullptr ? *s : kOk;
   }
 
   T& value() & {

@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ExecutionError";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kPlanInvariantViolation:
+      return "PlanInvariantViolation";
   }
   return "Unknown";
 }
@@ -35,6 +37,13 @@ std::string Status::ToString() const {
   std::string out = StatusCodeName(code_);
   out += ": ";
   out += message_;
+  if (!subsystem_.empty() || !rule_.empty()) {
+    out += " [";
+    out += subsystem_;
+    out += "/";
+    out += rule_;
+    out += "]";
+  }
   return out;
 }
 

@@ -22,6 +22,7 @@ enum class StatusCode {
   kInternal,
   kExecutionError,
   kResourceExhausted,
+  kPlanInvariantViolation,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "SyntaxError", ...).
@@ -67,17 +68,35 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status PlanInvariantViolation(std::string msg) {
+    return Status(StatusCode::kPlanInvariantViolation, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  /// "OK" or "<CodeName>: <message>".
+  /// Attaches the originating subsystem and the specific rule/limit name
+  /// (e.g. "orca.governor" / "max_memo_groups", "verify.skeleton" / "S004")
+  /// so downstream consumers — `fallback_reason` above all — report a
+  /// precise cause instead of a bare status code. Chainable on temporaries.
+  Status& SetOrigin(std::string subsystem, std::string rule) {
+    subsystem_ = std::move(subsystem);
+    rule_ = std::move(rule);
+    return *this;
+  }
+  const std::string& origin_subsystem() const { return subsystem_; }
+  const std::string& origin_rule() const { return rule_; }
+
+  /// "OK" or "<CodeName>: <message>", plus " [subsystem/rule]" when an
+  /// origin was attached.
   std::string ToString() const;
 
  private:
   StatusCode code_;
   std::string message_;
+  std::string subsystem_;
+  std::string rule_;
 };
 
 /// Evaluates `expr` (a Status expression); returns it from the enclosing

@@ -13,6 +13,8 @@
 #include "myopt/mysql_optimizer.h"
 #include "myopt/refine.h"
 #include "parser/parser.h"
+#include "verify/block_verifier.h"
+#include "verify/skeleton_verifier.h"
 
 namespace taurus {
 
@@ -271,9 +273,29 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileFromCacheEntry(
     });
   }
   TAURUS_ASSIGN_OR_RETURN(auto skeleton, ThawSkeleton(entry.skeleton, stmt));
+  // Thaw verification: a cached skeleton that no longer satisfies the
+  // invariants (stale freeze format, catalog drift the version check
+  // missed) fails the compile here, and CompileInternal recompiles from
+  // SQL with the cache bypassed.
+  VerifyReport report;
+  if (verify_config_.verify_plans) {
+    VerifySkeletonPlan(*skeleton, catalog_,
+                       /*check_cte_pairing=*/entry.used_orca, &report);
+    if (verify_config_.enforce && !report.ok()) {
+      return report.ToStatus("verify.thaw");
+    }
+  }
   TAURUS_ASSIGN_OR_RETURN(auto compiled,
                           RefinePlan(std::move(stmt), *skeleton, catalog_));
   compiled->used_orca = entry.used_orca;
+  if (verify_config_.verify_plans) {
+    VerifyBlockPlan(*compiled, &report);
+    if (verify_config_.enforce && entry.used_orca && !report.ok()) {
+      return report.ToStatus("verify.block");
+    }
+  }
+  compiled->verifier_rules = report.rules_checked;
+  compiled->verifier_violations = report.violations();
   return compiled;
 }
 
@@ -361,8 +383,11 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
     ResourceGovernor governor(resource_budget_);
     OrcaPathOptimizer orca(
         catalog_, &stmt, &mdp_, orca_config_,
-        resource_budget_.governs_optimize() ? &governor : nullptr);
+        resource_budget_.governs_optimize() ? &governor : nullptr,
+        &verify_config_);
     auto orca_skel = orca.Optimize();
+    int verifier_rules = orca.verify_report().rules_checked;
+    int verifier_violations = orca.verify_report().violations();
     if (orca_skel.ok()) {
       std::unique_ptr<BlockSkeleton> skeleton = std::move(*orca_skel);
       last_orca_metrics_ = orca.metrics();
@@ -380,15 +405,30 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
       if (refined.ok()) {
         auto compiled = std::move(*refined);
         compiled->used_orca = true;
-        compiled->fingerprint = fingerprint;
-        compiled->optimize_ms = MsSince(start);
-        if (cacheable) {
-          cache_plan(*skeleton, std::move(frozen), /*used_orca=*/true,
-                     compiled->optimize_ms);
+        // Post-refinement boundary: the executable block plan (B001-B003).
+        if (verify_config_.verify_plans) {
+          VerifyReport block_report;
+          VerifyBlockPlan(*compiled, &block_report);
+          verifier_rules += block_report.rules_checked;
+          verifier_violations += block_report.violations();
+          if (verify_config_.enforce && !block_report.ok()) {
+            detour_error = block_report.ToStatus("verify.block");
+          }
         }
-        return compiled;
+        if (detour_error.ok()) {
+          compiled->verifier_rules = verifier_rules;
+          compiled->verifier_violations = verifier_violations;
+          compiled->fingerprint = fingerprint;
+          compiled->optimize_ms = MsSince(start);
+          if (cacheable) {
+            cache_plan(*skeleton, std::move(frozen), /*used_orca=*/true,
+                       compiled->optimize_ms);
+          }
+          return compiled;
+        }
+      } else {
+        detour_error = refined.status();
       }
-      detour_error = refined.status();
     } else {
       detour_error = orca_skel.status();
     }
@@ -417,6 +457,16 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
   // MySQL path: direct route, quarantine skip, or clean fallback.
   TAURUS_ASSIGN_OR_RETURN(auto skeleton, MySqlOptimize(catalog_, &stmt));
 
+  // Counts-only on the MySQL path: it is the fallback of last resort, so
+  // violations are surfaced in QueryResult/EXPLAIN but never fatal. S005
+  // (CTE pairing) is skipped — the native optimizer legitimately plans
+  // each CTE copy independently.
+  VerifyReport mysql_report;
+  if (verify_config_.verify_plans) {
+    VerifySkeletonPlan(*skeleton, catalog_, /*check_cte_pairing=*/false,
+                       &mysql_report);
+  }
+
   // Freeze before refinement consumes the statement.
   FrozenBlockSkeleton frozen;
   bool cacheable = false;
@@ -431,6 +481,11 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
   TAURUS_ASSIGN_OR_RETURN(auto compiled,
                           RefinePlan(std::move(stmt), *skeleton, catalog_));
   compiled->used_orca = false;
+  if (verify_config_.verify_plans) {
+    VerifyBlockPlan(*compiled, &mysql_report);
+  }
+  compiled->verifier_rules = mysql_report.rules_checked;
+  compiled->verifier_violations = mysql_report.violations();
   compiled->fell_back = last_fell_back_;
   if (!detour_error.ok()) compiled->fallback_reason = detour_error.ToString();
   compiled->quarantine_hit = quarantine_hit;
@@ -456,10 +511,20 @@ Result<QueryResult> Database::Query(const std::string& sql,
   out.fell_back = compiled->fell_back;
   out.fallback_reason = compiled->fallback_reason;
   out.quarantine_hit = compiled->quarantine_hit;
+  out.verifier_rules = compiled->verifier_rules;
+  out.verifier_violations = compiled->verifier_violations;
 
   auto start = std::chrono::steady_clock::now();
   ExecContext ctx;
   ArmExecContext(&ctx, compiled->used_orca);
+  if (verify_config_.verify_plans) {
+    // B004 — budget hooks present on the armed execution context.
+    VerifyReport arm_report;
+    VerifyExecBudgetArming(compiled->used_orca,
+                           resource_budget_.governs_exec(), ctx, &arm_report);
+    out.verifier_rules += arm_report.rules_checked;
+    out.verifier_violations += arm_report.violations();
+  }
   ExecContext* final_ctx = &ctx;
   auto rows = ExecuteQuery(compiled.get(), storage_, &ctx);
   ExecContext retry_ctx;  // ExecContext is non-copyable (shared atomic
@@ -483,7 +548,17 @@ Result<QueryResult> Database::Query(const std::string& sql,
     out.fallback_reason = kill.ToString();
     out.plan_cache_hit = compiled->plan_cache_hit;
     out.optimize_ms += compiled->optimize_ms;
+    out.verifier_rules += compiled->verifier_rules;
+    out.verifier_violations += compiled->verifier_violations;
     ArmExecContext(&retry_ctx, /*used_orca=*/false);
+    if (verify_config_.verify_plans) {
+      VerifyReport arm_report;
+      VerifyExecBudgetArming(/*used_orca=*/false,
+                             resource_budget_.governs_exec(), retry_ctx,
+                             &arm_report);
+      out.verifier_rules += arm_report.rules_checked;
+      out.verifier_violations += arm_report.violations();
+    }
     rows = ExecuteQuery(compiled.get(), storage_, &retry_ctx);
     final_ctx = &retry_ctx;
     if (!rows.ok()) return rows.status();

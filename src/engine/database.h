@@ -57,6 +57,11 @@ struct QueryResult {
   int parallel_workers_used = 1;
   /// How many pipelines ran through the morsel-driven parallel executor.
   int parallel_pipelines = 0;
+  /// Plan-verifier summary: rule evaluations across every boundary verifier
+  /// that ran for this query (compile-time passes plus the exec-budget
+  /// arming check), and how many fired.
+  int verifier_rules = 0;
+  int verifier_violations = 0;
 };
 
 /// Morsel-driven parallel executor knobs (see DESIGN.md section 8).
@@ -140,6 +145,9 @@ class Database {
   ResourceBudgetConfig& resource_budget() { return resource_budget_; }
   QuarantineConfig& quarantine_config() { return quarantine_config_; }
   ExecutorConfig& exec_config() { return exec_config_; }
+  /// Cross-layer plan verifier knobs (always-on in Debug/sanitizer builds,
+  /// opt-in in Release).
+  PlanVerifyConfig& verify_config() { return verify_config_; }
 
   /// The skeleton-plan cache (exposed for stats, Clear() and capacity
   /// tuning in tests and benches).
@@ -210,6 +218,7 @@ class Database {
   ResourceBudgetConfig resource_budget_;
   QuarantineConfig quarantine_config_;
   ExecutorConfig exec_config_;
+  PlanVerifyConfig verify_config_;
   std::unique_ptr<ThreadPool> pool_;
   std::unordered_map<uint64_t, QuarantineEntry> quarantine_;
   OptimizerHealth health_;

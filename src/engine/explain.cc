@@ -58,6 +58,11 @@ class ExplainRenderer {
     } else if (query_->fell_back) {
       out += "orca detour fell back (" + query_->fallback_reason + ")\n";
     }
+    if (query_->verifier_rules > 0) {
+      out += "plan_verifier: " + std::to_string(query_->verifier_rules) +
+             " rules, " + std::to_string(query_->verifier_violations) +
+             " violations\n";
+    }
     RenderBlock(*query_->root, 0, &out);
     for (size_t i = 0; i < query_->subplans.size(); ++i) {
       out += "Subquery #" + std::to_string(i + 1) +

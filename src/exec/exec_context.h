@@ -86,11 +86,13 @@ struct ExecContext {
     if (max_rows_scanned > 0 &&
         budget_rows()->fetch_add(1, std::memory_order_relaxed) + 1 >
             max_rows_scanned) {
-      return Status::ResourceExhausted("executor row budget exceeded");
+      return Status::ResourceExhausted("executor row budget exceeded")
+          .SetOrigin("exec.budget", "max_exec_rows");
     }
     if (exec_deadline_ms > 0 && (++deadline_poll_ticker_ & 255) == 0 &&
         clock_ms && clock_ms() > exec_deadline_ms) {
-      return Status::ResourceExhausted("executor deadline exceeded");
+      return Status::ResourceExhausted("executor deadline exceeded")
+          .SetOrigin("exec.budget", "exec_deadline_ms");
     }
     return Status::OK();
   }

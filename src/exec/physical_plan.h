@@ -181,6 +181,12 @@ struct CompiledQuery {
   bool quarantine_hit = false;
   /// Statement fingerprint hash (0 when fingerprinting was skipped).
   uint64_t fingerprint = 0;
+
+  /// Plan-verifier summary for this compilation: total rule evaluations
+  /// across the boundary verifiers that ran, and how many fired (surfaced
+  /// in EXPLAIN as "plan_verifier: N rules, M violations").
+  int verifier_rules = 0;
+  int verifier_violations = 0;
 };
 
 }  // namespace taurus

@@ -62,7 +62,7 @@ class Binder {
   static constexpr int kMaxExprDepth = 256;
 
   struct DepthGuard {
-    explicit DepthGuard(int* depth) : depth(depth) { ++*depth; }
+    explicit DepthGuard(int* d) : depth(d) { ++*depth; }
     ~DepthGuard() { --*depth; }
     int* depth;
   };

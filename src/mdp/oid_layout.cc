@@ -160,7 +160,7 @@ Result<int64_t> AggExprOid(TypeCategory cat, AggFunc func) {
 }
 
 Result<ExprPoint> DecodeExprOid(int64_t oid) {
-  ExprPoint p;
+  ExprPoint p{};
   if (oid >= kArithBase && oid < kArithBase + kNumArithExprs) {
     int64_t e = oid - kArithBase;
     p.family = ExprPoint::Family::kArith;

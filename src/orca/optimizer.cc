@@ -60,6 +60,10 @@ struct GroupState {
   OrcaPhysicalOp::Kind impl = OrcaPhysicalOp::Kind::kHashJoin;
   JoinType join_type = JoinType::kInner;
   int inner_index = -1;  ///< index for index-NLJ lookups on the right leaf
+  /// Total lookup work charged for the inner side of an index NLJ (what the
+  /// extracted IndexLookup node reports as its cumulative cost — the unit's
+  /// standalone access cost is not on the join's cost scale).
+  double inner_lookup_cost = 0.0;
 };
 
 class JoinSearch {
@@ -591,6 +595,8 @@ Status JoinSearch::TryPartition(uint64_t set, uint64_t a, uint64_t b,
           g->impl = OrcaPhysicalOp::Kind::kNLJoin;
           g->join_type = jt;
           g->inner_index = static_cast<int>(i);
+          g->inner_lookup_cost =
+              rows_a * (cp.index_descend + match * cp.index_row);
         }
       }
     }
@@ -811,6 +817,7 @@ std::unique_ptr<OrcaPhysicalOp> JoinSearch::Extract(uint64_t set) {
     GroupState& gr = GroupOf(g.right);
     auto right = BuildLeafPlan(gr.leaf_unit, true, g.inner_index);
     right->memo_group = gr.id;
+    right->cost = g.inner_lookup_cost;
     op->children.push_back(std::move(right));
   } else {
     op->children.push_back(Extract(g.right));

@@ -109,7 +109,7 @@ class Parser {
   static constexpr int kMaxExprDepth = 200;
 
   struct DepthGuard {
-    explicit DepthGuard(int* depth) : depth(depth) { ++*depth; }
+    explicit DepthGuard(int* d) : depth(d) { ++*depth; }
     ~DepthGuard() { --*depth; }
     int* depth;
   };

@@ -1,0 +1,53 @@
+#include "verify/diagnostics.h"
+
+namespace taurus {
+
+int VerifyReport::violations() const {
+  int n = 0;
+  for (const PlanDiagnostic& d : diags) {
+    if (d.severity == VerifySeverity::kError) ++n;
+  }
+  return n;
+}
+
+void VerifyReport::Merge(const VerifyReport& other) {
+  rules_checked += other.rules_checked;
+  diags.insert(diags.end(), other.diags.begin(), other.diags.end());
+}
+
+std::string VerifyReport::ToString() const {
+  std::string out = "plan_verifier: " + std::to_string(rules_checked) +
+                    " rules, " + std::to_string(violations()) + " violations";
+  for (const PlanDiagnostic& d : diags) {
+    out += "\n  [";
+    out += d.rule;
+    out += d.severity == VerifySeverity::kError ? "/error" : "/warning";
+    out += "] at ";
+    out += d.path;
+    out += ": ";
+    out += d.message;
+  }
+  return out;
+}
+
+Status VerifyReport::ToStatus(const std::string& subsystem) const {
+  for (const PlanDiagnostic& d : diags) {
+    if (d.severity != VerifySeverity::kError) continue;
+    Status s = Status::PlanInvariantViolation(
+        "rule " + d.rule + " at " + d.path + ": " + d.message +
+        (violations() > 1
+             ? " (+" + std::to_string(violations() - 1) + " more)"
+             : ""));
+    return s.SetOrigin(subsystem, d.rule);
+  }
+  return Status::OK();
+}
+
+bool VerifyReport::HasRule(const std::string& rule) const {
+  for (const PlanDiagnostic& d : diags) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+}  // namespace taurus

@@ -1,0 +1,80 @@
+#ifndef TAURUS_VERIFY_DIAGNOSTICS_H_
+#define TAURUS_VERIFY_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace taurus {
+
+/// Compile-time default for the `verify_plans` knob: always-on in Debug and
+/// sanitizer builds (TAURUS_SANITIZE defines TAURUS_VERIFY_PLANS_DEFAULT_ON),
+/// opt-in in Release — the discipline GPORCA ships as its debug-build plan
+/// checker.
+#if !defined(NDEBUG) || defined(TAURUS_VERIFY_PLANS_DEFAULT_ON)
+inline constexpr bool kVerifyPlansDefault = true;
+#else
+inline constexpr bool kVerifyPlansDefault = false;
+#endif
+
+/// Knobs for the cross-layer plan verifier (DESIGN.md section 9).
+struct PlanVerifyConfig {
+  /// Run the boundary verifiers during compilation.
+  bool verify_plans = kVerifyPlansDefault;
+  /// When true, an error-severity violation on the Orca detour aborts the
+  /// detour with kPlanInvariantViolation (routing through the usual
+  /// quarantine/fallback machinery). When false, violations are only
+  /// counted and surfaced in QueryResult/EXPLAIN.
+  bool enforce = true;
+};
+
+enum class VerifySeverity { kWarning, kError };
+
+/// One structured finding from a plan verifier: which rule fired, where in
+/// the IR (a slash-separated path from the root), and why.
+struct PlanDiagnostic {
+  std::string rule;  ///< rule id from the DESIGN.md catalog, e.g. "S004"
+  VerifySeverity severity = VerifySeverity::kError;
+  std::string path;  ///< path into the IR, e.g. "join/left/get(lineitem)"
+  std::string message;
+};
+
+/// Accumulated result of one or more verifier passes over a statement.
+struct VerifyReport {
+  /// Total rule evaluations performed (each verifier pass adds its fixed
+  /// rule count), surfaced as "plan_verifier: N rules, M violations".
+  int rules_checked = 0;
+  std::vector<PlanDiagnostic> diags;
+
+  void Add(std::string rule, VerifySeverity severity, std::string path,
+           std::string message) {
+    diags.push_back(PlanDiagnostic{std::move(rule), severity, std::move(path),
+                                   std::move(message)});
+  }
+  void AddError(std::string rule, std::string path, std::string message) {
+    Add(std::move(rule), VerifySeverity::kError, std::move(path),
+        std::move(message));
+  }
+
+  int violations() const;
+  bool ok() const { return violations() == 0; }
+
+  /// Folds another report's counts and diagnostics into this one.
+  void Merge(const VerifyReport& other);
+
+  /// One line per diagnostic, for logs and test failure messages.
+  std::string ToString() const;
+
+  /// OK when clean; otherwise kPlanInvariantViolation carrying the first
+  /// error's rule id as the Status origin (subsystem = `subsystem`), so
+  /// `fallback_reason` names the exact rule that fired.
+  Status ToStatus(const std::string& subsystem) const;
+
+  /// True when `rule` produced at least one diagnostic (tests).
+  bool HasRule(const std::string& rule) const;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_VERIFY_DIAGNOSTICS_H_

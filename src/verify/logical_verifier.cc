@@ -1,0 +1,242 @@
+#include "verify/logical_verifier.h"
+
+#include <map>
+#include <vector>
+
+#include "mdp/oid_layout.h"
+#include "parser/ast_util.h"
+#include "types/type.h"
+
+namespace taurus {
+
+namespace {
+
+std::string LeafName(const TableRef* leaf) {
+  if (leaf == nullptr) return "?";
+  return leaf->alias.empty() ? leaf->table_name : leaf->alias;
+}
+
+std::string NodeLabel(const OrcaLogicalOp& op) {
+  switch (op.kind) {
+    case OrcaLogicalOp::Kind::kGet:
+      return "get(" + LeafName(op.leaf) + ")";
+    case OrcaLogicalOp::Kind::kSelect:
+      return "select(" + LeafName(op.leaf) + ")";
+    case OrcaLogicalOp::Kind::kJoin:
+      return std::string("join(") + JoinTypeName(op.join_type) + ")";
+  }
+  return "?";
+}
+
+class LogicalVerifier {
+ public:
+  LogicalVerifier(const QueryBlock& block, const BoundStatement& stmt,
+                  VerifyReport* report)
+      : stmt_(stmt), report_(report) {
+    for (const TableRef* leaf : block.Leaves()) {
+      if (leaf->ref_id >= 0) block_local_[leaf->ref_id] = 0;
+    }
+  }
+
+  void Run(const OrcaLogicalOp& root) {
+    report_->rules_checked += kNumLogicalRules;
+    Walk(root, NodeLabel(root));
+    // L003: every block leaf exactly once, no foreign or duplicate Gets.
+    for (const auto& [ref_id, count] : block_local_) {
+      if (count == 1) continue;
+      report_->AddError(
+          "L003", NodeLabel(root),
+          "block leaf ref " + std::to_string(ref_id) + " appears " +
+              std::to_string(count) + " times as a Get (expected once)");
+    }
+  }
+
+ private:
+  /// Block-local ref ids referenced by `e` (not descending into subqueries,
+  /// whose blocks are verified when they are optimized).
+  std::vector<int> LocalRefs(const Expr& e) const {
+    std::vector<bool> refs(static_cast<size_t>(stmt_.num_refs), false);
+    CollectReferencedRefs(e, &refs);
+    std::vector<int> out;
+    for (const auto& [ref_id, count] : block_local_) {
+      (void)count;
+      if (refs[static_cast<size_t>(ref_id)]) out.push_back(ref_id);
+    }
+    return out;
+  }
+
+  /// L002 over one predicate expression tree.
+  void CheckExprRefs(const Expr& e, const std::string& path) {
+    if (e.kind == Expr::Kind::kColumnRef) {
+      if (e.ref_id < 0 || e.ref_id >= stmt_.num_refs ||
+          stmt_.leaves[static_cast<size_t>(e.ref_id)] == nullptr) {
+        report_->AddError("L002", path,
+                          "column ref " + e.ToString() +
+                              " has dangling table ref id " +
+                              std::to_string(e.ref_id));
+      } else {
+        const TableRef* leaf = stmt_.leaves[static_cast<size_t>(e.ref_id)];
+        if (leaf->kind == TableRef::Kind::kBase && leaf->table != nullptr &&
+            (e.column_idx < 0 ||
+             e.column_idx >= static_cast<int>(leaf->table->columns.size()))) {
+          report_->AddError("L002", path,
+                            "column ref " + e.ToString() +
+                                " has out-of-range column index " +
+                                std::to_string(e.column_idx) + " for table " +
+                                leaf->table->name);
+        }
+      }
+    }
+    // Subquery bodies are separate blocks; only this block's scope is ours.
+    for (const auto& c : e.children) CheckExprRefs(*c, path);
+  }
+
+  /// L004 for one (conjunct, oid) pair.
+  void CheckCondOid(const Expr& cond, int64_t oid, const std::string& path) {
+    if (oid == kInvalidOid) return;  // no cube point applies; nothing to check
+    auto decoded = DecodeExprOid(oid);
+    if (!decoded.ok()) {
+      report_->AddError("L004", path,
+                        "cond OID " + std::to_string(oid) +
+                            " does not decode to any expression-cube point");
+      return;
+    }
+    if (cond.kind != Expr::Kind::kBinary || cond.children.size() != 2) {
+      report_->AddError("L004", path,
+                        "cond OID " + std::to_string(oid) +
+                            " assigned to a non-binary conjunct " +
+                            cond.ToString());
+      return;
+    }
+    const ExprPoint& p = *decoded;
+    if (p.family == ExprPoint::Family::kAgg) {
+      report_->AddError("L004", path,
+                        "cond OID " + std::to_string(oid) +
+                            " decodes to an aggregate cube point");
+      return;
+    }
+    bool family_matches =
+        (p.family == ExprPoint::Family::kCmp && IsComparisonOp(cond.bop)) ||
+        (p.family == ExprPoint::Family::kArith && IsArithmeticOp(cond.bop));
+    if (!family_matches || p.op != cond.bop) {
+      report_->AddError("L004", path,
+                        "cond OID " + std::to_string(oid) + " (" +
+                            ExprOidName(oid) + ") operator disagrees with " +
+                            cond.ToString());
+      return;
+    }
+    TypeCategory left = CategoryOf(cond.children[0]->result_type);
+    TypeCategory right = CategoryOf(cond.children[1]->result_type);
+    if (p.left != left || p.right != right) {
+      report_->AddError(
+          "L004", path,
+          "cond OID " + std::to_string(oid) + " (" + ExprOidName(oid) +
+              ") operand categories disagree with " + cond.ToString());
+    }
+  }
+
+  void Walk(const OrcaLogicalOp& op, const std::string& path) {
+    // L001: shape/arity.
+    switch (op.kind) {
+      case OrcaLogicalOp::Kind::kGet:
+        if (op.leaf == nullptr) {
+          report_->AddError("L001", path, "Get without a table leaf");
+        } else if (!op.children.empty()) {
+          report_->AddError("L001", path, "Get with children");
+        } else if (op.leaf->kind == TableRef::Kind::kBase &&
+                   op.relation_oid < 0) {
+          report_->AddError("L001", path,
+                            "base-table Get was not embellished with a "
+                            "relation OID");
+        }
+        if (op.leaf != nullptr && op.leaf->ref_id >= 0) {
+          auto it = block_local_.find(op.leaf->ref_id);
+          if (it == block_local_.end()) {
+            report_->AddError("L003", path,
+                              "Get leaf " + LeafName(op.leaf) +
+                                  " is not a FROM leaf of this block");
+          } else {
+            ++it->second;
+          }
+        }
+        break;
+      case OrcaLogicalOp::Kind::kSelect:
+        if (op.children.size() != 1 ||
+            op.children[0]->kind != OrcaLogicalOp::Kind::kGet) {
+          report_->AddError("L001", path,
+                            "Select must have exactly one Get child");
+        } else if (op.leaf != op.children[0]->leaf) {
+          report_->AddError("L001", path,
+                            "Select leaf pointer disagrees with its Get");
+        }
+        if (op.conds.empty()) {
+          report_->AddError("L001", path, "Select without predicates");
+        }
+        break;
+      case OrcaLogicalOp::Kind::kJoin:
+        if (op.children.size() != 2) {
+          report_->AddError("L001", path,
+                            "Join with " + std::to_string(op.children.size()) +
+                                " children (expected 2)");
+        }
+        break;
+    }
+
+    // L004 precondition: the OID vector is parallel to the conjuncts.
+    if (op.conds.size() != op.cond_oids.size()) {
+      report_->AddError("L004", path,
+                        "cond_oids size " + std::to_string(op.cond_oids.size()) +
+                            " != conds size " + std::to_string(op.conds.size()));
+    }
+    for (size_t i = 0; i < op.conds.size(); ++i) {
+      const Expr* cond = op.conds[i];
+      if (cond == nullptr) {
+        report_->AddError("L001", path, "null predicate conjunct");
+        continue;
+      }
+      CheckExprRefs(*cond, path);
+      if (i < op.cond_oids.size()) CheckCondOid(*cond, op.cond_oids[i], path);
+
+      // L005: predicate segregation. Select conjuncts touch exactly their
+      // own leaf among this block's leaves (outer/correlated refs are
+      // legal); Join conjuncts were segregated so that none is a
+      // single-local-leaf predicate (those belong in a Select below —
+      // around semi/anti-semi joins this is what exposes the pushed-down
+      // selection to Orca, the paper's Q4 case).
+      std::vector<int> local = LocalRefs(*cond);
+      if (op.kind == OrcaLogicalOp::Kind::kSelect) {
+        bool own_only = local.size() == 1 && op.leaf != nullptr &&
+                        local[0] == op.leaf->ref_id;
+        if (!own_only) {
+          report_->AddError("L005", path,
+                            "Select predicate " + cond->ToString() +
+                                " does not reference exactly its own leaf");
+        }
+      } else if (op.kind == OrcaLogicalOp::Kind::kJoin) {
+        if (local.size() == 1) {
+          report_->AddError("L005", path,
+                            "single-leaf predicate " + cond->ToString() +
+                                " left unsegregated on a " +
+                                JoinTypeName(op.join_type) + " join");
+        }
+      }
+    }
+
+    for (size_t i = 0; i < op.children.size(); ++i) {
+      Walk(*op.children[i], path + "/" + NodeLabel(*op.children[i]));
+    }
+  }
+
+  const BoundStatement& stmt_;
+  VerifyReport* report_;
+  std::map<int, int> block_local_;  ///< block leaf ref_id -> Get count
+};
+
+}  // namespace
+
+void VerifyLogicalTree(const OrcaLogicalOp& root, const QueryBlock& block,
+                       const BoundStatement& stmt, VerifyReport* report) {
+  LogicalVerifier(block, stmt, report).Run(root);
+}
+
+}  // namespace taurus

@@ -1,0 +1,34 @@
+#ifndef TAURUS_VERIFY_LOGICAL_VERIFIER_H_
+#define TAURUS_VERIFY_LOGICAL_VERIFIER_H_
+
+#include "frontend/binder.h"
+#include "orca/logical.h"
+#include "verify/diagnostics.h"
+
+namespace taurus {
+
+/// LogicalTreeVerifier — static checks on the Orca logical tree produced by
+/// the parse tree converter (after decorrelation) for one query block.
+/// Rules (DESIGN.md section 9):
+///   L001  operator shape/arity (Get: leaf + no children; Select: one Get
+///         child over the same leaf; Join: exactly two children)
+///   L002  column-reference resolution closure: every column ref in a
+///         predicate resolves to a live leaf of the statement (no dangling
+///         refs after decorrelation) and a valid column of its table
+///   L003  block coverage: the tree's Gets are exactly the block's FROM
+///         leaves, each exactly once
+///   L004  type consistency against the mdp expression cubes: every
+///         assigned cond OID decodes to the conjunct's operator and the
+///         type categories of its operands
+///   L005  predicate segregation: Select conjuncts reference exactly their
+///         own leaf among block-local leaves; Join conjuncts (incl. around
+///         semi/anti-semi joins) never reference exactly one local leaf
+void VerifyLogicalTree(const OrcaLogicalOp& root, const QueryBlock& block,
+                       const BoundStatement& stmt, VerifyReport* report);
+
+/// Number of rules VerifyLogicalTree evaluates (for rules_checked).
+inline constexpr int kNumLogicalRules = 5;
+
+}  // namespace taurus
+
+#endif  // TAURUS_VERIFY_LOGICAL_VERIFIER_H_

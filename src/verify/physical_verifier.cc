@@ -1,0 +1,191 @@
+#include "verify/physical_verifier.h"
+
+#include <cmath>
+#include <set>
+#include <string>
+
+namespace taurus {
+
+namespace {
+
+/// Slack for the P003 monotonicity comparison: costs are accumulated in
+/// double arithmetic, so allow rounding noise.
+constexpr double kCostEpsilon = 1e-6;
+
+std::string LeafName(const TableRef* leaf) {
+  if (leaf == nullptr) return "?";
+  return leaf->alias.empty() ? leaf->table_name : leaf->alias;
+}
+
+std::string NodeLabel(const OrcaPhysicalOp& op) {
+  switch (op.kind) {
+    case OrcaPhysicalOp::Kind::kTableScan:
+      return "scan(" + LeafName(op.leaf) + ")";
+    case OrcaPhysicalOp::Kind::kIndexRangeScan:
+      return "index_range(" + LeafName(op.leaf) + ")";
+    case OrcaPhysicalOp::Kind::kIndexLookup:
+      return "index_lookup(" + LeafName(op.leaf) + ")";
+    case OrcaPhysicalOp::Kind::kNLJoin:
+      return std::string("nljoin(") + JoinTypeName(op.join_type) + ")";
+    case OrcaPhysicalOp::Kind::kHashJoin:
+      return std::string("hashjoin(") + JoinTypeName(op.join_type) + ")";
+  }
+  return "?";
+}
+
+bool IsScan(const OrcaPhysicalOp& op) {
+  return op.kind == OrcaPhysicalOp::Kind::kTableScan ||
+         op.kind == OrcaPhysicalOp::Kind::kIndexRangeScan ||
+         op.kind == OrcaPhysicalOp::Kind::kIndexLookup;
+}
+
+void CollectRefIds(const Expr& e, std::set<int>* out) {
+  if (e.kind == Expr::Kind::kColumnRef && e.ref_id >= 0) out->insert(e.ref_id);
+  for (const auto& c : e.children) CollectRefIds(*c, out);
+}
+
+/// True when one of the lookup's pushed-down conjuncts binds the index's
+/// first key column to a purely-outer expression — the optimizer's
+/// correlated "ref" access, whose required property (outer bindings) is
+/// supplied by the enclosing query block rather than a join side, so it may
+/// appear anywhere in this block's join tree.
+bool HasCorrelatedBinding(const OrcaPhysicalOp& op,
+                          const std::set<int>& block_refs) {
+  if (op.leaf == nullptr || op.leaf->table == nullptr || op.index_id < 0 ||
+      op.index_id >= static_cast<int>(op.leaf->table->indexes.size())) {
+    return false;
+  }
+  const IndexDef& idx =
+      op.leaf->table->indexes[static_cast<size_t>(op.index_id)];
+  if (idx.column_idx.empty()) return false;
+  for (const Expr* c : op.filters) {
+    if (c == nullptr || c->kind != Expr::Kind::kBinary ||
+        c->bop != BinaryOp::kEq) {
+      continue;
+    }
+    for (int side = 0; side < 2; ++side) {
+      const Expr& col = *c->children[static_cast<size_t>(side)];
+      const Expr& other = *c->children[static_cast<size_t>(1 - side)];
+      if (col.kind != Expr::Kind::kColumnRef ||
+          col.ref_id != op.leaf->ref_id ||
+          col.column_idx != idx.column_idx[0]) {
+        continue;
+      }
+      std::set<int> other_refs;
+      CollectRefIds(other, &other_refs);
+      bool all_outer = true;
+      for (int r : other_refs) {
+        if (block_refs.count(r) != 0) all_outer = false;
+      }
+      if (all_outer) return true;
+    }
+  }
+  return false;
+}
+
+class PhysicalVerifier {
+ public:
+  PhysicalVerifier(const QueryBlock& block, VerifyReport* report)
+      : block_(&block), report_(report) {
+    for (const TableRef* leaf : block.Leaves()) {
+      if (leaf->ref_id >= 0) block_refs_.insert(leaf->ref_id);
+    }
+  }
+
+  void Run(const OrcaPhysicalOp& root) {
+    report_->rules_checked += kNumPhysicalRules;
+    Walk(root, /*parent=*/nullptr, /*child_idx=*/0, NodeLabel(root));
+  }
+
+ private:
+  void Walk(const OrcaPhysicalOp& op, const OrcaPhysicalOp* parent,
+            size_t child_idx, const std::string& path) {
+    // P001: shape and required properties.
+    if (IsScan(op)) {
+      if (!op.children.empty()) {
+        report_->AddError("P001", path, "scan operator with children");
+      }
+      if (op.leaf == nullptr) {
+        report_->AddError("P001", path, "scan without a table leaf");
+      } else if (op.kind != OrcaPhysicalOp::Kind::kTableScan) {
+        // Index access requires a base table with that index.
+        if (op.leaf->kind != TableRef::Kind::kBase || op.leaf->table == nullptr) {
+          report_->AddError("P001", path,
+                            "index access on a non-base leaf " +
+                                LeafName(op.leaf));
+        } else if (op.index_id < 0 ||
+                   op.index_id >=
+                       static_cast<int>(op.leaf->table->indexes.size())) {
+          report_->AddError("P001", path,
+                            "index id " + std::to_string(op.index_id) +
+                                " out of range for table " +
+                                op.leaf->table->name);
+        }
+      }
+      if (op.kind == OrcaPhysicalOp::Kind::kIndexLookup) {
+        // Required property: the lookup keys bind to outer rows, which the
+        // inner (right) side of a nested-loop join provides — or, for the
+        // correlated "ref" access, the enclosing query block does.
+        bool legal_position = parent != nullptr &&
+                              parent->kind == OrcaPhysicalOp::Kind::kNLJoin &&
+                              child_idx == 1;
+        if (!legal_position && !HasCorrelatedBinding(op, block_refs_)) {
+          report_->AddError("P001", path,
+                            "IndexLookup outside the inner side of a "
+                            "nested-loop join (required property "
+                            "unsatisfiable)");
+        }
+      }
+    } else {
+      if (op.children.size() != 2) {
+        report_->AddError("P001", path,
+                          "join with " + std::to_string(op.children.size()) +
+                              " children (expected 2)");
+      }
+    }
+
+    // P002: estimate sanity.
+    if (!std::isfinite(op.rows) || op.rows < 0.0) {
+      report_->AddError("P002", path,
+                        "row estimate " + std::to_string(op.rows) +
+                            " is negative or non-finite");
+    }
+    if (!std::isfinite(op.cost) || op.cost < 0.0) {
+      report_->AddError("P002", path,
+                        "cost " + std::to_string(op.cost) +
+                            " is negative or non-finite");
+    }
+
+    // P004: query-block ownership (the TABLE_LIST discovery invariant).
+    if (IsScan(op) && op.leaf != nullptr && op.leaf->owner != block_) {
+      report_->AddError("P004", path,
+                        "leaf " + LeafName(op.leaf) +
+                            " is owned by a different query block");
+    }
+
+    for (size_t i = 0; i < op.children.size(); ++i) {
+      const OrcaPhysicalOp& child = *op.children[i];
+      // P003: cumulative cost never decreases upward.
+      if (std::isfinite(child.cost) && op.cost < child.cost - kCostEpsilon) {
+        report_->AddError(
+            "P003", path,
+            "cost " + std::to_string(op.cost) + " below child " +
+                NodeLabel(child) + " cost " + std::to_string(child.cost));
+      }
+      Walk(child, &op, i, path + "/" + NodeLabel(child));
+    }
+  }
+
+  const QueryBlock* block_;
+  VerifyReport* report_;
+  std::set<int> block_refs_;  ///< ref ids of this block's FROM leaves
+};
+
+}  // namespace
+
+void VerifyPhysicalPlan(const OrcaPhysicalOp& root, const QueryBlock& block,
+                        VerifyReport* report) {
+  PhysicalVerifier(block, report).Run(root);
+}
+
+}  // namespace taurus

@@ -1,0 +1,31 @@
+#ifndef TAURUS_VERIFY_PHYSICAL_VERIFIER_H_
+#define TAURUS_VERIFY_PHYSICAL_VERIFIER_H_
+
+#include "orca/physical.h"
+#include "verify/diagnostics.h"
+
+namespace taurus {
+
+/// PhysicalPlanVerifier — static checks on Orca's physical output for one
+/// query block, before plan conversion. Rules (DESIGN.md section 9):
+///   P001  operator shape / required-property satisfaction (joins have two
+///         children; scans are leaves with a table and, for index scans, a
+///         valid index; an IndexLookup appears only where its required
+///         property — outer bindings for the keys — is satisfiable: as the
+///         inner child of a nested-loop join, or anywhere when the keys
+///         bind to a purely-outer correlated expression)
+///   P002  cost/cardinality sanity: rows and cost are finite and
+///         non-negative on every operator
+///   P003  child-cost monotonicity: a parent's cumulative cost is never
+///         below any child's (costs accumulate bottom-up)
+///   P004  query-block ownership: every scan leaf's TABLE_LIST owner link
+///         points back to the block being optimized
+void VerifyPhysicalPlan(const OrcaPhysicalOp& root, const QueryBlock& block,
+                        VerifyReport* report);
+
+/// Number of rules VerifyPhysicalPlan evaluates (for rules_checked).
+inline constexpr int kNumPhysicalRules = 4;
+
+}  // namespace taurus
+
+#endif  // TAURUS_VERIFY_PHYSICAL_VERIFIER_H_

@@ -1,0 +1,351 @@
+#include "verify/skeleton_verifier.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "parser/ast_util.h"
+
+namespace taurus {
+
+namespace {
+
+void CollectRefIds(const Expr& e, std::set<int>* out) {
+  if (e.kind == Expr::Kind::kColumnRef && e.ref_id >= 0) out->insert(e.ref_id);
+  for (const auto& c : e.children) CollectRefIds(*c, out);
+}
+
+/// All predicate conjuncts of a block: WHERE plus every join ON condition.
+void CollectBlockConjuncts(const QueryBlock& block,
+                           std::vector<const Expr*>* out) {
+  SplitConjuncts(block.where.get(), out);
+  std::vector<const TableRef*> stack;
+  for (const auto& t : block.from) stack.push_back(t.get());
+  while (!stack.empty()) {
+    const TableRef* r = stack.back();
+    stack.pop_back();
+    if (r->kind == TableRef::Kind::kJoin) {
+      SplitConjuncts(r->on.get(), out);
+      stack.push_back(r->left.get());
+      stack.push_back(r->right.get());
+    }
+  }
+}
+
+/// True when some block conjunct binds the lookup index's first key column
+/// to a purely-outer expression — the correlated "ref" access, which needs
+/// no join-side outer rows and may therefore drive the first position.
+bool HasCorrelatedBinding(const SkeletonNode& node, const QueryBlock& block) {
+  const TableRef* leaf = node.leaf;
+  if (leaf == nullptr || leaf->table == nullptr || node.index_id < 0 ||
+      node.index_id >= static_cast<int>(leaf->table->indexes.size())) {
+    return false;
+  }
+  const IndexDef& idx =
+      leaf->table->indexes[static_cast<size_t>(node.index_id)];
+  if (idx.column_idx.empty()) return false;
+  std::set<int> block_refs;
+  for (const TableRef* l : block.Leaves()) {
+    if (l->ref_id >= 0) block_refs.insert(l->ref_id);
+  }
+  std::vector<const Expr*> conjuncts;
+  CollectBlockConjuncts(block, &conjuncts);
+  for (const Expr* c : conjuncts) {
+    if (c->kind != Expr::Kind::kBinary || c->bop != BinaryOp::kEq) continue;
+    for (int side = 0; side < 2; ++side) {
+      const Expr& col = *c->children[static_cast<size_t>(side)];
+      const Expr& other = *c->children[static_cast<size_t>(1 - side)];
+      if (col.kind != Expr::Kind::kColumnRef || col.ref_id != leaf->ref_id ||
+          col.column_idx != idx.column_idx[0]) {
+        continue;
+      }
+      std::set<int> other_refs;
+      CollectRefIds(other, &other_refs);
+      bool all_outer = true;
+      for (int r : other_refs) {
+        if (block_refs.count(r) != 0) all_outer = false;
+      }
+      if (all_outer) return true;
+    }
+  }
+  return false;
+}
+
+std::string LeafName(const TableRef* leaf) {
+  if (leaf == nullptr) return "?";
+  return leaf->alias.empty() ? leaf->table_name : leaf->alias;
+}
+
+std::string BlockPath(const QueryBlock* block) {
+  return "block " + std::to_string(block != nullptr ? block->block_id : -1);
+}
+
+void CheckEstimate(const std::string& rule, const std::string& path,
+                   const char* what, double v, VerifyReport* report) {
+  if (!std::isfinite(v) || v < 0.0) {
+    report->AddError(rule, path,
+                     std::string(what) + " estimate " + std::to_string(v) +
+                         " is negative or non-finite");
+  }
+}
+
+/// Structural congruence of two skeleton trees (shape, join/access methods,
+/// index choice, and base-table identity) — what "the same producer plan"
+/// means once leaves are retargeted onto another CTE copy.
+bool CongruentNodes(const SkeletonNode* a, const SkeletonNode* b) {
+  if ((a == nullptr) != (b == nullptr)) return false;
+  if (a == nullptr) return true;
+  if (a->is_join != b->is_join) return false;
+  if (a->is_join) {
+    return a->method == b->method && a->join_type == b->join_type &&
+           CongruentNodes(a->left.get(), b->left.get()) &&
+           CongruentNodes(a->right.get(), b->right.get());
+  }
+  if (a->access != b->access || a->index_id != b->index_id) return false;
+  const TableDef* ta = a->leaf != nullptr ? a->leaf->table : nullptr;
+  const TableDef* tb = b->leaf != nullptr ? b->leaf->table : nullptr;
+  return ta == tb;
+}
+
+bool CongruentSkeletons(const BlockSkeleton& a, const BlockSkeleton& b) {
+  return CongruentNodes(a.root.get(), b.root.get()) &&
+         a.derived.size() == b.derived.size() &&
+         a.union_arms.size() == b.union_arms.size();
+}
+
+class SkeletonVerifier {
+ public:
+  SkeletonVerifier(const Catalog& catalog, bool check_cte_pairing,
+                   VerifyReport* report)
+      : catalog_(&catalog),
+        check_cte_pairing_(check_cte_pairing),
+        report_(report) {}
+
+  void Run(const BlockSkeleton& skel) {
+    report_->rules_checked += check_cte_pairing_ ? 4 : 3;
+    WalkBlock(skel);
+    if (check_cte_pairing_) CheckCtePairing();
+  }
+
+ private:
+  void WalkBlock(const BlockSkeleton& skel) {
+    const std::string path = BlockPath(skel.block);
+    if (skel.block == nullptr) {
+      report_->AddError("S001", path, "skeleton without a query block");
+      return;
+    }
+
+    // S001: the best-position array covers the block exactly once.
+    std::vector<TableRef*> block_leaves = skel.block->Leaves();
+    if (skel.block->from.empty()) {
+      if (skel.root != nullptr) {
+        report_->AddError("S001", path, "join tree on a block without FROM");
+      }
+    } else if (skel.root == nullptr) {
+      report_->AddError("S001", path, "block with FROM has no join tree");
+    } else {
+      std::vector<const SkeletonNode*> positions;
+      skel.root->BestPositionArray(&positions);
+      std::map<const TableRef*, int> seen;
+      for (const SkeletonNode* pos : positions) {
+        if (pos->leaf == nullptr) {
+          report_->AddError("S001", path, "leaf position without a table");
+          continue;
+        }
+        ++seen[pos->leaf];
+      }
+      for (const TableRef* leaf : block_leaves) {
+        int count = 0;
+        if (auto it = seen.find(leaf); it != seen.end()) {
+          count = it->second;
+          seen.erase(it);
+        }
+        if (count != 1) {
+          report_->AddError("S001", path,
+                            "table " + LeafName(leaf) + " appears " +
+                                std::to_string(count) +
+                                " times in the best-position array "
+                                "(expected once)");
+        }
+      }
+      for (const auto& [leaf, count] : seen) {
+        report_->AddError("S001", path,
+                          "best-position array contains " + LeafName(leaf) +
+                              " (x" + std::to_string(count) +
+                              "), which is not a FROM leaf of this block");
+      }
+
+      // S002/S003 per position.
+      for (size_t i = 0; i < positions.size(); ++i) {
+        CheckLeaf(*positions[i], i == 0, skel, path);
+      }
+      CheckJoinEstimates(*skel.root, path);
+    }
+
+    // S001: a UNION continuation corresponds to exactly one arm.
+    bool has_union = skel.block->union_next != nullptr;
+    if (has_union != (skel.union_arms.size() == 1) ||
+        skel.union_arms.size() > 1) {
+      report_->AddError("S001", path,
+                        "UNION arms (" + std::to_string(skel.union_arms.size()) +
+                            ") disagree with the block's continuation");
+    }
+
+    // S002: every derived leaf needs a materialization sub-skeleton.
+    for (const TableRef* leaf : block_leaves) {
+      if (leaf->kind != TableRef::Kind::kDerived) continue;
+      if (skel.derived.find(leaf) == skel.derived.end()) {
+        report_->AddError("S002", path,
+                          "derived table " + LeafName(leaf) +
+                              " has no materialization skeleton");
+      }
+    }
+
+    CheckEstimate("S003", path, "block rows", skel.out_rows, report_);
+    CheckEstimate("S003", path, "block cost", skel.cost, report_);
+
+    for (const auto& [leaf, sub] : skel.derived) {
+      if (sub == nullptr) continue;
+      if (leaf->from_cte) {
+        cte_groups_[leaf->cte_name].push_back(sub.get());
+      }
+      WalkBlock(*sub);
+    }
+    for (const auto& [expr, sub] : skel.subqueries) {
+      (void)expr;
+      if (sub != nullptr) WalkBlock(*sub);
+    }
+    for (const auto& arm : skel.union_arms) {
+      if (arm != nullptr) WalkBlock(*arm);
+    }
+  }
+
+  void CheckLeaf(const SkeletonNode& node, bool first_position,
+                 const BlockSkeleton& skel, const std::string& path) {
+    const TableRef* leaf = node.leaf;
+    if (leaf == nullptr) return;  // reported under S001
+    const std::string where = path + "/" + LeafName(leaf);
+    if (node.access != AccessMethod::kTableScan) {
+      if (leaf->kind != TableRef::Kind::kBase || leaf->table == nullptr) {
+        report_->AddError("S002", where,
+                          "index access on a non-base table");
+      } else {
+        if (catalog_->GetTableById(leaf->table->id) != leaf->table) {
+          report_->AddError("S002", where,
+                            "table " + leaf->table->name +
+                                " is not (or no longer) in the catalog");
+        }
+        if (node.index_id < 0 ||
+            node.index_id >= static_cast<int>(leaf->table->indexes.size())) {
+          report_->AddError("S002", where,
+                            "index id " + std::to_string(node.index_id) +
+                                " out of range for table " +
+                                leaf->table->name);
+        }
+      }
+    }
+    if (node.access == AccessMethod::kIndexLookup && first_position &&
+        !HasCorrelatedBinding(node, *skel.block)) {
+      report_->AddError("S002", where,
+                        "ref (IndexLookup) access cannot drive the first "
+                        "position — no outer rows to bind the keys");
+    }
+    CheckEstimate("S003", where, "row", node.est_rows, report_);
+    CheckEstimate("S003", where, "cost", node.est_cost, report_);
+  }
+
+  void CheckJoinEstimates(const SkeletonNode& node, const std::string& path) {
+    if (!node.is_join) return;
+    CheckEstimate("S003", path, "join row", node.est_rows, report_);
+    CheckEstimate("S003", path, "join cost", node.est_cost, report_);
+    if (node.left != nullptr) CheckJoinEstimates(*node.left, path);
+    if (node.right != nullptr) CheckJoinEstimates(*node.right, path);
+  }
+
+  void CheckCtePairing() {
+    for (const auto& [name, copies] : cte_groups_) {
+      if (copies.size() < 2) continue;
+      const BlockSkeleton* producer = copies[0];
+      for (size_t i = 1; i < copies.size(); ++i) {
+        if (!CongruentSkeletons(*producer, *copies[i])) {
+          report_->AddError(
+              "S005", BlockPath(copies[i]->block),
+              "CTE \"" + name + "\" consumer #" + std::to_string(i) +
+                  " diverges from the producer plan (single-producer/"
+                  "n-consumer mapping broken)");
+        }
+      }
+    }
+  }
+
+  const Catalog* catalog_;
+  bool check_cte_pairing_;
+  VerifyReport* report_;
+  /// CTE name -> consumer skeletons, in discovery order (producer first).
+  std::map<std::string, std::vector<const BlockSkeleton*>> cte_groups_;
+};
+
+// ---------------------------------------------------------------------------
+// S004 — build/probe flip legality
+// ---------------------------------------------------------------------------
+
+bool PhysIsScan(const OrcaPhysicalOp& op) {
+  return op.kind == OrcaPhysicalOp::Kind::kTableScan ||
+         op.kind == OrcaPhysicalOp::Kind::kIndexRangeScan ||
+         op.kind == OrcaPhysicalOp::Kind::kIndexLookup;
+}
+
+/// Walks skeleton and physical trees in lockstep, expecting the converter's
+/// inner-hash-join child swap; reports the first disagreement.
+bool CompareFlip(const SkeletonNode& s, const OrcaPhysicalOp& p,
+                 const std::string& path, VerifyReport* report) {
+  if (!s.is_join) {
+    if (!PhysIsScan(p) || s.leaf != p.leaf) {
+      report->AddError("S004", path,
+                       "skeleton leaf " + LeafName(s.leaf) +
+                           " does not match the Orca operator here");
+      return false;
+    }
+    return true;
+  }
+  bool method_matches =
+      (s.method == JoinMethod::kHash &&
+       p.kind == OrcaPhysicalOp::Kind::kHashJoin) ||
+      (s.method == JoinMethod::kNestedLoop &&
+       p.kind == OrcaPhysicalOp::Kind::kNLJoin);
+  if (!method_matches || p.children.size() != 2 || s.left == nullptr ||
+      s.right == nullptr) {
+    report->AddError("S004", path,
+                     "skeleton join does not match the Orca join here");
+    return false;
+  }
+  // MySQL inner hash joins build from the LEFT input; Orca builds from
+  // children[1]. The converter must therefore have flipped — skeleton.left
+  // is Orca's build side for inner hash joins, and the identity mapping
+  // everywhere else.
+  bool flipped = s.method == JoinMethod::kHash &&
+                 (s.join_type == JoinType::kInner ||
+                  s.join_type == JoinType::kCross);
+  const OrcaPhysicalOp& for_left = flipped ? *p.children[1] : *p.children[0];
+  const OrcaPhysicalOp& for_right = flipped ? *p.children[0] : *p.children[1];
+  return CompareFlip(*s.left, for_left, path + "/left", report) &&
+         CompareFlip(*s.right, for_right, path + "/right", report);
+}
+
+}  // namespace
+
+void VerifySkeletonPlan(const BlockSkeleton& skel, const Catalog& catalog,
+                        bool check_cte_pairing, VerifyReport* report) {
+  SkeletonVerifier(catalog, check_cte_pairing, report).Run(skel);
+}
+
+void VerifyBuildProbeFlip(const SkeletonNode& skel_root,
+                          const OrcaPhysicalOp& phys_root,
+                          VerifyReport* report) {
+  report->rules_checked += 1;
+  CompareFlip(skel_root, phys_root, "root", report);
+}
+
+}  // namespace taurus

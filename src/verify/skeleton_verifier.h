@@ -1,0 +1,46 @@
+#ifndef TAURUS_VERIFY_SKELETON_VERIFIER_H_
+#define TAURUS_VERIFY_SKELETON_VERIFIER_H_
+
+#include "catalog/catalog.h"
+#include "myopt/skeleton.h"
+#include "orca/physical.h"
+#include "verify/diagnostics.h"
+
+namespace taurus {
+
+/// SkeletonPlanVerifier — static checks on a statement's skeleton plan (the
+/// structure both optimizer paths hand to refinement), recursing into
+/// derived tables, expression subqueries and UNION arms.
+/// Rules (DESIGN.md section 9):
+///   S001  the best-position array is a valid permutation: it covers every
+///         FROM leaf of its block exactly once (and a block without FROM
+///         has no join tree; a UNION continuation has exactly one arm)
+///   S002  access-method applicability against the catalog: index access
+///         only on base tables with that index, the catalog still knows the
+///         table, ref (IndexLookup) access never drives the first position
+///         (unless its keys bind to a purely-outer correlated expression),
+///         and every derived leaf has a materialization sub-skeleton
+///   S003  estimate sanity: finite, non-negative rows/cost everywhere
+///   S005  CTE single-producer/n-consumer pairing: all consumers of one CTE
+///         carry structurally congruent skeletons (the plan converter maps
+///         Orca's single producer plan onto every bound copy)
+///
+/// `check_cte_pairing` gates S005: it is an Orca-detour invariant (the
+/// MySQL path legitimately optimizes each CTE copy independently).
+void VerifySkeletonPlan(const BlockSkeleton& skel, const Catalog& catalog,
+                        bool check_cte_pairing, VerifyReport* report);
+
+/// S004 — inner-hash-join build/probe flip legality for one block: Orca
+/// builds from the RIGHT child (children[1]) while the MySQL executor
+/// builds inner hash joins from the LEFT input, so the plan converter must
+/// hand over a skeleton whose left subtree is Orca's build side (Section 7
+/// item 2). Verifies the skeleton tree against the Orca physical tree it
+/// was converted from; any structural disagreement — a missing or wrong
+/// flip included — fires S004.
+void VerifyBuildProbeFlip(const SkeletonNode& skel_root,
+                          const OrcaPhysicalOp& phys_root,
+                          VerifyReport* report);
+
+}  // namespace taurus
+
+#endif  // TAURUS_VERIFY_SKELETON_VERIFIER_H_

@@ -10,10 +10,6 @@ const char* kCats[] = {"Books", "Electronics", "Home", "Jewelry", "Men",
                        "Music", "Shoes", "Sports", "Women", "Children"};
 const char* kEdu[] = {"Primary", "Secondary", "College", "2 yr Degree",
                       "4 yr Degree", "Advanced Degree", "Unknown"};
-const char* kCols[] = {"aquamarine", "azure", "beige", "black", "blue",
-                       "brown", "coral", "cream", "cyan", "forest",
-                       "gold", "green"};
-
 /// Per-channel column names used by the query templates.
 struct Channel {
   const char* fact;

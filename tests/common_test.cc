@@ -5,6 +5,13 @@
 #include "common/status.h"
 #include "common/strings.h"
 
+// GCC 12 falsely flags std::variant's destructor visit of the Status
+// alternative as -Wmaybe-uninitialized when a fully-inlined Result<int>
+// provably holds the int alternative (GCC PR 105937).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 namespace taurus {
 namespace {
 

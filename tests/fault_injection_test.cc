@@ -274,6 +274,10 @@ TEST_F(FaultInjectionTest, MemoGroupBudgetAbortsSearchAndFallsBack) {
   EXPECT_FALSE(res->used_orca);
   EXPECT_NE(res->fallback_reason.find("memo group budget"), std::string::npos)
       << res->fallback_reason;
+  // The status payload names the originating subsystem and the limit.
+  EXPECT_NE(res->fallback_reason.find("[orca.governor/max_memo_groups]"),
+            std::string::npos)
+      << res->fallback_reason;
   EXPECT_EQ(db_->optimizer_health().budget_kills, 1);
   EXPECT_EQ(RowsText(res->rows), RowsText(baseline->rows));
 
@@ -293,6 +297,9 @@ TEST_F(FaultInjectionTest, PartitionPairBudgetAbortsSearchAndFallsBack) {
   EXPECT_TRUE(res->fell_back);
   EXPECT_NE(res->fallback_reason.find("partition pair budget"),
             std::string::npos);
+  EXPECT_NE(res->fallback_reason.find("[orca.governor/max_partition_pairs]"),
+            std::string::npos)
+      << res->fallback_reason;
   EXPECT_EQ(db_->optimizer_health().budget_kills, 1);
   EXPECT_EQ(RowsText(res->rows), RowsText(baseline->rows));
 }
@@ -312,6 +319,9 @@ TEST_F(FaultInjectionTest, OptimizeDeadlineWithInjectedClock) {
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   EXPECT_TRUE(res->fell_back);
   EXPECT_NE(res->fallback_reason.find("deadline"), std::string::npos);
+  EXPECT_NE(res->fallback_reason.find("[orca.governor/optimize_deadline_ms]"),
+            std::string::npos)
+      << res->fallback_reason;
   EXPECT_EQ(db_->optimizer_health().budget_kills, 1);
   EXPECT_EQ(RowsText(res->rows), RowsText(baseline->rows));
 
@@ -338,6 +348,9 @@ TEST_F(FaultInjectionTest, ExecRowBudgetKillsOrcaPlanAndReRunsViaMySql) {
   EXPECT_TRUE(res->fell_back);
   EXPECT_FALSE(res->used_orca);
   EXPECT_NE(res->fallback_reason.find("row budget"), std::string::npos);
+  EXPECT_NE(res->fallback_reason.find("[exec.budget/max_exec_rows]"),
+            std::string::npos)
+      << res->fallback_reason;
   EXPECT_EQ(db_->optimizer_health().exec_budget_kills, 1);
   EXPECT_EQ(RowsText(res->rows), RowsText(baseline->rows));
 
@@ -360,6 +373,9 @@ TEST_F(FaultInjectionTest, ExecDeadlineWithInjectedClock) {
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   EXPECT_TRUE(res->fell_back);
   EXPECT_NE(res->fallback_reason.find("deadline"), std::string::npos);
+  EXPECT_NE(res->fallback_reason.find("[exec.budget/exec_deadline_ms]"),
+            std::string::npos)
+      << res->fallback_reason;
   EXPECT_EQ(db_->optimizer_health().exec_budget_kills, 1);
   EXPECT_EQ(RowsText(res->rows), RowsText(baseline->rows));
 }

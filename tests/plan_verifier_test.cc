@@ -1,0 +1,631 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bridge/parse_tree_converter.h"
+#include "bridge/plan_converter.h"
+#include "frontend/binder.h"
+#include "frontend/prepare.h"
+#include "mdp/oid_layout.h"
+#include "mdp/stats_adapter.h"
+#include "myopt/mysql_optimizer.h"
+#include "orca/optimizer.h"
+#include "parser/parser.h"
+#include "verify/block_verifier.h"
+#include "verify/logical_verifier.h"
+#include "verify/physical_verifier.h"
+#include "verify/skeleton_verifier.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+namespace taurus {
+namespace {
+
+std::string Fingerprint(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      int c = Value::Compare(a[i], b[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+  std::string out;
+  char buf[40];
+  for (const Row& r : rows) {
+    for (const Value& v : r) {
+      if (v.kind() == Value::Kind::kDouble) {
+        std::snprintf(buf, sizeof(buf), "%.4f|", v.AsDouble());
+        out += buf;
+      } else {
+        out += v.ToString();
+        out += '|';
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+/// Shared TPC-H engine with the plan verifier switched on (the default-off
+/// Release knob — Debug builds have it on already).
+class PlanVerifierTest : public ::testing::Test {
+ protected:
+  static Database* db() {
+    static Database* instance = [] {
+      auto* d = new Database();
+      auto st = SetupTpch(d, 0.001);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      d->router_config().complex_query_threshold = 1;
+      d->verify_config().verify_plans = true;
+      return d;
+    }();
+    return instance;
+  }
+
+  /// parse -> bind -> prepare against the TPC-H catalog.
+  static Result<BoundStatement> Prep(const std::string& sql) {
+    TAURUS_ASSIGN_OR_RETURN(auto block, ParseSelect(sql));
+    TAURUS_ASSIGN_OR_RETURN(
+        BoundStatement stmt, BindStatement(db()->catalog(), std::move(block)));
+    TAURUS_RETURN_IF_ERROR(PrepareStatement(&stmt));
+    return stmt;
+  }
+
+  static constexpr const char* kJoinSql =
+      "SELECT COUNT(*) FROM lineitem, orders "
+      "WHERE l_orderkey = o_orderkey AND l_quantity < 5 "
+      "AND l_discount < 0.05";
+};
+
+OrcaLogicalOp* FindLogical(OrcaLogicalOp* op, OrcaLogicalOp::Kind kind) {
+  if (op->kind == kind) return op;
+  for (auto& c : op->children) {
+    if (OrcaLogicalOp* f = FindLogical(c.get(), kind)) return f;
+  }
+  return nullptr;
+}
+
+/// First Get below `op` whose leaf differs from `not_this` (the bare Get of
+/// a two-table join where the other side sits under a Select).
+OrcaLogicalOp* FindOtherGet(OrcaLogicalOp* op, const TableRef* not_this) {
+  if (op->kind == OrcaLogicalOp::Kind::kGet && op->leaf != not_this) return op;
+  for (auto& c : op->children) {
+    if (OrcaLogicalOp* f = FindOtherGet(c.get(), not_this)) return f;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Logical-tree mutations (L001-L005)
+// ---------------------------------------------------------------------------
+
+class LogicalVerifierTest : public PlanVerifierTest {
+ protected:
+  void SetUp() override {
+    auto stmt = Prep(kJoinSql);
+    ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+    stmt_ = std::make_unique<BoundStatement>(std::move(*stmt));
+    auto logical = ConvertBlockToOrcaLogical(stmt_->block.get(),
+                                             stmt_->num_refs, &db()->mdp(),
+                                             OrcaConfig());
+    ASSERT_TRUE(logical.ok()) << logical.status().ToString();
+    logical_ = std::move(*logical);
+  }
+
+  VerifyReport Verify() {
+    VerifyReport report;
+    VerifyLogicalTree(*logical_, *stmt_->block, *stmt_, &report);
+    return report;
+  }
+
+  std::unique_ptr<BoundStatement> stmt_;
+  std::unique_ptr<OrcaLogicalOp> logical_;
+};
+
+TEST_F(LogicalVerifierTest, CleanTreePassesAllRules) {
+  VerifyReport report = Verify();
+  EXPECT_EQ(report.rules_checked, kNumLogicalRules);
+  EXPECT_EQ(report.violations(), 0) << report.ToString();
+}
+
+TEST_F(LogicalVerifierTest, EmptySelectFiresL001) {
+  OrcaLogicalOp* select = FindLogical(logical_.get(),
+                                      OrcaLogicalOp::Kind::kSelect);
+  ASSERT_NE(select, nullptr);
+  select->conds.clear();
+  select->cond_oids.clear();
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule("L001")) << report.ToString();
+}
+
+TEST_F(LogicalVerifierTest, DanglingColumnIndexFiresL002) {
+  OrcaLogicalOp* join = FindLogical(logical_.get(), OrcaLogicalOp::Kind::kJoin);
+  ASSERT_NE(join, nullptr);
+  ASSERT_FALSE(join->conds.empty());
+  ASSERT_EQ(join->conds[0]->children.size(), 2u);  // l_orderkey = o_orderkey
+  join->conds[0]->children[0]->column_idx = 999;
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule("L002")) << report.ToString();
+  EXPECT_FALSE(report.HasRule("L005")) << report.ToString();
+}
+
+TEST_F(LogicalVerifierTest, DuplicateGetFiresL003) {
+  OrcaLogicalOp* select = FindLogical(logical_.get(),
+                                      OrcaLogicalOp::Kind::kSelect);
+  ASSERT_NE(select, nullptr);
+  OrcaLogicalOp* other_get = FindOtherGet(logical_.get(), select->leaf);
+  ASSERT_NE(other_get, nullptr);
+  other_get->leaf = select->leaf;  // lineitem now Get twice, orders never
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule("L003")) << report.ToString();
+}
+
+TEST_F(LogicalVerifierTest, CorruptCondOidFiresL004) {
+  // Find the first embellished conjunct and nudge its OID to a neighboring
+  // cube point, which must disagree in operator or operand category.
+  OrcaLogicalOp* target = nullptr;
+  size_t idx = 0;
+  std::vector<OrcaLogicalOp*> stack{logical_.get()};
+  while (!stack.empty() && target == nullptr) {
+    OrcaLogicalOp* op = stack.back();
+    stack.pop_back();
+    for (size_t i = 0; i < op->cond_oids.size(); ++i) {
+      if (op->cond_oids[i] != kInvalidOid) {
+        target = op;
+        idx = i;
+        break;
+      }
+    }
+    for (auto& c : op->children) stack.push_back(c.get());
+  }
+  ASSERT_NE(target, nullptr) << "no conjunct carries an expression OID";
+  target->cond_oids[idx] += 1;
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule("L004")) << report.ToString();
+}
+
+TEST_F(LogicalVerifierTest, UnsegregatedSingleLeafPredicateFiresL005) {
+  OrcaLogicalOp* select = FindLogical(logical_.get(),
+                                      OrcaLogicalOp::Kind::kSelect);
+  OrcaLogicalOp* join = FindLogical(logical_.get(), OrcaLogicalOp::Kind::kJoin);
+  ASSERT_NE(select, nullptr);
+  ASSERT_NE(join, nullptr);
+  ASSERT_FALSE(select->conds.empty());
+  // A single-leaf conjunct left on the Join models a converter that skipped
+  // predicate segregation.
+  join->conds.push_back(select->conds[0]);
+  join->cond_oids.push_back(kInvalidOid);
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule("L005")) << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Physical-plan mutations (P001-P004)
+// ---------------------------------------------------------------------------
+
+class PhysicalVerifierTest : public PlanVerifierTest {
+ protected:
+  void SetUp() override {
+    auto stmt = Prep(kJoinSql);
+    ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+    stmt_ = std::make_unique<BoundStatement>(std::move(*stmt));
+    auto logical = ConvertBlockToOrcaLogical(stmt_->block.get(),
+                                             stmt_->num_refs, &db()->mdp(),
+                                             config_);
+    ASSERT_TRUE(logical.ok()) << logical.status().ToString();
+    stats_ = std::make_unique<MdpStatsProvider>(db()->catalog(),
+                                                stmt_->leaves, &db()->mdp());
+    OrcaOptimizer optimizer(config_, stats_.get(), stmt_->num_refs);
+    auto physical = optimizer.Optimize(logical->get());
+    ASSERT_TRUE(physical.ok()) << physical.status().ToString();
+    physical_ = std::move(*physical);
+  }
+
+  VerifyReport Verify() {
+    VerifyReport report;
+    VerifyPhysicalPlan(*physical_, *stmt_->block, &report);
+    return report;
+  }
+
+  OrcaConfig config_;
+  std::unique_ptr<BoundStatement> stmt_;
+  std::unique_ptr<MdpStatsProvider> stats_;
+  std::unique_ptr<OrcaPhysicalOp> physical_;
+};
+
+TEST_F(PhysicalVerifierTest, CleanPlanPassesAllRules) {
+  VerifyReport report = Verify();
+  EXPECT_EQ(report.rules_checked, kNumPhysicalRules);
+  EXPECT_EQ(report.violations(), 0) << report.ToString();
+}
+
+TEST_F(PhysicalVerifierTest, MisplacedIndexLookupFiresP001) {
+  ASSERT_EQ(physical_->children.size(), 2u);  // two-table join
+  // An IndexLookup anywhere but the inner side of an NL join has an
+  // unsatisfiable required property (no outer rows bind its keys).
+  OrcaPhysicalOp* child = physical_->children[0].get();
+  while (!child->children.empty()) child = child->children[0].get();
+  child->kind = OrcaPhysicalOp::Kind::kIndexLookup;
+  child->index_id = 0;
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule("P001")) << report.ToString();
+}
+
+TEST_F(PhysicalVerifierTest, NegativeRowEstimateFiresP002) {
+  physical_->rows = -1.0;
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule("P002")) << report.ToString();
+}
+
+TEST_F(PhysicalVerifierTest, CostBelowChildFiresP003) {
+  ASSERT_FALSE(physical_->children.empty());
+  physical_->children[0]->cost = physical_->cost + 100.0;
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule("P003")) << report.ToString();
+}
+
+TEST_F(PhysicalVerifierTest, ForeignBlockLeafFiresP004) {
+  // Verifying against a different statement's block makes every leaf's
+  // TABLE_LIST owner link foreign.
+  auto other = Prep("SELECT COUNT(*) FROM nation");
+  ASSERT_TRUE(other.ok());
+  VerifyReport report;
+  VerifyPhysicalPlan(*physical_, *other->block, &report);
+  EXPECT_TRUE(report.HasRule("P004")) << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Skeleton mutations (S001-S005) and the build/probe flip (S004)
+// ---------------------------------------------------------------------------
+
+class SkeletonVerifierTest : public PlanVerifierTest {
+ protected:
+  void SetUp() override {
+    auto stmt = Prep(kJoinSql);
+    ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+    stmt_ = std::make_unique<BoundStatement>(std::move(*stmt));
+    auto skel = MySqlOptimize(db()->catalog(), stmt_.get());
+    ASSERT_TRUE(skel.ok()) << skel.status().ToString();
+    skel_ = std::move(*skel);
+    ASSERT_NE(skel_->root, nullptr);
+  }
+
+  VerifyReport Verify(bool check_cte_pairing = false) {
+    VerifyReport report;
+    VerifySkeletonPlan(*skel_, db()->catalog(), check_cte_pairing, &report);
+    return report;
+  }
+
+  SkeletonNode* FirstLeaf() {
+    SkeletonNode* n = skel_->root.get();
+    while (n->is_join) n = n->left.get();
+    return n;
+  }
+
+  std::unique_ptr<BoundStatement> stmt_;
+  std::unique_ptr<BlockSkeleton> skel_;
+};
+
+TEST_F(SkeletonVerifierTest, CleanSkeletonPassesAllRules) {
+  VerifyReport report = Verify();
+  EXPECT_EQ(report.rules_checked, 3);  // S005 gated off on the MySQL path
+  EXPECT_EQ(report.violations(), 0) << report.ToString();
+}
+
+TEST_F(SkeletonVerifierTest, DuplicateLeafFiresS001) {
+  ASSERT_TRUE(skel_->root->is_join);
+  std::vector<const SkeletonNode*> positions;
+  skel_->root->BestPositionArray(&positions);
+  ASSERT_EQ(positions.size(), 2u);
+  // Point both positions at the same table: one leaf twice, one missing.
+  const_cast<SkeletonNode*>(positions[1])->leaf =
+      const_cast<TableRef*>(positions[0]->leaf);
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule("S001")) << report.ToString();
+}
+
+TEST_F(SkeletonVerifierTest, OutOfRangeIndexFiresS002) {
+  SkeletonNode* leaf = FirstLeaf();
+  leaf->access = AccessMethod::kIndexRange;
+  leaf->index_id = 99;
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule("S002")) << report.ToString();
+}
+
+TEST_F(SkeletonVerifierTest, NegativeEstimateFiresS003) {
+  skel_->out_rows = -3.0;
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule("S003")) << report.ToString();
+}
+
+TEST_F(SkeletonVerifierTest, DivergedCteConsumerFiresS005) {
+  // Optimize a CTE with two consumers through the Orca detour, then break
+  // one consumer's plan so the single-producer mapping no longer holds.
+  auto stmt = Prep(
+      "WITH t AS (SELECT l_orderkey AS k FROM lineitem WHERE l_quantity < 5) "
+      "SELECT COUNT(*) FROM t a, t b WHERE a.k = b.k");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  OrcaConfig config;
+  OrcaPathOptimizer orca(db()->catalog(), &*stmt, &db()->mdp(), config);
+  auto skel = orca.Optimize();
+  ASSERT_TRUE(skel.ok()) << skel.status().ToString();
+
+  VerifyReport clean;
+  VerifySkeletonPlan(**skel, db()->catalog(), /*check_cte_pairing=*/true,
+                     &clean);
+  EXPECT_EQ(clean.violations(), 0) << clean.ToString();
+  EXPECT_EQ(clean.rules_checked, 4);
+
+  // Flip the access method at the root of the second consumer's skeleton.
+  ASSERT_GE((*skel)->derived.size(), 2u);
+  BlockSkeleton* consumer = std::next((*skel)->derived.begin())->second.get();
+  ASSERT_NE(consumer, nullptr);
+  SkeletonNode* n = consumer->root.get();
+  ASSERT_NE(n, nullptr);
+  while (n->is_join) n = n->left.get();
+  n->access = n->access == AccessMethod::kTableScan
+                  ? AccessMethod::kIndexRange
+                  : AccessMethod::kTableScan;
+  n->index_id = 0;
+  VerifyReport report;
+  VerifySkeletonPlan(**skel, db()->catalog(), /*check_cte_pairing=*/true,
+                     &report);
+  EXPECT_TRUE(report.HasRule("S005")) << report.ToString();
+}
+
+TEST_F(SkeletonVerifierTest, MissingHashBuildFlipFiresS004) {
+  // Hand-built inner hash join (Orca convention: build side = children[1]),
+  // converted with and without the MySQL build-side flip.
+  std::vector<TableRef*> leaves = stmt_->block->Leaves();
+  ASSERT_EQ(leaves.size(), 2u);
+  auto make_plan = [&] {
+    auto probe = std::make_unique<OrcaPhysicalOp>();
+    probe->kind = OrcaPhysicalOp::Kind::kTableScan;
+    probe->leaf = leaves[0];
+    auto build = std::make_unique<OrcaPhysicalOp>();
+    build->kind = OrcaPhysicalOp::Kind::kTableScan;
+    build->leaf = leaves[1];
+    auto join = std::make_unique<OrcaPhysicalOp>();
+    join->kind = OrcaPhysicalOp::Kind::kHashJoin;
+    join->join_type = JoinType::kInner;
+    join->children.push_back(std::move(probe));
+    join->children.push_back(std::move(build));
+    return join;
+  };
+
+  OrcaConfig flip_on;
+  flip_on.flip_inner_hash_build = true;
+  auto plan = make_plan();
+  auto flipped = ConvertOrcaPlanToSkeleton(*plan, *stmt_->block, flip_on);
+  ASSERT_TRUE(flipped.ok());
+  VerifyReport clean;
+  VerifyBuildProbeFlip(**flipped, *plan, &clean);
+  EXPECT_EQ(clean.violations(), 0) << clean.ToString();
+  EXPECT_EQ(clean.rules_checked, 1);
+
+  OrcaConfig flip_off;
+  flip_off.flip_inner_hash_build = false;  // the bug the paper found
+  auto unflipped = ConvertOrcaPlanToSkeleton(*plan, *stmt_->block, flip_off);
+  ASSERT_TRUE(unflipped.ok());
+  VerifyReport report;
+  VerifyBuildProbeFlip(**unflipped, *plan, &report);
+  EXPECT_TRUE(report.HasRule("S004")) << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Block-plan mutations (B001-B004)
+// ---------------------------------------------------------------------------
+
+class BlockVerifierTest : public PlanVerifierTest {
+ protected:
+  void SetUp() override {
+    auto compiled = db()->Compile(
+        "SELECT l_orderkey FROM lineitem, orders "
+        "WHERE l_orderkey = o_orderkey AND l_quantity < 5",
+        OptimizerPath::kMySql);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    compiled_ = std::move(*compiled);
+    ASSERT_NE(compiled_->root, nullptr);
+    ASSERT_NE(compiled_->root->join_root, nullptr);
+  }
+
+  VerifyReport Verify() {
+    VerifyReport report;
+    VerifyBlockPlan(*compiled_, &report);
+    return report;
+  }
+
+  std::unique_ptr<CompiledQuery> compiled_;
+};
+
+TEST_F(BlockVerifierTest, CleanPlanPassesAllRules) {
+  VerifyReport report = Verify();
+  EXPECT_EQ(report.rules_checked, kNumBlockRules);
+  EXPECT_EQ(report.violations(), 0) << report.ToString();
+}
+
+TEST_F(BlockVerifierTest, JoinMissingChildFiresB001) {
+  PhysOp* op = compiled_->root->join_root.get();
+  ASSERT_TRUE(op->kind == PhysOp::Kind::kNLJoin ||
+              op->kind == PhysOp::Kind::kHashJoin);
+  op->right.reset();
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule("B001")) << report.ToString();
+}
+
+TEST_F(BlockVerifierTest, FabricatedSerialReasonFiresB002) {
+  compiled_->root->serial_reason = "vibes";
+  compiled_->root->parallel_eligible = false;
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule("B002")) << report.ToString();
+}
+
+TEST_F(BlockVerifierTest, EligibleWithSerialReasonFiresB002) {
+  compiled_->root->parallel_eligible = true;
+  compiled_->root->serial_reason = "no table-scan driver";
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule("B002")) << report.ToString();
+}
+
+TEST_F(BlockVerifierTest, DanglingColumnRefFiresB003) {
+  // The projection Expr lives in the bound AST the plan references.
+  ASSERT_FALSE(compiled_->ast->select_items.empty());
+  compiled_->ast->select_items[0].expr->ref_id = 999;
+  VerifyReport report = Verify();
+  EXPECT_TRUE(report.HasRule("B003")) << report.ToString();
+}
+
+TEST_F(BlockVerifierTest, ExecBudgetArmingFiresB004) {
+  // Orca plan under a governing budget but no armed context.
+  ExecContext unarmed;
+  VerifyReport orca_report;
+  VerifyExecBudgetArming(/*used_orca=*/true, /*budget_governs_exec=*/true,
+                         unarmed, &orca_report);
+  EXPECT_TRUE(orca_report.HasRule("B004")) << orca_report.ToString();
+
+  // MySQL-path plan must never run budgeted.
+  ExecContext armed;
+  armed.max_rows_scanned = 10;
+  VerifyReport mysql_report;
+  VerifyExecBudgetArming(/*used_orca=*/false, /*budget_governs_exec=*/true,
+                         armed, &mysql_report);
+  EXPECT_TRUE(mysql_report.HasRule("B004")) << mysql_report.ToString();
+
+  // The two legal pairings are clean.
+  VerifyReport ok_orca;
+  VerifyExecBudgetArming(/*used_orca=*/true, /*budget_governs_exec=*/true,
+                         armed, &ok_orca);
+  EXPECT_EQ(ok_orca.violations(), 0) << ok_orca.ToString();
+  VerifyReport ok_mysql;
+  VerifyExecBudgetArming(/*used_orca=*/false, /*budget_governs_exec=*/true,
+                         unarmed, &ok_mysql);
+  EXPECT_EQ(ok_mysql.violations(), 0) << ok_mysql.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: enforcement, fallback and surfacing
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanVerifierTest, ExplainSurfacesVerifierSummary) {
+  auto text = db()->Explain("SELECT COUNT(*) FROM lineitem WHERE l_quantity < 5",
+                            OptimizerPath::kMySql);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("plan_verifier: "), std::string::npos) << *text;
+  EXPECT_NE(text->find(" violations"), std::string::npos) << *text;
+}
+
+TEST_F(PlanVerifierTest, QueryResultCarriesVerifierCounts) {
+  auto res = db()->Query("SELECT COUNT(*) FROM lineitem WHERE l_quantity < 5",
+                         OptimizerPath::kMySql);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_GT(res->verifier_rules, 0);
+  EXPECT_EQ(res->verifier_violations, 0);
+}
+
+/// The acceptance scenario: disabling the inner-hash-join build flip (the
+/// bug the paper found) corrupts every Orca detour that plans an inner hash
+/// join; enforcement must catch it at the plan-converter boundary (S004)
+/// and fall back to the MySQL path with correct results.
+TEST_F(PlanVerifierTest, CorruptedDetourFallsBackCleanlyViaS004) {
+  Database* d = db();
+  d->orca_config().flip_inner_hash_build = false;
+  d->verify_config().enforce = true;
+  int s004_fallbacks = 0;
+  const auto& queries = TpchQueries();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto baseline = d->Query(queries[i], OptimizerPath::kMySql);
+    ASSERT_TRUE(baseline.ok())
+        << "Q" << i + 1 << ": " << baseline.status().ToString();
+    auto detour = d->Query(queries[i], OptimizerPath::kAuto);
+    ASSERT_TRUE(detour.ok())
+        << "Q" << i + 1 << ": " << detour.status().ToString();
+    EXPECT_EQ(Fingerprint(baseline->rows), Fingerprint(detour->rows))
+        << "rows diverge on Q" << i + 1
+        << " (fallback_reason: " << detour->fallback_reason << ")";
+    if (detour->fell_back) {
+      EXPECT_NE(detour->fallback_reason.find("S004"), std::string::npos)
+          << "Q" << i + 1 << " fell back for an unexpected reason: "
+          << detour->fallback_reason;
+      EXPECT_NE(detour->fallback_reason.find("[verify.skeleton/S004]"),
+                std::string::npos)
+          << detour->fallback_reason;
+      ++s004_fallbacks;
+    }
+  }
+  EXPECT_GE(s004_fallbacks, 1)
+      << "no TPC-H detour planned an inner hash join — the corrupted flip "
+         "was never exercised";
+  d->orca_config().flip_inner_hash_build = true;
+  d->ClearQuarantine();
+  d->plan_cache().Clear();
+}
+
+/// With enforcement off the same corruption is only counted and surfaced.
+TEST_F(PlanVerifierTest, EnforceOffCountsViolationsWithoutFallback) {
+  Database* d = db();
+  d->orca_config().flip_inner_hash_build = false;
+  d->verify_config().enforce = false;
+  int flagged = 0;
+  const auto& queries = TpchQueries();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto detour = d->Query(queries[i], OptimizerPath::kOrca);
+    ASSERT_TRUE(detour.ok())
+        << "Q" << i + 1 << ": " << detour.status().ToString();
+    if (detour->verifier_violations > 0) {
+      EXPECT_FALSE(detour->fell_back)
+          << "Q" << i + 1 << " fell back with enforcement off: "
+          << detour->fallback_reason;
+      ++flagged;
+    }
+  }
+  EXPECT_GE(flagged, 1);
+  d->orca_config().flip_inner_hash_build = true;
+  d->verify_config().enforce = true;
+  d->ClearQuarantine();
+  d->plan_cache().Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Zero-violation sweeps over both workloads and both paths
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanVerifierTest, TpchSweepIsViolationFree) {
+  const auto& queries = TpchQueries();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (OptimizerPath path : {OptimizerPath::kMySql, OptimizerPath::kOrca}) {
+      auto res = db()->Query(queries[i], path);
+      ASSERT_TRUE(res.ok()) << "Q" << i + 1 << ": " << res.status().ToString();
+      EXPECT_GT(res->verifier_rules, 0) << "Q" << i + 1;
+      EXPECT_EQ(res->verifier_violations, 0)
+          << "Q" << i + 1 << " on path " << static_cast<int>(path);
+    }
+  }
+}
+
+TEST(PlanVerifierTpcdsTest, TpcdsSweepIsViolationFree) {
+  static Database* db = [] {
+    auto* d = new Database();
+    auto st = SetupTpcds(d, 0.0001);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    d->router_config().complex_query_threshold = 2;
+    d->verify_config().verify_plans = true;
+    return d;
+  }();
+  const auto& queries = TpcdsQueries();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (OptimizerPath path : {OptimizerPath::kMySql, OptimizerPath::kOrca}) {
+      auto res = db->Query(queries[i], path);
+      ASSERT_TRUE(res.ok()) << "Q" << i + 1 << ": " << res.status().ToString();
+      EXPECT_GT(res->verifier_rules, 0) << "Q" << i + 1;
+      EXPECT_EQ(res->verifier_violations, 0)
+          << "Q" << i + 1 << " on path " << static_cast<int>(path);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace taurus

@@ -98,8 +98,8 @@ TEST_P(TpcdsQueryTest, PathsAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllQueries, TpcdsQueryTest, ::testing::Range(0, 99),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "Q" + std::to_string(info.param + 1);
+                         [](const ::testing::TestParamInfo<int>& pinfo) {
+                           return "Q" + std::to_string(pinfo.param + 1);
                          });
 
 }  // namespace

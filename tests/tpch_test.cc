@@ -99,8 +99,8 @@ TEST_P(TpchQueryTest, PathsAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryTest, ::testing::Range(0, 22),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "Q" + std::to_string(info.param + 1);
+                         [](const ::testing::TestParamInfo<int>& pinfo) {
+                           return "Q" + std::to_string(pinfo.param + 1);
                          });
 
 }  // namespace
