@@ -4,8 +4,13 @@
 // and the order-preserving string-prefix encoding. Useful when re-tuning
 // CostParams (the paper's Section 9 calls out Orca cost-model tuning for
 // InnoDB as future work; these are the measurements that tuning needs).
+//
+// --json writes BENCH_executor.json (flat name -> ms/iter map) for CI
+// trending; other flags pass through to google-benchmark.
 
 #include <benchmark/benchmark.h>
+
+#include "bench_json_reporter.h"
 
 #include "catalog/histogram.h"
 #include "common/rng.h"
@@ -152,4 +157,6 @@ BENCHMARK(BM_StringPrefixEncoding);
 }  // namespace
 }  // namespace taurus
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return taurus_bench::GBenchJsonMain(argc, argv, "executor");
+}

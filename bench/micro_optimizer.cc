@@ -3,8 +3,13 @@
 // detour (per join-search strategy), the metadata provider's DXL round
 // trip, and the expression-OID algebra. These are the per-component
 // numbers behind the Table 1 totals.
+//
+// --json writes BENCH_optimizer.json (flat name -> ms/iter map) for CI
+// trending; other flags pass through to google-benchmark.
 
 #include <benchmark/benchmark.h>
+
+#include "bench_json_reporter.h"
 
 #include "bridge/orca_path.h"
 #include "frontend/prepare.h"
@@ -126,4 +131,6 @@ BENCHMARK(BM_ExprOidAlgebra);
 }  // namespace
 }  // namespace taurus
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return taurus_bench::GBenchJsonMain(argc, argv, "optimizer");
+}

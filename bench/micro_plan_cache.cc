@@ -4,8 +4,13 @@
 // for both optimizer routes, plus the fingerprint and freeze/thaw
 // primitives in isolation. The headline ratio is cold / hit per query —
 // the optimizer work the cache amortizes away on repeated statements.
+//
+// --json writes BENCH_plan_cache.json (flat name -> ms/iter map) for CI
+// trending; other flags pass through to google-benchmark.
 
 #include <benchmark/benchmark.h>
+
+#include "bench_json_reporter.h"
 
 #include <chrono>
 
@@ -175,4 +180,6 @@ BENCHMARK(BM_FreezeThaw);
 }  // namespace
 }  // namespace taurus
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return taurus_bench::GBenchJsonMain(argc, argv, "plan_cache");
+}

@@ -10,7 +10,8 @@
 // EXHAUSTIVE2 ~ EXHAUSTIVE on TPC-H; EXHAUSTIVE2 adds noticeable overhead
 // on complex TPC-DS queries, concentrated in the CTE-heavy Q14 and Q64.
 //
-// Usage: table1_compile_overhead [--sf=0.001]
+// Usage: table1_compile_overhead [--sf=0.001] [--json]
+//   --json writes BENCH_table1_compile_overhead.json for CI trending.
 
 #include <algorithm>
 #include <map>
@@ -99,6 +100,17 @@ int main(int argc, char** argv) {
   std::sort(deltas.rbegin(), deltas.rend());
   for (size_t i = 0; i < deltas.size() && i < 5; ++i) {
     std::printf("  Q%-4d %+9.2f ms\n", deltas[i].second, deltas[i].first);
+  }
+
+  if (ArgFlag(argc, argv, "--json")) {
+    WriteBenchJson("table1_compile_overhead",
+                   {{"sf", sf},
+                    {"tpch_mysql_ms", h.mysql},
+                    {"tpch_exhaustive_ms", h.exhaustive},
+                    {"tpch_exhaustive2_ms", h.exhaustive2},
+                    {"tpcds_mysql_ms", ds.mysql},
+                    {"tpcds_exhaustive_ms", ds.exhaustive},
+                    {"tpcds_exhaustive2_ms", ds.exhaustive2}});
   }
   return 0;
 }

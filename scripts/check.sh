@@ -65,6 +65,19 @@ cmake -B "$build_dir" -S "$repo_root" -DTAURUS_WERROR=ON
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
+# Observability smoke: dump the metrics registry and one EXPLAIN ANALYZE
+# as JSON and validate both against the section-10 schema. Needs python3
+# for the validation; without it the step is announced and skipped.
+echo "check.sh: observability JSON (metrics dump + EXPLAIN ANALYZE)"
+if command -v python3 >/dev/null 2>&1; then
+  "$build_dir/examples/obs_dump" --metrics-only \
+    | python3 "$repo_root/scripts/validate_obs_json.py" metrics
+  "$build_dir/examples/obs_dump" --explain-json \
+    | python3 "$repo_root/scripts/validate_obs_json.py" explain
+else
+  echo "check.sh: python3 not found; skipping observability JSON validation." >&2
+fi
+
 echo "check.sh: leg 2/2 — Debug, plan verifiers always on"
 debug_dir="$repo_root/build-debug"
 cmake -B "$debug_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Debug -DTAURUS_WERROR=ON

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validates the two observability JSON documents (DESIGN.md section 10).
+
+Usage:
+  validate_obs_json.py metrics  < MetricsJson() output
+  validate_obs_json.py explain  < ExplainAnalyzeJson() output
+
+Exits nonzero with a message on the first schema violation. check.sh pipes
+`obs_dump --metrics-only` and an EXPLAIN ANALYZE dump through this; both
+documents must parse as JSON and carry the keys the dashboards consume.
+"""
+
+import json
+import sys
+
+HISTOGRAM_KEYS = {"count", "sum_ms", "p50", "p95", "p99", "max_ms"}
+
+# Counters every Database registers up front (BindCounters); the dump must
+# contain each of them even on a fresh instance.
+REQUIRED_METRICS = [
+    "taurus.health.detours_attempted",
+    "taurus.health.detours_failed",
+    "taurus.health.fallbacks",
+    "taurus.health.budget_kills",
+    "taurus.health.exec_budget_kills",
+    "taurus.health.quarantine_hits",
+    "taurus.plan_cache.hits",
+    "taurus.plan_cache.misses",
+    "taurus.verify.rules_checked",
+    "taurus.verify.violations",
+    "taurus.query.count",
+    "taurus.query.errors",
+    "taurus.query.optimize_ms",
+    "taurus.query.execute_ms",
+    "taurus.exec.parallel_queries",
+    "taurus.exec.parallel_pipelines",
+    "taurus.exec.rows_scanned",
+    "taurus.exec.index_lookups",
+]
+
+
+def fail(msg):
+    print("validate_obs_json: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_metrics(doc):
+    if not isinstance(doc, dict):
+        fail("metrics document is not a JSON object")
+    for key in REQUIRED_METRICS:
+        if key not in doc:
+            fail("missing metric %r" % key)
+    for key, value in doc.items():
+        if not key.startswith("taurus."):
+            fail("metric %r outside the taurus.* namespace" % key)
+        if isinstance(value, dict):
+            if set(value) != HISTOGRAM_KEYS:
+                fail("histogram %r has keys %s, want %s"
+                     % (key, sorted(value), sorted(HISTOGRAM_KEYS)))
+        elif not isinstance(value, (int, float)):
+            fail("metric %r is %s, want number or histogram object"
+                 % (key, type(value).__name__))
+
+
+def validate_plan_node(node, path):
+    for key in ("est_rows", "actual_rows", "loops", "time_ms"):
+        if key not in node:
+            fail("%s missing %r" % (path, key))
+    if node["loops"] > 0 and node["actual_rows"] < 0:
+        fail("%s has negative actual_rows" % path)
+    for i, child in enumerate(node.get("children", [])):
+        validate_plan_node(child, "%s.children[%d]" % (path, i))
+    if node.get("derived") is not None:
+        validate_block(node["derived"], path + ".derived")
+
+
+def validate_block(block, path):
+    if block.get("node") != "block":
+        fail("%s is not a block node" % path)
+    validate_plan_node(block, path)
+    if block.get("pipeline") is not None:
+        validate_plan_node(block["pipeline"], path + ".pipeline")
+    for i, arm in enumerate(block.get("union_arms", [])):
+        validate_block(arm, "%s.union_arms[%d]" % (path, i))
+
+
+def validate_explain(doc):
+    if not isinstance(doc, dict) or doc.get("explain_analyze") is not True:
+        fail("not an explain_analyze document")
+    for key in ("used_orca", "execute_ms", "rows_returned", "plan",
+                "q_errors", "max_q_error"):
+        if key not in doc:
+            fail("missing top-level key %r" % key)
+    validate_block(doc["plan"], "plan")
+    for i, q in enumerate(doc["q_errors"]):
+        for key in ("position", "est_rows", "actual_rows", "q_error"):
+            if key not in q:
+                fail("q_errors[%d] missing %r" % (i, key))
+        if q["q_error"] < 1.0:
+            fail("q_errors[%d] below 1.0 (q-error is max(e/a, a/e))" % i)
+
+
+def main():
+    if len(sys.argv) != 2 or sys.argv[1] not in ("metrics", "explain"):
+        fail("usage: validate_obs_json.py metrics|explain < doc.json")
+    try:
+        doc = json.load(sys.stdin)
+    except ValueError as e:
+        fail("not valid JSON: %s" % e)
+    if sys.argv[1] == "metrics":
+        validate_metrics(doc)
+    else:
+        validate_explain(doc)
+    print("validate_obs_json: %s document OK" % sys.argv[1])
+
+
+if __name__ == "__main__":
+    main()

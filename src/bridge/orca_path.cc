@@ -62,13 +62,15 @@ OrcaPathOptimizer::OrcaPathOptimizer(const Catalog& catalog,
                                      MetadataProvider* mdp,
                                      const OrcaConfig& config,
                                      ResourceGovernor* governor,
-                                     const PlanVerifyConfig* verify)
+                                     const PlanVerifyConfig* verify,
+                                     Tracer* tracer)
     : catalog_(catalog),
       stmt_(stmt),
       mdp_(mdp),
       config_(config),
       governor_(governor),
       verify_(verify),
+      tracer_(tracer),
       stats_(catalog, stmt->leaves, mdp) {}
 
 Status OrcaPathOptimizer::CheckEnforce(const char* subsystem) const {
@@ -80,6 +82,7 @@ Status OrcaPathOptimizer::CheckEnforce(const char* subsystem) const {
 
 Result<std::unique_ptr<BlockSkeleton>> OrcaPathOptimizer::Optimize() {
   if (config_.enable_decorrelation) {
+    ScopedSpan decorr_span(tracer_, "decorrelate");
     TAURUS_FAULT_POINT("bridge.decorrelate");
     // Subquery -> derived-table conversion (Section 4.2.3 / the Q17
     // "derived_1_2" case). A failed rewrite leaves the correlated form.
@@ -92,6 +95,7 @@ Result<std::unique_ptr<BlockSkeleton>> OrcaPathOptimizer::Optimize() {
     metrics_.mdp_dxl_requests = mdp_->dxl_requests();
     metrics_.mdp_cache_hits = mdp_->cache_hits();
     if (ShouldVerify()) {
+      ScopedSpan verify_span(tracer_, "verify.skeleton");
       // Statement-level skeleton invariants, including the CTE
       // single-producer/n-consumer pairing (an Orca-detour property).
       VerifySkeletonPlan(*skel.value(), catalog_,
@@ -231,25 +235,35 @@ Result<std::unique_ptr<BlockSkeleton>> OrcaPathOptimizer::OptimizeBlock(
   double cost = 0.0;
   if (!block->from.empty()) {
     // Parse Tree Converter -> Orca optimization -> Plan Converter.
+    ScopedSpan convert_span(tracer_, "parse_tree_convert");
     TAURUS_ASSIGN_OR_RETURN(
         auto logical,
         ConvertBlockToOrcaLogical(block, stmt_->num_refs, mdp_, config_));
+    convert_span.End();
     if (ShouldVerify()) {
+      ScopedSpan verify_span(tracer_, "verify.logical");
       VerifyLogicalTree(*logical, *block, *stmt_, &verify_report_);
       TAURUS_RETURN_IF_ERROR(CheckEnforce("verify.logical"));
     }
-    OrcaOptimizer optimizer(config_, &stats_, stmt_->num_refs, governor_);
+    ScopedSpan optimize_span(tracer_, "orca.optimize");
+    OrcaOptimizer optimizer(config_, &stats_, stmt_->num_refs, governor_,
+                            tracer_);
     TAURUS_ASSIGN_OR_RETURN(auto physical, optimizer.Optimize(logical.get()));
+    optimize_span.End();
     metrics_.partitions_evaluated += optimizer.partitions_evaluated();
     metrics_.memo_groups += optimizer.num_groups();
     if (ShouldVerify()) {
+      ScopedSpan verify_span(tracer_, "verify.physical");
       VerifyPhysicalPlan(*physical, *block, &verify_report_);
       TAURUS_RETURN_IF_ERROR(CheckEnforce("verify.physical"));
     }
+    ScopedSpan plan_span(tracer_, "plan_convert");
     TAURUS_ASSIGN_OR_RETURN(skel->root,
                             ConvertOrcaPlanToSkeleton(*physical, *block,
                                                       config_));
+    plan_span.End();
     if (ShouldVerify()) {
+      ScopedSpan verify_span(tracer_, "verify.skeleton");
       VerifyBuildProbeFlip(*skel->root, *physical, &verify_report_);
       TAURUS_RETURN_IF_ERROR(CheckEnforce("verify.skeleton"));
     }

@@ -12,6 +12,7 @@
 #include "mdp/provider.h"
 #include "mdp/stats_adapter.h"
 #include "myopt/skeleton.h"
+#include "obs/trace.h"
 #include "orca/orca.h"
 #include "verify/diagnostics.h"
 
@@ -48,10 +49,14 @@ class OrcaPathOptimizer {
   /// output, flip legality and skeleton invariants after the plan
   /// converter); with enforce set, an error-severity violation aborts the
   /// detour with kPlanInvariantViolation.
+  /// `tracer`, when non-null, records the detour's pipeline sub-spans
+  /// (decorrelate, parse_tree_convert, orca.optimize with its memo spans,
+  /// plan_convert, verify.*) for the per-query trace.
   OrcaPathOptimizer(const Catalog& catalog, BoundStatement* stmt,
                     MetadataProvider* mdp, const OrcaConfig& config,
                     ResourceGovernor* governor = nullptr,
-                    const PlanVerifyConfig* verify = nullptr);
+                    const PlanVerifyConfig* verify = nullptr,
+                    Tracer* tracer = nullptr);
 
   Result<std::unique_ptr<BlockSkeleton>> Optimize();
 
@@ -81,6 +86,7 @@ class OrcaPathOptimizer {
   const OrcaConfig& config_;
   ResourceGovernor* governor_;
   const PlanVerifyConfig* verify_;
+  Tracer* tracer_;
   MdpStatsProvider stats_;
   OrcaPathMetrics metrics_;
   VerifyReport verify_report_;

@@ -1,0 +1,53 @@
+#ifndef TAURUS_COMMON_CLOCK_H_
+#define TAURUS_COMMON_CLOCK_H_
+
+#include <chrono>
+
+namespace taurus {
+
+/// Monotonic time source, injected wherever the engine timestamps work
+/// (tracer spans, EXPLAIN ANALYZE actuals). Mirrors the injectable
+/// ResourceBudgetConfig::clock_ms pattern, but as an interface so one
+/// object can be shared by reference across subsystems.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Milliseconds on an arbitrary monotonic timeline (only differences
+  /// are meaningful).
+  virtual double NowMs() const = 0;
+};
+
+/// Production clock: std::chrono::steady_clock.
+class SteadyClock : public Clock {
+ public:
+  double NowMs() const override {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Shared stateless instance.
+  static const SteadyClock& Instance() {
+    static const SteadyClock clock;
+    return clock;
+  }
+};
+
+/// Test clock: advances only when told to, so tests can assert exact span
+/// durations and deterministic trace trees.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(double start_ms = 0.0) : now_ms_(start_ms) {}
+
+  double NowMs() const override { return now_ms_; }
+
+  void Advance(double ms) { now_ms_ += ms; }
+  void Set(double ms) { now_ms_ = ms; }
+
+ private:
+  double now_ms_;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_COMMON_CLOCK_H_

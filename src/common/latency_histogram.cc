@@ -1,0 +1,72 @@
+#include "common/latency_histogram.h"
+
+#include <cstdio>
+
+namespace taurus {
+
+double LatencyHistogram::UpperBoundMs(int bucket) {
+  return 0.001 * static_cast<double>(1LL << bucket);
+}
+
+void LatencyHistogram::AddDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::MaxDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::Record(double ms) {
+  if (ms < 0.0) ms = 0.0;
+  int bucket = 0;
+  while (bucket < kNumBuckets && ms > UpperBoundMs(bucket)) ++bucket;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  AddDouble(sum_ms_, ms);
+  MaxDouble(max_ms_, ms);
+}
+
+int64_t LatencyHistogram::Count() const {
+  int64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::PercentileMs(double p) const {
+  const int64_t total = Count();
+  if (total == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(total));
+  if (rank < 1) rank = 1;
+  int64_t seen = 0;
+  for (int i = 0; i <= kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      return i < kNumBuckets ? UpperBoundMs(i) : MaxMs();
+    }
+  }
+  return MaxMs();
+}
+
+std::string LatencyHistogram::ToJson() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %lld, \"sum_ms\": %.6f, \"p50\": %.6f, "
+                "\"p95\": %.6f, \"p99\": %.6f, \"max_ms\": %.6f}",
+                static_cast<long long>(Count()), SumMs(), PercentileMs(50),
+                PercentileMs(95), PercentileMs(99), MaxMs());
+  return buf;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_ms_.store(0.0, std::memory_order_relaxed);
+  max_ms_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace taurus

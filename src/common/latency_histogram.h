@@ -1,0 +1,55 @@
+#ifndef TAURUS_COMMON_LATENCY_HISTOGRAM_H_
+#define TAURUS_COMMON_LATENCY_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace taurus {
+
+/// Thread-safe fixed-bucket latency histogram. Buckets are logarithmic
+/// (powers of two from 1 microsecond up), which keeps Record() to one
+/// atomic increment while p50/p95/p99 stay within a factor of two of the
+/// true value at any latency scale — the standard trade for process-wide
+/// latency metrics. (Distinct from catalog/histogram.h, which holds
+/// per-column value distributions for cardinality estimation.)
+class LatencyHistogram {
+ public:
+  /// Bucket i covers (UpperBoundMs(i-1), UpperBoundMs(i)]; bucket 0 starts
+  /// at 0. 28 buckets span 0.001 ms .. ~134 s; anything larger lands in
+  /// the overflow bucket.
+  static constexpr int kNumBuckets = 28;
+
+  static double UpperBoundMs(int bucket);
+
+  void Record(double ms);
+
+  int64_t Count() const;
+  double SumMs() const { return LoadDouble(sum_ms_); }
+  double MaxMs() const { return LoadDouble(max_ms_); }
+
+  /// Upper bound of the bucket holding the p-th percentile sample
+  /// (p in [0, 100]); the recorded maximum for the overflow bucket; 0 when
+  /// empty.
+  double PercentileMs(double p) const;
+
+  /// {"count":N,"sum_ms":...,"p50":...,"p95":...,"p99":...,"max_ms":...}
+  std::string ToJson() const;
+
+  void Reset();
+
+ private:
+  static void AddDouble(std::atomic<double>& a, double v);
+  static void MaxDouble(std::atomic<double>& a, double v);
+  static double LoadDouble(const std::atomic<double>& a) {
+    return a.load(std::memory_order_relaxed);
+  }
+
+  std::atomic<int64_t> buckets_[kNumBuckets + 1] = {};  // +1 = overflow
+  std::atomic<double> sum_ms_{0.0};
+  std::atomic<double> max_ms_{0.0};
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_COMMON_LATENCY_HISTOGRAM_H_

@@ -1,10 +1,12 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 
 #include "bridge/decorrelate.h"
 #include "bridge/parse_tree_converter.h"
+#include "common/strings.h"
 #include "engine/explain.h"
 #include "exec/block_executor.h"
 #include "exec/expr_eval.h"
@@ -73,6 +75,22 @@ void ForEachBlock(QueryBlock* block, const Fn& fn, int depth = 0) {
     for (auto& c : e->children) estack.push_back(c.get());
   }
   if (block->union_next) ForEachBlock(block->union_next.get(), fn, depth + 1);
+}
+
+/// True when the statement's first token is SHOW (routed to the metrics
+/// registry instead of the SELECT pipeline).
+bool IsShowStatement(const std::string& sql) {
+  size_t i = sql.find_first_not_of(" \t\r\n");
+  if (i == std::string::npos || i + 4 > sql.size()) return false;
+  const char kShow[] = "show";
+  for (size_t j = 0; j < 4; ++j) {
+    if (std::tolower(static_cast<unsigned char>(sql[i + j])) != kShow[j]) {
+      return false;
+    }
+  }
+  size_t k = i + 4;
+  return k >= sql.size() ||
+         !(std::isalnum(static_cast<unsigned char>(sql[k])) || sql[k] == '_');
 }
 
 }  // namespace
@@ -159,8 +177,11 @@ Status Database::ExecuteSql(const std::string& sql) {
       return Analyze(stmt->table_name);
     case Statement::Kind::kSelect:
     case Statement::Kind::kExplain:
+    case Statement::Kind::kExplainAnalyze:
       return Status::InvalidArgument(
           "use Query()/Explain() for SELECT statements");
+    case Statement::Kind::kShowStatus:
+      return Status::InvalidArgument("use Query() for SHOW STATUS");
   }
   return Status::Internal("unreachable statement kind");
 }
@@ -197,7 +218,105 @@ Status Database::AnalyzeAll() {
 
 Result<std::unique_ptr<CompiledQuery>> Database::Compile(
     const std::string& sql, OptimizerPath path) {
-  return CompileInternal(sql, path, plan_cache_config_.enable);
+  Tracer* tracer = BeginTrace();
+  ScopedSpan compile_span(tracer, "compile");
+  return CompileInternal(sql, path, plan_cache_config_.enable, tracer);
+}
+
+void Database::BindCounters() {
+  counters_.detours_attempted =
+      metrics_.GetCounter("taurus.health.detours_attempted");
+  counters_.detours_failed =
+      metrics_.GetCounter("taurus.health.detours_failed");
+  counters_.fallbacks = metrics_.GetCounter("taurus.health.fallbacks");
+  counters_.budget_kills = metrics_.GetCounter("taurus.health.budget_kills");
+  counters_.exec_budget_kills =
+      metrics_.GetCounter("taurus.health.exec_budget_kills");
+  counters_.quarantine_hits =
+      metrics_.GetCounter("taurus.health.quarantine_hits");
+  counters_.cache_hits = metrics_.GetCounter("taurus.plan_cache.hits");
+  counters_.cache_misses = metrics_.GetCounter("taurus.plan_cache.misses");
+  counters_.verifier_rules = metrics_.GetCounter("taurus.verify.rules_checked");
+  counters_.verifier_violations =
+      metrics_.GetCounter("taurus.verify.violations");
+  counters_.queries = metrics_.GetCounter("taurus.query.count");
+  counters_.query_errors = metrics_.GetCounter("taurus.query.errors");
+  counters_.parallel_queries =
+      metrics_.GetCounter("taurus.exec.parallel_queries");
+  counters_.parallel_pipelines =
+      metrics_.GetCounter("taurus.exec.parallel_pipelines");
+  counters_.exec_rows_scanned = metrics_.GetCounter("taurus.exec.rows_scanned");
+  counters_.exec_index_lookups =
+      metrics_.GetCounter("taurus.exec.index_lookups");
+  counters_.optimize_ms = metrics_.GetHistogram("taurus.query.optimize_ms");
+  counters_.execute_ms = metrics_.GetHistogram("taurus.query.execute_ms");
+}
+
+OptimizerHealth Database::optimizer_health() const {
+  OptimizerHealth h;
+  h.detours_attempted = counters_.detours_attempted->Value();
+  h.detours_failed = counters_.detours_failed->Value();
+  h.fallbacks = counters_.fallbacks->Value();
+  h.budget_kills = counters_.budget_kills->Value();
+  h.exec_budget_kills = counters_.exec_budget_kills->Value();
+  h.quarantine_hits = counters_.quarantine_hits->Value();
+  return h;
+}
+
+void Database::ResetOptimizerHealth() {
+  counters_.detours_attempted->Reset();
+  counters_.detours_failed->Reset();
+  counters_.fallbacks->Reset();
+  counters_.budget_kills->Reset();
+  counters_.exec_budget_kills->Reset();
+  counters_.quarantine_hits->Reset();
+}
+
+void Database::SyncGaugeMetrics() {
+  const PlanCacheStats& s = plan_cache_.stats();
+  metrics_.GetGauge("taurus.plan_cache.insertions")
+      ->Set(static_cast<double>(s.insertions));
+  metrics_.GetGauge("taurus.plan_cache.evictions")
+      ->Set(static_cast<double>(s.evictions));
+  metrics_.GetGauge("taurus.plan_cache.invalidations")
+      ->Set(static_cast<double>(s.invalidations));
+  metrics_.GetGauge("taurus.plan_cache.entries")
+      ->Set(static_cast<double>(plan_cache_.size()));
+  metrics_.GetGauge("taurus.plan_cache.capacity")
+      ->Set(static_cast<double>(plan_cache_.capacity()));
+  metrics_.GetGauge("taurus.quarantine.entries")
+      ->Set(static_cast<double>(quarantine_.size()));
+}
+
+std::string Database::MetricsJson() {
+  SyncGaugeMetrics();
+  return metrics_.ToJson();
+}
+
+Result<QueryResult> Database::ShowStatus(const std::string& pattern) {
+  SyncGaugeMetrics();
+  QueryResult out;
+  out.columns = {"Variable_name", "Value"};
+  for (const auto& [name, value] : metrics_.Snapshot()) {
+    if (!pattern.empty() && !SqlLikeMatch(name, pattern)) continue;
+    Row row;
+    row.push_back(Value::Str(name));
+    row.push_back(Value::Str(value));
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Tracer* Database::BeginTrace() {
+  if (!trace_config_.enable) {
+    last_tracer_.reset();
+    return nullptr;
+  }
+  const Clock* clock = trace_config_.clock != nullptr
+                           ? trace_config_.clock
+                           : &SteadyClock::Instance();
+  last_tracer_ = std::make_unique<Tracer>(clock);
+  return last_tracer_.get();
 }
 
 std::string Database::MakeCacheKey(const std::string& canonical,
@@ -253,7 +372,7 @@ void Database::RecordDetourFailure(uint64_t fingerprint_hash) {
 }
 
 Result<std::unique_ptr<CompiledQuery>> Database::CompileFromCacheEntry(
-    const PlanCacheEntry& entry, BoundStatement stmt) {
+    const PlanCacheEntry& entry, BoundStatement stmt, Tracer* tracer) {
   // Replay the route's deterministic pre-optimization AST rewrites: the
   // cached skeleton was built against the rewritten statement, and the
   // rewritten predicates must reach refinement/execution exactly as on the
@@ -272,23 +391,29 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileFromCacheEntry(
       ApplyIndexGatedOrFactoring(b, stmt.leaves);
     });
   }
+  ScopedSpan thaw_span(tracer, "cache.thaw");
   TAURUS_ASSIGN_OR_RETURN(auto skeleton, ThawSkeleton(entry.skeleton, stmt));
+  thaw_span.End();
   // Thaw verification: a cached skeleton that no longer satisfies the
   // invariants (stale freeze format, catalog drift the version check
   // missed) fails the compile here, and CompileInternal recompiles from
   // SQL with the cache bypassed.
   VerifyReport report;
   if (verify_config_.verify_plans) {
+    ScopedSpan verify_span(tracer, "verify.thaw");
     VerifySkeletonPlan(*skeleton, catalog_,
                        /*check_cte_pairing=*/entry.used_orca, &report);
     if (verify_config_.enforce && !report.ok()) {
       return report.ToStatus("verify.thaw");
     }
   }
+  ScopedSpan refine_span(tracer, "refine");
   TAURUS_ASSIGN_OR_RETURN(auto compiled,
                           RefinePlan(std::move(stmt), *skeleton, catalog_));
+  refine_span.End();
   compiled->used_orca = entry.used_orca;
   if (verify_config_.verify_plans) {
+    ScopedSpan verify_span(tracer, "verify.block");
     VerifyBlockPlan(*compiled, &report);
     if (verify_config_.enforce && entry.used_orca && !report.ok()) {
       return report.ToStatus("verify.block");
@@ -300,14 +425,21 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileFromCacheEntry(
 }
 
 Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
-    const std::string& sql, OptimizerPath path, bool use_cache) {
+    const std::string& sql, OptimizerPath path, bool use_cache,
+    Tracer* tracer) {
   auto start = std::chrono::steady_clock::now();
   last_fell_back_ = false;
 
+  ScopedSpan parse_span(tracer, "parse");
   TAURUS_ASSIGN_OR_RETURN(auto parsed, ParseSelect(sql));
+  parse_span.End();
+  ScopedSpan bind_span(tracer, "bind");
   TAURUS_ASSIGN_OR_RETURN(BoundStatement stmt,
                           BindStatement(catalog_, std::move(parsed)));
+  bind_span.End();
+  ScopedSpan prepare_span(tracer, "prepare");
   TAURUS_RETURN_IF_ERROR(PrepareStatement(&stmt, prepare_options_));
+  prepare_span.End();
 
   // The normalized statement fingerprint keys both the plan cache and the
   // quarantine map.
@@ -315,11 +447,14 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
   std::string canonical;
   bool quarantined = false;
   if (use_cache || quarantine_config_.enable) {
+    ScopedSpan fp_span(tracer, "fingerprint");
     StatementFingerprint fp = FingerprintStatement(stmt);
     fingerprint = fp.hash;
     canonical = std::move(fp.canonical);
     quarantined = path == OptimizerPath::kAuto && quarantine_config_.enable &&
                   IsQuarantined(fingerprint);
+    fp_span.Attr("fingerprint", std::to_string(fingerprint));
+    if (quarantined) fp_span.Attr("quarantined", "true");
   }
 
   // Skeleton-plan cache: looked up strictly before the router, so a hit
@@ -332,13 +467,17 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
       plan_cache_.set_capacity(plan_cache_config_.capacity);
     }
     cache_key = MakeCacheKey(canonical, path);
+    ScopedSpan lookup_span(tracer, "cache.lookup");
     const PlanCacheEntry* entry = plan_cache_.Lookup(
         cache_key, catalog_.schema_version(), catalog_.stats_version());
     if (entry != nullptr && quarantined && entry->used_orca) entry = nullptr;
+    lookup_span.Attr("hit", entry != nullptr ? "true" : "false");
+    lookup_span.End();
     if (entry != nullptr) {
       double cold_ms = entry->cold_optimize_ms;
-      auto hit = CompileFromCacheEntry(*entry, std::move(stmt));
+      auto hit = CompileFromCacheEntry(*entry, std::move(stmt), tracer);
       if (hit.ok()) {
+        counters_.cache_hits->Increment();
         (*hit)->plan_cache_hit = true;
         (*hit)->fingerprint = fingerprint;
         (*hit)->optimize_ms = MsSince(start);
@@ -348,8 +487,10 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
       }
       // Thaw/refine mismatch (should not happen; defensive): the statement
       // was consumed, so recompile from SQL with the cache bypassed.
-      return CompileInternal(sql, path, /*use_cache=*/false);
+      counters_.cache_misses->Increment();
+      return CompileInternal(sql, path, /*use_cache=*/false, tracer);
     }
+    counters_.cache_misses->Increment();
   }
 
   auto cache_plan = [&](const BlockSkeleton& skel, FrozenBlockSkeleton frozen,
@@ -374,39 +515,53 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
   if (try_orca && quarantined) {
     try_orca = false;
     quarantine_hit = true;
-    ++health_.quarantine_hits;
+    counters_.quarantine_hits->Increment();
+  }
+  {
+    ScopedSpan route_span(tracer, "route");
+    route_span.Attr("decision", quarantine_hit ? "quarantine"
+                                : try_orca     ? "orca"
+                                               : "mysql");
   }
 
   Status detour_error;  // stays OK unless the detour fails
   if (try_orca) {
-    ++health_.detours_attempted;
+    counters_.detours_attempted->Increment();
+    ScopedSpan detour_span(tracer, "orca.detour");
     ResourceGovernor governor(resource_budget_);
     OrcaPathOptimizer orca(
         catalog_, &stmt, &mdp_, orca_config_,
         resource_budget_.governs_optimize() ? &governor : nullptr,
-        &verify_config_);
+        &verify_config_, tracer);
     auto orca_skel = orca.Optimize();
     int verifier_rules = orca.verify_report().rules_checked;
     int verifier_violations = orca.verify_report().violations();
     if (orca_skel.ok()) {
+      // The detour proper ends here; freeze/refine/verify.block are shared
+      // post-optimization steps and trace as compile-level siblings.
+      detour_span.End();
       std::unique_ptr<BlockSkeleton> skeleton = std::move(*orca_skel);
       last_orca_metrics_ = orca.metrics();
       // Freeze before refinement consumes the statement.
       FrozenBlockSkeleton frozen;
       bool cacheable = false;
       if (use_cache) {
+        ScopedSpan freeze_span(tracer, "cache.freeze");
         auto frozen_or = FreezeSkeleton(*skeleton);
         if (frozen_or.ok()) {
           frozen = std::move(*frozen_or);
           cacheable = true;
         }
       }
+      ScopedSpan refine_span(tracer, "refine");
       auto refined = RefinePlan(std::move(stmt), *skeleton, catalog_);
+      refine_span.End();
       if (refined.ok()) {
         auto compiled = std::move(*refined);
         compiled->used_orca = true;
         // Post-refinement boundary: the executable block plan (B001-B003).
         if (verify_config_.verify_plans) {
+          ScopedSpan verify_span(tracer, "verify.block");
           VerifyReport block_report;
           VerifyBlockPlan(*compiled, &block_report);
           verifier_rules += block_report.rules_checked;
@@ -436,18 +591,23 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
     // The detour failed. Forced-Orca surfaces the error; the auto route
     // aborts the detour and resorts to the usual MySQL optimization
     // (Section 4.2.1).
-    ++health_.detours_failed;
+    counters_.detours_failed->Increment();
     if (detour_error.code() == StatusCode::kResourceExhausted) {
-      ++health_.budget_kills;
+      counters_.budget_kills->Increment();
     }
+    detour_span.End();
+    detour_span.Attr("aborted", "true");
+    detour_span.Attr("status", detour_error.ToString());
     if (path == OptimizerPath::kOrca) return detour_error;
-    ++health_.fallbacks;
+    counters_.fallbacks->Increment();
     last_fell_back_ = true;
     if (quarantine_config_.enable) RecordDetourFailure(fingerprint);
     // Clean fallback: the detour may have rewritten the AST (decorrelation,
     // OR factoring) or consumed it (refinement), so re-parse and re-bind
     // from the pristine SQL. The MySQL path then sees exactly what it would
     // have seen without the detour — which also makes the compile cacheable.
+    ScopedSpan reparse_span(tracer, "fallback.reparse");
+    reparse_span.Attr("reason", detour_error.ToString());
     TAURUS_ASSIGN_OR_RETURN(auto reparsed, ParseSelect(sql));
     TAURUS_ASSIGN_OR_RETURN(stmt,
                             BindStatement(catalog_, std::move(reparsed)));
@@ -455,7 +615,9 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
   }
 
   // MySQL path: direct route, quarantine skip, or clean fallback.
+  ScopedSpan mysql_span(tracer, "mysql.optimize");
   TAURUS_ASSIGN_OR_RETURN(auto skeleton, MySqlOptimize(catalog_, &stmt));
+  mysql_span.End();
 
   // Counts-only on the MySQL path: it is the fallback of last resort, so
   // violations are surfaced in QueryResult/EXPLAIN but never fatal. S005
@@ -463,6 +625,7 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
   // each CTE copy independently.
   VerifyReport mysql_report;
   if (verify_config_.verify_plans) {
+    ScopedSpan verify_span(tracer, "verify.skeleton");
     VerifySkeletonPlan(*skeleton, catalog_, /*check_cte_pairing=*/false,
                        &mysql_report);
   }
@@ -471,6 +634,7 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
   FrozenBlockSkeleton frozen;
   bool cacheable = false;
   if (use_cache) {
+    ScopedSpan freeze_span(tracer, "cache.freeze");
     auto frozen_or = FreezeSkeleton(*skeleton);
     if (frozen_or.ok()) {
       frozen = std::move(*frozen_or);
@@ -478,10 +642,12 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
     }
   }
 
+  ScopedSpan refine_span(tracer, "refine");
   TAURUS_ASSIGN_OR_RETURN(auto compiled,
                           RefinePlan(std::move(stmt), *skeleton, catalog_));
-  compiled->used_orca = false;
+  refine_span.End();
   if (verify_config_.verify_plans) {
+    ScopedSpan verify_span(tracer, "verify.block");
     VerifyBlockPlan(*compiled, &mysql_report);
   }
   compiled->verifier_rules = mysql_report.rules_checked;
@@ -501,7 +667,34 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
 
 Result<QueryResult> Database::Query(const std::string& sql,
                                     OptimizerPath path) {
-  TAURUS_ASSIGN_OR_RETURN(auto compiled, Compile(sql, path));
+  // SHOW STATUS / SHOW METRICS read the metrics registry and never enter
+  // the SELECT pipeline (no trace, no optimizer).
+  if (IsShowStatement(sql)) {
+    TAURUS_ASSIGN_OR_RETURN(auto stmt, ParseStatement(sql));
+    if (stmt->kind == Statement::Kind::kShowStatus) {
+      return ShowStatus(stmt->table_name);
+    }
+    return Status::InvalidArgument("unsupported SHOW statement");
+  }
+  return QueryInternal(sql, path, nullptr, nullptr);
+}
+
+Result<QueryResult> Database::QueryInternal(
+    const std::string& sql, OptimizerPath path, OpActualsMap* actuals,
+    std::unique_ptr<CompiledQuery>* compiled_out) {
+  counters_.queries->Increment();
+  Tracer* tracer = BeginTrace();
+  ScopedSpan query_span(tracer, "query");
+  ScopedSpan compile_span(tracer, "compile");
+  auto compiled_or =
+      CompileInternal(sql, path, plan_cache_config_.enable, tracer);
+  compile_span.End();
+  if (!compiled_or.ok()) {
+    counters_.query_errors->Increment();
+    return compiled_or.status();
+  }
+  auto compiled = std::move(*compiled_or);
+  counters_.optimize_ms->Record(compiled->optimize_ms);
   QueryResult out;
   out.columns = compiled->root->column_names;
   out.used_orca = compiled->used_orca;
@@ -514,9 +707,16 @@ Result<QueryResult> Database::Query(const std::string& sql,
   out.verifier_rules = compiled->verifier_rules;
   out.verifier_violations = compiled->verifier_violations;
 
+  const Clock* analyze_clock =
+      trace_config_.clock != nullptr ? trace_config_.clock
+                                     : &SteadyClock::Instance();
   auto start = std::chrono::steady_clock::now();
   ExecContext ctx;
   ArmExecContext(&ctx, compiled->used_orca);
+  if (actuals != nullptr) {
+    ctx.op_actuals = actuals;
+    ctx.analyze_clock = analyze_clock;
+  }
   if (verify_config_.verify_plans) {
     // B004 — budget hooks present on the armed execution context.
     VerifyReport arm_report;
@@ -526,23 +726,39 @@ Result<QueryResult> Database::Query(const std::string& sql,
     out.verifier_violations += arm_report.violations();
   }
   ExecContext* final_ctx = &ctx;
+  ScopedSpan exec_span(tracer, "execute");
   auto rows = ExecuteQuery(compiled.get(), storage_, &ctx);
+  exec_span.End();
+  int final_exec_id = exec_span.id();
   ExecContext retry_ctx;  // ExecContext is non-copyable (shared atomic
                           // budget counter), so the fallback re-execution
                           // gets its own context.
   if (!rows.ok()) {
     bool budget_kill = compiled->used_orca &&
                        rows.status().code() == StatusCode::kResourceExhausted;
-    if (!budget_kill || path != OptimizerPath::kAuto) return rows.status();
+    if (!budget_kill || path != OptimizerPath::kAuto) {
+      counters_.query_errors->Increment();
+      return rows.status();
+    }
     // The executor budget killed an Orca plan mid-execution on the auto
     // route: recompile through the MySQL path and re-execute unbudgeted.
-    ++health_.exec_budget_kills;
-    ++health_.fallbacks;
+    counters_.exec_budget_kills->Increment();
+    counters_.fallbacks->Increment();
     if (quarantine_config_.enable && compiled->fingerprint != 0) {
       RecordDetourFailure(compiled->fingerprint);
     }
     Status kill = rows.status();
-    TAURUS_ASSIGN_OR_RETURN(compiled, Compile(sql, OptimizerPath::kMySql));
+    exec_span.Attr("aborted", "true");
+    exec_span.Attr("status", kill.ToString());
+    ScopedSpan recompile_span(tracer, "fallback.recompile");
+    auto retry_or = CompileInternal(sql, OptimizerPath::kMySql,
+                                    plan_cache_config_.enable, tracer);
+    recompile_span.End();
+    if (!retry_or.ok()) {
+      counters_.query_errors->Increment();
+      return retry_or.status();
+    }
+    compiled = std::move(*retry_or);
     out.used_orca = false;
     out.fell_back = true;
     out.fallback_reason = kill.ToString();
@@ -551,6 +767,11 @@ Result<QueryResult> Database::Query(const std::string& sql,
     out.verifier_rules += compiled->verifier_rules;
     out.verifier_violations += compiled->verifier_violations;
     ArmExecContext(&retry_ctx, /*used_orca=*/false);
+    if (actuals != nullptr) {
+      actuals->clear();  // the aborted run's partial actuals are stale
+      retry_ctx.op_actuals = actuals;
+      retry_ctx.analyze_clock = analyze_clock;
+    }
     if (verify_config_.verify_plans) {
       VerifyReport arm_report;
       VerifyExecBudgetArming(/*used_orca=*/false,
@@ -559,9 +780,16 @@ Result<QueryResult> Database::Query(const std::string& sql,
       out.verifier_rules += arm_report.rules_checked;
       out.verifier_violations += arm_report.violations();
     }
+    ScopedSpan retry_span(tracer, "execute");
+    retry_span.Attr("retry", "true");
     rows = ExecuteQuery(compiled.get(), storage_, &retry_ctx);
+    retry_span.End();
+    final_exec_id = retry_span.id();
     final_ctx = &retry_ctx;
-    if (!rows.ok()) return rows.status();
+    if (!rows.ok()) {
+      counters_.query_errors->Increment();
+      return rows.status();
+    }
   }
   out.rows = std::move(*rows);
   out.execute_ms = MsSince(start);
@@ -570,7 +798,54 @@ Result<QueryResult> Database::Query(const std::string& sql,
   out.rebinds = final_ctx->rebinds;
   out.parallel_workers_used = final_ctx->max_workers_used;
   out.parallel_pipelines = final_ctx->parallel_pipelines;
+
+  counters_.execute_ms->Record(out.execute_ms);
+  counters_.exec_rows_scanned->Increment(out.rows_scanned);
+  counters_.exec_index_lookups->Increment(out.index_lookups);
+  if (out.verifier_rules > 0) {
+    counters_.verifier_rules->Increment(out.verifier_rules);
+  }
+  if (out.verifier_violations > 0) {
+    counters_.verifier_violations->Increment(out.verifier_violations);
+  }
+  if (out.parallel_pipelines > 0) {
+    counters_.parallel_queries->Increment();
+    counters_.parallel_pipelines->Increment(out.parallel_pipelines);
+  }
+  if (tracer != nullptr) {
+    tracer->SetAttr(final_exec_id, "workers",
+                    std::to_string(out.parallel_workers_used));
+    tracer->SetAttr(final_exec_id, "pipelines",
+                    std::to_string(out.parallel_pipelines));
+  }
+  if (compiled_out != nullptr) *compiled_out = std::move(compiled);
   return out;
+}
+
+Result<std::string> Database::ExplainAnalyze(const std::string& sql,
+                                             OptimizerPath path) {
+  OpActualsMap actuals;
+  std::unique_ptr<CompiledQuery> compiled;
+  TAURUS_ASSIGN_OR_RETURN(QueryResult res,
+                          QueryInternal(sql, path, &actuals, &compiled));
+  ExplainAnalyzeData data;
+  data.actuals = &actuals;
+  data.execute_ms = res.execute_ms;
+  data.rows_returned = static_cast<int64_t>(res.rows.size());
+  return RenderExplainAnalyze(*compiled, data);
+}
+
+Result<std::string> Database::ExplainAnalyzeJsonDump(const std::string& sql,
+                                                     OptimizerPath path) {
+  OpActualsMap actuals;
+  std::unique_ptr<CompiledQuery> compiled;
+  TAURUS_ASSIGN_OR_RETURN(QueryResult res,
+                          QueryInternal(sql, path, &actuals, &compiled));
+  ExplainAnalyzeData data;
+  data.actuals = &actuals;
+  data.execute_ms = res.execute_ms;
+  data.rows_returned = static_cast<int64_t>(res.rows.size());
+  return ExplainAnalyzeJson(*compiled, data);
 }
 
 void Database::ArmExecContext(ExecContext* ctx, bool used_orca) {

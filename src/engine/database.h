@@ -10,14 +10,18 @@
 #include "bridge/orca_path.h"
 #include "bridge/router.h"
 #include "catalog/catalog.h"
+#include "common/clock.h"
 #include "common/resource_budget.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "engine/plan_cache.h"
 #include "exec/exec_context.h"
+#include "exec/op_actuals.h"
 #include "exec/physical_plan.h"
 #include "frontend/prepare.h"
 #include "mdp/provider.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "orca/orca.h"
 #include "storage/storage.h"
 
@@ -85,8 +89,11 @@ struct QuarantineConfig {
   int failure_threshold = 3;
 };
 
-/// Aggregate fault-containment counters (degradation observability): how
-/// often the detour runs, fails, gets budget-killed, or is skipped.
+/// Snapshot of the fault-containment counters (degradation observability):
+/// how often the detour runs, fails, gets budget-killed, or is skipped.
+/// The live counters are the atomic `taurus.health.*` entries of the
+/// engine's metrics registry; this struct is a point-in-time copy read via
+/// Database::optimizer_health().
 struct OptimizerHealth {
   int64_t detours_attempted = 0;  ///< compiles that entered the Orca detour
   int64_t detours_failed = 0;     ///< detours that errored (any cause)
@@ -94,6 +101,17 @@ struct OptimizerHealth {
   int64_t budget_kills = 0;       ///< detours killed by the optimize budget
   int64_t exec_budget_kills = 0;  ///< Orca plans killed mid-execution
   int64_t quarantine_hits = 0;    ///< compiles that skipped Orca (quarantine)
+};
+
+/// Per-query pipeline tracing knobs. Off by default: the tracer is only
+/// allocated when enabled, and every instrumented code path carries a
+/// null-check-only ScopedSpan, so disabled tracing costs nothing
+/// measurable.
+struct TraceConfig {
+  bool enable = false;
+  /// Span clock; null = the process steady clock. Tests inject a FakeClock
+  /// to assert exact span trees and durations.
+  const Clock* clock = nullptr;
 };
 
 /// The embedded database engine: catalog + storage + both optimizers +
@@ -104,7 +122,7 @@ struct OptimizerHealth {
 /// executor. A failed Orca conversion falls back to the MySQL optimizer.
 class Database {
  public:
-  Database() : mdp_(catalog_) {}
+  Database() : mdp_(catalog_) { BindCounters(); }
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -129,13 +147,25 @@ class Database {
   Result<std::unique_ptr<CompiledQuery>> Compile(
       const std::string& sql, OptimizerPath path = OptimizerPath::kAuto);
 
-  /// Compiles and executes a SELECT.
+  /// Compiles and executes a SELECT. Also accepts `SHOW STATUS [LIKE
+  /// 'pattern']` (alias: SHOW METRICS), answered from the metrics registry
+  /// as Variable_name/Value rows.
   Result<QueryResult> Query(const std::string& sql,
                             OptimizerPath path = OptimizerPath::kAuto);
 
   /// MySQL-style tree EXPLAIN; the first line marks Orca-assisted plans.
   Result<std::string> Explain(const std::string& sql,
                               OptimizerPath path = OptimizerPath::kAuto);
+
+  /// EXPLAIN ANALYZE: executes the query collecting per-node actuals, then
+  /// renders the plan with actual rows / loops / wall time and q-error next
+  /// to the optimizer's estimates (DESIGN.md section 10).
+  Result<std::string> ExplainAnalyze(const std::string& sql,
+                                     OptimizerPath path = OptimizerPath::kAuto);
+
+  /// EXPLAIN ANALYZE as one machine-readable JSON object.
+  Result<std::string> ExplainAnalyzeJsonDump(
+      const std::string& sql, OptimizerPath path = OptimizerPath::kAuto);
 
   // --- Configuration ---
   RouterConfig& router_config() { return router_config_; }
@@ -148,6 +178,22 @@ class Database {
   /// Cross-layer plan verifier knobs (always-on in Debug/sanitizer builds,
   /// opt-in in Release).
   PlanVerifyConfig& verify_config() { return verify_config_; }
+  /// Per-query pipeline tracing knobs (off by default).
+  TraceConfig& trace_config() { return trace_config_; }
+
+  // --- Observability ---
+
+  /// This engine's metrics registry: every counter/gauge/histogram under
+  /// `taurus.<subsystem>.<name>` naming. Per-instance (deterministic in
+  /// tests); MetricsRegistry::Global() exists for process-wide consumers.
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// All registry metrics as one JSON object (gauges synced first).
+  std::string MetricsJson();
+
+  /// The trace of the most recent traced Query/Compile/ExplainAnalyze, or
+  /// null when tracing is disabled.
+  const Tracer* last_trace() const { return last_tracer_.get(); }
 
   /// The skeleton-plan cache (exposed for stats, Clear() and capacity
   /// tuning in tests and benches).
@@ -166,9 +212,10 @@ class Database {
   /// True when the most recent kAuto/kOrca compile fell back to MySQL.
   bool last_compile_fell_back() const { return last_fell_back_; }
 
-  /// Fault-containment counters since construction (or the last reset).
-  const OptimizerHealth& optimizer_health() const { return health_; }
-  void ResetOptimizerHealth() { health_ = OptimizerHealth(); }
+  /// Snapshot of the fault-containment counters since construction (or the
+  /// last reset), read from the `taurus.health.*` registry counters.
+  OptimizerHealth optimizer_health() const;
+  void ResetOptimizerHealth();
 
   /// True when `fingerprint_hash` has reached the quarantine threshold and
   /// the catalog versions have not moved since.
@@ -178,14 +225,35 @@ class Database {
 
  private:
   /// Compile with the cache consulted (or bypassed, for the recovery path
-  /// after a thaw mismatch).
+  /// after a thaw mismatch). `tracer` may be null (tracing disabled).
   Result<std::unique_ptr<CompiledQuery>> CompileInternal(
-      const std::string& sql, OptimizerPath path, bool use_cache);
+      const std::string& sql, OptimizerPath path, bool use_cache,
+      Tracer* tracer);
 
   /// Replays the route's deterministic AST rewrites onto a freshly bound
   /// statement, thaws the cached skeleton and refines it.
   Result<std::unique_ptr<CompiledQuery>> CompileFromCacheEntry(
-      const PlanCacheEntry& entry, BoundStatement stmt);
+      const PlanCacheEntry& entry, BoundStatement stmt, Tracer* tracer);
+
+  /// Query with optional per-node actuals collection (EXPLAIN ANALYZE) and
+  /// the final compiled plan handed back through `compiled_out`.
+  Result<QueryResult> QueryInternal(const std::string& sql, OptimizerPath path,
+                                    OpActualsMap* actuals,
+                                    std::unique_ptr<CompiledQuery>* compiled_out);
+
+  /// SHOW STATUS [LIKE 'pattern']: registry snapshot as result rows.
+  Result<QueryResult> ShowStatus(const std::string& pattern);
+
+  /// Starts a fresh per-query trace when tracing is enabled; returns null
+  /// (and drops the previous trace) otherwise.
+  Tracer* BeginTrace();
+
+  /// Resolves the engine's registry counters/histograms once (ctor).
+  void BindCounters();
+
+  /// Copies point-in-time values (plan-cache stats, quarantine size) into
+  /// their registry gauges before a dump.
+  void SyncGaugeMetrics();
 
   /// Cache key: statement fingerprint + requested path + the router/Orca
   /// configuration that steers optimization after fingerprinting.
@@ -207,6 +275,29 @@ class Database {
     uint64_t stats_version = 0;
   };
 
+  /// Registry-backed engine counters, resolved once at construction so the
+  /// hot paths increment atomics directly instead of re-hashing names.
+  struct EngineCounters {
+    Counter* detours_attempted = nullptr;
+    Counter* detours_failed = nullptr;
+    Counter* fallbacks = nullptr;
+    Counter* budget_kills = nullptr;
+    Counter* exec_budget_kills = nullptr;
+    Counter* quarantine_hits = nullptr;
+    Counter* cache_hits = nullptr;
+    Counter* cache_misses = nullptr;
+    Counter* verifier_rules = nullptr;
+    Counter* verifier_violations = nullptr;
+    Counter* queries = nullptr;
+    Counter* query_errors = nullptr;
+    Counter* parallel_queries = nullptr;
+    Counter* parallel_pipelines = nullptr;
+    Counter* exec_rows_scanned = nullptr;
+    Counter* exec_index_lookups = nullptr;
+    LatencyHistogram* optimize_ms = nullptr;
+    LatencyHistogram* execute_ms = nullptr;
+  };
+
   Catalog catalog_;
   Storage storage_;
   MetadataProvider mdp_;
@@ -219,9 +310,12 @@ class Database {
   QuarantineConfig quarantine_config_;
   ExecutorConfig exec_config_;
   PlanVerifyConfig verify_config_;
+  TraceConfig trace_config_;
+  MetricsRegistry metrics_;
+  EngineCounters counters_;
+  std::unique_ptr<Tracer> last_tracer_;
   std::unique_ptr<ThreadPool> pool_;
   std::unordered_map<uint64_t, QuarantineEntry> quarantine_;
-  OptimizerHealth health_;
   OrcaPathMetrics last_orca_metrics_;
   bool last_fell_back_ = false;
 };

@@ -1,9 +1,11 @@
 #include "engine/explain.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <vector>
 
+#include "obs/estimate_feedback.h"
 #include "parser/ast_util.h"
 
 namespace taurus {
@@ -14,6 +16,23 @@ std::string Est(double cost, double rows) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), " (cost=%.2f rows=%.0f)", cost, rows);
   return buf;
+}
+
+/// "(actual rows=N loops=N time=T ms) (q-error=Q)" for an executed node,
+/// "(never executed)" otherwise.
+std::string ActualAnnot(const OpActual* a, double est_rows) {
+  if (a == nullptr || a->loops <= 0) return " (never executed)";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                " (actual rows=%lld loops=%lld time=%.3f ms)",
+                static_cast<long long>(a->rows),
+                static_cast<long long>(a->loops), a->time_ms);
+  std::string out = buf;
+  const double per_loop = static_cast<double>(a->rows) /
+                          static_cast<double>(std::max<int64_t>(a->loops, 1));
+  std::snprintf(buf, sizeof(buf), " (q-error=%.2f)", QError(est_rows, per_loop));
+  out += buf;
+  return out;
 }
 
 std::string CondsToString(const std::vector<const Expr*>& conds) {
@@ -27,7 +46,9 @@ std::string CondsToString(const std::vector<const Expr*>& conds) {
 
 class ExplainRenderer {
  public:
-  explicit ExplainRenderer(const CompiledQuery& query) : query_(&query) {
+  explicit ExplainRenderer(const CompiledQuery& query,
+                           const ExplainAnalyzeData* analyze = nullptr)
+      : query_(&query), analyze_(analyze) {
     // Build ref_id -> leaf map for invalidation annotations.
     std::vector<const QueryBlock*> blocks{query.ast.get()};
     while (!blocks.empty()) {
@@ -44,7 +65,17 @@ class ExplainRenderer {
   }
 
   std::string Render() {
-    std::string out = query_->used_orca ? "EXPLAIN (ORCA)\n" : "EXPLAIN\n";
+    std::string out;
+    if (analyze_ != nullptr) {
+      out = query_->used_orca ? "EXPLAIN ANALYZE (ORCA)\n" : "EXPLAIN ANALYZE\n";
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "actual: rows=%lld time=%.3f ms\n",
+                    static_cast<long long>(analyze_->rows_returned),
+                    analyze_->execute_ms);
+      out += buf;
+    } else {
+      out = query_->used_orca ? "EXPLAIN (ORCA)\n" : "EXPLAIN\n";
+    }
     if (query_->plan_cache_hit) {
       // Own line so the first-line optimizer marker stays stable.
       char buf[64];
@@ -69,10 +100,64 @@ class ExplainRenderer {
              (query_->subplans[i]->correlated ? " (correlated)" : "") + "\n";
       RenderBlock(*query_->subplans[i]->plan, 0, &out);
     }
+    if (analyze_ != nullptr) AppendQErrorSection(&out);
     return out;
   }
 
  private:
+  /// Estimate annotation, plus actuals + q-error under EXPLAIN ANALYZE.
+  std::string Annot(const PhysOp& op) {
+    std::string out = Est(op.est_cost, op.est_rows);
+    if (analyze_ != nullptr) {
+      out += ActualAnnot(analyze_->actuals->Find(&op), op.est_rows);
+    }
+    return out;
+  }
+
+  std::string BlockAnnot(const BlockPlan& plan) {
+    std::string out = Est(plan.est_cost, plan.est_rows);
+    if (analyze_ != nullptr) {
+      out += ActualAnnot(analyze_->actuals->Find(&plan), plan.est_rows);
+    }
+    return out;
+  }
+
+  /// Per-position q-errors over each block's best-position array — the
+  /// leaf order Orca's estimates were copied into (Section 4.2.2), so a
+  /// drifted position points straight at the misestimated input.
+  void AppendQErrorSection(std::string* out) {
+    std::vector<std::pair<std::string, const BlockPlan*>> blocks;
+    blocks.emplace_back("main", query_->root.get());
+    for (size_t i = 0; i < query_->root->union_arms.size(); ++i) {
+      blocks.emplace_back("union arm #" + std::to_string(i + 1),
+                          query_->root->union_arms[i].get());
+    }
+    for (size_t i = 0; i < query_->subplans.size(); ++i) {
+      blocks.emplace_back("subquery #" + std::to_string(i + 1),
+                          query_->subplans[i]->plan.get());
+    }
+    double worst = 1.0;
+    for (const auto& [label, plan] : blocks) {
+      if (plan == nullptr) continue;
+      std::vector<PositionQError> qs =
+          CollectPositionQErrors(*plan, *analyze_->actuals);
+      if (qs.empty()) continue;
+      *out += "q-error by position (" + label + "):\n";
+      for (const PositionQError& q : qs) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "  pos %d: %s est=%.0f actual=%.1f q-error=%.2f\n",
+                      q.position, q.alias.c_str(), q.est_rows, q.actual_rows,
+                      q.q_error);
+        *out += buf;
+        worst = std::max(worst, q.q_error);
+      }
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "max q-error: %.2f\n", worst);
+    *out += buf;
+  }
+
   void Line(int indent, const std::string& text, std::string* out) {
     out->append(static_cast<size_t>(indent) * 4, ' ');
     out->append("-> ");
@@ -118,7 +203,7 @@ class ExplainRenderer {
     switch (op.kind) {
       case PhysOp::Kind::kFilter:
         Line(indent, "Filter: " + CondsToString(op.conds) +
-                         Est(op.est_cost, op.est_rows),
+                         Annot(op),
              out);
         RenderOp(*op.child, indent + 1, out);
         return;
@@ -140,7 +225,7 @@ class ExplainRenderer {
             break;
         }
         if (!op.conds.empty()) name += " on " + CondsToString(op.conds);
-        Line(indent, name + Est(op.est_cost, op.est_rows), out);
+        Line(indent, name + Annot(op), out);
         RenderOp(*op.child, indent + 1, out);
         RenderOp(*op.right, indent + 1, out);
         return;
@@ -169,7 +254,7 @@ class ExplainRenderer {
                   op.hash_keys[i].second->ToString();
         }
         if (!keys.empty()) name += " (" + keys + ")";
-        Line(indent, name + Est(op.est_cost, op.est_rows), out);
+        Line(indent, name + Annot(op), out);
         RenderOp(*op.child, indent + 1, out);
         RenderOp(*op.right, indent + 1, out);
         return;
@@ -179,11 +264,11 @@ class ExplainRenderer {
         if (!op.filters.empty()) {
           Line(indent,
                "Filter: " + CondsToString(op.filters) +
-                   Est(op.est_cost, op.est_rows),
+                   Annot(op),
                out);
-          Line(indent + 1, text + Est(op.est_cost, op.est_rows), out);
+          Line(indent + 1, text + Annot(op), out);
         } else {
-          Line(indent, text + Est(op.est_cost, op.est_rows), out);
+          Line(indent, text + Annot(op), out);
         }
         return;
       }
@@ -198,7 +283,7 @@ class ExplainRenderer {
         if (!op.filters.empty()) {
           text += ", with filter: " + CondsToString(op.filters);
         }
-        Line(indent, text + Est(op.est_cost, op.est_rows), out);
+        Line(indent, text + Annot(op), out);
         return;
       }
       case PhysOp::Kind::kIndexLookup: {
@@ -222,7 +307,7 @@ class ExplainRenderer {
         if (!op.filters.empty()) {
           text += ", with filter: " + CondsToString(op.filters);
         }
-        Line(indent, text + Est(op.est_cost, op.est_rows), out);
+        Line(indent, text + Annot(op), out);
         return;
       }
       case PhysOp::Kind::kDerivedScan: {
@@ -230,11 +315,11 @@ class ExplainRenderer {
         if (!op.filters.empty()) {
           Line(indent,
                "Filter: " + CondsToString(op.filters) +
-                   Est(op.est_cost, op.est_rows),
+                   Annot(op),
                out);
           ++indent;
         }
-        Line(indent, text + Est(op.est_cost, op.est_rows), out);
+        Line(indent, text + Annot(op), out);
         std::string mat = "Materialize";
         if (op.invalidate_on_rebind) {
           mat += " (invalidate on row from " +
@@ -279,7 +364,7 @@ class ExplainRenderer {
       std::string mode = plan.agg_mode == AggMode::kStream
                              ? "Stream aggregate: "
                              : "Aggregate: ";
-      Line(indent, mode + aggs + Est(plan.est_cost, plan.est_rows), out);
+      Line(indent, mode + aggs + BlockAnnot(plan), out);
       ++indent;
     }
     if (plan.join_root != nullptr) {
@@ -303,6 +388,178 @@ class ExplainRenderer {
 
   const CompiledQuery* query_;
   std::map<int, const TableRef*> leaf_by_ref_;
+  const ExplainAnalyzeData* analyze_;
+};
+
+const char* OpKindName(PhysOp::Kind kind) {
+  switch (kind) {
+    case PhysOp::Kind::kTableScan: return "table_scan";
+    case PhysOp::Kind::kIndexRange: return "index_range";
+    case PhysOp::Kind::kIndexLookup: return "index_lookup";
+    case PhysOp::Kind::kDerivedScan: return "derived_scan";
+    case PhysOp::Kind::kFilter: return "filter";
+    case PhysOp::Kind::kNLJoin: return "nested_loop_join";
+    case PhysOp::Kind::kHashJoin: return "hash_join";
+  }
+  return "unknown";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Machine-readable EXPLAIN ANALYZE tree. Node fields carry aliases and
+/// operator kinds only (no expression strings), so the output stays
+/// schema-stable and trivially escapable.
+class AnalyzeJsonWriter {
+ public:
+  AnalyzeJsonWriter(const CompiledQuery& query, const ExplainAnalyzeData& data)
+      : query_(&query), data_(&data) {}
+
+  std::string Write() {
+    std::string out = "{";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\"explain_analyze\": true, \"used_orca\": %s, "
+                  "\"execute_ms\": %.6f, \"rows_returned\": %lld",
+                  query_->used_orca ? "true" : "false", data_->execute_ms,
+                  static_cast<long long>(data_->rows_returned));
+    out += buf;
+    out += ", \"plan\": ";
+    WriteBlock(*query_->root, &out);
+    out += ", \"subqueries\": [";
+    for (size_t i = 0; i < query_->subplans.size(); ++i) {
+      if (i) out += ", ";
+      WriteBlock(*query_->subplans[i]->plan, &out);
+    }
+    out += "]";
+    AppendQErrors(&out);
+    out += "}";
+    return out;
+  }
+
+ private:
+  /// Appends the shared actual-execution fields for one plan node.
+  void AppendActuals(const void* node, double est_rows, std::string* out) {
+    const OpActual* a = data_->actuals->Find(node);
+    char buf[160];
+    if (a == nullptr || a->loops <= 0) {
+      *out += ", \"actual_rows\": 0, \"loops\": 0, \"time_ms\": 0.0, "
+              "\"q_error\": null";
+      return;
+    }
+    const double per_loop =
+        static_cast<double>(a->rows) /
+        static_cast<double>(std::max<int64_t>(a->loops, 1));
+    std::snprintf(buf, sizeof(buf),
+                  ", \"actual_rows\": %lld, \"loops\": %lld, "
+                  "\"time_ms\": %.6f, \"q_error\": %.4f",
+                  static_cast<long long>(a->rows),
+                  static_cast<long long>(a->loops), a->time_ms,
+                  QError(est_rows, per_loop));
+    *out += buf;
+  }
+
+  void WriteOp(const PhysOp& op, std::string* out) {
+    char buf[96];
+    *out += "{\"op\": \"";
+    *out += OpKindName(op.kind);
+    *out += "\"";
+    if (op.leaf != nullptr) {
+      *out += ", \"alias\": \"" + JsonEscape(op.leaf->alias) + "\"";
+    }
+    std::snprintf(buf, sizeof(buf), ", \"est_rows\": %.4f, \"est_cost\": %.4f",
+                  op.est_rows, op.est_cost);
+    *out += buf;
+    AppendActuals(&op, op.est_rows, out);
+    *out += ", \"children\": [";
+    bool first = true;
+    auto child = [&](const PhysOp* c) {
+      if (c == nullptr) return;
+      if (!first) *out += ", ";
+      first = false;
+      WriteOp(*c, out);
+    };
+    child(op.child.get());
+    child(op.right.get());
+    *out += "]";
+    if (op.kind == PhysOp::Kind::kDerivedScan && op.derived_plan != nullptr) {
+      *out += ", \"derived\": ";
+      WriteBlock(*op.derived_plan, out);
+    }
+    *out += "}";
+  }
+
+  void WriteBlock(const BlockPlan& plan, std::string* out) {
+    char buf[96];
+    *out += "{\"node\": \"block\"";
+    std::snprintf(buf, sizeof(buf), ", \"est_rows\": %.4f, \"est_cost\": %.4f",
+                  plan.est_rows, plan.est_cost);
+    *out += buf;
+    AppendActuals(&plan, plan.est_rows, out);
+    *out += ", \"pipeline\": ";
+    if (plan.join_root != nullptr) {
+      WriteOp(*plan.join_root, out);
+    } else {
+      *out += "null";
+    }
+    *out += ", \"union_arms\": [";
+    for (size_t i = 0; i < plan.union_arms.size(); ++i) {
+      if (i) *out += ", ";
+      WriteBlock(*plan.union_arms[i], out);
+    }
+    *out += "]}";
+  }
+
+  void AppendQErrors(std::string* out) {
+    std::vector<const BlockPlan*> blocks{query_->root.get()};
+    for (const auto& arm : query_->root->union_arms) blocks.push_back(arm.get());
+    for (const auto& sub : query_->subplans) blocks.push_back(sub->plan.get());
+    *out += ", \"q_errors\": [";
+    double worst = 1.0;
+    bool first = true;
+    for (const BlockPlan* plan : blocks) {
+      if (plan == nullptr) continue;
+      for (const PositionQError& q :
+           CollectPositionQErrors(*plan, *data_->actuals)) {
+        if (!first) *out += ", ";
+        first = false;
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"position\": %d, \"alias\": \"%s\", "
+                      "\"est_rows\": %.4f, \"actual_rows\": %.4f, "
+                      "\"q_error\": %.4f}",
+                      q.position, JsonEscape(q.alias).c_str(), q.est_rows,
+                      q.actual_rows, q.q_error);
+        *out += buf;
+        worst = std::max(worst, q.q_error);
+      }
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "], \"max_q_error\": %.4f", worst);
+    *out += buf;
+  }
+
+  const CompiledQuery* query_;
+  const ExplainAnalyzeData* data_;
 };
 
 }  // namespace
@@ -313,6 +570,30 @@ Result<std::string> RenderExplain(const CompiledQuery& query) {
   }
   ExplainRenderer renderer(query);
   return renderer.Render();
+}
+
+Result<std::string> RenderExplainAnalyze(const CompiledQuery& query,
+                                         const ExplainAnalyzeData& data) {
+  if (query.root == nullptr) {
+    return Status::InvalidArgument("query was not compiled");
+  }
+  if (data.actuals == nullptr) {
+    return Status::InvalidArgument("EXPLAIN ANALYZE requires actuals");
+  }
+  ExplainRenderer renderer(query, &data);
+  return renderer.Render();
+}
+
+Result<std::string> ExplainAnalyzeJson(const CompiledQuery& query,
+                                       const ExplainAnalyzeData& data) {
+  if (query.root == nullptr) {
+    return Status::InvalidArgument("query was not compiled");
+  }
+  if (data.actuals == nullptr) {
+    return Status::InvalidArgument("EXPLAIN ANALYZE requires actuals");
+  }
+  AnalyzeJsonWriter writer(query, data);
+  return writer.Write();
 }
 
 }  // namespace taurus

@@ -1,9 +1,11 @@
 #ifndef TAURUS_ENGINE_EXPLAIN_H_
 #define TAURUS_ENGINE_EXPLAIN_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/result.h"
+#include "exec/op_actuals.h"
 #include "exec/physical_plan.h"
 
 namespace taurus {
@@ -14,6 +16,28 @@ namespace taurus {
 /// the skeleton, and correlated derived-table materialization carries the
 /// "(invalidate on row from <table>)" annotation.
 Result<std::string> RenderExplain(const CompiledQuery& query);
+
+/// Measured execution behind an EXPLAIN ANALYZE render: the per-node
+/// actuals map filled by the executor, plus query-level totals.
+struct ExplainAnalyzeData {
+  const OpActualsMap* actuals = nullptr;
+  double execute_ms = 0.0;
+  int64_t rows_returned = 0;
+};
+
+/// EXPLAIN ANALYZE: the tree EXPLAIN with every node additionally
+/// annotated with "(actual rows=N loops=N time=T ms)" and its q-error
+/// (max(est/act, act/est), 1-row floors) next to the optimizer's
+/// estimates, followed by a per-position q-error section over the block's
+/// best-position array (DESIGN.md section 10).
+Result<std::string> RenderExplainAnalyze(const CompiledQuery& query,
+                                         const ExplainAnalyzeData& data);
+
+/// Machine-readable EXPLAIN ANALYZE: one JSON object with query-level
+/// totals and a recursive plan tree carrying est_rows/est_cost/
+/// actual_rows/loops/time_ms/q_error per node.
+Result<std::string> ExplainAnalyzeJson(const CompiledQuery& query,
+                                       const ExplainAnalyzeData& data);
 
 }  // namespace taurus
 

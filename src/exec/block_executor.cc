@@ -533,26 +533,76 @@ class HashJoinIter : public FrameIter {
   size_t cand_pos_ = 0;
 };
 
-std::unique_ptr<FrameIter> BuildIter(const PhysOp* op) {
+/// EXPLAIN ANALYZE decorator: records actual rows (Next returning true),
+/// loops (Open calls) and inclusive wall time for one plan node. Only
+/// instantiated when the context collects actuals, so the plain iterator
+/// chain is untouched — and therefore unmeasurable — when analyze is off.
+class AnalyzeIter : public FrameIter {
+ public:
+  AnalyzeIter(const PhysOp* op, std::unique_ptr<FrameIter> inner)
+      : op_(op), inner_(std::move(inner)) {}
+
+  Status Open(Frame* frame, ExecContext* ctx) override {
+    if (ctx->op_actuals == nullptr) return inner_->Open(frame, ctx);
+    OpActual& a = ctx->op_actuals->At(op_);
+    ++a.loops;
+    const double t0 = ctx->analyze_clock->NowMs();
+    Status st = inner_->Open(frame, ctx);
+    a.time_ms += ctx->analyze_clock->NowMs() - t0;
+    return st;
+  }
+
+  Result<bool> Next(Frame* frame, ExecContext* ctx) override {
+    if (ctx->op_actuals == nullptr) return inner_->Next(frame, ctx);
+    OpActual& a = ctx->op_actuals->At(op_);
+    const double t0 = ctx->analyze_clock->NowMs();
+    Result<bool> r = inner_->Next(frame, ctx);
+    a.time_ms += ctx->analyze_clock->NowMs() - t0;
+    if (r.ok() && r.value()) ++a.rows;
+    return r;
+  }
+
+ private:
+  const PhysOp* op_;
+  std::unique_ptr<FrameIter> inner_;
+};
+
+std::unique_ptr<FrameIter> Analyzed(bool analyze, const PhysOp* op,
+                                    std::unique_ptr<FrameIter> iter) {
+  if (!analyze || iter == nullptr) return iter;
+  return std::make_unique<AnalyzeIter>(op, std::move(iter));
+}
+
+std::unique_ptr<FrameIter> BuildIter(const PhysOp* op, bool analyze) {
+  std::unique_ptr<FrameIter> iter;
   switch (op->kind) {
     case PhysOp::Kind::kTableScan:
-      return std::make_unique<TableScanIter>(op);
+      iter = std::make_unique<TableScanIter>(op);
+      break;
     case PhysOp::Kind::kIndexRange:
-      return std::make_unique<IndexRangeIter>(op);
+      iter = std::make_unique<IndexRangeIter>(op);
+      break;
     case PhysOp::Kind::kIndexLookup:
-      return std::make_unique<IndexLookupIter>(op);
+      iter = std::make_unique<IndexLookupIter>(op);
+      break;
     case PhysOp::Kind::kDerivedScan:
-      return std::make_unique<DerivedScanIter>(op);
+      iter = std::make_unique<DerivedScanIter>(op);
+      break;
     case PhysOp::Kind::kFilter:
-      return std::make_unique<FilterIter>(op, BuildIter(op->child.get()));
+      iter = std::make_unique<FilterIter>(op,
+                                          BuildIter(op->child.get(), analyze));
+      break;
     case PhysOp::Kind::kNLJoin:
-      return std::make_unique<NLJoinIter>(op, BuildIter(op->child.get()),
-                                          BuildIter(op->right.get()));
+      iter = std::make_unique<NLJoinIter>(op, BuildIter(op->child.get(), analyze),
+                                          BuildIter(op->right.get(), analyze));
+      break;
     case PhysOp::Kind::kHashJoin:
-      return std::make_unique<HashJoinIter>(op, BuildIter(op->child.get()),
-                                            BuildIter(op->right.get()));
+      iter = std::make_unique<HashJoinIter>(
+          op, BuildIter(op->child.get(), analyze),
+          BuildIter(op->right.get(), analyze));
+      break;
   }
-  return nullptr;
+  return Analyzed(analyze, op, std::move(iter));
 }
 
 // ---------------------------------------------------------------------------
@@ -893,7 +943,8 @@ Status PrebuildHashStates(const PhysOp* root, Frame* frame, ExecContext* ctx,
     HashJoinLayout layout = MakeHashJoinLayout(*cur);
     const PhysOp* build_child =
         layout.build_is_left ? cur->child.get() : cur->right.get();
-    std::unique_ptr<FrameIter> build = BuildIter(build_child);
+    std::unique_ptr<FrameIter> build =
+        BuildIter(build_child, ctx->op_actuals != nullptr);
     TAURUS_RETURN_IF_ERROR(FillHashJoinState(
         *cur, layout, build.get(), frame, ctx, &shared->hash_states[cur]));
   }
@@ -906,26 +957,37 @@ Status PrebuildHashStates(const PhysOp* root, Frame* frame, ExecContext* ctx,
 /// `driver_out` so the worker can reposition it per morsel.
 std::unique_ptr<FrameIter> BuildWorkerChain(const PhysOp* op,
                                             const PipelineShared& shared,
-                                            TableScanIter** driver_out) {
+                                            TableScanIter** driver_out,
+                                            bool analyze) {
   switch (op->kind) {
     case PhysOp::Kind::kTableScan: {
       auto scan = std::make_unique<TableScanIter>(op);
+      // Capture the raw driver before any analyze wrapping: the worker
+      // repositions it per morsel through this pointer. Under analyze the
+      // driver's loops therefore count morsels processed (summed shard-wise).
       *driver_out = scan.get();
-      return scan;
+      return Analyzed(analyze, op, std::move(scan));
     }
     case PhysOp::Kind::kFilter:
-      return std::make_unique<FilterIter>(
-          op, BuildWorkerChain(op->child.get(), shared, driver_out));
+      return Analyzed(analyze, op,
+                      std::make_unique<FilterIter>(
+                          op, BuildWorkerChain(op->child.get(), shared,
+                                               driver_out, analyze)));
     case PhysOp::Kind::kNLJoin:
-      return std::make_unique<NLJoinIter>(
-          op, BuildWorkerChain(op->child.get(), shared, driver_out),
-          BuildIter(op->right.get()));
+      return Analyzed(
+          analyze, op,
+          std::make_unique<NLJoinIter>(
+              op, BuildWorkerChain(op->child.get(), shared, driver_out, analyze),
+              BuildIter(op->right.get(), analyze)));
     case PhysOp::Kind::kHashJoin: {
       auto it = shared.hash_states.find(op);
       if (it == shared.hash_states.end()) return nullptr;
-      auto probe = BuildWorkerChain(DrivingChild(*op), shared, driver_out);
+      auto probe =
+          BuildWorkerChain(DrivingChild(*op), shared, driver_out, analyze);
       if (probe == nullptr) return nullptr;
-      return std::make_unique<HashJoinIter>(op, std::move(probe), &it->second);
+      return Analyzed(analyze, op,
+                      std::make_unique<HashJoinIter>(op, std::move(probe),
+                                                     &it->second));
     }
     default:
       return nullptr;  // not a driving-path operator
@@ -1028,7 +1090,8 @@ Result<bool> TryParallelPipeline(const BlockPlan& plan, const Frame& outer,
     ctx->InitShard(shard);
     TableScanIter* scan = nullptr;
     std::unique_ptr<FrameIter> chain =
-        BuildWorkerChain(plan.join_root.get(), shared, &scan);
+        BuildWorkerChain(plan.join_root.get(), shared, &scan,
+                         shard->op_actuals != nullptr);
     if (chain == nullptr || scan == nullptr || scan->Op() != driver) {
       worker_status[static_cast<size_t>(w)] =
           Status::Internal("worker chain build failed");
@@ -1111,6 +1174,17 @@ Result<std::vector<Row>> ExecuteSingle(const BlockPlan& plan,
   Frame frame = outer;
   std::vector<Row> output;
 
+  // Block-level actuals (rows after agg/sort/distinct/limit) keyed by the
+  // BlockPlan itself; per-operator actuals come from the AnalyzeIter wraps.
+  const bool analyze = ctx->op_actuals != nullptr;
+  const double analyze_t0 = analyze ? ctx->analyze_clock->NowMs() : 0.0;
+  auto record_block = [&](const std::vector<Row>& rows) {
+    OpActual& a = ctx->op_actuals->At(&plan);
+    ++a.loops;
+    a.rows += static_cast<int64_t>(rows.size());
+    a.time_ms += ctx->analyze_clock->NowMs() - analyze_t0;
+  };
+
   const bool has_order = apply_order_limit && !plan.order_keys.empty() &&
                          !plan.order_satisfied;
   const bool has_limit = apply_order_limit && plan.limit >= 0;
@@ -1123,6 +1197,7 @@ Result<std::vector<Row>> ExecuteSingle(const BlockPlan& plan,
       row.push_back(std::move(v));
     }
     output.push_back(std::move(row));
+    if (analyze) record_block(output);
     return output;
   }
 
@@ -1142,7 +1217,7 @@ Result<std::vector<Row>> ExecuteSingle(const BlockPlan& plan,
 
   std::unique_ptr<FrameIter> iter;
   if (plan.join_root != nullptr && !par.engaged) {
-    iter = BuildIter(plan.join_root.get());
+    iter = BuildIter(plan.join_root.get(), analyze);
     TAURUS_RETURN_IF_ERROR(iter->Open(&frame, ctx));
   }
 
@@ -1240,6 +1315,7 @@ Result<std::vector<Row>> ExecuteSingle(const BlockPlan& plan,
                             std::make_move_iterator(output.begin() + end));
     output = std::move(window);
   }
+  if (analyze) record_block(output);
   return output;
 }
 

@@ -8,7 +8,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
+#include "exec/op_actuals.h"
 #include "exec/physical_plan.h"
 #include "storage/storage.h"
 
@@ -76,6 +78,17 @@ struct ExecContext {
   int parallel_pipelines = 0;   ///< pipelines that ran morsel-parallel
   int max_workers_used = 1;     ///< widest DOP any pipeline actually used
 
+  // --- EXPLAIN ANALYZE (see DESIGN.md section 10) ---
+
+  /// When non-null, the executor wraps every iterator to record per-node
+  /// actual rows / loops / wall time into this map. Null (the default)
+  /// builds the plain iterator chain — the analyze machinery costs nothing
+  /// when disabled.
+  OpActualsMap* op_actuals = nullptr;
+  /// Clock for per-node timings; required when op_actuals is set. Tests
+  /// inject a FakeClock here for deterministic timings.
+  const Clock* analyze_clock = nullptr;
+
   /// Counts one scanned row against the budget. The row cap is charged on
   /// the shared atomic so concurrent shards trip it at one deterministic
   /// global count; the deadline is polled every 256 *locally charged* rows
@@ -108,6 +121,13 @@ struct ExecContext {
     shard->shared_budget_rows_ = budget_rows();
     shard->morsel_rows = morsel_rows;
     shard->is_worker_shard = true;
+    if (op_actuals != nullptr) {
+      // Each shard records into a private map (no locking on the hot path);
+      // MergeShard sums them back into the root's map.
+      shard->owned_actuals_ = std::make_unique<OpActualsMap>();
+      shard->op_actuals = shard->owned_actuals_.get();
+      shard->analyze_clock = analyze_clock;
+    }
   }
 
   /// Folds a finished worker shard's counters back into this root context.
@@ -115,6 +135,9 @@ struct ExecContext {
     rows_scanned += shard.rows_scanned;
     index_lookups += shard.index_lookups;
     rebinds += shard.rebinds;
+    if (op_actuals != nullptr && shard.op_actuals != nullptr) {
+      op_actuals->Merge(*shard.op_actuals);
+    }
   }
 
  private:
@@ -128,6 +151,7 @@ struct ExecContext {
   mutable std::atomic<int64_t> owned_budget_rows_{0};
   std::atomic<int64_t>* shared_budget_rows_ = nullptr;
   uint32_t deadline_poll_ticker_ = 0;
+  std::unique_ptr<OpActualsMap> owned_actuals_;  ///< worker shards only
 };
 
 }  // namespace taurus

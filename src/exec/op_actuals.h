@@ -1,0 +1,54 @@
+#ifndef TAURUS_EXEC_OP_ACTUALS_H_
+#define TAURUS_EXEC_OP_ACTUALS_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace taurus {
+
+/// Measured execution of one plan node (PhysOp or BlockPlan) under
+/// EXPLAIN ANALYZE: total rows produced, times (re-)opened, and inclusive
+/// wall time. Under the parallel executor the per-shard maps merge by
+/// summation, so rows/loops/time are totals across workers and a driver
+/// scan's loops count the morsels it processed.
+struct OpActual {
+  int64_t rows = 0;
+  int64_t loops = 0;
+  double time_ms = 0.0;
+};
+
+/// Actuals keyed by plan-node address (the compiled plan outlives the
+/// execution that fills this map).
+class OpActualsMap {
+ public:
+  OpActual& At(const void* node) { return map_[node]; }
+
+  const OpActual* Find(const void* node) const {
+    auto it = map_.find(node);
+    return it != map_.end() ? &it->second : nullptr;
+  }
+
+  void Merge(const OpActualsMap& other) {
+    for (const auto& [node, a] : other.map_) {
+      OpActual& mine = map_[node];
+      mine.rows += a.rows;
+      mine.loops += a.loops;
+      mine.time_ms += a.time_ms;
+    }
+  }
+
+  bool empty() const { return map_.empty(); }
+  size_t size() const { return map_.size(); }
+  void clear() { map_.clear(); }
+
+  const std::unordered_map<const void*, OpActual>& entries() const {
+    return map_;
+  }
+
+ private:
+  std::unordered_map<const void*, OpActual> map_;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_EXEC_OP_ACTUALS_H_

@@ -1,0 +1,94 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace taurus {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Merge the three kinds into one sorted key space.
+  std::map<std::string, std::string> entries;
+  for (const auto& [name, c] : counters_) {
+    entries[name] = std::to_string(c->Value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    entries[name] = FormatDouble(g->Value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    entries[name] = h->ToJson();
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : entries) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  \"" + name + "\": " + value;
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> MetricsRegistry::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::string> entries;
+  for (const auto& [name, c] : counters_) {
+    entries[name] = std::to_string(c->Value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    entries[name] = FormatDouble(g->Value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    entries[name + ".count"] = std::to_string(h->Count());
+    entries[name + ".p50"] = FormatDouble(h->PercentileMs(50));
+    entries[name + ".p95"] = FormatDouble(h->PercentileMs(95));
+    entries[name + ".p99"] = FormatDouble(h->PercentileMs(99));
+    entries[name + ".max_ms"] = FormatDouble(h->MaxMs());
+  }
+  return {entries.begin(), entries.end()};
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace taurus

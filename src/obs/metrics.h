@@ -1,0 +1,80 @@
+#ifndef TAURUS_OBS_METRICS_H_
+#define TAURUS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/latency_histogram.h"
+
+namespace taurus {
+
+/// Monotonic counter (atomic; safe to increment from worker threads).
+class Counter {
+ public:
+  void Increment(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Last-written-value gauge (atomic store/load).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Thread-safe registry of named counters, gauges and latency histograms.
+/// Names follow the `taurus.<subsystem>.<name>` convention (DESIGN.md
+/// section 10). Get* registers on first use and returns a stable pointer,
+/// so hot paths resolve their metric once and then touch only an atomic.
+///
+/// The engine gives every Database its own registry (deterministic for
+/// tests, mirroring MySQL's session-vs-global status split); Global() is
+/// the process-wide instance for code without a Database at hand.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// One JSON object, keys sorted: counters as integers, gauges as
+  /// numbers, histograms as {count, sum_ms, p50, p95, p99, max_ms}.
+  std::string ToJson() const;
+
+  /// Flat (name, value-string) rows for the SHOW STATUS statement;
+  /// histograms expand into `.count` / `.p50` / `.p95` / `.p99` /
+  /// `.max_ms` rows.
+  std::vector<std::pair<std::string, std::string>> Snapshot() const;
+
+  /// Zeroes every registered metric (registration survives).
+  void Reset();
+
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;  // guards the maps; metric objects are atomic
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_OBS_METRICS_H_

@@ -1,0 +1,85 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace taurus {
+
+const std::string* TraceSpan::FindAttr(std::string_view key) const {
+  for (auto it = attrs.rbegin(); it != attrs.rend(); ++it) {
+    if (it->first == key) return &it->second;
+  }
+  return nullptr;
+}
+
+int Tracer::StartSpan(std::string name) {
+  TraceSpan span;
+  span.id = static_cast<int>(spans_.size());
+  span.parent = open_.empty() ? -1 : open_.back();
+  span.depth = static_cast<int>(open_.size());
+  span.name = std::move(name);
+  span.start_ms = clock_->NowMs();
+  spans_.push_back(std::move(span));
+  open_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(int id) {
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  TraceSpan& span = spans_[static_cast<size_t>(id)];
+  if (span.ended) return;
+  span.end_ms = clock_->NowMs();
+  span.ended = true;
+  // Close any children left open (defensive: an early return that skipped
+  // an explicit End) down to and including this span.
+  while (!open_.empty()) {
+    int top = open_.back();
+    open_.pop_back();
+    TraceSpan& t = spans_[static_cast<size_t>(top)];
+    if (!t.ended) {
+      t.end_ms = span.end_ms;
+      t.ended = true;
+    }
+    if (top == id) break;
+  }
+}
+
+void Tracer::SetAttr(int id, std::string key, std::string value) {
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  spans_[static_cast<size_t>(id)].attrs.emplace_back(std::move(key),
+                                                     std::move(value));
+}
+
+const TraceSpan* Tracer::Find(std::string_view name) const {
+  for (const TraceSpan& span : spans_) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+std::string Tracer::TreeString() const {
+  std::string out;
+  for (const TraceSpan& span : spans_) {
+    out.append(static_cast<size_t>(span.depth) * 2, ' ');
+    out += span.name;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string Tracer::Render() const {
+  std::string out;
+  for (const TraceSpan& span : spans_) {
+    out.append(static_cast<size_t>(span.depth) * 2, ' ');
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %.3f ms", span.duration_ms());
+    out += span.name;
+    out += buf;
+    for (const auto& [key, value] : span.attrs) {
+      out += " " + key + "=" + value;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace taurus

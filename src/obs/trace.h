@@ -1,0 +1,94 @@
+#ifndef TAURUS_OBS_TRACE_H_
+#define TAURUS_OBS_TRACE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace taurus {
+
+/// One timed span of the per-query pipeline trace (DESIGN.md section 10
+/// has the span taxonomy).
+struct TraceSpan {
+  int id = 0;
+  int parent = -1;  ///< parent span id, -1 for the root
+  int depth = 0;
+  std::string name;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  bool ended = false;
+  /// Structured attributes (route decision, fingerprint, cache hit,
+  /// fallback status, workers used, ...), in set order.
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  double duration_ms() const { return end_ms - start_ms; }
+  /// Last value set for `key`, or null.
+  const std::string* FindAttr(std::string_view key) const;
+};
+
+/// Per-query span collector. Spans nest by open/close order (StartSpan
+/// parents under the innermost open span), so the spans() vector is the
+/// pre-order of the trace tree. Not thread-safe: one tracer belongs to the
+/// session thread driving a query; worker-side actuals flow through the
+/// ExecContext shard merge instead.
+class Tracer {
+ public:
+  explicit Tracer(const Clock* clock) : clock_(clock) {}
+
+  int StartSpan(std::string name);
+  void EndSpan(int id);
+  /// Attributes may be set after EndSpan (e.g. a failure status attached
+  /// to an already-closed detour span).
+  void SetAttr(int id, std::string key, std::string value);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  /// First span (pre-order) with `name`, or null.
+  const TraceSpan* Find(std::string_view name) const;
+
+  /// Names only, two-space indent per depth — the exact-tree assertion
+  /// format for fake-clock tests.
+  std::string TreeString() const;
+  /// Human-readable render: name, duration, attributes.
+  std::string Render() const;
+
+ private:
+  const Clock* clock_;
+  std::vector<TraceSpan> spans_;
+  std::vector<int> open_;  ///< stack of open span ids
+};
+
+/// RAII span that is a no-op on a null tracer, so instrumented code paths
+/// cost nothing when tracing is disabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name) : tracer_(tracer) {
+    if (tracer_ != nullptr) id_ = tracer_->StartSpan(name);
+  }
+  ~ScopedSpan() { End(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void End() {
+    if (tracer_ != nullptr && !ended_) {
+      tracer_->EndSpan(id_);
+      ended_ = true;
+    }
+  }
+  void Attr(const char* key, std::string value) {
+    if (tracer_ != nullptr) tracer_->SetAttr(id_, key, std::move(value));
+  }
+  int id() const { return id_; }
+  Tracer* tracer() const { return tracer_; }
+
+ private:
+  Tracer* tracer_;
+  int id_ = -1;
+  bool ended_ = false;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_OBS_TRACE_H_

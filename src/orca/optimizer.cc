@@ -849,8 +849,16 @@ Result<std::unique_ptr<OrcaPhysicalOp>> OrcaOptimizer::Optimize(
     OrcaLogicalOp* root) {
   JoinSearch search(config_, stats_, num_refs_, &partitions_evaluated_,
                     &num_groups_, governor_);
-  TAURUS_RETURN_IF_ERROR(search.Flatten(root));
-  return search.Run();
+  {
+    ScopedSpan build_span(tracer_, "memo.build");
+    TAURUS_RETURN_IF_ERROR(search.Flatten(root));
+  }
+  ScopedSpan search_span(tracer_, "memo.join_search");
+  auto physical = search.Run();
+  search_span.End();
+  search_span.Attr("memo_groups", std::to_string(num_groups_));
+  search_span.Attr("partitions", std::to_string(partitions_evaluated_));
+  return physical;
 }
 
 }  // namespace taurus

@@ -6,6 +6,7 @@
 #include "common/resource_budget.h"
 #include "common/result.h"
 #include "myopt/cardinality.h"
+#include "obs/trace.h"
 #include "orca/logical.h"
 #include "orca/orca.h"
 #include "orca/physical.h"
@@ -22,13 +23,15 @@ class OrcaOptimizer {
  public:
   /// `governor`, when non-null, bounds the memo search (group/pair caps and
   /// the wall-clock deadline); exceeding a limit aborts with
-  /// kResourceExhausted so the caller can fall back.
+  /// kResourceExhausted so the caller can fall back. `tracer`, when
+  /// non-null, records memo.build / memo.join_search sub-spans.
   OrcaOptimizer(const OrcaConfig& config, StatsProvider* stats, int num_refs,
-                ResourceGovernor* governor = nullptr)
+                ResourceGovernor* governor = nullptr, Tracer* tracer = nullptr)
       : config_(config),
         stats_(stats),
         num_refs_(num_refs),
-        governor_(governor) {}
+        governor_(governor),
+        tracer_(tracer) {}
 
   /// Optimizes one block's logical tree into a physical tree.
   Result<std::unique_ptr<OrcaPhysicalOp>> Optimize(OrcaLogicalOp* root);
@@ -44,6 +47,7 @@ class OrcaOptimizer {
   StatsProvider* stats_;
   int num_refs_;
   ResourceGovernor* governor_;
+  Tracer* tracer_;
   int64_t partitions_evaluated_ = 0;
   int num_groups_ = 0;
 };

@@ -236,12 +236,14 @@ struct Statement {
     kCreateIndex,
     kInsert,
     kAnalyze,
-    kExplain,  ///< EXPLAIN <select>
+    kExplain,         ///< EXPLAIN <select>
+    kExplainAnalyze,  ///< EXPLAIN ANALYZE <select>
+    kShowStatus,      ///< SHOW STATUS [LIKE 'pattern']
   };
 
   Kind kind = Kind::kSelect;
 
-  // kSelect / kExplain
+  // kSelect / kExplain / kExplainAnalyze
   std::unique_ptr<QueryBlock> select;
 
   // kCreateTable
@@ -256,6 +258,7 @@ struct Statement {
   std::vector<std::vector<std::unique_ptr<Expr>>> insert_rows;
 
   // kAnalyze: table_name reused.
+  // kShowStatus: table_name reused for the LIKE pattern (empty = all).
 };
 
 }  // namespace taurus

@@ -124,8 +124,28 @@ Result<std::unique_ptr<Statement>> Parser::ParseStatementTop() {
   auto stmt = std::make_unique<Statement>();
   if (PeekIsKeyword("explain")) {
     Advance();
-    stmt->kind = Statement::Kind::kExplain;
+    stmt->kind = AcceptKeyword("analyze") ? Statement::Kind::kExplainAnalyze
+                                          : Statement::Kind::kExplain;
     TAURUS_ASSIGN_OR_RETURN(stmt->select, ParseQueryExpr());
+    return stmt;
+  }
+  if (PeekIsKeyword("show")) {
+    Advance();
+    if (!AcceptKeyword("status") && !AcceptKeyword("metrics")) {
+      return Status::SyntaxError("expected STATUS or METRICS after SHOW");
+    }
+    stmt->kind = Statement::Kind::kShowStatus;
+    if (AcceptKeyword("like")) {
+      if (Peek().kind != TokenKind::kString) {
+        return Status::SyntaxError("expected quoted pattern after LIKE");
+      }
+      stmt->table_name = Advance().text;  // LIKE pattern parks here
+    }
+    AcceptSymbol(";");
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::SyntaxError("trailing tokens after statement: '" +
+                                 Peek().text + "'");
+    }
     return stmt;
   }
   if (PeekIsKeyword("select") || PeekIsKeyword("with")) {
@@ -891,7 +911,8 @@ Result<std::unique_ptr<Statement>> ParseStatement(std::string_view sql) {
 Result<std::unique_ptr<QueryBlock>> ParseSelect(std::string_view sql) {
   TAURUS_ASSIGN_OR_RETURN(auto stmt, ParseStatement(sql));
   if (stmt->kind != Statement::Kind::kSelect &&
-      stmt->kind != Statement::Kind::kExplain) {
+      stmt->kind != Statement::Kind::kExplain &&
+      stmt->kind != Statement::Kind::kExplainAnalyze) {
     return Status::InvalidArgument("not a SELECT statement");
   }
   return std::move(stmt->select);

@@ -1,0 +1,178 @@
+// EXPLAIN ANALYZE tests (DESIGN.md section 10): the annotated render for
+// TPC-H Q8 on the Orca route, the machine-readable JSON document, and an
+// internal-consistency sweep over every TPC-H and TPC-DS query on both
+// optimizer paths — actual rows must be non-negative, loops >= 1 for every
+// executed node, a Filter can never emit more rows than its child produced,
+// and every printed q-error is >= 1.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+namespace taurus {
+namespace {
+
+/// One plan-node line of an EXPLAIN ANALYZE text render.
+struct NodeLine {
+  int indent = 0;  ///< leading spaces before "->"
+  std::string text;
+  bool has_actuals = false;
+  int64_t actual_rows = 0;
+  int64_t loops = 0;
+  double q_error = 0.0;
+  bool has_q_error = false;
+};
+
+int64_t ParseInt64After(const std::string& line, const std::string& marker) {
+  size_t pos = line.find(marker);
+  EXPECT_NE(pos, std::string::npos) << marker << " in " << line;
+  return std::strtoll(line.c_str() + pos + marker.size(), nullptr, 10);
+}
+
+/// Parses the "-> ..." plan lines out of a text render; ignores the header
+/// and the q-error-by-position trailer.
+std::vector<NodeLine> ParsePlanLines(const std::string& text) {
+  std::vector<NodeLine> nodes;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    size_t arrow = line.find("-> ");
+    if (arrow == std::string::npos) continue;
+    // Trailer lines ("pos 0: ... q-error=...") never contain "-> ".
+    NodeLine node;
+    node.indent = static_cast<int>(arrow);
+    node.text = line;
+    if (line.find("(actual rows=") != std::string::npos) {
+      node.has_actuals = true;
+      node.actual_rows = ParseInt64After(line, "actual rows=");
+      node.loops = ParseInt64After(line, "loops=");
+    }
+    size_t qpos = line.find("(q-error=");
+    if (qpos != std::string::npos) {
+      node.has_q_error = true;
+      node.q_error = std::strtod(line.c_str() + qpos + 9, nullptr);
+    }
+    nodes.push_back(std::move(node));
+  }
+  return nodes;
+}
+
+/// Internal-consistency assertions over one render. `label` names the
+/// query in failure messages.
+void CheckConsistency(const std::string& text, const std::string& label) {
+  std::vector<NodeLine> nodes = ParsePlanLines(text);
+  ASSERT_FALSE(nodes.empty()) << label << ":\n" << text;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeLine& node = nodes[i];
+    if (!node.has_actuals) continue;
+    EXPECT_GE(node.actual_rows, 0) << label << ": " << node.text;
+    // Any node that executed was opened at least once.
+    EXPECT_GE(node.loops, 1) << label << ": " << node.text;
+    if (node.has_q_error) {
+      EXPECT_GE(node.q_error, 1.0) << label << ": " << node.text;
+    }
+    // A Filter only drops rows: its input (the first deeper node with
+    // actuals) must have produced at least as many rows as it emitted.
+    if (node.text.find("-> Filter:") == std::string::npos) continue;
+    for (size_t j = i + 1; j < nodes.size() && nodes[j].indent > node.indent;
+         ++j) {
+      if (!nodes[j].has_actuals) continue;
+      EXPECT_GE(nodes[j].actual_rows, node.actual_rows)
+          << label << ": filter emitted more rows than its child\n"
+          << node.text << "\n"
+          << nodes[j].text;
+      break;
+    }
+  }
+}
+
+TEST(ExplainAnalyzeTest, TpchQ8OrcaShowsActualsAndQError) {
+  Database db;
+  ASSERT_TRUE(SetupTpch(&db, 0.01).ok());
+  auto text = db.ExplainAnalyze(TpchQueries()[7], OptimizerPath::kOrca);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("EXPLAIN ANALYZE (ORCA)"), std::string::npos) << *text;
+  EXPECT_NE(text->find("(actual rows="), std::string::npos);
+  EXPECT_NE(text->find("loops="), std::string::npos);
+  EXPECT_NE(text->find("(q-error="), std::string::npos);
+  EXPECT_NE(text->find("q-error by position"), std::string::npos);
+  EXPECT_NE(text->find("max q-error:"), std::string::npos);
+  CheckConsistency(*text, "tpch-q8-orca");
+
+  // The MySQL route renders without the ORCA marker but with the same
+  // actuals annotations.
+  auto mysql = db.ExplainAnalyze(TpchQueries()[7], OptimizerPath::kMySql);
+  ASSERT_TRUE(mysql.ok()) << mysql.status().ToString();
+  EXPECT_EQ(mysql->find("(ORCA)"), std::string::npos);
+  EXPECT_NE(mysql->find("EXPLAIN ANALYZE"), std::string::npos);
+  EXPECT_NE(mysql->find("(actual rows="), std::string::npos);
+  CheckConsistency(*mysql, "tpch-q8-mysql");
+}
+
+TEST(ExplainAnalyzeTest, JsonDumpIsMachineReadable) {
+  Database db;
+  ASSERT_TRUE(SetupTpch(&db, 0.01).ok());
+  auto doc = db.ExplainAnalyzeJsonDump(TpchQueries()[7], OptimizerPath::kOrca);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  for (const char* key :
+       {"\"explain_analyze\": true", "\"used_orca\": true", "\"execute_ms\"",
+        "\"rows_returned\"", "\"plan\"", "\"est_rows\"", "\"actual_rows\"",
+        "\"loops\"", "\"time_ms\"", "\"q_error\"", "\"q_errors\"",
+        "\"max_q_error\""}) {
+    EXPECT_NE(doc->find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(ExplainAnalyzeTest, ExecuteSqlRejectsWithHint) {
+  Database db;
+  ASSERT_TRUE(SetupTpch(&db, 0.01).ok());
+  Status st = db.ExecuteSql("EXPLAIN ANALYZE SELECT * FROM nation");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("Query()"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(ExplainAnalyzeTest, TpchSweepBothPathsIsInternallyConsistent) {
+  Database db;
+  // 0.002 matches tpch_test: the analyze wrappers time every row, and the
+  // nested-loop-heavy queries grow superlinearly with scale.
+  ASSERT_TRUE(SetupTpch(&db, 0.002).ok());
+  const auto& queries = TpchQueries();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (OptimizerPath path : {OptimizerPath::kOrca, OptimizerPath::kMySql}) {
+      std::string label = "tpch-q" + std::to_string(i + 1) +
+                          (path == OptimizerPath::kOrca ? "-orca" : "-mysql");
+      auto text = db.ExplainAnalyze(queries[i], path);
+      ASSERT_TRUE(text.ok()) << label << ": " << text.status().ToString();
+      CheckConsistency(*text, label);
+    }
+  }
+}
+
+TEST(ExplainAnalyzeTest, TpcdsSweepBothPathsIsInternallyConsistent) {
+  Database db;
+  ASSERT_TRUE(SetupTpcds(&db, 0.0001).ok());
+  const auto& queries = TpcdsQueries();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (OptimizerPath path : {OptimizerPath::kOrca, OptimizerPath::kMySql}) {
+      std::string label = "tpcds-q" + std::to_string(i + 1) +
+                          (path == OptimizerPath::kOrca ? "-orca" : "-mysql");
+      auto text = db.ExplainAnalyze(queries[i], path);
+      ASSERT_TRUE(text.ok()) << label << ": " << text.status().ToString();
+      CheckConsistency(*text, label);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace taurus

@@ -57,6 +57,7 @@ class FaultInjectionTest : public ::testing::Test {
     db_->plan_cache().Clear();
     db_->router_config() = RouterConfig();
     db_->router_config().complex_query_threshold = 1;
+    db_->trace_config() = TraceConfig();
   }
 
   static std::string Q(int n) { return TpchQueries()[static_cast<size_t>(n - 1)]; }
@@ -387,6 +388,83 @@ TEST_F(FaultInjectionTest, MySqlPathIsNeverBudgeted) {
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   EXPECT_FALSE(res->fell_back);
   EXPECT_GT(res->rows_scanned, 5);
+}
+
+// ---------------------------------------------------------------------------
+// (h) Pipeline trace under failure: the aborted detour and the quarantine
+// skip must be visible in the span tree with their status payloads
+// (DESIGN.md section 10).
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, TraceShowsAbortedDetourSpanWithStatusPayload) {
+  // The corrupted-flip scenario from the plan-verifier suite: with the
+  // inner-hash-join build flip disabled and enforcement on, the skeleton
+  // verifier aborts the detour with [verify.skeleton/S004].
+  db_->trace_config().enable = true;
+  db_->orca_config().flip_inner_hash_build = false;
+  db_->verify_config().enforce = true;
+
+  bool found = false;
+  for (const std::string& sql : TpchQueries()) {
+    auto res = db_->Query(sql, OptimizerPath::kAuto);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    if (!res->fell_back) continue;
+    found = true;
+
+    const Tracer* trace = db_->last_trace();
+    ASSERT_NE(trace, nullptr);
+    const TraceSpan* detour = trace->Find("orca.detour");
+    ASSERT_NE(detour, nullptr);
+    ASSERT_TRUE(detour->ended);
+    const std::string* aborted = detour->FindAttr("aborted");
+    ASSERT_NE(aborted, nullptr);
+    EXPECT_EQ(*aborted, "true");
+    const std::string* status = detour->FindAttr("status");
+    ASSERT_NE(status, nullptr);
+    EXPECT_NE(status->find("[verify.skeleton/S004]"), std::string::npos)
+        << *status;
+    // The clean fallback is traced too, carrying the same reason.
+    const TraceSpan* reparse = trace->Find("fallback.reparse");
+    ASSERT_NE(reparse, nullptr);
+    const std::string* reason = reparse->FindAttr("reason");
+    ASSERT_NE(reason, nullptr);
+    EXPECT_NE(reason->find("S004"), std::string::npos) << *reason;
+    break;
+  }
+  db_->orca_config().flip_inner_hash_build = true;
+  db_->verify_config().enforce = false;
+  EXPECT_TRUE(found)
+      << "no TPC-H detour planned an inner hash join — S004 never fired";
+}
+
+TEST_F(FaultInjectionTest, TraceShowsQuarantineRouteDecision) {
+  db_->plan_cache_config().enable = false;  // observe every compile
+  const std::string sql = Q(3);
+  FaultInjector::Instance().ArmCount("bridge.parse_tree_convert", 1000000);
+  for (int i = 0; i < db_->quarantine_config().failure_threshold; ++i) {
+    ASSERT_TRUE(db_->Query(sql, OptimizerPath::kAuto).ok());
+  }
+  FaultInjector::Instance().DisarmAll();
+
+  db_->trace_config().enable = true;
+  auto res = db_->Query(sql, OptimizerPath::kAuto);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_TRUE(res->quarantine_hit);
+
+  const Tracer* trace = db_->last_trace();
+  ASSERT_NE(trace, nullptr);
+  const TraceSpan* route = trace->Find("route");
+  ASSERT_NE(route, nullptr);
+  const std::string* decision = route->FindAttr("decision");
+  ASSERT_NE(decision, nullptr);
+  EXPECT_EQ(*decision, "quarantine");
+  // The quarantined statement never enters the detour.
+  EXPECT_EQ(trace->Find("orca.detour"), nullptr);
+  const TraceSpan* fp = trace->Find("fingerprint");
+  ASSERT_NE(fp, nullptr);
+  const std::string* quarantined = fp->FindAttr("quarantined");
+  ASSERT_NE(quarantined, nullptr);
+  EXPECT_EQ(*quarantined, "true");
 }
 
 }  // namespace

@@ -261,5 +261,39 @@ TEST(ParserTest, CloneIsDeepAndEqual) {
   EXPECT_EQ(copy->where->ToString(), q->where->ToString());
 }
 
+TEST(ParserTest, ExplainAnalyze) {
+  auto stmt = ParseStatement("EXPLAIN ANALYZE SELECT a FROM t");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->kind, Statement::Kind::kExplainAnalyze);
+  ASSERT_NE((*stmt)->select, nullptr);
+  // Plain EXPLAIN still parses as before.
+  auto plain = ParseStatement("EXPLAIN SELECT a FROM t");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ((*plain)->kind, Statement::Kind::kExplain);
+  // ParseSelect accepts the ANALYZE form too (strips the prefix).
+  EXPECT_NE(MustParse("EXPLAIN ANALYZE SELECT a FROM t"), nullptr);
+}
+
+TEST(ParserTest, ShowStatus) {
+  auto stmt = ParseStatement("SHOW STATUS");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->kind, Statement::Kind::kShowStatus);
+  EXPECT_TRUE((*stmt)->table_name.empty());
+
+  auto like = ParseStatement("show status like 'taurus.health.%';");
+  ASSERT_TRUE(like.ok()) << like.status().ToString();
+  EXPECT_EQ((*like)->kind, Statement::Kind::kShowStatus);
+  EXPECT_EQ((*like)->table_name, "taurus.health.%");
+
+  // SHOW METRICS is an alias for SHOW STATUS.
+  auto metrics = ParseStatement("SHOW METRICS");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ((*metrics)->kind, Statement::Kind::kShowStatus);
+
+  EXPECT_FALSE(ParseStatement("SHOW TABLES").ok());
+  EXPECT_FALSE(ParseStatement("SHOW STATUS LIKE pattern").ok());
+  EXPECT_FALSE(ParseStatement("SHOW STATUS extra").ok());
+}
+
 }  // namespace
 }  // namespace taurus
