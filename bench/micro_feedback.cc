@@ -1,0 +1,117 @@
+// Feedback-loop micro-benchmark: first-vs-second optimization of the same
+// statement fingerprint on TPC-H Q8 and Q17 with the cardinality feedback
+// loop enabled. Reports the harvested max q-error of each run (the drop
+// from run 1 to run 2 is the loop closing), the cardinality overrides the
+// second compile consumed, and the execution-time delta of the
+// re-optimized plan. --json writes BENCH_feedback.json.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/database.h"
+#include "workloads/tpch.h"
+
+namespace {
+
+struct FeedbackRun {
+  bool ok = false;
+  double first_qerror = 1.0;
+  double second_qerror = 1.0;
+  double first_exec_ms = 0.0;
+  double second_exec_ms = 0.0;
+  double first_opt_ms = 0.0;
+  double second_opt_ms = 0.0;
+  long long actual_overrides = 0;
+  long long sketch_overrides = 0;
+  bool drift_bumped = false;
+};
+
+/// Runs `sql` twice through the Orca path on a feedback-enabled engine and
+/// measures what the second optimization learned from the first execution.
+FeedbackRun MeasureQuery(taurus::Database* db, const std::string& sql) {
+  FeedbackRun r;
+  auto run1 = db->Query(sql, taurus::OptimizerPath::kOrca);
+  if (!run1.ok()) {
+    std::fprintf(stderr, "run 1 failed: %s\n",
+                 run1.status().ToString().c_str());
+    return r;
+  }
+  r.first_qerror = run1->feedback_max_q_error;
+  r.first_exec_ms = run1->execute_ms;
+  r.first_opt_ms = run1->optimize_ms;
+  r.drift_bumped = run1->feedback_version_bumped;
+  auto run2 = db->Query(sql, taurus::OptimizerPath::kOrca);
+  if (!run2.ok()) {
+    std::fprintf(stderr, "run 2 failed: %s\n",
+                 run2.status().ToString().c_str());
+    return r;
+  }
+  r.second_qerror = run2->feedback_max_q_error;
+  r.second_exec_ms = run2->execute_ms;
+  r.second_opt_ms = run2->optimize_ms;
+  r.actual_overrides = run2->feedback_actual_overrides;
+  r.sketch_overrides = run2->feedback_sketch_overrides;
+  r.ok = true;
+  return r;
+}
+
+void Report(const char* label, const FeedbackRun& r,
+            std::vector<std::pair<std::string, double>>* metrics) {
+  std::printf(
+      "%-4s  qerror %8.2f -> %8.2f   exec %8.3f -> %8.3f ms   "
+      "opt %7.3f -> %7.3f ms   overrides actual=%lld sketch=%lld%s\n",
+      label, r.first_qerror, r.second_qerror, r.first_exec_ms,
+      r.second_exec_ms, r.first_opt_ms, r.second_opt_ms, r.actual_overrides,
+      r.sketch_overrides, r.drift_bumped ? "   [drift bump]" : "");
+  const std::string p = label;
+  metrics->emplace_back(p + "_first_qerror", r.first_qerror);
+  metrics->emplace_back(p + "_second_qerror", r.second_qerror);
+  metrics->emplace_back(p + "_first_exec_ms", r.first_exec_ms);
+  metrics->emplace_back(p + "_second_exec_ms", r.second_exec_ms);
+  metrics->emplace_back(p + "_first_opt_ms", r.first_opt_ms);
+  metrics->emplace_back(p + "_second_opt_ms", r.second_opt_ms);
+  metrics->emplace_back(p + "_actual_overrides",
+                        static_cast<double>(r.actual_overrides));
+  metrics->emplace_back(p + "_sketch_overrides",
+                        static_cast<double>(r.sketch_overrides));
+  metrics->emplace_back(p + "_drift_bumped", r.drift_bumped ? 1.0 : 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double sf = taurus_bench::ArgScale(argc, argv, 0.01);
+  const bool json = taurus_bench::ArgFlag(argc, argv, "--json");
+
+  taurus_bench::PrintHeader(
+      "Cardinality feedback: first vs second optimization (TPC-H Q8/Q17)");
+  std::printf("scale factor %.3f\n\n", sf);
+
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("sf", sf);
+  const std::vector<std::pair<const char*, int>> queries = {{"q8", 8},
+                                                            {"q17", 17}};
+  bool all_ok = true;
+  for (const auto& [label, number] : queries) {
+    // Fresh engine per query so each pair of runs starts from an empty
+    // feedback store and plan cache.
+    taurus::Database db;
+    taurus::Status setup = taurus::SetupTpch(&db, sf);
+    if (!setup.ok()) {
+      std::fprintf(stderr, "TPC-H setup failed: %s\n",
+                   setup.ToString().c_str());
+      return 1;
+    }
+    db.feedback_config().enable = true;
+    FeedbackRun r =
+        MeasureQuery(&db, taurus::TpchQueries()[static_cast<size_t>(number - 1)]);
+    all_ok = all_ok && r.ok;
+    Report(label, r, &metrics);
+  }
+
+  if (json) taurus_bench::WriteBenchJson("feedback", metrics);
+  return all_ok ? 0 : 1;
+}

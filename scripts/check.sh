@@ -78,6 +78,12 @@ else
   echo "check.sh: python3 not found; skipping observability JSON validation." >&2
 fi
 
+# Feedback-loop smoke: first-vs-second optimization q-error on TPC-H
+# Q8/Q17 with the cardinality feedback loop enabled; writes
+# BENCH_feedback.json for CI trending.
+echo "check.sh: feedback-loop bench (BENCH_feedback.json)"
+(cd "$build_dir" && "./bench/micro_feedback" --json)
+
 echo "check.sh: leg 2/2 — Debug, plan verifiers always on"
 debug_dir="$repo_root/build-debug"
 cmake -B "$debug_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Debug -DTAURUS_WERROR=ON

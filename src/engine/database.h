@@ -18,6 +18,7 @@
 #include "exec/exec_context.h"
 #include "exec/op_actuals.h"
 #include "exec/physical_plan.h"
+#include "feedback/feedback_store.h"
 #include "frontend/prepare.h"
 #include "mdp/provider.h"
 #include "obs/metrics.h"
@@ -66,6 +67,19 @@ struct QueryResult {
   /// arming check), and how many fired.
   int verifier_rules = 0;
   int verifier_violations = 0;
+  /// True when this execution's actuals were folded into the feedback store
+  /// (feedback enabled, fingerprinted, not quarantined).
+  bool feedback_harvested = false;
+  /// True when the harvest bumped the fingerprint's drift version — its
+  /// cached skeleton will be evicted and re-optimized with actuals.
+  bool feedback_version_bumped = false;
+  /// Max q-error observed across this execution's harvested nodes (1.0
+  /// when nothing was harvested).
+  double feedback_max_q_error = 1.0;
+  /// Optimizer cardinalities served from harvested actuals / sketches
+  /// during this query's compile (0 on cache hits and the MySQL path).
+  int64_t feedback_actual_overrides = 0;
+  int64_t feedback_sketch_overrides = 0;
 };
 
 /// Morsel-driven parallel executor knobs (see DESIGN.md section 8).
@@ -175,6 +189,10 @@ class Database {
   ResourceBudgetConfig& resource_budget() { return resource_budget_; }
   QuarantineConfig& quarantine_config() { return quarantine_config_; }
   ExecutorConfig& exec_config() { return exec_config_; }
+  /// Cardinality-feedback loop knobs (off by default; DESIGN.md section
+  /// 11). The store reads this object live, so knob changes apply to the
+  /// next query.
+  FeedbackConfig& feedback_config() { return feedback_config_; }
   /// Cross-layer plan verifier knobs (always-on in Debug/sanitizer builds,
   /// opt-in in Release).
   PlanVerifyConfig& verify_config() { return verify_config_; }
@@ -199,6 +217,10 @@ class Database {
   /// tuning in tests and benches).
   PlanCache& plan_cache() { return plan_cache_; }
   const PlanCache& plan_cache() const { return plan_cache_; }
+
+  /// The execution-feedback store (exposed for stats and Clear() in tests).
+  FeedbackStore& feedback_store() { return feedback_store_; }
+  const FeedbackStore& feedback_store() const { return feedback_store_; }
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
@@ -294,6 +316,10 @@ class Database {
     Counter* parallel_pipelines = nullptr;
     Counter* exec_rows_scanned = nullptr;
     Counter* exec_index_lookups = nullptr;
+    Counter* feedback_harvests = nullptr;
+    Counter* feedback_drift_bumps = nullptr;
+    Counter* feedback_actual_overrides = nullptr;
+    Counter* feedback_sketch_overrides = nullptr;
     LatencyHistogram* optimize_ms = nullptr;
     LatencyHistogram* execute_ms = nullptr;
   };
@@ -309,6 +335,8 @@ class Database {
   ResourceBudgetConfig resource_budget_;
   QuarantineConfig quarantine_config_;
   ExecutorConfig exec_config_;
+  FeedbackConfig feedback_config_;
+  FeedbackStore feedback_store_{feedback_config_};
   PlanVerifyConfig verify_config_;
   TraceConfig trace_config_;
   MetricsRegistry metrics_;

@@ -45,6 +45,7 @@ Result<std::unique_ptr<FrozenSkeletonNode>> FreezeNode(
   out->is_join = node.is_join;
   out->est_rows = node.est_rows;
   out->est_cost = node.est_cost;
+  out->card_source = node.card_source;
   if (node.is_join) {
     out->method = node.method;
     out->join_type = node.join_type;
@@ -113,6 +114,7 @@ Result<std::unique_ptr<SkeletonNode>> ThawNode(const FrozenSkeletonNode& node,
   out->is_join = node.is_join;
   out->est_rows = node.est_rows;
   out->est_cost = node.est_cost;
+  out->card_source = node.card_source;
   if (node.is_join) {
     if (!node.left || !node.right) {
       return Status::Internal("thaw: join node missing children");
@@ -210,7 +212,8 @@ Result<std::unique_ptr<BlockSkeleton>> ThawSkeleton(
 
 const PlanCacheEntry* PlanCache::Lookup(const std::string& key,
                                         uint64_t schema_version,
-                                        uint64_t stats_version) {
+                                        uint64_t stats_version,
+                                        uint64_t feedback_version) {
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -223,6 +226,16 @@ const PlanCacheEntry* PlanCache::Lookup(const std::string& key,
     lru_.erase(it->second);
     index_.erase(it);
     ++stats_.invalidations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (entry.feedback_version != feedback_version) {
+    // Estimate drift: execution feedback for this fingerprint moved past
+    // the q-error threshold since this skeleton was compiled. Evict so the
+    // statement re-optimizes with harvested actuals (DESIGN.md section 11).
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.drift_invalidations;
     ++stats_.misses;
     return nullptr;
   }

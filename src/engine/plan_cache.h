@@ -37,6 +37,7 @@ struct FrozenSkeletonNode {
 
   double est_rows = 0.0;
   double est_cost = 0.0;
+  CardSource card_source = CardSource::kHistogram;
 };
 
 struct FrozenBlockSkeleton {
@@ -78,6 +79,10 @@ struct PlanCacheStats {
   int64_t evictions = 0;
   /// Entries dropped on lookup because catalog schema/stats versions moved.
   int64_t invalidations = 0;
+  /// Entries dropped on lookup because the fingerprint's feedback drift
+  /// version moved (observed q-error exceeded the invalidation threshold
+  /// since this plan was compiled).
+  int64_t drift_invalidations = 0;
 };
 
 /// One cached compilation: the frozen skeleton plus routing metadata and
@@ -98,6 +103,11 @@ struct PlanCacheEntry {
 
   uint64_t schema_version = 0;
   uint64_t stats_version = 0;
+  /// Feedback drift version of the fingerprint at compile time (0 when
+  /// feedback is off or nothing was harvested yet). A later drift bump —
+  /// the estimate-drift invalidation of DESIGN.md section 11 — evicts
+  /// exactly this entry on its next lookup.
+  uint64_t feedback_version = 0;
   int64_t hit_count = 0;
 };
 
@@ -117,7 +127,8 @@ class PlanCache {
   /// until the next non-const call.
   const PlanCacheEntry* Lookup(const std::string& key,
                                uint64_t schema_version,
-                               uint64_t stats_version);
+                               uint64_t stats_version,
+                               uint64_t feedback_version = 0);
 
   /// Inserts (or replaces) the entry for `key`, evicting the least
   /// recently used entry when over capacity.

@@ -361,6 +361,28 @@ HashJoinLayout MakeHashJoinLayout(const PhysOp& op) {
   return layout;
 }
 
+/// The sketchable stream key of one hash-join side: the side must be a
+/// single leaf (scan / index range / derived scan) joined on exactly one
+/// plain column of that leaf, so the sketch describes "column C of the
+/// filtered leaf R" — the granularity the optimizer's join-size estimator
+/// looks up (DESIGN.md section 11). Returns "" when not sketchable.
+std::string SketchStreamKey(const PhysOp& side,
+                            const std::vector<const Expr*>& keys) {
+  if (keys.size() != 1) return "";
+  if (side.kind != PhysOp::Kind::kTableScan &&
+      side.kind != PhysOp::Kind::kIndexRange &&
+      side.kind != PhysOp::Kind::kDerivedScan) {
+    return "";
+  }
+  if (side.leaf == nullptr) return "";
+  const Expr* key = keys[0];
+  if (key->kind != Expr::Kind::kColumnRef ||
+      key->ref_id != side.leaf->ref_id) {
+    return "";
+  }
+  return SketchSet::StreamKey(key->ref_id, key->column_idx);
+}
+
 /// The materialized build side of a hash join. Built once (serially), then
 /// probed — possibly by many workers concurrently, which is safe because
 /// probing never mutates it.
@@ -389,6 +411,15 @@ Status FillHashJoinState(const PhysOp& op, const HashJoinLayout& layout,
     out->entries.reserve(cap);
     out->table.reserve(cap);
   }
+  // Opportunistic Fast-AGMS stream over the build keys. The plan node is
+  // the stream owner, so a rebuild (re-Open inside a nested loop, or a
+  // parallel prebuild followed by a serial fallback) poisons the stream
+  // instead of double-counting its rows.
+  AgmsSketch* sketch = nullptr;
+  if (ctx->sketches != nullptr) {
+    std::string stream = SketchStreamKey(build_child, layout.build_keys);
+    if (!stream.empty()) sketch = ctx->sketches->BeginStream(stream, &op);
+  }
   TAURUS_RETURN_IF_ERROR(build->Open(frame, ctx));
   while (true) {
     TAURUS_ASSIGN_OR_RETURN(bool has, build->Next(frame, ctx));
@@ -402,6 +433,7 @@ Status FillHashJoinState(const PhysOp& op, const HashJoinLayout& layout,
       key.push_back(std::move(v));
     }
     if (has_null) continue;  // NULL keys never join
+    if (sketch != nullptr) sketch->Update(key[0].Hash());
     HashJoinShared::Entry entry;
     entry.key = std::move(key);
     entry.frame = OwnedFrame(*frame, layout.build_refs);
@@ -446,6 +478,19 @@ class HashJoinIter : public FrameIter {
     } else {
       ClearSlots(frame, layout_.build_refs);
     }
+    // Probe-side Fast-AGMS stream, serial pipelines only (worker shards
+    // would each replay the stream per morsel). The iterator instance is
+    // the owner: a re-Open replays probe rows, poisoning the stream.
+    probe_sketch_ = nullptr;
+    if (ctx->sketches != nullptr && !ctx->is_worker_shard &&
+        shared_ == nullptr) {
+      const PhysOp& probe_child =
+          layout_.build_is_left ? *op_->right : *op_->child;
+      std::string stream = SketchStreamKey(probe_child, layout_.probe_keys);
+      if (!stream.empty()) {
+        probe_sketch_ = ctx->sketches->BeginStream(stream, this);
+      }
+    }
     TAURUS_RETURN_IF_ERROR(probe_iter_->Open(frame, ctx));
     have_probe_ = false;
     return Status::OK();
@@ -471,6 +516,7 @@ class HashJoinIter : public FrameIter {
           key.push_back(std::move(v));
         }
         if (!has_null) {
+          if (probe_sketch_ != nullptr) probe_sketch_->Update(key[0].Hash());
           auto [b, e] = state.table.equal_range(HashRow(key));
           for (auto it = b; it != e; ++it) {
             const HashJoinShared::Entry& cand = state.entries[it->second];
@@ -526,6 +572,7 @@ class HashJoinIter : public FrameIter {
   std::unique_ptr<FrameIter> probe_iter_;
   const HashJoinShared* shared_ = nullptr;  ///< set for worker clones
   HashJoinShared own_state_;                ///< used by the serial form
+  AgmsSketch* probe_sketch_ = nullptr;      ///< claimed per Open, or null
 
   bool have_probe_ = false;
   bool matched_ = false;

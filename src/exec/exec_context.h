@@ -11,6 +11,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "exec/op_actuals.h"
+#include "feedback/agms_sketch.h"
 #include "exec/physical_plan.h"
 #include "storage/storage.h"
 
@@ -89,6 +90,14 @@ struct ExecContext {
   /// inject a FakeClock here for deterministic timings.
   const Clock* analyze_clock = nullptr;
 
+  // --- Cardinality feedback (see DESIGN.md section 11) ---
+
+  /// When non-null, hash joins opportunistically fold their build (and, in
+  /// serial pipelines, probe) key streams into Fast-AGMS sketches here.
+  /// Shared by worker shards: sketch updates are atomic, and stream
+  /// ownership is resolved under the set's own mutex.
+  SketchSet* sketches = nullptr;
+
   /// Counts one scanned row against the budget. The row cap is charged on
   /// the shared atomic so concurrent shards trip it at one deterministic
   /// global count; the deadline is polled every 256 *locally charged* rows
@@ -121,6 +130,7 @@ struct ExecContext {
     shard->shared_budget_rows_ = budget_rows();
     shard->morsel_rows = morsel_rows;
     shard->is_worker_shard = true;
+    shard->sketches = sketches;
     if (op_actuals != nullptr) {
       // Each shard records into a private map (no locking on the hot path);
       // MergeShard sums them back into the root's map.

@@ -1,0 +1,106 @@
+#include "feedback/agms_sketch.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace taurus {
+
+namespace {
+
+/// splitmix64 finalizer — cheap, well-mixed, and deterministic; seeded per
+/// depth so the depth rows act as independent hash/sign families.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t DepthSeed(int d) { return Mix(0x5ca1ab1eULL + static_cast<uint64_t>(d)); }
+
+}  // namespace
+
+AgmsSketch::AgmsSketch(int depth, int width)
+    : depth_(std::max(depth, 1)),
+      width_(static_cast<int>(std::bit_ceil(
+          static_cast<unsigned>(std::max(width, 2))))),
+      counters_(static_cast<size_t>(depth_) * static_cast<size_t>(width_)) {
+  for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+}
+
+void AgmsSketch::Update(uint64_t value_hash) {
+  const uint64_t mask = static_cast<uint64_t>(width_) - 1;
+  for (int d = 0; d < depth_; ++d) {
+    uint64_t h = Mix(value_hash ^ DepthSeed(d));
+    size_t bucket = static_cast<size_t>(d) * static_cast<size_t>(width_) +
+                    static_cast<size_t>(h & mask);
+    int64_t sign = ((h >> 32) & 1) ? 1 : -1;
+    counters_[bucket].fetch_add(sign, std::memory_order_relaxed);
+  }
+  rows_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double AgmsSketch::JoinSizeEstimate(const AgmsSketch& other) const {
+  if (other.depth_ != depth_ || other.width_ != width_) return 0.0;
+  std::vector<double> per_depth(static_cast<size_t>(depth_), 0.0);
+  for (int d = 0; d < depth_; ++d) {
+    double dot = 0.0;
+    size_t base = static_cast<size_t>(d) * static_cast<size_t>(width_);
+    for (int w = 0; w < width_; ++w) {
+      dot += static_cast<double>(
+                 counters_[base + static_cast<size_t>(w)].load(
+                     std::memory_order_relaxed)) *
+             static_cast<double>(other.counters_[base + static_cast<size_t>(w)]
+                                     .load(std::memory_order_relaxed));
+    }
+    per_depth[static_cast<size_t>(d)] = dot;
+  }
+  std::nth_element(per_depth.begin(),
+                   per_depth.begin() + per_depth.size() / 2, per_depth.end());
+  return std::max(per_depth[per_depth.size() / 2], 0.0);
+}
+
+double AgmsSketch::SelfJoinSize() const { return JoinSizeEstimate(*this); }
+
+std::unique_ptr<AgmsSketch> AgmsSketch::Clone() const {
+  auto copy = std::make_unique<AgmsSketch>(depth_, width_);
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    copy->counters_[i].store(counters_[i].load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+  }
+  copy->rows_.store(rows_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  return copy;
+}
+
+std::string SketchSet::StreamKey(int ref_id, int column_idx) {
+  return "r" + std::to_string(ref_id) + "#c" + std::to_string(column_idx);
+}
+
+AgmsSketch* SketchSet::BeginStream(const std::string& key, const void* owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = streams_.try_emplace(key);
+  Stream& s = it->second;
+  if (inserted) {
+    s.owner = owner;
+    s.sketch = std::make_unique<AgmsSketch>(depth_, width_);
+    return s.sketch.get();
+  }
+  // Same owner re-opening means its rows would be folded in twice.
+  if (s.owner == owner) s.poisoned = true;
+  return nullptr;
+}
+
+std::map<std::string, std::unique_ptr<AgmsSketch>> SketchSet::TakeValid() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::unique_ptr<AgmsSketch>> out;
+  for (auto& [key, stream] : streams_) {
+    if (stream.poisoned || stream.sketch == nullptr) continue;
+    if (stream.sketch->rows() <= 0) continue;
+    out.emplace(key, std::move(stream.sketch));
+  }
+  streams_.clear();
+  return out;
+}
+
+}  // namespace taurus

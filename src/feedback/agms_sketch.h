@@ -1,0 +1,100 @@
+#ifndef TAURUS_FEEDBACK_AGMS_SKETCH_H_
+#define TAURUS_FEEDBACK_AGMS_SKETCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace taurus {
+
+/// Fast-AGMS sketch over a stream of join-key hashes ("Online Sketch-based
+/// Query Optimization", PAPERS.md). Each of `depth` rows hashes the value
+/// into one of `width` buckets and adds a +/-1 sign; the inner product of
+/// two sketches built over the join columns of two inputs is an unbiased
+/// estimator of their equi-join output size, with variance shrinking as
+/// 1/width — the estimator the feedback loop prefers over histogram
+/// products (DESIGN.md section 11).
+///
+/// Updates and queries are thread-safe: counters are relaxed atomics, so
+/// concurrent hash-join build/probe streams (and a concurrent optimizer
+/// querying a harvested sketch) never race. Estimates read while updates
+/// are in flight are approximate, which is all a sketch promises anyway.
+class AgmsSketch {
+ public:
+  /// `width` is rounded up to a power of two (bucket index by mask).
+  /// Seeds are fixed per depth, so two sketches with the same shape are
+  /// always comparable and results are run-to-run deterministic.
+  AgmsSketch(int depth, int width);
+
+  AgmsSketch(const AgmsSketch&) = delete;
+  AgmsSketch& operator=(const AgmsSketch&) = delete;
+
+  /// Folds one value (pre-hashed, e.g. Value::Hash()) into the sketch.
+  void Update(uint64_t value_hash);
+
+  /// Estimated equi-join output size against `other` (median over depth of
+  /// the per-row bucket inner products). Both sketches must have the same
+  /// shape. Never negative.
+  double JoinSizeEstimate(const AgmsSketch& other) const;
+
+  /// Estimated self-join size (sum of squared frequencies) — the F2 moment
+  /// that bounds the join estimator's variance, used by the error-bound
+  /// tests.
+  double SelfJoinSize() const;
+
+  /// Deep copy of the current counter state.
+  std::unique_ptr<AgmsSketch> Clone() const;
+
+  int depth() const { return depth_; }
+  int width() const { return width_; }
+  /// Number of Update() calls folded in so far.
+  int64_t rows() const { return rows_.load(std::memory_order_relaxed); }
+
+ private:
+  int depth_;
+  int width_;  ///< power of two
+  std::vector<std::atomic<int64_t>> counters_;  ///< depth_ * width_
+  std::atomic<int64_t> rows_{0};
+};
+
+/// The per-execution collection of sketches built opportunistically while
+/// hash joins run: one sketch per (ref_id, column) join-key stream. A
+/// stream is only trustworthy when its rows are fed exactly once, so
+/// BeginStream hands ownership of each key to the first operator that
+/// opens it — a re-open by the same owner (an operator re-executed inside
+/// a nested loop would double-count) poisons the stream, and a different
+/// owner is simply refused. Harvest takes only the unpoisoned streams.
+class SketchSet {
+ public:
+  SketchSet(int depth, int width) : depth_(depth), width_(width) {}
+
+  /// Key for the sketch over `column_idx` of leaf `ref_id`.
+  static std::string StreamKey(int ref_id, int column_idx);
+
+  /// Claims the stream for `owner` and returns its sketch, or null when
+  /// the stream belongs to someone else or has been poisoned. Thread-safe.
+  AgmsSketch* BeginStream(const std::string& key, const void* owner);
+
+  /// Moves out every valid (unpoisoned) sketch that saw at least one row.
+  std::map<std::string, std::unique_ptr<AgmsSketch>> TakeValid();
+
+ private:
+  struct Stream {
+    const void* owner = nullptr;
+    bool poisoned = false;
+    std::unique_ptr<AgmsSketch> sketch;
+  };
+
+  int depth_;
+  int width_;
+  std::mutex mu_;
+  std::map<std::string, Stream> streams_;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_FEEDBACK_AGMS_SKETCH_H_

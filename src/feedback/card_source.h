@@ -1,0 +1,31 @@
+#ifndef TAURUS_FEEDBACK_CARD_SOURCE_H_
+#define TAURUS_FEEDBACK_CARD_SOURCE_H_
+
+namespace taurus {
+
+/// Where a plan node's cardinality estimate came from, in override
+/// precedence order: harvested execution actuals beat Fast-AGMS sketch
+/// join-size estimates, which beat histogram formulas (DESIGN.md
+/// section 11). Carried from the memo search through the skeleton into
+/// the executable plan so EXPLAIN can surface it.
+enum class CardSource {
+  kHistogram = 0,  ///< default: NDV / histogram selectivity formulas
+  kSketch = 1,     ///< Fast-AGMS join-size estimate
+  kActual = 2,     ///< harvested actual cardinality from a prior execution
+};
+
+inline const char* CardSourceName(CardSource s) {
+  switch (s) {
+    case CardSource::kHistogram:
+      return "histogram";
+    case CardSource::kSketch:
+      return "sketch";
+    case CardSource::kActual:
+      return "actual";
+  }
+  return "histogram";
+}
+
+}  // namespace taurus
+
+#endif  // TAURUS_FEEDBACK_CARD_SOURCE_H_

@@ -1,0 +1,180 @@
+#include "feedback/feedback_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taurus {
+
+namespace {
+
+double SampleQError(double est, double act) {
+  double e = std::max(est, 1.0);
+  double a = std::max(act, 1.0);
+  return std::max(e / a, a / e);
+}
+
+/// Actuals "materially moved" when any sampled subtree is new or its
+/// actual changed by more than 20% relative — the hysteresis that keeps a
+/// re-optimized plan from bumping the drift version forever when its
+/// estimates are still imperfect but its actuals are stable.
+bool MateriallyDiffer(const std::map<std::string, double>& sampled,
+                      const std::map<std::string, double>& stored) {
+  for (const auto& [key, act] : sampled) {
+    auto it = stored.find(key);
+    if (it == stored.end()) return true;
+    double base = std::max(std::abs(it->second), 1.0);
+    if (std::abs(act - it->second) > 0.2 * base) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string RefSetKey(std::vector<int> refs) {
+  std::sort(refs.begin(), refs.end());
+  refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
+  std::string key;
+  for (size_t i = 0; i < refs.size(); ++i) {
+    if (i) key += ',';
+    key += 'r';
+    key += std::to_string(refs[i]);
+  }
+  return key;
+}
+
+FeedbackStore::FeedbackStore(const FeedbackConfig& config) : config_(config) {}
+
+double FeedbackStore::NowMs() const {
+  const Clock* clock = config_.clock != nullptr
+                           ? config_.clock
+                           : &SteadyClock::Instance();
+  return clock->NowMs();
+}
+
+void FeedbackStore::EraseLocked(std::list<Entry>::iterator it) {
+  index_.erase(it->fingerprint);
+  lru_.erase(it);
+}
+
+std::shared_ptr<const FeedbackSnapshot> FeedbackStore::Snapshot(
+    uint64_t fingerprint, uint64_t schema_version, uint64_t stats_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto idx = index_.find(fingerprint);
+  if (idx == index_.end()) return nullptr;
+  auto it = idx->second;
+  if (it->schema_version != schema_version ||
+      it->stats_version != stats_version) {
+    ++version_resets_;
+    EraseLocked(it);
+    return nullptr;
+  }
+  if (config_.max_entry_age_ms > 0.0 &&
+      NowMs() - it->harvested_at_ms > config_.max_entry_age_ms) {
+    ++aged_out_;
+    EraseLocked(it);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it);  // touch
+  return it->snapshot;
+}
+
+uint64_t FeedbackStore::DriftVersion(uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto idx = index_.find(fingerprint);
+  if (idx == index_.end()) return 0;
+  return idx->second->drift_version;
+}
+
+HarvestResult FeedbackStore::Harvest(uint64_t fingerprint,
+                                     FeedbackSample sample,
+                                     double qerror_threshold,
+                                     uint64_t schema_version,
+                                     uint64_t stats_version) {
+  HarvestResult out;
+  if (fingerprint == 0) return out;
+  for (const auto& [key, est] : sample.node_estimates) {
+    auto it = sample.node_actuals.find(key);
+    if (it == sample.node_actuals.end()) continue;
+    out.max_q_error = std::max(out.max_q_error, SampleQError(est, it->second));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto idx = index_.find(fingerprint);
+  Entry* entry = nullptr;
+  if (idx != index_.end()) {
+    auto it = idx->second;
+    if (it->schema_version != schema_version ||
+        it->stats_version != stats_version) {
+      // DDL / ANALYZE since the last harvest: feedback state resets.
+      ++version_resets_;
+      EraseLocked(it);
+    } else {
+      lru_.splice(lru_.begin(), lru_, it);
+      entry = &*it;
+    }
+  }
+
+  bool material = entry == nullptr ||
+                  MateriallyDiffer(sample.node_actuals,
+                                   entry->snapshot->node_actuals);
+  if (entry == nullptr) {
+    lru_.push_front(Entry{});
+    entry = &lru_.front();
+    entry->fingerprint = fingerprint;
+    entry->snapshot = std::make_shared<FeedbackSnapshot>();
+    entry->schema_version = schema_version;
+    entry->stats_version = stats_version;
+    index_[fingerprint] = lru_.begin();
+  }
+
+  // Copy-on-write: compiles may still hold the old snapshot.
+  auto next = std::make_shared<FeedbackSnapshot>(*entry->snapshot);
+  for (const auto& [key, act] : sample.node_actuals) {
+    next->node_actuals[key] = act;
+  }
+  for (auto& [key, sketch] : sample.sketches) {
+    next->sketches[key] = std::shared_ptr<const AgmsSketch>(std::move(sketch));
+  }
+  entry->snapshot = std::move(next);
+  entry->harvested_at_ms = NowMs();
+
+  if (out.max_q_error > qerror_threshold && material) {
+    ++entry->drift_version;
+    out.version_bumped = true;
+  }
+  out.stored = true;
+
+  while (lru_.size() > std::max<size_t>(config_.store_capacity, 1)) {
+    ++lru_evictions_;
+    EraseLocked(std::prev(lru_.end()));
+  }
+  return out;
+}
+
+void FeedbackStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t FeedbackStore::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+int64_t FeedbackStore::lru_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_evictions_;
+}
+
+int64_t FeedbackStore::aged_out() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aged_out_;
+}
+
+int64_t FeedbackStore::version_resets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_resets_;
+}
+
+}  // namespace taurus

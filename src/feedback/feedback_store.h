@@ -1,0 +1,136 @@
+#ifndef TAURUS_FEEDBACK_FEEDBACK_STORE_H_
+#define TAURUS_FEEDBACK_FEEDBACK_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "feedback/agms_sketch.h"
+
+namespace taurus {
+
+/// Knobs for the execution-feedback loop (DESIGN.md section 11). Off by
+/// default: feedback changes plans, so it is strictly opt-in.
+struct FeedbackConfig {
+  bool enable = false;
+  /// A harvested max q-error above this bumps the fingerprint's drift
+  /// version, evicting its cached skeleton so the next compile re-optimizes
+  /// with actuals.
+  double qerror_invalidation_threshold = 2.0;
+  /// LRU capacity of the store, in fingerprints.
+  size_t store_capacity = 256;
+  /// Entries older than this are dropped on access; 0 disables aging.
+  double max_entry_age_ms = 0.0;
+  /// Build Fast-AGMS sketches during hash joins and prefer their join-size
+  /// estimates over histogram products.
+  bool sketches = true;
+  int sketch_depth = 5;
+  int sketch_width = 512;
+  /// Injectable time source for aging (tests use FakeClock); null means
+  /// SteadyClock.
+  const Clock* clock = nullptr;
+};
+
+/// Canonical key for a plan subtree: the sorted ref_ids of its leaves
+/// ("r2,r5"). Ref ids are statement-global, so for a fixed fingerprint the
+/// key names the same logical sub-join regardless of the join order the
+/// executed plan happened to use.
+std::string RefSetKey(std::vector<int> refs);
+
+/// What one successful execution learned about a fingerprint.
+struct FeedbackSample {
+  /// ref-set key -> actual output rows of that subtree.
+  std::map<std::string, double> node_actuals;
+  /// ref-set key -> the executed plan's estimate for the subtree (only for
+  /// keys also present in node_actuals; used for drift detection).
+  std::map<std::string, double> node_estimates;
+  /// Join-key sketches built during this execution (SketchSet::TakeValid).
+  std::map<std::string, std::unique_ptr<AgmsSketch>> sketches;
+};
+
+/// Immutable per-fingerprint view handed to the optimizer: actual
+/// cardinalities by ref-set key plus join-key sketches. Shared read-only
+/// across concurrent compiles.
+struct FeedbackSnapshot {
+  std::map<std::string, double> node_actuals;
+  std::map<std::string, std::shared_ptr<const AgmsSketch>> sketches;
+};
+
+struct HarvestResult {
+  bool stored = false;
+  /// True when the sample's drift bumped the fingerprint's feedback
+  /// version (stale cached skeletons will be evicted on next lookup).
+  bool version_bumped = false;
+  double max_q_error = 1.0;
+};
+
+/// Thread-safe, LRU-bounded store of execution feedback keyed by statement
+/// fingerprint. Entries are stamped with the catalog schema/stats versions
+/// in force when harvested, so DDL and ANALYZE reset feedback state the
+/// same way they invalidate cached plans.
+class FeedbackStore {
+ public:
+  /// Holds a reference to `config`: the caller's knob object must outlive
+  /// the store, and knob changes (capacity, aging, clock) take effect on
+  /// the next call — the engine exposes live feedback_config() this way.
+  explicit FeedbackStore(const FeedbackConfig& config);
+
+  /// Feedback for `fingerprint`, or null when absent, harvested under
+  /// different catalog versions, or aged out (stale entries are erased).
+  /// Touches LRU recency.
+  std::shared_ptr<const FeedbackSnapshot> Snapshot(uint64_t fingerprint,
+                                                   uint64_t schema_version,
+                                                   uint64_t stats_version);
+
+  /// Current drift version for `fingerprint` (0 when unknown). Cached
+  /// plans are stamped with this at compile time; a later bump invalidates
+  /// exactly this fingerprint's cache entry.
+  uint64_t DriftVersion(uint64_t fingerprint) const;
+
+  /// Folds one execution's sample in: merges actuals/sketches over any
+  /// existing entry and bumps the drift version when the observed max
+  /// q-error exceeds `qerror_threshold` AND the actuals materially moved
+  /// (so a re-optimized plan that now estimates well does not thrash).
+  HarvestResult Harvest(uint64_t fingerprint, FeedbackSample sample,
+                        double qerror_threshold, uint64_t schema_version,
+                        uint64_t stats_version);
+
+  void Clear();
+
+  size_t Size() const;
+  int64_t lru_evictions() const;
+  int64_t aged_out() const;
+  int64_t version_resets() const;  ///< entries dropped on DDL/ANALYZE drift
+
+ private:
+  struct Entry {
+    uint64_t fingerprint = 0;
+    std::shared_ptr<FeedbackSnapshot> snapshot;
+    uint64_t drift_version = 0;
+    uint64_t schema_version = 0;
+    uint64_t stats_version = 0;
+    double harvested_at_ms = 0.0;
+  };
+
+  double NowMs() const;
+  /// Erases the entry at `it` (must hold mu_).
+  void EraseLocked(std::list<Entry>::iterator it);
+
+  const FeedbackConfig& config_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  int64_t lru_evictions_ = 0;
+  int64_t aged_out_ = 0;
+  int64_t version_resets_ = 0;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_FEEDBACK_FEEDBACK_STORE_H_

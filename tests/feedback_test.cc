@@ -1,0 +1,494 @@
+// End-to-end tests for the cardinality feedback loop (DESIGN.md section
+// 11): execution actuals are harvested per plan fingerprint, estimate
+// drift evicts exactly the drifted skeleton from the plan cache, and the
+// re-optimized plan estimates from actuals (EXPLAIN: cardinality_source:
+// actual) with rows bit-identical to the MySQL baseline throughout. Plus
+// deterministic FeedbackStore unit tests (FakeClock aging, LRU bounds,
+// DDL/ANALYZE version resets, drift hysteresis).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/fault_injector.h"
+#include "engine/database.h"
+#include "feedback/feedback_store.h"
+
+namespace taurus {
+namespace {
+
+void SortRows(std::vector<Row>* rows) {
+  std::sort(rows->begin(), rows->end(), [](const Row& a, const Row& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      int c = Value::Compare(a[i], b[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+}
+
+std::string RowsText(std::vector<Row> rows) {
+  SortRows(&rows);
+  std::string out;
+  for (const Row& r : rows) out += RowToString(r) + "\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FeedbackStore unit tests: deterministic, no engine involved.
+// ---------------------------------------------------------------------------
+
+FeedbackSample MakeSample(double actual, double estimate,
+                          const std::string& key = "r0,r1") {
+  FeedbackSample s;
+  s.node_actuals[key] = actual;
+  s.node_estimates[key] = estimate;
+  return s;
+}
+
+TEST(FeedbackStoreTest, HarvestThenSnapshotRoundTrips) {
+  FeedbackConfig config;
+  FeedbackStore store(config);
+  HarvestResult hr = store.Harvest(/*fingerprint=*/7, MakeSample(4800.0, 160.0),
+                                   /*qerror_threshold=*/2.0,
+                                   /*schema_version=*/1, /*stats_version=*/1);
+  EXPECT_TRUE(hr.stored);
+  EXPECT_TRUE(hr.version_bumped);  // q-error 30 > 2
+  EXPECT_NEAR(hr.max_q_error, 30.0, 1e-9);
+  EXPECT_EQ(store.DriftVersion(7), 1u);
+  auto snap = store.Snapshot(7, 1, 1);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->node_actuals.at("r0,r1"), 4800.0);
+  EXPECT_EQ(store.Snapshot(/*fingerprint=*/8, 1, 1), nullptr);
+}
+
+TEST(FeedbackStoreTest, ZeroFingerprintIsIgnored) {
+  FeedbackConfig config;
+  FeedbackStore store(config);
+  HarvestResult hr = store.Harvest(0, MakeSample(100.0, 1.0), 2.0, 1, 1);
+  EXPECT_FALSE(hr.stored);
+  EXPECT_EQ(store.Size(), 0u);
+}
+
+TEST(FeedbackStoreTest, DriftBumpNeedsBothThresholdAndMaterialChange) {
+  FeedbackConfig config;
+  FeedbackStore store(config);
+  ASSERT_TRUE(store.Harvest(7, MakeSample(1000.0, 10.0), 2.0, 1, 1)
+                  .version_bumped);
+  EXPECT_EQ(store.DriftVersion(7), 1u);
+
+  // Re-optimized plan now estimates well: below threshold, no bump.
+  EXPECT_FALSE(store.Harvest(7, MakeSample(1000.0, 900.0), 2.0, 1, 1)
+                   .version_bumped);
+  EXPECT_EQ(store.DriftVersion(7), 1u);
+
+  // Still mis-estimated but the actuals did not move: hysteresis holds the
+  // version, so a plan that cannot be fixed by feedback does not thrash.
+  EXPECT_FALSE(store.Harvest(7, MakeSample(1000.0, 10.0), 2.0, 1, 1)
+                   .version_bumped);
+  EXPECT_EQ(store.DriftVersion(7), 1u);
+
+  // Actuals moved materially (>20%) AND the q-error exceeds the threshold:
+  // this is new drift, bump again.
+  EXPECT_TRUE(store.Harvest(7, MakeSample(2000.0, 10.0), 2.0, 1, 1)
+                  .version_bumped);
+  EXPECT_EQ(store.DriftVersion(7), 2u);
+}
+
+TEST(FeedbackStoreTest, CatalogVersionMoveResetsEntry) {
+  FeedbackConfig config;
+  FeedbackStore store(config);
+  ASSERT_TRUE(store.Harvest(7, MakeSample(100.0, 100.0), 2.0, 1, 1).stored);
+  // ANALYZE moved the stats version: the entry is stale and erased.
+  EXPECT_EQ(store.Snapshot(7, 1, 2), nullptr);
+  EXPECT_EQ(store.version_resets(), 1);
+  EXPECT_EQ(store.Size(), 0u);
+  EXPECT_EQ(store.DriftVersion(7), 0u);
+
+  // Same through the harvest path on a schema (DDL) move: the fresh sample
+  // replaces the stale entry instead of merging into it.
+  ASSERT_TRUE(store.Harvest(7, MakeSample(50.0, 50.0), 2.0, 1, 2).stored);
+  ASSERT_TRUE(store.Harvest(7, MakeSample(60.0, 60.0), 2.0, 2, 2).stored);
+  EXPECT_EQ(store.version_resets(), 2);
+  auto snap = store.Snapshot(7, 2, 2);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->node_actuals.at("r0,r1"), 60.0);
+}
+
+TEST(FeedbackStoreTest, FakeClockAgesEntriesOut) {
+  FakeClock clock;
+  FeedbackConfig config;
+  config.max_entry_age_ms = 100.0;
+  config.clock = &clock;
+  FeedbackStore store(config);
+  ASSERT_TRUE(store.Harvest(7, MakeSample(100.0, 100.0), 2.0, 1, 1).stored);
+
+  clock.Advance(99.0);
+  EXPECT_NE(store.Snapshot(7, 1, 1), nullptr);  // still fresh
+  EXPECT_EQ(store.aged_out(), 0);
+
+  clock.Advance(2.0);  // now 101 ms past the harvest
+  EXPECT_EQ(store.Snapshot(7, 1, 1), nullptr);
+  EXPECT_EQ(store.aged_out(), 1);
+  EXPECT_EQ(store.Size(), 0u);
+
+  // A fresh harvest restarts the entry's age from the current fake time.
+  ASSERT_TRUE(store.Harvest(7, MakeSample(100.0, 100.0), 2.0, 1, 1).stored);
+  clock.Advance(99.0);
+  EXPECT_NE(store.Snapshot(7, 1, 1), nullptr);
+}
+
+TEST(FeedbackStoreTest, LruEvictionIsBoundedAndOrdered) {
+  FeedbackConfig config;
+  config.store_capacity = 2;
+  FeedbackStore store(config);
+  ASSERT_TRUE(store.Harvest(1, MakeSample(10.0, 10.0), 2.0, 1, 1).stored);
+  ASSERT_TRUE(store.Harvest(2, MakeSample(20.0, 20.0), 2.0, 1, 1).stored);
+  // Touch fingerprint 1 so 2 becomes the LRU victim.
+  ASSERT_NE(store.Snapshot(1, 1, 1), nullptr);
+  ASSERT_TRUE(store.Harvest(3, MakeSample(30.0, 30.0), 2.0, 1, 1).stored);
+  EXPECT_EQ(store.Size(), 2u);
+  EXPECT_EQ(store.lru_evictions(), 1);
+  EXPECT_EQ(store.Snapshot(2, 1, 1), nullptr);  // evicted
+  EXPECT_NE(store.Snapshot(1, 1, 1), nullptr);
+  EXPECT_NE(store.Snapshot(3, 1, 1), nullptr);
+  // Eviction also drops the drift version: a re-learned fingerprint starts
+  // over instead of invalidating plans from a forgotten life.
+  EXPECT_EQ(store.DriftVersion(2), 0u);
+}
+
+TEST(FeedbackStoreTest, LiveConfigChangesApply) {
+  // The store reads its config by reference (the engine exposes
+  // feedback_config() as a live knob object).
+  FeedbackConfig config;
+  config.store_capacity = 8;
+  FeedbackStore store(config);
+  for (uint64_t fp = 1; fp <= 4; ++fp) {
+    ASSERT_TRUE(store.Harvest(fp, MakeSample(10.0, 10.0), 2.0, 1, 1).stored);
+  }
+  EXPECT_EQ(store.Size(), 4u);
+  config.store_capacity = 2;
+  ASSERT_TRUE(store.Harvest(5, MakeSample(10.0, 10.0), 2.0, 1, 1).stored);
+  EXPECT_EQ(store.Size(), 2u);
+  EXPECT_EQ(store.lru_evictions(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level feedback loop. Schema engineered for a provably wrong
+// histogram estimate: fact.f_k is heavily skewed (600 rows of k=1 plus 600
+// distinct values), dim holds 80 rows of k=1. NDV(f_k)=601, so the
+// histogram join estimate is |fact|*|dim|/601 = ~160 rows while the true
+// join output is 600*80 = 48000 — a q-error of ~300.
+// ---------------------------------------------------------------------------
+
+class FeedbackLoopTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Instance().DisarmAll();
+    ASSERT_TRUE(db_.ExecuteSql(
+                       "CREATE TABLE fact (f_id INT NOT NULL PRIMARY KEY, "
+                       "f_k INT NOT NULL)")
+                    .ok());
+    ASSERT_TRUE(db_.ExecuteSql(
+                       "CREATE TABLE dim (d_k INT NOT NULL, "
+                       "d_pad INT NOT NULL)")
+                    .ok());
+    std::vector<Row> fact;
+    for (int i = 0; i < 1200; ++i) {
+      int k = i < 600 ? 1 : i + 1000;  // skew: half the table joins
+      fact.push_back({Value::Int(i), Value::Int(k)});
+    }
+    ASSERT_TRUE(db_.BulkLoad("fact", std::move(fact)).ok());
+    std::vector<Row> dim;
+    for (int i = 0; i < 80; ++i) {
+      dim.push_back({Value::Int(1), Value::Int(i)});
+    }
+    ASSERT_TRUE(db_.BulkLoad("dim", std::move(dim)).ok());
+    ASSERT_TRUE(db_.AnalyzeAll().ok());
+    db_.plan_cache().ResetStats();
+    db_.feedback_config().enable = true;
+  }
+
+  void TearDown() override { FaultInjector::Instance().DisarmAll(); }
+
+  static constexpr const char* kSkewSql =
+      "SELECT f_id, d_pad FROM fact, dim WHERE f_k = d_k";
+
+  Database db_;
+};
+
+TEST_F(FeedbackLoopTest, SkewedJoinQErrorCollapsesOnSecondOptimization) {
+  // Run 1: cold compile estimates from histograms and is off by ~300x.
+  auto run1 = db_.Query(kSkewSql, OptimizerPath::kOrca);
+  ASSERT_TRUE(run1.ok()) << run1.status().ToString();
+  ASSERT_TRUE(run1->used_orca);
+  EXPECT_FALSE(run1->plan_cache_hit);
+  EXPECT_EQ(run1->feedback_actual_overrides, 0);
+  EXPECT_TRUE(run1->feedback_harvested);
+  EXPECT_GT(run1->feedback_max_q_error, 10.0);
+  EXPECT_TRUE(run1->feedback_version_bumped);
+  EXPECT_EQ(run1->rows.size(), 48000u);
+
+  // Run 2: the drift bump evicted the cached skeleton; the fresh compile
+  // estimates the join from harvested actuals and lands at q-error ~1.
+  auto run2 = db_.Query(kSkewSql, OptimizerPath::kOrca);
+  ASSERT_TRUE(run2.ok()) << run2.status().ToString();
+  ASSERT_TRUE(run2->used_orca);
+  EXPECT_FALSE(run2->plan_cache_hit);
+  EXPECT_EQ(db_.plan_cache().stats().drift_invalidations, 1);
+  EXPECT_GE(run2->feedback_actual_overrides, 1);
+  EXPECT_TRUE(run2->feedback_harvested);
+  EXPECT_LE(run2->feedback_max_q_error, 2.0);
+  EXPECT_FALSE(run2->feedback_version_bumped);
+
+  // EXPLAIN of the re-optimized plan names the estimate's provenance.
+  auto explain = db_.Explain(kSkewSql, OptimizerPath::kOrca);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("cardinality_source: actual"), std::string::npos)
+      << *explain;
+
+  // Run 3: actuals are stable, so the re-optimized skeleton stays cached.
+  auto run3 = db_.Query(kSkewSql, OptimizerPath::kOrca);
+  ASSERT_TRUE(run3.ok());
+  EXPECT_TRUE(run3->plan_cache_hit);
+  EXPECT_EQ(db_.plan_cache().stats().drift_invalidations, 1);
+
+  // Rows are bit-identical to the MySQL baseline before and after feedback
+  // re-optimization.
+  auto baseline = db_.Query(kSkewSql, OptimizerPath::kMySql);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(RowsText(baseline->rows), RowsText(run1->rows));
+  EXPECT_EQ(RowsText(baseline->rows), RowsText(run2->rows));
+  EXPECT_EQ(RowsText(baseline->rows), RowsText(run3->rows));
+
+  // The loop is visible in the engine metrics.
+  std::string metrics = db_.MetricsJson();
+  EXPECT_NE(metrics.find("taurus.feedback.harvests"), std::string::npos);
+  EXPECT_NE(metrics.find("taurus.feedback.drift_bumps"), std::string::npos);
+}
+
+TEST_F(FeedbackLoopTest, FeedbackLoopIsConsistentAcrossWorkerCounts) {
+  // The harvest trust rule only records nodes whose parallel actuals equal
+  // the serial ones, so the loop must converge identically at 4 workers.
+  std::string serial_rows;
+  {
+    SCOPED_TRACE("workers=1");
+    db_.exec_config().parallel_workers = 1;
+    auto run1 = db_.Query(kSkewSql, OptimizerPath::kOrca);
+    ASSERT_TRUE(run1.ok());
+    EXPECT_GT(run1->feedback_max_q_error, 10.0);
+    auto run2 = db_.Query(kSkewSql, OptimizerPath::kOrca);
+    ASSERT_TRUE(run2.ok());
+    EXPECT_LE(run2->feedback_max_q_error, 2.0);
+    EXPECT_EQ(RowsText(run1->rows), RowsText(run2->rows));
+    serial_rows = RowsText(run2->rows);
+  }
+  // Fresh store/caches via versions: ANALYZE resets feedback and plans.
+  ASSERT_TRUE(db_.AnalyzeAll().ok());
+  db_.plan_cache().ResetStats();
+  {
+    SCOPED_TRACE("workers=4");
+    db_.exec_config().parallel_workers = 4;
+    db_.exec_config().parallel_min_driver_rows = 64;
+    db_.exec_config().morsel_rows = 256;
+    auto run1 = db_.Query(kSkewSql, OptimizerPath::kOrca);
+    ASSERT_TRUE(run1.ok());
+    EXPECT_GT(run1->feedback_max_q_error, 10.0);
+    EXPECT_EQ(RowsText(run1->rows), serial_rows);
+    auto run2 = db_.Query(kSkewSql, OptimizerPath::kOrca);
+    ASSERT_TRUE(run2.ok());
+    EXPECT_LE(run2->feedback_max_q_error, 2.0);
+    EXPECT_EQ(RowsText(run2->rows), serial_rows);
+  }
+}
+
+TEST_F(FeedbackLoopTest, DriftEvictsOnlyTheDriftedFingerprint) {
+  // A second, well-estimated statement shares the cache with the drifting
+  // one; the drift bump must evict exactly the drifted fingerprint.
+  const std::string stable_sql = "SELECT d_pad FROM dim WHERE d_k = 1";
+
+  auto skew1 = db_.Query(kSkewSql, OptimizerPath::kOrca);
+  ASSERT_TRUE(skew1.ok());
+  EXPECT_TRUE(skew1->feedback_version_bumped);
+  auto stable1 = db_.Query(stable_sql, OptimizerPath::kOrca);
+  ASSERT_TRUE(stable1.ok());
+  // NDV(d_k)=1 makes the estimate exact: no drift on this statement.
+  EXPECT_FALSE(stable1->feedback_version_bumped);
+  EXPECT_LE(stable1->feedback_max_q_error, 2.0);
+
+  // The stable statement still hits; the drifted one re-optimizes.
+  auto stable2 = db_.Query(stable_sql, OptimizerPath::kOrca);
+  ASSERT_TRUE(stable2.ok());
+  EXPECT_TRUE(stable2->plan_cache_hit);
+  auto skew2 = db_.Query(kSkewSql, OptimizerPath::kOrca);
+  ASSERT_TRUE(skew2.ok());
+  EXPECT_FALSE(skew2->plan_cache_hit);
+  EXPECT_EQ(db_.plan_cache().stats().drift_invalidations, 1);
+}
+
+TEST_F(FeedbackLoopTest, QuarantinedFingerprintDoesNotAcceptFeedback) {
+  // Route the skew join through the auto path and fail its detour until it
+  // quarantines; a quarantined statement must not feed the store (its
+  // MySQL fallback plan's actuals would poison a later detour compile).
+  db_.router_config().complex_query_threshold = 2;
+  db_.plan_cache_config().enable = false;  // observe every compile
+  const int threshold = db_.quarantine_config().failure_threshold;
+
+  FaultInjector::Instance().ArmCount("bridge.parse_tree_convert", 1000000);
+  for (int i = 0; i < threshold; ++i) {
+    auto res = db_.Query(kSkewSql, OptimizerPath::kAuto);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_TRUE(res->fell_back);
+  }
+  size_t size_at_quarantine = db_.feedback_store().Size();
+
+  auto quarantined = db_.Query(kSkewSql, OptimizerPath::kAuto);
+  ASSERT_TRUE(quarantined.ok());
+  ASSERT_TRUE(quarantined->quarantine_hit);
+  EXPECT_FALSE(quarantined->feedback_harvested);
+  EXPECT_FALSE(quarantined->feedback_version_bumped);
+  EXPECT_EQ(db_.feedback_store().Size(), size_at_quarantine);
+
+  // ANALYZE lifts the quarantine; harvesting resumes.
+  FaultInjector::Instance().DisarmAll();
+  ASSERT_TRUE(db_.AnalyzeAll().ok());
+  auto healed = db_.Query(kSkewSql, OptimizerPath::kAuto);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_FALSE(healed->quarantine_hit);
+  EXPECT_TRUE(healed->feedback_harvested);
+}
+
+TEST_F(FeedbackLoopTest, AnalyzeResetsFeedbackState) {
+  auto run1 = db_.Query(kSkewSql, OptimizerPath::kOrca);
+  ASSERT_TRUE(run1.ok());
+  ASSERT_TRUE(run1->feedback_harvested);
+  ASSERT_EQ(db_.feedback_store().Size(), 1u);
+
+  // ANALYZE moves the stats version: the harvested actuals are stale (they
+  // described pre-ANALYZE statistics drift) and must not override the
+  // fresh histograms.
+  ASSERT_TRUE(db_.AnalyzeAll().ok());
+  auto run2 = db_.Query(kSkewSql, OptimizerPath::kOrca);
+  ASSERT_TRUE(run2.ok());
+  EXPECT_EQ(run2->feedback_actual_overrides, 0);
+  EXPECT_GT(run2->feedback_max_q_error, 10.0);  // back to histogram estimates
+  EXPECT_GE(db_.feedback_store().version_resets(), 1);
+  // The post-ANALYZE execution harvested fresh actuals under the new
+  // versions, so the loop closes again on the next compile.
+  EXPECT_TRUE(run2->feedback_harvested);
+  auto run3 = db_.Query(kSkewSql, OptimizerPath::kOrca);
+  ASSERT_TRUE(run3.ok());
+  EXPECT_LE(run3->feedback_max_q_error, 2.0);
+}
+
+TEST_F(FeedbackLoopTest, FeedbackOffIsInert) {
+  db_.feedback_config().enable = false;
+  auto run1 = db_.Query(kSkewSql, OptimizerPath::kOrca);
+  ASSERT_TRUE(run1.ok());
+  EXPECT_FALSE(run1->feedback_harvested);
+  auto run2 = db_.Query(kSkewSql, OptimizerPath::kOrca);
+  ASSERT_TRUE(run2.ok());
+  EXPECT_TRUE(run2->plan_cache_hit);  // no drift eviction without feedback
+  EXPECT_EQ(run2->feedback_actual_overrides, 0);
+  EXPECT_EQ(db_.feedback_store().Size(), 0u);
+  auto explain = db_.Explain(kSkewSql, OptimizerPath::kOrca);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_EQ(explain->find("cardinality_source: actual"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fast-AGMS sketches as the second estimator: join-key streams sketched
+// during hash-join execution feed join-size estimates for sub-joins the
+// executed plan never materialized (no actual exists for them).
+// ---------------------------------------------------------------------------
+
+class SketchFeedbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Three tables joined on a shared key domain: the executed two-join
+    // plan yields actuals for its own subtrees only, so the third
+    // two-table combination must come from sketches on the next compile.
+    ASSERT_TRUE(db_.ExecuteSql(
+                       "CREATE TABLE ta (a_id INT NOT NULL PRIMARY KEY, "
+                       "a_k INT NOT NULL)")
+                    .ok());
+    ASSERT_TRUE(db_.ExecuteSql(
+                       "CREATE TABLE tb (b_id INT NOT NULL PRIMARY KEY, "
+                       "b_k INT NOT NULL)")
+                    .ok());
+    ASSERT_TRUE(db_.ExecuteSql(
+                       "CREATE TABLE tc (c_id INT NOT NULL PRIMARY KEY, "
+                       "c_k INT NOT NULL)")
+                    .ok());
+    std::vector<Row> a, b, c;
+    for (int i = 0; i < 400; ++i) {
+      a.push_back({Value::Int(i), Value::Int(i % 40)});
+    }
+    for (int i = 0; i < 300; ++i) {
+      b.push_back({Value::Int(i), Value::Int(i % 40)});
+    }
+    for (int i = 0; i < 200; ++i) {
+      c.push_back({Value::Int(i), Value::Int(i % 40)});
+    }
+    ASSERT_TRUE(db_.BulkLoad("ta", std::move(a)).ok());
+    ASSERT_TRUE(db_.BulkLoad("tb", std::move(b)).ok());
+    ASSERT_TRUE(db_.BulkLoad("tc", std::move(c)).ok());
+    ASSERT_TRUE(db_.AnalyzeAll().ok());
+    db_.feedback_config().enable = true;
+    // Every compile fresh: the point is the optimizer's estimates, not
+    // cache behavior.
+    db_.plan_cache_config().enable = false;
+  }
+
+  static constexpr const char* kTripleSql =
+      "SELECT COUNT(*) FROM ta, tb, tc WHERE a_k = b_k AND b_k = c_k";
+
+  Database db_;
+};
+
+TEST_F(SketchFeedbackTest, SketchEstimatesServeUnexecutedSubJoins) {
+  auto run1 = db_.Query(kTripleSql, OptimizerPath::kOrca);
+  ASSERT_TRUE(run1.ok()) << run1.status().ToString();
+  ASSERT_TRUE(run1->used_orca);
+  EXPECT_TRUE(run1->feedback_harvested);
+  EXPECT_EQ(run1->feedback_sketch_overrides, 0);  // nothing sketched yet
+
+  // Second compile: the join search enumerates all two-table sets; the one
+  // the executed plan never built has no actual, so its cardinality comes
+  // from the harvested Fast-AGMS sketches (preferred over the histogram
+  // product).
+  auto run2 = db_.Query(kTripleSql, OptimizerPath::kOrca);
+  ASSERT_TRUE(run2.ok()) << run2.status().ToString();
+  EXPECT_GE(run2->feedback_actual_overrides, 1);
+  EXPECT_GE(run2->feedback_sketch_overrides, 1);
+
+  // Correctness is untouched: rows match the MySQL baseline.
+  auto baseline = db_.Query(kTripleSql, OptimizerPath::kMySql);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(RowsText(baseline->rows), RowsText(run1->rows));
+  EXPECT_EQ(RowsText(baseline->rows), RowsText(run2->rows));
+
+  std::string metrics = db_.MetricsJson();
+  EXPECT_NE(metrics.find("taurus.feedback.sketch_overrides"),
+            std::string::npos);
+}
+
+TEST_F(SketchFeedbackTest, SketchesCanBeDisabledIndependently) {
+  db_.feedback_config().sketches = false;
+  auto run1 = db_.Query(kTripleSql, OptimizerPath::kOrca);
+  ASSERT_TRUE(run1.ok());
+  EXPECT_TRUE(run1->feedback_harvested);
+  auto run2 = db_.Query(kTripleSql, OptimizerPath::kOrca);
+  ASSERT_TRUE(run2.ok());
+  // Actual-cardinality feedback still works; sketch overrides never fire.
+  EXPECT_GE(run2->feedback_actual_overrides, 1);
+  EXPECT_EQ(run2->feedback_sketch_overrides, 0);
+}
+
+}  // namespace
+}  // namespace taurus
