@@ -1,0 +1,161 @@
+// Admission-controller overload bench: the server core's behavior when
+// arrivals exceed run slots.
+//
+//   admit_release_qps_t<N> — raw Admit/Release round-trips through an
+//                            uncontended controller at 1/8 threads (the
+//                            fixed per-query admission overhead).
+//   overload_*             — 32 sessions x 4 queries against 2 run slots, a
+//                            shallow queue and a short deadline: end-to-end
+//                            qps plus how the offered load decomposed into
+//                            direct admits, sheds and structured
+//                            rejections. Every query must succeed, shed, or
+//                            reject — anything else aborts the bench.
+//
+// Usage: micro_admission [--ms=200] [--json]
+//   --json writes BENCH_admission.json for CI trending.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/server.h"
+#include "workloads/tpch.h"
+
+using namespace taurus_bench;  // NOLINT
+
+namespace {
+
+/// Aggregate Admit+Release round-trips/sec with `threads` workers.
+double AdmitReleaseQps(taurus::Server* server, int threads, int duration_ms) {
+  std::atomic<bool> stop{false};
+  std::atomic<long long> total{0};
+  std::vector<std::thread> pool;
+  auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      long long ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto ticket = server->admission().Admit(taurus::AdmissionRequest{});
+        if (!ticket.ok()) std::abort();  // uncontended: must always admit
+        server->admission().Release(ticket.value());
+        ++ops;
+      }
+      total.fetch_add(ops, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : pool) th.join();
+  double secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return static_cast<double>(total.load()) / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int duration_ms = static_cast<int>(ArgInt(argc, argv, "--ms=", 200));
+  const bool json = ArgFlag(argc, argv, "--json");
+
+  taurus::Database db;
+  {
+    auto st = taurus::SetupTpch(&db, 0.001);
+    if (!st.ok()) {
+      std::fprintf(stderr, "setup failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  db.router_config().complex_query_threshold = 1;
+
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("hardware_workers",
+                       taurus::ThreadPool::HardwareWorkers());
+
+  // Leg 1: raw admission overhead, no slot contention.
+  PrintHeader("admission controller: raw Admit/Release round-trips");
+  {
+    taurus::Server server(&db);
+    server.server_config().max_concurrent_queries = 1 << 20;
+    for (int threads : {1, 8}) {
+      double qps = AdmitReleaseQps(&server, threads, duration_ms);
+      std::printf("  threads=%-2d %25.0f qps\n", threads, qps);
+      metrics.emplace_back("admit_release_qps_t" + std::to_string(threads),
+                           qps);
+    }
+  }
+
+  // Leg 2: overload — 32 sessions of 4 kAuto queries against 2 run slots.
+  PrintHeader("admission controller: overload (32 sessions, 2 run slots)");
+  {
+    taurus::Server server(&db);
+    server.server_config().max_concurrent_queries = 2;
+    server.server_config().admission_queue_depth = 4;
+    server.server_config().session_deadline_ms = 25.0;
+    server.server_config().shed_to_mysql = true;
+
+    constexpr int kSessions = 32;
+    constexpr int kQueriesPerSession = 4;
+    const std::string& sql = taurus::TpchQueries()[5];  // Q6: cheap scan
+
+    std::atomic<int> ok{0}, shed{0}, rejected{0};
+    std::atomic<double> wait_ms_sum{0.0};
+    std::vector<std::thread> threads;
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSessions; ++i) {
+      threads.emplace_back([&] {
+        auto session = server.CreateSession();
+        if (!session.ok()) std::abort();
+        for (int q = 0; q < kQueriesPerSession; ++q) {
+          auto res = session.value()->Query(sql, taurus::OptimizerPath::kAuto);
+          if (res.ok()) {
+            ok.fetch_add(1);
+            if (res->shed) shed.fetch_add(1);
+            double expected = wait_ms_sum.load();
+            while (!wait_ms_sum.compare_exchange_weak(
+                expected, expected + res->admission_wait_ms)) {
+            }
+          } else if (res.status().code() ==
+                         taurus::StatusCode::kResourceExhausted &&
+                     res.status().origin_subsystem() == "server.admission") {
+            rejected.fetch_add(1);
+          } else {
+            std::fprintf(stderr, "unexpected failure: %s\n",
+                         res.status().ToString().c_str());
+            std::abort();
+          }
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+    const int total = kSessions * kQueriesPerSession;
+    const double qps = static_cast<double>(ok.load()) / secs;
+    const double avg_wait =
+        ok.load() > 0 ? wait_ms_sum.load() / ok.load() : 0.0;
+    std::printf("  offered=%d ok=%d shed=%d rejected=%d\n", total, ok.load(),
+                shed.load(), rejected.load());
+    std::printf("  completed qps=%.0f  avg admission wait=%.2f ms\n", qps,
+                avg_wait);
+    if (ok.load() + rejected.load() != total) {
+      std::fprintf(stderr, "lost queries under overload\n");
+      return 1;
+    }
+
+    metrics.emplace_back("overload_offered", total);
+    metrics.emplace_back("overload_ok", ok.load());
+    metrics.emplace_back("overload_shed", shed.load());
+    metrics.emplace_back("overload_rejected", rejected.load());
+    metrics.emplace_back("overload_qps", qps);
+    metrics.emplace_back("overload_avg_wait_ms", avg_wait);
+  }
+
+  if (json) WriteBenchJson("admission", metrics);
+  return 0;
+}

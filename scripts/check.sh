@@ -12,7 +12,11 @@
 #     opt-in sanitizer mode: builds with -fsanitize=<value> in its own
 #     build dir (build-asan / build-ubsan / build-tsan / build-san) and
 #     runs the suite under the sanitizer. The thread leg exercises the
-#     morsel-driven parallel executor's concurrency.
+#     morsel-driven parallel executor's concurrency and the multi-session
+#     server stress test (server_stress_test: admission queueing, overload
+#     shedding, and the striped plan-cache/quarantine/feedback hot paths
+#     under {4,16,64} concurrent sessions; its ctest TIMEOUT fails a
+#     deadlock fast instead of hanging the leg).
 #   TAURUS_LINT=1 scripts/check.sh
 #     lint mode: runs clang-tidy (config in .clang-tidy) over src/ using
 #     the compile database from the default build dir instead of the test
@@ -83,6 +87,12 @@ fi
 # BENCH_feedback.json for CI trending.
 echo "check.sh: feedback-loop bench (BENCH_feedback.json)"
 (cd "$build_dir" && "./bench/micro_feedback" --json)
+
+# Server-core benches: striped plan-cache hit throughput at 1/4/16 threads
+# and the admission controller under overload (sheds + rejections).
+echo "check.sh: server benches (BENCH_plan_cache_mt.json, BENCH_admission.json)"
+(cd "$build_dir" && "./bench/micro_plan_cache_mt" --json)
+(cd "$build_dir" && "./bench/micro_admission" --json)
 
 echo "check.sh: leg 2/2 — Debug, plan verifiers always on"
 debug_dir="$repo_root/build-debug"

@@ -219,9 +219,9 @@ Status Database::AnalyzeAll() {
 
 Result<std::unique_ptr<CompiledQuery>> Database::Compile(
     const std::string& sql, OptimizerPath path) {
-  Tracer* tracer = BeginTrace();
-  ScopedSpan compile_span(tracer, "compile");
-  return CompileInternal(sql, path, plan_cache_config_.enable, tracer);
+  std::shared_ptr<Tracer> tracer = BeginTrace(QueryOptions{});
+  ScopedSpan compile_span(tracer.get(), "compile");
+  return CompileInternal(sql, path, plan_cache_config_.enable, tracer.get());
 }
 
 void Database::BindCounters() {
@@ -281,7 +281,7 @@ void Database::ResetOptimizerHealth() {
 }
 
 void Database::SyncGaugeMetrics() {
-  const PlanCacheStats& s = plan_cache_.stats();
+  const PlanCacheStats s = plan_cache_.stats();
   metrics_.GetGauge("taurus.plan_cache.insertions")
       ->Set(static_cast<double>(s.insertions));
   metrics_.GetGauge("taurus.plan_cache.evictions")
@@ -294,8 +294,10 @@ void Database::SyncGaugeMetrics() {
       ->Set(static_cast<double>(plan_cache_.size()));
   metrics_.GetGauge("taurus.plan_cache.capacity")
       ->Set(static_cast<double>(plan_cache_.capacity()));
+  metrics_.GetGauge("taurus.plan_cache.shards")
+      ->Set(static_cast<double>(plan_cache_.shard_count()));
   metrics_.GetGauge("taurus.quarantine.entries")
-      ->Set(static_cast<double>(quarantine_.size()));
+      ->Set(static_cast<double>(quarantine_.Size()));
   metrics_.GetGauge("taurus.feedback.entries")
       ->Set(static_cast<double>(feedback_store_.Size()));
   metrics_.GetGauge("taurus.feedback.lru_evictions")
@@ -323,16 +325,21 @@ Result<QueryResult> Database::ShowStatus(const std::string& pattern) {
   return out;
 }
 
-Tracer* Database::BeginTrace() {
-  if (!trace_config_.enable) {
-    last_tracer_.reset();
-    return nullptr;
+std::shared_ptr<Tracer> Database::BeginTrace(const QueryOptions& options) {
+  std::shared_ptr<Tracer> tracer;
+  if (trace_config_.enable || options.trace) {
+    const Clock* clock = trace_config_.clock != nullptr
+                             ? trace_config_.clock
+                             : &SteadyClock::Instance();
+    tracer = std::make_shared<Tracer>(clock);
+    if (options.trace_slot != nullptr) *options.trace_slot = tracer;
   }
-  const Clock* clock = trace_config_.clock != nullptr
-                           ? trace_config_.clock
-                           : &SteadyClock::Instance();
-  last_tracer_ = std::make_unique<Tracer>(clock);
-  return last_tracer_.get();
+  // Publish as the "most recent" trace — or clear it when tracing is off,
+  // preserving the single-session contract that last_trace() is null after
+  // an untraced query.
+  std::lock_guard<std::mutex> lock(state_mu_);
+  last_tracer_ = tracer;
+  return tracer;
 }
 
 std::string Database::MakeCacheKey(const std::string& canonical,
@@ -368,25 +375,14 @@ std::string Database::MakeCacheKey(const std::string& canonical,
 }
 
 bool Database::IsQuarantined(uint64_t fingerprint_hash) const {
-  auto it = quarantine_.find(fingerprint_hash);
-  if (it == quarantine_.end()) return false;
-  const QuarantineEntry& e = it->second;
-  if (e.schema_version != catalog_.schema_version() ||
-      e.stats_version != catalog_.stats_version()) {
-    return false;  // versions moved (DDL/ANALYZE); entry is stale
-  }
-  return e.failures >= quarantine_config_.failure_threshold;
+  return quarantine_.IsQuarantined(fingerprint_hash, catalog_.schema_version(),
+                                   catalog_.stats_version(),
+                                   quarantine_config_.failure_threshold);
 }
 
 void Database::RecordDetourFailure(uint64_t fingerprint_hash) {
-  QuarantineEntry& e = quarantine_[fingerprint_hash];
-  if (e.schema_version != catalog_.schema_version() ||
-      e.stats_version != catalog_.stats_version()) {
-    e = QuarantineEntry{};
-    e.schema_version = catalog_.schema_version();
-    e.stats_version = catalog_.stats_version();
-  }
-  ++e.failures;
+  quarantine_.RecordFailure(fingerprint_hash, catalog_.schema_version(),
+                            catalog_.stats_version());
 }
 
 Result<std::unique_ptr<CompiledQuery>> Database::CompileFromCacheEntry(
@@ -446,7 +442,10 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
     const std::string& sql, OptimizerPath path, bool use_cache,
     Tracer* tracer) {
   auto start = std::chrono::steady_clock::now();
-  last_fell_back_ = false;
+  // Tracked locally (cross-session safe) and mirrored into the "most
+  // recent" member view for single-session callers.
+  bool fell_back = false;
+  SetLastFellBack(false);
 
   ScopedSpan parse_span(tracer, "parse");
   TAURUS_ASSIGN_OR_RETURN(auto parsed, ParseSelect(sql));
@@ -497,10 +496,10 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
     }
     cache_key = MakeCacheKey(canonical, path);
     ScopedSpan lookup_span(tracer, "cache.lookup");
-    const PlanCacheEntry* entry =
+    std::shared_ptr<const PlanCacheEntry> entry =
         plan_cache_.Lookup(cache_key, catalog_.schema_version(),
                            catalog_.stats_version(), feedback_version);
-    if (entry != nullptr && quarantined && entry->used_orca) entry = nullptr;
+    if (entry != nullptr && quarantined && entry->used_orca) entry.reset();
     lookup_span.Attr("hit", entry != nullptr ? "true" : "false");
     lookup_span.End();
     if (entry != nullptr) {
@@ -572,7 +571,10 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
       // post-optimization steps and trace as compile-level siblings.
       detour_span.End();
       std::unique_ptr<BlockSkeleton> skeleton = std::move(*orca_skel);
-      last_orca_metrics_ = orca.metrics();
+      {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        last_orca_metrics_ = orca.metrics();
+      }
       // Freeze before refinement consumes the statement.
       FrozenBlockSkeleton frozen;
       bool cacheable = false;
@@ -635,7 +637,8 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
     detour_span.Attr("status", detour_error.ToString());
     if (path == OptimizerPath::kOrca) return detour_error;
     counters_.fallbacks->Increment();
-    last_fell_back_ = true;
+    fell_back = true;
+    SetLastFellBack(true);
     if (quarantine_config_.enable) RecordDetourFailure(fingerprint);
     // Clean fallback: the detour may have rewritten the AST (decorrelation,
     // OR factoring) or consumed it (refinement), so re-parse and re-bind
@@ -687,7 +690,7 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
   }
   compiled->verifier_rules = mysql_report.rules_checked;
   compiled->verifier_violations = mysql_report.violations();
-  compiled->fell_back = last_fell_back_;
+  compiled->fell_back = fell_back;
   if (!detour_error.ok()) compiled->fallback_reason = detour_error.ToString();
   compiled->quarantine_hit = quarantine_hit;
   compiled->fingerprint = fingerprint;
@@ -702,6 +705,12 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
 
 Result<QueryResult> Database::Query(const std::string& sql,
                                     OptimizerPath path) {
+  return Query(sql, path, QueryOptions{});
+}
+
+Result<QueryResult> Database::Query(const std::string& sql,
+                                    OptimizerPath path,
+                                    const QueryOptions& options) {
   // SHOW STATUS / SHOW METRICS read the metrics registry and never enter
   // the SELECT pipeline (no trace, no optimizer).
   if (IsShowStatement(sql)) {
@@ -711,14 +720,15 @@ Result<QueryResult> Database::Query(const std::string& sql,
     }
     return Status::InvalidArgument("unsupported SHOW statement");
   }
-  return QueryInternal(sql, path, nullptr, nullptr);
+  return QueryInternal(sql, path, options, nullptr, nullptr);
 }
 
 Result<QueryResult> Database::QueryInternal(
-    const std::string& sql, OptimizerPath path, OpActualsMap* actuals,
-    std::unique_ptr<CompiledQuery>* compiled_out) {
+    const std::string& sql, OptimizerPath path, const QueryOptions& options,
+    OpActualsMap* actuals, std::unique_ptr<CompiledQuery>* compiled_out) {
   counters_.queries->Increment();
-  Tracer* tracer = BeginTrace();
+  std::shared_ptr<Tracer> tracer_owner = BeginTrace(options);
+  Tracer* tracer = tracer_owner.get();
   ScopedSpan query_span(tracer, "query");
   ScopedSpan compile_span(tracer, "compile");
   auto compiled_or =
@@ -747,7 +757,7 @@ Result<QueryResult> Database::QueryInternal(
                                      : &SteadyClock::Instance();
   auto start = std::chrono::steady_clock::now();
   ExecContext ctx;
-  ArmExecContext(&ctx, compiled->used_orca);
+  ArmExecContext(&ctx, compiled->used_orca, options.worker_cap);
   if (actuals != nullptr) {
     ctx.op_actuals = actuals;
     ctx.analyze_clock = analyze_clock;
@@ -818,7 +828,7 @@ Result<QueryResult> Database::QueryInternal(
     out.optimize_ms += compiled->optimize_ms;
     out.verifier_rules += compiled->verifier_rules;
     out.verifier_violations += compiled->verifier_violations;
-    ArmExecContext(&retry_ctx, /*used_orca=*/false);
+    ArmExecContext(&retry_ctx, /*used_orca=*/false, options.worker_cap);
     if (actuals != nullptr) {
       actuals->clear();  // the aborted run's partial actuals are stale
       retry_ctx.op_actuals = actuals;
@@ -918,8 +928,9 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql,
                                              OptimizerPath path) {
   OpActualsMap actuals;
   std::unique_ptr<CompiledQuery> compiled;
-  TAURUS_ASSIGN_OR_RETURN(QueryResult res,
-                          QueryInternal(sql, path, &actuals, &compiled));
+  TAURUS_ASSIGN_OR_RETURN(
+      QueryResult res,
+      QueryInternal(sql, path, QueryOptions{}, &actuals, &compiled));
   ExplainAnalyzeData data;
   data.actuals = &actuals;
   data.execute_ms = res.execute_ms;
@@ -931,8 +942,9 @@ Result<std::string> Database::ExplainAnalyzeJsonDump(const std::string& sql,
                                                      OptimizerPath path) {
   OpActualsMap actuals;
   std::unique_ptr<CompiledQuery> compiled;
-  TAURUS_ASSIGN_OR_RETURN(QueryResult res,
-                          QueryInternal(sql, path, &actuals, &compiled));
+  TAURUS_ASSIGN_OR_RETURN(
+      QueryResult res,
+      QueryInternal(sql, path, QueryOptions{}, &actuals, &compiled));
   ExplainAnalyzeData data;
   data.actuals = &actuals;
   data.execute_ms = res.execute_ms;
@@ -940,7 +952,18 @@ Result<std::string> Database::ExplainAnalyzeJsonDump(const std::string& sql,
   return ExplainAnalyzeJson(*compiled, data);
 }
 
-void Database::ArmExecContext(ExecContext* ctx, bool used_orca) {
+std::shared_ptr<ThreadPool> Database::GetPool(int workers) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_ == nullptr || pool_->size() != workers) {
+    // Resize by replacement: queries armed against the old pool keep it
+    // alive (and functional) through their ExecContext::pool_owner.
+    pool_ = std::make_shared<ThreadPool>(workers);
+  }
+  return pool_;
+}
+
+void Database::ArmExecContext(ExecContext* ctx, bool used_orca,
+                              int worker_cap) {
   if (used_orca && resource_budget_.governs_exec()) {
     // The executor budget governs the detour only; the MySQL path (and any
     // fallback re-execution) runs unbudgeted.
@@ -954,16 +977,18 @@ void Database::ArmExecContext(ExecContext* ctx, bool used_orca) {
           ctx->clock_ms() + resource_budget_.exec_deadline_ms;
     }
   }
-  int workers = exec_config_.parallel_workers;
-  if (workers <= 0) workers = ThreadPool::HardwareWorkers();
+  int pool_size = exec_config_.parallel_workers;
+  if (pool_size <= 0) pool_size = ThreadPool::HardwareWorkers();
+  int workers = pool_size;
+  // The admission controller's worker-token lease caps this query's DOP
+  // without resizing the shared pool (other queries keep their own leases).
+  if (worker_cap > 0) workers = std::min(workers, worker_cap);
   ctx->parallel_workers = workers;
   ctx->morsel_rows = std::max<int64_t>(1, exec_config_.morsel_rows);
   ctx->parallel_min_driver_rows = exec_config_.parallel_min_driver_rows;
   if (workers > 1) {
-    if (pool_ == nullptr || pool_->size() != workers) {
-      pool_ = std::make_unique<ThreadPool>(workers);
-    }
-    ctx->pool = pool_.get();
+    ctx->pool_owner = GetPool(pool_size);
+    ctx->pool = ctx->pool_owner.get();
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "engine/plan_cache.h"
+#include "engine/quarantine.h"
 #include "exec/exec_context.h"
 #include "exec/op_actuals.h"
 #include "exec/physical_plan.h"
@@ -80,6 +82,29 @@ struct QueryResult {
   /// during this query's compile (0 on cache hits and the MySQL path).
   int64_t feedback_actual_overrides = 0;
   int64_t feedback_sketch_overrides = 0;
+  /// --- Session/admission state (set by the src/server/ layer; always
+  /// default for queries issued directly against the Database) ---
+  /// True when the admission controller shed this query onto the cheap
+  /// MySQL path under overload (DESIGN.md section 12).
+  bool shed = false;
+  /// True when the query waited in the admission queue before running.
+  bool admission_queued = false;
+  /// Wall time spent waiting for admission.
+  double admission_wait_ms = 0.0;
+};
+
+/// Per-query overrides supplied by the session layer (src/server/). Plain
+/// Database::Query calls use the defaults, which change nothing.
+struct QueryOptions {
+  /// Caps the worker count for this execution (the admission controller's
+  /// worker-token lease). 0 = no cap (engine knob), 1 = force serial.
+  int worker_cap = 0;
+  /// Traces this query even when the engine-wide knob is off (per-session
+  /// tracing).
+  bool trace = false;
+  /// When set (with tracing on), the query's tracer is also retained here —
+  /// the per-session trace slot, immune to other sessions' clobbering.
+  std::shared_ptr<Tracer>* trace_slot = nullptr;
 };
 
 /// Morsel-driven parallel executor knobs (see DESIGN.md section 8).
@@ -134,6 +159,17 @@ struct TraceConfig {
 /// through the Orca detour (parse tree converter, Orca, plan converter),
 /// and the resulting skeleton is refined and executed by the MySQL-style
 /// executor. A failed Orca conversion falls back to the MySQL optimizer.
+///
+/// Concurrency contract (DESIGN.md section 12): N threads may call
+/// Query/Compile/Explain* concurrently — the plan cache is lock-striped,
+/// quarantine and feedback lookups are read-mostly, metrics are atomic,
+/// and per-query state lives on the stack or in ExecContext. Everything
+/// else must be quiesced while queries are in flight: DDL/INSERT/ANALYZE,
+/// config-knob writes, and Clear()-style maintenance calls are
+/// single-threaded operations, exactly like MySQL's LOCK TABLES barrier.
+/// The `last_*` accessors are most-recent views for single-session
+/// callers; concurrent sessions read their own QueryResult / Session
+/// trace slot instead.
 class Database {
  public:
   Database() : mdp_(catalog_) { BindCounters(); }
@@ -166,6 +202,11 @@ class Database {
   /// as Variable_name/Value rows.
   Result<QueryResult> Query(const std::string& sql,
                             OptimizerPath path = OptimizerPath::kAuto);
+
+  /// Query with per-query session overrides (worker-token cap, per-session
+  /// trace slot). The src/server/ layer calls this form.
+  Result<QueryResult> Query(const std::string& sql, OptimizerPath path,
+                            const QueryOptions& options);
 
   /// MySQL-style tree EXPLAIN; the first line marks Orca-assisted plans.
   Result<std::string> Explain(const std::string& sql,
@@ -210,8 +251,21 @@ class Database {
   std::string MetricsJson();
 
   /// The trace of the most recent traced Query/Compile/ExplainAnalyze, or
-  /// null when tracing is disabled.
-  const Tracer* last_trace() const { return last_tracer_.get(); }
+  /// null when tracing is disabled. Single-session convenience: under
+  /// concurrent sessions this is whichever traced query published last —
+  /// sessions keep their own trace via QueryOptions::trace_slot
+  /// (Session::last_trace()). The pointer stays valid until the next
+  /// traced query replaces it.
+  const Tracer* last_trace() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return last_tracer_.get();
+  }
+  /// Shared handle to the same trace (does not dangle when another session
+  /// publishes a newer one).
+  std::shared_ptr<const Tracer> last_trace_shared() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return last_tracer_;
+  }
 
   /// The skeleton-plan cache (exposed for stats, Clear() and capacity
   /// tuning in tests and benches).
@@ -227,12 +281,19 @@ class Database {
   Storage& storage() { return storage_; }
   MetadataProvider& mdp() { return mdp_; }
 
-  /// Metrics from the most recent Orca-path compilation.
-  const OrcaPathMetrics& last_orca_metrics() const {
+  /// Metrics from the most recent Orca-path compilation (most-recent view;
+  /// returned by value so the copy is internally consistent even when
+  /// another session compiles concurrently).
+  OrcaPathMetrics last_orca_metrics() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
     return last_orca_metrics_;
   }
-  /// True when the most recent kAuto/kOrca compile fell back to MySQL.
-  bool last_compile_fell_back() const { return last_fell_back_; }
+  /// True when the most recent kAuto/kOrca compile fell back to MySQL
+  /// (most-recent view; concurrent sessions read QueryResult::fell_back).
+  bool last_compile_fell_back() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return last_fell_back_;
+  }
 
   /// Snapshot of the fault-containment counters since construction (or the
   /// last reset), read from the `taurus.health.*` registry counters.
@@ -243,7 +304,10 @@ class Database {
   /// the catalog versions have not moved since.
   bool IsQuarantined(uint64_t fingerprint_hash) const;
   /// Drops all quarantine state (tests; ANALYZE/DDL clear it naturally).
-  void ClearQuarantine() { quarantine_.clear(); }
+  void ClearQuarantine() { quarantine_.Clear(); }
+  /// The quarantine registry (exposed for the stress test's no-contention
+  /// assertions and gauge sync).
+  const QuarantineTable& quarantine_table() const { return quarantine_; }
 
  private:
   /// Compile with the cache consulted (or bypassed, for the recovery path
@@ -260,15 +324,25 @@ class Database {
   /// Query with optional per-node actuals collection (EXPLAIN ANALYZE) and
   /// the final compiled plan handed back through `compiled_out`.
   Result<QueryResult> QueryInternal(const std::string& sql, OptimizerPath path,
+                                    const QueryOptions& options,
                                     OpActualsMap* actuals,
                                     std::unique_ptr<CompiledQuery>* compiled_out);
 
   /// SHOW STATUS [LIKE 'pattern']: registry snapshot as result rows.
   Result<QueryResult> ShowStatus(const std::string& pattern);
 
-  /// Starts a fresh per-query trace when tracing is enabled; returns null
-  /// (and drops the previous trace) otherwise.
-  Tracer* BeginTrace();
+  /// Starts a fresh per-query trace when tracing is enabled (engine knob or
+  /// options.trace); returns null (and drops the "most recent" slot)
+  /// otherwise. The caller must hold the returned shared_ptr for the
+  /// query's duration — the member slot can be republished by a concurrent
+  /// session at any time.
+  std::shared_ptr<Tracer> BeginTrace(const QueryOptions& options);
+
+  /// Publishes the most-recent-compile fallback flag (single-session view).
+  void SetLastFellBack(bool fell_back) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    last_fell_back_ = fell_back;
+  }
 
   /// Resolves the engine's registry counters/histograms once (ctor).
   void BindCounters();
@@ -288,14 +362,14 @@ class Database {
 
   /// Arms `ctx` for one execution attempt: the exec resource budget (Orca
   /// detour plans only) plus the parallel-executor knobs and worker pool
-  /// (created lazily, resized when the knob changes).
-  void ArmExecContext(ExecContext* ctx, bool used_orca);
+  /// (created lazily, resized when the knob changes). `worker_cap` > 0
+  /// clamps the degree of parallelism (the admission worker-token lease).
+  void ArmExecContext(ExecContext* ctx, bool used_orca, int worker_cap);
 
-  struct QuarantineEntry {
-    int failures = 0;
-    uint64_t schema_version = 0;
-    uint64_t stats_version = 0;
-  };
+  /// The shared worker pool sized by the executor knob; creation/resize is
+  /// serialized, and in-flight queries keep a retired pool alive through
+  /// ExecContext::pool_owner.
+  std::shared_ptr<ThreadPool> GetPool(int workers);
 
   /// Registry-backed engine counters, resolved once at construction so the
   /// hot paths increment atomics directly instead of re-hashing names.
@@ -341,11 +415,18 @@ class Database {
   TraceConfig trace_config_;
   MetricsRegistry metrics_;
   EngineCounters counters_;
-  std::unique_ptr<Tracer> last_tracer_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::unordered_map<uint64_t, QuarantineEntry> quarantine_;
+  QuarantineTable quarantine_;
+
+  /// Guards the "most recent" single-session views (trace, Orca metrics,
+  /// fallback flag). Leaf lock: nothing else is acquired under it.
+  mutable std::mutex state_mu_;
+  std::shared_ptr<Tracer> last_tracer_;
   OrcaPathMetrics last_orca_metrics_;
   bool last_fell_back_ = false;
+
+  /// Guards pool creation/resize; queries pin the pool via shared_ptr.
+  std::mutex pool_mu_;
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace taurus

@@ -1,6 +1,7 @@
 #include "engine/plan_cache.h"
 
 #include <algorithm>
+#include <mutex>
 #include <utility>
 
 #include "common/fault_injector.h"
@@ -210,71 +211,176 @@ Result<std::unique_ptr<BlockSkeleton>> ThawSkeleton(
   return ThawBlock(frozen, stmt.block.get(), stmt);
 }
 
-const PlanCacheEntry* PlanCache::Lookup(const std::string& key,
-                                        uint64_t schema_version,
-                                        uint64_t stats_version,
-                                        uint64_t feedback_version) {
-  auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++stats_.misses;
-    return nullptr;
+size_t PlanCache::ShardCountFor(size_t capacity) {
+  if (capacity < kShardingThreshold) return 1;
+  // Keep at least 8 slots per shard so per-shard LRU slices stay useful.
+  return std::min(kMaxShards, capacity / 8);
+}
+
+PlanCache::PlanCache(size_t capacity)
+    : capacity_(capacity), shard_count_(ShardCountFor(capacity)) {
+  ApplyCapacityLocked(capacity);  // single-threaded in the constructor
+}
+
+std::shared_ptr<const PlanCacheEntry> PlanCache::Lookup(
+    const std::string& key, uint64_t schema_version, uint64_t stats_version,
+    uint64_t feedback_version) {
+  Shard& shard = shards_[ShardIndex(key, shard_count())];
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    PlanCacheEntry& entry = *it->second;
+    bool fresh = entry.schema_version == schema_version &&
+                 entry.stats_version == stats_version &&
+                 entry.feedback_version == feedback_version;
+    if (fresh) {
+      // Hit path: shared lock only. Recency and hit count go through
+      // atomic_ref because other readers race on the same fields.
+      std::atomic_ref<uint64_t>(entry.last_used)
+          .store(NextTick(), std::memory_order_relaxed);
+      std::atomic_ref<int64_t>(entry.hit_count)
+          .fetch_add(1, std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
-  PlanCacheEntry& entry = it->second->entry;
-  if (entry.schema_version != schema_version ||
-      entry.stats_version != stats_version) {
-    // Compiled against an older catalog: DDL or ANALYZE happened since.
-    lru_.erase(it->second);
-    index_.erase(it);
-    ++stats_.invalidations;
-    ++stats_.misses;
-    return nullptr;
+  // Stale entry: compiled against an older catalog (DDL/ANALYZE happened
+  // since) or the fingerprint's feedback drift version moved past the
+  // q-error threshold (DESIGN.md section 11). Escalate to the shard's
+  // exclusive lock and re-check — rare, so hits never pay for it.
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      const PlanCacheEntry& entry = *it->second;
+      bool version_stale = entry.schema_version != schema_version ||
+                           entry.stats_version != stats_version;
+      bool drift_stale =
+          !version_stale && entry.feedback_version != feedback_version;
+      if (version_stale || drift_stale) {
+        shard.map.erase(it);
+        (version_stale ? invalidations_ : drift_invalidations_)
+            .fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
-  if (entry.feedback_version != feedback_version) {
-    // Estimate drift: execution feedback for this fingerprint moved past
-    // the q-error threshold since this skeleton was compiled. Evict so the
-    // statement re-optimizes with harvested actuals (DESIGN.md section 11).
-    lru_.erase(it->second);
-    index_.erase(it);
-    ++stats_.drift_invalidations;
-    ++stats_.misses;
-    return nullptr;
-  }
-  lru_.splice(lru_.begin(), lru_, it->second);
-  ++stats_.hits;
-  ++entry.hit_count;
-  return &entry;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
 }
 
 void PlanCache::Insert(const std::string& key, PlanCacheEntry entry) {
-  if (capacity_ == 0) return;
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    it->second->entry = std::move(entry);
-    lru_.splice(lru_.begin(), lru_, it->second);
+  if (capacity() == 0) return;
+  entry.last_used = NextTick();
+  auto node = std::make_shared<PlanCacheEntry>(std::move(entry));
+  Shard& shard = shards_[ShardIndex(key, shard_count())];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // Replace in place; readers holding the old shared_ptr keep a valid
+    // (if superseded) entry.
+    it->second = std::move(node);
     return;
   }
-  lru_.push_front(Node{key, std::move(entry)});
-  index_[key] = lru_.begin();
-  ++stats_.insertions;
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++stats_.evictions;
+  shard.map.emplace(key, std::move(node));
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  EvictOverCapacityLocked(&shard);
+}
+
+void PlanCache::EvictOverCapacityLocked(Shard* shard) {
+  while (shard->map.size() > shard->capacity) {
+    auto victim = shard->map.begin();
+    uint64_t victim_used =
+        std::atomic_ref<uint64_t>(victim->second->last_used)
+            .load(std::memory_order_relaxed);
+    for (auto it = shard->map.begin(); it != shard->map.end(); ++it) {
+      uint64_t used = std::atomic_ref<uint64_t>(it->second->last_used)
+                          .load(std::memory_order_relaxed);
+      if (used < victim_used) {
+        victim = it;
+        victim_used = used;
+      }
+    }
+    shard->map.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void PlanCache::Clear() {
-  lru_.clear();
-  index_.clear();
+  for (auto& shard : shards_) {  // ascending index: the lock hierarchy
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+}
+
+size_t PlanCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+void PlanCache::ApplyCapacityLocked(size_t capacity) {
+  size_t new_count = ShardCountFor(capacity);
+  size_t old_count = shard_count_.load(std::memory_order_relaxed);
+  if (new_count != old_count) {
+    // Re-shard: pull every entry out and re-home it under the new count.
+    std::vector<std::pair<std::string, std::shared_ptr<PlanCacheEntry>>> all;
+    for (auto& shard : shards_) {
+      for (auto& [key, node] : shard.map) {
+        all.emplace_back(key, std::move(node));
+      }
+      shard.map.clear();
+    }
+    shard_count_.store(new_count, std::memory_order_relaxed);
+    for (auto& [key, node] : all) {
+      shards_[ShardIndex(key, new_count)].map.emplace(key, std::move(node));
+    }
+  }
+  capacity_.store(capacity, std::memory_order_relaxed);
+  size_t base = new_count > 0 ? capacity / new_count : 0;
+  size_t rem = new_count > 0 ? capacity % new_count : 0;
+  for (size_t i = 0; i < kMaxShards; ++i) {
+    shards_[i].capacity = i < new_count ? base + (i < rem ? 1 : 0) : 0;
+  }
+  for (size_t i = 0; i < new_count; ++i) {
+    EvictOverCapacityLocked(&shards_[i]);
+  }
 }
 
 void PlanCache::set_capacity(size_t capacity) {
-  capacity_ = capacity;
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++stats_.evictions;
+  // All-shard exclusive section, ascending index order (lock hierarchy).
+  std::array<std::unique_lock<std::shared_mutex>, kMaxShards> locks;
+  for (size_t i = 0; i < kMaxShards; ++i) {
+    locks[i] = std::unique_lock<std::shared_mutex>(shards_[i].mu);
   }
+  ApplyCapacityLocked(capacity);
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  out.drift_invalidations =
+      drift_invalidations_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void PlanCache::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  invalidations_.store(0, std::memory_order_relaxed);
+  drift_invalidations_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace taurus

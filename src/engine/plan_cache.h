@@ -1,9 +1,11 @@
 #ifndef TAURUS_ENGINE_PLAN_CACHE_H_
 #define TAURUS_ENGINE_PLAN_CACHE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -109,50 +111,104 @@ struct PlanCacheEntry {
   /// exactly this entry on its next lookup.
   uint64_t feedback_version = 0;
   int64_t hit_count = 0;
+  /// Recency stamp from the cache's global tick counter; accessed via
+  /// std::atomic_ref on the hit path (shared lock only).
+  uint64_t last_used = 0;
 };
 
-/// LRU cache of frozen skeleton plans keyed by statement fingerprint (plus
-/// routing tag). Invalidation is version-based: a lookup whose entry was
-/// compiled against older catalog schema/stats versions drops the entry and
-/// reports a miss, so DDL and ANALYZE never serve a stale plan.
+/// Lock-striped LRU cache of frozen skeleton plans keyed by statement
+/// fingerprint (plus routing tag). Invalidation is version-based: a lookup
+/// whose entry was compiled against older catalog schema/stats versions
+/// drops the entry and reports a miss, so DDL and ANALYZE never serve a
+/// stale plan.
+///
+/// Concurrency contract: keys hash to one of up to kMaxShards shards, each
+/// guarded by its own shared_mutex. The hit path takes only a per-shard
+/// *shared* lock and touches recency/hit-count through std::atomic_ref, so
+/// concurrent hits on warm entries never serialize on a writer lock; stale
+/// entries escalate to the shard's exclusive lock (rare: only after
+/// DDL/ANALYZE or a feedback drift bump). Entries are handed out as
+/// shared_ptr so a thaw proceeding after the lock is released cannot race
+/// an eviction. Stats are relaxed atomics. `set_capacity`/`Clear` take all
+/// shard locks in ascending index order (the lock hierarchy — no other
+/// path ever holds two shard locks) and, like the config knobs that drive
+/// them, must be quiesced relative to in-flight queries.
+///
+/// LRU is approximate across shards (each shard evicts its own
+/// least-recently-stamped entry over its capacity slice) but exact within
+/// one shard; capacities below kShardingThreshold use a single shard, so
+/// small caches keep the exact global-LRU semantics the unit tests pin.
 class PlanCache {
  public:
-  explicit PlanCache(size_t capacity = 64) : capacity_(capacity) {}
+  explicit PlanCache(size_t capacity = 64);
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
   /// Returns the entry for `key` if present and compiled against the given
   /// catalog versions; bumps it to most-recently-used. Returns nullptr on
-  /// miss (and erases the entry when it was stale). The pointer is valid
-  /// until the next non-const call.
-  const PlanCacheEntry* Lookup(const std::string& key,
-                               uint64_t schema_version,
-                               uint64_t stats_version,
-                               uint64_t feedback_version = 0);
+  /// miss (and erases the entry when it was stale). The returned entry
+  /// stays valid for the caller's lifetime even if concurrently evicted.
+  std::shared_ptr<const PlanCacheEntry> Lookup(const std::string& key,
+                                               uint64_t schema_version,
+                                               uint64_t stats_version,
+                                               uint64_t feedback_version = 0);
 
   /// Inserts (or replaces) the entry for `key`, evicting the least
-  /// recently used entry when over capacity.
+  /// recently used entry in the key's shard when over capacity.
   void Insert(const std::string& key, PlanCacheEntry entry);
 
   void Clear();
   /// Shrinking below the current size evicts least-recently-used entries.
+  /// May re-shard; must not run concurrently with queries (config-change
+  /// contract).
   void set_capacity(size_t capacity);
-  size_t capacity() const { return capacity_; }
-  size_t size() const { return lru_.size(); }
+  size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+  size_t size() const;
+  size_t shard_count() const {
+    return shard_count_.load(std::memory_order_relaxed);
+  }
 
-  const PlanCacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = PlanCacheStats(); }
+  /// Snapshot of the relaxed atomic counters (exact once quiescent).
+  PlanCacheStats stats() const;
+  void ResetStats();
 
  private:
-  struct Node {
-    std::string key;
-    PlanCacheEntry entry;
+  static constexpr size_t kMaxShards = 16;
+  /// Capacities below this use one shard: exact LRU for small caches,
+  /// striping only where there is room for it to matter.
+  static constexpr size_t kShardingThreshold = 16;
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<PlanCacheEntry>> map;
+    size_t capacity = 0;  ///< this shard's slice of the global capacity
   };
 
-  std::list<Node> lru_;  ///< front = most recently used
-  std::unordered_map<std::string, std::list<Node>::iterator> index_;
-  size_t capacity_;
-  PlanCacheStats stats_;
+  static size_t ShardCountFor(size_t capacity);
+  size_t ShardIndex(const std::string& key, size_t count) const {
+    return count <= 1 ? 0 : std::hash<std::string>{}(key) % count;
+  }
+  uint64_t NextTick() {
+    return tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  /// Requires the shard's exclusive lock.
+  void EvictOverCapacityLocked(Shard* shard);
+  /// Requires all shard locks; recomputes slices and re-shards if needed.
+  void ApplyCapacityLocked(size_t capacity);
+
+  std::array<Shard, kMaxShards> shards_;
+  std::atomic<size_t> capacity_;
+  std::atomic<size_t> shard_count_;
+  std::atomic<uint64_t> tick_{0};
+
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> insertions_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> invalidations_{0};
+  std::atomic<int64_t> drift_invalidations_{0};
 };
 
 }  // namespace taurus

@@ -1,0 +1,58 @@
+#include "engine/quarantine.h"
+
+#include <mutex>
+
+namespace taurus {
+
+bool QuarantineTable::IsQuarantined(uint64_t fingerprint,
+                                    uint64_t schema_version,
+                                    uint64_t stats_version,
+                                    int failure_threshold) const {
+  // Empty-table fast path: one relaxed-atomic load, no lock. Acquire pairs
+  // with the release store in RecordFailure so a non-zero size observes the
+  // map contents that produced it.
+  if (size_.load(std::memory_order_acquire) == 0) {
+    fast_path_checks_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shared_checks_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = map_.find(fingerprint);
+  if (it == map_.end()) return false;
+  const Entry& e = it->second;
+  if (e.schema_version != schema_version || e.stats_version != stats_version) {
+    // Versions moved (DDL/ANALYZE): the quarantine is lifted. The stale
+    // entry stays until the next RecordFailure resets it — erasing here
+    // would turn a read into a write on the hot path.
+    return false;
+  }
+  return e.failures >= failure_threshold;
+}
+
+void QuarantineTable::RecordFailure(uint64_t fingerprint,
+                                    uint64_t schema_version,
+                                    uint64_t stats_version) {
+  exclusive_updates_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Entry& e = map_[fingerprint];
+  if (e.schema_version != schema_version || e.stats_version != stats_version) {
+    e = Entry{};
+    e.schema_version = schema_version;
+    e.stats_version = stats_version;
+  }
+  ++e.failures;
+  size_.store(map_.size(), std::memory_order_release);
+}
+
+void QuarantineTable::Clear() {
+  exclusive_updates_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  map_.clear();
+  size_.store(0, std::memory_order_release);
+}
+
+size_t QuarantineTable::Size() const {
+  return size_.load(std::memory_order_acquire);
+}
+
+}  // namespace taurus

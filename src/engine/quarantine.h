@@ -1,0 +1,75 @@
+#ifndef TAURUS_ENGINE_QUARANTINE_H_
+#define TAURUS_ENGINE_QUARANTINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace taurus {
+
+/// Per-fingerprint quarantine registry for statements that repeatedly fail
+/// the Orca detour (DESIGN.md section 7). Sits directly on the compile hot
+/// path — every fingerprinted compile asks IsQuarantined — so the common
+/// case (nothing quarantined) is a single relaxed atomic load with no lock
+/// at all, and lookups against a non-empty table take only a shared lock.
+/// Writes (recording a detour failure) are rare by construction: each one
+/// means an optimizer bug or budget kill already happened.
+///
+/// The fast-path / shared / exclusive counters exist so the concurrency
+/// stress test can assert the hot path never degraded to locking: with an
+/// empty table, `shared_checks() == 0` across any number of sessions.
+class QuarantineTable {
+ public:
+  QuarantineTable() = default;
+  QuarantineTable(const QuarantineTable&) = delete;
+  QuarantineTable& operator=(const QuarantineTable&) = delete;
+
+  /// True when `fingerprint` has at least `failure_threshold` recorded
+  /// failures and the catalog versions have not moved since (a DDL/ANALYZE
+  /// version bump makes the entry stale, lifting the quarantine).
+  bool IsQuarantined(uint64_t fingerprint, uint64_t schema_version,
+                     uint64_t stats_version, int failure_threshold) const;
+
+  /// Counts one detour failure; an entry recorded under older catalog
+  /// versions restarts from zero.
+  void RecordFailure(uint64_t fingerprint, uint64_t schema_version,
+                     uint64_t stats_version);
+
+  void Clear();
+  size_t Size() const;
+
+  /// Lookups answered by the lock-free empty check alone.
+  int64_t fast_path_checks() const {
+    return fast_path_checks_.load(std::memory_order_relaxed);
+  }
+  /// Lookups that had to take the shared lock (table non-empty).
+  int64_t shared_checks() const {
+    return shared_checks_.load(std::memory_order_relaxed);
+  }
+  /// Writes (RecordFailure/Clear) that took the exclusive lock.
+  int64_t exclusive_updates() const {
+    return exclusive_updates_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    int failures = 0;
+    uint64_t schema_version = 0;
+    uint64_t stats_version = 0;
+  };
+
+  /// Mirrors map_.size(); maintained under the exclusive lock, read
+  /// lock-free by IsQuarantined's empty fast path.
+  std::atomic<size_t> size_{0};
+  mutable std::shared_mutex mu_;
+  std::unordered_map<uint64_t, Entry> map_;
+
+  mutable std::atomic<int64_t> fast_path_checks_{0};
+  mutable std::atomic<int64_t> shared_checks_{0};
+  mutable std::atomic<int64_t> exclusive_updates_{0};
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_ENGINE_QUARANTINE_H_

@@ -65,6 +65,12 @@ struct ExecContext {
   /// Worker pool, or null to force every pipeline serial. Worker shards
   /// never carry a pool (no nested parallelism).
   ThreadPool* pool = nullptr;
+  /// Keeps the engine's shared pool alive for this execution: with
+  /// concurrent sessions, a knob change can retire the engine's pool while
+  /// queries armed against it are still running. The control block is
+  /// created where ThreadPool is complete (database.cc), so the forward
+  /// declaration suffices here.
+  std::shared_ptr<ThreadPool> pool_owner;
   /// Resolved degree-of-parallelism knob (>= 1; 1 = serial).
   int parallel_workers = 1;
   /// Rows per morsel carved from the driving table scan.

@@ -51,35 +51,66 @@ double FeedbackStore::NowMs() const {
   return clock->NowMs();
 }
 
-void FeedbackStore::EraseLocked(std::list<Entry>::iterator it) {
-  index_.erase(it->fingerprint);
-  lru_.erase(it);
+void FeedbackStore::EvictOverCapacityLocked() {
+  size_t cap = std::max<size_t>(config_.store_capacity, 1);
+  while (index_.size() > cap) {
+    auto victim = index_.begin();
+    uint64_t victim_used = std::atomic_ref<uint64_t>(victim->second->last_used)
+                               .load(std::memory_order_relaxed);
+    for (auto it = index_.begin(); it != index_.end(); ++it) {
+      uint64_t used = std::atomic_ref<uint64_t>(it->second->last_used)
+                          .load(std::memory_order_relaxed);
+      if (used < victim_used) {
+        victim = it;
+        victim_used = used;
+      }
+    }
+    index_.erase(victim);
+    lru_evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::shared_ptr<const FeedbackSnapshot> FeedbackStore::Snapshot(
     uint64_t fingerprint, uint64_t schema_version, uint64_t stats_version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  {
+    // Hot path: shared lock only. The snapshot pointer and version stamps
+    // are written exclusively under the unique lock, so reading them here
+    // is race-free; recency goes through atomic_ref because concurrent
+    // readers race on the stamp.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto idx = index_.find(fingerprint);
+    if (idx == index_.end()) return nullptr;
+    const Entry& e = *idx->second;
+    bool stale = e.schema_version != schema_version ||
+                 e.stats_version != stats_version;
+    bool aged = !stale && config_.max_entry_age_ms > 0.0 &&
+                NowMs() - e.harvested_at_ms > config_.max_entry_age_ms;
+    if (!stale && !aged) {
+      std::atomic_ref<uint64_t>(idx->second->last_used)
+          .store(NextTick(), std::memory_order_relaxed);
+      return e.snapshot;
+    }
+  }
+  // Stale (DDL/ANALYZE since harvest) or aged out: escalate to the
+  // exclusive lock, re-check, and erase — rare, so readers never pay.
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto idx = index_.find(fingerprint);
   if (idx == index_.end()) return nullptr;
-  auto it = idx->second;
-  if (it->schema_version != schema_version ||
-      it->stats_version != stats_version) {
-    ++version_resets_;
-    EraseLocked(it);
-    return nullptr;
+  const Entry& e = *idx->second;
+  if (e.schema_version != schema_version ||
+      e.stats_version != stats_version) {
+    version_resets_.fetch_add(1, std::memory_order_relaxed);
+    index_.erase(idx);
+  } else if (config_.max_entry_age_ms > 0.0 &&
+             NowMs() - e.harvested_at_ms > config_.max_entry_age_ms) {
+    aged_out_.fetch_add(1, std::memory_order_relaxed);
+    index_.erase(idx);
   }
-  if (config_.max_entry_age_ms > 0.0 &&
-      NowMs() - it->harvested_at_ms > config_.max_entry_age_ms) {
-    ++aged_out_;
-    EraseLocked(it);
-    return nullptr;
-  }
-  lru_.splice(lru_.begin(), lru_, it);  // touch
-  return it->snapshot;
+  return nullptr;
 }
 
 uint64_t FeedbackStore::DriftVersion(uint64_t fingerprint) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto idx = index_.find(fingerprint);
   if (idx == index_.end()) return 0;
   return idx->second->drift_version;
@@ -98,19 +129,17 @@ HarvestResult FeedbackStore::Harvest(uint64_t fingerprint,
     out.max_q_error = std::max(out.max_q_error, SampleQError(est, it->second));
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto idx = index_.find(fingerprint);
   Entry* entry = nullptr;
   if (idx != index_.end()) {
-    auto it = idx->second;
-    if (it->schema_version != schema_version ||
-        it->stats_version != stats_version) {
+    if (idx->second->schema_version != schema_version ||
+        idx->second->stats_version != stats_version) {
       // DDL / ANALYZE since the last harvest: feedback state resets.
-      ++version_resets_;
-      EraseLocked(it);
+      version_resets_.fetch_add(1, std::memory_order_relaxed);
+      index_.erase(idx);
     } else {
-      lru_.splice(lru_.begin(), lru_, it);
-      entry = &*it;
+      entry = idx->second.get();
     }
   }
 
@@ -118,14 +147,16 @@ HarvestResult FeedbackStore::Harvest(uint64_t fingerprint,
                   MateriallyDiffer(sample.node_actuals,
                                    entry->snapshot->node_actuals);
   if (entry == nullptr) {
-    lru_.push_front(Entry{});
-    entry = &lru_.front();
+    auto node = std::make_shared<Entry>();
+    entry = node.get();
     entry->fingerprint = fingerprint;
     entry->snapshot = std::make_shared<FeedbackSnapshot>();
     entry->schema_version = schema_version;
     entry->stats_version = stats_version;
-    index_[fingerprint] = lru_.begin();
+    index_[fingerprint] = std::move(node);
   }
+  std::atomic_ref<uint64_t>(entry->last_used)
+      .store(NextTick(), std::memory_order_relaxed);
 
   // Copy-on-write: compiles may still hold the old snapshot.
   auto next = std::make_shared<FeedbackSnapshot>(*entry->snapshot);
@@ -144,37 +175,30 @@ HarvestResult FeedbackStore::Harvest(uint64_t fingerprint,
   }
   out.stored = true;
 
-  while (lru_.size() > std::max<size_t>(config_.store_capacity, 1)) {
-    ++lru_evictions_;
-    EraseLocked(std::prev(lru_.end()));
-  }
+  EvictOverCapacityLocked();
   return out;
 }
 
 void FeedbackStore::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  lru_.clear();
+  std::unique_lock<std::shared_mutex> lock(mu_);
   index_.clear();
 }
 
 size_t FeedbackStore::Size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return lru_.size();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return index_.size();
 }
 
 int64_t FeedbackStore::lru_evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return lru_evictions_;
+  return lru_evictions_.load(std::memory_order_relaxed);
 }
 
 int64_t FeedbackStore::aged_out() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return aged_out_;
+  return aged_out_.load(std::memory_order_relaxed);
 }
 
 int64_t FeedbackStore::version_resets() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return version_resets_;
+  return version_resets_.load(std::memory_order_relaxed);
 }
 
 }  // namespace taurus

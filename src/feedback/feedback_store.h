@@ -1,11 +1,11 @@
 #ifndef TAURUS_FEEDBACK_FEEDBACK_STORE_H_
 #define TAURUS_FEEDBACK_FEEDBACK_STORE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -74,6 +74,14 @@ struct HarvestResult {
 /// fingerprint. Entries are stamped with the catalog schema/stats versions
 /// in force when harvested, so DDL and ANALYZE reset feedback state the
 /// same way they invalidate cached plans.
+///
+/// Concurrency contract: the compile hot path (Snapshot / DriftVersion)
+/// takes only a shared lock — concurrent compiles never serialize on the
+/// store — touching LRU recency through an atomic_ref stamp. Writers
+/// (Harvest, Clear) and the rare stale/aged erase inside Snapshot take the
+/// exclusive lock. Snapshots are copy-on-write shared_ptrs, so a compile
+/// keeps a consistent view even while a concurrent execution harvests over
+/// the same fingerprint.
 class FeedbackStore {
  public:
   /// Holds a reference to `config`: the caller's knob object must outlive
@@ -116,19 +124,26 @@ class FeedbackStore {
     uint64_t schema_version = 0;
     uint64_t stats_version = 0;
     double harvested_at_ms = 0.0;
+    /// Recency stamp from tick_; bumped via atomic_ref under the shared
+    /// lock (Snapshot) and plainly under the exclusive lock (Harvest).
+    uint64_t last_used = 0;
   };
 
   double NowMs() const;
-  /// Erases the entry at `it` (must hold mu_).
-  void EraseLocked(std::list<Entry>::iterator it);
+  uint64_t NextTick() {
+    return tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  /// Evicts least-recently-stamped entries beyond capacity (exclusive lock
+  /// required).
+  void EvictOverCapacityLocked();
 
   const FeedbackConfig& config_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
-  int64_t lru_evictions_ = 0;
-  int64_t aged_out_ = 0;
-  int64_t version_resets_ = 0;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Entry>> index_;
+  std::atomic<uint64_t> tick_{0};
+  std::atomic<int64_t> lru_evictions_{0};
+  std::atomic<int64_t> aged_out_{0};
+  std::atomic<int64_t> version_resets_{0};
 };
 
 }  // namespace taurus

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <shared_mutex>
 
 #include "catalog/histogram.h"
 #include "common/fault_injector.h"
@@ -345,18 +347,25 @@ Result<MdpRelationInfo> MetadataProvider::ParseRelationDxl(
 
 Result<const MdpRelationInfo*> MetadataProvider::GetRelation(
     int64_t relation_oid) {
-  auto it = cache_.find(relation_oid);
-  if (it != cache_.end()) {
-    ++cache_hits_;
-    return it->second.get();
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = cache_.find(relation_oid);
+    if (it != cache_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.get();
+    }
   }
-  ++dxl_requests_;
+  // Miss: serialize + parse outside any lock (both are pure reads of the
+  // catalog), then insert double-checked — a racing compile may have
+  // populated the entry meanwhile, in which case its copy wins.
+  dxl_requests_.fetch_add(1, std::memory_order_relaxed);
   TAURUS_ASSIGN_OR_RETURN(std::string dxl, RelationToDxl(relation_oid));
   TAURUS_ASSIGN_OR_RETURN(MdpRelationInfo info, ParseRelationDxl(dxl));
   auto owned = std::make_unique<MdpRelationInfo>(std::move(info));
-  const MdpRelationInfo* ptr = owned.get();
-  cache_[relation_oid] = std::move(owned);
-  return ptr;
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  auto [it, inserted] = cache_.emplace(relation_oid, std::move(owned));
+  if (!inserted) cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.get();
 }
 
 }  // namespace taurus

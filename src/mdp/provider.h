@@ -1,8 +1,10 @@
 #ifndef TAURUS_MDP_PROVIDER_H_
 #define TAURUS_MDP_PROVIDER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -87,18 +89,26 @@ class MetadataProvider {
   static Result<MdpRelationInfo> ParseRelationDxl(const std::string& dxl);
 
   /// Cached fetch: serializes + parses on first use, then serves from the
-  /// metadata cache.
+  /// metadata cache. Thread-safe: concurrent compiles take a shared lock on
+  /// the hit path; a miss serializes/parses outside the lock and inserts
+  /// double-checked. Returned pointers stay valid for the provider's
+  /// lifetime (entries are never evicted, only added).
   Result<const MdpRelationInfo*> GetRelation(int64_t relation_oid);
 
   // Cache instrumentation.
-  int64_t dxl_requests() const { return dxl_requests_; }
-  int64_t cache_hits() const { return cache_hits_; }
+  int64_t dxl_requests() const {
+    return dxl_requests_.load(std::memory_order_relaxed);
+  }
+  int64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
 
  private:
   const Catalog* catalog_;
+  mutable std::shared_mutex cache_mu_;
   std::map<int64_t, std::unique_ptr<MdpRelationInfo>> cache_;
-  int64_t dxl_requests_ = 0;
-  int64_t cache_hits_ = 0;
+  std::atomic<int64_t> dxl_requests_{0};
+  std::atomic<int64_t> cache_hits_{0};
 };
 
 }  // namespace taurus

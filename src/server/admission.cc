@@ -1,0 +1,170 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "common/thread_pool.h"
+
+namespace taurus {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const ServerConfig& config,
+                                         MetricsRegistry* metrics)
+    : config_(config),
+      admitted_(metrics->GetCounter("taurus.server.admitted")),
+      queued_total_(metrics->GetCounter("taurus.server.queued")),
+      shed_(metrics->GetCounter("taurus.server.shed")),
+      rejected_queue_full_(
+          metrics->GetCounter("taurus.server.rejected_queue_full")),
+      rejected_deadline_(
+          metrics->GetCounter("taurus.server.rejected_deadline")),
+      running_gauge_(metrics->GetGauge("taurus.server.running")),
+      queue_gauge_(metrics->GetGauge("taurus.server.queue_len")) {}
+
+int AdmissionController::MaxConcurrent() const {
+  if (config_.max_concurrent_queries > 0) {
+    return config_.max_concurrent_queries;
+  }
+  return 2 * ThreadPool::HardwareWorkers();
+}
+
+int AdmissionController::TotalWorkerTokens() const {
+  if (config_.worker_tokens > 0) return config_.worker_tokens;
+  return ThreadPool::HardwareWorkers();
+}
+
+Result<AdmissionTicket> AdmissionController::Admit(
+    const AdmissionRequest& request) {
+  auto start = std::chrono::steady_clock::now();
+  const int max_concurrent = MaxConcurrent();
+  const double deadline_ms = request.deadline_ms > 0
+                                 ? request.deadline_ms
+                                 : config_.session_deadline_ms;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (tokens_free_ < 0) tokens_free_ = TotalWorkerTokens();
+
+  AdmissionTicket ticket;
+  if (running_ < max_concurrent && queue_.empty()) {
+    // Fast path: free slot, nobody ahead of us.
+    ++running_;
+  } else {
+    if (queue_.size() >= config_.admission_queue_depth) {
+      rejected_queue_full_->Increment();
+      return Status::ResourceExhausted(
+                 "admission queue full (" + std::to_string(queue_.size()) +
+                 " waiting, depth " +
+                 std::to_string(config_.admission_queue_depth) + ")")
+          .SetOrigin("server.admission", "queue_full");
+    }
+    Waiter self;
+    queue_.push_back(&self);
+    queued_total_->Increment();
+    queue_gauge_->Set(static_cast<double>(queue_.size()));
+    ticket.queued = true;
+    bool granted = true;
+    if (deadline_ms > 0) {
+      granted = cv_.wait_for(
+          lock, std::chrono::duration<double, std::milli>(deadline_ms),
+          [&self] { return self.granted; });
+    } else {
+      cv_.wait(lock, [&self] { return self.granted; });
+    }
+    if (!granted) {
+      // Timed out still in the queue (a grant would have flipped the flag
+      // under this same lock before the predicate re-check).
+      queue_.erase(std::find(queue_.begin(), queue_.end(), &self));
+      queue_gauge_->Set(static_cast<double>(queue_.size()));
+      rejected_deadline_->Increment();
+      return Status::ResourceExhausted(
+                 "admission deadline exceeded after " +
+                 std::to_string(MsSince(start)) + " ms (deadline " +
+                 std::to_string(deadline_ms) + " ms)")
+          .SetOrigin("server.admission", "queue_deadline");
+    }
+    // The granting Release transferred its run slot to us (running_ was
+    // not decremented), so we do not increment here.
+    queue_gauge_->Set(static_cast<double>(queue_.size()));
+  }
+  running_gauge_->Set(static_cast<double>(running_));
+  ticket.valid = true;
+  ticket.wait_ms = MsSince(start);
+
+  // Memory: nominal reservation against a soft budget. Exceeding it sheds
+  // (below) rather than blocks — the run-slot cap is the hard limiter.
+  int64_t memory = request.memory_estimate_bytes > 0
+                       ? request.memory_estimate_bytes
+                       : config_.query_memory_estimate_bytes;
+  bool over_memory = config_.memory_budget_bytes > 0 &&
+                     memory_in_use_ + memory > config_.memory_budget_bytes;
+  memory_in_use_ += memory;
+  ticket.memory_reserved_bytes = memory;
+
+  // Worker tokens: a lease below 2 buys no parallelism, so leave the
+  // tokens for a query that can use them.
+  if (request.requested_workers >= 2 && tokens_free_ >= 2) {
+    ticket.worker_tokens = std::min(request.requested_workers, tokens_free_);
+    tokens_free_ -= ticket.worker_tokens;
+  }
+
+  if (request.sheddable && config_.shed_to_mysql &&
+      (ticket.queued || over_memory)) {
+    ticket.shed = true;
+    ticket.shed_cause = over_memory ? "memory_pressure" : "queue_wait";
+    shed_->Increment();
+  }
+  admitted_->Increment();
+  return ticket;
+}
+
+void AdmissionController::Release(const AdmissionTicket& ticket) {
+  if (!ticket.valid) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_free_ += ticket.worker_tokens;
+  memory_in_use_ -= ticket.memory_reserved_bytes;
+  if (!queue_.empty()) {
+    // Hand the slot straight to the FIFO head: running_ stays constant, so
+    // a concurrent direct arrival cannot steal the slot in between and
+    // overshoot max_concurrent once the waiter wakes.
+    Waiter* next = queue_.front();
+    queue_.pop_front();
+    next->granted = true;
+    cv_.notify_all();
+  } else {
+    --running_;
+  }
+  running_gauge_->Set(static_cast<double>(running_));
+  queue_gauge_->Set(static_cast<double>(queue_.size()));
+}
+
+int AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+int AdmissionController::worker_tokens_free() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tokens_free_ < 0 ? TotalWorkerTokens() : tokens_free_;
+}
+
+int64_t AdmissionController::memory_in_use_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_in_use_;
+}
+
+}  // namespace taurus

@@ -1,0 +1,111 @@
+#ifndef TAURUS_SERVER_ADMISSION_H_
+#define TAURUS_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "server/server_config.h"
+
+namespace taurus {
+
+/// What a query asks the admission controller for.
+struct AdmissionRequest {
+  /// Max wall time to wait for a run slot; 0 = the config default
+  /// (ServerConfig::session_deadline_ms).
+  double deadline_ms = 0.0;
+  /// Desired degree of parallelism (drives the worker-token lease).
+  int requested_workers = 1;
+  /// Nominal memory for this query; 0 = the config default.
+  int64_t memory_estimate_bytes = 0;
+  /// True when the request may be shed to the MySQL path under overload
+  /// (kAuto queries only — a forced path is an explicit instruction).
+  bool sheddable = true;
+};
+
+/// A granted admission: the run slot plus the resources leased with it.
+/// Must be handed back via AdmissionController::Release exactly once.
+struct AdmissionTicket {
+  bool valid = false;
+  /// True when the query waited in the FIFO queue before its grant.
+  bool queued = false;
+  double wait_ms = 0.0;
+  /// Overload shed: run this query through the cheap MySQL path.
+  bool shed = false;
+  const char* shed_cause = "";  ///< "queue_wait" or "memory_pressure"
+  /// Pool-worker tokens leased to this query (0 = run serial). Becomes
+  /// QueryOptions::worker_cap.
+  int worker_tokens = 0;
+  int64_t memory_reserved_bytes = 0;
+};
+
+/// Admission controller in front of compile/execute (DESIGN.md section 12):
+/// a fixed number of run slots, a bounded FIFO queue with per-query
+/// deadlines, global worker-token and (soft) memory budgets, and the
+/// shed-vs-reject policy. State machine per query:
+///
+///   arrive -> slot free and queue empty -> RUN
+///          -> queue full                -> REJECT (queue_full)
+///          -> wait in FIFO -> granted within deadline -> RUN (shed if
+///                             sheddable and shedding is on)
+///                          -> deadline expires        -> REJECT
+///                             (queue_deadline)
+///
+/// Rejections are kResourceExhausted with origin "server.admission" and
+/// the structured reason above, so callers (and tests) can tell overload
+/// rejection from any other resource error. Thread-safe; one instance
+/// serves every session of a Server.
+class AdmissionController {
+ public:
+  /// Holds references: `config` must outlive the controller (knob writes
+  /// quiesced, as everywhere), `metrics` receives taurus.server.* counters.
+  AdmissionController(const ServerConfig& config, MetricsRegistry* metrics);
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Blocks until a run slot is granted or the deadline/queue bound
+  /// rejects the request. On success the ticket carries this query's
+  /// leases; pass it to Release when the query finishes (success or not).
+  Result<AdmissionTicket> Admit(const AdmissionRequest& request);
+
+  /// Returns the ticket's slot, worker tokens and memory reservation, and
+  /// grants the next FIFO waiter if any.
+  void Release(const AdmissionTicket& ticket);
+
+  // Introspection (tests/bench).
+  int running() const;
+  size_t queued() const;
+  int worker_tokens_free() const;
+  int64_t memory_in_use_bytes() const;
+
+ private:
+  struct Waiter {
+    bool granted = false;
+  };
+
+  int MaxConcurrent() const;
+  int TotalWorkerTokens() const;
+
+  const ServerConfig& config_;
+  Counter* admitted_;
+  Counter* queued_total_;
+  Counter* shed_;
+  Counter* rejected_queue_full_;
+  Counter* rejected_deadline_;
+  Gauge* running_gauge_;
+  Gauge* queue_gauge_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Waiter*> queue_;  ///< FIFO of blocked arrivals
+  int running_ = 0;
+  int tokens_free_ = -1;  ///< resolved from config on first Admit
+  int64_t memory_in_use_ = 0;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_SERVER_ADMISSION_H_

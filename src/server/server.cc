@@ -1,0 +1,21 @@
+#include "server/server.h"
+
+#include <string>
+
+namespace taurus {
+
+Result<std::unique_ptr<Session>> Server::CreateSession() {
+  const int open = open_sessions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (config_.max_sessions > 0 && open > config_.max_sessions) {
+    open_sessions_.fetch_sub(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+               "session limit reached (" +
+               std::to_string(config_.max_sessions) + " open)")
+        .SetOrigin("server.admission", "max_sessions");
+  }
+  const uint64_t id =
+      next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<Session>(new Session(this, id));
+}
+
+}  // namespace taurus

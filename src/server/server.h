@@ -1,0 +1,63 @@
+#ifndef TAURUS_SERVER_SERVER_H_
+#define TAURUS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "server/admission.h"
+#include "server/server_config.h"
+#include "server/session.h"
+
+namespace taurus {
+
+/// The multi-session server core (DESIGN.md section 12): wraps one
+/// Database with a session registry and an admission controller so N
+/// client threads can drive the engine concurrently without collapsing
+/// it under overload. The Server owns no threads — each session is
+/// driven by its caller's thread, exactly like a MySQL connection.
+///
+/// Lifecycle: configure server_config() first, then CreateSession() per
+/// client; sessions must not outlive the Server or the Database.
+class Server {
+ public:
+  /// Non-owning: `db` must outlive the server and its sessions.
+  explicit Server(Database* db)
+      : db_(db), admission_(config_, &db->metrics()) {}
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Server knobs. Set before sessions start issuing queries (quiesced
+  /// writes, like every other config struct).
+  ServerConfig& server_config() { return config_; }
+  const ServerConfig& server_config() const { return config_; }
+
+  /// Opens a session, or rejects with kResourceExhausted
+  /// ("server.admission/max_sessions") when max_sessions are open.
+  /// Thread-safe. Closing (destroying) a session frees its slot.
+  Result<std::unique_ptr<Session>> CreateSession();
+
+  Database& db() { return *db_; }
+  AdmissionController& admission() { return admission_; }
+  int open_sessions() const {
+    return open_sessions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Session;
+  void OnSessionClosed() {
+    open_sessions_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  Database* db_;
+  ServerConfig config_;
+  AdmissionController admission_;
+  std::atomic<int> open_sessions_{0};
+  std::atomic<uint64_t> next_session_id_{1};
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_SERVER_SERVER_H_

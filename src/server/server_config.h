@@ -1,0 +1,52 @@
+#ifndef TAURUS_SERVER_SERVER_CONFIG_H_
+#define TAURUS_SERVER_SERVER_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace taurus {
+
+/// Knobs for the multi-session server core (DESIGN.md section 12). Like
+/// every other config struct, writes must be quiesced: set the knobs
+/// before sessions start issuing queries.
+struct ServerConfig {
+  /// Sessions that may be open at once; CreateSession beyond this returns
+  /// kResourceExhausted ("server.admission/max_sessions"). 0 = unlimited.
+  int max_sessions = 64;
+
+  /// Queries allowed to run concurrently (admission run slots);
+  /// 0 = 2x hardware workers.
+  int max_concurrent_queries = 0;
+
+  /// Queries that may wait for a run slot; an arrival beyond this is
+  /// rejected immediately ("server.admission/queue_full").
+  size_t admission_queue_depth = 32;
+
+  /// Max wall time a query waits in the admission queue before rejection
+  /// ("server.admission/queue_deadline"). Per-session override:
+  /// SessionOptions::deadline_ms. 0 = wait forever.
+  double session_deadline_ms = 1000.0;
+
+  /// Overload shedding: a kAuto query that had to queue for its run slot
+  /// (or arrived under memory pressure) runs through the cheap MySQL path
+  /// instead of the Orca detour — graceful degradation instead of
+  /// collapse. Forced-path queries are never shed.
+  bool shed_to_mysql = true;
+
+  /// Global pool-worker tokens leased to queries for parallel execution;
+  /// a query granted fewer than 2 runs serial. 0 = hardware workers.
+  int worker_tokens = 0;
+
+  /// Global memory budget. Reservations are nominal (estimate-based) and
+  /// the budget is soft: exceeding it is a shed signal, not a failure —
+  /// the run-slot cap is the hard concurrency limiter. 0 = unlimited.
+  int64_t memory_budget_bytes = 0;
+
+  /// Nominal per-query reservation charged against the memory budget when
+  /// the session does not supply its own estimate.
+  int64_t query_memory_estimate_bytes = 8LL << 20;
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_SERVER_SERVER_CONFIG_H_
