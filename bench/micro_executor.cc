@@ -7,6 +7,12 @@
 //
 // --json writes BENCH_executor.json (flat name -> ms/iter map) for CI
 // trending; other flags pass through to google-benchmark.
+//
+// A hand-rolled batch-vs-Volcano leg runs first: the same scan / aggregate
+// / hash-join queries once with ExecutorConfig::enable_batch off (the
+// row-at-a-time Volcano executor) and once on (the vectorized batch
+// executor), verifying identical results and reporting the speedup.
+// --json also writes BENCH_exec_batch.json with these columns.
 
 #include <benchmark/benchmark.h>
 
@@ -154,9 +160,86 @@ void BM_StringPrefixEncoding(benchmark::State& state) {
 }
 BENCHMARK(BM_StringPrefixEncoding);
 
+/// Best-of-`repeat` execution time for `sql` in the current executor mode;
+/// returns the result rows (for the batch-vs-Volcano equality check) and
+/// whether any pipeline actually ran batched.
+double BestMs(Database* db, const std::string& sql, OptimizerPath path,
+              int repeat, std::vector<Row>* rows, bool* batched) {
+  double best = 0.0;
+  for (int r = 0; r < repeat; ++r) {
+    auto res = db->Query(sql, path);
+    if (!res.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   res.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (r == 0 || res->execute_ms < best) best = res->execute_ms;
+    *rows = std::move(res->rows);
+    *batched = res->batch_pipelines > 0;
+  }
+  return best;
+}
+
+/// The batch-vs-Volcano leg: same queries, both executor modes, identical
+/// results enforced, speedup reported (and written to BENCH_exec_batch.json
+/// under --json).
+void RunBatchVsVolcano(bool want_json) {
+  Database* db = Db();
+  struct Leg {
+    const char* key;
+    const char* sql;
+    OptimizerPath path;
+  };
+  // Q6-shaped scan+filter+aggregate (the scan-heavy pipeline), Q1-shaped
+  // grouped aggregate, and a hash-join probe into the 50K-row fact table.
+  const Leg legs[] = {
+      {"scan_filter_agg",
+       "SELECT COUNT(*), SUM(v) FROM f WHERE v > 100 AND v < 900",
+       OptimizerPath::kMySql},
+      {"group_agg", "SELECT k, COUNT(*), SUM(v) FROM f GROUP BY k",
+       OptimizerPath::kMySql},
+      {"hash_join_probe",
+       "SELECT COUNT(*) FROM f f1, f f2 WHERE f1.id = f2.k",
+       OptimizerPath::kOrca},
+  };
+  const int repeat = 5;
+  std::printf("Batch vs Volcano executor (best of %d runs)\n", repeat);
+  std::printf("%-18s %12s %12s %10s\n", "pipeline", "volcano_ms", "batch_ms",
+              "speedup");
+  std::vector<std::pair<std::string, double>> metrics;
+  for (const Leg& leg : legs) {
+    std::vector<Row> volcano_rows, batch_rows;
+    bool batched = false;
+    db->exec_config().enable_batch = false;
+    double volcano_ms =
+        BestMs(db, leg.sql, leg.path, repeat, &volcano_rows, &batched);
+    db->exec_config().enable_batch = true;
+    double batch_ms =
+        BestMs(db, leg.sql, leg.path, repeat, &batch_rows, &batched);
+    if (volcano_rows != batch_rows) {
+      std::fprintf(stderr, "%s: batch results differ from Volcano!\n",
+                   leg.key);
+      std::exit(1);
+    }
+    double speedup = batch_ms > 0 ? volcano_ms / batch_ms : 0.0;
+    std::printf("%-18s %12.3f %12.3f %9.2fx%s\n", leg.key, volcano_ms,
+                batch_ms, speedup, batched ? "" : "   (stayed row-mode)");
+    metrics.emplace_back(std::string(leg.key) + "_volcano_ms", volcano_ms);
+    metrics.emplace_back(std::string(leg.key) + "_batch_ms", batch_ms);
+    metrics.emplace_back(std::string(leg.key) + "_speedup", speedup);
+  }
+  std::printf("\n");
+  if (want_json) taurus_bench::WriteBenchJson("exec_batch", metrics);
+}
+
 }  // namespace
 }  // namespace taurus
 
 int main(int argc, char** argv) {
+  bool want_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") want_json = true;
+  }
+  taurus::RunBatchVsVolcano(want_json);
   return taurus_bench::GBenchJsonMain(argc, argv, "executor");
 }

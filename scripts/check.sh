@@ -8,15 +8,20 @@
 #        configuration the plan verifiers gate behind the verify_plans knob.
 #     2. Debug in build-debug, where the plan verifiers are always on
 #        (kVerifyPlansDefault) and assertions are live.
-#   TAURUS_SANITIZE=address|undefined|thread scripts/check.sh
+#   TAURUS_SANITIZE=address|undefined|address,undefined|thread scripts/check.sh
 #     opt-in sanitizer mode: builds with -fsanitize=<value> in its own
-#     build dir (build-asan / build-ubsan / build-tsan / build-san) and
-#     runs the suite under the sanitizer. The thread leg exercises the
-#     morsel-driven parallel executor's concurrency and the multi-session
-#     server stress test (server_stress_test: admission queueing, overload
-#     shedding, and the striped plan-cache/quarantine/feedback hot paths
-#     under {4,16,64} concurrent sessions; its ctest TIMEOUT fails a
-#     deadlock fast instead of hanging the leg).
+#     build dir (build-asan / build-ubsan / build-asan-ubsan / build-tsan /
+#     build-san) and runs the suite under the sanitizer. The thread leg
+#     exercises the morsel-driven parallel executor's concurrency — the
+#     suite now includes batch_exec_test, so the vectorized batch pipelines
+#     running inside worker clones get the same race sweep — and the
+#     multi-session server stress test (server_stress_test: admission
+#     queueing, overload shedding, and the striped
+#     plan-cache/quarantine/feedback hot paths under {4,16,64} concurrent
+#     sessions; its ctest TIMEOUT fails a deadlock fast instead of hanging
+#     the leg). The combined address,undefined leg is the one to run over
+#     the batch executor's vector kernels (out-of-bounds selection indices
+#     and UB in the columnar fast paths in one pass).
 #   TAURUS_LINT=1 scripts/check.sh
 #     lint mode: runs clang-tidy (config in .clang-tidy) over src/ using
 #     the compile database from the default build dir instead of the test
@@ -46,6 +51,7 @@ if [[ -n "${TAURUS_SANITIZE:-}" ]]; then
   case "$TAURUS_SANITIZE" in
     address) default_dir="$repo_root/build-asan" ;;
     undefined) default_dir="$repo_root/build-ubsan" ;;
+    address,undefined) default_dir="$repo_root/build-asan-ubsan" ;;
     thread) default_dir="$repo_root/build-tsan" ;;
     *) default_dir="$repo_root/build-san" ;;
   esac
@@ -93,6 +99,14 @@ echo "check.sh: feedback-loop bench (BENCH_feedback.json)"
 echo "check.sh: server benches (BENCH_plan_cache_mt.json, BENCH_admission.json)"
 (cd "$build_dir" && "./bench/micro_plan_cache_mt" --json)
 (cd "$build_dir" && "./bench/micro_admission" --json)
+
+# Batch-vs-Volcano executor leg: same queries through both executors with
+# result equality enforced; writes BENCH_exec_batch.json for CI trending
+# of the vectorization speedup. The google-benchmark micro legs are
+# filtered down to one representative (the full set is for hand-tuning).
+echo "check.sh: batch executor bench (BENCH_exec_batch.json)"
+(cd "$build_dir" && "./bench/micro_executor" --json \
+  --benchmark_filter=BM_SequentialScan)
 
 echo "check.sh: leg 2/2 — Debug, plan verifiers always on"
 debug_dir="$repo_root/build-debug"

@@ -34,6 +34,9 @@ REQUIRED_METRICS = [
     "taurus.query.execute_ms",
     "taurus.exec.parallel_queries",
     "taurus.exec.parallel_pipelines",
+    "taurus.exec.batch.pipelines",
+    "taurus.exec.batch.batches",
+    "taurus.exec.batch.rows",
     "taurus.exec.rows_scanned",
     "taurus.exec.index_lookups",
 ]

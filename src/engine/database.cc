@@ -246,6 +246,10 @@ void Database::BindCounters() {
       metrics_.GetCounter("taurus.exec.parallel_queries");
   counters_.parallel_pipelines =
       metrics_.GetCounter("taurus.exec.parallel_pipelines");
+  counters_.batch_pipelines =
+      metrics_.GetCounter("taurus.exec.batch.pipelines");
+  counters_.batches = metrics_.GetCounter("taurus.exec.batch.batches");
+  counters_.batch_rows = metrics_.GetCounter("taurus.exec.batch.rows");
   counters_.exec_rows_scanned = metrics_.GetCounter("taurus.exec.rows_scanned");
   counters_.exec_index_lookups =
       metrics_.GetCounter("taurus.exec.index_lookups");
@@ -874,6 +878,9 @@ Result<QueryResult> Database::QueryInternal(
   out.rebinds = final_ctx->rebinds;
   out.parallel_workers_used = final_ctx->max_workers_used;
   out.parallel_pipelines = final_ctx->parallel_pipelines;
+  out.batch_pipelines = final_ctx->batch_pipelines;
+  out.batches = final_ctx->batches;
+  out.batch_rows = final_ctx->batch_rows;
 
   counters_.execute_ms->Record(out.execute_ms);
   counters_.exec_rows_scanned->Increment(out.rows_scanned);
@@ -887,6 +894,11 @@ Result<QueryResult> Database::QueryInternal(
   if (out.parallel_pipelines > 0) {
     counters_.parallel_queries->Increment();
     counters_.parallel_pipelines->Increment(out.parallel_pipelines);
+  }
+  if (out.batch_pipelines > 0) {
+    counters_.batch_pipelines->Increment(out.batch_pipelines);
+    counters_.batches->Increment(out.batches);
+    counters_.batch_rows->Increment(out.batch_rows);
   }
   out.feedback_actual_overrides = compiled->feedback_actual_overrides;
   out.feedback_sketch_overrides = compiled->feedback_sketch_overrides;
@@ -919,6 +931,8 @@ Result<QueryResult> Database::QueryInternal(
                     std::to_string(out.parallel_workers_used));
     tracer->SetAttr(final_exec_id, "pipelines",
                     std::to_string(out.parallel_pipelines));
+    tracer->SetAttr(final_exec_id, "batch_pipelines",
+                    std::to_string(out.batch_pipelines));
   }
   if (compiled_out != nullptr) *compiled_out = std::move(compiled);
   return out;
@@ -986,6 +1000,8 @@ void Database::ArmExecContext(ExecContext* ctx, bool used_orca,
   ctx->parallel_workers = workers;
   ctx->morsel_rows = std::max<int64_t>(1, exec_config_.morsel_rows);
   ctx->parallel_min_driver_rows = exec_config_.parallel_min_driver_rows;
+  ctx->use_batch = exec_config_.enable_batch;
+  ctx->batch_size = std::max<int64_t>(1, exec_config_.batch_size);
   if (workers > 1) {
     ctx->pool_owner = GetPool(pool_size);
     ctx->pool = ctx->pool_owner.get();

@@ -64,6 +64,12 @@ struct QueryResult {
   int parallel_workers_used = 1;
   /// How many pipelines ran through the morsel-driven parallel executor.
   int parallel_pipelines = 0;
+  /// How many pipelines (or grafted pipeline segments) ran vectorized
+  /// through the batch executor (DESIGN.md section 13).
+  int batch_pipelines = 0;
+  /// Batches emitted / selected rows carried by those batches.
+  int64_t batches = 0;
+  int64_t batch_rows = 0;
   /// Plan-verifier summary: rule evaluations across every boundary verifier
   /// that ran for this query (compile-time passes plus the exec-budget
   /// arming check), and how many fired.
@@ -117,6 +123,13 @@ struct ExecutorConfig {
   /// Pipelines whose driving table has fewer rows stay serial, so short
   /// OLTP-style queries never pay pool hand-off overhead.
   int64_t parallel_min_driver_rows = 32768;
+
+  // Vectorized batch execution (see DESIGN.md section 13).
+  /// Run batch-eligible pipelines (and grafted segments) batch-at-a-time;
+  /// off = exactly the row-at-a-time Volcano executor.
+  bool enable_batch = true;
+  /// Target rows per batch (clamped to >= 1).
+  int64_t batch_size = 1024;
 };
 
 /// Policy for quarantining statements that repeatedly fail the Orca detour:
@@ -388,6 +401,9 @@ class Database {
     Counter* query_errors = nullptr;
     Counter* parallel_queries = nullptr;
     Counter* parallel_pipelines = nullptr;
+    Counter* batch_pipelines = nullptr;
+    Counter* batches = nullptr;
+    Counter* batch_rows = nullptr;
     Counter* exec_rows_scanned = nullptr;
     Counter* exec_index_lookups = nullptr;
     Counter* feedback_harvests = nullptr;

@@ -384,6 +384,13 @@ class ExplainRenderer {
       } else {
         Line(indent, "Serial pipeline (" + plan.serial_reason + ")", out);
       }
+      // Vectorization marker: whether the driving chain runs batch-at-a-time
+      // (partial segments may still batch behind adapters when ineligible).
+      if (plan.batch_eligible) {
+        Line(indent, "Batch pipeline (vectorized eligible)", out);
+      } else {
+        Line(indent, "Row pipeline (" + plan.batch_serial_reason + ")", out);
+      }
       RenderOp(*plan.join_root, indent + 1, out);
     } else {
       Line(indent, "Rows fetched before execution", out);
@@ -500,6 +507,12 @@ class AnalyzeJsonWriter {
     *out += ", \"cardinality_source\": \"";
     *out += CardSourceName(op.card_source);
     *out += "\"";
+    *out += ", \"batch_native\": ";
+    *out += op.batch_native ? "true" : "false";
+    if (!op.batch_native) {
+      *out += ", \"batch_reason\": \"" + JsonEscape(op.batch_serial_reason) +
+              "\"";
+    }
     AppendActuals(&op, op.est_rows, out);
     *out += ", \"children\": [";
     bool first = true;
@@ -525,6 +538,12 @@ class AnalyzeJsonWriter {
     std::snprintf(buf, sizeof(buf), ", \"est_rows\": %.4f, \"est_cost\": %.4f",
                   plan.est_rows, plan.est_cost);
     *out += buf;
+    *out += ", \"batch_eligible\": ";
+    *out += plan.batch_eligible ? "true" : "false";
+    if (!plan.batch_eligible) {
+      *out += ", \"batch_serial_reason\": \"" +
+              JsonEscape(plan.batch_serial_reason) + "\"";
+    }
     AppendActuals(&plan, plan.est_rows, out);
     *out += ", \"pipeline\": ";
     if (plan.join_root != nullptr) {

@@ -8,13 +8,13 @@
 #include <unordered_map>
 
 #include "common/thread_pool.h"
+#include "exec/batch_executor.h"
+#include "exec/exec_internal.h"
 #include "exec/expr_eval.h"
+#include "exec/vector_ops.h"
 
 namespace taurus {
 
-namespace {
-
-/// Returns the ref_ids of all leaves under a physical subtree.
 std::vector<int> SubtreeRefs(const PhysOp& op) {
   std::vector<const PhysOp*> leaves;
   op.CollectLeaves(&leaves);
@@ -32,16 +32,7 @@ void ClearSlots(Frame* frame, const std::vector<int>& refs) {
 // Frame iterators
 // ---------------------------------------------------------------------------
 
-class FrameIter {
- public:
-  virtual ~FrameIter() = default;
-  /// (Re)positions the iterator at the start. The frame carries the current
-  /// outer bindings; index lookups and correlated derived tables read them
-  /// here (a re-Open with new bindings is a "rebind").
-  virtual Status Open(Frame* frame, ExecContext* ctx) = 0;
-  /// Advances; on success fills this subtree's slots in `frame`.
-  virtual Result<bool> Next(Frame* frame, ExecContext* ctx) = 0;
-};
+namespace {
 
 class TableScanIter : public FrameIter {
  public:
@@ -330,18 +321,11 @@ class NLJoinIter : public FrameIter {
   bool matched_ = false;
 };
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Hash join
 // ---------------------------------------------------------------------------
-
-/// Static (per-plan-node) hash join shape: which child builds, which slots
-/// the build side populates, and the key expressions on each side.
-struct HashJoinLayout {
-  bool build_is_left = false;
-  std::vector<int> build_refs;
-  std::vector<const Expr*> build_keys;
-  std::vector<const Expr*> probe_keys;
-};
 
 /// Convention: the build side is the right child — except for INNER hash
 /// joins, where (matching the MySQL quirk the paper reports in Section 7
@@ -382,18 +366,6 @@ std::string SketchStreamKey(const PhysOp& side,
   }
   return SketchSet::StreamKey(key->ref_id, key->column_idx);
 }
-
-/// The materialized build side of a hash join. Built once (serially), then
-/// probed — possibly by many workers concurrently, which is safe because
-/// probing never mutates it.
-struct HashJoinShared {
-  struct Entry {
-    Row key;
-    OwnedFrame frame;  ///< only the build subtree's slots (narrowed copy)
-  };
-  std::unordered_multimap<uint64_t, size_t> table;
-  std::vector<Entry> entries;
-};
 
 /// Drains `build` into `out`. Buffers only the build subtree's frame slots
 /// per row, and pre-sizes the table from the optimizer's cardinality
@@ -444,6 +416,8 @@ Status FillHashJoinState(const PhysOp& op, const HashJoinLayout& layout,
   ClearSlots(frame, layout.build_refs);
   return Status::OK();
 }
+
+namespace {
 
 class HashJoinIter : public FrameIter {
  public:
@@ -620,7 +594,10 @@ std::unique_ptr<FrameIter> Analyzed(bool analyze, const PhysOp* op,
   return std::make_unique<AnalyzeIter>(op, std::move(iter));
 }
 
-std::unique_ptr<FrameIter> BuildIter(const PhysOp* op, bool analyze) {
+}  // namespace
+
+std::unique_ptr<FrameIter> BuildIter(const PhysOp* op, bool analyze,
+                                     ExecContext* ctx, bool allow_batch) {
   std::unique_ptr<FrameIter> iter;
   switch (op->kind) {
     case PhysOp::Kind::kTableScan:
@@ -636,21 +613,49 @@ std::unique_ptr<FrameIter> BuildIter(const PhysOp* op, bool analyze) {
       iter = std::make_unique<DerivedScanIter>(op);
       break;
     case PhysOp::Kind::kFilter:
-      iter = std::make_unique<FilterIter>(op,
-                                          BuildIter(op->child.get(), analyze));
+      iter = std::make_unique<FilterIter>(
+          op, ChildIter(op->child.get(), analyze, ctx, allow_batch));
       break;
-    case PhysOp::Kind::kNLJoin:
-      iter = std::make_unique<NLJoinIter>(op, BuildIter(op->child.get(), analyze),
-                                          BuildIter(op->right.get(), analyze));
+    case PhysOp::Kind::kNLJoin: {
+      // The right side is re-opened per left row; semi/anti stop draining
+      // it at the first match, so a batch graft there would overcharge the
+      // scan budget and skew actuals.
+      const JoinType jt = op->join_type;
+      const bool right_allow =
+          allow_batch && (jt == JoinType::kInner || jt == JoinType::kCross ||
+                          jt == JoinType::kLeft);
+      iter = std::make_unique<NLJoinIter>(
+          op, ChildIter(op->child.get(), analyze, ctx, allow_batch),
+          ChildIter(op->right.get(), analyze, ctx, right_allow));
       break;
-    case PhysOp::Kind::kHashJoin:
+    }
+    case PhysOp::Kind::kHashJoin: {
+      // The build side is always drained fully (FillHashJoinState), so it
+      // may run batched regardless of how the consumer drains the join.
+      const bool build_is_left = (op->join_type == JoinType::kInner ||
+                                  op->join_type == JoinType::kCross);
       iter = std::make_unique<HashJoinIter>(
-          op, BuildIter(op->child.get(), analyze),
-          BuildIter(op->right.get(), analyze));
+          op,
+          ChildIter(op->child.get(), analyze, ctx,
+                    build_is_left ? true : allow_batch),
+          ChildIter(op->right.get(), analyze, ctx,
+                    build_is_left ? allow_batch : true));
       break;
+    }
   }
   return Analyzed(analyze, op, std::move(iter));
 }
+
+std::unique_ptr<FrameIter> ChildIter(const PhysOp* op, bool analyze,
+                                     ExecContext* ctx, bool allow_batch) {
+  if (allow_batch) {
+    std::unique_ptr<FrameIter> adapter = MakeBatchIterAdapter(op, ctx);
+    if (adapter != nullptr) return adapter;
+  }
+  return BuildIter(op, analyze, ctx, allow_batch);
+}
+
+namespace {
 
 // ---------------------------------------------------------------------------
 // Aggregation
@@ -808,6 +813,52 @@ class GroupByState {
     return Status::OK();
   }
 
+  /// Vectorized Consume: group keys and aggregate arguments are evaluated
+  /// as whole vectors over the batch, then folded per selected row in
+  /// selection order — same groups, same encounter order, same
+  /// representative frames as row-at-a-time consumption.
+  Status ConsumeBatch(const Batch& b, ExecContext* ctx) {
+    const size_t n = b.sel.size();
+    const size_t ng = plan_->group_exprs.size();
+    const size_t na = plan_->agg_exprs.size();
+    std::vector<std::vector<Value>> gcols(ng);
+    for (size_t g = 0; g < ng; ++g) {
+      TAURUS_RETURN_IF_ERROR(
+          EvalExprBatch(*plan_->group_exprs[g], b, ctx, &gcols[g]));
+    }
+    std::vector<std::vector<Value>> acols(na);
+    for (size_t a = 0; a < na; ++a) {
+      const Expr& agg = *plan_->agg_exprs[a];
+      if (agg.agg_func == AggFunc::kCountStar) continue;
+      TAURUS_RETURN_IF_ERROR(EvalExprBatch(*agg.children[0], b, ctx, &acols[a]));
+    }
+    Frame scratch;
+    for (size_t i = 0; i < n; ++i) {
+      Row key;
+      key.reserve(ng);
+      for (size_t g = 0; g < ng; ++g) key.push_back(gcols[g][i]);
+      uint64_t h = HashRow(key);
+      size_t idx = Find(h, key);
+      if (idx == SIZE_MAX) {
+        idx = groups_.size();
+        index_[h].push_back(idx);
+        Group grp;
+        grp.key = std::move(key);
+        if (scratch.empty()) scratch = *b.base;
+        b.FillFrame(b.sel[i], &scratch);
+        grp.rep = OwnedFrame(scratch);
+        groups_.push_back(std::move(grp));
+        accums_.emplace_back(na);
+      }
+      for (size_t a = 0; a < na; ++a) {
+        const Expr& agg = *plan_->agg_exprs[a];
+        accums_[idx][a].Update(
+            agg, agg.agg_func == AggFunc::kCountStar ? Value() : acols[a][i]);
+      }
+    }
+    return Status::OK();
+  }
+
   /// Merges a LATER partial state into this one: existing groups fold their
   /// accumulators; new groups append in `o`'s own encounter order. Merging
   /// morsel partials in morsel order therefore yields exactly the serial
@@ -950,6 +1001,8 @@ Status FinishSort(const BlockPlan& plan, std::vector<SortUnit> units,
 /// What the per-worker iterator chains feed, per pipeline shape.
 enum class PipeMode { kAgg, kSort, kPlain };
 
+}  // namespace
+
 /// The probe/driving child an eligible pipeline descends through.
 const PhysOp* DrivingChild(const PhysOp& op) {
   switch (op.kind) {
@@ -977,11 +1030,7 @@ const PhysOp* FindDriverScan(const PhysOp* op) {
   return nullptr;
 }
 
-/// Hash-join build sides along the driving path, materialized once on the
-/// main thread and probed read-only by all workers.
-struct PipelineShared {
-  std::unordered_map<const PhysOp*, HashJoinShared> hash_states;
-};
+namespace {
 
 Status PrebuildHashStates(const PhysOp* root, Frame* frame, ExecContext* ctx,
                           PipelineShared* shared) {
@@ -990,8 +1039,9 @@ Status PrebuildHashStates(const PhysOp* root, Frame* frame, ExecContext* ctx,
     HashJoinLayout layout = MakeHashJoinLayout(*cur);
     const PhysOp* build_child =
         layout.build_is_left ? cur->child.get() : cur->right.get();
-    std::unique_ptr<FrameIter> build =
-        BuildIter(build_child, ctx->op_actuals != nullptr);
+    // Build sides are drained fully, so they may run batched.
+    std::unique_ptr<FrameIter> build = ChildIter(
+        build_child, ctx->op_actuals != nullptr, ctx, /*allow_batch=*/true);
     TAURUS_RETURN_IF_ERROR(FillHashJoinState(
         *cur, layout, build.get(), frame, ctx, &shared->hash_states[cur]));
   }
@@ -1005,7 +1055,7 @@ Status PrebuildHashStates(const PhysOp* root, Frame* frame, ExecContext* ctx,
 std::unique_ptr<FrameIter> BuildWorkerChain(const PhysOp* op,
                                             const PipelineShared& shared,
                                             TableScanIter** driver_out,
-                                            bool analyze) {
+                                            bool analyze, ExecContext* ctx) {
   switch (op->kind) {
     case PhysOp::Kind::kTableScan: {
       auto scan = std::make_unique<TableScanIter>(op);
@@ -1019,18 +1069,24 @@ std::unique_ptr<FrameIter> BuildWorkerChain(const PhysOp* op,
       return Analyzed(analyze, op,
                       std::make_unique<FilterIter>(
                           op, BuildWorkerChain(op->child.get(), shared,
-                                               driver_out, analyze)));
-    case PhysOp::Kind::kNLJoin:
+                                               driver_out, analyze, ctx)));
+    case PhysOp::Kind::kNLJoin: {
+      const JoinType jt = op->join_type;
+      const bool right_allow = jt == JoinType::kInner ||
+                               jt == JoinType::kCross || jt == JoinType::kLeft;
       return Analyzed(
           analyze, op,
           std::make_unique<NLJoinIter>(
-              op, BuildWorkerChain(op->child.get(), shared, driver_out, analyze),
-              BuildIter(op->right.get(), analyze)));
+              op,
+              BuildWorkerChain(op->child.get(), shared, driver_out, analyze,
+                               ctx),
+              ChildIter(op->right.get(), analyze, ctx, right_allow)));
+    }
     case PhysOp::Kind::kHashJoin: {
       auto it = shared.hash_states.find(op);
       if (it == shared.hash_states.end()) return nullptr;
-      auto probe =
-          BuildWorkerChain(DrivingChild(*op), shared, driver_out, analyze);
+      auto probe = BuildWorkerChain(DrivingChild(*op), shared, driver_out,
+                                    analyze, ctx);
       if (probe == nullptr) return nullptr;
       return Analyzed(analyze, op,
                       std::make_unique<HashJoinIter>(op, std::move(probe),
@@ -1086,6 +1142,63 @@ Status ConsumeMorsel(PipeMode mode, const BlockPlan& plan, FrameIter* chain,
   }
 }
 
+/// Batch-mode ConsumeMorsel: drains a batch chain into the same per-shape
+/// sinks, evaluating order keys / projections as whole vectors. Row order
+/// (selection order) matches the Volcano chain's emission order exactly, so
+/// groups, sort stability and plain output are bit-identical.
+Status ConsumeBatches(PipeMode mode, const BlockPlan& plan, BatchOp* chain,
+                      ExecContext* ctx, GroupByState* agg,
+                      std::vector<SortUnit>* sort_units,
+                      std::vector<Row>* rows) {
+  Frame scratch;
+  while (true) {
+    TAURUS_ASSIGN_OR_RETURN(Batch* b, chain->NextBatch(ctx));
+    if (b == nullptr) return Status::OK();
+    ++ctx->batches;
+    ctx->batch_rows += static_cast<int64_t>(b->sel.size());
+    switch (mode) {
+      case PipeMode::kAgg:
+        TAURUS_RETURN_IF_ERROR(agg->ConsumeBatch(*b, ctx));
+        break;
+      case PipeMode::kSort: {
+        const size_t nk = plan.order_keys.size();
+        std::vector<std::vector<Value>> kcols(nk);
+        for (size_t k = 0; k < nk; ++k) {
+          TAURUS_RETURN_IF_ERROR(
+              EvalExprBatch(*plan.order_keys[k].first, *b, ctx, &kcols[k]));
+        }
+        if (scratch.empty()) scratch = *b->base;
+        for (size_t i = 0; i < b->sel.size(); ++i) {
+          SortUnit u;
+          u.sort_key.reserve(nk);
+          for (size_t k = 0; k < nk; ++k) {
+            u.sort_key.push_back(std::move(kcols[k][i]));
+          }
+          b->FillFrame(b->sel[i], &scratch);
+          u.frame = OwnedFrame(scratch);
+          sort_units->push_back(std::move(u));
+        }
+        break;
+      }
+      case PipeMode::kPlain: {
+        const size_t np = plan.projections.size();
+        std::vector<std::vector<Value>> pcols(np);
+        for (size_t p = 0; p < np; ++p) {
+          TAURUS_RETURN_IF_ERROR(
+              EvalExprBatch(*plan.projections[p], *b, ctx, &pcols[p]));
+        }
+        for (size_t i = 0; i < b->sel.size(); ++i) {
+          Row row;
+          row.reserve(np);
+          for (size_t p = 0; p < np; ++p) row.push_back(std::move(pcols[p][i]));
+          rows->push_back(std::move(row));
+        }
+        break;
+      }
+    }
+  }
+}
+
 /// Attempts to run the block's driving pipeline morsel-parallel. Returns
 /// false when a runtime gate keeps it serial (no pool, small driver table,
 /// DOP < 2, pool busy); true with `out->engaged` set when the parallel
@@ -1131,34 +1244,65 @@ Result<bool> TryParallelPipeline(const BlockPlan& plan, const Frame& outer,
 
   std::atomic<int64_t> next_morsel{0};
   std::atomic<bool> abort{false};
+  std::atomic<bool> used_batch{false};
 
   auto worker = [&](int w) {
     ExecContext* shard = &shards[w];
     ctx->InitShard(shard);
+    // Batch-eligible pipelines run each worker's morsels through a private
+    // vectorized chain probing the same shared hash states. Any worker that
+    // cannot build one (defensive) falls back to the Volcano clone — both
+    // consume morsels from the same queue with identical per-morsel output.
+    BatchChain bchain;
+    if (plan.batch_eligible) {
+      bchain = BuildBatchChain(plan.join_root.get(), shard, &shared);
+      if (bchain.root == nullptr || bchain.driver == nullptr ||
+          bchain.driver->Op() != driver) {
+        bchain.root.reset();
+      }
+    }
     TableScanIter* scan = nullptr;
-    std::unique_ptr<FrameIter> chain =
-        BuildWorkerChain(plan.join_root.get(), shared, &scan,
-                         shard->op_actuals != nullptr);
-    if (chain == nullptr || scan == nullptr || scan->Op() != driver) {
-      worker_status[static_cast<size_t>(w)] =
-          Status::Internal("worker chain build failed");
-      abort.store(true, std::memory_order_relaxed);
-      return;
+    std::unique_ptr<FrameIter> chain;
+    if (bchain.root != nullptr) {
+      used_batch.store(true, std::memory_order_relaxed);
+    } else {
+      chain = BuildWorkerChain(plan.join_root.get(), shared, &scan,
+                               shard->op_actuals != nullptr, shard);
+      if (chain == nullptr || scan == nullptr || scan->Op() != driver) {
+        worker_status[static_cast<size_t>(w)] =
+            Status::Internal("worker chain build failed");
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
     }
     Frame frame = outer;
     while (!abort.load(std::memory_order_relaxed)) {
       int64_t m = next_morsel.fetch_add(1, std::memory_order_relaxed);
       if (m >= num_morsels) break;
-      scan->SetRange(static_cast<size_t>(m * morsel),
-                     static_cast<size_t>(std::min(total, (m + 1) * morsel)));
-      Status st = chain->Open(&frame, shard);
-      if (st.ok()) {
-        size_t mi = static_cast<size_t>(m);
-        st = ConsumeMorsel(
-            mode, plan, chain.get(), &frame, shard,
-            mode == PipeMode::kAgg ? &agg_parts[mi] : nullptr,
-            mode == PipeMode::kSort ? &sort_parts[mi] : nullptr,
-            mode == PipeMode::kPlain ? &row_parts[mi] : nullptr);
+      const size_t begin = static_cast<size_t>(m * morsel);
+      const size_t end = static_cast<size_t>(std::min(total, (m + 1) * morsel));
+      const size_t mi = static_cast<size_t>(m);
+      Status st;
+      if (bchain.root != nullptr) {
+        bchain.driver->SetRange(begin, end);
+        st = bchain.root->Open(&frame, shard);
+        if (st.ok()) {
+          st = ConsumeBatches(
+              mode, plan, bchain.root.get(), shard,
+              mode == PipeMode::kAgg ? &agg_parts[mi] : nullptr,
+              mode == PipeMode::kSort ? &sort_parts[mi] : nullptr,
+              mode == PipeMode::kPlain ? &row_parts[mi] : nullptr);
+        }
+      } else {
+        scan->SetRange(begin, end);
+        st = chain->Open(&frame, shard);
+        if (st.ok()) {
+          st = ConsumeMorsel(
+              mode, plan, chain.get(), &frame, shard,
+              mode == PipeMode::kAgg ? &agg_parts[mi] : nullptr,
+              mode == PipeMode::kSort ? &sort_parts[mi] : nullptr,
+              mode == PipeMode::kPlain ? &row_parts[mi] : nullptr);
+        }
       }
       if (!st.ok()) {
         morsel_status[static_cast<size_t>(m)] = std::move(st);
@@ -1206,6 +1350,7 @@ Result<bool> TryParallelPipeline(const BlockPlan& plan, const Frame& outer,
   }
 
   ++ctx->parallel_pipelines;
+  if (used_batch.load(std::memory_order_relaxed)) ++ctx->batch_pipelines;
   ctx->max_workers_used = std::max(ctx->max_workers_used, dop);
   out->engaged = true;
   return true;
@@ -1262,10 +1407,28 @@ Result<std::vector<Row>> ExecuteSingle(const BlockPlan& plan,
     (void)engaged;
   }
 
+  // ---- Serial pipeline: vectorized when anything on the driving chain
+  // speaks batches (the whole chain, or a native prefix over a
+  // Frame->Batch source); otherwise the Volcano chain, which may still
+  // graft batch segments behind adapters (hash-join build sides, NL-join
+  // inner sides). Plain blocks with a row limit drain lazily, so batching
+  // would overrun the scan budget — they stay row-at-a-time.
+  const bool allow_batch_top =
+      !(mode == PipeMode::kPlain && has_limit && !plan.distinct);
   std::unique_ptr<FrameIter> iter;
+  BatchChain bchain;
   if (plan.join_root != nullptr && !par.engaged) {
-    iter = BuildIter(plan.join_root.get(), analyze);
-    TAURUS_RETURN_IF_ERROR(iter->Open(&frame, ctx));
+    if (allow_batch_top) {
+      bchain = BuildBatchChain(plan.join_root.get(), ctx, nullptr);
+      if (bchain.root != nullptr && bchain.native_ops == 0) bchain.root.reset();
+    }
+    if (bchain.root != nullptr) {
+      ++ctx->batch_pipelines;
+      TAURUS_RETURN_IF_ERROR(bchain.root->Open(&frame, ctx));
+    } else {
+      iter = BuildIter(plan.join_root.get(), analyze, ctx, allow_batch_top);
+      TAURUS_RETURN_IF_ERROR(iter->Open(&frame, ctx));
+    }
   }
 
   if (mode == PipeMode::kAgg) {
@@ -1275,7 +1438,10 @@ Result<std::vector<Row>> ExecuteSingle(const BlockPlan& plan,
       state = std::move(par.agg);
     } else {
       state.Init(&plan);
-      if (iter != nullptr) {
+      if (bchain.root != nullptr) {
+        TAURUS_RETURN_IF_ERROR(ConsumeBatches(mode, plan, bchain.root.get(),
+                                              ctx, &state, nullptr, nullptr));
+      } else if (iter != nullptr) {
         while (true) {
           TAURUS_ASSIGN_OR_RETURN(bool has, iter->Next(&frame, ctx));
           if (!has) break;
@@ -1295,6 +1461,9 @@ Result<std::vector<Row>> ExecuteSingle(const BlockPlan& plan,
     std::vector<SortUnit> units;
     if (par.engaged) {
       units = std::move(par.sort_units);
+    } else if (bchain.root != nullptr) {
+      TAURUS_RETURN_IF_ERROR(ConsumeBatches(mode, plan, bchain.root.get(), ctx,
+                                            nullptr, &units, nullptr));
     } else {
       while (iter != nullptr) {
         TAURUS_ASSIGN_OR_RETURN(bool has, iter->Next(&frame, ctx));
@@ -1311,6 +1480,11 @@ Result<std::vector<Row>> ExecuteSingle(const BlockPlan& plan,
     TAURUS_RETURN_IF_ERROR(FinishSort(plan, std::move(units), ctx, &output));
   } else if (par.engaged) {
     output = std::move(par.rows);
+  } else if (bchain.root != nullptr) {
+    // ---- Streaming projection, vectorized (full drain: no LIMIT here
+    // unless DISTINCT forces one anyway). ----
+    TAURUS_RETURN_IF_ERROR(ConsumeBatches(mode, plan, bchain.root.get(), ctx,
+                                          nullptr, nullptr, &output));
   } else {
     // ---- Streaming projection with early LIMIT exit. ----
     int64_t want = has_limit ? plan.offset + plan.limit : -1;

@@ -85,6 +85,18 @@ struct ExecContext {
   int parallel_pipelines = 0;   ///< pipelines that ran morsel-parallel
   int max_workers_used = 1;     ///< widest DOP any pipeline actually used
 
+  // --- Vectorized batch execution (see DESIGN.md section 13) ---
+
+  /// Run eligible pipelines batch-at-a-time (ExecutorConfig::enable_batch).
+  bool use_batch = true;
+  /// Target rows per batch (clamped to >= 1 at the operators).
+  int64_t batch_size = 1024;
+
+  // Batch-execution stats, merged into QueryResult by the engine.
+  int batch_pipelines = 0;   ///< pipelines (or grafted segments) run batched
+  int64_t batches = 0;       ///< batches emitted to consumers
+  int64_t batch_rows = 0;    ///< selected rows across those batches
+
   // --- EXPLAIN ANALYZE (see DESIGN.md section 10) ---
 
   /// When non-null, the executor wraps every iterator to record per-node
@@ -125,6 +137,23 @@ struct ExecContext {
     return Status::OK();
   }
 
+  /// Bulk form for the batch executor: charges `n` scanned rows in scan
+  /// order. Unbudgeted pipelines take a single add (bit-identical counter
+  /// state to n ChargeScannedRow calls); budgeted ones charge row by row
+  /// so the kill fires at the exact same global count as the
+  /// row-at-a-time path.
+  Status ChargeScannedRows(int64_t n) {
+    if (max_rows_scanned <= 0 && exec_deadline_ms <= 0) {
+      rows_scanned += n;
+      return Status::OK();
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      Status st = ChargeScannedRow();
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  }
+
   /// Initializes `shard` as a worker-private view of this root context:
   /// same storage/plan/budget (shared atomic), fresh counters and caches.
   void InitShard(ExecContext* shard) const {
@@ -137,6 +166,8 @@ struct ExecContext {
     shard->morsel_rows = morsel_rows;
     shard->is_worker_shard = true;
     shard->sketches = sketches;
+    shard->use_batch = use_batch;
+    shard->batch_size = batch_size;
     if (op_actuals != nullptr) {
       // Each shard records into a private map (no locking on the hot path);
       // MergeShard sums them back into the root's map.
@@ -151,6 +182,8 @@ struct ExecContext {
     rows_scanned += shard.rows_scanned;
     index_lookups += shard.index_lookups;
     rebinds += shard.rebinds;
+    batches += shard.batches;
+    batch_rows += shard.batch_rows;
     if (op_actuals != nullptr && shard.op_actuals != nullptr) {
       op_actuals->Merge(*shard.op_actuals);
     }

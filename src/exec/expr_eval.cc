@@ -26,6 +26,8 @@ int64_t TemporalToDays(const Value& v) {
   return v.AsInt();
 }
 
+}  // namespace
+
 Result<Value> EvalArithmetic(BinaryOp op, const Value& l, const Value& r) {
   if (l.is_null() || r.is_null()) return Value::Null();
   bool both_int =
@@ -231,6 +233,41 @@ Result<Value> EvalFunction(const Expr& expr, std::vector<Value> args) {
   return Status::NotSupported("unknown function at runtime: " + f);
 }
 
+Result<Value> EvalUnary(UnaryOp op, const Value& v) {
+  switch (op) {
+    case UnaryOp::kNot:
+      if (v.is_null()) return Value::Null();
+      return Value::Bool(!v.IsTrue());
+    case UnaryOp::kNeg:
+      if (v.is_null()) return Value::Null();
+      if (v.kind() == Value::Kind::kInt) return Value::Int(-v.AsInt());
+      return Value::Double(-v.AsDouble());
+    case UnaryOp::kIsNull:
+      return Value::Bool(v.is_null());
+    case UnaryOp::kIsNotNull:
+      return Value::Bool(!v.is_null());
+  }
+  return Status::Internal("bad unary op");
+}
+
+Value EvalIntervalAdd(const Expr& expr, const Value& v) {
+  if (v.is_null()) return Value::Null();
+  if (IsDatetimeFamily(v.type())) {
+    if (expr.interval_unit == IntervalUnit::kDay) {
+      return Value::Datetime(v.AsInt() + expr.interval_amount * 86400);
+    }
+    int64_t days = TemporalToDays(v);
+    int64_t rem = v.AsInt() - days * 86400;
+    int64_t new_days =
+        AddIntervalToDate(days, expr.interval_amount, expr.interval_unit);
+    return Value::Datetime(new_days * 86400 + rem);
+  }
+  return Value::Date(AddIntervalToDate(v.AsInt(), expr.interval_amount,
+                                       expr.interval_unit));
+}
+
+namespace {
+
 /// Runs an expression subquery and returns its rows (cached when
 /// non-correlated).
 Result<const std::vector<Row>*> RunSubplan(const Expr& expr,
@@ -319,20 +356,7 @@ Result<Value> EvalExpr(const Expr& expr, const Frame& frame,
     case Expr::Kind::kUnary: {
       TAURUS_ASSIGN_OR_RETURN(Value v,
                               EvalExpr(*expr.children[0], frame, agg, ctx));
-      switch (expr.uop) {
-        case UnaryOp::kNot:
-          if (v.is_null()) return Value::Null();
-          return Value::Bool(!v.IsTrue());
-        case UnaryOp::kNeg:
-          if (v.is_null()) return Value::Null();
-          if (v.kind() == Value::Kind::kInt) return Value::Int(-v.AsInt());
-          return Value::Double(-v.AsDouble());
-        case UnaryOp::kIsNull:
-          return Value::Bool(v.is_null());
-        case UnaryOp::kIsNotNull:
-          return Value::Bool(!v.is_null());
-      }
-      return Status::Internal("bad unary op");
+      return EvalUnary(expr.uop, v);
     }
     case Expr::Kind::kFuncCall: {
       std::vector<Value> args;
@@ -441,19 +465,7 @@ Result<Value> EvalExpr(const Expr& expr, const Frame& frame,
     case Expr::Kind::kIntervalAdd: {
       TAURUS_ASSIGN_OR_RETURN(Value v,
                               EvalExpr(*expr.children[0], frame, agg, ctx));
-      if (v.is_null()) return Value::Null();
-      if (IsDatetimeFamily(v.type())) {
-        if (expr.interval_unit == IntervalUnit::kDay) {
-          return Value::Datetime(v.AsInt() + expr.interval_amount * 86400);
-        }
-        int64_t days = TemporalToDays(v);
-        int64_t rem = v.AsInt() - days * 86400;
-        int64_t new_days =
-            AddIntervalToDate(days, expr.interval_amount, expr.interval_unit);
-        return Value::Datetime(new_days * 86400 + rem);
-      }
-      return Value::Date(AddIntervalToDate(v.AsInt(), expr.interval_amount,
-                                           expr.interval_unit));
+      return EvalIntervalAdd(expr, v);
     }
   }
   return Status::Internal("unreachable expr kind in eval");

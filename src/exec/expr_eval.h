@@ -37,6 +37,28 @@ Result<bool> EvalConjuncts(const std::vector<const Expr*>& conds,
                            const Frame& frame, const AggContext* agg,
                            ExecContext* ctx);
 
+// --- Scalar kernels -------------------------------------------------------
+// The per-value pieces of the interpreter, shared with the vectorized
+// evaluator (vector_ops.cc) so both paths produce bit-identical values.
+
+/// +,-,*,/,% with MySQL numeric semantics (int stays int; /0 and %0 -> NULL).
+Result<Value> EvalArithmetic(BinaryOp op, const Value& l, const Value& r);
+
+/// =,<>,<,<=,>,>= with NULL propagation.
+Value EvalComparison(BinaryOp op, const Value& l, const Value& r);
+
+/// NOT / negation / IS [NOT] NULL.
+Result<Value> EvalUnary(UnaryOp op, const Value& v);
+
+/// CAST to `target` with MySQL coercion rules.
+Result<Value> EvalCast(const Value& v, TypeId target);
+
+/// Scalar function dispatch over already-evaluated arguments.
+Result<Value> EvalFunction(const Expr& expr, std::vector<Value> args);
+
+/// date/datetime + INTERVAL (unit and amount taken from `expr`).
+Value EvalIntervalAdd(const Expr& expr, const Value& v);
+
 /// Folds an expression with no column references, subqueries or aggregates
 /// to a literal value. Returns NotSupported for non-constant expressions.
 Result<Value> EvalConstExpr(const Expr& expr);

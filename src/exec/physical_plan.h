@@ -70,6 +70,14 @@ struct PhysOp {
   /// harvested execution actuals (DESIGN.md section 11).
   CardSource card_source = CardSource::kHistogram;
 
+  /// True when this operator has a vectorized (batch-at-a-time)
+  /// implementation: table scans, filters, and hash-join probes of
+  /// batchable shape (see HashJoinBatchNative). Set by refine-time
+  /// AnalyzeBatchSafety; surfaced in EXPLAIN.
+  bool batch_native = false;
+  /// Why the operator stays row-at-a-time ("" when batch_native).
+  std::string batch_serial_reason;
+
   /// Pre-order leaf list (the "best-position array" view of this subtree).
   void CollectLeaves(std::vector<const PhysOp*>* out) const {
     if (kind == Kind::kNLJoin || kind == Kind::kHashJoin) {
@@ -126,6 +134,16 @@ struct BlockPlan {
   /// Why the pipeline must stay serial ("" when parallel_eligible);
   /// surfaced in EXPLAIN.
   std::string serial_reason;
+
+  /// True when the block's whole driving chain (join_root down its probe
+  /// path to the driving TableScan) is batch-native end to end, so the
+  /// executor can run it vectorized — including under morsel-driven
+  /// workers. The executor may still run partial batch segments behind
+  /// adapters when this is false; the flag drives EXPLAIN surfacing and
+  /// the worker-chain fast path.
+  bool batch_eligible = false;
+  /// Why the driving chain stays row-at-a-time ("" when batch_eligible).
+  std::string batch_serial_reason;
 
   // UNION [ALL] arms (each compiled independently; the head block's
   // order/limit apply to the union result).

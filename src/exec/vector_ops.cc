@@ -1,0 +1,453 @@
+#include "exec/vector_ops.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "common/strings.h"
+#include "exec/expr_eval.h"
+#include "parser/ast_util.h"
+
+namespace taurus {
+
+namespace {
+
+/// Shared state of one vectorized evaluation: the batch plus a lazily
+/// built scratch frame for per-row scalar fallbacks (subquery expressions).
+struct BatchEval {
+  BatchEval(const Batch* batch, ExecContext* context)
+      : b(batch), ctx(context) {}
+
+  const Batch* b;
+  ExecContext* ctx;
+  Frame scratch;
+  bool scratch_ready = false;
+
+  Frame* Scratch() {
+    if (!scratch_ready) {
+      scratch = *b->base;
+      scratch_ready = true;
+    }
+    return &scratch;
+  }
+};
+
+/// Evaluates `e` for the physical rows listed in `rows[0..n)`, writing
+/// `out[0..n)`. The row list — not the batch's selection vector — is the
+/// recursion unit, so AND/OR/CASE can restrict sub-expressions to exactly
+/// the rows the scalar interpreter would evaluate them on.
+Status EvalRows(const Expr& e, BatchEval* be, const uint32_t* rows, size_t n,
+                Value* out);
+
+/// Scalar-interpreter fallback: reconstitutes each row into the scratch
+/// frame and calls EvalExpr. Used for subquery expressions (and any kind
+/// without a vector implementation); aggregates correctly error exactly as
+/// they would row-at-a-time.
+Status EvalRowsViaFrame(const Expr& e, BatchEval* be, const uint32_t* rows,
+                        size_t n, Value* out) {
+  Frame* f = be->Scratch();
+  for (size_t i = 0; i < n; ++i) {
+    be->b->FillFrame(rows[i], f);
+    TAURUS_ASSIGN_OR_RETURN(out[i], EvalExpr(e, *f, nullptr, be->ctx));
+  }
+  return Status::OK();
+}
+
+Status EvalAndRows(const Expr& e, BatchEval* be, const uint32_t* rows,
+                   size_t n, Value* out) {
+  std::vector<Value> l(n);
+  TAURUS_RETURN_IF_ERROR(EvalRows(*e.children[0], be, rows, n, l.data()));
+  // The right side runs only where the left is not false — the rows the
+  // scalar interpreter's short-circuit would reach.
+  std::vector<uint32_t> sub;
+  sub.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (l[i].is_null() || l[i].IsTrue()) sub.push_back(rows[i]);
+  }
+  std::vector<Value> r(sub.size());
+  if (!sub.empty()) {
+    TAURUS_RETURN_IF_ERROR(
+        EvalRows(*e.children[1], be, sub.data(), sub.size(), r.data()));
+  }
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!l[i].is_null() && !l[i].IsTrue()) {
+      out[i] = Value::Bool(false);
+      continue;
+    }
+    const Value& rv = r[k++];
+    if (!rv.is_null() && !rv.IsTrue()) {
+      out[i] = Value::Bool(false);
+    } else if (l[i].is_null() || rv.is_null()) {
+      out[i] = Value::Null();
+    } else {
+      out[i] = Value::Bool(true);
+    }
+  }
+  return Status::OK();
+}
+
+Status EvalOrRows(const Expr& e, BatchEval* be, const uint32_t* rows,
+                  size_t n, Value* out) {
+  std::vector<Value> l(n);
+  TAURUS_RETURN_IF_ERROR(EvalRows(*e.children[0], be, rows, n, l.data()));
+  std::vector<uint32_t> sub;
+  sub.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (l[i].is_null() || !l[i].IsTrue()) sub.push_back(rows[i]);
+  }
+  std::vector<Value> r(sub.size());
+  if (!sub.empty()) {
+    TAURUS_RETURN_IF_ERROR(
+        EvalRows(*e.children[1], be, sub.data(), sub.size(), r.data()));
+  }
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!l[i].is_null() && l[i].IsTrue()) {
+      out[i] = Value::Bool(true);
+      continue;
+    }
+    const Value& rv = r[k++];
+    if (!rv.is_null() && rv.IsTrue()) {
+      out[i] = Value::Bool(true);
+    } else if (l[i].is_null() || rv.is_null()) {
+      out[i] = Value::Null();
+    } else {
+      out[i] = Value::Bool(false);
+    }
+  }
+  return Status::OK();
+}
+
+Status EvalCaseRows(const Expr& e, BatchEval* be, const uint32_t* rows,
+                    size_t n, Value* out) {
+  const size_t nch = e.children.size() - (e.case_has_else ? 1 : 0);
+  // Positions (into rows/out) still looking for a matching WHEN.
+  std::vector<uint32_t> pend(n);
+  for (size_t i = 0; i < n; ++i) pend[i] = static_cast<uint32_t>(i);
+  std::vector<uint32_t> sub, matched, still;
+  std::vector<Value> cond, branch;
+  for (size_t p = 0; p + 1 < nch && !pend.empty(); p += 2) {
+    sub.clear();
+    for (uint32_t pos : pend) sub.push_back(rows[pos]);
+    cond.assign(pend.size(), Value());
+    TAURUS_RETURN_IF_ERROR(
+        EvalRows(*e.children[p], be, sub.data(), sub.size(), cond.data()));
+    matched.clear();
+    still.clear();
+    for (size_t k = 0; k < pend.size(); ++k) {
+      if (!cond[k].is_null() && cond[k].IsTrue()) {
+        matched.push_back(pend[k]);
+      } else {
+        still.push_back(pend[k]);
+      }
+    }
+    if (!matched.empty()) {
+      sub.clear();
+      for (uint32_t pos : matched) sub.push_back(rows[pos]);
+      branch.assign(matched.size(), Value());
+      TAURUS_RETURN_IF_ERROR(EvalRows(*e.children[p + 1], be, sub.data(),
+                                      sub.size(), branch.data()));
+      for (size_t k = 0; k < matched.size(); ++k) {
+        out[matched[k]] = std::move(branch[k]);
+      }
+    }
+    pend.swap(still);
+  }
+  if (pend.empty()) return Status::OK();
+  if (e.case_has_else) {
+    sub.clear();
+    for (uint32_t pos : pend) sub.push_back(rows[pos]);
+    branch.assign(pend.size(), Value());
+    TAURUS_RETURN_IF_ERROR(EvalRows(*e.children.back(), be, sub.data(),
+                                    sub.size(), branch.data()));
+    for (size_t k = 0; k < pend.size(); ++k) {
+      out[pend[k]] = std::move(branch[k]);
+    }
+  } else {
+    for (uint32_t pos : pend) out[pos] = Value::Null();
+  }
+  return Status::OK();
+}
+
+Status EvalInListRows(const Expr& e, BatchEval* be, const uint32_t* rows,
+                      size_t n, Value* out) {
+  std::vector<Value> v(n);
+  TAURUS_RETURN_IF_ERROR(EvalRows(*e.children[0], be, rows, n, v.data()));
+  const size_t nitems = e.children.size() - 1;
+  // Constant list items evaluate once; non-constant ones per row, stopping
+  // at the first match like the scalar interpreter.
+  std::vector<uint8_t> is_const(nitems), cached(nitems, 0);
+  std::vector<Value> cache(nitems);
+  for (size_t j = 0; j < nitems; ++j) {
+    is_const[j] = IsConstExpr(*e.children[j + 1]) ? 1 : 0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (v[i].is_null()) {
+      out[i] = Value::Null();
+      continue;
+    }
+    bool saw_null = false;
+    bool found = false;
+    for (size_t j = 0; j < nitems; ++j) {
+      const Expr& item = *e.children[j + 1];
+      Value tmp;
+      const Value* iv;
+      if (is_const[j] != 0) {
+        if (cached[j] == 0) {
+          TAURUS_RETURN_IF_ERROR(EvalRows(item, be, &rows[i], 1, &cache[j]));
+          cached[j] = 1;
+        }
+        iv = &cache[j];
+      } else {
+        TAURUS_RETURN_IF_ERROR(EvalRows(item, be, &rows[i], 1, &tmp));
+        iv = &tmp;
+      }
+      if (iv->is_null()) {
+        saw_null = true;
+        continue;
+      }
+      if (Value::Compare(v[i], *iv) == 0) {
+        found = true;
+        break;
+      }
+    }
+    if (found) {
+      out[i] = Value::Bool(!e.negated);
+    } else {
+      out[i] = saw_null ? Value::Null() : Value::Bool(e.negated);
+    }
+  }
+  return Status::OK();
+}
+
+Status EvalRows(const Expr& e, BatchEval* be, const uint32_t* rows, size_t n,
+                Value* out) {
+  const Batch& b = *be->b;
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      for (size_t i = 0; i < n; ++i) out[i] = e.literal;
+      return Status::OK();
+    case Expr::Kind::kColumnRef: {
+      if (e.ref_id < 0 || static_cast<size_t>(e.ref_id) >= b.num_slots()) {
+        return Status::Internal("unbound column ref: " + e.ToString());
+      }
+      const size_t slot = static_cast<size_t>(e.ref_id);
+      const size_t col = static_cast<size_t>(e.column_idx);
+      if (b.active[slot] != 0) {
+        const std::vector<const Row*>& cp = b.cols[slot];
+        for (size_t i = 0; i < n; ++i) {
+          const Row* rw = cp[rows[i]];
+          out[i] = rw != nullptr ? (*rw)[col] : Value::Null();
+        }
+      } else {
+        // Outer-binding slot: one gather, broadcast to every row.
+        const Row* rw = b.base != nullptr ? (*b.base)[slot] : nullptr;
+        Value v = rw != nullptr ? (*rw)[col] : Value::Null();
+        for (size_t i = 0; i < n; ++i) out[i] = v;
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kBinary: {
+      if (e.bop == BinaryOp::kAnd) return EvalAndRows(e, be, rows, n, out);
+      if (e.bop == BinaryOp::kOr) return EvalOrRows(e, be, rows, n, out);
+      std::vector<Value> l(n), r(n);
+      TAURUS_RETURN_IF_ERROR(EvalRows(*e.children[0], be, rows, n, l.data()));
+      TAURUS_RETURN_IF_ERROR(EvalRows(*e.children[1], be, rows, n, r.data()));
+      if (IsComparisonOp(e.bop)) {
+        for (size_t i = 0; i < n; ++i) out[i] = EvalComparison(e.bop, l[i], r[i]);
+        return Status::OK();
+      }
+      for (size_t i = 0; i < n; ++i) {
+        TAURUS_ASSIGN_OR_RETURN(out[i], EvalArithmetic(e.bop, l[i], r[i]));
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kUnary: {
+      std::vector<Value> v(n);
+      TAURUS_RETURN_IF_ERROR(EvalRows(*e.children[0], be, rows, n, v.data()));
+      for (size_t i = 0; i < n; ++i) {
+        TAURUS_ASSIGN_OR_RETURN(out[i], EvalUnary(e.uop, v[i]));
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kFuncCall: {
+      const size_t nc = e.children.size();
+      std::vector<std::vector<Value>> ch(nc);
+      for (size_t c = 0; c < nc; ++c) {
+        ch[c].assign(n, Value());
+        TAURUS_RETURN_IF_ERROR(
+            EvalRows(*e.children[c], be, rows, n, ch[c].data()));
+      }
+      for (size_t i = 0; i < n; ++i) {
+        std::vector<Value> args;
+        args.reserve(nc);
+        for (size_t c = 0; c < nc; ++c) args.push_back(std::move(ch[c][i]));
+        TAURUS_ASSIGN_OR_RETURN(out[i], EvalFunction(e, std::move(args)));
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kCase:
+      return EvalCaseRows(e, be, rows, n, out);
+    case Expr::Kind::kInList:
+      return EvalInListRows(e, be, rows, n, out);
+    case Expr::Kind::kBetween: {
+      std::vector<Value> v(n), lo(n), hi(n);
+      TAURUS_RETURN_IF_ERROR(EvalRows(*e.children[0], be, rows, n, v.data()));
+      TAURUS_RETURN_IF_ERROR(EvalRows(*e.children[1], be, rows, n, lo.data()));
+      TAURUS_RETURN_IF_ERROR(EvalRows(*e.children[2], be, rows, n, hi.data()));
+      for (size_t i = 0; i < n; ++i) {
+        if (v[i].is_null() || lo[i].is_null() || hi[i].is_null()) {
+          out[i] = Value::Null();
+          continue;
+        }
+        bool in = Value::Compare(v[i], lo[i]) >= 0 &&
+                  Value::Compare(v[i], hi[i]) <= 0;
+        out[i] = Value::Bool(e.negated ? !in : in);
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kLike: {
+      std::vector<Value> v(n), p(n);
+      TAURUS_RETURN_IF_ERROR(EvalRows(*e.children[0], be, rows, n, v.data()));
+      TAURUS_RETURN_IF_ERROR(EvalRows(*e.children[1], be, rows, n, p.data()));
+      for (size_t i = 0; i < n; ++i) {
+        if (v[i].is_null() || p[i].is_null()) {
+          out[i] = Value::Null();
+          continue;
+        }
+        bool m = SqlLikeMatch(v[i].ToString(), p[i].ToString());
+        out[i] = Value::Bool(e.negated ? !m : m);
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kCast: {
+      std::vector<Value> v(n);
+      TAURUS_RETURN_IF_ERROR(EvalRows(*e.children[0], be, rows, n, v.data()));
+      for (size_t i = 0; i < n; ++i) {
+        TAURUS_ASSIGN_OR_RETURN(out[i], EvalCast(v[i], e.cast_type));
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kIntervalAdd: {
+      std::vector<Value> v(n);
+      TAURUS_RETURN_IF_ERROR(EvalRows(*e.children[0], be, rows, n, v.data()));
+      for (size_t i = 0; i < n; ++i) out[i] = EvalIntervalAdd(e, v[i]);
+      return Status::OK();
+    }
+    case Expr::Kind::kAgg:
+    case Expr::Kind::kExists:
+    case Expr::Kind::kInSubquery:
+    case Expr::Kind::kScalarSubquery:
+      return EvalRowsViaFrame(e, be, rows, n, out);
+  }
+  return EvalRowsViaFrame(e, be, rows, n, out);
+}
+
+/// Copy-free kernel for `col <cmp> literal` (either operand order) and
+/// `col BETWEEN lit AND lit`: compares storage rows in place, keeping rows
+/// whose comparison is non-NULL true. Returns false when the shape does
+/// not match (generic path handles it).
+bool TryFastColCmpFilter(const Expr& e, Batch* b) {
+  auto col_ok = [&](const Expr& c) {
+    return c.kind == Expr::Kind::kColumnRef && c.ref_id >= 0 &&
+           static_cast<size_t>(c.ref_id) < b->num_slots() &&
+           b->active[static_cast<size_t>(c.ref_id)] != 0;
+  };
+  if (e.kind == Expr::Kind::kBinary && IsComparisonOp(e.bop)) {
+    const Expr& c0 = *e.children[0];
+    const Expr& c1 = *e.children[1];
+    const bool col_left = col_ok(c0) && c1.kind == Expr::Kind::kLiteral;
+    const bool col_right =
+        !col_left && c0.kind == Expr::Kind::kLiteral && col_ok(c1);
+    if (!col_left && !col_right) return false;
+    const Expr& cr = col_left ? c0 : c1;
+    const Value& lit = col_left ? c1.literal : c0.literal;
+    if (lit.is_null()) {  // NULL comparand never satisfies
+      b->sel.clear();
+      return true;
+    }
+    const std::vector<const Row*>& cp = b->cols[static_cast<size_t>(cr.ref_id)];
+    const size_t col = static_cast<size_t>(cr.column_idx);
+    const BinaryOp op = e.bop;
+    size_t w = 0;
+    for (uint32_t r : b->sel) {
+      const Row* rw = cp[r];
+      if (rw == nullptr) continue;
+      const Value& v = (*rw)[col];
+      if (v.is_null()) continue;
+      const int c = col_left ? Value::Compare(v, lit) : Value::Compare(lit, v);
+      bool pass = false;
+      switch (op) {
+        case BinaryOp::kEq: pass = c == 0; break;
+        case BinaryOp::kNe: pass = c != 0; break;
+        case BinaryOp::kLt: pass = c < 0; break;
+        case BinaryOp::kLe: pass = c <= 0; break;
+        case BinaryOp::kGt: pass = c > 0; break;
+        case BinaryOp::kGe: pass = c >= 0; break;
+        default: break;
+      }
+      if (pass) b->sel[w++] = r;
+    }
+    b->sel.resize(w);
+    return true;
+  }
+  if (e.kind == Expr::Kind::kBetween && !e.negated && col_ok(*e.children[0]) &&
+      e.children[1]->kind == Expr::Kind::kLiteral &&
+      e.children[2]->kind == Expr::Kind::kLiteral) {
+    const Value& lo = e.children[1]->literal;
+    const Value& hi = e.children[2]->literal;
+    if (lo.is_null() || hi.is_null()) {
+      b->sel.clear();
+      return true;
+    }
+    const Expr& cr = *e.children[0];
+    const std::vector<const Row*>& cp = b->cols[static_cast<size_t>(cr.ref_id)];
+    const size_t col = static_cast<size_t>(cr.column_idx);
+    size_t w = 0;
+    for (uint32_t r : b->sel) {
+      const Row* rw = cp[r];
+      if (rw == nullptr) continue;
+      const Value& v = (*rw)[col];
+      if (v.is_null()) continue;
+      if (Value::Compare(v, lo) >= 0 && Value::Compare(v, hi) <= 0) {
+        b->sel[w++] = r;
+      }
+    }
+    b->sel.resize(w);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status EvalExprBatch(const Expr& expr, const Batch& batch, ExecContext* ctx,
+                     std::vector<Value>* out) {
+  const size_t n = batch.sel.size();
+  out->assign(n, Value());
+  if (n == 0) return Status::OK();
+  BatchEval be(&batch, ctx);
+  return EvalRows(expr, &be, batch.sel.data(), n, out->data());
+}
+
+Status FilterBatch(const std::vector<const Expr*>& conds, Batch* batch,
+                   ExecContext* ctx) {
+  std::vector<Value> v;
+  for (const Expr* cond : conds) {
+    if (batch->sel.empty()) return Status::OK();
+    if (TryFastColCmpFilter(*cond, batch)) continue;
+    const size_t n = batch->sel.size();
+    v.assign(n, Value());
+    BatchEval be(batch, ctx);
+    TAURUS_RETURN_IF_ERROR(
+        EvalRows(*cond, &be, batch->sel.data(), n, v.data()));
+    size_t w = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!v[i].is_null() && v[i].IsTrue()) batch->sel[w++] = batch->sel[i];
+    }
+    batch->sel.resize(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace taurus

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/fault_injector.h"
+#include "exec/batch_executor.h"
+#include "exec/exec_internal.h"
 #include "exec/expr_eval.h"
 #include "parser/ast_util.h"
 
@@ -255,6 +257,90 @@ void AnalyzeParallelSafety(BlockPlan* plan, int num_refs) {
 
   plan->parallel_eligible = true;
   plan->serial_reason.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized batch-execution eligibility (see DESIGN.md section 13)
+// ---------------------------------------------------------------------------
+
+/// Marks every operator in the subtree with whether it has a batch-at-a-time
+/// implementation, recording why not otherwise. Purely per-operator — block
+/// chain eligibility is decided separately in AnalyzeBatchSafety.
+void MarkBatchNative(PhysOp* op) {
+  if (op == nullptr) return;
+  if (op->child != nullptr) MarkBatchNative(op->child.get());
+  if (op->right != nullptr) MarkBatchNative(op->right.get());
+  op->batch_native = false;
+  op->batch_serial_reason.clear();
+  switch (op->kind) {
+    case PhysOp::Kind::kTableScan:
+    case PhysOp::Kind::kFilter:
+      op->batch_native = true;
+      break;
+    case PhysOp::Kind::kHashJoin:
+      if (HashJoinBatchNative(*op)) {
+        op->batch_native = true;
+      } else if (op->join_type == JoinType::kSemi ||
+                 op->join_type == JoinType::kAntiSemi) {
+        op->batch_serial_reason = "semi/anti hash probe";
+      } else {
+        op->batch_serial_reason = "left hash join with residual condition";
+      }
+      break;
+    case PhysOp::Kind::kNLJoin:
+      op->batch_serial_reason = "nested-loop join";
+      break;
+    case PhysOp::Kind::kIndexRange:
+      op->batch_serial_reason = "index-range scan (ordered)";
+      break;
+    case PhysOp::Kind::kIndexLookup:
+      op->batch_serial_reason = "index-lookup scan";
+      break;
+    case PhysOp::Kind::kDerivedScan:
+      op->batch_serial_reason = "derived-table scan";
+      break;
+  }
+}
+
+/// Decides whether the block's driving chain (join_root down the probe path
+/// to the driving TableScan) is batch-native end to end. Mirrors the
+/// executor's BuildBatchChain strict-mode descent; the executor may still
+/// run partial segments behind Frame adapters when this says no.
+void AnalyzeBatchSafety(BlockPlan* plan) {
+  plan->batch_eligible = false;
+  plan->batch_serial_reason.clear();
+  if (plan->join_root == nullptr) {
+    plan->batch_serial_reason = "no driving table";
+    return;
+  }
+  MarkBatchNative(plan->join_root.get());
+  for (auto& arm : plan->union_arms) AnalyzeBatchSafety(arm.get());
+
+  // A plain streaming pipeline with a row limit stops mid-scan; batching
+  // would overcharge the scan budget past the early exit, so the executor
+  // keeps it row-at-a-time.
+  if (plan->limit >= 0 && plan->agg_mode == AggMode::kNone &&
+      (plan->order_keys.empty() || plan->order_satisfied) &&
+      !plan->distinct) {
+    plan->batch_serial_reason = "row-limit early exit";
+    return;
+  }
+
+  const PhysOp* cur = plan->join_root.get();
+  while (cur != nullptr) {
+    if (!cur->batch_native) {
+      plan->batch_serial_reason = cur->batch_serial_reason.empty()
+                                      ? "row-at-a-time operator in chain"
+                                      : cur->batch_serial_reason;
+      return;
+    }
+    if (cur->kind == PhysOp::Kind::kTableScan) {
+      plan->batch_eligible = true;
+      return;
+    }
+    cur = DrivingChild(*cur);
+  }
+  plan->batch_serial_reason = "no driving table scan";
 }
 
 bool BlockIsCorrelated(const QueryBlock& block, int num_refs) {
@@ -985,6 +1071,7 @@ Result<std::unique_ptr<BlockPlan>> Refiner::RefineBlock(
     }
   }
   AnalyzeParallelSafety(plan.get(), num_refs_);
+  AnalyzeBatchSafety(plan.get());
   return plan;
 }
 

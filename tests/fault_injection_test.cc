@@ -402,6 +402,7 @@ TEST_F(FaultInjectionTest, TraceShowsAbortedDetourSpanWithStatusPayload) {
   // verifier aborts the detour with [verify.skeleton/S004].
   db_->trace_config().enable = true;
   db_->orca_config().flip_inner_hash_build = false;
+  db_->verify_config().verify_plans = true;
   db_->verify_config().enforce = true;
 
   bool found = false;

@@ -414,7 +414,9 @@ TEST_F(ObsEngineTest, MetricsJsonCarriesMigratedCounters) {
         "taurus.query.errors", "taurus.query.optimize_ms",
         "taurus.query.execute_ms", "taurus.exec.rows_scanned",
         "taurus.exec.index_lookups", "taurus.exec.parallel_queries",
-        "taurus.exec.parallel_pipelines", "taurus.quarantine.entries"}) {
+        "taurus.exec.parallel_pipelines", "taurus.exec.batch.pipelines",
+        "taurus.exec.batch.batches", "taurus.exec.batch.rows",
+        "taurus.quarantine.entries"}) {
     EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
         << "missing " << key << " in " << json;
   }
