@@ -7,7 +7,10 @@
 #     1. RelWithDebInfo with -DTAURUS_WERROR=ON (warnings are errors), the
 #        configuration the plan verifiers gate behind the verify_plans knob.
 #     2. Debug in build-debug, where the plan verifiers are always on
-#        (kVerifyPlansDefault) and assertions are live.
+#        (kVerifyPlansDefault), assertions are live, and the lock-rank
+#        registry is armed (kLockRankChecksDefault): every mutex
+#        acquisition in the suite is order-checked against the DESIGN.md
+#        section 12 rank table, aborting on the first violation.
 #   TAURUS_SANITIZE=address|undefined|address,undefined|thread scripts/check.sh
 #     opt-in sanitizer mode: builds with -fsanitize=<value> in its own
 #     build dir (build-asan / build-ubsan / build-asan-ubsan / build-tsan /
@@ -27,6 +30,14 @@
 #     the compile database from the default build dir instead of the test
 #     legs. Skips with a message and exit 0 when clang-tidy is not
 #     installed, so the gate is a no-op on machines without it.
+#   TAURUS_THREAD_SAFETY=1 scripts/check.sh
+#     thread-safety mode: builds all of src/ with clang++ under
+#     -Wthread-safety -Werror=thread-safety (the annotations in
+#     src/common/thread_annotations.h become compile errors), then
+#     compiles scripts/tsa_mutation_check.cc — a deliberately mis-locked
+#     access — EXPECTING failure, so a silently toothless gate is itself a
+#     failure. Skips with a message and exit 0 when clang++ is not
+#     installed (the annotations are no-ops off Clang).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -42,7 +53,36 @@ if [[ -n "${TAURUS_LINT:-}" && "${TAURUS_LINT}" != "0" ]]; then
   mapfile -t sources < <(find "$repo_root/src" -name '*.cc' | sort)
   echo "check.sh: clang-tidy over ${#sources[@]} files in src/"
   clang-tidy -p "$build_dir" --quiet "${sources[@]}"
-  echo "check.sh: lint leg passed."
+  # One-line summary of what actually ran, so CI logs show the coverage.
+  num_checks=$(cd "$repo_root" && clang-tidy --list-checks 2>/dev/null     | grep -c '^    ' || true)
+  echo "check.sh: lint leg passed — ${num_checks} clang-tidy checks over"        "${#sources[@]} files (config .clang-tidy + src/common/.clang-tidy)."
+  exit 0
+fi
+
+if [[ -n "${TAURUS_THREAD_SAFETY:-}" && "${TAURUS_THREAD_SAFETY}" != "0" ]]; then
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "check.sh: clang++ not found; skipping thread-safety leg"          "(annotations are no-ops off Clang)." >&2
+    exit 0
+  fi
+  build_dir="${1:-$repo_root/build-thread-safety}"
+  echo "check.sh: thread-safety leg — clang++ with -Werror=thread-safety"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_CXX_COMPILER=clang++     -DTAURUS_THREAD_SAFETY=ON
+  cmake --build "$build_dir" -j "$(nproc)"
+  # Mutation check: a mis-locked access must (a) be accepted without the
+  # analysis (so any failure below is attributable to the annotations) and
+  # (b) be rejected with a thread-safety diagnostic under the gate's flags.
+  probe="$repo_root/scripts/tsa_mutation_check.cc"
+  clang++ -std=c++20 -I "$repo_root/src" -fsyntax-only "$probe"
+  if out=$(clang++ -std=c++20 -I "$repo_root/src" -Wthread-safety              -Werror=thread-safety -fsyntax-only "$probe" 2>&1); then
+    echo "check.sh: FAIL — tsa_mutation_check.cc compiled cleanly; the"          "thread-safety gate is not checking anything." >&2
+    exit 1
+  fi
+  if ! grep -q "thread-safety" <<<"$out"; then
+    echo "check.sh: FAIL — tsa_mutation_check.cc failed for a reason other"          "than thread safety:" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  echo "check.sh: thread-safety leg passed (src/ clean, mutation rejected)."
   exit 0
 fi
 
@@ -108,7 +148,7 @@ echo "check.sh: batch executor bench (BENCH_exec_batch.json)"
 (cd "$build_dir" && "./bench/micro_executor" --json \
   --benchmark_filter=BM_SequentialScan)
 
-echo "check.sh: leg 2/2 — Debug, plan verifiers always on"
+echo "check.sh: leg 2/2 — Debug, plan verifiers + lock-rank registry armed"
 debug_dir="$repo_root/build-debug"
 cmake -B "$debug_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Debug -DTAURUS_WERROR=ON
 cmake --build "$debug_dir" -j "$(nproc)"

@@ -1,0 +1,34 @@
+// Mutation test for the thread-safety gate (scripts/check.sh,
+// TAURUS_THREAD_SAFETY=1 leg): a deliberately mis-locked access that MUST
+// fail to compile under clang -Wthread-safety -Werror=thread-safety. The
+// leg compiles this file EXPECTING failure; if it ever compiles cleanly,
+// the annotations (or the gate's flags) have stopped checking anything and
+// the leg fails. Not part of any build target.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(long amount) {
+    taurus::MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  // BUG (deliberate): reads the guarded field without holding mu_. The
+  // thread-safety analysis must reject this line.
+  long balance() const { return balance_; }
+
+ private:
+  mutable taurus::Mutex mu_{taurus::LockRank::kUnranked, "test.account"};
+  long balance_ TAURUS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return static_cast<int>(account.balance());
+}

@@ -1,7 +1,9 @@
 #include "common/fault_injector.h"
 
-#include <mutex>
 #include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace taurus {
 
@@ -31,8 +33,9 @@ struct FaultInjector::Impl {
     int64_t trips = 0;
   };
 
-  mutable std::mutex mu;
-  std::unordered_map<std::string, Point> points;
+  // Leaf rank: only map bookkeeping happens under it, never other locks.
+  mutable Mutex mu{LockRank::kFaultInjector, "common.fault_injector"};
+  std::unordered_map<std::string, Point> points TAURUS_GUARDED_BY(mu);
 };
 
 FaultInjector::FaultInjector() : impl_(new Impl) {}
@@ -45,7 +48,7 @@ FaultInjector& FaultInjector::Instance() {
 
 void FaultInjector::ArmCount(const std::string& point, int count,
                              StatusCode code) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   Impl::Point& p = impl_->points[point];
   p = Impl::Point{};
   p.remaining = count;
@@ -56,7 +59,7 @@ void FaultInjector::ArmCount(const std::string& point, int count,
 
 void FaultInjector::ArmProbability(const std::string& point, double p,
                                    uint64_t seed, StatusCode code) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   Impl::Point& entry = impl_->points[point];
   entry = Impl::Point{};
   entry.remaining = -1;
@@ -68,32 +71,32 @@ void FaultInjector::ArmProbability(const std::string& point, double p,
 }
 
 void FaultInjector::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   impl_->points.erase(point);
   armed_points_.store(static_cast<int>(impl_->points.size()),
                       std::memory_order_relaxed);
 }
 
 void FaultInjector::DisarmAll() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   impl_->points.clear();
   armed_points_.store(0, std::memory_order_relaxed);
 }
 
 int64_t FaultInjector::trips(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   auto it = impl_->points.find(point);
   return it == impl_->points.end() ? 0 : it->second.trips;
 }
 
 int64_t FaultInjector::hits(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   auto it = impl_->points.find(point);
   return it == impl_->points.end() ? 0 : it->second.hits;
 }
 
 Status FaultInjector::Check(const char* point) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   auto it = impl_->points.find(point);
   if (it == impl_->points.end()) return Status::OK();
   Impl::Point& p = it->second;

@@ -11,9 +11,10 @@ namespace taurus {
 
 /// Value-or-error holder, modeled after arrow::Result. A Result<T> holds
 /// either a T or a non-OK Status; constructing one from an OK Status is a
-/// programming error.
+/// programming error. [[nodiscard]] as on Status: a dropped Result is a
+/// dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): mirror arrow::Result.
   Result(T value) : repr_(std::move(value)) {}

@@ -30,8 +30,10 @@ const char* StatusCodeName(StatusCode code);
 
 /// A lightweight success/error result, modeled after arrow::Status.
 /// Functions that can fail return Status (or Result<T>); exceptions are not
-/// used for control flow anywhere in the library.
-class Status {
+/// used for control flow anywhere in the library. [[nodiscard]] on the
+/// class makes silently dropping a returned Status a compile error under
+/// -Werror: handle it, or cast to void with a comment saying why not.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(int workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -30,7 +30,7 @@ bool ThreadPool::TryRun(int n, const std::function<void(int)>& fn) {
   n = std::min(n, size());
   if (n <= 0) return false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (busy_) return false;  // reentrant use; caller runs serially
     busy_ = true;
     task_ = &fn;
@@ -38,10 +38,10 @@ bool ThreadPool::TryRun(int n, const std::function<void(int)>& fn) {
     remaining_ = n;
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    MutexLock lock(&mu_);
+    while (remaining_ != 0) done_cv_.Wait(mu_);
     task_ = nullptr;
     busy_ = false;
   }
@@ -53,8 +53,8 @@ void ThreadPool::WorkerLoop(int worker_id) {
   for (;;) {
     const std::function<void(int)>* task = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && generation_ == seen) work_cv_.Wait(mu_);
       if (shutdown_) return;
       seen = generation_;
       if (worker_id >= task_width_) continue;  // not part of this batch
@@ -62,8 +62,8 @@ void ThreadPool::WorkerLoop(int worker_id) {
     }
     (*task)(worker_id);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--remaining_ == 0) done_cv_.notify_all();
+      MutexLock lock(&mu_);
+      if (--remaining_ == 0) done_cv_.NotifyAll();
     }
   }
 }

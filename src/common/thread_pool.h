@@ -1,11 +1,12 @@
 #ifndef TAURUS_COMMON_THREAD_POOL_H_
 #define TAURUS_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace taurus {
 
@@ -35,24 +36,26 @@ class ThreadPool {
   /// and blocks until all invocations return. Returns false without running
   /// anything if a batch is already in flight — i.e. a task tried to use the
   /// pool reentrantly; the caller then falls back to its serial path.
-  bool TryRun(int n, const std::function<void(int)>& fn);
+  bool TryRun(int n, const std::function<void(int)>& fn)
+      TAURUS_EXCLUDES(mu_);
 
   /// hardware_concurrency with a floor of 1 (the standard allows 0).
   static int HardwareWorkers();
 
  private:
-  void WorkerLoop(int worker_id);
+  void WorkerLoop(int worker_id) TAURUS_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   ///< signals workers: new generation
-  std::condition_variable done_cv_;   ///< signals TryRun: batch finished
-  const std::function<void(int)>* task_ = nullptr;  ///< current batch body
-  int task_width_ = 0;       ///< workers participating in current batch
-  int remaining_ = 0;        ///< workers not yet finished with the batch
-  uint64_t generation_ = 0;  ///< bumped per batch; workers wait on it
-  bool busy_ = false;        ///< a batch is in flight (reentrancy guard)
-  bool shutdown_ = false;
-  std::vector<std::thread> threads_;
+  Mutex mu_{LockRank::kThreadPool, "common.thread_pool"};
+  CondVar work_cv_;  ///< signals workers: new generation
+  CondVar done_cv_;  ///< signals TryRun: batch finished
+  const std::function<void(int)>* task_ TAURUS_GUARDED_BY(mu_) =
+      nullptr;  ///< current batch body
+  int task_width_ TAURUS_GUARDED_BY(mu_) = 0;  ///< workers in current batch
+  int remaining_ TAURUS_GUARDED_BY(mu_) = 0;   ///< workers not yet finished
+  uint64_t generation_ TAURUS_GUARDED_BY(mu_) = 0;  ///< bumped per batch
+  bool busy_ TAURUS_GUARDED_BY(mu_) = false;  ///< batch in flight (reentrancy)
+  bool shutdown_ TAURUS_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  ///< immutable after the constructor
 };
 
 }  // namespace taurus

@@ -6,6 +6,7 @@
 
 #include "bridge/decorrelate.h"
 #include "bridge/parse_tree_converter.h"
+#include "common/lock_rank.h"
 #include "common/strings.h"
 #include "engine/explain.h"
 #include "exec/block_executor.h"
@@ -308,6 +309,15 @@ void Database::SyncGaugeMetrics() {
       ->Set(static_cast<double>(feedback_store_.lru_evictions()));
   metrics_.GetGauge("taurus.feedback.version_resets")
       ->Set(static_cast<double>(feedback_store_.version_resets()));
+  // Lock-rank analyzer (DESIGN.md section 14). Process-wide, not per-DB:
+  // the held-lock stacks are per-thread and every instrumented mutex in
+  // the process feeds the same counters.
+  metrics_.GetGauge("taurus.verify.lock_rank.enabled")
+      ->Set(LockRankRegistry::enabled() ? 1.0 : 0.0);
+  metrics_.GetGauge("taurus.verify.lock_rank.checks")
+      ->Set(static_cast<double>(LockRankRegistry::checks()));
+  metrics_.GetGauge("taurus.verify.lock_rank.violations")
+      ->Set(static_cast<double>(LockRankRegistry::violations()));
 }
 
 std::string Database::MetricsJson() {
@@ -341,7 +351,7 @@ std::shared_ptr<Tracer> Database::BeginTrace(const QueryOptions& options) {
   // Publish as the "most recent" trace — or clear it when tracing is off,
   // preserving the single-session contract that last_trace() is null after
   // an untraced query.
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(&state_mu_);
   last_tracer_ = tracer;
   return tracer;
 }
@@ -576,7 +586,7 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
       detour_span.End();
       std::unique_ptr<BlockSkeleton> skeleton = std::move(*orca_skel);
       {
-        std::lock_guard<std::mutex> lock(state_mu_);
+        MutexLock lock(&state_mu_);
         last_orca_metrics_ = orca.metrics();
       }
       // Freeze before refinement consumes the statement.
@@ -967,7 +977,7 @@ Result<std::string> Database::ExplainAnalyzeJsonDump(const std::string& sql,
 }
 
 std::shared_ptr<ThreadPool> Database::GetPool(int workers) {
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(&pool_mu_);
   if (pool_ == nullptr || pool_->size() != workers) {
     // Resize by replacement: queries armed against the old pool keep it
     // alive (and functional) through their ExecContext::pool_owner.

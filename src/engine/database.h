@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +10,8 @@
 #include "bridge/orca_path.h"
 #include "bridge/router.h"
 #include "catalog/catalog.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/clock.h"
 #include "common/resource_budget.h"
 #include "common/result.h"
@@ -270,13 +271,13 @@ class Database {
   /// (Session::last_trace()). The pointer stays valid until the next
   /// traced query replaces it.
   const Tracer* last_trace() const {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(&state_mu_);
     return last_tracer_.get();
   }
   /// Shared handle to the same trace (does not dangle when another session
   /// publishes a newer one).
   std::shared_ptr<const Tracer> last_trace_shared() const {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(&state_mu_);
     return last_tracer_;
   }
 
@@ -298,13 +299,13 @@ class Database {
   /// returned by value so the copy is internally consistent even when
   /// another session compiles concurrently).
   OrcaPathMetrics last_orca_metrics() const {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(&state_mu_);
     return last_orca_metrics_;
   }
   /// True when the most recent kAuto/kOrca compile fell back to MySQL
   /// (most-recent view; concurrent sessions read QueryResult::fell_back).
   bool last_compile_fell_back() const {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(&state_mu_);
     return last_fell_back_;
   }
 
@@ -353,7 +354,7 @@ class Database {
 
   /// Publishes the most-recent-compile fallback flag (single-session view).
   void SetLastFellBack(bool fell_back) {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(&state_mu_);
     last_fell_back_ = fell_back;
   }
 
@@ -434,15 +435,19 @@ class Database {
   QuarantineTable quarantine_;
 
   /// Guards the "most recent" single-session views (trace, Orca metrics,
-  /// fallback flag). Leaf lock: nothing else is acquired under it.
-  mutable std::mutex state_mu_;
-  std::shared_ptr<Tracer> last_tracer_;
-  OrcaPathMetrics last_orca_metrics_;
-  bool last_fell_back_ = false;
+  /// fallback flag). Leaf rank 100: nothing else is acquired under it.
+  mutable Mutex state_mu_{LockRank::kDatabaseState, "engine.state"};
+  std::shared_ptr<Tracer> last_tracer_ TAURUS_GUARDED_BY(state_mu_);
+  OrcaPathMetrics last_orca_metrics_ TAURUS_GUARDED_BY(state_mu_);
+  bool last_fell_back_ TAURUS_GUARDED_BY(state_mu_) = false;
 
   /// Guards pool creation/resize; queries pin the pool via shared_ptr.
-  std::mutex pool_mu_;
-  std::shared_ptr<ThreadPool> pool_;
+  /// Rank 60, deliberately below the thread pool's rank 70: replacing the
+  /// pool destroys the old ThreadPool under this lock, which acquires
+  /// ThreadPool::mu_ for shutdown — the one sanctioned cross-class
+  /// nesting (DESIGN.md section 12 rank table).
+  Mutex pool_mu_{LockRank::kPoolGate, "engine.pool_gate"};
+  std::shared_ptr<ThreadPool> pool_ TAURUS_GUARDED_BY(pool_mu_);
 };
 
 }  // namespace taurus

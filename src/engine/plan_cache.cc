@@ -219,6 +219,10 @@ size_t PlanCache::ShardCountFor(size_t capacity) {
 
 PlanCache::PlanCache(size_t capacity)
     : capacity_(capacity), shard_count_(ShardCountFor(capacity)) {
+  for (size_t i = 0; i < kMaxShards; ++i) {
+    shards_[i].mu.SetRank(LockRank::kPlanCacheShard,
+                          "engine.plan_cache.shard", static_cast<int>(i));
+  }
   ApplyCapacityLocked(capacity);  // single-threaded in the constructor
 }
 
@@ -227,7 +231,7 @@ std::shared_ptr<const PlanCacheEntry> PlanCache::Lookup(
     uint64_t feedback_version) {
   Shard& shard = shards_[ShardIndex(key, shard_count())];
   {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    ReaderMutexLock lock(&shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -253,7 +257,7 @@ std::shared_ptr<const PlanCacheEntry> PlanCache::Lookup(
   // q-error threshold (DESIGN.md section 11). Escalate to the shard's
   // exclusive lock and re-check — rare, so hits never pay for it.
   {
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    WriterMutexLock lock(&shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       const PlanCacheEntry& entry = *it->second;
@@ -277,7 +281,7 @@ void PlanCache::Insert(const std::string& key, PlanCacheEntry entry) {
   entry.last_used = NextTick();
   auto node = std::make_shared<PlanCacheEntry>(std::move(entry));
   Shard& shard = shards_[ShardIndex(key, shard_count())];
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  WriterMutexLock lock(&shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     // Replace in place; readers holding the old shared_ptr keep a valid
@@ -311,7 +315,7 @@ void PlanCache::EvictOverCapacityLocked(Shard* shard) {
 
 void PlanCache::Clear() {
   for (auto& shard : shards_) {  // ascending index: the lock hierarchy
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    WriterMutexLock lock(&shard.mu);
     shard.map.clear();
   }
 }
@@ -319,7 +323,7 @@ void PlanCache::Clear() {
 size_t PlanCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    ReaderMutexLock lock(&shard.mu);
     total += shard.map.size();
   }
   return total;
@@ -353,11 +357,15 @@ void PlanCache::ApplyCapacityLocked(size_t capacity) {
   }
 }
 
-void PlanCache::set_capacity(size_t capacity) {
-  // All-shard exclusive section, ascending index order (lock hierarchy).
-  std::array<std::unique_lock<std::shared_mutex>, kMaxShards> locks;
+// All-shard exclusive section, ascending index order. Holding a variable
+// set of locks at once is inexpressible in the static analysis (opted out
+// here); the LockRankRegistry checks the ascending-stripe order of this
+// exact sweep at runtime (rule LR2).
+void PlanCache::set_capacity(size_t capacity)
+    TAURUS_NO_THREAD_SAFETY_ANALYSIS {
+  std::array<std::unique_lock<SharedMutex>, kMaxShards> locks;
   for (size_t i = 0; i < kMaxShards; ++i) {
-    locks[i] = std::unique_lock<std::shared_mutex>(shards_[i].mu);
+    locks[i] = std::unique_lock<SharedMutex>(shards_[i].mu);
   }
   ApplyCapacityLocked(capacity);
 }

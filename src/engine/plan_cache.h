@@ -5,12 +5,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "frontend/binder.h"
 #include "myopt/skeleton.h"
 
@@ -181,9 +182,14 @@ class PlanCache {
   static constexpr size_t kShardingThreshold = 16;
 
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<std::string, std::shared_ptr<PlanCacheEntry>> map;
-    size_t capacity = 0;  ///< this shard's slice of the global capacity
+    /// Rank 20, striped: same-rank nesting is legal only in ascending
+    /// stripe order (registry rule LR2). Ranked in the PlanCache
+    /// constructor because std::array default-constructs its elements.
+    mutable SharedMutex mu;
+    std::unordered_map<std::string, std::shared_ptr<PlanCacheEntry>> map
+        TAURUS_GUARDED_BY(mu);
+    /// This shard's slice of the global capacity.
+    size_t capacity TAURUS_GUARDED_BY(mu) = 0;
   };
 
   static size_t ShardCountFor(size_t capacity);
@@ -194,9 +200,13 @@ class PlanCache {
     return tick_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
   /// Requires the shard's exclusive lock.
-  void EvictOverCapacityLocked(Shard* shard);
-  /// Requires all shard locks; recomputes slices and re-shards if needed.
-  void ApplyCapacityLocked(size_t capacity);
+  void EvictOverCapacityLocked(Shard* shard) TAURUS_REQUIRES(shard->mu);
+  /// Requires every shard lock exclusively (or pre-concurrency exclusive
+  /// access in the constructor); recomputes slices and re-shards if
+  /// needed. A variable set of array-indexed locks is beyond the static
+  /// analysis, so the function opts out; the LockRankRegistry's
+  /// ascending-stripe rule (LR2) checks the callers' sweeps at runtime.
+  void ApplyCapacityLocked(size_t capacity) TAURUS_NO_THREAD_SAFETY_ANALYSIS;
 
   std::array<Shard, kMaxShards> shards_;
   std::atomic<size_t> capacity_;

@@ -1,7 +1,5 @@
 #include "engine/quarantine.h"
 
-#include <mutex>
-
 namespace taurus {
 
 bool QuarantineTable::IsQuarantined(uint64_t fingerprint,
@@ -16,7 +14,7 @@ bool QuarantineTable::IsQuarantined(uint64_t fingerprint,
     return false;
   }
   shared_checks_.fetch_add(1, std::memory_order_relaxed);
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = map_.find(fingerprint);
   if (it == map_.end()) return false;
   const Entry& e = it->second;
@@ -33,7 +31,7 @@ void QuarantineTable::RecordFailure(uint64_t fingerprint,
                                     uint64_t schema_version,
                                     uint64_t stats_version) {
   exclusive_updates_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   Entry& e = map_[fingerprint];
   if (e.schema_version != schema_version || e.stats_version != stats_version) {
     e = Entry{};
@@ -46,7 +44,7 @@ void QuarantineTable::RecordFailure(uint64_t fingerprint,
 
 void QuarantineTable::Clear() {
   exclusive_updates_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   map_.clear();
   size_.store(0, std::memory_order_release);
 }

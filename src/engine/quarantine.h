@@ -3,8 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <shared_mutex>
 #include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace taurus {
 
@@ -29,14 +31,15 @@ class QuarantineTable {
   /// failures and the catalog versions have not moved since (a DDL/ANALYZE
   /// version bump makes the entry stale, lifting the quarantine).
   bool IsQuarantined(uint64_t fingerprint, uint64_t schema_version,
-                     uint64_t stats_version, int failure_threshold) const;
+                     uint64_t stats_version, int failure_threshold) const
+      TAURUS_EXCLUDES(mu_);
 
   /// Counts one detour failure; an entry recorded under older catalog
   /// versions restarts from zero.
   void RecordFailure(uint64_t fingerprint, uint64_t schema_version,
-                     uint64_t stats_version);
+                     uint64_t stats_version) TAURUS_EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() TAURUS_EXCLUDES(mu_);
   size_t Size() const;
 
   /// Lookups answered by the lock-free empty check alone.
@@ -62,8 +65,8 @@ class QuarantineTable {
   /// Mirrors map_.size(); maintained under the exclusive lock, read
   /// lock-free by IsQuarantined's empty fast path.
   std::atomic<size_t> size_{0};
-  mutable std::shared_mutex mu_;
-  std::unordered_map<uint64_t, Entry> map_;
+  mutable SharedMutex mu_{LockRank::kQuarantine, "engine.quarantine"};
+  std::unordered_map<uint64_t, Entry> map_ TAURUS_GUARDED_BY(mu_);
 
   mutable std::atomic<int64_t> fast_path_checks_{0};
   mutable std::atomic<int64_t> shared_checks_{0};

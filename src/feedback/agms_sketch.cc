@@ -78,7 +78,7 @@ std::string SketchSet::StreamKey(int ref_id, int column_idx) {
 }
 
 AgmsSketch* SketchSet::BeginStream(const std::string& key, const void* owner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = streams_.try_emplace(key);
   Stream& s = it->second;
   if (inserted) {
@@ -92,7 +92,7 @@ AgmsSketch* SketchSet::BeginStream(const std::string& key, const void* owner) {
 }
 
 std::map<std::string, std::unique_ptr<AgmsSketch>> SketchSet::TakeValid() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::map<std::string, std::unique_ptr<AgmsSketch>> out;
   for (auto& [key, stream] : streams_) {
     if (stream.poisoned || stream.sketch == nullptr) continue;

@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace taurus {
 
@@ -77,10 +79,12 @@ class SketchSet {
 
   /// Claims the stream for `owner` and returns its sketch, or null when
   /// the stream belongs to someone else or has been poisoned. Thread-safe.
-  AgmsSketch* BeginStream(const std::string& key, const void* owner);
+  AgmsSketch* BeginStream(const std::string& key, const void* owner)
+      TAURUS_EXCLUDES(mu_);
 
   /// Moves out every valid (unpoisoned) sketch that saw at least one row.
-  std::map<std::string, std::unique_ptr<AgmsSketch>> TakeValid();
+  std::map<std::string, std::unique_ptr<AgmsSketch>> TakeValid()
+      TAURUS_EXCLUDES(mu_);
 
  private:
   struct Stream {
@@ -91,8 +95,10 @@ class SketchSet {
 
   int depth_;
   int width_;
-  std::mutex mu_;
-  std::map<std::string, Stream> streams_;
+  /// Leaf rank: taken from executor worker threads while a hash join
+  /// claims its key streams; nothing else is ever locked under it.
+  Mutex mu_{LockRank::kSketchSet, "feedback.sketch_set"};
+  std::map<std::string, Stream> streams_ TAURUS_GUARDED_BY(mu_);
 };
 
 }  // namespace taurus

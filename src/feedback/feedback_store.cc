@@ -77,7 +77,7 @@ std::shared_ptr<const FeedbackSnapshot> FeedbackStore::Snapshot(
     // are written exclusively under the unique lock, so reading them here
     // is race-free; recency goes through atomic_ref because concurrent
     // readers race on the stamp.
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     auto idx = index_.find(fingerprint);
     if (idx == index_.end()) return nullptr;
     const Entry& e = *idx->second;
@@ -93,7 +93,7 @@ std::shared_ptr<const FeedbackSnapshot> FeedbackStore::Snapshot(
   }
   // Stale (DDL/ANALYZE since harvest) or aged out: escalate to the
   // exclusive lock, re-check, and erase — rare, so readers never pay.
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   auto idx = index_.find(fingerprint);
   if (idx == index_.end()) return nullptr;
   const Entry& e = *idx->second;
@@ -110,7 +110,7 @@ std::shared_ptr<const FeedbackSnapshot> FeedbackStore::Snapshot(
 }
 
 uint64_t FeedbackStore::DriftVersion(uint64_t fingerprint) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto idx = index_.find(fingerprint);
   if (idx == index_.end()) return 0;
   return idx->second->drift_version;
@@ -129,7 +129,7 @@ HarvestResult FeedbackStore::Harvest(uint64_t fingerprint,
     out.max_q_error = std::max(out.max_q_error, SampleQError(est, it->second));
   }
 
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   auto idx = index_.find(fingerprint);
   Entry* entry = nullptr;
   if (idx != index_.end()) {
@@ -180,12 +180,12 @@ HarvestResult FeedbackStore::Harvest(uint64_t fingerprint,
 }
 
 void FeedbackStore::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   index_.clear();
 }
 
 size_t FeedbackStore::Size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return index_.size();
 }
 

@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "feedback/agms_sketch.h"
 
 namespace taurus {
@@ -94,12 +95,13 @@ class FeedbackStore {
   /// Touches LRU recency.
   std::shared_ptr<const FeedbackSnapshot> Snapshot(uint64_t fingerprint,
                                                    uint64_t schema_version,
-                                                   uint64_t stats_version);
+                                                   uint64_t stats_version)
+      TAURUS_EXCLUDES(mu_);
 
   /// Current drift version for `fingerprint` (0 when unknown). Cached
   /// plans are stamped with this at compile time; a later bump invalidates
   /// exactly this fingerprint's cache entry.
-  uint64_t DriftVersion(uint64_t fingerprint) const;
+  uint64_t DriftVersion(uint64_t fingerprint) const TAURUS_EXCLUDES(mu_);
 
   /// Folds one execution's sample in: merges actuals/sketches over any
   /// existing entry and bumps the drift version when the observed max
@@ -107,11 +109,11 @@ class FeedbackStore {
   /// (so a re-optimized plan that now estimates well does not thrash).
   HarvestResult Harvest(uint64_t fingerprint, FeedbackSample sample,
                         double qerror_threshold, uint64_t schema_version,
-                        uint64_t stats_version);
+                        uint64_t stats_version) TAURUS_EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() TAURUS_EXCLUDES(mu_);
 
-  size_t Size() const;
+  size_t Size() const TAURUS_EXCLUDES(mu_);
   int64_t lru_evictions() const;
   int64_t aged_out() const;
   int64_t version_resets() const;  ///< entries dropped on DDL/ANALYZE drift
@@ -135,11 +137,12 @@ class FeedbackStore {
   }
   /// Evicts least-recently-stamped entries beyond capacity (exclusive lock
   /// required).
-  void EvictOverCapacityLocked();
+  void EvictOverCapacityLocked() TAURUS_REQUIRES(mu_);
 
   const FeedbackConfig& config_;
-  mutable std::shared_mutex mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<Entry>> index_;
+  mutable SharedMutex mu_{LockRank::kFeedbackStore, "feedback.store"};
+  std::unordered_map<uint64_t, std::shared_ptr<Entry>> index_
+      TAURUS_GUARDED_BY(mu_);
   std::atomic<uint64_t> tick_{0};
   std::atomic<int64_t> lru_evictions_{0};
   std::atomic<int64_t> aged_out_{0};

@@ -2,8 +2,6 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
-#include <shared_mutex>
 
 #include "catalog/histogram.h"
 #include "common/fault_injector.h"
@@ -348,7 +346,7 @@ Result<MdpRelationInfo> MetadataProvider::ParseRelationDxl(
 Result<const MdpRelationInfo*> MetadataProvider::GetRelation(
     int64_t relation_oid) {
   {
-    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    ReaderMutexLock lock(&cache_mu_);
     auto it = cache_.find(relation_oid);
     if (it != cache_.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -362,7 +360,7 @@ Result<const MdpRelationInfo*> MetadataProvider::GetRelation(
   TAURUS_ASSIGN_OR_RETURN(std::string dxl, RelationToDxl(relation_oid));
   TAURUS_ASSIGN_OR_RETURN(MdpRelationInfo info, ParseRelationDxl(dxl));
   auto owned = std::make_unique<MdpRelationInfo>(std::move(info));
-  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  WriterMutexLock lock(&cache_mu_);
   auto [it, inserted] = cache_.emplace(relation_oid, std::move(owned));
   if (!inserted) cache_hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second.get();

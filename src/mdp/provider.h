@@ -4,12 +4,13 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "mdp/oid_layout.h"
 
 namespace taurus {
@@ -93,7 +94,8 @@ class MetadataProvider {
   /// the hit path; a miss serializes/parses outside the lock and inserts
   /// double-checked. Returned pointers stay valid for the provider's
   /// lifetime (entries are never evicted, only added).
-  Result<const MdpRelationInfo*> GetRelation(int64_t relation_oid);
+  Result<const MdpRelationInfo*> GetRelation(int64_t relation_oid)
+      TAURUS_EXCLUDES(cache_mu_);
 
   // Cache instrumentation.
   int64_t dxl_requests() const {
@@ -105,8 +107,10 @@ class MetadataProvider {
 
  private:
   const Catalog* catalog_;
-  mutable std::shared_mutex cache_mu_;
-  std::map<int64_t, std::unique_ptr<MdpRelationInfo>> cache_;
+  mutable SharedMutex cache_mu_{LockRank::kMdpRelationCache,
+                                "mdp.relation_cache"};
+  std::map<int64_t, std::unique_ptr<MdpRelationInfo>> cache_
+      TAURUS_GUARDED_BY(cache_mu_);
   std::atomic<int64_t> dxl_requests_{0};
   std::atomic<int64_t> cache_hits_{0};
 };

@@ -15,28 +15,28 @@ std::string FormatDouble(double v) {
 }  // namespace
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
   return slot.get();
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Merge the three kinds into one sorted key space.
   std::map<std::string, std::string> entries;
   for (const auto& [name, c] : counters_) {
@@ -61,7 +61,7 @@ std::string MetricsRegistry::ToJson() const {
 
 std::vector<std::pair<std::string, std::string>> MetricsRegistry::Snapshot()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::map<std::string, std::string> entries;
   for (const auto& [name, c] : counters_) {
     entries[name] = std::to_string(c->Value());
@@ -80,7 +80,7 @@ std::vector<std::pair<std::string, std::string>> MetricsRegistry::Snapshot()
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/latency_histogram.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace taurus {
 
@@ -50,29 +51,35 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  LatencyHistogram* GetHistogram(const std::string& name);
+  Counter* GetCounter(const std::string& name) TAURUS_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) TAURUS_EXCLUDES(mu_);
+  LatencyHistogram* GetHistogram(const std::string& name) TAURUS_EXCLUDES(mu_);
 
   /// One JSON object, keys sorted: counters as integers, gauges as
   /// numbers, histograms as {count, sum_ms, p50, p95, p99, max_ms}.
-  std::string ToJson() const;
+  std::string ToJson() const TAURUS_EXCLUDES(mu_);
 
   /// Flat (name, value-string) rows for the SHOW STATUS statement;
   /// histograms expand into `.count` / `.p50` / `.p95` / `.p99` /
   /// `.max_ms` rows.
-  std::vector<std::pair<std::string, std::string>> Snapshot() const;
+  std::vector<std::pair<std::string, std::string>> Snapshot() const
+      TAURUS_EXCLUDES(mu_);
 
   /// Zeroes every registered metric (registration survives).
-  void Reset();
+  void Reset() TAURUS_EXCLUDES(mu_);
 
   static MetricsRegistry& Global();
 
  private:
-  mutable std::mutex mu_;  // guards the maps; metric objects are atomic
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  /// Leaf rank: registration/serialization only; metric objects are
+  /// atomic, so hot-path updates never come near this lock.
+  mutable Mutex mu_{LockRank::kMetricsRegistry, "obs.metrics_registry"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      TAURUS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      TAURUS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      TAURUS_GUARDED_BY(mu_);
 };
 
 }  // namespace taurus

@@ -51,7 +51,7 @@ Result<AdmissionTicket> AdmissionController::Admit(
                                  ? request.deadline_ms
                                  : config_.session_deadline_ms;
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tokens_free_ < 0) tokens_free_ = TotalWorkerTokens();
 
   AdmissionTicket ticket;
@@ -72,15 +72,20 @@ Result<AdmissionTicket> AdmissionController::Admit(
     queued_total_->Increment();
     queue_gauge_->Set(static_cast<double>(queue_.size()));
     ticket.queued = true;
-    bool granted = true;
+    // Explicit predicate loops (not lambda predicates) so the guarded
+    // reads of self.granted stay visible to the thread-safety analysis.
     if (deadline_ms > 0) {
-      granted = cv_.wait_for(
-          lock, std::chrono::duration<double, std::milli>(deadline_ms),
-          [&self] { return self.granted; });
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(deadline_ms));
+      while (!self.granted) {
+        if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+      }
     } else {
-      cv_.wait(lock, [&self] { return self.granted; });
+      while (!self.granted) cv_.Wait(mu_);
     }
-    if (!granted) {
+    if (!self.granted) {
       // Timed out still in the queue (a grant would have flipped the flag
       // under this same lock before the predicate re-check).
       queue_.erase(std::find(queue_.begin(), queue_.end(), &self));
@@ -129,7 +134,7 @@ Result<AdmissionTicket> AdmissionController::Admit(
 
 void AdmissionController::Release(const AdmissionTicket& ticket) {
   if (!ticket.valid) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   tokens_free_ += ticket.worker_tokens;
   memory_in_use_ -= ticket.memory_reserved_bytes;
   if (!queue_.empty()) {
@@ -139,7 +144,7 @@ void AdmissionController::Release(const AdmissionTicket& ticket) {
     Waiter* next = queue_.front();
     queue_.pop_front();
     next->granted = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   } else {
     --running_;
   }
@@ -148,22 +153,22 @@ void AdmissionController::Release(const AdmissionTicket& ticket) {
 }
 
 int AdmissionController::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return running_;
 }
 
 size_t AdmissionController::queued() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
 int AdmissionController::worker_tokens_free() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tokens_free_ < 0 ? TotalWorkerTokens() : tokens_free_;
 }
 
 int64_t AdmissionController::memory_in_use_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return memory_in_use_;
 }
 

@@ -1,12 +1,12 @@
 #ifndef TAURUS_SERVER_ADMISSION_H_
 #define TAURUS_SERVER_ADMISSION_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "server/server_config.h"
 
@@ -69,17 +69,18 @@ class AdmissionController {
   /// Blocks until a run slot is granted or the deadline/queue bound
   /// rejects the request. On success the ticket carries this query's
   /// leases; pass it to Release when the query finishes (success or not).
-  Result<AdmissionTicket> Admit(const AdmissionRequest& request);
+  Result<AdmissionTicket> Admit(const AdmissionRequest& request)
+      TAURUS_EXCLUDES(mu_);
 
   /// Returns the ticket's slot, worker tokens and memory reservation, and
   /// grants the next FIFO waiter if any.
-  void Release(const AdmissionTicket& ticket);
+  void Release(const AdmissionTicket& ticket) TAURUS_EXCLUDES(mu_);
 
   // Introspection (tests/bench).
-  int running() const;
-  size_t queued() const;
-  int worker_tokens_free() const;
-  int64_t memory_in_use_bytes() const;
+  int running() const TAURUS_EXCLUDES(mu_);
+  size_t queued() const TAURUS_EXCLUDES(mu_);
+  int worker_tokens_free() const TAURUS_EXCLUDES(mu_);
+  int64_t memory_in_use_bytes() const TAURUS_EXCLUDES(mu_);
 
  private:
   struct Waiter {
@@ -98,12 +99,15 @@ class AdmissionController {
   Gauge* running_gauge_;
   Gauge* queue_gauge_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Waiter*> queue_;  ///< FIFO of blocked arrivals
-  int running_ = 0;
-  int tokens_free_ = -1;  ///< resolved from config on first Admit
-  int64_t memory_in_use_ = 0;
+  /// Rank 10: the first lock on every query path; never acquired while
+  /// any engine lock is held (DESIGN.md section 12 rank table).
+  mutable Mutex mu_{LockRank::kServerAdmission, "server.admission"};
+  CondVar cv_;
+  std::deque<Waiter*> queue_ TAURUS_GUARDED_BY(mu_);  ///< blocked arrivals
+  int running_ TAURUS_GUARDED_BY(mu_) = 0;
+  /// Resolved from config on first Admit (-1 = unresolved).
+  int tokens_free_ TAURUS_GUARDED_BY(mu_) = -1;
+  int64_t memory_in_use_ TAURUS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace taurus
