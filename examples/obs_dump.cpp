@@ -7,11 +7,14 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/obs_dump [--metrics-only|--explain-json]
+//   ./build/examples/obs_dump
+//       [--metrics-only|--explain-json|--digests-json|--recorder-json]
 //
-// --metrics-only prints only the MetricsJson() document and --explain-json
-// only the ExplainAnalyzeJson document (both machine-readable;
-// scripts/check.sh pipes them through scripts/validate_obs_json.py).
+// --metrics-only prints only the MetricsJson() document, --explain-json
+// only the ExplainAnalyzeJson document, --digests-json the DigestsJson()
+// statement-digest table and --recorder-json the FlightRecorderJson()
+// recent-query ring (all machine-readable; scripts/check.sh pipes each
+// through scripts/validate_obs_json.py).
 
 #include <cstdio>
 #include <cstring>
@@ -32,9 +35,13 @@ void Fail(const taurus::Status& st, const char* what) {
 int main(int argc, char** argv) {
   bool metrics_only = false;
   bool explain_json = false;
+  bool digests_json = false;
+  bool recorder_json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-only") == 0) metrics_only = true;
     if (std::strcmp(argv[i], "--explain-json") == 0) explain_json = true;
+    if (std::strcmp(argv[i], "--digests-json") == 0) digests_json = true;
+    if (std::strcmp(argv[i], "--recorder-json") == 0) recorder_json = true;
   }
 
   taurus::Database db;
@@ -51,6 +58,22 @@ int main(int argc, char** argv) {
     auto doc = db.ExplainAnalyzeJsonDump(q8, taurus::OptimizerPath::kOrca);
     if (!doc.ok()) Fail(doc.status(), "explain analyze json");
     std::printf("%s\n", doc->c_str());
+    return 0;
+  }
+
+  if (digests_json || recorder_json) {
+    // A small mixed sweep so both documents are non-trivial: repeated Q8
+    // (digest aggregation + cache hits), a simple single-table query (the
+    // MySQL path), and one statement that errors (unknown table).
+    for (int i = 0; i < 3; ++i) {
+      auto r = db.Query(q8, taurus::OptimizerPath::kOrca);
+      if (!r.ok()) Fail(r.status(), "digest sweep");
+    }
+    auto simple = db.Query("select count(*) from region");
+    if (!simple.ok()) Fail(simple.status(), "digest sweep simple");
+    (void)db.Query("select * from no_such_table");  // recorded as error
+    std::printf("%s\n", digests_json ? db.DigestsJson().c_str()
+                                     : db.FlightRecorderJson().c_str());
     return 0;
   }
 

@@ -4,7 +4,12 @@
 //
 // Usage: plan_explorer [scale_factor]      (default 0.002)
 // Commands:  qN | threshold N | strategy greedy|exhaustive|exhaustive2 |
-//            <any SELECT ...> | quit
+//            <any SELECT ...> | SHOW <...> | quit
+//
+// SHOW statements (SHOW DIGESTS, SHOW FLIGHT RECORDER, SHOW PROFILE FOR
+// <seq>, SHOW STATUS LIKE '...') run once against the engine and print
+// their rows — handy for inspecting the digest table the explored
+// queries have been building up.
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +42,22 @@ void RunBoth(Database* db, const std::string& sql) {
                   result.status().ToString().c_str());
     }
   }
+}
+
+// SHOW statements have no EXPLAIN tree and run on one path; print rows.
+void RunShow(Database* db, const std::string& sql) {
+  auto result = db->Query(sql);
+  if (!result.ok()) {
+    std::printf("%s\n", result.status().ToString().c_str());
+    return;
+  }
+  for (const auto& row : result->rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::printf("%s%s", i == 0 ? "" : " | ", row[i].ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(%zu rows)\n\n", result->rows.size());
 }
 
 }  // namespace
@@ -83,6 +104,10 @@ int main(int argc, char** argv) {
       }
       std::printf("orca strategy = %s\n",
                   JoinSearchStrategyName(db.orca_config().strategy));
+      continue;
+    }
+    if (line.rfind("SHOW", 0) == 0 || line.rfind("show", 0) == 0) {
+      RunShow(&db, line);
       continue;
     }
     RunBoth(&db, line);

@@ -115,38 +115,58 @@ cmake -B "$build_dir" -S "$repo_root" -DTAURUS_WERROR=ON
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 
-# Observability smoke: dump the metrics registry and one EXPLAIN ANALYZE
-# as JSON and validate both against the section-10 schema. Needs python3
-# for the validation; without it the step is announced and skipped.
-echo "check.sh: observability JSON (metrics dump + EXPLAIN ANALYZE)"
+# Observability smoke: dump the metrics registry, one EXPLAIN ANALYZE, the
+# statement-digest table and the flight recorder as JSON and validate each
+# against the section-10/15 schemas. Needs python3 for the validation;
+# without it the step is announced and skipped.
+echo "check.sh: observability JSON (metrics, EXPLAIN ANALYZE, digests, recorder)"
 if command -v python3 >/dev/null 2>&1; then
   "$build_dir/examples/obs_dump" --metrics-only \
     | python3 "$repo_root/scripts/validate_obs_json.py" metrics
   "$build_dir/examples/obs_dump" --explain-json \
     | python3 "$repo_root/scripts/validate_obs_json.py" explain
+  "$build_dir/examples/obs_dump" --digests-json \
+    | python3 "$repo_root/scripts/validate_obs_json.py" digests
+  "$build_dir/examples/obs_dump" --recorder-json \
+    | python3 "$repo_root/scripts/validate_obs_json.py" recorder
 else
   echo "check.sh: python3 not found; skipping observability JSON validation." >&2
 fi
+
+# Bench legs below run from the repo root so the BENCH_*.json artifacts
+# land where the CI trajectory collector looks for them (not inside the
+# throwaway build dir).
 
 # Feedback-loop smoke: first-vs-second optimization q-error on TPC-H
 # Q8/Q17 with the cardinality feedback loop enabled; writes
 # BENCH_feedback.json for CI trending.
 echo "check.sh: feedback-loop bench (BENCH_feedback.json)"
-(cd "$build_dir" && "./bench/micro_feedback" --json)
+(cd "$repo_root" && "$build_dir/bench/micro_feedback" --json)
 
 # Server-core benches: striped plan-cache hit throughput at 1/4/16 threads
 # and the admission controller under overload (sheds + rejections).
 echo "check.sh: server benches (BENCH_plan_cache_mt.json, BENCH_admission.json)"
-(cd "$build_dir" && "./bench/micro_plan_cache_mt" --json)
-(cd "$build_dir" && "./bench/micro_admission" --json)
+(cd "$repo_root" && "$build_dir/bench/micro_plan_cache_mt" --json)
+(cd "$repo_root" && "$build_dir/bench/micro_admission" --json)
+
+# Workload-introspection overhead: digest fold + flight-recorder append
+# on the fastest hit-path query (acceptance bar: overhead_pct <= 2).
+echo "check.sh: digest overhead bench (BENCH_digest.json)"
+(cd "$repo_root" && "$build_dir/bench/micro_digest" --json)
 
 # Batch-vs-Volcano executor leg: same queries through both executors with
 # result equality enforced; writes BENCH_exec_batch.json for CI trending
 # of the vectorization speedup. The google-benchmark micro legs are
 # filtered down to one representative (the full set is for hand-tuning).
 echo "check.sh: batch executor bench (BENCH_exec_batch.json)"
-(cd "$build_dir" && "./bench/micro_executor" --json \
+(cd "$repo_root" && "$build_dir/bench/micro_executor" --json \
   --benchmark_filter=BM_SequentialScan)
+
+# Merge the per-bench artifacts into one BENCH_summary.json keyed by bench
+# name, so trend dashboards consume a single document per run.
+if command -v python3 >/dev/null 2>&1; then
+  (cd "$repo_root" && python3 scripts/merge_bench_json.py)
+fi
 
 echo "check.sh: leg 2/2 — Debug, plan verifiers + lock-rank registry armed"
 debug_dir="$repo_root/build-debug"

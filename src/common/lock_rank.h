@@ -49,6 +49,8 @@ enum class LockRank : int {
   kMetricsRegistry = 110,  // MetricsRegistry::mu_           "obs.metrics_registry"
   kSketchSet = 120,        // SketchSet::mu_                 "feedback.sketch_set"
   kFaultInjector = 130,    // FaultInjector::Impl::mu        "common.fault_injector"
+  kDigestStore = 140,      // DigestStore::mu_               "obs.digest_store"
+  kFlightRecorder = 150,   // FlightRecorder::mu_            "obs.flight_recorder"
 };
 
 inline constexpr int kLeafRankFloor = 100;

@@ -1,6 +1,7 @@
 #include "common/strings.h"
 
 #include <cctype>
+#include <cstdio>
 
 namespace taurus {
 
@@ -63,6 +64,29 @@ bool LikeMatchImpl(std::string_view v, size_t vi, std::string_view p,
 
 bool SqlLikeMatch(std::string_view value, std::string_view pattern) {
   return LikeMatchImpl(value, 0, pattern, 0);
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 uint64_t Fnv1aHash(const void* data, size_t len, uint64_t seed) {

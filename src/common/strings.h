@@ -22,6 +22,10 @@ std::vector<std::string> SplitString(std::string_view s, char sep);
 /// binary collation). No escape character support.
 bool SqlLikeMatch(std::string_view value, std::string_view pattern);
 
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(std::string_view s);
+
 /// 64-bit FNV-1a hash, used by hash joins and hash aggregation.
 uint64_t Fnv1aHash(const void* data, size_t len, uint64_t seed = 1469598103934665603ULL);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cstdio>
 
 #include "bridge/decorrelate.h"
 #include "bridge/parse_tree_converter.h"
@@ -95,6 +96,35 @@ bool IsShowStatement(const std::string& sql) {
          !(std::isalnum(static_cast<unsigned char>(sql[k])) || sql[k] == '_');
 }
 
+/// Fingerprints render as fixed-width hex everywhere (SHOW DIGESTS, SHOW
+/// FLIGHT RECORDER, the JSON dumps), matching the fingerprint trace attr.
+std::string HexFingerprint(uint64_t fp) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+void AppendJsonNum(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+void AppendJsonBool(std::string* out, bool v) { *out += v ? "true" : "false"; }
+
+void AppendLatencySummaryJson(std::string* out, const LatencySummary& s) {
+  *out += "{\"count\":";
+  *out += std::to_string(s.count);
+  *out += ",\"sum_ms\":";
+  AppendJsonNum(out, s.sum_ms);
+  *out += ",\"mean_ms\":";
+  AppendJsonNum(out, s.mean_ms());
+  *out += ",\"max_ms\":";
+  AppendJsonNum(out, s.max_ms);
+  *out += "}";
+}
+
 }  // namespace
 
 Status Database::ExecuteSql(const std::string& sql) {
@@ -183,7 +213,10 @@ Status Database::ExecuteSql(const std::string& sql) {
       return Status::InvalidArgument(
           "use Query()/Explain() for SELECT statements");
     case Statement::Kind::kShowStatus:
-      return Status::InvalidArgument("use Query() for SHOW STATUS");
+    case Statement::Kind::kShowDigests:
+    case Statement::Kind::kShowFlightRecorder:
+    case Statement::Kind::kShowProfile:
+      return Status::InvalidArgument("use Query() for SHOW statements");
   }
   return Status::Internal("unreachable statement kind");
 }
@@ -261,6 +294,15 @@ void Database::BindCounters() {
       metrics_.GetCounter("taurus.feedback.actual_overrides");
   counters_.feedback_sketch_overrides =
       metrics_.GetCounter("taurus.feedback.sketch_overrides");
+  counters_.profile_pipelines =
+      metrics_.GetCounter("taurus.exec.profile.pipelines");
+  counters_.profile_morsels = metrics_.GetCounter("taurus.exec.profile.morsels");
+  counters_.profile_last_busy_ms =
+      metrics_.GetGauge("taurus.exec.profile.last_busy_ms");
+  counters_.profile_last_idle_ms =
+      metrics_.GetGauge("taurus.exec.profile.last_idle_ms");
+  counters_.profile_last_workers =
+      metrics_.GetGauge("taurus.exec.profile.last_workers");
   counters_.optimize_ms = metrics_.GetHistogram("taurus.query.optimize_ms");
   counters_.execute_ms = metrics_.GetHistogram("taurus.query.execute_ms");
 }
@@ -309,6 +351,27 @@ void Database::SyncGaugeMetrics() {
       ->Set(static_cast<double>(feedback_store_.lru_evictions()));
   metrics_.GetGauge("taurus.feedback.version_resets")
       ->Set(static_cast<double>(feedback_store_.version_resets()));
+  // Workload introspection (DESIGN.md section 15).
+  metrics_.GetGauge("taurus.obs.digest.records")
+      ->Set(static_cast<double>(digest_store_.records()));
+  metrics_.GetGauge("taurus.obs.digest.entries")
+      ->Set(static_cast<double>(digest_store_.Size()));
+  metrics_.GetGauge("taurus.obs.digest.lru_evictions")
+      ->Set(static_cast<double>(digest_store_.lru_evictions()));
+  metrics_.GetGauge("taurus.obs.digest.epoch_bumps")
+      ->Set(static_cast<double>(digest_store_.epoch_bumps()));
+  metrics_.GetGauge("taurus.obs.digest.capacity")
+      ->Set(static_cast<double>(digest_config_.capacity));
+  metrics_.GetGauge("taurus.obs.recorder.records")
+      ->Set(static_cast<double>(flight_recorder_.records()));
+  metrics_.GetGauge("taurus.obs.recorder.entries")
+      ->Set(static_cast<double>(flight_recorder_.Size()));
+  metrics_.GetGauge("taurus.obs.recorder.pinned")
+      ->Set(static_cast<double>(flight_recorder_.pinned()));
+  metrics_.GetGauge("taurus.obs.recorder.capacity")
+      ->Set(static_cast<double>(flight_config_.capacity));
+  metrics_.GetGauge("taurus.exec.profile.enabled")
+      ->Set(exec_config_.enable_profiling ? 1.0 : 0.0);
   // Lock-rank analyzer (DESIGN.md section 14). Process-wide, not per-DB:
   // the held-lock stacks are per-thread and every instrumented mutex in
   // the process feeds the same counters.
@@ -395,8 +458,13 @@ bool Database::IsQuarantined(uint64_t fingerprint_hash) const {
 }
 
 void Database::RecordDetourFailure(uint64_t fingerprint_hash) {
-  quarantine_.RecordFailure(fingerprint_hash, catalog_.schema_version(),
-                            catalog_.stats_version());
+  bool newly_quarantined = quarantine_.RecordFailure(
+      fingerprint_hash, catalog_.schema_version(), catalog_.stats_version(),
+      quarantine_config_.failure_threshold);
+  // Entering quarantine reroutes the statement to the MySQL path — a plan
+  // change the digest's epoch split must surface, same as a cache
+  // invalidation.
+  if (newly_quarantined) digest_store_.BumpEpoch(fingerprint_hash, "quarantine");
 }
 
 Result<std::unique_ptr<CompiledQuery>> Database::CompileFromCacheEntry(
@@ -477,7 +545,8 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
   uint64_t fingerprint = 0;
   std::string canonical;
   bool quarantined = false;
-  if (use_cache || quarantine_config_.enable || feedback_config_.enable) {
+  if (use_cache || quarantine_config_.enable || feedback_config_.enable ||
+      digest_config_.enable) {
     ScopedSpan fp_span(tracer, "fingerprint");
     StatementFingerprint fp = FingerprintStatement(stmt);
     fingerprint = fp.hash;
@@ -523,6 +592,7 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
         counters_.cache_hits->Increment();
         (*hit)->plan_cache_hit = true;
         (*hit)->fingerprint = fingerprint;
+        (*hit)->canonical = std::move(canonical);
         (*hit)->optimize_ms = MsSince(start);
         (*hit)->optimize_saved_ms =
             std::max(cold_ms - (*hit)->optimize_ms, 0.0);
@@ -625,6 +695,7 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
           compiled->feedback_sketch_overrides =
               orca.metrics().feedback_sketch_overrides;
           compiled->fingerprint = fingerprint;
+          compiled->canonical = std::move(canonical);
           compiled->optimize_ms = MsSince(start);
           if (cacheable) {
             cache_plan(*skeleton, std::move(frozen), /*used_orca=*/true,
@@ -708,6 +779,7 @@ Result<std::unique_ptr<CompiledQuery>> Database::CompileInternal(
   if (!detour_error.ok()) compiled->fallback_reason = detour_error.ToString();
   compiled->quarantine_hit = quarantine_hit;
   compiled->fingerprint = fingerprint;
+  compiled->canonical = std::move(canonical);
   compiled->optimize_ms = MsSince(start);
 
   if (cacheable) {
@@ -725,14 +797,24 @@ Result<QueryResult> Database::Query(const std::string& sql,
 Result<QueryResult> Database::Query(const std::string& sql,
                                     OptimizerPath path,
                                     const QueryOptions& options) {
-  // SHOW STATUS / SHOW METRICS read the metrics registry and never enter
-  // the SELECT pipeline (no trace, no optimizer).
+  // SHOW statements read engine-side state (metrics registry, digest
+  // store, flight recorder) and never enter the SELECT pipeline — no
+  // trace, no optimizer, and no digest/recorder event of their own, so
+  // SHOW DIGESTS totals reconcile exactly with taurus.query.count.
   if (IsShowStatement(sql)) {
     TAURUS_ASSIGN_OR_RETURN(auto stmt, ParseStatement(sql));
-    if (stmt->kind == Statement::Kind::kShowStatus) {
-      return ShowStatus(stmt->table_name);
+    switch (stmt->kind) {
+      case Statement::Kind::kShowStatus:
+        return ShowStatus(stmt->table_name);
+      case Statement::Kind::kShowDigests:
+        return ShowDigests(stmt->table_name);
+      case Statement::Kind::kShowFlightRecorder:
+        return ShowFlightRecorder();
+      case Statement::Kind::kShowProfile:
+        return ShowProfile(static_cast<uint64_t>(stmt->profile_seq));
+      default:
+        return Status::InvalidArgument("unsupported SHOW statement");
     }
-    return Status::InvalidArgument("unsupported SHOW statement");
   }
   return QueryInternal(sql, path, options, nullptr, nullptr);
 }
@@ -740,9 +822,25 @@ Result<QueryResult> Database::Query(const std::string& sql,
 Result<QueryResult> Database::QueryInternal(
     const std::string& sql, OptimizerPath path, const QueryOptions& options,
     OpActualsMap* actuals, std::unique_ptr<CompiledQuery>* compiled_out) {
+  // Split so introspection covers every exit path: QueryPipeline deposits
+  // facts into `obs` as it learns them, and the recording below runs for
+  // successes, compile errors and budget kills alike.
+  QueryObs obs;
+  Result<QueryResult> result =
+      QueryPipeline(sql, path, options, actuals, compiled_out, &obs);
+  uint64_t seq = RecordQueryObservability(options, result, &obs);
+  if (result.ok()) (*result).flight_seq = seq;
+  return result;
+}
+
+Result<QueryResult> Database::QueryPipeline(
+    const std::string& sql, OptimizerPath path, const QueryOptions& options,
+    OpActualsMap* actuals, std::unique_ptr<CompiledQuery>* compiled_out,
+    QueryObs* obs) {
   counters_.queries->Increment();
   std::shared_ptr<Tracer> tracer_owner = BeginTrace(options);
   Tracer* tracer = tracer_owner.get();
+  obs->tracer = tracer_owner;
   ScopedSpan query_span(tracer, "query");
   ScopedSpan compile_span(tracer, "compile");
   auto compiled_or =
@@ -753,6 +851,13 @@ Result<QueryResult> Database::QueryInternal(
     return compiled_or.status();
   }
   auto compiled = std::move(*compiled_or);
+  obs->fingerprint = compiled->fingerprint;
+  obs->canonical = compiled->canonical;
+  obs->used_orca = compiled->used_orca;
+  obs->fell_back = compiled->fell_back;
+  obs->quarantine_hit = compiled->quarantine_hit;
+  obs->plan_cache_hit = compiled->plan_cache_hit;
+  obs->optimize_ms = compiled->optimize_ms;
   counters_.optimize_ms->Record(compiled->optimize_ms);
   QueryResult out;
   out.columns = compiled->root->column_names;
@@ -772,6 +877,13 @@ Result<QueryResult> Database::QueryInternal(
   auto start = std::chrono::steady_clock::now();
   ExecContext ctx;
   ArmExecContext(&ctx, compiled->used_orca, options.worker_cap);
+  if (exec_config_.enable_profiling) {
+    // Per-worker morsel timing lands in obs->profile; the parallel
+    // executor's workers stamp private slots and merge on the main thread.
+    obs->profile.enabled = true;
+    ctx.exec_profile = &obs->profile;
+    ctx.profile_clock = analyze_clock;
+  }
   if (actuals != nullptr) {
     ctx.op_actuals = actuals;
     ctx.analyze_clock = analyze_clock;
@@ -842,7 +954,15 @@ Result<QueryResult> Database::QueryInternal(
     out.optimize_ms += compiled->optimize_ms;
     out.verifier_rules += compiled->verifier_rules;
     out.verifier_violations += compiled->verifier_violations;
+    obs->used_orca = false;
+    obs->fell_back = true;
+    obs->plan_cache_hit = compiled->plan_cache_hit;
+    obs->optimize_ms = out.optimize_ms;
     ArmExecContext(&retry_ctx, /*used_orca=*/false, options.worker_cap);
+    if (exec_config_.enable_profiling) {
+      retry_ctx.exec_profile = &obs->profile;
+      retry_ctx.profile_clock = analyze_clock;
+    }
     if (actuals != nullptr) {
       actuals->clear();  // the aborted run's partial actuals are stale
       retry_ctx.op_actuals = actuals;
@@ -944,7 +1064,349 @@ Result<QueryResult> Database::QueryInternal(
     tracer->SetAttr(final_exec_id, "batch_pipelines",
                     std::to_string(out.batch_pipelines));
   }
+  obs->profile.admission_wait_ms = options.admission_wait_ms;
+  out.profile = obs->profile;
+  // Fold the session layer's admission outcome into the result so every
+  // consumer (client, digest store, flight recorder) sees one story.
+  out.shed = options.shed;
+  out.admission_queued = options.admission_queued;
+  out.admission_wait_ms = options.admission_wait_ms;
+  if (options.shed) {
+    out.fell_back = true;
+    out.fallback_reason =
+        Status::ResourceExhausted("admission overload: shed to MySQL path (" +
+                                  options.shed_cause + ")")
+            .SetOrigin("server.admission", "shed")
+            .ToString();
+  }
   if (compiled_out != nullptr) *compiled_out = std::move(compiled);
+  return out;
+}
+
+uint64_t Database::RecordQueryObservability(const QueryOptions& options,
+                                            const Result<QueryResult>& result,
+                                            QueryObs* obs) {
+  obs->profile.admission_wait_ms = options.admission_wait_ms;
+  const bool ok = result.ok();
+  const QueryResult* r = ok ? &*result : nullptr;
+  // Success reads the result (which already folded retries and the shed
+  // story in); failures fall back to whatever QueryPipeline learned before
+  // the error.
+  const bool used_orca = r != nullptr ? r->used_orca : obs->used_orca;
+  const bool fell_back =
+      (r != nullptr ? r->fell_back : obs->fell_back) || options.shed;
+  const bool quarantine_hit =
+      r != nullptr ? r->quarantine_hit : obs->quarantine_hit;
+  const bool plan_cache_hit =
+      r != nullptr ? r->plan_cache_hit : obs->plan_cache_hit;
+  const double optimize_ms = r != nullptr ? r->optimize_ms : obs->optimize_ms;
+  const double execute_ms = r != nullptr ? r->execute_ms : 0.0;
+  double total_ms = optimize_ms + execute_ms;
+  if (obs->tracer != nullptr) {
+    const TraceSpan* root = obs->tracer->Find("query");
+    if (root != nullptr && root->ended) total_ms = root->duration_ms();
+  }
+
+  if (digest_config_.enable) {
+    DigestSample sample;
+    sample.fingerprint = obs->fingerprint;  // 0: failed before fingerprinting
+    sample.canonical = &obs->canonical;
+    sample.used_orca = used_orca;
+    sample.error = !ok;
+    sample.shed = options.shed;
+    sample.fell_back = fell_back;
+    sample.quarantine_hit = quarantine_hit;
+    sample.plan_cache_hit = plan_cache_hit;
+    sample.verifier_violations = r != nullptr ? r->verifier_violations : 0;
+    sample.rows_returned =
+        r != nullptr ? static_cast<int64_t>(r->rows.size()) : 0;
+    sample.latency_ms = total_ms;
+    digest_store_.Record(sample);
+  }
+
+  if (obs->profile.enabled && obs->profile.pipelines > 0) {
+    counters_.profile_pipelines->Increment(obs->profile.pipelines);
+    counters_.profile_morsels->Increment(obs->profile.morsels());
+    counters_.profile_last_busy_ms->Set(obs->profile.busy_ms());
+    counters_.profile_last_idle_ms->Set(obs->profile.idle_ms());
+    counters_.profile_last_workers->Set(
+        static_cast<double>(obs->profile.workers.size()));
+  }
+
+  if (!flight_config_.enable) return 0;
+  FlightRecord rec;
+  rec.fingerprint = obs->fingerprint;
+  rec.session_id = options.session_id;
+  rec.status = ok ? "ok" : result.status().ToString();
+  rec.error = !ok;
+  rec.admission = options.shed              ? "shed"
+                  : options.admission_queued ? "queued"
+                                             : "direct";
+  rec.admission_wait_ms = options.admission_wait_ms;
+  rec.used_orca = used_orca;
+  rec.fell_back = fell_back;
+  rec.shed = options.shed;
+  rec.quarantine_hit = quarantine_hit;
+  rec.plan_cache_hit = plan_cache_hit;
+  rec.optimize_ms = optimize_ms;
+  rec.execute_ms = execute_ms;
+  rec.total_ms = total_ms;
+  rec.rows_returned = r != nullptr ? static_cast<int64_t>(r->rows.size()) : 0;
+  rec.workers = r != nullptr ? r->parallel_workers_used : 1;
+  rec.batches = r != nullptr ? r->batches : 0;
+  rec.profile = obs->profile;
+  // Post-mortem pinning: aborted / shed / fallen-back / quarantined queries
+  // keep their full span tree alive in the ring slot, surviving after
+  // last_trace() (and per-session slots) get overwritten.
+  if (rec.error || rec.shed || rec.fell_back || rec.quarantine_hit) {
+    rec.pinned_trace = obs->tracer;
+  }
+  return flight_recorder_.Record(std::move(rec));
+}
+
+Result<QueryResult> Database::ShowDigests(const std::string& pattern) {
+  QueryResult out;
+  out.columns = {"Digest",         "Statement",      "Calls",
+                 "Errors",         "OrcaCalls",      "MySqlCalls",
+                 "CacheHits",      "Shed",           "Fallbacks",
+                 "QuarantineHits", "VerifierViolations", "Rows",
+                 "P50Ms",          "P95Ms",          "MaxMs",
+                 "PlanEpoch",      "EpochCause",     "EpochCalls",
+                 "EpochAvgMs",     "PrevEpochCalls", "PrevEpochAvgMs"};
+  for (const DigestSnapshot& d : digest_store_.Snapshot()) {
+    if (!pattern.empty() && !SqlLikeMatch(d.statement, pattern)) continue;
+    Row row;
+    row.push_back(Value::Str(HexFingerprint(d.fingerprint)));
+    row.push_back(Value::Str(d.statement));
+    row.push_back(Value::Int(d.calls));
+    row.push_back(Value::Int(d.errors));
+    row.push_back(Value::Int(d.orca_calls));
+    row.push_back(Value::Int(d.mysql_calls));
+    row.push_back(Value::Int(d.plan_cache_hits));
+    row.push_back(Value::Int(d.shed));
+    row.push_back(Value::Int(d.fallbacks));
+    row.push_back(Value::Int(d.quarantine_hits));
+    row.push_back(Value::Int(d.verifier_violations));
+    row.push_back(Value::Int(d.rows_returned));
+    row.push_back(Value::Double(d.latency_p50));
+    row.push_back(Value::Double(d.latency_p95));
+    row.push_back(Value::Double(d.latency_max_ms));
+    row.push_back(Value::Int(d.plan_epoch));
+    row.push_back(Value::Str(d.epoch_cause));
+    row.push_back(Value::Int(d.epoch_latency.count));
+    row.push_back(Value::Double(d.epoch_latency.mean_ms()));
+    row.push_back(Value::Int(d.prev_epoch_latency.count));
+    row.push_back(Value::Double(d.prev_epoch_latency.mean_ms()));
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<QueryResult> Database::ShowFlightRecorder() {
+  QueryResult out;
+  out.columns = {"Seq",        "Session",  "Digest",     "Status",
+                 "Admission",  "WaitMs",   "Path",       "CacheHit",
+                 "Rows",       "OptimizeMs", "ExecuteMs", "TotalMs",
+                 "Workers",    "Batches",  "PinnedTrace"};
+  std::vector<FlightRecord> events = flight_recorder_.Snapshot();
+  // Newest first: the post-mortem reader wants the recent past on top.
+  for (auto it = events.rbegin(); it != events.rend(); ++it) {
+    const FlightRecord& e = *it;
+    Row row;
+    row.push_back(Value::Int(static_cast<int64_t>(e.seq)));
+    row.push_back(Value::Int(static_cast<int64_t>(e.session_id)));
+    row.push_back(Value::Str(HexFingerprint(e.fingerprint)));
+    row.push_back(Value::Str(e.status));
+    row.push_back(Value::Str(e.admission));
+    row.push_back(Value::Double(e.admission_wait_ms));
+    row.push_back(Value::Str(e.used_orca ? "orca" : "mysql"));
+    row.push_back(Value::Bool(e.plan_cache_hit));
+    row.push_back(Value::Int(e.rows_returned));
+    row.push_back(Value::Double(e.optimize_ms));
+    row.push_back(Value::Double(e.execute_ms));
+    row.push_back(Value::Double(e.total_ms));
+    row.push_back(Value::Int(e.workers));
+    row.push_back(Value::Int(e.batches));
+    row.push_back(Value::Str(e.pinned_trace != nullptr
+                                 ? e.pinned_trace->TreeString()
+                                 : ""));
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<QueryResult> Database::ShowProfile(uint64_t seq) {
+  FlightRecord rec;
+  if (!flight_recorder_.Find(seq, &rec)) {
+    return Status::NotFound("no flight-recorder event with seq " +
+                            std::to_string(seq) +
+                            " (overwritten or never recorded)");
+  }
+  QueryResult out;
+  out.columns = {"Seq",     "Worker",    "BusyMs",     "IdleMs",
+                 "Morsels", "BatchRows", "VolcanoRows", "AdmissionWaitMs"};
+  for (size_t w = 0; w < rec.profile.workers.size(); ++w) {
+    const WorkerProfile& wp = rec.profile.workers[w];
+    Row row;
+    row.push_back(Value::Int(static_cast<int64_t>(seq)));
+    row.push_back(Value::Str(std::to_string(w)));
+    row.push_back(Value::Double(wp.busy_ms));
+    row.push_back(Value::Double(wp.idle_ms));
+    row.push_back(Value::Int(wp.morsels));
+    row.push_back(Value::Int(wp.batch_rows));
+    row.push_back(Value::Int(wp.volcano_rows));
+    row.push_back(Value::Double(0.0));
+    out.rows.push_back(std::move(row));
+  }
+  // Totals row (always present, even for serial/unprofiled queries, so the
+  // admission wait is visible and "no per-worker rows" is distinguishable
+  // from "event not found").
+  Row total;
+  total.push_back(Value::Int(static_cast<int64_t>(seq)));
+  total.push_back(Value::Str("total"));
+  total.push_back(Value::Double(rec.profile.busy_ms()));
+  total.push_back(Value::Double(rec.profile.idle_ms()));
+  total.push_back(Value::Int(rec.profile.morsels()));
+  int64_t batch_rows = 0;
+  int64_t volcano_rows = 0;
+  for (const WorkerProfile& wp : rec.profile.workers) {
+    batch_rows += wp.batch_rows;
+    volcano_rows += wp.volcano_rows;
+  }
+  total.push_back(Value::Int(batch_rows));
+  total.push_back(Value::Int(volcano_rows));
+  total.push_back(Value::Double(rec.profile.admission_wait_ms));
+  out.rows.push_back(std::move(total));
+  return out;
+}
+
+std::string Database::DigestsJson() {
+  std::string out = "{\"capacity\":";
+  out += std::to_string(digest_config_.capacity);
+  out += ",\"records\":";
+  out += std::to_string(digest_store_.records());
+  out += ",\"lru_evictions\":";
+  out += std::to_string(digest_store_.lru_evictions());
+  out += ",\"epoch_bumps\":";
+  out += std::to_string(digest_store_.epoch_bumps());
+  out += ",\"digests\":[";
+  bool first = true;
+  for (const DigestSnapshot& d : digest_store_.Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"fingerprint\":\"";
+    out += HexFingerprint(d.fingerprint);
+    out += "\",\"statement\":\"";
+    out += JsonEscape(d.statement);
+    out += "\",\"calls\":";
+    out += std::to_string(d.calls);
+    out += ",\"errors\":";
+    out += std::to_string(d.errors);
+    out += ",\"orca_calls\":";
+    out += std::to_string(d.orca_calls);
+    out += ",\"mysql_calls\":";
+    out += std::to_string(d.mysql_calls);
+    out += ",\"plan_cache_hits\":";
+    out += std::to_string(d.plan_cache_hits);
+    out += ",\"shed\":";
+    out += std::to_string(d.shed);
+    out += ",\"fallbacks\":";
+    out += std::to_string(d.fallbacks);
+    out += ",\"quarantine_hits\":";
+    out += std::to_string(d.quarantine_hits);
+    out += ",\"verifier_violations\":";
+    out += std::to_string(d.verifier_violations);
+    out += ",\"rows_returned\":";
+    out += std::to_string(d.rows_returned);
+    out += ",\"latency\":{\"count\":";
+    out += std::to_string(d.latency_count);
+    out += ",\"sum_ms\":";
+    AppendJsonNum(&out, d.latency_sum_ms);
+    out += ",\"p50\":";
+    AppendJsonNum(&out, d.latency_p50);
+    out += ",\"p95\":";
+    AppendJsonNum(&out, d.latency_p95);
+    out += ",\"p99\":";
+    AppendJsonNum(&out, d.latency_p99);
+    out += ",\"max_ms\":";
+    AppendJsonNum(&out, d.latency_max_ms);
+    out += "},\"orca_latency\":";
+    AppendLatencySummaryJson(&out, d.orca_latency);
+    out += ",\"mysql_latency\":";
+    AppendLatencySummaryJson(&out, d.mysql_latency);
+    out += ",\"plan_epoch\":";
+    out += std::to_string(d.plan_epoch);
+    out += ",\"epoch_cause\":\"";
+    out += JsonEscape(d.epoch_cause);
+    out += "\",\"epoch_latency\":";
+    AppendLatencySummaryJson(&out, d.epoch_latency);
+    out += ",\"prev_epoch_latency\":";
+    AppendLatencySummaryJson(&out, d.prev_epoch_latency);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Database::FlightRecorderJson() {
+  std::string out = "{\"capacity\":";
+  out += std::to_string(flight_config_.capacity);
+  out += ",\"records\":";
+  out += std::to_string(flight_recorder_.records());
+  out += ",\"pinned\":";
+  out += std::to_string(flight_recorder_.pinned());
+  out += ",\"events\":[";
+  bool first = true;
+  for (const FlightRecord& e : flight_recorder_.Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"seq\":";
+    out += std::to_string(e.seq);
+    out += ",\"session\":";
+    out += std::to_string(e.session_id);
+    out += ",\"fingerprint\":\"";
+    out += HexFingerprint(e.fingerprint);
+    out += "\",\"status\":\"";
+    out += JsonEscape(e.status);
+    out += "\",\"error\":";
+    AppendJsonBool(&out, e.error);
+    out += ",\"admission\":\"";
+    out += JsonEscape(e.admission);
+    out += "\",\"wait_ms\":";
+    AppendJsonNum(&out, e.admission_wait_ms);
+    out += ",\"used_orca\":";
+    AppendJsonBool(&out, e.used_orca);
+    out += ",\"fell_back\":";
+    AppendJsonBool(&out, e.fell_back);
+    out += ",\"shed\":";
+    AppendJsonBool(&out, e.shed);
+    out += ",\"quarantine_hit\":";
+    AppendJsonBool(&out, e.quarantine_hit);
+    out += ",\"plan_cache_hit\":";
+    AppendJsonBool(&out, e.plan_cache_hit);
+    out += ",\"optimize_ms\":";
+    AppendJsonNum(&out, e.optimize_ms);
+    out += ",\"execute_ms\":";
+    AppendJsonNum(&out, e.execute_ms);
+    out += ",\"total_ms\":";
+    AppendJsonNum(&out, e.total_ms);
+    out += ",\"rows\":";
+    out += std::to_string(e.rows_returned);
+    out += ",\"workers\":";
+    out += std::to_string(e.workers);
+    out += ",\"batches\":";
+    out += std::to_string(e.batches);
+    out += ",\"profiled\":";
+    AppendJsonBool(&out, e.profile.enabled);
+    out += ",\"morsels\":";
+    out += std::to_string(e.profile.morsels());
+    out += ",\"busy_ms\":";
+    AppendJsonNum(&out, e.profile.busy_ms());
+    out += ",\"pinned_trace\":";
+    AppendJsonBool(&out, e.pinned_trace != nullptr);
+    out += "}";
+  }
+  out += "]}";
   return out;
 }
 

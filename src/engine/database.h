@@ -19,11 +19,14 @@
 #include "engine/plan_cache.h"
 #include "engine/quarantine.h"
 #include "exec/exec_context.h"
+#include "exec/exec_profile.h"
 #include "exec/op_actuals.h"
 #include "exec/physical_plan.h"
 #include "feedback/feedback_store.h"
 #include "frontend/prepare.h"
 #include "mdp/provider.h"
+#include "obs/digest_store.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "orca/orca.h"
@@ -98,6 +101,13 @@ struct QueryResult {
   bool admission_queued = false;
   /// Wall time spent waiting for admission.
   double admission_wait_ms = 0.0;
+  /// --- Workload introspection (DESIGN.md section 15) ---
+  /// Per-worker morsel timing (busy/idle/morsels, batch vs Volcano rows);
+  /// enabled iff ExecutorConfig::enable_profiling.
+  ExecProfile profile;
+  /// This query's flight-recorder event id (0 when the recorder is off);
+  /// SHOW PROFILE FOR <flight_seq> replays the profile later.
+  uint64_t flight_seq = 0;
 };
 
 /// Per-query overrides supplied by the session layer (src/server/). Plain
@@ -112,6 +122,20 @@ struct QueryOptions {
   /// When set (with tracing on), the query's tracer is also retained here —
   /// the per-session trace slot, immune to other sessions' clobbering.
   std::shared_ptr<Tracer>* trace_slot = nullptr;
+
+  // --- Session/admission attribution (set by src/server/ so the digest
+  // store and flight recorder can attribute the event; defaults = a direct
+  // Database call) ---
+  /// Issuing session id (0 = no session).
+  uint64_t session_id = 0;
+  /// The admission controller shed this query onto the MySQL path; the
+  /// engine folds this into QueryResult::shed / fell_back / fallback_reason.
+  bool shed = false;
+  /// What tripped the shed ("" when !shed), e.g. "queue_full".
+  std::string shed_cause;
+  /// The query waited in the admission queue for `admission_wait_ms`.
+  bool admission_queued = false;
+  double admission_wait_ms = 0.0;
 };
 
 /// Morsel-driven parallel executor knobs (see DESIGN.md section 8).
@@ -131,6 +155,12 @@ struct ExecutorConfig {
   bool enable_batch = true;
   /// Target rows per batch (clamped to >= 1).
   int64_t batch_size = 1024;
+
+  /// Per-worker morsel timing (busy/idle, morsels claimed, batch vs
+  /// Volcano rows) folded into QueryResult::profile and the
+  /// taurus.exec.profile.* gauges (DESIGN.md section 15). Two clock reads
+  /// per morsel when on; off skips all bookkeeping.
+  bool enable_profiling = true;
 };
 
 /// Policy for quarantining statements that repeatedly fail the Orca detour:
@@ -186,7 +216,15 @@ struct TraceConfig {
 /// trace slot instead.
 class Database {
  public:
-  Database() : mdp_(catalog_) { BindCounters(); }
+  Database() : mdp_(catalog_) {
+    BindCounters();
+    // Cached-skeleton invalidations (DDL / ANALYZE / feedback drift) open a
+    // new plan epoch in the statement's digest, so before/after latency
+    // splits survive the eviction (DESIGN.md section 15).
+    plan_cache_.SetInvalidationHook([this](uint64_t fp, const char* cause) {
+      digest_store_.BumpEpoch(fp, cause);
+    });
+  }
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -253,6 +291,12 @@ class Database {
   PlanVerifyConfig& verify_config() { return verify_config_; }
   /// Per-query pipeline tracing knobs (off by default).
   TraceConfig& trace_config() { return trace_config_; }
+  /// Statement-digest store knobs (`digest_capacity` etc.; DESIGN.md
+  /// section 15). The store reads this object live.
+  DigestStoreConfig& digest_config() { return digest_config_; }
+  /// Flight-recorder knobs (`flight_recorder_capacity`,
+  /// `pin_aborted_traces`). The recorder reads this object live.
+  FlightRecorderConfig& flight_recorder_config() { return flight_config_; }
 
   // --- Observability ---
 
@@ -289,6 +333,19 @@ class Database {
   /// The execution-feedback store (exposed for stats and Clear() in tests).
   FeedbackStore& feedback_store() { return feedback_store_; }
   const FeedbackStore& feedback_store() const { return feedback_store_; }
+
+  /// The statement-digest performance-schema table (SHOW DIGESTS).
+  DigestStore& digest_store() { return digest_store_; }
+  const DigestStore& digest_store() const { return digest_store_; }
+  /// The flight recorder's recent-query ring (SHOW FLIGHT RECORDER).
+  FlightRecorder& flight_recorder() { return flight_recorder_; }
+  const FlightRecorder& flight_recorder() const { return flight_recorder_; }
+
+  /// Digest-store snapshot as one JSON object (machine-readable SHOW
+  /// DIGESTS; schema validated by scripts/validate_obs_json.py).
+  std::string DigestsJson();
+  /// Flight-recorder snapshot as one JSON object, oldest event first.
+  std::string FlightRecorderJson();
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
@@ -335,6 +392,22 @@ class Database {
   Result<std::unique_ptr<CompiledQuery>> CompileFromCacheEntry(
       const PlanCacheEntry& entry, BoundStatement stmt, Tracer* tracer);
 
+  /// Observability state gathered across one query, whatever its exit path
+  /// (success, compile error, budget kill). QueryPipeline fills it in as
+  /// facts become known; RecordQueryObservability folds it into the digest
+  /// store, flight recorder and profile gauges exactly once per query.
+  struct QueryObs {
+    std::shared_ptr<Tracer> tracer;  ///< pinned on aborted/shed/fallback
+    uint64_t fingerprint = 0;        ///< 0 until the statement fingerprints
+    std::string canonical;
+    bool used_orca = false;
+    bool fell_back = false;
+    bool quarantine_hit = false;
+    bool plan_cache_hit = false;
+    double optimize_ms = 0.0;
+    ExecProfile profile;  ///< armed into ExecContext when profiling is on
+  };
+
   /// Query with optional per-node actuals collection (EXPLAIN ANALYZE) and
   /// the final compiled plan handed back through `compiled_out`.
   Result<QueryResult> QueryInternal(const std::string& sql, OptimizerPath path,
@@ -342,8 +415,32 @@ class Database {
                                     OpActualsMap* actuals,
                                     std::unique_ptr<CompiledQuery>* compiled_out);
 
+  /// The pre-introspection body of QueryInternal: compile + execute,
+  /// depositing observability facts into `obs` on every exit path.
+  Result<QueryResult> QueryPipeline(const std::string& sql, OptimizerPath path,
+                                    const QueryOptions& options,
+                                    OpActualsMap* actuals,
+                                    std::unique_ptr<CompiledQuery>* compiled_out,
+                                    QueryObs* obs);
+
+  /// Folds one finished query (success or failure) into the digest store,
+  /// flight recorder and taurus.exec.profile.* gauges. Returns the
+  /// flight-recorder seq (0 when the recorder is off).
+  uint64_t RecordQueryObservability(const QueryOptions& options,
+                                    const Result<QueryResult>& result,
+                                    QueryObs* obs);
+
   /// SHOW STATUS [LIKE 'pattern']: registry snapshot as result rows.
   Result<QueryResult> ShowStatus(const std::string& pattern);
+  /// SHOW DIGESTS [LIKE 'pattern'] (pattern matches the canonical
+  /// statement text): digest-store snapshot, hottest digests first.
+  Result<QueryResult> ShowDigests(const std::string& pattern);
+  /// SHOW FLIGHT RECORDER: the recent-query ring, newest event first,
+  /// pinned span trees included.
+  Result<QueryResult> ShowFlightRecorder();
+  /// SHOW PROFILE FOR <seq>: per-worker executor profile of one recorded
+  /// event (busy/idle ms, morsels, batch vs Volcano rows).
+  Result<QueryResult> ShowProfile(uint64_t seq);
 
   /// Starts a fresh per-query trace when tracing is enabled (engine knob or
   /// options.trace); returns null (and drops the "most recent" slot)
@@ -411,6 +508,11 @@ class Database {
     Counter* feedback_drift_bumps = nullptr;
     Counter* feedback_actual_overrides = nullptr;
     Counter* feedback_sketch_overrides = nullptr;
+    Counter* profile_pipelines = nullptr;
+    Counter* profile_morsels = nullptr;
+    Gauge* profile_last_busy_ms = nullptr;
+    Gauge* profile_last_idle_ms = nullptr;
+    Gauge* profile_last_workers = nullptr;
     LatencyHistogram* optimize_ms = nullptr;
     LatencyHistogram* execute_ms = nullptr;
   };
@@ -433,6 +535,10 @@ class Database {
   MetricsRegistry metrics_;
   EngineCounters counters_;
   QuarantineTable quarantine_;
+  DigestStoreConfig digest_config_;
+  DigestStore digest_store_{digest_config_};
+  FlightRecorderConfig flight_config_;
+  FlightRecorder flight_recorder_{flight_config_};
 
   /// Guards the "most recent" single-session views (trace, Orca metrics,
   /// fallback flag). Leaf rank 100: nothing else is acquired under it.

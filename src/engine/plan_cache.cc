@@ -256,6 +256,8 @@ std::shared_ptr<const PlanCacheEntry> PlanCache::Lookup(
   // since) or the fingerprint's feedback drift version moved past the
   // q-error threshold (DESIGN.md section 11). Escalate to the shard's
   // exclusive lock and re-check — rare, so hits never pay for it.
+  uint64_t invalidated_fingerprint = 0;
+  const char* invalidation_cause = nullptr;
   {
     WriterMutexLock lock(&shard.mu);
     auto it = shard.map.find(key);
@@ -266,11 +268,23 @@ std::shared_ptr<const PlanCacheEntry> PlanCache::Lookup(
       bool drift_stale =
           !version_stale && entry.feedback_version != feedback_version;
       if (version_stale || drift_stale) {
+        // Which stamp moved decides the digest plan-epoch cause.
+        invalidation_cause = drift_stale ? "drift"
+                             : entry.schema_version != schema_version
+                                 ? "ddl"
+                                 : "analyze";
+        invalidated_fingerprint = entry.fingerprint;
         shard.map.erase(it);
         (version_stale ? invalidations_ : drift_invalidations_)
             .fetch_add(1, std::memory_order_relaxed);
       }
     }
+  }
+  // The hook runs outside the shard lock: it feeds the leaf-ranked digest
+  // store, and the invalidation is already committed above.
+  if (invalidation_cause != nullptr && invalidation_hook_ != nullptr &&
+      invalidated_fingerprint != 0) {
+    invalidation_hook_(invalidated_fingerprint, invalidation_cause);
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   return nullptr;

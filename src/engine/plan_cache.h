@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -175,6 +176,21 @@ class PlanCache {
   PlanCacheStats stats() const;
   void ResetStats();
 
+  /// Invalidation-hook causes, by which version stamp moved.
+  ///   "ddl"     — catalog schema version (CREATE TABLE / CREATE INDEX)
+  ///   "analyze" — catalog stats version (ANALYZE)
+  ///   "drift"   — the fingerprint's feedback drift version (section 11)
+  using InvalidationHook =
+      std::function<void(uint64_t fingerprint, const char* cause)>;
+
+  /// Installs a hook called after a lookup dropped a stale entry — the
+  /// digest store's plan-epoch signal (DESIGN.md section 15). Invoked
+  /// outside the shard lock. Must be set before concurrent queries start
+  /// (engine construction), like the config knobs.
+  void SetInvalidationHook(InvalidationHook hook) {
+    invalidation_hook_ = std::move(hook);
+  }
+
  private:
   static constexpr size_t kMaxShards = 16;
   /// Capacities below this use one shard: exact LRU for small caches,
@@ -209,6 +225,7 @@ class PlanCache {
   void ApplyCapacityLocked(size_t capacity) TAURUS_NO_THREAD_SAFETY_ANALYSIS;
 
   std::array<Shard, kMaxShards> shards_;
+  InvalidationHook invalidation_hook_;  ///< set once before concurrency
   std::atomic<size_t> capacity_;
   std::atomic<size_t> shard_count_;
   std::atomic<uint64_t> tick_{0};

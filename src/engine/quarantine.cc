@@ -27,9 +27,10 @@ bool QuarantineTable::IsQuarantined(uint64_t fingerprint,
   return e.failures >= failure_threshold;
 }
 
-void QuarantineTable::RecordFailure(uint64_t fingerprint,
+bool QuarantineTable::RecordFailure(uint64_t fingerprint,
                                     uint64_t schema_version,
-                                    uint64_t stats_version) {
+                                    uint64_t stats_version,
+                                    int failure_threshold) {
   exclusive_updates_.fetch_add(1, std::memory_order_relaxed);
   WriterMutexLock lock(&mu_);
   Entry& e = map_[fingerprint];
@@ -40,6 +41,7 @@ void QuarantineTable::RecordFailure(uint64_t fingerprint,
   }
   ++e.failures;
   size_.store(map_.size(), std::memory_order_release);
+  return e.failures == failure_threshold;
 }
 
 void QuarantineTable::Clear() {

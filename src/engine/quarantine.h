@@ -35,9 +35,12 @@ class QuarantineTable {
       TAURUS_EXCLUDES(mu_);
 
   /// Counts one detour failure; an entry recorded under older catalog
-  /// versions restarts from zero.
-  void RecordFailure(uint64_t fingerprint, uint64_t schema_version,
-                     uint64_t stats_version) TAURUS_EXCLUDES(mu_);
+  /// versions restarts from zero. Returns true when this failure is the
+  /// one that crossed `failure_threshold` — the statement just entered
+  /// quarantine (the digest store's plan-epoch signal).
+  bool RecordFailure(uint64_t fingerprint, uint64_t schema_version,
+                     uint64_t stats_version, int failure_threshold)
+      TAURUS_EXCLUDES(mu_);
 
   void Clear() TAURUS_EXCLUDES(mu_);
   size_t Size() const;

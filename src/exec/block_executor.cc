@@ -1246,6 +1246,15 @@ Result<bool> TryParallelPipeline(const BlockPlan& plan, const Frame& outer,
   std::atomic<bool> abort{false};
   std::atomic<bool> used_batch{false};
 
+  // Executor profiling (DESIGN.md section 15): each worker times its own
+  // slot — no synchronization — and the main thread computes idle time
+  // against the pipeline wall after the pool joins.
+  const bool profiled =
+      ctx->exec_profile != nullptr && ctx->profile_clock != nullptr;
+  std::vector<WorkerProfile> worker_profiles(
+      profiled ? static_cast<size_t>(dop) : 0);
+  const Clock* profile_clock = ctx->profile_clock;
+
   auto worker = [&](int w) {
     ExecContext* shard = &shards[w];
     ctx->InitShard(shard);
@@ -1276,12 +1285,16 @@ Result<bool> TryParallelPipeline(const BlockPlan& plan, const Frame& outer,
       }
     }
     Frame frame = outer;
+    WorkerProfile* profile =
+        profiled ? &worker_profiles[static_cast<size_t>(w)] : nullptr;
     while (!abort.load(std::memory_order_relaxed)) {
       int64_t m = next_morsel.fetch_add(1, std::memory_order_relaxed);
       if (m >= num_morsels) break;
       const size_t begin = static_cast<size_t>(m * morsel);
       const size_t end = static_cast<size_t>(std::min(total, (m + 1) * morsel));
       const size_t mi = static_cast<size_t>(m);
+      const double morsel_start =
+          profile != nullptr ? profile_clock->NowMs() : 0.0;
       Status st;
       if (bchain.root != nullptr) {
         bchain.driver->SetRange(begin, end);
@@ -1304,6 +1317,16 @@ Result<bool> TryParallelPipeline(const BlockPlan& plan, const Frame& outer,
               mode == PipeMode::kPlain ? &row_parts[mi] : nullptr);
         }
       }
+      if (profile != nullptr) {
+        profile->busy_ms += profile_clock->NowMs() - morsel_start;
+        ++profile->morsels;
+        // Driver rows processed this morsel, attributed to the chain that
+        // consumed them (batch vs Volcano fallback).
+        const int64_t driver_rows =
+            static_cast<int64_t>(end) - static_cast<int64_t>(begin);
+        (bchain.root != nullptr ? profile->batch_rows
+                                : profile->volcano_rows) += driver_rows;
+      }
       if (!st.ok()) {
         morsel_status[static_cast<size_t>(m)] = std::move(st);
         abort.store(true, std::memory_order_relaxed);
@@ -1312,7 +1335,17 @@ Result<bool> TryParallelPipeline(const BlockPlan& plan, const Frame& outer,
     }
   };
 
+  const double pipeline_start = profiled ? profile_clock->NowMs() : 0.0;
   if (!ctx->pool->TryRun(dop, worker)) return false;  // pool busy: go serial
+  if (profiled) {
+    // Per-worker idle = pipeline wall minus that worker's busy time: queue
+    // hand-off plus waiting for the slowest peer after draining the queue.
+    const double wall = profile_clock->NowMs() - pipeline_start;
+    for (WorkerProfile& wp : worker_profiles) {
+      wp.idle_ms = std::max(0.0, wall - wp.busy_ms);
+    }
+    ctx->exec_profile->MergePipeline(worker_profiles);
+  }
 
   for (int w = 0; w < dop; ++w) ctx->MergeShard(shards[w]);
   // First failing morsel (by morsel index, not completion order) wins.

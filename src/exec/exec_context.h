@@ -10,6 +10,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "exec/exec_profile.h"
 #include "exec/op_actuals.h"
 #include "feedback/agms_sketch.h"
 #include "exec/physical_plan.h"
@@ -115,6 +116,18 @@ struct ExecContext {
   /// Shared by worker shards: sketch updates are atomic, and stream
   /// ownership is resolved under the set's own mutex.
   SketchSet* sketches = nullptr;
+
+  // --- Executor profiling (see DESIGN.md section 15) ---
+
+  /// When non-null (root contexts only; armed by the engine when
+  /// ExecutorConfig::enable_profiling is on), every morsel-parallel
+  /// pipeline folds its per-worker busy/idle timing and morsel counts in
+  /// here. Workers time into private slots; the merge happens on the main
+  /// thread after the pool joins, so profiling adds no synchronization.
+  ExecProfile* exec_profile = nullptr;
+  /// Clock for worker timing; set with exec_profile. Tests inject a
+  /// FakeClock for deterministic morsel counts (durations collapse to 0).
+  const Clock* profile_clock = nullptr;
 
   /// Counts one scanned row against the budget. The row cap is charged on
   /// the shared atomic so concurrent shards trip it at one deterministic

@@ -203,6 +203,9 @@ struct CompiledQuery {
   bool quarantine_hit = false;
   /// Statement fingerprint hash (0 when fingerprinting was skipped).
   uint64_t fingerprint = 0;
+  /// Canonical statement text behind `fingerprint` ("" when fingerprinting
+  /// was skipped) — the digest store's display text.
+  std::string canonical;
 
   /// Plan-verifier summary for this compilation: total rule evaluations
   /// across the boundary verifiers that ran, and how many fired (surfaced

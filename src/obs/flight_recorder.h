@@ -1,0 +1,116 @@
+#ifndef TAURUS_OBS_FLIGHT_RECORDER_H_
+#define TAURUS_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "exec/exec_profile.h"
+#include "obs/trace.h"
+
+namespace taurus {
+
+/// Flight-recorder knobs. Read live; capacity changes apply lazily on the
+/// next Record and must be quiesced relative to in-flight queries (the
+/// engine config contract).
+struct FlightRecorderConfig {
+  bool enable = true;
+  /// Ring slots: the memory bound is capacity x sizeof(FlightRecord) plus
+  /// whatever traces are pinned. 256 slots comfortably outlives the
+  /// "post-mortem after 100 more queries" requirement.
+  size_t capacity = 256;
+  /// Pin the full span tree of aborted / shed / quarantined / fallen-back
+  /// queries into their ring slot, so the post-mortem survives after
+  /// Database::last_trace() is overwritten by later queries.
+  bool pin_aborted_traces = true;
+};
+
+/// One query event in the ring. Copyable: Snapshot/Find hand out copies so
+/// readers never hold the recorder lock while rendering.
+struct FlightRecord {
+  /// Monotonic 1-based event id — the <n> of SHOW PROFILE FOR <n>.
+  uint64_t seq = 0;
+  uint64_t fingerprint = 0;
+  uint64_t session_id = 0;  ///< 0 = direct Database call (no session)
+  /// "ok", or the failure Status::ToString() with its structured origin
+  /// payload (e.g. "[verify.skeleton/S004]").
+  std::string status = "ok";
+  bool error = false;
+  /// Admission outcome: "direct", "queued", "shed" or "rejected".
+  std::string admission = "direct";
+  double admission_wait_ms = 0.0;
+  bool used_orca = false;
+  bool fell_back = false;
+  bool shed = false;
+  bool quarantine_hit = false;
+  bool plan_cache_hit = false;
+  double optimize_ms = 0.0;
+  double execute_ms = 0.0;
+  /// Trace-root wall time when the query was traced (query span duration),
+  /// optimize + execute otherwise.
+  double total_ms = 0.0;
+  int64_t rows_returned = 0;
+  int workers = 1;
+  int64_t batches = 0;
+  /// Per-worker morsel timing (empty unless profiling was enabled).
+  ExecProfile profile;
+  /// Full span tree, pinned for aborted/shed/quarantined/fallen-back
+  /// queries when FlightRecorderConfig::pin_aborted_traces is on.
+  std::shared_ptr<const Tracer> pinned_trace;
+};
+
+/// Fixed-size lock-minimal ring buffer of recent query events. Record is a
+/// single short critical section under a leaf-ranked mutex (rank 150:
+/// nothing is acquired under it) — always on at near-zero cost. Slots are
+/// overwritten oldest-first; a pinned trace lives exactly as long as its
+/// slot.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(const FlightRecorderConfig& config)
+      : config_(config) {}
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Writes one event, assigning and returning its sequence number
+  /// (0 when the recorder is disabled).
+  uint64_t Record(FlightRecord record);
+
+  /// Events currently in the ring, oldest first.
+  std::vector<FlightRecord> Snapshot() const;
+
+  /// Copies the event with sequence number `seq` into `out`; false when it
+  /// has been overwritten (or never existed).
+  bool Find(uint64_t seq, FlightRecord* out) const;
+
+  size_t Size() const;
+  void Clear();
+
+  int64_t records() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+  /// Events currently holding a pinned trace.
+  int64_t pinned() const;
+
+ private:
+  /// Requires mu_: grows/shrinks the ring to the configured capacity,
+  /// keeping the newest events.
+  void ApplyCapacityLocked() TAURUS_REQUIRES(mu_);
+
+  const FlightRecorderConfig& config_;
+  mutable Mutex mu_{LockRank::kFlightRecorder, "obs.flight_recorder"};
+  /// Ring storage ordered oldest-to-newest starting at next_.
+  std::vector<FlightRecord> ring_ TAURUS_GUARDED_BY(mu_);
+  size_t next_ TAURUS_GUARDED_BY(mu_) = 0;
+  uint64_t seq_ TAURUS_GUARDED_BY(mu_) = 0;
+
+  std::atomic<int64_t> records_{0};
+};
+
+}  // namespace taurus
+
+#endif  // TAURUS_OBS_FLIGHT_RECORDER_H_

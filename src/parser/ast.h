@@ -236,9 +236,12 @@ struct Statement {
     kCreateIndex,
     kInsert,
     kAnalyze,
-    kExplain,         ///< EXPLAIN <select>
-    kExplainAnalyze,  ///< EXPLAIN ANALYZE <select>
-    kShowStatus,      ///< SHOW STATUS [LIKE 'pattern']
+    kExplain,            ///< EXPLAIN <select>
+    kExplainAnalyze,     ///< EXPLAIN ANALYZE <select>
+    kShowStatus,         ///< SHOW STATUS [LIKE 'pattern']
+    kShowDigests,        ///< SHOW DIGESTS [LIKE 'pattern']
+    kShowFlightRecorder, ///< SHOW FLIGHT RECORDER
+    kShowProfile,        ///< SHOW PROFILE FOR <event seq>
   };
 
   Kind kind = Kind::kSelect;
@@ -258,7 +261,11 @@ struct Statement {
   std::vector<std::vector<std::unique_ptr<Expr>>> insert_rows;
 
   // kAnalyze: table_name reused.
-  // kShowStatus: table_name reused for the LIKE pattern (empty = all).
+  // kShowStatus / kShowDigests: table_name reused for the LIKE pattern
+  // (empty = all).
+
+  // kShowProfile: the flight-recorder event sequence number.
+  int64_t profile_seq = 0;
 };
 
 }  // namespace taurus

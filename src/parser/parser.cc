@@ -131,11 +131,34 @@ Result<std::unique_ptr<Statement>> Parser::ParseStatementTop() {
   }
   if (PeekIsKeyword("show")) {
     Advance();
-    if (!AcceptKeyword("status") && !AcceptKeyword("metrics")) {
-      return Status::SyntaxError("expected STATUS or METRICS after SHOW");
+    bool accepts_like = false;
+    if (AcceptKeyword("status") || AcceptKeyword("metrics")) {
+      stmt->kind = Statement::Kind::kShowStatus;
+      accepts_like = true;
+    } else if (AcceptKeyword("digests")) {
+      stmt->kind = Statement::Kind::kShowDigests;
+      accepts_like = true;
+    } else if (AcceptKeyword("flight")) {
+      if (!AcceptKeyword("recorder")) {
+        return Status::SyntaxError("expected RECORDER after SHOW FLIGHT");
+      }
+      stmt->kind = Statement::Kind::kShowFlightRecorder;
+    } else if (AcceptKeyword("profile")) {
+      if (!AcceptKeyword("for")) {
+        return Status::SyntaxError("expected FOR after SHOW PROFILE");
+      }
+      if (Peek().kind != TokenKind::kInteger) {
+        return Status::SyntaxError(
+            "expected event sequence number after SHOW PROFILE FOR");
+      }
+      stmt->kind = Statement::Kind::kShowProfile;
+      stmt->profile_seq = Advance().int_val;
+    } else {
+      return Status::SyntaxError(
+          "expected STATUS, METRICS, DIGESTS, FLIGHT RECORDER or PROFILE "
+          "after SHOW");
     }
-    stmt->kind = Statement::Kind::kShowStatus;
-    if (AcceptKeyword("like")) {
+    if (accepts_like && AcceptKeyword("like")) {
       if (Peek().kind != TokenKind::kString) {
         return Status::SyntaxError("expected quoted pattern after LIKE");
       }

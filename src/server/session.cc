@@ -35,6 +35,17 @@ Result<QueryResult> Session::Query(const std::string& sql,
   auto admitted = server_->admission().Admit(request);
   if (!admitted.ok()) {
     ++rejected_;
+    // Rejected queries never reach the engine pipeline, so record the
+    // refusal here — a post-mortem reading SHOW FLIGHT RECORDER sees the
+    // rejection next to the queries that caused the overload.
+    if (db.flight_recorder_config().enable) {
+      FlightRecord rec;
+      rec.session_id = id_;
+      rec.status = admitted.status().ToString();
+      rec.error = true;
+      rec.admission = "rejected";
+      db.flight_recorder().Record(std::move(rec));
+    }
     return admitted.status();
   }
   const AdmissionTicket ticket = admitted.value();
@@ -49,28 +60,21 @@ Result<QueryResult> Session::Query(const std::string& sql,
   query_options.worker_cap = ticket.worker_tokens > 0 ? ticket.worker_tokens : 1;
   query_options.trace = options_.trace;
   query_options.trace_slot = options_.trace ? &last_trace_ : nullptr;
+  // Attribution for the digest store and flight recorder; the engine folds
+  // the admission outcome into QueryResult (shed/fell_back/fallback_reason)
+  // so the introspection surfaces and the client see one story.
+  query_options.session_id = id_;
+  query_options.shed = ticket.shed;
+  query_options.shed_cause = ticket.shed_cause;
+  query_options.admission_queued = ticket.queued;
+  query_options.admission_wait_ms = ticket.wait_ms;
 
   const OptimizerPath effective =
       ticket.shed ? OptimizerPath::kMySql : path;
   auto result = db.Query(sql, effective, query_options);
   ++queries_;
-  if (!result.ok()) return result;
-
-  QueryResult out = std::move(result.value());
-  out.admission_queued = ticket.queued;
-  out.admission_wait_ms = ticket.wait_ms;
-  if (ticket.shed) {
-    ++shed_;
-    out.shed = true;
-    out.fell_back = true;
-    out.fallback_reason =
-        Status::ResourceExhausted(std::string("admission overload: shed to "
-                                              "MySQL path (") +
-                                  ticket.shed_cause + ")")
-            .SetOrigin("server.admission", "shed")
-            .ToString();
-  }
-  return out;
+  if (ticket.shed) ++shed_;
+  return result;
 }
 
 }  // namespace taurus

@@ -13,9 +13,11 @@
 #include "common/clock.h"
 #include "common/latency_histogram.h"
 #include "engine/database.h"
+#include "obs/digest_store.h"
 #include "obs/estimate_feedback.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/server.h"
 
 namespace taurus {
 namespace {
@@ -472,6 +474,133 @@ TEST_F(ObsEngineTest, GlobalRegistryIsAvailable) {
   Counter* c = MetricsRegistry::Global().GetCounter("taurus.test.global");
   c->Increment();
   EXPECT_GE(c->Value(), 1);
+}
+
+/// The full taurus.* inventory, one name per registered metric across every
+/// family. A new metric must be added here (and a removed one deleted), so
+/// accidental renames and namespace drift fail a test instead of silently
+/// breaking dashboards. The taurus.-prefix rule itself is enforced on every
+/// dump by scripts/validate_obs_json.py in check.sh.
+TEST_F(ObsEngineTest, MetricsJsonCoversTheFullTaurusInventory) {
+  // The server family registers when an admission controller attaches to
+  // the engine's registry; everything else registers in the Database ctor
+  // (BindCounters) or on dump (SyncGaugeMetrics).
+  Server server(&db_);
+  ASSERT_TRUE(db_.Query(kJoinSql, OptimizerPath::kOrca).ok());
+  const std::string json = db_.MetricsJson();
+  for (const char* name : {
+           // health
+           "taurus.health.budget_kills", "taurus.health.detours_attempted",
+           "taurus.health.detours_failed", "taurus.health.exec_budget_kills",
+           "taurus.health.fallbacks", "taurus.health.quarantine_hits",
+           // query
+           "taurus.query.count", "taurus.query.errors",
+           "taurus.query.execute_ms", "taurus.query.optimize_ms",
+           // plan cache
+           "taurus.plan_cache.capacity",
+           "taurus.plan_cache.drift_invalidations",
+           "taurus.plan_cache.entries", "taurus.plan_cache.evictions",
+           "taurus.plan_cache.hits", "taurus.plan_cache.insertions",
+           "taurus.plan_cache.invalidations", "taurus.plan_cache.misses",
+           "taurus.plan_cache.shards",
+           // quarantine + verifiers
+           "taurus.quarantine.entries", "taurus.verify.rules_checked",
+           "taurus.verify.violations", "taurus.verify.lock_rank.checks",
+           "taurus.verify.lock_rank.enabled",
+           "taurus.verify.lock_rank.violations",
+           // executor
+           "taurus.exec.batch.batches", "taurus.exec.batch.pipelines",
+           "taurus.exec.batch.rows", "taurus.exec.index_lookups",
+           "taurus.exec.parallel_pipelines", "taurus.exec.parallel_queries",
+           "taurus.exec.rows_scanned",
+           // executor profiling
+           "taurus.exec.profile.enabled", "taurus.exec.profile.last_busy_ms",
+           "taurus.exec.profile.last_idle_ms",
+           "taurus.exec.profile.last_workers", "taurus.exec.profile.morsels",
+           "taurus.exec.profile.pipelines",
+           // feedback loop
+           "taurus.feedback.actual_overrides", "taurus.feedback.drift_bumps",
+           "taurus.feedback.entries", "taurus.feedback.harvests",
+           "taurus.feedback.lru_evictions",
+           "taurus.feedback.sketch_overrides",
+           "taurus.feedback.version_resets",
+           // workload introspection
+           "taurus.obs.digest.capacity", "taurus.obs.digest.entries",
+           "taurus.obs.digest.epoch_bumps", "taurus.obs.digest.lru_evictions",
+           "taurus.obs.digest.records", "taurus.obs.recorder.capacity",
+           "taurus.obs.recorder.entries", "taurus.obs.recorder.pinned",
+           "taurus.obs.recorder.records",
+           // server / admission
+           "taurus.server.admitted", "taurus.server.queue_len",
+           "taurus.server.queued", "taurus.server.rejected_deadline",
+           "taurus.server.rejected_queue_full", "taurus.server.running",
+           "taurus.server.shed",
+       }) {
+    EXPECT_NE(json.find(std::string("\"") + name + "\""), std::string::npos)
+        << "missing " << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Digest store under concurrency: run under the TSan leg
+// (TAURUS_SANITIZE=thread scripts/check.sh) to prove Record / Snapshot /
+// BumpEpoch are race-free against each other.
+// ---------------------------------------------------------------------------
+
+TEST(DigestStoreConcurrencyTest, ConcurrentRecordSnapshotAndBumpAreExact) {
+  DigestStoreConfig config;
+  DigestStore store(config);
+  constexpr int kWriters = 4;
+  constexpr int kRecords = 2000;
+  constexpr uint64_t kFingerprints = 8;
+  const std::string canonical = "stmt";
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&store, &canonical, t] {
+      for (int i = 0; i < kRecords; ++i) {
+        DigestSample s;
+        s.fingerprint = 1 + static_cast<uint64_t>(i) % kFingerprints;
+        s.canonical = &canonical;
+        s.used_orca = (i + t) % 2 == 0;
+        s.latency_ms = static_cast<double>(i % 5);
+        s.rows_returned = 1;
+        store.Record(s);
+      }
+    });
+  }
+  // Readers and epoch bumps race the writers: snapshots must always be
+  // internally consistent (per-path counts partition calls) and bumps must
+  // never lose a sample.
+  threads.emplace_back([&store] {
+    for (int i = 0; i < 200; ++i) {
+      for (const DigestSnapshot& d : store.Snapshot()) {
+        EXPECT_EQ(d.orca_latency.count + d.mysql_latency.count, d.calls);
+        EXPECT_EQ(d.latency_count, d.calls);
+      }
+    }
+  });
+  threads.emplace_back([&store] {
+    for (int i = 0; i < 200; ++i) {
+      store.BumpEpoch(1 + static_cast<uint64_t>(i) % kFingerprints, "ddl");
+    }
+  });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(store.records(), kWriters * kRecords);
+  EXPECT_EQ(store.lru_evictions(), 0);
+  int64_t calls = 0;
+  for (const DigestSnapshot& d : store.Snapshot()) {
+    calls += d.calls;
+    // The epoch split never double-counts: the current and previous epoch
+    // together cover at most every call (exactly, until a third epoch
+    // drops the oldest bucket).
+    EXPECT_LE(d.epoch_latency.count + d.prev_epoch_latency.count, d.calls);
+    if (d.plan_epoch <= 2) {
+      EXPECT_EQ(d.epoch_latency.count + d.prev_epoch_latency.count, d.calls);
+    }
+  }
+  EXPECT_EQ(calls, kWriters * kRecords);
 }
 
 }  // namespace

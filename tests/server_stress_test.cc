@@ -8,6 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injector.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "server/server.h"
 #include "workloads/tpcds.h"
 #include "workloads/tpch.h"
@@ -499,6 +502,76 @@ TEST_F(ServerStressTest, ForcedPathsAreNeverShed) {
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(shed_count.load(), 0);
+}
+
+// Post-mortem under concurrency: overlapping sessions abort their Orca
+// detours while other sessions keep executing, so Database::last_trace()
+// and the per-session trace slots are clobbered continuously. The flight
+// recorder must still hold every aborted detour's full span tree in its
+// pinned ring slot. Uses a private engine: poisoning the shared db()'s
+// quarantine would break the no-contention assertions above.
+TEST_F(ServerStressTest, AbortedDetourTracesSurviveOverlappingSessions) {
+  Database db;
+  ASSERT_TRUE(SetupTpch(&db, 0.001).ok());
+  Tune(&db);
+  db.plan_cache_config().enable = false;  // every compile attempts a detour
+  Server server(&db);
+  // Enough run slots for every session: on small machines the default
+  // (2x hardware workers) makes arrivals queue, and a queued kAuto query
+  // is shed onto the MySQL path — it would never attempt its detour.
+  server.server_config().max_concurrent_queries = 8;
+
+  constexpr int kSessions = 4;
+  constexpr int kQueriesPerSession = 6;
+  FaultInjector::Instance().ArmCount("bridge.parse_tree_convert", 1000000);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      auto session = server.CreateSession();
+      if (!session.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      session.value()->options().trace = true;
+      const std::vector<std::string>& queries = Queries();
+      for (int q = 0; q < kQueriesPerSession; ++q) {
+        auto res = session.value()->Query(
+            queries[static_cast<size_t>(i + q) % queries.size()],
+            OptimizerPath::kAuto);
+        if (!res.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  FaultInjector::Instance().DisarmAll();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Every aborted-detour event still carries its span tree, long after the
+  // live trace slots moved on. Quarantine engages mid-sweep (threshold
+  // failures per statement), so later events are quarantine hits — pinned
+  // too, but routed around the detour.
+  std::vector<FlightRecord> events = db.flight_recorder().Snapshot();
+  ASSERT_EQ(events.size(),
+            static_cast<size_t>(kSessions * kQueriesPerSession));
+  int aborted_detours = 0;
+  for (const FlightRecord& e : events) {
+    EXPECT_TRUE(e.fell_back || e.quarantine_hit);
+    EXPECT_FALSE(e.shed) << "run slots were provisioned; no query may shed";
+    ASSERT_NE(e.pinned_trace, nullptr) << "event " << e.seq << " lost its trace";
+    EXPECT_GE(e.session_id, 1u);
+    const std::string tree = e.pinned_trace->TreeString();
+    if (e.fell_back && !e.quarantine_hit) {
+      ++aborted_detours;
+      EXPECT_NE(tree.find("orca.detour"), std::string::npos) << tree;
+    } else {
+      EXPECT_EQ(tree.find("orca.detour"), std::string::npos) << tree;
+    }
+  }
+  EXPECT_GT(aborted_detours, 0);
+  EXPECT_EQ(db.flight_recorder().pinned(),
+            static_cast<int64_t>(events.size()));
 }
 
 // Memory pressure is a shed signal even without queueing: a tiny budget
